@@ -1,0 +1,273 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. suggester still-period length (§II-D),
+//! 2. capture path and match tolerance: HDMI vs camera (§II-C),
+//! 3. the Interactive governor's input boost (§III-B),
+//! 4. the custom replay agent vs the stock `sendevent` tool (§II-B),
+//! 5. race-to-idle: energy to service a fixed demand across frequencies.
+
+use interlag_bench::{banner, lab_with_reps, rule};
+use interlag_core::annotation::{annotate, GroundTruthPicker};
+use interlag_core::matcher::mark_up;
+use interlag_core::suggester::{Suggester, SuggesterConfig};
+use interlag_device::device::{CaptureMode, Device, DeviceConfig};
+use interlag_device::dvfs::FixedGovernor;
+use interlag_device::script::InteractionCategory;
+use interlag_evdev::replay::{ReplayAgent, Replayer, SendeventReplayer};
+use interlag_governors::interactive::{Interactive, InteractiveTunables};
+use interlag_power::calibrate::{calibrate, CalibrationConfig};
+use interlag_power::model::PowerModel;
+use interlag_power::opp::OppTable;
+use interlag_video::mask::MatchTolerance;
+use interlag_workloads::datasets::Dataset;
+use interlag_workloads::gen::{Workload, WorkloadBuilder, MCYCLES};
+
+/// A two-minute workload for the capture/replay ablations.
+fn small_workload() -> Workload {
+    let mut b = WorkloadBuilder::new(0xab1a);
+    b.app_launch("launch", 700 * MCYCLES, 6, InteractionCategory::Common);
+    b.think_ms(3_000, 5_000);
+    for i in 0..8 {
+        b.quick_tap(&format!("tap {i}"), 220 * MCYCLES, InteractionCategory::SimpleFrequent);
+        b.think_ms(3_000, 6_000);
+    }
+    b.heavy_with_progress("save", 2_000 * MCYCLES, InteractionCategory::Complex);
+    b.build("ablation", "two-minute ablation workload")
+}
+
+fn suggester_still_run() {
+    banner(
+        "ABLATION 1 — suggester minimum still run (Dataset 01 reference video)",
+        "more required still frames -> fewer candidates, until real endings vanish",
+    );
+    let lab = lab_with_reps(1);
+    let w = Dataset::D01.build();
+    let trace = w.script.record_trace();
+    let mut gov = FixedGovernor::new(lab.device().config().opps.min_freq());
+    let run = lab.run(&w, trace, &mut gov);
+    let screen = lab.device().config().screen;
+    let mask = {
+        let mut m = screen.status_bar_mask();
+        m.exclude(screen.cursor_rect);
+        m.exclude(screen.spinner_rect);
+        m
+    };
+    println!("{:<14} {:>12} {:>12} {:>12}", "min_still_run", "suggestions", "annotated", "reduction");
+    rule(56);
+    for min_still in [1u32, 5, 15, 30] {
+        let suggester = Suggester::new(SuggesterConfig {
+            mask: mask.clone(),
+            min_still_run: min_still,
+            ..Default::default()
+        });
+        let picker = GroundTruthPicker::new(&run);
+        let (db, stats) =
+            annotate(&run, &suggester, &picker, &mask, MatchTolerance::EXACT, &w.name);
+        println!(
+            "{:<14} {:>12} {:>12} {:>11.0}x",
+            min_still,
+            stats.suggestions_shown,
+            db.len(),
+            stats.reduction_factor()
+        );
+    }
+}
+
+fn capture_paths() {
+    banner(
+        "ABLATION 2 — capture path and match tolerance",
+        "exact matching works over HDMI; camera noise requires tolerances (§II-C)",
+    );
+    let w = small_workload();
+    let trace = w.script.record_trace();
+
+    let run_with = |mode: CaptureMode| {
+        let mut cfg = DeviceConfig::default();
+        cfg.capture = mode;
+        let device = Device::new(cfg.clone());
+        let mut gov = FixedGovernor::new(cfg.opps.max_freq());
+        device.run(&w.script, ReplayAgent::new(trace.clone()), &mut gov, w.run_until())
+    };
+    let hdmi = run_with(CaptureMode::Hdmi);
+    let camera = run_with(CaptureMode::Camera { seed: 99 });
+
+    // Annotate on the HDMI video, then try matching each capture path
+    // under each tolerance.
+    let screen = DeviceConfig::default().screen;
+    let mask = {
+        let mut m = screen.status_bar_mask();
+        m.exclude(screen.cursor_rect);
+        m.exclude(screen.spinner_rect);
+        m
+    };
+    println!(
+        "{:<28} {:>10} {:>10}",
+        "capture / tolerance", "matched", "failed"
+    );
+    rule(52);
+    for (cap_name, run) in [("hdmi", &hdmi), ("camera", &camera)] {
+        for (tol_name, tol) in [("exact", MatchTolerance::EXACT), ("camera", MatchTolerance::CAMERA)]
+        {
+            let suggester = Suggester::new(SuggesterConfig {
+                mask: mask.clone(),
+                tolerance: tol,
+                ..Default::default()
+            });
+            let picker = GroundTruthPicker::new(&hdmi);
+            let (db, _) = annotate(&hdmi, &suggester, &picker, &mask, tol, &w.name);
+            let video = run.video.as_ref().expect("capture on");
+            let (profile, failures) = mark_up(video, &run.lag_beginnings(), &db, cap_name);
+            println!(
+                "{:<28} {:>10} {:>10}",
+                format!("{cap_name} + {tol_name}"),
+                profile.len(),
+                failures.len()
+            );
+        }
+    }
+    println!("\n-> the paper's switch from camera to HDMI capture is what makes exact matching viable");
+}
+
+fn interactive_input_boost() {
+    banner(
+        "ABLATION 3 — Interactive governor input boost (Dataset 02)",
+        "disabling the boost removes the governor's defining reaction to touches",
+    );
+    let lab = lab_with_reps(1);
+    let w = Dataset::D02.build();
+    let trace = w.script.record_trace();
+    let table = lab.device().config().opps.clone();
+
+    println!("{:<14} {:>12} {:>14}", "input boost", "energy (J)", "mean lag (ms)");
+    rule(44);
+    for boost in [true, false] {
+        let mut tun = InteractiveTunables::for_table(&table);
+        tun.input_boost = boost;
+        let mut gov = Interactive::new(tun);
+        let run = lab.run(&w, trace.clone(), &mut gov);
+        let energy = lab.meter().measure(&run.activity).dynamic_mj / 1_000.0;
+        let lags: Vec<f64> = run
+            .interactions
+            .iter()
+            .filter_map(|r| r.true_lag())
+            .map(|l| l.as_millis_f64())
+            .collect();
+        let mean = lags.iter().sum::<f64>() / lags.len() as f64;
+        println!("{:<14} {:>12.2} {:>14.0}", boost, energy, mean);
+    }
+    println!("\n-> without the boost, short lags wait for a load window before the clock rises");
+}
+
+fn replay_fidelity() {
+    banner(
+        "ABLATION 4 — custom replay agent vs stock sendevent (§II-B)",
+        "sendevent's per-event overhead smears dense multi-touch packets",
+    );
+    let w = Dataset::D04.build(); // swipe-heavy
+    let trace = w.script.record_trace();
+
+    let drain = |mut r: Box<dyn Replayer>| {
+        let mut now = interlag_evdev::time::SimTime::ZERO;
+        while !r.is_finished() {
+            r.poll(now);
+            now += interlag_evdev::time::SimDuration::from_millis(1);
+        }
+        r.stats()
+    };
+    let agent = drain(Box::new(ReplayAgent::new(trace.clone())));
+    let tool = drain(Box::new(SendeventReplayer::new(trace.clone())));
+    println!("{:<16} {:>12} {:>14} {:>14}", "replayer", "events", "mean drift", "max drift");
+    rule(60);
+    println!(
+        "{:<16} {:>12} {:>14} {:>14}",
+        "custom agent",
+        agent.events_replayed,
+        agent.mean_drift().to_string(),
+        agent.max_drift.to_string()
+    );
+    println!(
+        "{:<16} {:>12} {:>14} {:>14}",
+        "sendevent",
+        tool.events_replayed,
+        tool.mean_drift().to_string(),
+        tool.max_drift.to_string()
+    );
+    println!(
+        "\n-> the paper reports 0.5-1 s timing variation with manual/naive replay; \
+         the agent holds drift under the simulation quantum"
+    );
+}
+
+fn schedutil_extension() {
+    banner(
+        "ABLATION 6 — post-paper governor: schedutil (Dataset 02)",
+        "did the governor that replaced Interactive close the gap to the oracle?",
+    );
+    let lab = lab_with_reps(1);
+    let w = Dataset::D02.build();
+    let trace = w.script.record_trace();
+    let table = lab.device().config().opps.clone();
+
+    println!("{:<14} {:>12} {:>14} {:>14}", "governor", "energy (J)", "mean lag (ms)", "max lag (ms)");
+    rule(58);
+    for name in ["ondemand", "interactive", "schedutil"] {
+        let mut ond;
+        let mut inter;
+        let mut sched;
+        let gov: &mut dyn interlag_device::dvfs::Governor = match name {
+            "ondemand" => {
+                ond = interlag_governors::Ondemand::default();
+                &mut ond
+            }
+            "interactive" => {
+                inter = Interactive::for_table(&table);
+                &mut inter
+            }
+            _ => {
+                sched = interlag_governors::Schedutil::default();
+                &mut sched
+            }
+        };
+        let run = lab.run(&w, trace.clone(), gov);
+        let energy = lab.meter().measure(&run.activity).dynamic_mj / 1_000.0;
+        let lags: Vec<f64> = run
+            .interactions
+            .iter()
+            .filter_map(|r| r.true_lag())
+            .map(|l| l.as_millis_f64())
+            .collect();
+        let mean = lags.iter().sum::<f64>() / lags.len() as f64;
+        let max = lags.iter().cloned().fold(0.0, f64::max);
+        println!("{:<14} {:>12.2} {:>14.0} {:>14.0}", name, energy, mean, max);
+    }
+    println!(
+        "\n-> in this model schedutil is the snappiest load-driven governor but its \
+         headroom keeps background work at elevated clocks: the paper's gap persists"
+    );
+}
+
+fn race_to_idle() {
+    banner(
+        "ABLATION 5 — race-to-idle: dynamic energy to execute 1 Gcycle",
+        "the U-shape behind choosing 0.96 GHz for non-lag periods (§IV)",
+    );
+    let table = OppTable::snapdragon_8074();
+    let measured = calibrate(&table, &PowerModel::krait_like(), &CalibrationConfig::default());
+    println!("{:<12} {:>14} {:>16}", "frequency", "energy (mJ)", "vs optimum");
+    rule(46);
+    let opt = measured.energy_per_cycle_nj(measured.most_efficient_freq());
+    for f in table.frequencies() {
+        let e = measured.energy_per_cycle_nj(f); // nJ/cycle == mJ/Gcycle
+        println!("{:<12} {:>14.1} {:>15.2}x", f.to_string(), e * 1_000.0, e / opt);
+    }
+    println!("\noptimum: {} (paper: 0.96 GHz)", measured.most_efficient_freq());
+}
+
+fn main() {
+    suggester_still_run();
+    capture_paths();
+    interactive_input_boost();
+    replay_fidelity();
+    race_to_idle();
+    schedutil_extension();
+}

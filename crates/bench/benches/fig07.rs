@@ -1,0 +1,106 @@
+//! Figure 7 — the suggester at work: the 0/1 change sequence of the video
+//! during a Gallery launch at the lowest CPU frequency, the suggested lag
+//! endings, and the §II-D claims (8–10 suggestions for the ~200-frame
+//! load; a ~20× reduction in frames a human must look at; setting the
+//! required still period to 30 cuts the suggestions further).
+
+use interlag_bench::{banner, lab_with_reps};
+use interlag_core::suggester::{Suggester, SuggesterConfig};
+use interlag_device::dvfs::FixedGovernor;
+use interlag_workloads::datasets::Dataset;
+
+fn main() {
+    let workload = Dataset::D01.build();
+    let lab = lab_with_reps(1);
+
+    // Capture the reference video at the lowest frequency — loading is
+    // slowest there, giving the richest suggestion window.
+    let trace = workload.script.record_trace();
+    let mut gov = FixedGovernor::new(lab.device().config().opps.min_freq());
+    let run = lab.run(&workload, trace, &mut gov);
+    let video = run.video.as_ref().expect("capture on");
+
+    // The Gallery launch is the first interaction.
+    let beginnings = run.lag_beginnings();
+    let (first_id, input) = beginnings[0];
+    let window_end = beginnings[1].1;
+
+    let mask = {
+        let screen = lab.device().config().screen;
+        let mut m = screen.status_bar_mask();
+        m.exclude(screen.cursor_rect);
+        m.exclude(screen.spinner_rect);
+        m
+    };
+    let suggester = Suggester::new(SuggesterConfig { mask: mask.clone(), ..Default::default() });
+
+    banner(
+        "FIGURE 7 — suggester change sequence and suggestions",
+        &format!(
+            "Dataset 01, interaction {first_id} ('launch Gallery') at 0.30 GHz; \
+             input at frame {}",
+            video.first_frame_at_or_after(input)
+        ),
+    );
+
+    // The inner representation: run-length encoded ones and zeros.
+    let first = video.first_frame_at_or_after(input);
+    let last = video.first_frame_at_or_after(window_end);
+    let changes = suggester.change_sequence(video, first, last);
+    let mut rle = String::new();
+    let mut i = 0;
+    while i < changes.len() {
+        let bit = changes[i];
+        let mut n = 1;
+        while i + n < changes.len() && changes[i + n] == bit {
+            n += 1;
+        }
+        use std::fmt::Write as _;
+        if n <= 3 {
+            for _ in 0..n {
+                rle.push(if bit { '1' } else { '0' });
+            }
+        } else {
+            let _ = write!(rle, "{}{{{n}}}", if bit { '1' } else { '0' });
+        }
+        i += n;
+    }
+    println!("change sequence (run-length): {rle}");
+
+    let suggestions = suggester.suggest(video, input, window_end);
+    println!("\nsuggested lag-ending frames:");
+    for s in &suggestions {
+        println!(
+            "  frame {:>6} at {:>8.2} s (still for {} frames)",
+            s.frame_index,
+            s.time.as_secs_f64(),
+            s.still_run
+        );
+    }
+
+    let frames = suggester.frames_in_window(video, input, window_end);
+    println!(
+        "\n{} suggestions out of {} frames in the window -> reduction factor {:.0}x",
+        suggestions.len(),
+        frames,
+        frames as f64 / suggestions.len().max(1) as f64
+    );
+    println!("(paper: 8-10 suggestions for the Gallery load, factor ~20)");
+
+    // §II-D: requiring 30 still frames thins the suggestions.
+    let strict = Suggester::new(SuggesterConfig { mask, min_still_run: 30, ..Default::default() });
+    let strict_suggestions = strict.suggest(video, input, window_end);
+    println!(
+        "\nwith min_still_run = 30: {} suggestions (paper: \"reduced to 2\")",
+        strict_suggestions.len()
+    );
+
+    // The true ending must always remain among the suggestions.
+    let service = run.interactions[first_id].service_time.expect("serviced");
+    assert!(
+        suggestions.iter().any(|s| s.time >= service
+            && s.time.as_micros() - service.as_micros() < 40_000),
+        "the true ending frame must be suggested"
+    );
+    println!("\ntrue ending is among the suggestions: OK");
+}

@@ -1,0 +1,78 @@
+//! Figure 10 — input classification for all workloads including the
+//! 24-hour recording: taps vs swipes (left bars) and actual vs spurious
+//! lags (right bars).
+//!
+//! Taps/swipes are reconstructed from the raw recorded traces by the
+//! multi-touch classifier; actual/spurious lags come from replaying each
+//! workload once and observing which inputs the apps reacted to.
+
+use interlag_bench::{banner, lab_with_reps, rule};
+use interlag_device::device::CaptureMode;
+use interlag_device::dvfs::FixedGovernor;
+use interlag_evdev::classify::{classify_trace, count_inputs, ClassifierConfig};
+use interlag_workloads::datasets::Dataset;
+
+fn main() {
+    banner(
+        "FIGURE 10 — input classification per dataset",
+        "left bars: taps / swipes; right bars: actual lags / spurious lags",
+    );
+    println!(
+        "{:<8} {:>6} {:>7} {:>6} {:>7} {:>12} {:>14}",
+        "Dataset", "taps", "swipes", "keys", "total", "actual lags", "spurious lags"
+    );
+    rule(72);
+
+    // The 24-hour run only needs ground truth, not video.
+    let mut lab_cfg = interlag_core::experiment::LabConfig::default();
+    lab_cfg.device.capture = CaptureMode::None;
+    let lab = lab_with_reps(1);
+    drop(lab); // classification path builds its own device below
+    let device = interlag_device::device::Device::new(lab_cfg.device.clone());
+
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    for ds in Dataset::TEN_MINUTE.iter().copied().chain([Dataset::Day24h]) {
+        let w = ds.build();
+        let trace = w.script.record_trace();
+        let inputs = classify_trace(&trace, &ClassifierConfig::default());
+        let counts = count_inputs(&inputs);
+
+        let mut gov = FixedGovernor::new(lab_cfg.device.opps.max_freq());
+        let run = device.run(
+            &w.script,
+            interlag_evdev::replay::ReplayAgent::new(trace),
+            &mut gov,
+            w.run_until(),
+        );
+        let actual = run.interactions.iter().filter(|r| r.triggered && !r.spurious).count();
+        let spurious = run.interactions.iter().filter(|r| r.triggered && r.spurious).count();
+
+        println!(
+            "{:<8} {:>6} {:>7} {:>6} {:>7} {:>12} {:>14}",
+            w.name,
+            counts.taps,
+            counts.swipes,
+            counts.keys,
+            counts.total(),
+            actual,
+            spurious
+        );
+        if ds != Dataset::Day24h {
+            totals.0 += counts.taps;
+            totals.1 += counts.swipes;
+            totals.2 += counts.total();
+            totals.3 += actual;
+        }
+    }
+    rule(72);
+    println!(
+        "{:<8} {:>6.1} {:>7.1} {:>6} {:>7.1} {:>12.1}",
+        "average",
+        totals.0 as f64 / 5.0,
+        totals.1 as f64 / 5.0,
+        "",
+        totals.2 as f64 / 5.0,
+        totals.3 as f64 / 5.0,
+    );
+    println!("\n(paper event counts: 68, 149, 76, 114, 83, average 98, 24 hour 218)");
+}

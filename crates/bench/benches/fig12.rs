@@ -1,0 +1,56 @@
+//! Figure 12 — user irritation (left) and energy normalised to the oracle
+//! (right) for every frequency configuration of Dataset 02, including the
+//! governor-only inset of the irritation plot.
+
+use interlag_bench::{banner, reps, rule, run_study};
+use interlag_workloads::datasets::Dataset;
+
+fn main() {
+    let (_, study) = run_study(Dataset::D02, reps());
+
+    banner(
+        "FIGURE 12 (left) — user irritation, Dataset 02",
+        "total seconds of irritation; thresholds at 110 % of the fastest frequency",
+    );
+    println!("{:<16} {:>14}", "config", "irritation (s)");
+    rule(32);
+    for c in study.all_configs() {
+        println!("{:<16} {:>14.2}", c.name, c.mean_irritation().as_secs_f64());
+    }
+
+    banner(
+        "FIGURE 12 (left, inset) — governors only",
+        "(paper: conservative 47.43, interactive 0.69, ondemand 0.23, oracle 0.00)",
+    );
+    for name in ["conservative", "interactive", "ondemand", "oracle"] {
+        let c = study.config(name).expect("study config");
+        println!("{:<16} {:>10.2}", name, c.mean_irritation().as_secs_f64());
+    }
+
+    banner(
+        "FIGURE 12 (right) — energy normalised to the oracle, Dataset 02",
+        "(paper labels: 0.96 GHz most efficient at 0.85; 2.15 GHz at 1.47; \
+         conservative 0.90, interactive 1.24, ondemand 1.22)",
+    );
+    println!("{:<16} {:>11} {:>10}", "config", "energy (J)", "vs oracle");
+    rule(40);
+    let mut best_fixed = ("", f64::INFINITY);
+    for c in study.all_configs() {
+        let norm = study.energy_normalised(c);
+        if c.freq.is_some() && norm < best_fixed.1 {
+            best_fixed = (c.name.as_str(), norm);
+        }
+        println!("{:<16} {:>11.2} {:>9.2}x", c.name, c.mean_energy_mj() / 1_000.0, norm);
+    }
+    println!(
+        "\nmost energy-efficient fixed frequency: {} at {:.2}x oracle \
+         (paper: 0.96 GHz)",
+        best_fixed.0, best_fixed.1
+    );
+    assert_eq!(best_fixed.0, "fixed-0.96 GHz", "race-to-idle optimum must be 0.96 GHz");
+    let cons = study.energy_normalised(study.config("conservative").expect("present"));
+    let ond = study.energy_normalised(study.config("ondemand").expect("present"));
+    assert!(cons < 1.05, "conservative near or below the oracle (got {cons:.2})");
+    assert!(ond > 1.1, "ondemand clearly above the oracle (got {ond:.2})");
+    println!("shape checks (0.96 GHz optimum, conservative <= oracle < ondemand): OK");
+}

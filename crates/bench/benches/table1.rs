@@ -1,0 +1,36 @@
+//! Table I — the workloads: "a rough description of the main activities
+//! the users were executing in each workload", extended with the measured
+//! session statistics the text quotes (ten-minute length, interaction
+//! intensity).
+
+use interlag_bench::{banner, rule};
+use interlag_evdev::classify::{classify_trace, count_inputs, ClassifierConfig};
+use interlag_workloads::datasets::Dataset;
+
+fn main() {
+    banner(
+        "TABLE I — the recorded workloads",
+        "dataset descriptions plus measured session statistics",
+    );
+    println!(
+        "{:<8} {:<52} {:>7} {:>7} {:>8}",
+        "Dataset", "Description", "inputs", "length", "events"
+    );
+    rule(88);
+    for ds in Dataset::TEN_MINUTE.iter().copied().chain([Dataset::Day24h]) {
+        let w = ds.build();
+        let trace = w.script.record_trace();
+        let inputs = classify_trace(&trace, &ClassifierConfig::default());
+        let counts = count_inputs(&inputs);
+        println!(
+            "{:<8} {:<52} {:>7} {:>6.0}s {:>8}",
+            w.name,
+            w.description,
+            counts.total(),
+            w.duration.as_secs_f64(),
+            trace.len(),
+        );
+    }
+    println!();
+    println!("(inputs = user-level taps/swipes/keys; events = raw evdev events)");
+}

@@ -1,0 +1,538 @@
+//! The experiment laboratory: the paper's §III pipeline end to end.
+//!
+//! One [`Lab`] owns the simulated bench setup — device, HDMI capture,
+//! calibrated power rig, suggester settings — and runs complete studies:
+//!
+//! 1. **Record** the workload's input trace.
+//! 2. **Annotate** it once (Part A of Figure 4): reference execution at
+//!    the fastest frequency, suggester + picker → annotation database.
+//! 3. **Replay** under every configuration (14 fixed frequencies, the
+//!    three governors, the oracle), repeating each run with small input
+//!    jitter as the paper repeats runs to bound statistical error.
+//! 4. **Mark up** every captured video with the matcher → lag profiles.
+//! 5. **Meter** energy from the frequency/load traces, and score user
+//!    irritation against 110 % of the fastest frequency's profile.
+
+use std::collections::BTreeMap;
+
+use interlag_device::device::{CaptureMode, Device, DeviceConfig, RunArtifacts};
+use interlag_device::dvfs::{FixedGovernor, Governor};
+use interlag_evdev::replay::ReplayAgent;
+use interlag_evdev::rng::SplitMix64;
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_evdev::trace::EventTrace;
+use interlag_governors::plan::PlanGovernor;
+use interlag_governors::{Conservative, Interactive, Ondemand};
+use interlag_power::calibrate::{calibrate, CalibrationConfig, MeasuredPowerTable};
+use interlag_power::energy::EnergyMeter;
+use interlag_power::model::PowerModel;
+use interlag_power::opp::Frequency;
+use interlag_video::mask::{Mask, MatchTolerance};
+use interlag_workloads::gen::Workload;
+
+use crate::annotation::{annotate, AnnotationDb, AnnotationStats, GroundTruthPicker};
+use crate::irritation::{user_irritation, ThresholdModel};
+use crate::matcher::mark_up;
+use crate::oracle::{build_oracle, Oracle, OracleConfig};
+use crate::profile::LagProfile;
+use crate::suggester::{Suggester, SuggesterConfig};
+
+/// Laboratory configuration.
+#[derive(Debug, Clone)]
+pub struct LabConfig {
+    /// The simulated device (capture mode is forced to HDMI for studies).
+    pub device: DeviceConfig,
+    /// Power-rig calibration settings.
+    pub calibration: CalibrationConfig,
+    /// Minimum still run required by the suggester.
+    pub min_still_run: u32,
+    /// Match tolerance stored into annotations.
+    pub tolerance: MatchTolerance,
+    /// Repetitions per configuration (the paper uses 5).
+    pub reps: u32,
+    /// Input-timing jitter between repetitions, microseconds.
+    pub jitter_us: u64,
+}
+
+impl Default for LabConfig {
+    fn default() -> Self {
+        LabConfig {
+            device: DeviceConfig::default(),
+            calibration: CalibrationConfig::default(),
+            min_still_run: 1,
+            tolerance: MatchTolerance::EXACT,
+            reps: 1,
+            jitter_us: 1_500,
+        }
+    }
+}
+
+/// One repetition's measurements for one configuration.
+#[derive(Debug, Clone)]
+pub struct RepResult {
+    /// The measured lag profile.
+    pub profile: LagProfile,
+    /// Dynamic (above-idle) energy, millijoules.
+    pub dynamic_energy_mj: f64,
+    /// Total user irritation under the study's threshold model.
+    pub irritation: SimDuration,
+    /// Lags the matcher could not resolve (should be zero).
+    pub match_failures: usize,
+}
+
+/// All repetitions of one configuration.
+#[derive(Debug, Clone)]
+pub struct ConfigSummary {
+    /// Configuration name as the paper labels it.
+    pub name: String,
+    /// The pinned frequency for fixed configurations.
+    pub freq: Option<Frequency>,
+    /// Per-repetition results.
+    pub reps: Vec<RepResult>,
+}
+
+impl ConfigSummary {
+    /// Mean dynamic energy across repetitions.
+    pub fn mean_energy_mj(&self) -> f64 {
+        if self.reps.is_empty() {
+            return 0.0;
+        }
+        self.reps.iter().map(|r| r.dynamic_energy_mj).sum::<f64>() / self.reps.len() as f64
+    }
+
+    /// Mean irritation across repetitions.
+    pub fn mean_irritation(&self) -> SimDuration {
+        if self.reps.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: SimDuration = self.reps.iter().map(|r| r.irritation).sum();
+        total / self.reps.len() as u64
+    }
+
+    /// Every measured lag, pooled across repetitions (Figure 11's violins
+    /// pool repetitions the same way).
+    pub fn pooled_lags_ms(&self) -> Vec<f64> {
+        self.reps.iter().flat_map(|r| r.profile.lags_ms()).collect()
+    }
+}
+
+/// A complete per-workload study: Figures 11–14 read straight out of it.
+#[derive(Debug, Clone)]
+pub struct StudyResult {
+    /// Which workload was studied.
+    pub workload: String,
+    /// Annotation-session statistics (Part A).
+    pub annotation: AnnotationStats,
+    /// The annotation database (reusable for further runs).
+    pub db: AnnotationDb,
+    /// Fixed-frequency configurations, slowest first.
+    pub fixed: Vec<ConfigSummary>,
+    /// The governors, in the paper's order: conservative, interactive,
+    /// ondemand.
+    pub governors: Vec<ConfigSummary>,
+    /// The oracle.
+    pub oracle: ConfigSummary,
+    /// The oracle's plan and per-lag decisions.
+    pub oracle_detail: Oracle,
+}
+
+impl StudyResult {
+    /// All configurations in the paper's plotting order: fixed slowest →
+    /// fastest, then conservative, interactive, ondemand, oracle.
+    pub fn all_configs(&self) -> impl Iterator<Item = &ConfigSummary> {
+        self.fixed.iter().chain(self.governors.iter()).chain(std::iter::once(&self.oracle))
+    }
+
+    /// A configuration by name.
+    pub fn config(&self, name: &str) -> Option<&ConfigSummary> {
+        self.all_configs().find(|c| c.name == name)
+    }
+
+    /// Mean energy normalised to the oracle, the y-axis of Figure 12
+    /// (right) and Figure 14 (top).
+    pub fn energy_normalised(&self, config: &ConfigSummary) -> f64 {
+        let oracle = self.oracle.mean_energy_mj();
+        if oracle == 0.0 {
+            return 0.0;
+        }
+        config.mean_energy_mj() / oracle
+    }
+}
+
+/// The simulated laboratory.
+#[derive(Debug)]
+pub struct Lab {
+    config: LabConfig,
+    device: Device,
+    meter: EnergyMeter,
+    suggester: Suggester,
+    mask: Mask,
+}
+
+impl Lab {
+    /// Sets up the lab: builds the device and calibrates the power rig
+    /// with the paper's micro-benchmark procedure.
+    pub fn new(mut config: LabConfig) -> Self {
+        config.device.capture = CaptureMode::Hdmi;
+        let measured = calibrate(&config.device.opps, &PowerModel::krait_like(), &config.calibration);
+        let screen = config.device.screen;
+        // The standard mask set: status bar (clock), cursor, spinner.
+        let mask = {
+            let mut m = screen.status_bar_mask();
+            m.exclude(screen.cursor_rect);
+            m.exclude(screen.spinner_rect);
+            m
+        };
+        let suggester = Suggester::new(SuggesterConfig {
+            mask: mask.clone(),
+            tolerance: config.tolerance,
+            min_still_run: config.min_still_run,
+        });
+        let device = Device::new(config.device.clone());
+        Lab { config, device, meter: EnergyMeter::new(measured), suggester, mask }
+    }
+
+    /// The lab with default settings.
+    pub fn with_defaults() -> Self {
+        Lab::new(LabConfig::default())
+    }
+
+    /// The calibrated power table (the oracle's efficient frequency comes
+    /// from here).
+    pub fn power_table(&self) -> &MeasuredPowerTable {
+        self.meter.table()
+    }
+
+    /// The energy meter, for measuring runs outside [`Lab::study`]
+    /// (Figure 3 meters a single window of two runs).
+    pub fn meter(&self) -> &EnergyMeter {
+        &self.meter
+    }
+
+    /// The device in use.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Executes one run of `workload` under `governor`, replaying `trace`.
+    pub fn run(
+        &self,
+        workload: &Workload,
+        trace: EventTrace,
+        governor: &mut dyn Governor,
+    ) -> RunArtifacts {
+        self.device.run(&workload.script, ReplayAgent::new(trace), governor, workload.run_until())
+    }
+
+    /// Part A: annotates the workload from a reference execution at the
+    /// fastest fixed frequency, with the ground-truth picker playing the
+    /// human. Returns the database, session statistics and the reference
+    /// run itself.
+    pub fn annotate_workload(
+        &self,
+        workload: &Workload,
+    ) -> (AnnotationDb, AnnotationStats, RunArtifacts) {
+        let trace = workload.script.record_trace();
+        let mut reference_gov = FixedGovernor::new(self.config.device.opps.max_freq());
+        let run = self.run(workload, trace, &mut reference_gov);
+        let picker = GroundTruthPicker::new(&run);
+        let (db, stats) = annotate(
+            &run,
+            &self.suggester,
+            &picker,
+            &self.mask,
+            self.config.tolerance,
+            &workload.name,
+        );
+        (db, stats, run)
+    }
+
+    /// Part B for one run: marks up the video and meters the energy.
+    /// Irritation is filled in later once the threshold model exists.
+    fn measure(&self, run: &RunArtifacts, db: &AnnotationDb, name: &str) -> RepResult {
+        let video = run.video.as_ref().expect("study runs capture video");
+        let (profile, failures) = mark_up(video, &run.lag_beginnings(), db, name);
+        let energy = self.meter.measure(&run.activity);
+        RepResult {
+            profile,
+            dynamic_energy_mj: energy.dynamic_mj,
+            irritation: SimDuration::ZERO,
+            match_failures: failures.len(),
+        }
+    }
+
+    /// Jitters input timings by ±`jitter_us` (repetition `rep` > 0), the
+    /// run-to-run variation a real rig sees. Event order is preserved.
+    fn jittered_trace(&self, trace: &EventTrace, rep: u32) -> EventTrace {
+        if rep == 0 || self.config.jitter_us == 0 {
+            return trace.clone();
+        }
+        let mut rng = SplitMix64::new(0x0e9_5eed ^ rep as u64);
+        let j = self.config.jitter_us as i64;
+        let mut last = SimTime::ZERO;
+        trace
+            .iter()
+            .map(|e| {
+                let offset = rng.next_range(-j, j);
+                let t = SimTime::from_micros(
+                    (e.time.as_micros() as i64 + offset).max(0) as u64
+                );
+                let t = t.max(last);
+                last = t;
+                interlag_evdev::event::TimedEvent::new(t, e.device, e.event)
+            })
+            .collect()
+    }
+
+    /// Runs the full study for one workload: annotate once, then replay
+    /// under every fixed frequency, every governor and the oracle, with
+    /// the configured repetitions.
+    pub fn study(&self, workload: &Workload) -> StudyResult {
+        let trace = workload.script.record_trace();
+        let (db, annotation, reference_run) = self.annotate_workload(workload);
+        let opps = self.config.device.opps.clone();
+        let reps = self.config.reps.max(1);
+
+        // --- fixed frequencies -------------------------------------------
+        let mut fixed: Vec<ConfigSummary> = Vec::new();
+        for freq in opps.frequencies() {
+            let name = format!("fixed-{freq}");
+            let mut summary = ConfigSummary { name: name.clone(), freq: Some(freq), reps: Vec::new() };
+            for rep in 0..reps {
+                let run = if freq == opps.max_freq() && rep == 0 {
+                    // Reuse the annotation reference run.
+                    reference_run.clone()
+                } else {
+                    let mut gov = FixedGovernor::new(freq);
+                    self.run(workload, self.jittered_trace(&trace, rep), &mut gov)
+                };
+                summary.reps.push(self.measure(&run, &db, &name));
+            }
+            fixed.push(summary);
+        }
+
+        // The threshold models: 110 % of the fastest frequency's profile,
+        // one per repetition — each repetition jitters the input timings,
+        // so a lag must be compared against the reference measured with
+        // the *same* inputs (otherwise frame-grid quantisation leaks a
+        // few spurious milliseconds of irritation into the baselines).
+        let models: Vec<ThresholdModel> = fixed
+            .last()
+            .expect("at least one OPP")
+            .reps
+            .iter()
+            .map(|r| ThresholdModel::paper_rule(r.profile.clone()))
+            .collect();
+
+        // --- governors -----------------------------------------------------
+        let mut governors: Vec<ConfigSummary> = Vec::new();
+        for which in ["conservative", "interactive", "ondemand"] {
+            let mut summary =
+                ConfigSummary { name: which.to_string(), freq: None, reps: Vec::new() };
+            for rep in 0..reps {
+                let mut conservative;
+                let mut interactive;
+                let mut ondemand;
+                let gov: &mut dyn Governor = match which {
+                    "conservative" => {
+                        conservative = Conservative::default();
+                        &mut conservative
+                    }
+                    "interactive" => {
+                        interactive = Interactive::for_table(&opps);
+                        &mut interactive
+                    }
+                    _ => {
+                        ondemand = Ondemand::default();
+                        &mut ondemand
+                    }
+                };
+                let run = self.run(workload, self.jittered_trace(&trace, rep), gov);
+                summary.reps.push(self.measure(&run, &db, which));
+            }
+            governors.push(summary);
+        }
+
+        // --- oracle ----------------------------------------------------------
+        let fixed_profiles: BTreeMap<Frequency, LagProfile> = fixed
+            .iter()
+            .map(|c| (c.freq.expect("fixed configs have a frequency"), c.reps[0].profile.clone()))
+            .collect();
+        let oracle_cfg = OracleConfig::paper(self.power_table().most_efficient_freq());
+        let oracle_detail = build_oracle(&fixed_profiles, &oracle_cfg);
+        let mut oracle_summary =
+            ConfigSummary { name: "oracle".to_string(), freq: None, reps: Vec::new() };
+        for rep in 0..reps {
+            let mut gov = PlanGovernor::new("oracle", oracle_detail.plan.clone());
+            let run = self.run(workload, self.jittered_trace(&trace, rep), &mut gov);
+            oracle_summary.reps.push(self.measure(&run, &db, "oracle"));
+        }
+
+        // --- irritation pass ---------------------------------------------------
+        let mut result = StudyResult {
+            workload: workload.name.clone(),
+            annotation,
+            db,
+            fixed,
+            governors,
+            oracle: oracle_summary,
+            oracle_detail,
+        };
+        for summary in result
+            .fixed
+            .iter_mut()
+            .chain(result.governors.iter_mut())
+            .chain(std::iter::once(&mut result.oracle))
+        {
+            for (rep_idx, rep) in summary.reps.iter_mut().enumerate() {
+                let model = &models[rep_idx.min(models.len() - 1)];
+                rep.irritation = user_irritation(&rep.profile, model).total();
+            }
+        }
+        result
+    }
+}
+
+impl Default for Lab {
+    fn default() -> Self {
+        Lab::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interlag_device::script::InteractionCategory;
+    use interlag_workloads::gen::{WorkloadBuilder, MCYCLES};
+
+    /// A ~25-second workload small enough for debug-mode tests.
+    fn mini_workload() -> Workload {
+        let mut b = WorkloadBuilder::new(0xfee1);
+        b.app_launch("launch", 400 * MCYCLES, 5, InteractionCategory::Common);
+        b.think_ms(2_000, 3_000);
+        b.quick_tap("tap a", 150 * MCYCLES, InteractionCategory::SimpleFrequent);
+        b.think_ms(2_000, 3_000);
+        b.spurious_tap("miss");
+        b.think_ms(1_500, 2_500);
+        b.heavy_with_progress("save", 1_200 * MCYCLES, InteractionCategory::Complex);
+        b.think_ms(2_000, 3_000);
+        b.quick_tap("tap b", 120 * MCYCLES, InteractionCategory::SimpleFrequent);
+        b.background_burst("sync", interlag_evdev::time::SimDuration::from_secs(1), 200 * MCYCLES);
+        b.build("mini", "miniature study workload")
+    }
+
+    fn tiny_lab() -> Lab {
+        // Reduce the OPP sweep cost: keep the full table (the study needs
+        // it) but a single repetition.
+        Lab::new(LabConfig { reps: 1, ..Default::default() })
+    }
+
+    #[test]
+    fn annotation_covers_every_actual_lag() {
+        let lab = tiny_lab();
+        let w = mini_workload();
+        let (db, stats, run) = lab.annotate_workload(&w);
+        assert_eq!(db.len(), run.lag_beginnings().len());
+        assert_eq!(stats.unannotated, 0);
+        assert!(stats.reduction_factor() > 3.0, "factor {}", stats.reduction_factor());
+    }
+
+    #[test]
+    fn matcher_agrees_with_ground_truth_within_a_frame() {
+        let lab = tiny_lab();
+        let w = mini_workload();
+        let (db, _, _) = lab.annotate_workload(&w);
+        // Measure a *different* configuration than the annotation
+        // reference.
+        let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
+        let run = lab.run(&w, w.script.record_trace(), &mut gov);
+        let video = run.video.as_ref().unwrap();
+        let (profile, failures) = mark_up(video, &run.lag_beginnings(), &db, "fixed-0.96");
+        assert!(failures.is_empty(), "failures: {failures:?}");
+        let budget = lab.config.device.frame_period + lab.config.device.quantum * 2;
+        for rec in run.interactions.iter().filter(|r| !r.spurious && r.triggered) {
+            let truth = rec.true_lag().expect("serviced");
+            let measured = profile.lag_of(rec.id).expect("matched");
+            let err = if measured > truth { measured - truth } else { truth - measured };
+            assert!(
+                err <= budget,
+                "lag {}: measured {measured} vs truth {truth}",
+                rec.id
+            );
+        }
+    }
+
+    #[test]
+    fn study_produces_the_full_configuration_matrix() {
+        let lab = tiny_lab();
+        let w = mini_workload();
+        let study = lab.study(&w);
+        assert_eq!(study.fixed.len(), 14);
+        assert_eq!(study.governors.len(), 3);
+        assert_eq!(study.all_configs().count(), 18);
+        // Every config measured every lag.
+        let lags = study.db.len();
+        for c in study.all_configs() {
+            assert_eq!(c.reps.len(), 1);
+            assert_eq!(c.reps[0].profile.len(), lags, "{}", c.name);
+            assert_eq!(c.reps[0].match_failures, 0, "{}", c.name);
+            assert!(c.reps[0].dynamic_energy_mj > 0.0);
+        }
+    }
+
+    #[test]
+    fn fastest_fixed_and_oracle_do_not_irritate() {
+        let lab = tiny_lab();
+        let w = mini_workload();
+        let study = lab.study(&w);
+        let fastest = study.fixed.last().unwrap();
+        assert_eq!(fastest.mean_irritation(), SimDuration::ZERO);
+        assert_eq!(study.oracle.mean_irritation(), SimDuration::ZERO);
+        // The slowest fixed frequency irritates.
+        assert!(study.fixed[0].mean_irritation() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn lag_medians_shrink_with_frequency() {
+        let lab = tiny_lab();
+        let w = mini_workload();
+        let study = lab.study(&w);
+        let mean_of = |c: &ConfigSummary| c.reps[0].profile.mean_lag();
+        let slow = mean_of(&study.fixed[0]);
+        let mid = mean_of(&study.fixed[5]);
+        let fast = mean_of(study.fixed.last().unwrap());
+        assert!(slow > mid && mid > fast, "{slow} > {mid} > {fast}");
+    }
+
+    #[test]
+    fn oracle_energy_beats_fastest_fixed() {
+        let lab = tiny_lab();
+        let w = mini_workload();
+        let study = lab.study(&w);
+        let fastest = study.fixed.last().unwrap();
+        assert!(
+            study.oracle.mean_energy_mj() < fastest.mean_energy_mj(),
+            "oracle {} vs fixed-max {}",
+            study.oracle.mean_energy_mj(),
+            fastest.mean_energy_mj()
+        );
+    }
+
+    #[test]
+    fn repetitions_vary_but_agree() {
+        let lab = Lab::new(LabConfig { reps: 2, ..Default::default() });
+        let mut b = WorkloadBuilder::new(0xabc);
+        b.app_launch("launch", 300 * MCYCLES, 4, InteractionCategory::Common);
+        b.think_ms(1_500, 2_000);
+        b.quick_tap("tap", 100 * MCYCLES, InteractionCategory::SimpleFrequent);
+        let w = b.build("mini2", "two-interaction workload");
+        let study = lab.study(&w);
+        let ond = study.config("ondemand").unwrap();
+        assert_eq!(ond.reps.len(), 2);
+        let (a, b_) = (&ond.reps[0], &ond.reps[1]);
+        // Jitter introduces some variation, but the same order of
+        // magnitude.
+        let ratio = a.dynamic_energy_mj / b_.dynamic_energy_mj;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+}

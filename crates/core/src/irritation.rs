@@ -1,0 +1,200 @@
+//! The user-irritation metric (§II-F, Figure 9).
+//!
+//! Each interaction lag has an *irritation threshold*: the longest wait
+//! the user accepts without noticing. Lags below their threshold do not
+//! irritate; lags above contribute a penalty equal to the excess. The
+//! metric is the sum of penalties — "the total amount of time a user is
+//! irritated by too long lag times" over a workload.
+//!
+//! Three threshold models are provided, matching the paper's options: the
+//! annotated per-lag thresholds (Shneiderman HCI categories chosen at
+//! annotation time), a single fixed threshold, and the study's
+//! "110 % of what the fastest frequency could achieve" rule (§III-B),
+//! under which the fastest configuration and the oracle are by definition
+//! not irritating.
+
+use serde::{Deserialize, Serialize};
+
+use interlag_evdev::time::SimDuration;
+
+use crate::profile::LagProfile;
+
+/// How per-lag irritation thresholds are chosen.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThresholdModel {
+    /// Use the threshold annotated with each lag (the HCI categories).
+    Annotated,
+    /// One threshold for every lag.
+    Fixed(SimDuration),
+    /// `factor ×` the lag the reference (fastest-frequency) profile
+    /// measured for the same interaction; lags missing from the reference
+    /// fall back to the annotated threshold. The paper uses factor 1.1.
+    RelativeToReference {
+        /// The fastest-frequency lag profile.
+        reference: LagProfile,
+        /// The slack factor (1.1 in the paper).
+        factor: f64,
+    },
+}
+
+impl ThresholdModel {
+    /// The study's standard model: 110 % of the reference profile.
+    pub fn paper_rule(reference: LagProfile) -> Self {
+        ThresholdModel::RelativeToReference { reference, factor: 1.1 }
+    }
+
+    /// The threshold for one lag entry.
+    pub fn threshold_for(&self, entry: &crate::profile::LagEntry) -> SimDuration {
+        match self {
+            ThresholdModel::Annotated => entry.threshold,
+            ThresholdModel::Fixed(t) => *t,
+            ThresholdModel::RelativeToReference { reference, factor } => reference
+                .lag_of(entry.interaction_id)
+                .map(|l| l.mul_f64(*factor))
+                .unwrap_or(entry.threshold),
+        }
+    }
+}
+
+/// One lag's contribution to the metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LagPenalty {
+    /// The interaction.
+    pub interaction_id: usize,
+    /// The measured lag.
+    pub lag: SimDuration,
+    /// The threshold applied.
+    pub threshold: SimDuration,
+    /// `max(0, lag − threshold)`.
+    pub penalty: SimDuration,
+}
+
+/// The user-irritation report of one execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IrritationReport {
+    /// Which configuration was measured.
+    pub config: String,
+    /// Per-lag penalties, in interaction order.
+    pub penalties: Vec<LagPenalty>,
+}
+
+impl IrritationReport {
+    /// Total irritation: the paper's headline per-configuration number.
+    pub fn total(&self) -> SimDuration {
+        self.penalties.iter().map(|p| p.penalty).sum()
+    }
+
+    /// How many lags irritated at all.
+    pub fn irritating_lags(&self) -> usize {
+        self.penalties.iter().filter(|p| !p.penalty.is_zero()).count()
+    }
+}
+
+/// Computes the irritation metric for one lag profile.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_core::irritation::{user_irritation, ThresholdModel};
+/// use interlag_core::profile::{LagEntry, LagProfile};
+/// use interlag_evdev::time::{SimDuration, SimTime};
+///
+/// let mut p = LagProfile::new("conservative");
+/// p.push(LagEntry {
+///     interaction_id: 0,
+///     input_time: SimTime::ZERO,
+///     lag: SimDuration::from_millis(1_400),
+///     threshold: SimDuration::from_secs(1),
+/// });
+/// let report = user_irritation(&p, &ThresholdModel::Annotated);
+/// assert_eq!(report.total(), SimDuration::from_millis(400));
+/// ```
+pub fn user_irritation(profile: &LagProfile, model: &ThresholdModel) -> IrritationReport {
+    let penalties = profile
+        .entries()
+        .iter()
+        .map(|e| {
+            let threshold = model.threshold_for(e);
+            LagPenalty {
+                interaction_id: e.interaction_id,
+                lag: e.lag,
+                threshold,
+                penalty: e.lag.saturating_sub(threshold),
+            }
+        })
+        .collect();
+    IrritationReport { config: profile.config.clone(), penalties }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::LagEntry;
+    use interlag_evdev::time::SimTime;
+
+    fn profile(lags_ms: &[u64]) -> LagProfile {
+        let mut p = LagProfile::new("test");
+        for (i, &ms) in lags_ms.iter().enumerate() {
+            p.push(LagEntry {
+                interaction_id: i,
+                input_time: SimTime::from_secs(i as u64),
+                lag: SimDuration::from_millis(ms),
+                threshold: SimDuration::from_millis(1_000),
+            });
+        }
+        p
+    }
+
+    #[test]
+    fn annotated_thresholds() {
+        let p = profile(&[500, 1_000, 1_600]);
+        let r = user_irritation(&p, &ThresholdModel::Annotated);
+        assert_eq!(r.total(), SimDuration::from_millis(600));
+        assert_eq!(r.irritating_lags(), 1);
+    }
+
+    #[test]
+    fn fixed_threshold() {
+        let p = profile(&[500, 1_000, 1_600]);
+        let r = user_irritation(&p, &ThresholdModel::Fixed(SimDuration::from_millis(400)));
+        assert_eq!(r.total(), SimDuration::from_millis(100 + 600 + 1_200));
+        assert_eq!(r.irritating_lags(), 3);
+    }
+
+    #[test]
+    fn paper_rule_gives_reference_zero_irritation() {
+        let fastest = profile(&[100, 200, 300]);
+        let model = ThresholdModel::paper_rule(fastest.clone());
+        // The reference itself is never irritating under its own rule.
+        let r = user_irritation(&fastest, &model);
+        assert_eq!(r.total(), SimDuration::ZERO);
+        // A profile 5 % slower is inside the 10 % slack.
+        let near = profile(&[105, 210, 315]);
+        assert_eq!(user_irritation(&near, &model).total(), SimDuration::ZERO);
+        // A profile 50 % slower pays the excess over 110 %.
+        let slow = profile(&[150, 300, 450]);
+        let r = user_irritation(&slow, &model);
+        assert_eq!(
+            r.total(),
+            SimDuration::from_millis((150 - 110) + (300 - 220) + (450 - 330))
+        );
+    }
+
+    #[test]
+    fn missing_reference_lag_falls_back_to_annotated() {
+        let mut reference = profile(&[100]);
+        reference.push(LagEntry {
+            interaction_id: 42, // unrelated id
+            input_time: SimTime::ZERO,
+            lag: SimDuration::from_millis(1),
+            threshold: SimDuration::from_millis(1),
+        });
+        let model =
+            ThresholdModel::RelativeToReference { reference, factor: 1.1 };
+        let p = profile(&[500, 1_500]); // id 1 missing from reference
+        let r = user_irritation(&p, &model);
+        // id 0: threshold 110 ms → 390 ms penalty; id 1: falls back to the
+        // annotated 1 s → 500 ms penalty.
+        assert_eq!(r.total(), SimDuration::from_millis(390 + 500));
+    }
+}

@@ -1,0 +1,69 @@
+//! # interlag-core — measuring QoE of interactive workloads
+//!
+//! The primary contribution of *Seeker, Petoumenos, Leather & Franke:
+//! "Measuring QoE of Interactive Workloads and Characterising Frequency
+//! Governors on Mobile Devices" (IISWC 2014)*, reproduced as a library:
+//!
+//! * [`suggester`] — semi-automatic lag-ending discovery over captured
+//!   video (§II-D, Figure 7);
+//! * [`annotation`] — the once-per-workload image database of expected
+//!   lag endings (Part A of Figure 4);
+//! * [`matcher`] — fully automatic markup of any further execution
+//!   (§II-E, Part B of Figure 4);
+//! * [`profile`] — interaction-lag profiles;
+//! * [`irritation`] — the user-irritation metric (§II-F, Figure 9);
+//! * [`jank`] — dropped-frame analysis of animation windows (the §VI
+//!   future work, implemented);
+//! * [`oracle`] — composing the optimal frequency trace from
+//!   fixed-frequency runs (§III-B);
+//! * [`experiment`] — the whole §III pipeline: record → annotate →
+//!   replay × 18 configurations → mark up → meter energy → score
+//!   irritation;
+//! * [`report`] — CSV/Markdown exporters for study results;
+//! * [`stats`] — quartiles, KDE and summaries for the evaluation figures.
+//!
+//! # Examples
+//!
+//! Run a miniature end-to-end study:
+//!
+//! ```
+//! use interlag_core::experiment::{Lab, LabConfig};
+//! use interlag_device::script::InteractionCategory;
+//! use interlag_workloads::gen::{WorkloadBuilder, MCYCLES};
+//!
+//! let mut b = WorkloadBuilder::new(7);
+//! b.app_launch("open app", 300 * MCYCLES, 4, InteractionCategory::Common);
+//! b.think_ms(1_500, 2_500);
+//! b.quick_tap("tap", 100 * MCYCLES, InteractionCategory::SimpleFrequent);
+//! let workload = b.build("demo", "doc-test workload");
+//!
+//! let lab = Lab::new(LabConfig::default());
+//! let study = lab.study(&workload);
+//! assert_eq!(study.all_configs().count(), 18); // 14 fixed + 3 governors + oracle
+//! let ondemand = study.config("ondemand").unwrap();
+//! assert!(study.energy_normalised(ondemand) > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod annotation;
+pub mod experiment;
+pub mod irritation;
+pub mod jank;
+pub mod matcher;
+pub mod oracle;
+pub mod profile;
+pub mod report;
+pub mod stats;
+pub mod suggester;
+
+pub use annotation::{annotate, AnnotationDb, AnnotationStats, FramePicker, GroundTruthPicker};
+pub use experiment::{ConfigSummary, Lab, LabConfig, RepResult, StudyResult};
+pub use irritation::{user_irritation, IrritationReport, ThresholdModel};
+pub use jank::{measure_jank, JankReport};
+pub use matcher::{mark_up, MatchFailure, MatchedLag, Matcher};
+pub use oracle::{build_oracle, Oracle, OracleConfig, OracleDecision};
+pub use profile::{LagEntry, LagProfile};
+pub use report::{oracle_csv, profile_csv, study_csv, study_markdown};
+pub use suggester::{Suggester, SuggesterConfig, Suggestion};

@@ -1,0 +1,258 @@
+//! The matcher: fully automatic markup of workload videos (§II-E).
+//!
+//! Given a video of *any* execution of an annotated workload and the
+//! timestamps of its inputs, the matcher walks the frames from each lag
+//! beginning and finds the first frame matching the annotated ending image
+//! (at the annotated occurrence, under the annotated mask and tolerance).
+//! The output is the lag profile — one measured lag length per
+//! interaction — with zero human involvement, which is what makes the
+//! 85-execution studies of §III affordable.
+
+use serde::{Deserialize, Serialize};
+
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_video::stream::VideoStream;
+
+use crate::annotation::{AnnotationDb, LagAnnotation};
+use crate::profile::{LagEntry, LagProfile};
+
+/// One matched lag ending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchedLag {
+    /// The interaction whose ending was found.
+    pub interaction_id: usize,
+    /// Index of the ending frame.
+    pub end_frame: u32,
+    /// Presentation time of the ending frame.
+    pub end_time: SimTime,
+    /// The measured interaction lag (ending frame time − input time).
+    pub lag: SimDuration,
+}
+
+/// Why a lag could not be matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MatchFailure {
+    /// The interaction has no annotation in the database.
+    NotAnnotated,
+    /// The video ended before the annotated image appeared (the run's
+    /// slack was too short, or the system never serviced the input).
+    EndingNotFound,
+}
+
+/// The matcher algorithm.
+///
+/// # Examples
+///
+/// See [`mark_up`] and the crate-level documentation; unit tests below
+/// exercise the occurrence logic directly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Matcher;
+
+impl Matcher {
+    /// Creates a matcher.
+    pub fn new() -> Self {
+        Matcher
+    }
+
+    /// Finds the ending of one lag: the first frame at/after `input_time`
+    /// whose contents match the annotation, honouring the annotated
+    /// occurrence count (a run of consecutive matching frames is one
+    /// occurrence).
+    ///
+    /// # Errors
+    ///
+    /// [`MatchFailure::EndingNotFound`] if the video ends first.
+    pub fn match_lag(
+        &self,
+        video: &VideoStream,
+        input_time: SimTime,
+        annotation: &LagAnnotation,
+    ) -> Result<MatchedLag, MatchFailure> {
+        let first = video.first_frame_at_or_after(input_time);
+        let mut remaining = annotation.occurrence.max(1);
+        let mut in_match = false;
+        for frame in &video.frames()[first as usize..] {
+            // The annotation image has its mask burned in; apply the same
+            // masking to the candidate by comparing under the mask (the
+            // mask zeroes the same pixels on both sides, and masked
+            // comparison ignores them anyway).
+            let matches = annotation.tolerance.matches(&annotation.mask, &annotation.image, &frame.buf);
+            if matches && !in_match {
+                remaining -= 1;
+                if remaining == 0 {
+                    return Ok(MatchedLag {
+                        interaction_id: annotation.interaction_id,
+                        end_frame: frame.index,
+                        end_time: frame.time,
+                        lag: frame.time.saturating_since(input_time),
+                    });
+                }
+            }
+            in_match = matches;
+        }
+        Err(MatchFailure::EndingNotFound)
+    }
+}
+
+/// Marks up a whole video: produces the lag profile of one execution.
+///
+/// `lag_beginnings` are `(interaction id, input time)` pairs, e.g. from
+/// [`RunArtifacts::lag_beginnings`](interlag_device::device::RunArtifacts::lag_beginnings)
+/// or — on real traces — from the input classifier. Failures are reported
+/// alongside the profile rather than silently dropped.
+pub fn mark_up(
+    video: &VideoStream,
+    lag_beginnings: &[(usize, SimTime)],
+    db: &AnnotationDb,
+    config_name: &str,
+) -> (LagProfile, Vec<(usize, MatchFailure)>) {
+    let matcher = Matcher::new();
+    let mut profile = LagProfile::new(config_name);
+    let mut failures = Vec::new();
+    for &(id, input_time) in lag_beginnings {
+        match db.get(id) {
+            None => failures.push((id, MatchFailure::NotAnnotated)),
+            Some(annotation) => match matcher.match_lag(video, input_time, annotation) {
+                Ok(m) => profile.push(LagEntry {
+                    interaction_id: id,
+                    input_time,
+                    lag: m.lag,
+                    threshold: annotation.threshold,
+                }),
+                Err(f) => failures.push((id, f)),
+            },
+        }
+    }
+    (profile, failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interlag_video::frame::FrameBuffer;
+    use interlag_video::mask::{Mask, MatchTolerance};
+    use interlag_video::stream::FRAME_PERIOD_30FPS;
+    use std::sync::Arc;
+
+    fn frame(v: u8) -> Arc<FrameBuffer> {
+        let mut f = FrameBuffer::new(8, 8);
+        f.fill(v);
+        Arc::new(f)
+    }
+
+    fn video_of(pattern: &str) -> VideoStream {
+        let mut v = VideoStream::new(FRAME_PERIOD_30FPS);
+        for (i, c) in pattern.chars().enumerate() {
+            v.push(SimTime::from_micros(i as u64 * 33_333), frame(c as u8));
+        }
+        v
+    }
+
+    fn annotation_of(c: char, occurrence: u32) -> LagAnnotation {
+        let mut img = FrameBuffer::new(8, 8);
+        img.fill(c as u8);
+        LagAnnotation {
+            interaction_id: 0,
+            image: img,
+            mask: Mask::new(),
+            tolerance: MatchTolerance::EXACT,
+            occurrence,
+            threshold: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn finds_first_occurrence() {
+        let v = video_of("aaabbb");
+        let m = Matcher::new();
+        let hit = m.match_lag(&v, SimTime::ZERO, &annotation_of('b', 1)).unwrap();
+        assert_eq!(hit.end_frame, 3);
+        assert_eq!(hit.lag, SimDuration::from_micros(3 * 33_333));
+    }
+
+    #[test]
+    fn second_occurrence_skips_the_lookalike_beginning() {
+        // The send-MMS case: screen is `a`, progress `p` appears, then
+        // back to `a`. Ending = second occurrence of `a`.
+        let v = video_of("aappppaa");
+        let m = Matcher::new();
+        let hit = m.match_lag(&v, SimTime::ZERO, &annotation_of('a', 2)).unwrap();
+        assert_eq!(hit.end_frame, 6);
+        // With occurrence 1 the matcher would (wrongly) match at once.
+        let wrong = m.match_lag(&v, SimTime::ZERO, &annotation_of('a', 1)).unwrap();
+        assert_eq!(wrong.end_frame, 0);
+    }
+
+    #[test]
+    fn walk_starts_at_the_input_frame() {
+        // `b` appears before the input; matching from the input's frame
+        // must find the *next* appearance.
+        let v = video_of("bbaaabb");
+        let m = Matcher::new();
+        let start = SimTime::from_micros(2 * 33_333);
+        let hit = m.match_lag(&v, start, &annotation_of('b', 1)).unwrap();
+        assert_eq!(hit.end_frame, 5);
+        assert_eq!(hit.lag, SimDuration::from_micros(3 * 33_333));
+    }
+
+    #[test]
+    fn missing_ending_is_an_error() {
+        let v = video_of("aaaa");
+        let m = Matcher::new();
+        assert_eq!(
+            m.match_lag(&v, SimTime::ZERO, &annotation_of('z', 1)),
+            Err(MatchFailure::EndingNotFound)
+        );
+    }
+
+    #[test]
+    fn mark_up_collects_profile_and_failures() {
+        let v = video_of("aabbccc");
+        let mut db = AnnotationDb::new("t");
+        let mut ann_b = annotation_of('b', 1);
+        ann_b.interaction_id = 0;
+        db.insert(ann_b);
+        let mut ann_z = annotation_of('z', 1);
+        ann_z.interaction_id = 1;
+        db.insert(ann_z);
+
+        let beginnings = vec![
+            (0usize, SimTime::ZERO),
+            (1usize, SimTime::from_micros(33_333)),
+            (2usize, SimTime::from_micros(66_666)), // not annotated
+        ];
+        let (profile, failures) = mark_up(&v, &beginnings, &db, "test");
+        assert_eq!(profile.len(), 1);
+        assert_eq!(failures.len(), 2);
+        assert!(failures.contains(&(1, MatchFailure::EndingNotFound)));
+        assert!(failures.contains(&(2, MatchFailure::NotAnnotated)));
+    }
+
+    #[test]
+    fn masked_matching_tolerates_clock_changes() {
+        let mut v = VideoStream::new(FRAME_PERIOD_30FPS);
+        let mut f0 = FrameBuffer::new(8, 8);
+        f0.fill(7);
+        v.push(SimTime::ZERO, Arc::new(f0.clone()));
+        // Target screen, but with a different "clock" row than annotated.
+        let mut f1 = FrameBuffer::new(8, 8);
+        f1.fill(42);
+        f1.fill_rect(interlag_video::frame::Rect::new(0, 0, 8, 1), 200);
+        v.push(SimTime::from_micros(33_333), Arc::new(f1));
+
+        let mask = Mask::status_bar(8, 1);
+        let mut img = FrameBuffer::new(8, 8);
+        img.fill(42);
+        mask.apply(&mut img);
+        let ann = LagAnnotation {
+            interaction_id: 0,
+            image: img,
+            mask,
+            tolerance: MatchTolerance::EXACT,
+            occurrence: 1,
+            threshold: SimDuration::from_secs(1),
+        };
+        let hit = Matcher::new().match_lag(&v, SimTime::ZERO, &ann).unwrap();
+        assert_eq!(hit.end_frame, 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Lag profiles: the per-execution list of measured interaction lags.
+//!
+//! A lag profile is what one marked-up video boils down to: for every
+//! (non-spurious) interaction, how long the user waited. Profiles of
+//! different executions of the same workload are directly comparable
+//! because replay guarantees the same interactions in the same order —
+//! the paper's central trick.
+
+use serde::{Deserialize, Serialize};
+
+use interlag_evdev::time::{SimDuration, SimTime};
+
+/// One measured interaction lag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LagEntry {
+    /// The interaction this lag belongs to.
+    pub interaction_id: usize,
+    /// When the input was issued.
+    pub input_time: SimTime,
+    /// The measured lag length.
+    pub lag: SimDuration,
+    /// The irritation threshold annotated for this lag (HCI category
+    /// default unless overridden).
+    pub threshold: SimDuration,
+}
+
+/// The lag profile of one workload execution.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_core::profile::{LagEntry, LagProfile};
+/// use interlag_evdev::time::{SimDuration, SimTime};
+///
+/// let mut p = LagProfile::new("ondemand");
+/// p.push(LagEntry {
+///     interaction_id: 0,
+///     input_time: SimTime::from_secs(1),
+///     lag: SimDuration::from_millis(300),
+///     threshold: SimDuration::from_secs(1),
+/// });
+/// assert_eq!(p.len(), 1);
+/// assert_eq!(p.mean_lag(), SimDuration::from_millis(300));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LagProfile {
+    /// The system configuration that produced this execution
+    /// (`"ondemand"`, `"fixed-0.96 GHz"`, `"oracle"`, …).
+    pub config: String,
+    entries: Vec<LagEntry>,
+}
+
+impl LagProfile {
+    /// Creates an empty profile for a configuration.
+    pub fn new(config: impl Into<String>) -> Self {
+        LagProfile { config: config.into(), entries: Vec::new() }
+    }
+
+    /// Appends a lag (in interaction order).
+    pub fn push(&mut self, entry: LagEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The lags in interaction order.
+    pub fn entries(&self) -> &[LagEntry] {
+        &self.entries
+    }
+
+    /// The lag of interaction `id`, if measured.
+    pub fn lag_of(&self, id: usize) -> Option<SimDuration> {
+        self.entries.iter().find(|e| e.interaction_id == id).map(|e| e.lag)
+    }
+
+    /// Number of measured lags.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no lags were measured.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All lag lengths, in interaction order.
+    pub fn lags(&self) -> impl Iterator<Item = SimDuration> + '_ {
+        self.entries.iter().map(|e| e.lag)
+    }
+
+    /// Lag lengths in milliseconds (the paper's plotting unit).
+    pub fn lags_ms(&self) -> Vec<f64> {
+        self.entries.iter().map(|e| e.lag.as_millis_f64()).collect()
+    }
+
+    /// Arithmetic mean lag; zero for an empty profile.
+    pub fn mean_lag(&self) -> SimDuration {
+        if self.entries.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: SimDuration = self.lags().sum();
+        total / self.entries.len() as u64
+    }
+
+    /// The longest lag; zero for an empty profile.
+    pub fn max_lag(&self) -> SimDuration {
+        self.lags().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Sum of all lags.
+    pub fn total_lag(&self) -> SimDuration {
+        self.lags().sum()
+    }
+}
+
+impl Extend<LagEntry> for LagProfile {
+    fn extend<I: IntoIterator<Item = LagEntry>>(&mut self, iter: I) {
+        self.entries.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: usize, lag_ms: u64) -> LagEntry {
+        LagEntry {
+            interaction_id: id,
+            input_time: SimTime::from_secs(id as u64),
+            lag: SimDuration::from_millis(lag_ms),
+            threshold: SimDuration::from_secs(1),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut p = LagProfile::new("test");
+        p.extend([entry(0, 100), entry(1, 300), entry(2, 200)]);
+        assert_eq!(p.mean_lag(), SimDuration::from_millis(200));
+        assert_eq!(p.max_lag(), SimDuration::from_millis(300));
+        assert_eq!(p.total_lag(), SimDuration::from_millis(600));
+        assert_eq!(p.lag_of(1), Some(SimDuration::from_millis(300)));
+        assert_eq!(p.lag_of(9), None);
+    }
+
+    #[test]
+    fn empty_profile_is_well_behaved() {
+        let p = LagProfile::new("empty");
+        assert!(p.is_empty());
+        assert_eq!(p.mean_lag(), SimDuration::ZERO);
+        assert_eq!(p.max_lag(), SimDuration::ZERO);
+        assert!(p.lags_ms().is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Exporters: study results as CSV and Markdown.
+//!
+//! The bench harnesses print human tables; downstream users want the raw
+//! rows. These exporters render a [`StudyResult`] into formats that drop
+//! straight into spreadsheets, papers or dashboards, covering the three
+//! views the evaluation uses: the per-configuration summary (Figures
+//! 12–14), the per-lag profile of one configuration (Figure 11's raw
+//! data), and the oracle's decision log.
+
+use std::fmt::Write as _;
+
+use crate::experiment::{ConfigSummary, StudyResult};
+
+/// Escapes one CSV field (quotes fields containing separators).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// The per-configuration summary as CSV:
+/// `config,kind,freq_khz,mean_energy_mj,energy_vs_oracle,mean_irritation_ms,lags,reps`.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_core::experiment::Lab;
+/// use interlag_core::report::study_csv;
+/// use interlag_device::script::InteractionCategory;
+/// use interlag_workloads::gen::{WorkloadBuilder, MCYCLES};
+///
+/// let mut b = WorkloadBuilder::new(3);
+/// b.quick_tap("tap", 100 * MCYCLES, InteractionCategory::SimpleFrequent);
+/// let study = Lab::with_defaults().study(&b.build("w", "d"));
+/// let csv = study_csv(&study);
+/// assert_eq!(csv.lines().count(), 1 + 18); // header + configurations
+/// assert!(csv.lines().nth(1).unwrap().starts_with("fixed-0.30 GHz,fixed,300000,"));
+/// ```
+pub fn study_csv(study: &StudyResult) -> String {
+    let mut out = String::from(
+        "config,kind,freq_khz,mean_energy_mj,energy_vs_oracle,mean_irritation_ms,lags,reps\n",
+    );
+    for c in study.all_configs() {
+        let kind = if c.freq.is_some() {
+            "fixed"
+        } else if c.name == "oracle" {
+            "oracle"
+        } else {
+            "governor"
+        };
+        let freq = c.freq.map(|f| f.as_khz().to_string()).unwrap_or_default();
+        let lags = c.reps.first().map(|r| r.profile.len()).unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.3},{:.4},{:.3},{},{}",
+            csv_field(&c.name),
+            kind,
+            freq,
+            c.mean_energy_mj(),
+            study.energy_normalised(c),
+            c.mean_irritation().as_millis_f64(),
+            lags,
+            c.reps.len(),
+        );
+    }
+    out
+}
+
+/// One configuration's lag profile (repetition 0) as CSV:
+/// `interaction_id,input_time_us,lag_ms,threshold_ms`.
+pub fn profile_csv(config: &ConfigSummary) -> String {
+    let mut out = String::from("interaction_id,input_time_us,lag_ms,threshold_ms\n");
+    if let Some(rep) = config.reps.first() {
+        for e in rep.profile.entries() {
+            let _ = writeln!(
+                out,
+                "{},{},{:.3},{:.3}",
+                e.interaction_id,
+                e.input_time.as_micros(),
+                e.lag.as_millis_f64(),
+                e.threshold.as_millis_f64(),
+            );
+        }
+    }
+    out
+}
+
+/// The oracle's per-lag decisions as CSV:
+/// `interaction_id,input_time_us,freq_khz,hold_ms,threshold_ms`.
+pub fn oracle_csv(study: &StudyResult) -> String {
+    let mut out = String::from("interaction_id,input_time_us,freq_khz,hold_ms,threshold_ms\n");
+    for d in &study.oracle_detail.decisions {
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.3},{:.3}",
+            d.interaction_id,
+            d.input_time.as_micros(),
+            d.freq.as_khz(),
+            d.hold.as_millis_f64(),
+            d.threshold.as_millis_f64(),
+        );
+    }
+    out
+}
+
+/// The per-configuration summary as a GitHub-flavoured Markdown table.
+pub fn study_markdown(study: &StudyResult) -> String {
+    let mut out = format!(
+        "### Study: dataset {}\n\n\
+         | config | energy (J) | vs oracle | irritation (s) |\n\
+         |---|---:|---:|---:|\n",
+        study.workload
+    );
+    for c in study.all_configs() {
+        let _ = writeln!(
+            out,
+            "| {} | {:.2} | {:.2}× | {:.2} |",
+            c.name,
+            c.mean_energy_mj() / 1_000.0,
+            study.energy_normalised(c),
+            c.mean_irritation().as_secs_f64(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{Lab, LabConfig};
+    use interlag_device::script::InteractionCategory;
+    use interlag_workloads::gen::{WorkloadBuilder, MCYCLES};
+
+    fn small_study() -> StudyResult {
+        let mut b = WorkloadBuilder::new(88);
+        b.app_launch("launch", 300 * MCYCLES, 4, InteractionCategory::Common);
+        b.think_ms(1_500, 2_500);
+        b.quick_tap("tap", 100 * MCYCLES, InteractionCategory::SimpleFrequent);
+        Lab::new(LabConfig::default()).study(&b.build("report", "report test"))
+    }
+
+    #[test]
+    fn csv_has_all_configurations_and_parses_numerically() {
+        let study = small_study();
+        let csv = study_csv(&study);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 19);
+        assert!(lines[0].starts_with("config,kind"));
+        for line in &lines[1..] {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 8, "{line}");
+            fields[3].parse::<f64>().expect("energy parses");
+            fields[4].parse::<f64>().expect("ratio parses");
+        }
+        // Oracle row normalises to exactly 1.
+        let oracle_row = lines.iter().find(|l| l.starts_with("oracle,")).expect("row");
+        assert!(oracle_row.contains(",1.0000,"));
+    }
+
+    #[test]
+    fn profile_csv_lists_every_lag() {
+        let study = small_study();
+        let ond = study.config("ondemand").expect("present");
+        let csv = profile_csv(ond);
+        assert_eq!(csv.lines().count(), 1 + study.db.len());
+    }
+
+    #[test]
+    fn oracle_csv_lists_every_decision() {
+        let study = small_study();
+        let csv = oracle_csv(&study);
+        assert_eq!(csv.lines().count(), 1 + study.oracle_detail.decisions.len());
+        assert!(csv.lines().nth(1).expect("one decision").split(',').count() == 5);
+    }
+
+    #[test]
+    fn markdown_is_a_wellformed_table() {
+        let study = small_study();
+        let md = study_markdown(&study);
+        assert!(md.contains("| config |"));
+        assert_eq!(md.matches("| fixed-").count(), 14);
+        assert!(md.contains("| oracle |"));
+    }
+
+    #[test]
+    fn csv_field_escaping() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,212 @@
+//! Statistics for the evaluation figures.
+//!
+//! Figure 11 shows violin plots (box + kernel density) of lag durations;
+//! Figure 14 averages across repetitions. This module provides the
+//! five-number summaries, mean/stddev, and a small Gaussian kernel
+//! density estimator, so the bench harnesses can print exactly the series
+//! the paper plots.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary plus mean, as used by box/violin plots.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FiveNumber {
+    /// Smallest observation.
+    pub min: f64,
+    /// Lower quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile (75th percentile).
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl FiveNumber {
+    /// The interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// The box-plot whisker positions at 1.5 × IQR (clamped to the data
+    /// range), as drawn in Figure 11.
+    pub fn whiskers(&self) -> (f64, f64) {
+        let lo = (self.q1 - 1.5 * self.iqr()).max(self.min);
+        let hi = (self.q3 + 1.5 * self.iqr()).min(self.max);
+        (lo, hi)
+    }
+}
+
+/// Computes the five-number summary of `values`.
+///
+/// Quartiles use linear interpolation between order statistics (type-7,
+/// the numpy default the paper's plots were made with).
+///
+/// Returns `None` for an empty slice.
+pub fn five_number(values: &[f64]) -> Option<FiveNumber> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("lag data is finite"));
+    let mean = v.iter().sum::<f64>() / v.len() as f64;
+    Some(FiveNumber {
+        min: v[0],
+        q1: percentile_sorted(&v, 25.0),
+        median: percentile_sorted(&v, 50.0),
+        q3: percentile_sorted(&v, 75.0),
+        max: v[v.len() - 1],
+        mean,
+    })
+}
+
+/// Type-7 percentile of an already sorted slice.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `p` is outside `[0, 100]`.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty data");
+    assert!((0.0..=100.0).contains(&p), "percentile out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Sample mean and standard deviation (n − 1 denominator); stddev is zero
+/// for fewer than two samples.
+pub fn mean_stddev(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+/// A Gaussian kernel density estimate evaluated on a regular grid — the
+/// curve of Figure 11's kernel plot.
+///
+/// Bandwidth follows Scott's rule (`σ · n^(−1/5)`), with a floor to stay
+/// finite for near-constant data. Returns `(grid, density)` pairs.
+pub fn kernel_density(values: &[f64], grid_points: usize) -> Vec<(f64, f64)> {
+    if values.is_empty() || grid_points == 0 {
+        return Vec::new();
+    }
+    let (mean, sd) = mean_stddev(values);
+    let bandwidth = (sd * (values.len() as f64).powf(-0.2)).max(mean.abs() * 1e-3).max(1e-9);
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min) - 3.0 * bandwidth;
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 3.0 * bandwidth;
+    let step = if grid_points > 1 { (max - min) / (grid_points - 1) as f64 } else { 0.0 };
+    let norm = 1.0 / (values.len() as f64 * bandwidth * (2.0 * std::f64::consts::PI).sqrt());
+    (0..grid_points)
+        .map(|i| {
+            let x = min + step * i as f64;
+            let d: f64 = values
+                .iter()
+                .map(|v| {
+                    let z = (x - v) / bandwidth;
+                    (-0.5 * z * z).exp()
+                })
+                .sum();
+            (x, d * norm)
+        })
+        .collect()
+}
+
+/// Geometric mean; zero if any value is non-positive or the slice is
+/// empty. Used for cross-dataset energy summaries.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_number_of_known_data() {
+        let f = five_number(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.q1, 2.0);
+        assert_eq!(f.median, 3.0);
+        assert_eq!(f.q3, 4.0);
+        assert_eq!(f.max, 5.0);
+        assert_eq!(f.mean, 3.0);
+        assert_eq!(f.iqr(), 2.0);
+    }
+
+    #[test]
+    fn five_number_interpolates() {
+        let f = five_number(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((f.q1 - 1.75).abs() < 1e-12);
+        assert!((f.median - 2.5).abs() < 1e-12);
+        assert!((f.q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn whiskers_clamp_to_data() {
+        let f = five_number(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+        let (lo, hi) = f.whiskers();
+        assert_eq!(lo, 1.0);
+        assert!(hi < 100.0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(five_number(&[]).is_none());
+        let f = five_number(&[7.0]).unwrap();
+        assert_eq!(f.median, 7.0);
+        assert_eq!(f.q1, 7.0);
+        assert_eq!(mean_stddev(&[7.0]), (7.0, 0.0));
+        assert_eq!(mean_stddev(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn stddev_matches_hand_computation() {
+        let (m, s) = mean_stddev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kde_integrates_to_one_ish() {
+        let values = [100.0, 120.0, 130.0, 500.0, 520.0];
+        let curve = kernel_density(&values, 512);
+        let step = curve[1].0 - curve[0].0;
+        let integral: f64 = curve.iter().map(|(_, d)| d * step).sum();
+        assert!((integral - 1.0).abs() < 0.02, "integral {integral}");
+        // Density peaks near the data cluster, not in the gap.
+        let near_cluster = curve.iter().find(|(x, _)| *x >= 120.0).unwrap().1;
+        let in_gap = curve.iter().find(|(x, _)| *x >= 300.0).unwrap().1;
+        assert!(near_cluster > in_gap);
+    }
+
+    #[test]
+    fn kde_handles_constant_data() {
+        let curve = kernel_density(&[5.0; 10], 64);
+        assert_eq!(curve.len(), 64);
+        assert!(curve.iter().all(|(_, d)| d.is_finite()));
+    }
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert_eq!(geometric_mean(&[1.0, 0.0]), 0.0);
+    }
+}

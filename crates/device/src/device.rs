@@ -1,0 +1,766 @@
+//! The simulated mobile device and its execution loop.
+//!
+//! [`Device::run`] replays a recorded input trace against a
+//! [`DeviceScript`] under a chosen [`Governor`], reproducing one "workload
+//! execution" of the paper: input events are delivered from the replay
+//! agent, the scripted app reacts by spawning compute tasks, the single
+//! active core (the paper disables the other three, §III-C) executes them
+//! at the governor-selected frequency, the screen repaints as phases
+//! complete, and the HDMI tap captures the video — while frequency/load
+//! traces accumulate for the energy model.
+//!
+//! The loop advances in 1 ms quanta: well below the 33 ms frame period and
+//! the 20 ms governor sampling period, so every externally visible timing
+//! is accurate to a fraction of the measurement resolution.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use interlag_evdev::event::TimedEvent;
+use interlag_evdev::mt::{ContactEvent, MtDecoder, Point};
+use interlag_evdev::replay::{Replayer, ReplayStats};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_power::energy::{ActivitySample, ActivityTrace};
+use interlag_power::opp::{Frequency, OppTable};
+use interlag_video::capture::{CameraCapture, CaptureLink};
+use interlag_video::frame::FrameBuffer;
+use interlag_video::stream::VideoStream;
+
+use crate::dvfs::{Governor, LoadSample};
+use crate::render::{DecorationState, Renderer, ScreenConfig};
+use crate::scene::Scene;
+use crate::script::{DeviceScript, InteractionCategory};
+use crate::task::{Task, TaskKind, TaskSpec};
+
+/// How the screen output is captured during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CaptureMode {
+    /// No video (fastest; enough for energy/ground-truth studies).
+    None,
+    /// Clean HDMI capture (the paper's setup).
+    Hdmi,
+    /// Camera pointed at the screen, with sensor noise (the paper's
+    /// abandoned first attempt; kept for the ablation).
+    Camera {
+        /// Noise seed.
+        seed: u64,
+    },
+}
+
+/// Static configuration of the simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Panel geometry.
+    pub screen: ScreenConfig,
+    /// The CPU's operating points.
+    pub opps: OppTable,
+    /// Simulation step.
+    pub quantum: SimDuration,
+    /// Interval between captured frames.
+    pub frame_period: SimDuration,
+    /// Video capture path.
+    pub capture: CaptureMode,
+    /// Kernel + framework cost of handling one input packet, in cycles.
+    pub input_cost_cycles: u64,
+    /// UI-thread cost of producing one animation frame, in cycles. Render
+    /// passes share the foreground queue, so heavy foreground work makes
+    /// animations drop frames — jank.
+    pub ui_render_cycles: u64,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            screen: ScreenConfig::default(),
+            opps: OppTable::snapdragon_8074(),
+            quantum: SimDuration::from_millis(1),
+            frame_period: interlag_video::stream::FRAME_PERIOD_30FPS,
+            capture: CaptureMode::Hdmi,
+            input_cost_cycles: 150_000,
+            ui_render_cycles: 8_000_000,
+        }
+    }
+}
+
+/// Ground truth about one interaction from the simulator's privileged
+/// viewpoint. The video pipeline must *recover* these numbers without
+/// looking at them; tests compare the two.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractionRecord {
+    /// Interaction index within the run (and the script).
+    pub id: usize,
+    /// The script's label.
+    pub label: String,
+    /// When the triggering input packet was delivered; for untriggered
+    /// interactions (trace ended early) the scripted start.
+    pub input_time: SimTime,
+    /// HCI category from the script.
+    pub category: InteractionCategory,
+    /// `true` if the input produced no app reaction (missed widget or
+    /// swallowed event): a *spurious lag*.
+    pub spurious: bool,
+    /// `true` if the input was actually delivered during the run.
+    pub triggered: bool,
+    /// When the final phase of the response completed, if it did.
+    pub service_time: Option<SimTime>,
+}
+
+impl InteractionRecord {
+    /// The ground-truth interaction lag, if the interaction was serviced.
+    pub fn true_lag(&self) -> Option<SimDuration> {
+        self.service_time.map(|s| s.saturating_since(self.input_time))
+    }
+}
+
+/// Everything one workload execution produces.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// The governor that ran.
+    pub governor_name: String,
+    /// Captured video, unless capture was off.
+    pub video: Option<VideoStream>,
+    /// Frequency/busy trace for the energy model.
+    pub activity: ActivityTrace,
+    /// Ground-truth interaction log.
+    pub interactions: Vec<InteractionRecord>,
+    /// Replay-agent timing statistics.
+    pub replay: ReplayStats,
+    /// When the run ended.
+    pub end_time: SimTime,
+}
+
+impl RunArtifacts {
+    /// Input timestamps of non-spurious, triggered interactions — the lag
+    /// beginnings the matcher walks from.
+    pub fn lag_beginnings(&self) -> Vec<(usize, SimTime)> {
+        self.interactions
+            .iter()
+            .filter(|r| r.triggered && !r.spurious)
+            .map(|r| (r.id, r.input_time))
+            .collect()
+    }
+}
+
+/// The simulated phone.
+///
+/// # Examples
+///
+/// See the crate-level documentation for a complete record→replay→capture
+/// round trip.
+#[derive(Debug)]
+pub struct Device {
+    config: DeviceConfig,
+    renderer: Renderer,
+}
+
+impl Device {
+    /// Creates a device with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantum is zero or larger than the frame period.
+    pub fn new(config: DeviceConfig) -> Self {
+        assert!(!config.quantum.is_zero(), "quantum must be positive");
+        assert!(
+            config.quantum <= config.frame_period,
+            "quantum must not exceed the frame period"
+        );
+        let renderer = Renderer::new(config.screen);
+        Device { config, renderer }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Executes one workload run from a freshly-booted state.
+    ///
+    /// `replayer` feeds the recorded input events; `script` describes how
+    /// the apps react; `governor` picks frequencies; the run lasts until
+    /// `until` (wall-clock), which should leave slack after the last input
+    /// for the final interaction to be serviced.
+    pub fn run<R: Replayer>(
+        &self,
+        script: &DeviceScript,
+        mut replayer: R,
+        governor: &mut dyn Governor,
+        until: SimTime,
+    ) -> RunArtifacts {
+        let cfg = &self.config;
+        let quantum = cfg.quantum;
+        let khz_of = |f: Frequency| f.as_khz() as u64;
+
+        // --- state: CPU -------------------------------------------------
+        let mut freq = cfg.opps.quantize_up(governor.init(&cfg.opps));
+        let mut fg: VecDeque<Task> = VecDeque::new();
+        let mut bg: VecDeque<Task> = VecDeque::new();
+        let mut activity = ActivityTrace::new();
+
+        // --- state: governor sampling -----------------------------------
+        let mut busy_acc = SimDuration::ZERO;
+        let mut last_sample_at = SimTime::ZERO;
+        let mut next_sample_at = SimTime::ZERO + governor.sample_period();
+
+        // --- state: UI --------------------------------------------------
+        let mut scene = Scene::default();
+        let mut spinner_frame = 0u64;
+        let mut next_render_spawn = SimTime::ZERO;
+        let mut deco = DecorationState::at(SimTime::ZERO, &scene, spinner_frame);
+        let mut screen: Arc<FrameBuffer> = Arc::new(self.renderer.render(&scene, &deco));
+        let mut dirty = false;
+
+        // --- state: capture ----------------------------------------------
+        let mut video = match cfg.capture {
+            CaptureMode::None => None,
+            _ => Some(VideoStream::new(cfg.frame_period)),
+        };
+        let mut camera = match cfg.capture {
+            CaptureMode::Camera { seed } => Some(CameraCapture::new(seed)),
+            _ => None,
+        };
+        let mut next_frame_at = SimTime::ZERO;
+
+        // --- state: input dispatch ---------------------------------------
+        let mut decoder = MtDecoder::new();
+        let mut next_interaction = 0usize;
+        let mut interactions: Vec<InteractionRecord> = script
+            .interactions
+            .iter()
+            .enumerate()
+            .map(|(id, spec)| InteractionRecord {
+                id,
+                label: spec.label.clone(),
+                input_time: spec.start,
+                category: spec.category,
+                spurious: spec.is_spurious(),
+                triggered: false,
+                service_time: None,
+            })
+            .collect();
+
+        // --- state: scripted background work ------------------------------
+        let mut next_bg = 0usize;
+        let mut next_tick_at = script.tick.map(|_| SimTime::ZERO + quantum);
+
+        // --- state: I/O waits ----------------------------------------------
+        // Tasks blocked on a phase wait, with their resume times, and scene
+        // updates whose visibility is deferred behind a wait.
+        let mut parked: Vec<(SimTime, Task)> = Vec::new();
+        let mut pending_updates: Vec<(SimTime, crate::scene::SceneUpdate, TaskKind, bool)> =
+            Vec::new();
+
+        let mut now = SimTime::ZERO;
+        while now < until {
+            let qend = now + quantum;
+
+            // 1. Deliver input events due by `now`.
+            for te in replayer.poll(now) {
+                if let Some(f) = governor.on_input(te.time, &cfg.opps) {
+                    freq = cfg.opps.quantize_up(f);
+                }
+                if te.event.is_syn_report() && cfg.input_cost_cycles > 0 {
+                    bg.push_back(Task::new(
+                        TaskSpec::single(cfg.input_cost_cycles, crate::scene::SceneUpdate::Nop),
+                        TaskKind::Background,
+                    ));
+                }
+                for trigger in Self::triggers(&mut decoder, &te) {
+                    self.dispatch(
+                        script,
+                        &mut interactions,
+                        &mut next_interaction,
+                        &mut fg,
+                        te.time,
+                        trigger,
+                    );
+                }
+            }
+
+            // 2. Spawn scripted background work that has become runnable.
+            while next_bg < script.background.len()
+                && script.background[next_bg].start <= now
+            {
+                bg.push_back(Task::new(
+                    TaskSpec::single(
+                        script.background[next_bg].cycles,
+                        crate::scene::SceneUpdate::Nop,
+                    ),
+                    TaskKind::Background,
+                ));
+                next_bg += 1;
+            }
+
+            // 3. Periodic system tick.
+            if let (Some(tick), Some(due)) = (script.tick, next_tick_at.as_mut()) {
+                while *due <= now {
+                    bg.push_back(Task::new(
+                        TaskSpec::single(tick.cycles, crate::scene::SceneUpdate::Nop),
+                        TaskKind::Background,
+                    ));
+                    *due += tick.period;
+                }
+            }
+
+            // 3b. Animation render passes: while a spinner shows, the UI
+            // thread must produce a frame every SPINNER_FRAME_PERIOD; the
+            // pass costs CPU on the foreground queue, so a busy core
+            // misses deadlines and the animation visibly stutters (jank).
+            if scene.spinner {
+                while next_render_spawn <= now {
+                    // The compositor drops frames at the source rather
+                    // than queueing unboundedly.
+                    let pending = fg
+                        .iter()
+                        .filter(|t| t.kind() == TaskKind::UiRender)
+                        .count();
+                    if pending < 2 {
+                        fg.push_back(Task::new(
+                            TaskSpec::single(
+                                (cfg.ui_render_cycles + scene.animation_load).max(1),
+                                crate::scene::SceneUpdate::Nop,
+                            ),
+                            TaskKind::UiRender,
+                        ));
+                    }
+                    next_render_spawn += crate::render::SPINNER_FRAME_PERIOD;
+                }
+            } else {
+                // No animation: the next one starts on its own grid.
+                if next_render_spawn <= now {
+                    next_render_spawn = now + crate::render::SPINNER_FRAME_PERIOD;
+                }
+            }
+
+            // 4a. Resume tasks whose I/O wait has elapsed (earliest first;
+            // resumed work jumps the queue, as a woken thread would).
+            if !parked.is_empty() {
+                parked.sort_by_key(|(at, _)| *at);
+                while parked.first().is_some_and(|(at, _)| *at <= now) {
+                    let (_, task) = parked.remove(0);
+                    match task.kind() {
+                        TaskKind::Foreground { .. } | TaskKind::UiRender => {
+                            fg.push_front(task)
+                        }
+                        TaskKind::Background => bg.push_front(task),
+                    }
+                }
+            }
+
+            // 4b. Apply scene updates whose I/O wait has elapsed.
+            if !pending_updates.is_empty() {
+                pending_updates.sort_by_key(|(at, ..)| *at);
+                while pending_updates.first().is_some_and(|(at, ..)| *at <= qend) {
+                    let (at, update, kind, task_finished) = pending_updates.remove(0);
+                    if scene.apply(&update) {
+                        dirty = true;
+                    }
+                    if task_finished {
+                        if let TaskKind::Foreground { id } = kind {
+                            interactions[id].service_time = Some(at.max(now));
+                        }
+                    }
+                }
+            }
+
+            // 4c. Execute the quantum.
+            let budget = freq.cycles_in(quantum);
+            let khz = khz_of(freq);
+            let mut consumed = 0u64;
+            while consumed < budget {
+                let from_fg = !fg.is_empty();
+                let queue = if from_fg { &mut fg } else { &mut bg };
+                let Some(task) = queue.front_mut() else { break };
+                let before = consumed;
+                let (c, completions) = task.advance(budget - consumed);
+                consumed += c;
+                let finished = task.is_finished();
+                let blocked = Task::blocked_after(&completions);
+                let mut block_at = SimTime::ZERO;
+                for comp in completions {
+                    let at = before + comp.at_consumed_cycles;
+                    let ts = now + SimDuration::from_micros((at * 1_000).div_ceil(khz));
+                    if comp.wait.is_zero() {
+                        if scene.apply(&comp.update) {
+                            dirty = true;
+                        }
+                        match comp.kind {
+                            TaskKind::Foreground { id } if comp.task_finished => {
+                                interactions[id].service_time = Some(ts.min(qend));
+                            }
+                            TaskKind::UiRender if comp.task_finished => {
+                                spinner_frame += 1;
+                                if scene.spinner {
+                                    dirty = true;
+                                }
+                            }
+                            _ => {}
+                        }
+                    } else {
+                        // The update (and, for final phases, the service
+                        // point) becomes visible only after the wait.
+                        let visible_at = ts.min(qend) + comp.wait;
+                        block_at = visible_at;
+                        pending_updates.push((
+                            visible_at,
+                            comp.update,
+                            comp.kind,
+                            comp.task_finished,
+                        ));
+                    }
+                }
+                if finished {
+                    queue.pop_front();
+                } else if let Some(_wait) = blocked {
+                    let task = queue.pop_front().expect("task is at the front");
+                    parked.push((block_at, task));
+                } else if c == 0 {
+                    break; // cannot happen, but never spin
+                }
+            }
+            let busy = if consumed >= budget {
+                quantum
+            } else {
+                SimDuration::from_micros(consumed * 1_000 / khz).min(quantum)
+            };
+
+            // 5. Account the quantum.
+            activity.push(ActivitySample { start: now, duration: quantum, freq, busy });
+            busy_acc += busy;
+
+            // 6. Governor sampling.
+            if qend >= next_sample_at {
+                let window = qend - last_sample_at;
+                let sample = LoadSample { busy: busy_acc, window };
+                freq = cfg.opps.quantize_up(governor.on_sample(qend, sample, &cfg.opps));
+                busy_acc = SimDuration::ZERO;
+                last_sample_at = qend;
+                next_sample_at = qend + governor.sample_period();
+            }
+
+            // 7. Repaint if the scene or a decoration changed.
+            let new_deco = DecorationState::at(qend, &scene, spinner_frame);
+            if dirty || new_deco != deco {
+                deco = new_deco;
+                screen = Arc::new(self.renderer.render(&scene, &deco));
+                dirty = false;
+            }
+
+            // 8. Capture frames due in this quantum.
+            if let Some(video) = video.as_mut() {
+                while next_frame_at <= qend {
+                    let frame = match camera.as_mut() {
+                        Some(cam) => cam.capture(next_frame_at, &screen),
+                        None => screen.clone(),
+                    };
+                    video.push(next_frame_at, frame);
+                    next_frame_at += cfg.frame_period;
+                }
+            }
+
+            now = qend;
+        }
+
+        RunArtifacts {
+            governor_name: governor.name().to_string(),
+            video,
+            activity,
+            interactions,
+            replay: replayer.stats(),
+            end_time: now,
+        }
+    }
+
+    /// Extracts interaction triggers (finger-down, hardware-key-down) from
+    /// one raw event.
+    fn triggers(decoder: &mut MtDecoder, te: &TimedEvent) -> Vec<Option<Point>> {
+        let mut out = Vec::new();
+        if te.device == 1 {
+            for c in decoder.push(te.time, te.event) {
+                if let ContactEvent::Down { pos, .. } = c {
+                    out.push(Some(pos));
+                }
+            }
+        } else if te.event.kind == interlag_evdev::event::EventType::Key
+            && te.event.code != interlag_evdev::event::codes::BTN_TOUCH
+            && te.event.value == 1
+        {
+            out.push(None);
+        }
+        out
+    }
+
+    /// Routes one trigger to the next scripted interaction.
+    fn dispatch(
+        &self,
+        script: &DeviceScript,
+        interactions: &mut [InteractionRecord],
+        next_interaction: &mut usize,
+        fg: &mut VecDeque<Task>,
+        time: SimTime,
+        pos: Option<Point>,
+    ) {
+        let id = *next_interaction;
+        let Some(spec) = script.interactions.get(id) else {
+            return; // inputs beyond the script are ignored
+        };
+        *next_interaction += 1;
+
+        let rec = &mut interactions[id];
+        rec.triggered = true;
+        rec.input_time = time;
+
+        let hit = match (spec.widget, pos) {
+            (Some(w), Some(p)) => p.x >= 0 && p.y >= 0 && w.contains(p.x as u32, p.y as u32),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        match (&spec.response, hit) {
+            (Some(task), true) => {
+                fg.push_back(Task::new(task.clone(), TaskKind::Foreground { id }));
+                rec.spurious = false;
+            }
+            _ => {
+                rec.spurious = true;
+            }
+        }
+    }
+}
+
+impl Default for Device {
+    fn default() -> Self {
+        Device::new(DeviceConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dvfs::FixedGovernor;
+    use crate::scene::SceneUpdate;
+    use crate::script::{BackgroundWork, InteractionSpec, PeriodicTick};
+    use interlag_evdev::gesture::Gesture;
+    use interlag_evdev::replay::ReplayAgent;
+    use interlag_video::frame::Rect;
+
+    fn simple_script() -> DeviceScript {
+        let widget = Rect::new(10, 20, 30, 30);
+        DeviceScript {
+            interactions: vec![
+                InteractionSpec {
+                    label: "open app".into(),
+                    start: SimTime::from_millis(500),
+                    gesture: Gesture::tap(Point::new(20, 30)),
+                    widget: Some(widget),
+                    response: Some(TaskSpec::single(
+                        60_000_000, // 200 ms at 300 MHz
+                        SceneUpdate::replace(Scene::new(99)),
+                    )),
+                    category: InteractionCategory::SimpleFrequent,
+                },
+                InteractionSpec {
+                    label: "tap nothing".into(),
+                    start: SimTime::from_millis(2_000),
+                    gesture: Gesture::tap(Point::new(60, 100)),
+                    widget: Some(widget), // tap lands outside it
+                    response: Some(TaskSpec::single(1_000, SceneUpdate::Nop)),
+                    category: InteractionCategory::SimpleFrequent,
+                },
+            ],
+            background: vec![BackgroundWork {
+                label: "sync".into(),
+                start: SimTime::from_millis(3_000),
+                cycles: 3_000_000,
+            }],
+            tick: Some(PeriodicTick::default()),
+        }
+    }
+
+    fn run_fixed(mhz: u32, script: &DeviceScript) -> RunArtifacts {
+        let device = Device::default();
+        let trace = script.record_trace();
+        let mut gov = FixedGovernor::new(Frequency::from_mhz(mhz));
+        device.run(script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(5))
+    }
+
+    #[test]
+    fn interaction_is_serviced_and_lag_scales_with_frequency() {
+        let script = simple_script();
+        let slow = run_fixed(300, &script);
+        let fast = run_fixed(2_150, &script);
+
+        let lag_slow = slow.interactions[0].true_lag().expect("serviced");
+        let lag_fast = fast.interactions[0].true_lag().expect("serviced");
+        // 60 M cycles at 300 MHz ≈ 200 ms; at 2.15 GHz ≈ 28 ms (plus
+        // queueing behind input-handling costs).
+        assert!(lag_slow > lag_fast * 4, "{lag_slow} vs {lag_fast}");
+        assert!(lag_slow >= SimDuration::from_millis(190));
+        assert!(lag_slow <= SimDuration::from_millis(320));
+    }
+
+    #[test]
+    fn missed_tap_is_spurious() {
+        let script = simple_script();
+        let run = run_fixed(960, &script);
+        assert!(run.interactions[1].triggered);
+        assert!(run.interactions[1].spurious);
+        assert_eq!(run.interactions[1].service_time, None);
+        assert_eq!(run.lag_beginnings().len(), 1);
+    }
+
+    #[test]
+    fn video_shows_the_final_scene_after_service() {
+        let script = simple_script();
+        let run = run_fixed(960, &script);
+        let video = run.video.expect("hdmi capture on");
+        let service = run.interactions[0].service_time.unwrap();
+        // The frame displayed well after service must differ from the
+        // boot screen; the frame just before input must not.
+        let before = video.frame_at(SimTime::from_millis(400)).unwrap();
+        let after = video.frame_at(service + SimDuration::from_millis(100)).unwrap();
+        assert!(before.buf.count_diff(&after.buf, 0) > 0);
+        let boot = video.frame_at(SimTime::from_millis(100)).unwrap();
+        assert_eq!(boot.buf.count_diff(&before.buf, 0), 0);
+    }
+
+    #[test]
+    fn activity_trace_covers_the_whole_run() {
+        let script = simple_script();
+        let run = run_fixed(960, &script);
+        assert_eq!(run.activity.total_duration(), SimDuration::from_secs(5));
+        assert!(run.activity.busy_time() > SimDuration::from_millis(50));
+        assert!(run.activity.busy_time() < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn untriggered_interactions_are_reported() {
+        let script = simple_script();
+        let device = Device::default();
+        // Empty trace: nothing is ever delivered.
+        let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
+        let run = device.run(
+            &script,
+            ReplayAgent::new(interlag_evdev::trace::EventTrace::new()),
+            &mut gov,
+            SimTime::from_secs(1),
+        );
+        assert!(run.interactions.iter().all(|r| !r.triggered));
+        assert!(run.lag_beginnings().is_empty());
+    }
+
+    #[test]
+    fn capture_none_produces_no_video_and_matches_hdmi_ground_truth() {
+        let script = simple_script();
+        let mut config = DeviceConfig::default();
+        config.capture = CaptureMode::None;
+        let device = Device::new(config);
+        let trace = script.record_trace();
+        let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
+        let run = device.run(&script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(5));
+        assert!(run.video.is_none());
+
+        let with_video = run_fixed(960, &script);
+        assert_eq!(
+            run.interactions[0].service_time,
+            with_video.interactions[0].service_time,
+            "capture must not perturb execution"
+        );
+    }
+
+    #[test]
+    fn io_wait_extends_service_time_frequency_independently() {
+        let widget = Rect::new(10, 20, 30, 30);
+        let spec = |wait_ms: u64| DeviceScript {
+            interactions: vec![InteractionSpec {
+                label: "open".into(),
+                start: SimTime::from_millis(500),
+                gesture: Gesture::tap(Point::new(20, 30)),
+                widget: Some(widget),
+                response: Some(TaskSpec::new(vec![crate::task::Phase::with_wait(
+                    30_000_000,
+                    SimDuration::from_millis(wait_ms),
+                    SceneUpdate::replace(Scene::new(77)),
+                )])),
+                category: InteractionCategory::Common,
+            }],
+            background: Vec::new(),
+            tick: None,
+        };
+        let run_lag = |mhz: u32, wait_ms: u64| {
+            let device = Device::default();
+            let script = spec(wait_ms);
+            let trace = script.record_trace();
+            let mut gov = FixedGovernor::new(Frequency::from_mhz(mhz));
+            let run = device.run(&script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(4));
+            run.interactions[0].true_lag().expect("serviced")
+        };
+        // The wait adds ~300 ms at any frequency.
+        let fast_no_wait = run_lag(2_150, 0);
+        let fast_wait = run_lag(2_150, 300);
+        let slow_wait = run_lag(300, 300);
+        let added_fast = fast_wait - fast_no_wait;
+        assert!(
+            (added_fast.as_millis_f64() - 300.0).abs() < 5.0,
+            "wait should add ~300 ms, added {added_fast}"
+        );
+        // Compute scales with frequency; the wait does not.
+        let slow_compute = slow_wait - SimDuration::from_millis(300);
+        assert!(slow_compute > fast_no_wait * 5, "{slow_compute} vs {fast_no_wait}");
+    }
+
+    #[test]
+    fn core_is_free_for_background_work_during_waits() {
+        // One interaction whose task blocks 1 s on I/O after tiny compute,
+        // plus heavy background work: the background work must execute
+        // during the wait (busy time well above the foreground compute).
+        let widget = Rect::new(10, 20, 30, 30);
+        let script = DeviceScript {
+            interactions: vec![InteractionSpec {
+                label: "io heavy".into(),
+                start: SimTime::from_millis(200),
+                gesture: Gesture::tap(Point::new(20, 30)),
+                widget: Some(widget),
+                response: Some(TaskSpec::new(vec![
+                    crate::task::Phase::with_wait(
+                        1_000_000,
+                        SimDuration::from_secs(1),
+                        SceneUpdate::Nop,
+                    ),
+                    crate::task::Phase::new(1_000_000, SceneUpdate::replace(Scene::new(5))),
+                ])),
+                category: InteractionCategory::Common,
+            }],
+            background: vec![BackgroundWork {
+                label: "bg".into(),
+                start: SimTime::from_millis(300),
+                cycles: 300_000_000, // 1 s at 300 MHz
+            }],
+            tick: None,
+        };
+        let device = Device::default();
+        let trace = script.record_trace();
+        let mut gov = FixedGovernor::new(Frequency::from_mhz(300));
+        let run = device.run(&script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(3));
+        // Service ends ~200 ms (input) + ~3 ms + 1 s wait + ~3 ms ≈ 1.21 s,
+        // even though a full second of background work ran meanwhile.
+        let service = run.interactions[0].service_time.expect("serviced");
+        assert!(service < SimTime::from_millis(1_300), "service at {service}");
+        assert!(run.activity.busy_time() > SimDuration::from_millis(900));
+    }
+
+    #[test]
+    fn replay_runs_are_deterministic() {
+        let script = simple_script();
+        let a = run_fixed(960, &script);
+        let b = run_fixed(960, &script);
+        assert_eq!(a.interactions, b.interactions);
+        assert_eq!(a.activity, b.activity);
+        let (va, vb) = (a.video.unwrap(), b.video.unwrap());
+        assert_eq!(va.len(), vb.len());
+        for (x, y) in va.iter().zip(vb.iter()) {
+            assert_eq!(x.buf.as_ref(), y.buf.as_ref());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The DVFS hook: how frequency governors plug into the device.
+//!
+//! The device owns the cpufreq machinery (load accounting, OPP table,
+//! frequency switching); a [`Governor`] is the policy plugged into it.
+//! Concrete Linux/Android policies (ondemand, conservative, interactive)
+//! live in the `interlag-governors` crate; this module defines the
+//! interface plus the [`FixedGovernor`] used for the paper's 14
+//! fixed-frequency runs.
+
+use serde::{Deserialize, Serialize};
+
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_power::opp::{Frequency, OppTable};
+
+/// CPU load observed over one governor sampling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadSample {
+    /// Time the core spent executing within the window.
+    pub busy: SimDuration,
+    /// The window length.
+    pub window: SimDuration,
+}
+
+impl LoadSample {
+    /// Load as a percentage (0–100), the unit cpufreq thresholds use.
+    pub fn load_percent(&self) -> f64 {
+        if self.window.is_zero() {
+            0.0
+        } else {
+            100.0 * self.busy.as_secs_f64() / self.window.as_secs_f64()
+        }
+    }
+}
+
+/// A frequency-selection policy.
+///
+/// The device calls [`Governor::on_sample`] every
+/// [`Governor::sample_period`] with the load since the previous call, and
+/// [`Governor::on_input`] whenever a user-input packet arrives (the hook
+/// the Interactive governor's input boost uses). Both return the frequency
+/// to run at next; the device quantises it onto the OPP table.
+pub trait Governor {
+    /// The governor's cpufreq name (`"ondemand"`, `"interactive"`, …).
+    fn name(&self) -> &str;
+
+    /// Resets internal state and returns the initial frequency.
+    fn init(&mut self, table: &OppTable) -> Frequency;
+
+    /// How often the governor wants to re-evaluate the load.
+    fn sample_period(&self) -> SimDuration;
+
+    /// Reacts to the load of the window that just ended.
+    fn on_sample(&mut self, now: SimTime, load: LoadSample, table: &OppTable) -> Frequency;
+
+    /// Reacts to a user-input packet; `None` leaves the frequency alone.
+    fn on_input(&mut self, _now: SimTime, _table: &OppTable) -> Option<Frequency> {
+        None
+    }
+}
+
+/// Pins the clock to one frequency for the whole run: the paper's
+/// fixed-frequency configurations, and also cpufreq's `userspace` policy.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_device::dvfs::{FixedGovernor, Governor, LoadSample};
+/// use interlag_evdev::time::{SimDuration, SimTime};
+/// use interlag_power::opp::OppTable;
+///
+/// let table = OppTable::snapdragon_8074();
+/// let mut g = FixedGovernor::new(table.min_freq());
+/// assert_eq!(g.init(&table), table.min_freq());
+/// let load = LoadSample { busy: SimDuration::from_millis(20), window: SimDuration::from_millis(20) };
+/// assert_eq!(g.on_sample(SimTime::ZERO, load, &table), table.min_freq());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixedGovernor {
+    freq: Frequency,
+    name: String,
+}
+
+impl FixedGovernor {
+    /// Creates a governor pinned to `freq`.
+    pub fn new(freq: Frequency) -> Self {
+        FixedGovernor { freq, name: format!("fixed-{freq}") }
+    }
+
+    /// The pinned frequency.
+    pub fn frequency(&self) -> Frequency {
+        self.freq
+    }
+}
+
+impl Governor for FixedGovernor {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, table: &OppTable) -> Frequency {
+        table.quantize_up(self.freq)
+    }
+
+    fn sample_period(&self) -> SimDuration {
+        // Nothing to decide; sample rarely to keep the loop cheap.
+        SimDuration::from_millis(100)
+    }
+
+    fn on_sample(&mut self, _now: SimTime, _load: LoadSample, table: &OppTable) -> Frequency {
+        table.quantize_up(self.freq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_percent_basics() {
+        let full = LoadSample {
+            busy: SimDuration::from_millis(20),
+            window: SimDuration::from_millis(20),
+        };
+        assert!((full.load_percent() - 100.0).abs() < 1e-9);
+        let half = LoadSample {
+            busy: SimDuration::from_millis(10),
+            window: SimDuration::from_millis(20),
+        };
+        assert!((half.load_percent() - 50.0).abs() < 1e-9);
+        let empty = LoadSample { busy: SimDuration::ZERO, window: SimDuration::ZERO };
+        assert_eq!(empty.load_percent(), 0.0);
+    }
+
+    #[test]
+    fn fixed_governor_quantizes_onto_table() {
+        let table = OppTable::snapdragon_8074();
+        let mut g = FixedGovernor::new(Frequency::from_mhz(1_000));
+        assert_eq!(g.init(&table), Frequency::from_khz(1_036_800));
+        assert_eq!(g.name(), "fixed-1.00 GHz");
+    }
+
+    #[test]
+    fn fixed_governor_ignores_input() {
+        let table = OppTable::snapdragon_8074();
+        let mut g = FixedGovernor::new(table.min_freq());
+        g.init(&table);
+        assert_eq!(g.on_input(SimTime::ZERO, &table), None);
+    }
+}

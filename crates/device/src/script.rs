@@ -1,0 +1,232 @@
+//! Device scripts: the app-side half of a recorded workload.
+//!
+//! A recording made on a real phone captures only the input events; the
+//! apps themselves are installed on the device and react to them. In the
+//! simulation the apps' reactions are scripted: a [`DeviceScript`] pairs
+//! every recorded gesture with the widget it hits and the compute the app
+//! performs in response. The same script replayed against any system
+//! configuration (governor, fixed frequency, capture path) reacts
+//! identically — the determinism the paper's methodology depends on.
+
+use serde::{Deserialize, Serialize};
+
+use interlag_evdev::gesture::{Gesture, GestureSynth};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_evdev::trace::EventTrace;
+use interlag_video::frame::Rect;
+
+use crate::task::TaskSpec;
+
+/// The Shneiderman HCI response-time categories the paper's irritation
+/// thresholds come from (§II-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InteractionCategory {
+    /// Keystroke echo: 150 ms.
+    Typing,
+    /// Simple frequent task: 1 s.
+    SimpleFrequent,
+    /// Common task: 4 s.
+    Common,
+    /// Complex task: 12 s.
+    Complex,
+}
+
+impl InteractionCategory {
+    /// The category's standard irritation threshold.
+    pub fn threshold(self) -> SimDuration {
+        match self {
+            InteractionCategory::Typing => SimDuration::from_millis(150),
+            InteractionCategory::SimpleFrequent => SimDuration::from_secs(1),
+            InteractionCategory::Common => SimDuration::from_secs(4),
+            InteractionCategory::Complex => SimDuration::from_secs(12),
+        }
+    }
+}
+
+/// One scripted user interaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InteractionSpec {
+    /// Human-readable description ("tap Gallery shortcut").
+    pub label: String,
+    /// When the gesture starts.
+    pub start: SimTime,
+    /// The gesture the user performs.
+    pub gesture: Gesture,
+    /// The widget the gesture lands on; `None` models a miss (tap next to
+    /// a button) — a *spurious lag* in the paper's Figure 10 sense.
+    pub widget: Option<Rect>,
+    /// The compute the app performs if the widget is hit. `None` with a
+    /// `Some` widget models an input the app swallows without visible
+    /// reaction (unsupported menu), also a spurious lag.
+    pub response: Option<TaskSpec>,
+    /// HCI category, selecting the default irritation threshold.
+    pub category: InteractionCategory,
+}
+
+impl InteractionSpec {
+    /// `true` if this input cannot produce an interaction lag: it either
+    /// misses every widget or triggers no work.
+    pub fn is_spurious(&self) -> bool {
+        self.widget.is_none() || self.response.is_none()
+    }
+
+    /// `true` if the gesture's start position lands on the widget (keys
+    /// have no position and always "hit" their widget).
+    pub fn hits_widget(&self) -> bool {
+        match (self.widget, self.gesture.start_pos()) {
+            (Some(w), Some(p)) => {
+                p.x >= 0 && p.y >= 0 && w.contains(p.x as u32, p.y as u32)
+            }
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+}
+
+/// Work the device performs on its own (sync, prefetch, notifications):
+/// load the user is not waiting on — the situation where raising the
+/// frequency wastes energy (issue 1 of the paper's motivating example).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundWork {
+    /// Description for reports.
+    pub label: String,
+    /// When the work becomes runnable.
+    pub start: SimTime,
+    /// Its cycle demand.
+    pub cycles: u64,
+}
+
+/// Small periodic system work (timers, compositor housekeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeriodicTick {
+    /// Interval between ticks.
+    pub period: SimDuration,
+    /// Cycles per tick.
+    pub cycles: u64,
+}
+
+impl Default for PeriodicTick {
+    fn default() -> Self {
+        PeriodicTick { period: SimDuration::from_millis(100), cycles: 50_000 }
+    }
+}
+
+/// A complete scripted workload: interactions, background work, periodic
+/// system activity.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeviceScript {
+    /// User interactions in chronological order.
+    pub interactions: Vec<InteractionSpec>,
+    /// Scheduled background work.
+    pub background: Vec<BackgroundWork>,
+    /// Periodic system tick, if any.
+    pub tick: Option<PeriodicTick>,
+}
+
+impl DeviceScript {
+    /// Creates an empty script.
+    pub fn new() -> Self {
+        DeviceScript::default()
+    }
+
+    /// Synthesises the raw input-event trace of every scripted gesture —
+    /// this is "recording" the workload. The trace, not the script, is
+    /// what gets replayed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if interactions are not in chronological order.
+    pub fn record_trace(&self) -> EventTrace {
+        let mut synth = GestureSynth::new(1, 4);
+        let mut trace = EventTrace::new();
+        for spec in &self.interactions {
+            trace.extend_events(synth.lower(spec.start, &spec.gesture));
+        }
+        trace
+    }
+
+    /// When the last scripted activity begins.
+    pub fn last_activity(&self) -> SimTime {
+        let inter = self.interactions.iter().map(|i| i.start).max();
+        let bg = self.background.iter().map(|b| b.start).max();
+        inter.into_iter().chain(bg).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Number of non-spurious interactions (inputs that lead to an actual
+    /// interaction lag).
+    pub fn actual_lag_count(&self) -> usize {
+        self.interactions.iter().filter(|i| !i.is_spurious()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interlag_evdev::mt::Point;
+    use crate::scene::{Scene, SceneUpdate};
+
+    fn tap_spec(start_ms: u64, hit: bool) -> InteractionSpec {
+        let widget = Rect::new(10, 20, 20, 20);
+        let pos = if hit { Point::new(15, 25) } else { Point::new(60, 100) };
+        InteractionSpec {
+            label: "tap".into(),
+            start: SimTime::from_millis(start_ms),
+            gesture: Gesture::tap(pos),
+            widget: Some(widget),
+            response: Some(TaskSpec::single(1_000, SceneUpdate::replace(Scene::new(9)))),
+            category: InteractionCategory::SimpleFrequent,
+        }
+    }
+
+    #[test]
+    fn hit_testing() {
+        assert!(tap_spec(0, true).hits_widget());
+        assert!(!tap_spec(0, false).hits_widget());
+    }
+
+    #[test]
+    fn spuriousness() {
+        let mut s = tap_spec(0, true);
+        assert!(!s.is_spurious());
+        s.response = None;
+        assert!(s.is_spurious());
+        let mut s = tap_spec(0, true);
+        s.widget = None;
+        assert!(s.is_spurious());
+    }
+
+    #[test]
+    fn record_trace_covers_all_gestures() {
+        let script = DeviceScript {
+            interactions: vec![tap_spec(100, true), tap_spec(600, false)],
+            background: Vec::new(),
+            tick: None,
+        };
+        let trace = script.record_trace();
+        assert!(!trace.is_empty());
+        assert_eq!(trace.start(), Some(SimTime::from_millis(100)));
+        assert_eq!(script.actual_lag_count(), 2);
+    }
+
+    #[test]
+    fn last_activity_considers_background() {
+        let script = DeviceScript {
+            interactions: vec![tap_spec(100, true)],
+            background: vec![BackgroundWork {
+                label: "sync".into(),
+                start: SimTime::from_secs(9),
+                cycles: 1,
+            }],
+            tick: None,
+        };
+        assert_eq!(script.last_activity(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn category_thresholds_match_hci_model() {
+        assert_eq!(InteractionCategory::Typing.threshold(), SimDuration::from_millis(150));
+        assert_eq!(InteractionCategory::SimpleFrequent.threshold(), SimDuration::from_secs(1));
+        assert_eq!(InteractionCategory::Common.threshold(), SimDuration::from_secs(4));
+        assert_eq!(InteractionCategory::Complex.threshold(), SimDuration::from_secs(12));
+    }
+}

@@ -1,0 +1,243 @@
+//! The Linux input-event model.
+//!
+//! The kernel's input subsystem reports every peripheral action as a stream
+//! of `(type, code, value)` triples; a single touch is a burst of several
+//! events terminated by a `SYN_REPORT` (see Figure 5 of the paper). This
+//! module reproduces the subset of that vocabulary a touchscreen device
+//! emits, in exactly the shape `getevent` prints, so that recorded traces
+//! are byte-compatible with the paper's tooling.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// The `type` field of a Linux input event.
+///
+/// Discriminants match `linux/input-event-codes.h`, so raw traces
+/// round-trip exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u16)]
+pub enum EventType {
+    /// `EV_SYN`: synchronisation markers separating event packets.
+    Syn = 0x00,
+    /// `EV_KEY`: keys and buttons, including `BTN_TOUCH`.
+    Key = 0x01,
+    /// `EV_REL`: relative axes (mice); unused by touchscreens but kept for
+    /// trace compatibility.
+    Rel = 0x02,
+    /// `EV_ABS`: absolute axes — the multi-touch protocol lives here.
+    Abs = 0x03,
+    /// `EV_MSC`: miscellaneous (scan codes, timestamps).
+    Msc = 0x04,
+    /// `EV_SW`: binary switches (lid, headphone detect).
+    Sw = 0x05,
+}
+
+impl EventType {
+    /// Decodes a raw type value as found in a `getevent` trace.
+    pub fn from_raw(raw: u16) -> Option<EventType> {
+        Some(match raw {
+            0x00 => EventType::Syn,
+            0x01 => EventType::Key,
+            0x02 => EventType::Rel,
+            0x03 => EventType::Abs,
+            0x04 => EventType::Msc,
+            0x05 => EventType::Sw,
+            _ => return None,
+        })
+    }
+
+    /// The raw on-the-wire value.
+    pub fn as_raw(self) -> u16 {
+        self as u16
+    }
+}
+
+impl fmt::Display for EventType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            EventType::Syn => "EV_SYN",
+            EventType::Key => "EV_KEY",
+            EventType::Rel => "EV_REL",
+            EventType::Abs => "EV_ABS",
+            EventType::Msc => "EV_MSC",
+            EventType::Sw => "EV_SW",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Event codes used by the simulated devices.
+///
+/// Values match `linux/input-event-codes.h`. Only the codes a Galaxy
+/// Nexus-class touchscreen, its hardware buttons and its light sensor
+/// produce are defined; traces may still carry arbitrary codes.
+pub mod codes {
+    /// `SYN_REPORT`: end of one event packet.
+    pub const SYN_REPORT: u16 = 0x00;
+    /// `SYN_MT_REPORT`: end of one contact in (type A) multi-touch.
+    pub const SYN_MT_REPORT: u16 = 0x02;
+
+    /// `BTN_TOUCH`: at least one finger on the screen.
+    pub const BTN_TOUCH: u16 = 0x14a;
+    /// `KEY_POWER`.
+    pub const KEY_POWER: u16 = 0x74;
+    /// `KEY_VOLUMEDOWN`.
+    pub const KEY_VOLUMEDOWN: u16 = 0x72;
+    /// `KEY_VOLUMEUP`.
+    pub const KEY_VOLUMEUP: u16 = 0x73;
+    /// `KEY_HOMEPAGE` (the Android home key).
+    pub const KEY_HOMEPAGE: u16 = 0xac;
+    /// `KEY_BACK`.
+    pub const KEY_BACK: u16 = 0x9e;
+
+    /// `ABS_MT_SLOT`: selects the contact slot subsequent events apply to.
+    pub const ABS_MT_SLOT: u16 = 0x2f;
+    /// `ABS_MT_TOUCH_MAJOR`: major axis of the contact ellipse.
+    pub const ABS_MT_TOUCH_MAJOR: u16 = 0x30;
+    /// `ABS_MT_WIDTH_MAJOR`: approaching-tool width.
+    pub const ABS_MT_WIDTH_MAJOR: u16 = 0x32;
+    /// `ABS_MT_POSITION_X`: contact X position.
+    pub const ABS_MT_POSITION_X: u16 = 0x35;
+    /// `ABS_MT_POSITION_Y`: contact Y position.
+    pub const ABS_MT_POSITION_Y: u16 = 0x36;
+    /// `ABS_MT_TRACKING_ID`: unique id while a contact persists; -1 lifts it.
+    pub const ABS_MT_TRACKING_ID: u16 = 0x39;
+    /// `ABS_MT_PRESSURE`: contact pressure.
+    pub const ABS_MT_PRESSURE: u16 = 0x3a;
+
+    /// `ABS_MISC`: used here by the ambient light sensor.
+    pub const ABS_MISC: u16 = 0x28;
+}
+
+/// The tracking-id value that releases a multi-touch slot.
+pub const TRACKING_ID_NONE: i32 = -1;
+
+/// One `(type, code, value)` triple, as delivered by `/dev/input/eventN`.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_evdev::event::{codes, EventType, InputEvent};
+///
+/// let ev = InputEvent::new(EventType::Abs, codes::ABS_MT_POSITION_X, 0x16b);
+/// assert_eq!(ev.raw_line(), "0003 0035 0000016b");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct InputEvent {
+    /// Event class.
+    pub kind: EventType,
+    /// Axis / key / marker code within the class.
+    pub code: u16,
+    /// The payload: position, pressure, key state, …
+    pub value: i32,
+}
+
+impl InputEvent {
+    /// Creates an event triple.
+    pub fn new(kind: EventType, code: u16, value: i32) -> Self {
+        InputEvent { kind, code, value }
+    }
+
+    /// The `SYN_REPORT` packet terminator.
+    pub fn syn_report() -> Self {
+        InputEvent::new(EventType::Syn, codes::SYN_REPORT, 0)
+    }
+
+    /// `true` if this event ends an input packet.
+    pub fn is_syn_report(self) -> bool {
+        self.kind == EventType::Syn && self.code == codes::SYN_REPORT
+    }
+
+    /// Formats the triple the way `getevent` prints it: three groups of
+    /// zero-padded hex, the value in two's complement.
+    pub fn raw_line(self) -> String {
+        format!(
+            "{:04x} {:04x} {:08x}",
+            self.kind.as_raw(),
+            self.code,
+            self.value as u32
+        )
+    }
+}
+
+impl fmt::Display for InputEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw_line())
+    }
+}
+
+/// An [`InputEvent`] paired with its delivery timestamp and source device.
+///
+/// This is the unit a recorded trace stores and the replay agent re-issues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// When the kernel delivered the event.
+    pub time: SimTime,
+    /// Index into the device registry (e.g. 1 for `/dev/input/event1`).
+    pub device: u8,
+    /// The event triple.
+    pub event: InputEvent,
+}
+
+impl TimedEvent {
+    /// Creates a timestamped event for device node `device`.
+    pub fn new(time: SimTime, device: u8, event: InputEvent) -> Self {
+        TimedEvent { time, device, event }
+    }
+}
+
+impl fmt::Display for TimedEvent {
+    /// Formats one `getevent -t` output line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>14}] /dev/input/event{}: {}",
+            self.time.to_string(),
+            self.device,
+            self.event
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_roundtrip() {
+        for raw in 0..=5u16 {
+            let t = EventType::from_raw(raw).unwrap();
+            assert_eq!(t.as_raw(), raw);
+        }
+        assert_eq!(EventType::from_raw(0x15), None);
+    }
+
+    #[test]
+    fn raw_line_matches_paper_figure5() {
+        // Figure 5 shows "0003 0039 00000003" (tracking id) and
+        // "0003 0039 ffffffff" (lift).
+        let id = InputEvent::new(EventType::Abs, codes::ABS_MT_TRACKING_ID, 3);
+        assert_eq!(id.raw_line(), "0003 0039 00000003");
+        let lift = InputEvent::new(EventType::Abs, codes::ABS_MT_TRACKING_ID, TRACKING_ID_NONE);
+        assert_eq!(lift.raw_line(), "0003 0039 ffffffff");
+        let syn = InputEvent::syn_report();
+        assert_eq!(syn.raw_line(), "0000 0000 00000000");
+        assert!(syn.is_syn_report());
+    }
+
+    #[test]
+    fn timed_event_display() {
+        let te = TimedEvent::new(
+            SimTime::from_micros(1_234_567),
+            1,
+            InputEvent::new(EventType::Abs, codes::ABS_MT_POSITION_X, 0x16b),
+        );
+        assert_eq!(
+            te.to_string(),
+            "[      1.234567] /dev/input/event1: 0003 0035 0000016b"
+        );
+    }
+}

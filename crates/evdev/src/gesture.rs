@@ -1,0 +1,287 @@
+//! High-level gesture synthesis.
+//!
+//! Workload generators describe user behaviour as taps, swipes and key
+//! presses; this module lowers a [`Gesture`] into the exact timed
+//! protocol-B event stream the touchscreen driver would have produced, via
+//! the [`MtEncoder`]. The inverse direction (classifying a raw trace back
+//! into taps and swipes, as Figure 10 of the paper requires) lives in
+//! [`classify`](crate::classify).
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{codes, EventType, InputEvent, TimedEvent};
+use crate::mt::{MtEncoder, Point};
+use crate::time::{SimDuration, SimTime};
+
+/// A hardware key a gesture can press.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HardKey {
+    /// The power button.
+    Power,
+    /// Volume up.
+    VolumeUp,
+    /// Volume down.
+    VolumeDown,
+    /// The home key.
+    Home,
+    /// The back key.
+    Back,
+}
+
+impl HardKey {
+    /// The Linux key code this key reports.
+    pub fn code(self) -> u16 {
+        match self {
+            HardKey::Power => codes::KEY_POWER,
+            HardKey::VolumeUp => codes::KEY_VOLUMEUP,
+            HardKey::VolumeDown => codes::KEY_VOLUMEDOWN,
+            HardKey::Home => codes::KEY_HOMEPAGE,
+            HardKey::Back => codes::KEY_BACK,
+        }
+    }
+}
+
+/// One user gesture, the unit of workload scripts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Gesture {
+    /// A short press-and-release at one position.
+    Tap {
+        /// Touch position.
+        pos: Point,
+        /// Finger-down time (a human tap is ~60–120 ms).
+        hold: SimDuration,
+    },
+    /// A straight drag from one position to another.
+    Swipe {
+        /// Where the finger lands.
+        from: Point,
+        /// Where it lifts.
+        to: Point,
+        /// Total finger-down time.
+        duration: SimDuration,
+    },
+    /// A press held long enough for a context menu (ordinary tap encoding,
+    /// longer hold).
+    LongPress {
+        /// Touch position.
+        pos: Point,
+        /// Hold time (≥ 500 ms on Android).
+        hold: SimDuration,
+    },
+    /// A hardware key press.
+    Key {
+        /// Which key.
+        key: HardKey,
+        /// Press-to-release time.
+        hold: SimDuration,
+    },
+}
+
+impl Gesture {
+    /// A tap with the default 80 ms hold.
+    pub fn tap(pos: Point) -> Self {
+        Gesture::Tap { pos, hold: SimDuration::from_millis(80) }
+    }
+
+    /// A swipe with the default 250 ms duration.
+    pub fn swipe(from: Point, to: Point) -> Self {
+        Gesture::Swipe { from, to, duration: SimDuration::from_millis(250) }
+    }
+
+    /// The first position the gesture touches, if it touches the screen.
+    pub fn start_pos(&self) -> Option<Point> {
+        match *self {
+            Gesture::Tap { pos, .. } | Gesture::LongPress { pos, .. } => Some(pos),
+            Gesture::Swipe { from, .. } => Some(from),
+            Gesture::Key { .. } => None,
+        }
+    }
+
+    /// How long a finger or key is held down.
+    pub fn contact_duration(&self) -> SimDuration {
+        match *self {
+            Gesture::Tap { hold, .. } | Gesture::LongPress { hold, .. } | Gesture::Key { hold, .. } => {
+                hold
+            }
+            Gesture::Swipe { duration, .. } => duration,
+        }
+    }
+}
+
+/// Interval between successive move packets during a swipe. Touch panels
+/// scan at 60–120 Hz; 8 ms ≈ 120 Hz, matching a Galaxy Nexus-class digitizer.
+pub const SWIPE_SAMPLE_PERIOD: SimDuration = SimDuration::from_millis(8);
+
+/// Lowers gestures into timed event streams for one device pair.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_evdev::gesture::{Gesture, GestureSynth};
+/// use interlag_evdev::mt::Point;
+/// use interlag_evdev::time::SimTime;
+///
+/// let mut synth = GestureSynth::new(1, 2);
+/// let events = synth.lower(SimTime::from_secs(1), &Gesture::tap(Point::new(50, 60)));
+/// assert!(events.len() >= 8); // down packet + up packet
+/// assert_eq!(events[0].time, SimTime::from_secs(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GestureSynth {
+    encoder: MtEncoder,
+    touch_device: u8,
+    key_device: u8,
+    pressure: i32,
+}
+
+impl GestureSynth {
+    /// Creates a synthesiser emitting touches on device node
+    /// `touch_device` and hardware keys on `key_device`.
+    pub fn new(touch_device: u8, key_device: u8) -> Self {
+        GestureSynth {
+            encoder: MtEncoder::new(),
+            touch_device,
+            key_device,
+            pressure: 58,
+        }
+    }
+
+    /// The device node touch events are emitted on.
+    pub fn touch_device(&self) -> u8 {
+        self.touch_device
+    }
+
+    fn emit(&self, out: &mut Vec<TimedEvent>, time: SimTime, device: u8, body: Vec<InputEvent>) {
+        for ev in body {
+            out.push(TimedEvent::new(time, device, ev));
+        }
+        out.push(TimedEvent::new(time, device, MtEncoder::sync()));
+    }
+
+    /// Produces the full timed event stream for `gesture` starting at
+    /// `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal slot table is corrupt, which cannot happen
+    /// through this API (the synthesiser always uses slot 0 and pairs every
+    /// down with an up).
+    pub fn lower(&mut self, start: SimTime, gesture: &Gesture) -> Vec<TimedEvent> {
+        let mut out = Vec::new();
+        match *gesture {
+            Gesture::Tap { pos, hold } | Gesture::LongPress { pos, hold } => {
+                let body = self
+                    .encoder
+                    .touch_down(0, pos, self.pressure)
+                    .expect("slot 0 free: gestures are strictly sequential");
+                self.emit(&mut out, start, self.touch_device, body);
+                let body = self.encoder.touch_up(0).expect("slot 0 was just pressed");
+                self.emit(&mut out, start + hold, self.touch_device, body);
+            }
+            Gesture::Swipe { from, to, duration } => {
+                let body = self
+                    .encoder
+                    .touch_down(0, from, self.pressure)
+                    .expect("slot 0 free: gestures are strictly sequential");
+                self.emit(&mut out, start, self.touch_device, body);
+                let steps = (duration / SWIPE_SAMPLE_PERIOD).max(1);
+                for i in 1..=steps {
+                    let t = start + SWIPE_SAMPLE_PERIOD * i;
+                    let frac = i as f64 / steps as f64;
+                    let pos = from.lerp(to, frac);
+                    let body = self
+                        .encoder
+                        .touch_move(0, pos)
+                        .expect("slot 0 still down during swipe");
+                    self.emit(&mut out, t, self.touch_device, body);
+                }
+                let body = self.encoder.touch_up(0).expect("slot 0 still down");
+                self.emit(&mut out, start + duration, self.touch_device, body);
+            }
+            Gesture::Key { key, hold } => {
+                out.push(TimedEvent::new(
+                    start,
+                    self.key_device,
+                    InputEvent::new(EventType::Key, key.code(), 1),
+                ));
+                out.push(TimedEvent::new(start, self.key_device, MtEncoder::sync()));
+                out.push(TimedEvent::new(
+                    start + hold,
+                    self.key_device,
+                    InputEvent::new(EventType::Key, key.code(), 0),
+                ));
+                out.push(TimedEvent::new(start + hold, self.key_device, MtEncoder::sync()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mt::{ContactEvent, MtDecoder};
+
+    #[test]
+    fn tap_lowers_to_down_and_up() {
+        let mut synth = GestureSynth::new(1, 4);
+        let evs = synth.lower(SimTime::from_millis(100), &Gesture::tap(Point::new(5, 6)));
+        let contacts = MtDecoder::decode_stream(evs.iter(), 1);
+        assert_eq!(contacts.len(), 2);
+        assert!(matches!(contacts[0], ContactEvent::Down { .. }));
+        assert!(matches!(contacts[1], ContactEvent::Up { .. }));
+        assert_eq!(
+            contacts[1].time() - contacts[0].time(),
+            SimDuration::from_millis(80)
+        );
+    }
+
+    #[test]
+    fn swipe_duration_and_path() {
+        let mut synth = GestureSynth::new(1, 4);
+        let g = Gesture::Swipe {
+            from: Point::new(0, 400),
+            to: Point::new(0, 80),
+            duration: SimDuration::from_millis(240),
+        };
+        let evs = synth.lower(SimTime::ZERO, &g);
+        let contacts = MtDecoder::decode_stream(evs.iter(), 1);
+        let downs = contacts.iter().filter(|c| matches!(c, ContactEvent::Down { .. })).count();
+        let moves = contacts.iter().filter(|c| matches!(c, ContactEvent::Move { .. })).count();
+        assert_eq!(downs, 1);
+        assert_eq!(moves, 240 / 8);
+        assert_eq!(contacts.last().unwrap().pos(), Point::new(0, 80));
+        assert_eq!(
+            contacts.last().unwrap().time() - contacts[0].time(),
+            SimDuration::from_millis(240)
+        );
+    }
+
+    #[test]
+    fn key_press_uses_key_device() {
+        let mut synth = GestureSynth::new(1, 4);
+        let g = Gesture::Key { key: HardKey::Back, hold: SimDuration::from_millis(60) };
+        let evs = synth.lower(SimTime::ZERO, &g);
+        assert!(evs.iter().all(|e| e.device == 4));
+        assert_eq!(evs[0].event.code, codes::KEY_BACK);
+        assert_eq!(evs[0].event.value, 1);
+        let release = evs.iter().find(|e| e.event.value == 0 && e.event.kind == EventType::Key);
+        assert_eq!(release.unwrap().time, SimTime::from_millis(60));
+    }
+
+    #[test]
+    fn sequential_gestures_share_encoder_state() {
+        let mut synth = GestureSynth::new(1, 4);
+        let a = synth.lower(SimTime::ZERO, &Gesture::tap(Point::new(1, 1)));
+        let b = synth.lower(SimTime::from_secs(1), &Gesture::tap(Point::new(2, 2)));
+        // Tracking ids must keep increasing across gestures.
+        let id_of = |evs: &[TimedEvent]| {
+            evs.iter()
+                .find(|e| e.event.code == codes::ABS_MT_TRACKING_ID && e.event.value >= 0)
+                .unwrap()
+                .event
+                .value
+        };
+        assert!(id_of(&b) > id_of(&a));
+    }
+}

@@ -1,0 +1,65 @@
+//! # interlag-evdev — a simulated Linux input subsystem
+//!
+//! The record-and-replay methodology of *Seeker et al., IISWC 2014* works at
+//! the level of the Linux input subsystem: user interactions are captured as
+//! raw `(type, code, value)` event triples from `/dev/input/eventN` (with
+//! `getevent`) and re-issued later by a timing-accurate replay agent. This
+//! crate reproduces that whole layer in simulation:
+//!
+//! * [`time`] — the microsecond timebase shared by every interlag crate;
+//! * [`event`] — the Linux input-event vocabulary and `getevent` formatting;
+//! * [`mt`] — multi-touch protocol B encoding/decoding;
+//! * [`gesture`] — lowering taps/swipes/keys into raw event streams;
+//! * [`trace`] — recordings, with a byte-compatible `getevent -t` text form;
+//! * [`replay`] — the custom replay agent and a model of the inaccurate
+//!   stock `sendevent` tool;
+//! * [`classify`] — reconstructing tap/swipe/key inputs from raw traces
+//!   (Figure 10 of the paper).
+//!
+//! # Examples
+//!
+//! Record two gestures, serialise the trace, and replay it:
+//!
+//! ```
+//! use interlag_evdev::gesture::{Gesture, GestureSynth};
+//! use interlag_evdev::mt::Point;
+//! use interlag_evdev::replay::{Replayer, ReplayAgent};
+//! use interlag_evdev::time::SimTime;
+//! use interlag_evdev::trace::EventTrace;
+//!
+//! # fn main() -> Result<(), interlag_evdev::trace::ParseTraceError> {
+//! let mut synth = GestureSynth::new(1, 4);
+//! let mut trace = EventTrace::new();
+//! trace.extend_events(synth.lower(SimTime::from_millis(100), &Gesture::tap(Point::new(363, 419))));
+//! trace.extend_events(synth.lower(
+//!     SimTime::from_millis(900),
+//!     &Gesture::swipe(Point::new(360, 1000), Point::new(360, 200)),
+//! ));
+//!
+//! // Round-trip through the getevent text format.
+//! let restored: EventTrace = trace.to_getevent_text().parse()?;
+//! assert_eq!(restored, trace);
+//!
+//! // Replay with accurate timings.
+//! let mut agent = ReplayAgent::new(restored);
+//! let replayed = agent.poll(SimTime::from_secs(5));
+//! assert_eq!(replayed.len(), trace.len());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod classify;
+pub mod event;
+pub mod gesture;
+pub mod mt;
+pub mod replay;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use event::{EventType, InputEvent, TimedEvent};
+pub use time::{SimDuration, SimTime};
+pub use trace::EventTrace;

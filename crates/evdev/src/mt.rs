@@ -1,0 +1,528 @@
+//! Multi-touch protocol B encoding and decoding.
+//!
+//! Touchscreens report contacts through slotted absolute axes: an
+//! `ABS_MT_SLOT` event selects a slot, `ABS_MT_TRACKING_ID` binds or releases
+//! a contact in it, position/pressure events update it, and `SYN_REPORT`
+//! publishes the batch. The [`MtEncoder`] turns high-level contact updates
+//! into that wire form; the [`MtDecoder`] reconstructs contact lifecycles
+//! from a raw stream. Both ends are exercised against each other by property
+//! tests, which is what lets the replay agent guarantee a bit-identical
+//! workload.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{codes, EventType, InputEvent, TimedEvent, TRACKING_ID_NONE};
+use crate::time::SimTime;
+
+/// A contact position in screen coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal position in pixels.
+    pub x: i32,
+    /// Vertical position in pixels.
+    pub y: i32,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: i32, y: i32) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`, in pixels.
+    pub fn distance(self, other: Point) -> f64 {
+        let dx = (self.x - other.x) as f64;
+        let dy = (self.y - other.y) as f64;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Linear interpolation between `self` (t = 0) and `other` (t = 1).
+    pub fn lerp(self, other: Point, t: f64) -> Point {
+        let t = t.clamp(0.0, 1.0);
+        Point {
+            x: (self.x as f64 + (other.x - self.x) as f64 * t).round() as i32,
+            y: (self.y as f64 + (other.y - self.y) as f64 * t).round() as i32,
+        }
+    }
+}
+
+/// Encodes contact changes into protocol-B event packets.
+///
+/// The encoder owns the slot table and tracking-id counter of one simulated
+/// touchscreen. Each `touch_down` / `touch_move` / `touch_up` call produces
+/// the events of one packet *without* the trailing `SYN_REPORT`, so multiple
+/// contacts can change within a single packet; [`MtEncoder::sync`] ends the
+/// packet.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_evdev::mt::{MtEncoder, Point};
+///
+/// let mut enc = MtEncoder::new();
+/// let mut packet = enc.touch_down(0, Point::new(363, 419), 130).unwrap();
+/// packet.push(MtEncoder::sync());
+/// assert!(packet.last().unwrap().is_syn_report());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MtEncoder {
+    slots: Vec<Option<i32>>,
+    current_slot: usize,
+    next_tracking_id: i32,
+}
+
+/// Error returned when a contact operation targets a slot in the wrong
+/// state (double down, move/up without down, or slot out of range).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotStateError {
+    /// The offending slot.
+    pub slot: usize,
+    /// What the caller attempted.
+    pub operation: &'static str,
+}
+
+impl std::fmt::Display for SlotStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {} on slot {}", self.operation, self.slot)
+    }
+}
+
+impl std::error::Error for SlotStateError {}
+
+/// Default number of contact slots (matches the Galaxy Nexus mXT224 panel).
+pub const DEFAULT_SLOTS: usize = 10;
+
+impl Default for MtEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MtEncoder {
+    /// Creates an encoder with [`DEFAULT_SLOTS`] slots.
+    pub fn new() -> Self {
+        Self::with_slots(DEFAULT_SLOTS)
+    }
+
+    /// Creates an encoder with an explicit slot count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn with_slots(slots: usize) -> Self {
+        assert!(slots > 0, "a touchscreen needs at least one slot");
+        MtEncoder {
+            slots: vec![None; slots],
+            current_slot: 0,
+            next_tracking_id: 0,
+        }
+    }
+
+    /// Number of currently active contacts.
+    pub fn active_contacts(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    fn select_slot(&mut self, slot: usize, out: &mut Vec<InputEvent>) {
+        if self.current_slot != slot {
+            out.push(InputEvent::new(EventType::Abs, codes::ABS_MT_SLOT, slot as i32));
+            self.current_slot = slot;
+        }
+    }
+
+    /// Puts a new contact down in `slot` at `pos` with `pressure`.
+    ///
+    /// Returns the events of the packet body. The first contact also
+    /// presses `BTN_TOUCH`.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotStateError`] if the slot is occupied or out of range.
+    pub fn touch_down(
+        &mut self,
+        slot: usize,
+        pos: Point,
+        pressure: i32,
+    ) -> Result<Vec<InputEvent>, SlotStateError> {
+        if slot >= self.slots.len() || self.slots[slot].is_some() {
+            return Err(SlotStateError { slot, operation: "touch_down" });
+        }
+        let first_contact = self.active_contacts() == 0;
+        let id = self.next_tracking_id;
+        self.next_tracking_id = self.next_tracking_id.wrapping_add(1) & 0xffff;
+        self.slots[slot] = Some(id);
+
+        let mut out = Vec::with_capacity(8);
+        self.select_slot(slot, &mut out);
+        out.push(InputEvent::new(EventType::Abs, codes::ABS_MT_TRACKING_ID, id));
+        if first_contact {
+            out.push(InputEvent::new(EventType::Key, codes::BTN_TOUCH, 1));
+        }
+        out.push(InputEvent::new(EventType::Abs, codes::ABS_MT_POSITION_X, pos.x));
+        out.push(InputEvent::new(EventType::Abs, codes::ABS_MT_POSITION_Y, pos.y));
+        out.push(InputEvent::new(EventType::Abs, codes::ABS_MT_PRESSURE, pressure));
+        out.push(InputEvent::new(EventType::Abs, codes::ABS_MT_TOUCH_MAJOR, 5));
+        Ok(out)
+    }
+
+    /// Moves the contact in `slot` to `pos`.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotStateError`] if the slot is empty or out of range.
+    pub fn touch_move(&mut self, slot: usize, pos: Point) -> Result<Vec<InputEvent>, SlotStateError> {
+        if slot >= self.slots.len() || self.slots[slot].is_none() {
+            return Err(SlotStateError { slot, operation: "touch_move" });
+        }
+        let mut out = Vec::with_capacity(3);
+        self.select_slot(slot, &mut out);
+        out.push(InputEvent::new(EventType::Abs, codes::ABS_MT_POSITION_X, pos.x));
+        out.push(InputEvent::new(EventType::Abs, codes::ABS_MT_POSITION_Y, pos.y));
+        Ok(out)
+    }
+
+    /// Lifts the contact in `slot`. The last contact also releases
+    /// `BTN_TOUCH`.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotStateError`] if the slot is empty or out of range.
+    pub fn touch_up(&mut self, slot: usize) -> Result<Vec<InputEvent>, SlotStateError> {
+        if slot >= self.slots.len() || self.slots[slot].is_none() {
+            return Err(SlotStateError { slot, operation: "touch_up" });
+        }
+        self.slots[slot] = None;
+        let mut out = Vec::with_capacity(3);
+        self.select_slot(slot, &mut out);
+        out.push(InputEvent::new(
+            EventType::Abs,
+            codes::ABS_MT_TRACKING_ID,
+            TRACKING_ID_NONE,
+        ));
+        if self.active_contacts() == 0 {
+            out.push(InputEvent::new(EventType::Key, codes::BTN_TOUCH, 0));
+        }
+        Ok(out)
+    }
+
+    /// The packet terminator every batch must end with.
+    pub fn sync() -> InputEvent {
+        InputEvent::syn_report()
+    }
+}
+
+/// A contact lifecycle change reconstructed by the [`MtDecoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ContactEvent {
+    /// A finger landed.
+    Down {
+        /// Slot the contact occupies.
+        slot: usize,
+        /// Kernel tracking id.
+        tracking_id: i32,
+        /// Landing position.
+        pos: Point,
+        /// Packet timestamp.
+        time: SimTime,
+    },
+    /// A finger moved.
+    Move {
+        /// Slot of the moving contact.
+        slot: usize,
+        /// New position.
+        pos: Point,
+        /// Packet timestamp.
+        time: SimTime,
+    },
+    /// A finger lifted.
+    Up {
+        /// Slot that was released.
+        slot: usize,
+        /// Lift position (last known).
+        pos: Point,
+        /// Packet timestamp.
+        time: SimTime,
+    },
+}
+
+impl ContactEvent {
+    /// The packet timestamp, whatever the variant.
+    pub fn time(&self) -> SimTime {
+        match *self {
+            ContactEvent::Down { time, .. }
+            | ContactEvent::Move { time, .. }
+            | ContactEvent::Up { time, .. } => time,
+        }
+    }
+
+    /// The slot, whatever the variant.
+    pub fn slot(&self) -> usize {
+        match *self {
+            ContactEvent::Down { slot, .. }
+            | ContactEvent::Move { slot, .. }
+            | ContactEvent::Up { slot, .. } => slot,
+        }
+    }
+
+    /// The position, whatever the variant.
+    pub fn pos(&self) -> Point {
+        match *self {
+            ContactEvent::Down { pos, .. }
+            | ContactEvent::Move { pos, .. }
+            | ContactEvent::Up { pos, .. } => pos,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct SlotState {
+    tracking_id: Option<i32>,
+    pos: Point2,
+    dirty_down: bool,
+    dirty_move: bool,
+    dirty_up: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Point2 {
+    x: i32,
+    y: i32,
+}
+
+/// Reconstructs [`ContactEvent`]s from a raw protocol-B stream.
+///
+/// Feed every event (from one device) in order with
+/// [`MtDecoder::push`]; completed contact changes are emitted when the
+/// `SYN_REPORT` arrives.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_evdev::mt::{ContactEvent, MtDecoder, MtEncoder, Point};
+/// use interlag_evdev::time::SimTime;
+///
+/// let mut enc = MtEncoder::new();
+/// let mut dec = MtDecoder::new();
+/// let t = SimTime::from_millis(5);
+/// let mut out = Vec::new();
+/// for ev in enc.touch_down(0, Point::new(10, 20), 40).unwrap() {
+///     out.extend(dec.push(t, ev));
+/// }
+/// out.extend(dec.push(t, MtEncoder::sync()));
+/// assert!(matches!(out[0], ContactEvent::Down { slot: 0, .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MtDecoder {
+    slots: Vec<SlotState>,
+    current_slot: usize,
+}
+
+impl Default for MtDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MtDecoder {
+    /// Creates a decoder with [`DEFAULT_SLOTS`] slots.
+    pub fn new() -> Self {
+        MtDecoder {
+            slots: vec![SlotState::default(); DEFAULT_SLOTS],
+            current_slot: 0,
+        }
+    }
+
+    fn slot_mut(&mut self, idx: usize) -> &mut SlotState {
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, SlotState::default);
+        }
+        &mut self.slots[idx]
+    }
+
+    /// Consumes one raw event stamped `time`; returns contact changes
+    /// completed by it (non-empty only for `SYN_REPORT`).
+    pub fn push(&mut self, time: SimTime, event: InputEvent) -> Vec<ContactEvent> {
+        match (event.kind, event.code) {
+            (EventType::Abs, codes::ABS_MT_SLOT) => {
+                self.current_slot = event.value.max(0) as usize;
+                self.slot_mut(self.current_slot);
+            }
+            (EventType::Abs, codes::ABS_MT_TRACKING_ID) => {
+                let cur = self.current_slot;
+                let s = self.slot_mut(cur);
+                if event.value == TRACKING_ID_NONE {
+                    if s.tracking_id.is_some() {
+                        s.dirty_up = true;
+                    }
+                } else {
+                    s.tracking_id = Some(event.value);
+                    s.dirty_down = true;
+                }
+            }
+            (EventType::Abs, codes::ABS_MT_POSITION_X) => {
+                let cur = self.current_slot;
+                let s = self.slot_mut(cur);
+                s.pos.x = event.value;
+                s.dirty_move = true;
+            }
+            (EventType::Abs, codes::ABS_MT_POSITION_Y) => {
+                let cur = self.current_slot;
+                let s = self.slot_mut(cur);
+                s.pos.y = event.value;
+                s.dirty_move = true;
+            }
+            (EventType::Syn, codes::SYN_REPORT) => return self.flush(time),
+            _ => {}
+        }
+        Vec::new()
+    }
+
+    fn flush(&mut self, time: SimTime) -> Vec<ContactEvent> {
+        let mut out = Vec::new();
+        for (slot, s) in self.slots.iter_mut().enumerate() {
+            let pos = Point::new(s.pos.x, s.pos.y);
+            if s.dirty_down {
+                out.push(ContactEvent::Down {
+                    slot,
+                    tracking_id: s.tracking_id.unwrap_or(0),
+                    pos,
+                    time,
+                });
+            } else if s.dirty_up {
+                out.push(ContactEvent::Up { slot, pos, time });
+                s.tracking_id = None;
+            } else if s.dirty_move && s.tracking_id.is_some() {
+                out.push(ContactEvent::Move { slot, pos, time });
+            }
+            s.dirty_down = false;
+            s.dirty_move = false;
+            s.dirty_up = false;
+        }
+        out
+    }
+
+    /// Decodes a whole timed-event stream in one call, ignoring events from
+    /// devices other than `device`.
+    pub fn decode_stream<'a, I>(events: I, device: u8) -> Vec<ContactEvent>
+    where
+        I: IntoIterator<Item = &'a TimedEvent>,
+    {
+        let mut dec = MtDecoder::new();
+        let mut out = Vec::new();
+        for te in events {
+            if te.device == device {
+                out.extend(dec.push(te.time, te.event));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_packets(
+        enc_ops: Vec<Vec<InputEvent>>,
+        times: Vec<SimTime>,
+    ) -> Vec<ContactEvent> {
+        let mut dec = MtDecoder::new();
+        let mut out = Vec::new();
+        for (body, t) in enc_ops.into_iter().zip(times) {
+            for ev in body {
+                out.extend(dec.push(t, ev));
+            }
+            out.extend(dec.push(t, MtEncoder::sync()));
+        }
+        out
+    }
+
+    #[test]
+    fn tap_roundtrip() {
+        let mut enc = MtEncoder::new();
+        let down = enc.touch_down(0, Point::new(100, 200), 60).unwrap();
+        let up = enc.touch_up(0).unwrap();
+        let evs = run_packets(
+            vec![down, up],
+            vec![SimTime::from_millis(0), SimTime::from_millis(80)],
+        );
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(
+            evs[0],
+            ContactEvent::Down { slot: 0, pos: Point { x: 100, y: 200 }, .. }
+        ));
+        assert!(matches!(evs[1], ContactEvent::Up { slot: 0, .. }));
+        assert_eq!(evs[1].time(), SimTime::from_millis(80));
+    }
+
+    #[test]
+    fn swipe_emits_moves() {
+        let mut enc = MtEncoder::new();
+        let mut packets = vec![enc.touch_down(0, Point::new(0, 0), 55).unwrap()];
+        for i in 1..=5 {
+            packets.push(enc.touch_move(0, Point::new(i * 10, i * 20)).unwrap());
+        }
+        packets.push(enc.touch_up(0).unwrap());
+        let times: Vec<SimTime> = (0..packets.len() as u64)
+            .map(|i| SimTime::from_millis(i * 16))
+            .collect();
+        let evs = run_packets(packets, times);
+        assert_eq!(evs.len(), 7);
+        let moves = evs
+            .iter()
+            .filter(|e| matches!(e, ContactEvent::Move { .. }))
+            .count();
+        assert_eq!(moves, 5);
+        assert_eq!(evs[3].pos(), Point::new(30, 60));
+    }
+
+    #[test]
+    fn two_finger_contacts_use_slots() {
+        let mut enc = MtEncoder::new();
+        let p1 = enc.touch_down(0, Point::new(10, 10), 40).unwrap();
+        let p2 = enc.touch_down(1, Point::new(90, 90), 40).unwrap();
+        assert_eq!(enc.active_contacts(), 2);
+        // The second down must carry a slot-select event.
+        assert!(p2
+            .iter()
+            .any(|e| e.kind == EventType::Abs && e.code == codes::ABS_MT_SLOT && e.value == 1));
+        // BTN_TOUCH is only pressed once.
+        let btn = |p: &Vec<InputEvent>| {
+            p.iter()
+                .filter(|e| e.kind == EventType::Key && e.code == codes::BTN_TOUCH)
+                .count()
+        };
+        assert_eq!(btn(&p1), 1);
+        assert_eq!(btn(&p2), 0);
+        let up0 = enc.touch_up(0).unwrap();
+        assert!(!up0.iter().any(|e| e.code == codes::BTN_TOUCH));
+        let up1 = enc.touch_up(1).unwrap();
+        assert!(up1.iter().any(|e| e.code == codes::BTN_TOUCH && e.value == 0));
+    }
+
+    #[test]
+    fn invalid_slot_operations_error() {
+        let mut enc = MtEncoder::new();
+        assert!(enc.touch_move(0, Point::new(1, 1)).is_err());
+        assert!(enc.touch_up(0).is_err());
+        enc.touch_down(0, Point::new(1, 1), 30).unwrap();
+        let err = enc.touch_down(0, Point::new(2, 2), 30).unwrap_err();
+        assert_eq!(err.operation, "touch_down");
+        assert!(enc.touch_down(DEFAULT_SLOTS, Point::new(1, 1), 30).is_err());
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0, 0);
+        let b = Point::new(100, 50);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Point::new(50, 25));
+        assert_eq!(a.lerp(b, 2.0), b); // clamps
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        assert_eq!(Point::new(0, 0).distance(Point::new(3, 4)), 5.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! A small deterministic PRNG shared by the whole workspace.
+//!
+//! Every interlag experiment must be bit-reproducible from a seed: the
+//! workload generators, the camera-noise model and the jitter injected
+//! into synthetic recordings all draw from this [`SplitMix64`] generator.
+//! It lives in the base crate so the substrates above it (video, device,
+//! workloads) share one implementation without an external dependency
+//! whose streams could change between releases.
+
+/// SplitMix64: a tiny, high-quality, splittable 64-bit generator
+/// (Steele, Lea & Flood, OOPSLA 2014). Passes BigCrush when used as here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift bounded generation (Lemire); the tiny modulo bias
+        // of widening-multiply truncation is irrelevant for simulation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// A uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.next_below((hi - lo) as u64 + 1) as i64
+    }
+
+    /// A uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Forks an independent generator; the child's stream does not overlap
+    /// the parent's continuation in practice.
+    pub fn fork(&mut self) -> SplitMix64 {
+        SplitMix64::new(self.next_u64() ^ 0x6a09_e667_f3bc_c909)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn bounded_values_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1_000 {
+            let v = rng.next_below(13);
+            assert!(v < 13);
+            let r = rng.next_range(-5, 5);
+            assert!((-5..=5).contains(&r));
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = SplitMix64::new(99);
+        let mut buckets = [0u32; 10];
+        for _ in 0..10_000 {
+            buckets[rng.next_below(10) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "bucket {b} too skewed");
+        }
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SplitMix64::new(5);
+        let mut child = parent.fork();
+        let a: Vec<u64> = (0..8).map(|_| parent.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+}

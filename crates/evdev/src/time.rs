@@ -1,0 +1,345 @@
+//! The shared simulation timebase.
+//!
+//! Every interlag crate stamps data — input events, video frames, frequency
+//! transitions, energy samples — with the same monotonic clock so that the
+//! matcher can line up inputs against frames and the oracle builder can line
+//! up lags against frequency traces. [`SimTime`] is an absolute instant in
+//! microseconds since simulated boot; [`SimDuration`] is a span between two
+//! instants.
+//!
+//! Microsecond resolution matches the Linux input subsystem (`struct
+//! input_event` carries a `timeval`), and is fine enough to express the
+//! paper's "millisecond accuracy" replay requirement with headroom.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant on the simulated monotonic clock, in microseconds
+/// since boot.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_evdev::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::from_millis(1_500);
+/// assert_eq!(t + SimDuration::from_millis(500), SimTime::from_secs(2));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimTime(u64);
+
+/// A span between two [`SimTime`] instants, in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_evdev::time::SimDuration;
+///
+/// let d = SimDuration::from_millis(150);
+/// assert_eq!(d.as_micros(), 150_000);
+/// assert_eq!(d * 2, SimDuration::from_millis(300));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulated clock (boot).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "never" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `micros` microseconds after boot.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Creates an instant `millis` milliseconds after boot.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis * 1_000)
+    }
+
+    /// Creates an instant `secs` seconds after boot.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000_000)
+    }
+
+    /// Microseconds since boot.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since boot (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since boot as a float; convenient for plotting and reports.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The span from `earlier` to `self`, saturating to zero if `earlier`
+    /// is actually later.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The instant `d` after `self`, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Checked subtraction: `None` if `earlier` is later than `self`.
+    pub fn checked_since(self, earlier: SimTime) -> Option<SimDuration> {
+        self.0.checked_sub(earlier.0).map(SimDuration)
+    }
+}
+
+impl SimDuration {
+    /// The empty span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a span of `micros` microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a span from a floating-point number of seconds, rounding to
+    /// the nearest microsecond. Negative and non-finite inputs clamp to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((secs * 1_000_000.0).round() as u64)
+    }
+
+    /// The span in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The span in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The span in seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// The span in milliseconds as a float; lag lengths are conventionally
+    /// reported in milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// `true` if the span is empty.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtraction that stops at zero instead of underflowing; irritation
+    /// penalties are computed as `lag.saturating_sub(threshold)`.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the span by a non-negative float, rounding to the nearest
+    /// microsecond. Used for the oracle's "110 % of the fastest lag" rule.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Div<SimDuration> for SimDuration {
+    type Output = u64;
+    /// How many whole `rhs` spans fit in `self`; handy for frame indices.
+    fn div(self, rhs: SimDuration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn rem(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Formats as `seconds.micros`, matching `getevent -t` timestamps.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{:06}", self.0 / 1_000_000, self.0 % 1_000_000)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        }
+    }
+}
+
+impl From<u64> for SimDuration {
+    /// Interprets a raw integer as microseconds.
+    fn from(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(2), SimTime::from_millis(2_000));
+        assert_eq!(SimTime::from_millis(3), SimTime::from_micros(3_000));
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_micros(1_000_000));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = SimTime::from_millis(100);
+        let d = SimDuration::from_millis(40);
+        assert_eq!((a + d) - a, d);
+        assert_eq!((a + d) - d, a);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_millis(10);
+        let late = SimTime::from_millis(30);
+        assert_eq!(late.saturating_since(early), SimDuration::from_millis(20));
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(early.checked_since(late), None);
+    }
+
+    #[test]
+    fn duration_ratio_and_remainder() {
+        let frame = SimDuration::from_micros(33_333);
+        let span = SimDuration::from_secs(1);
+        assert_eq!(span / frame, 30);
+        assert_eq!(span % frame, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        let d = SimDuration::from_millis(100);
+        assert_eq!(d.mul_f64(1.1), SimDuration::from_millis(110));
+        assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_matches_getevent_style() {
+        let t = SimTime::from_micros(1_234_567_890);
+        assert_eq!(t.to_string(), "1234.567890");
+        assert_eq!(SimDuration::from_millis(150).to_string(), "150.000ms");
+        assert_eq!(SimDuration::from_secs(4).to_string(), "4.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+}

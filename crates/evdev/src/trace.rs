@@ -1,0 +1,379 @@
+//! Recorded input-event traces and the `getevent` text format.
+//!
+//! A workload recording is an [`EventTrace`]: the time-ordered sequence of
+//! every raw event the device's input nodes delivered while the volunteer
+//! used the phone. Traces serialise to the same text format `getevent -t`
+//! prints (one event per line, hex triples), so recordings made on real
+//! hardware can be imported unchanged.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{EventType, InputEvent, TimedEvent};
+use crate::time::{SimDuration, SimTime};
+
+/// A time-ordered recording of raw input events.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_evdev::event::{codes, EventType, InputEvent, TimedEvent};
+/// use interlag_evdev::time::SimTime;
+/// use interlag_evdev::trace::EventTrace;
+///
+/// let mut trace = EventTrace::new();
+/// trace.push(TimedEvent::new(
+///     SimTime::from_millis(10),
+///     1,
+///     InputEvent::new(EventType::Key, codes::BTN_TOUCH, 1),
+/// ));
+/// let text = trace.to_getevent_text();
+/// let parsed: EventTrace = text.parse()?;
+/// assert_eq!(parsed, trace);
+/// # Ok::<(), interlag_evdev::trace::ParseTraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EventTrace {
+    events: Vec<TimedEvent>,
+}
+
+impl EventTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        EventTrace { events: Vec::new() }
+    }
+
+    /// Appends an event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is earlier than the last event already in the
+    /// trace; the input subsystem delivers events in order and every
+    /// producer in this workspace must too.
+    pub fn push(&mut self, event: TimedEvent) {
+        if let Some(last) = self.events.last() {
+            assert!(
+                event.time >= last.time,
+                "events must be pushed in chronological order ({} after {})",
+                event.time,
+                last.time
+            );
+        }
+        self.events.push(event);
+    }
+
+    /// Appends every event of `batch`, which must itself be ordered and
+    /// not precede the trace tail.
+    pub fn extend_events<I: IntoIterator<Item = TimedEvent>>(&mut self, batch: I) {
+        for ev in batch {
+            self.push(ev);
+        }
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Iterates over the recorded events.
+    pub fn iter(&self) -> std::slice::Iter<'_, TimedEvent> {
+        self.events.iter()
+    }
+
+    /// Number of raw events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Timestamp of the first event.
+    pub fn start(&self) -> Option<SimTime> {
+        self.events.first().map(|e| e.time)
+    }
+
+    /// Timestamp of the last event.
+    pub fn end(&self) -> Option<SimTime> {
+        self.events.last().map(|e| e.time)
+    }
+
+    /// Recording length from first to last event.
+    pub fn span(&self) -> SimDuration {
+        match (self.start(), self.end()) {
+            (Some(a), Some(b)) => b - a,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// A copy with every timestamp shifted so the first event lands on
+    /// `origin`; replaying on a freshly-booted device wants traces that
+    /// start near zero.
+    pub fn rebased(&self, origin: SimTime) -> EventTrace {
+        let Some(start) = self.start() else {
+            return EventTrace::new();
+        };
+        let events = self
+            .events
+            .iter()
+            .map(|e| TimedEvent::new(origin + (e.time - start), e.device, e.event))
+            .collect();
+        EventTrace { events }
+    }
+
+    /// Serialises the trace to `getevent -t` text.
+    pub fn to_getevent_text(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FromIterator<TimedEvent> for EventTrace {
+    fn from_iter<I: IntoIterator<Item = TimedEvent>>(iter: I) -> Self {
+        let mut t = EventTrace::new();
+        t.extend_events(iter);
+        t
+    }
+}
+
+impl Extend<TimedEvent> for EventTrace {
+    fn extend<I: IntoIterator<Item = TimedEvent>>(&mut self, iter: I) {
+        self.extend_events(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a EventTrace {
+    type Item = &'a TimedEvent;
+    type IntoIter = std::slice::Iter<'a, TimedEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for EventTrace {
+    type Item = TimedEvent;
+    type IntoIter = std::vec::IntoIter<TimedEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+/// Error parsing `getevent` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl FromStr for EventTrace {
+    type Err = ParseTraceError;
+
+    /// Parses `getevent -t` style text. Blank lines and lines starting with
+    /// `#` are ignored. Both the timestamped form
+    /// `[ 1234.567890] /dev/input/event1: 0003 0035 0000016b` and the bare
+    /// form `/dev/input/event1: 0003 0035 0000016b` (timestamp 0) are
+    /// accepted.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut trace = EventTrace::new();
+        for (idx, raw_line) in s.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |reason: String| ParseTraceError { line: line_no, reason };
+
+            let (time, rest) = if let Some(stripped) = line.strip_prefix('[') {
+                let close = stripped
+                    .find(']')
+                    .ok_or_else(|| err("missing ']' after timestamp".into()))?;
+                let ts = stripped[..close].trim();
+                let time = parse_timestamp(ts)
+                    .ok_or_else(|| err(format!("bad timestamp {ts:?}")))?;
+                (time, stripped[close + 1..].trim())
+            } else {
+                (SimTime::ZERO, line)
+            };
+
+            let rest = rest
+                .strip_prefix("/dev/input/event")
+                .ok_or_else(|| err("missing device node prefix".into()))?;
+            let colon = rest
+                .find(':')
+                .ok_or_else(|| err("missing ':' after device node".into()))?;
+            let device: u8 = rest[..colon]
+                .parse()
+                .map_err(|_| err(format!("bad device index {:?}", &rest[..colon])))?;
+
+            let mut fields = rest[colon + 1..].split_whitespace();
+            let mut next_hex = |what: &str| -> Result<u32, ParseTraceError> {
+                let f = fields
+                    .next()
+                    .ok_or_else(|| ParseTraceError {
+                        line: line_no,
+                        reason: format!("missing {what} field"),
+                    })?;
+                u32::from_str_radix(f, 16).map_err(|_| ParseTraceError {
+                    line: line_no,
+                    reason: format!("bad hex {what} {f:?}"),
+                })
+            };
+            let kind_raw = next_hex("type")?;
+            let code = next_hex("code")?;
+            let value = next_hex("value")? as i32;
+            if fields.next().is_some() {
+                return Err(err("trailing fields after value".into()));
+            }
+            let kind = EventType::from_raw(kind_raw as u16)
+                .ok_or_else(|| err(format!("unknown event type {kind_raw:#06x}")))?;
+
+            // Parsing tolerates out-of-order lines (clock adjustments happen
+            // on real devices); sort once at the end instead of panicking.
+            trace.events.push(TimedEvent::new(
+                time,
+                device,
+                InputEvent::new(kind, code as u16, value),
+            ));
+        }
+        trace.events.sort_by_key(|e| e.time);
+        Ok(trace)
+    }
+}
+
+fn parse_timestamp(s: &str) -> Option<SimTime> {
+    let (secs, micros) = s.split_once('.')?;
+    let secs: u64 = secs.trim().parse().ok()?;
+    if micros.len() != 6 {
+        return None;
+    }
+    let micros: u64 = micros.parse().ok()?;
+    Some(SimTime::from_micros(secs * 1_000_000 + micros))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::codes;
+
+    fn sample_trace() -> EventTrace {
+        let mut t = EventTrace::new();
+        t.push(TimedEvent::new(
+            SimTime::from_micros(1_500_000),
+            1,
+            InputEvent::new(EventType::Abs, codes::ABS_MT_TRACKING_ID, 3),
+        ));
+        t.push(TimedEvent::new(
+            SimTime::from_micros(1_500_000),
+            1,
+            InputEvent::new(EventType::Abs, codes::ABS_MT_POSITION_X, 0x16b),
+        ));
+        t.push(TimedEvent::new(
+            SimTime::from_micros(1_500_000),
+            1,
+            InputEvent::syn_report(),
+        ));
+        t.push(TimedEvent::new(
+            SimTime::from_micros(1_580_000),
+            1,
+            InputEvent::new(EventType::Abs, codes::ABS_MT_TRACKING_ID, -1),
+        ));
+        t.push(TimedEvent::new(
+            SimTime::from_micros(1_580_000),
+            1,
+            InputEvent::syn_report(),
+        ));
+        t
+    }
+
+    #[test]
+    fn getevent_text_roundtrip() {
+        let t = sample_trace();
+        let text = t.to_getevent_text();
+        assert!(text.contains("0003 0039 00000003"));
+        assert!(text.contains("0003 0039 ffffffff"));
+        let parsed: EventTrace = text.parse().unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn parse_accepts_untimestamped_lines() {
+        let text = "/dev/input/event1: 0003 0039 00000003\n/dev/input/event1: 0000 0000 00000000\n";
+        let t: EventTrace = text.parse().unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].time, SimTime::ZERO);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blank_lines() {
+        let text = "# recorded on dragonboard\n\n[ 0.000001] /dev/input/event1: 0000 0000 00000000\n";
+        let t: EventTrace = text.parse().unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let text = "[ 0.000001] /dev/input/event1: 0000 0000 00000000\nnot an event\n";
+        let err = text.parse::<EventTrace>().unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn parse_rejects_bad_hex_and_unknown_type() {
+        assert!("/dev/input/event1: zz 0 0".parse::<EventTrace>().is_err());
+        assert!("/dev/input/event1: 0015 0000 00000000"
+            .parse::<EventTrace>()
+            .is_err());
+        assert!("/dev/input/eventX: 0000 0000 00000000"
+            .parse::<EventTrace>()
+            .is_err());
+        assert!("[ 1.23 ] /dev/input/event1: 0000 0000 00000000"
+            .parse::<EventTrace>()
+            .is_err());
+    }
+
+    #[test]
+    fn rebase_shifts_all_events() {
+        let t = sample_trace();
+        let r = t.rebased(SimTime::from_secs(10));
+        assert_eq!(r.start(), Some(SimTime::from_secs(10)));
+        assert_eq!(r.span(), t.span());
+        assert_eq!(r.len(), t.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "chronological")]
+    fn push_rejects_time_travel() {
+        let mut t = EventTrace::new();
+        t.push(TimedEvent::new(SimTime::from_secs(2), 1, InputEvent::syn_report()));
+        t.push(TimedEvent::new(SimTime::from_secs(1), 1, InputEvent::syn_report()));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let evs = vec![
+            TimedEvent::new(SimTime::from_secs(1), 1, InputEvent::syn_report()),
+            TimedEvent::new(SimTime::from_secs(2), 1, InputEvent::syn_report()),
+        ];
+        let t: EventTrace = evs.iter().copied().collect();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.span(), SimDuration::from_secs(1));
+    }
+}

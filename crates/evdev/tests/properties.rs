@@ -1,0 +1,172 @@
+//! Property-based tests for the input-event substrate.
+//!
+//! The record/replay contribution of the paper rests on two invariants:
+//! traces survive serialisation byte-exactly, and the encode→decode path
+//! through the multi-touch protocol loses nothing. Both are checked here
+//! over randomly generated gesture scripts.
+
+use proptest::prelude::*;
+
+use interlag_evdev::classify::{classify_trace, count_inputs, ClassifierConfig, InputClass};
+use interlag_evdev::event::{EventType, InputEvent, TimedEvent};
+use interlag_evdev::gesture::{Gesture, GestureSynth, HardKey};
+use interlag_evdev::mt::{ContactEvent, MtDecoder, Point};
+use interlag_evdev::replay::{ReplayAgent, Replayer};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_evdev::trace::EventTrace;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (0..720i32, 0..1280i32).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_gesture() -> impl Strategy<Value = Gesture> {
+    prop_oneof![
+        (arb_point(), 40u64..200).prop_map(|(pos, ms)| Gesture::Tap {
+            pos,
+            hold: SimDuration::from_millis(ms),
+        }),
+        (arb_point(), arb_point(), 100u64..600).prop_map(|(from, to, ms)| Gesture::Swipe {
+            from,
+            to,
+            duration: SimDuration::from_millis(ms),
+        }),
+        (arb_point(), 500u64..1200).prop_map(|(pos, ms)| Gesture::LongPress {
+            pos,
+            hold: SimDuration::from_millis(ms),
+        }),
+        (prop_oneof![
+            Just(HardKey::Power),
+            Just(HardKey::Home),
+            Just(HardKey::Back),
+            Just(HardKey::VolumeUp),
+            Just(HardKey::VolumeDown),
+        ], 30u64..150)
+            .prop_map(|(key, ms)| Gesture::Key { key, hold: SimDuration::from_millis(ms) }),
+    ]
+}
+
+/// A script of gestures with strictly increasing, non-overlapping start
+/// times (2 s apart, which exceeds every generated gesture duration).
+fn arb_script() -> impl Strategy<Value = Vec<(SimTime, Gesture)>> {
+    prop::collection::vec(arb_gesture(), 0..20).prop_map(|gs| {
+        gs.into_iter()
+            .enumerate()
+            .map(|(i, g)| (SimTime::from_millis(100 + 2_000 * i as u64), g))
+            .collect()
+    })
+}
+
+fn synthesize(script: &[(SimTime, Gesture)]) -> EventTrace {
+    let mut synth = GestureSynth::new(1, 4);
+    let mut trace = EventTrace::new();
+    for (t, g) in script {
+        trace.extend_events(synth.lower(*t, g));
+    }
+    trace
+}
+
+proptest! {
+    /// getevent text serialisation is lossless for any synthesised trace.
+    #[test]
+    fn trace_text_roundtrip(script in arb_script()) {
+        let trace = synthesize(&script);
+        let text = trace.to_getevent_text();
+        let parsed: EventTrace = text.parse().unwrap();
+        prop_assert_eq!(parsed, trace);
+    }
+
+    /// Raw event triples round-trip through the getevent line format for
+    /// arbitrary code/value payloads, including negative values.
+    #[test]
+    fn raw_line_roundtrip(kind in 0u16..=5, code in proptest::num::u16::ANY, value in proptest::num::i32::ANY) {
+        let kind = EventType::from_raw(kind).unwrap();
+        let ev = TimedEvent::new(SimTime::from_micros(1), 1, InputEvent::new(kind, code, value));
+        let text = format!("{ev}\n");
+        let parsed: EventTrace = text.parse().unwrap();
+        prop_assert_eq!(parsed.events()[0], ev);
+    }
+
+    /// Every touch gesture decodes to exactly one Down and one Up, with
+    /// matching endpoint positions.
+    #[test]
+    fn mt_decode_recovers_contacts(script in arb_script()) {
+        let trace = synthesize(&script);
+        let contacts = MtDecoder::decode_stream(trace.iter(), 1);
+        let downs: Vec<_> = contacts.iter().filter(|c| matches!(c, ContactEvent::Down { .. })).collect();
+        let ups: Vec<_> = contacts.iter().filter(|c| matches!(c, ContactEvent::Up { .. })).collect();
+        let touch_gestures: Vec<_> = script
+            .iter()
+            .filter(|(_, g)| !matches!(g, Gesture::Key { .. }))
+            .collect();
+        prop_assert_eq!(downs.len(), touch_gestures.len());
+        prop_assert_eq!(ups.len(), touch_gestures.len());
+        for (down, (t, g)) in downs.iter().zip(&touch_gestures) {
+            prop_assert_eq!(down.time(), *t);
+            prop_assert_eq!(down.pos(), g.start_pos().unwrap());
+        }
+    }
+
+    /// The classifier recovers the gesture class for gestures whose travel
+    /// is decisive (taps, long presses, keys; swipes beyond the slop).
+    #[test]
+    fn classifier_recovers_classes(script in arb_script()) {
+        let trace = synthesize(&script);
+        let cfg = ClassifierConfig::default();
+        let inputs = classify_trace(&trace, &cfg);
+        prop_assert_eq!(inputs.len(), script.len());
+        for (input, (t, g)) in inputs.iter().zip(&script) {
+            prop_assert_eq!(input.time, *t);
+            match g {
+                Gesture::Tap { .. } | Gesture::LongPress { .. } => {
+                    prop_assert_eq!(input.class, InputClass::Tap)
+                }
+                Gesture::Swipe { from, to, .. } => {
+                    let expected = if from.distance(*to) <= cfg.tap_slop_px {
+                        InputClass::Tap
+                    } else {
+                        InputClass::Swipe
+                    };
+                    prop_assert_eq!(input.class, expected);
+                }
+                Gesture::Key { .. } => prop_assert_eq!(input.class, InputClass::Key),
+            }
+        }
+        let counts = count_inputs(&inputs);
+        prop_assert_eq!(counts.total(), script.len());
+    }
+
+    /// The replay agent releases every event exactly once, in order, with
+    /// its recorded timestamp, regardless of the polling cadence.
+    #[test]
+    fn replay_is_exact_for_any_polling_cadence(
+        script in arb_script(),
+        poll_step_us in 100u64..50_000,
+    ) {
+        let trace = synthesize(&script);
+        let mut agent = ReplayAgent::new(trace.clone());
+        let mut released = Vec::new();
+        let mut now = SimTime::ZERO;
+        while !agent.is_finished() {
+            released.extend(agent.poll(now));
+            now += SimDuration::from_micros(poll_step_us);
+        }
+        prop_assert_eq!(released.len(), trace.len());
+        for (got, want) in released.iter().zip(trace.iter()) {
+            prop_assert_eq!(got, want);
+        }
+        prop_assert!(agent.stats().max_drift < SimDuration::from_micros(poll_step_us));
+    }
+
+    /// Rebasing preserves relative timing.
+    #[test]
+    fn rebase_preserves_gaps(script in arb_script(), origin_ms in 0u64..10_000) {
+        let trace = synthesize(&script);
+        let rebased = trace.rebased(SimTime::from_millis(origin_ms));
+        prop_assert_eq!(rebased.len(), trace.len());
+        prop_assert_eq!(rebased.span(), trace.span());
+        for (a, b) in rebased.iter().zip(trace.iter()) {
+            prop_assert_eq!(a.event, b.event);
+            prop_assert_eq!(a.device, b.device);
+        }
+    }
+}

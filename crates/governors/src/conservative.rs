@@ -1,0 +1,198 @@
+//! The Conservative governor.
+//!
+//! Linux's gentle variant of Ondemand, the second of the paper's subjects:
+//! instead of jumping to the maximum it climbs and descends in fixed-size
+//! steps, dwelling on intermediate frequencies. The paper finds exactly the
+//! consequence this design implies: lag durations (and user irritation) are
+//! far higher than Ondemand's because the clock takes several sampling
+//! windows to reach a useful speed — but the energy bill is lower, even
+//! 8 % below the oracle on average, because the work ends up executed at
+//! cheaper mid-table frequencies.
+
+use interlag_device::dvfs::{Governor, LoadSample};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_power::opp::{Frequency, OppTable};
+
+/// Tunables of [`Conservative`]
+/// (`/sys/devices/system/cpu/cpufreq/conservative`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConservativeTunables {
+    /// Load percentage above which the clock steps up.
+    pub up_threshold: f64,
+    /// Load percentage below which the clock steps down.
+    pub down_threshold: f64,
+    /// Step size as a percentage of the maximum frequency.
+    pub freq_step_pct: f64,
+    /// Evaluation interval.
+    pub sampling_rate: SimDuration,
+}
+
+impl Default for ConservativeTunables {
+    fn default() -> Self {
+        ConservativeTunables {
+            up_threshold: 80.0,
+            down_threshold: 20.0,
+            freq_step_pct: 5.0,
+            sampling_rate: SimDuration::from_millis(80),
+        }
+    }
+}
+
+/// The Conservative frequency governor.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_device::dvfs::{Governor, LoadSample};
+/// use interlag_evdev::time::{SimDuration, SimTime};
+/// use interlag_governors::conservative::Conservative;
+/// use interlag_power::opp::OppTable;
+///
+/// let table = OppTable::snapdragon_8074();
+/// let mut g = Conservative::default();
+/// g.init(&table);
+/// let window = SimDuration::from_millis(20);
+/// let busy = LoadSample { busy: window, window };
+/// // One saturated window only creeps one step up, not to the max.
+/// let f = g.on_sample(SimTime::ZERO, busy, &table);
+/// assert!(f > table.min_freq() && f < table.max_freq());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Conservative {
+    tunables: ConservativeTunables,
+    current: Frequency,
+    /// Unquantised requested frequency, so repeated small steps
+    /// accumulate the way the kernel's `requested_freq` does.
+    requested_khz: f64,
+}
+
+impl Conservative {
+    /// Creates the governor with explicit tunables.
+    pub fn new(tunables: ConservativeTunables) -> Self {
+        Conservative { tunables, current: Frequency::default(), requested_khz: 0.0 }
+    }
+
+    /// The active tunables.
+    pub fn tunables(&self) -> &ConservativeTunables {
+        &self.tunables
+    }
+
+    fn step_khz(&self, table: &OppTable) -> f64 {
+        table.max_freq().as_khz() as f64 * self.tunables.freq_step_pct / 100.0
+    }
+}
+
+impl Governor for Conservative {
+    fn name(&self) -> &str {
+        "conservative"
+    }
+
+    fn init(&mut self, table: &OppTable) -> Frequency {
+        self.current = table.min_freq();
+        self.requested_khz = self.current.as_khz() as f64;
+        self.current
+    }
+
+    fn sample_period(&self) -> SimDuration {
+        self.tunables.sampling_rate
+    }
+
+    fn on_sample(&mut self, _now: SimTime, load: LoadSample, table: &OppTable) -> Frequency {
+        let pct = load.load_percent();
+        let (min, max) = (table.min_freq().as_khz() as f64, table.max_freq().as_khz() as f64);
+        if pct > self.tunables.up_threshold {
+            self.requested_khz = (self.requested_khz + self.step_khz(table)).min(max);
+            // Rising: pick the lowest OPP that satisfies the request
+            // (cpufreq's RELATION_L).
+            self.current =
+                table.quantize_up(Frequency::from_khz(self.requested_khz.round() as u32));
+        } else if pct < self.tunables.down_threshold {
+            self.requested_khz = (self.requested_khz - self.step_khz(table)).max(min);
+            // Falling: pick the highest OPP not exceeding the request
+            // (RELATION_H), otherwise small steps would round back up.
+            self.current =
+                table.highest_at_most(Frequency::from_khz(self.requested_khz.round() as u32));
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> SimDuration {
+        SimDuration::from_millis(20)
+    }
+
+    fn load(pct: u64) -> LoadSample {
+        LoadSample { busy: window() * pct / 100, window: window() }
+    }
+
+    fn table() -> OppTable {
+        OppTable::snapdragon_8074()
+    }
+
+    #[test]
+    fn ramping_to_max_takes_many_windows() {
+        let t = table();
+        let mut g = Conservative::default();
+        g.init(&t);
+        let mut windows = 0;
+        while g.on_sample(SimTime::ZERO, load(100), &t) < t.max_freq() {
+            windows += 1;
+            assert!(windows < 100, "never reached max");
+        }
+        // 5 % steps from 0.30 to 2.15 GHz: ((2150.4-300)/107.5) ≈ 18 windows.
+        assert!((15..=20).contains(&windows), "took {windows} windows");
+    }
+
+    #[test]
+    fn intermediate_load_holds_frequency() {
+        let t = table();
+        let mut g = Conservative::default();
+        g.init(&t);
+        g.on_sample(SimTime::ZERO, load(100), &t);
+        let held = g.on_sample(SimTime::ZERO, load(50), &t);
+        assert_eq!(g.on_sample(SimTime::ZERO, load(50), &t), held);
+        assert_eq!(g.on_sample(SimTime::ZERO, load(79), &t), held);
+        assert_eq!(g.on_sample(SimTime::ZERO, load(21), &t), held);
+    }
+
+    #[test]
+    fn descends_stepwise_when_idle() {
+        let t = table();
+        let mut g = Conservative::default();
+        g.init(&t);
+        for _ in 0..25 {
+            g.on_sample(SimTime::ZERO, load(100), &t);
+        }
+        let from_max = g.on_sample(SimTime::ZERO, load(0), &t);
+        assert!(from_max < t.max_freq());
+        assert!(from_max > t.min_freq(), "must not fall straight to min");
+        let mut f = from_max;
+        let mut windows = 1;
+        while f > t.min_freq() {
+            f = g.on_sample(SimTime::ZERO, load(0), &t);
+            windows += 1;
+            assert!(windows < 100);
+        }
+        assert!(windows >= 15, "descended in only {windows} windows");
+    }
+
+    #[test]
+    fn requested_frequency_accumulates_across_quantization() {
+        // Steps smaller than an OPP gap must still make progress.
+        let t = table();
+        let mut g = Conservative::new(ConservativeTunables {
+            freq_step_pct: 2.0, // 43 MHz steps, smaller than most gaps
+            ..Default::default()
+        });
+        g.init(&t);
+        let mut f = t.min_freq();
+        for _ in 0..60 {
+            f = g.on_sample(SimTime::ZERO, load(100), &t);
+        }
+        assert_eq!(f, t.max_freq());
+    }
+}

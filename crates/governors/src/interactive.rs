@@ -1,0 +1,238 @@
+//! The Interactive governor.
+//!
+//! Android's default policy at the time of the paper and its third
+//! subject. Two features distinguish it from Ondemand (§III-B): it reacts
+//! **directly to input events**, ramping to `hispeed_freq` the moment the
+//! user touches the screen regardless of load, and it holds a raised
+//! frequency for at least `min_sample_time` before letting it fall, so a
+//! burst of rendering does not collapse the clock mid-gesture.
+
+use interlag_device::dvfs::{Governor, LoadSample};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_power::opp::{Frequency, OppTable};
+
+/// Tunables of [`Interactive`]
+/// (`/sys/devices/system/cpu/cpufreq/interactive`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InteractiveTunables {
+    /// Frequency the governor jumps to on input or high load.
+    pub hispeed_freq: Frequency,
+    /// Load percentage that forces at least `hispeed_freq`.
+    pub go_hispeed_load: f64,
+    /// Load percentage the governor steers towards when scaling.
+    pub target_load: f64,
+    /// Minimum dwell time before the frequency may fall.
+    pub min_sample_time: SimDuration,
+    /// Evaluation interval (`timer_rate`).
+    pub timer_rate: SimDuration,
+    /// Whether touching the screen boosts the clock (the governor's
+    /// signature feature; the ablation bench switches it off).
+    pub input_boost: bool,
+}
+
+impl InteractiveTunables {
+    /// Defaults matching a Nexus-class `interactive` configuration on the
+    /// Snapdragon table: hispeed at 1.19 GHz.
+    pub fn for_table(table: &OppTable) -> Self {
+        InteractiveTunables {
+            hispeed_freq: table.quantize_up(Frequency::from_mhz(1_190)),
+            go_hispeed_load: 85.0,
+            target_load: 90.0,
+            min_sample_time: SimDuration::from_millis(80),
+            timer_rate: SimDuration::from_millis(20),
+            input_boost: true,
+        }
+    }
+}
+
+/// The Interactive frequency governor.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_device::dvfs::Governor;
+/// use interlag_evdev::time::SimTime;
+/// use interlag_governors::interactive::Interactive;
+/// use interlag_power::opp::OppTable;
+///
+/// let table = OppTable::snapdragon_8074();
+/// let mut g = Interactive::for_table(&table);
+/// g.init(&table);
+/// // A touch boosts the clock with no load at all.
+/// let boosted = g.on_input(SimTime::from_millis(5), &table).unwrap();
+/// assert_eq!(boosted, g.tunables().hispeed_freq);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Interactive {
+    tunables: InteractiveTunables,
+    current: Frequency,
+    /// The frequency floor and when it was last raised.
+    floor: Frequency,
+    floor_set_at: SimTime,
+}
+
+impl Interactive {
+    /// Creates the governor with explicit tunables.
+    pub fn new(tunables: InteractiveTunables) -> Self {
+        Interactive {
+            tunables,
+            current: Frequency::default(),
+            floor: Frequency::default(),
+            floor_set_at: SimTime::ZERO,
+        }
+    }
+
+    /// Creates the governor with defaults fitted to `table`.
+    pub fn for_table(table: &OppTable) -> Self {
+        Interactive::new(InteractiveTunables::for_table(table))
+    }
+
+    /// The active tunables.
+    pub fn tunables(&self) -> &InteractiveTunables {
+        &self.tunables
+    }
+
+    fn raise_floor(&mut self, freq: Frequency, now: SimTime) {
+        self.floor = freq;
+        self.floor_set_at = now;
+    }
+}
+
+impl Governor for Interactive {
+    fn name(&self) -> &str {
+        "interactive"
+    }
+
+    fn init(&mut self, table: &OppTable) -> Frequency {
+        self.current = table.min_freq();
+        self.floor = table.min_freq();
+        self.floor_set_at = SimTime::ZERO;
+        self.current
+    }
+
+    fn sample_period(&self) -> SimDuration {
+        self.tunables.timer_rate
+    }
+
+    fn on_sample(&mut self, now: SimTime, load: LoadSample, table: &OppTable) -> Frequency {
+        let pct = load.load_percent();
+
+        // Steer towards target_load: the frequency at which the observed
+        // work would have produced exactly target_load.
+        let mut target_mhz = self.current.as_mhz() * pct / self.tunables.target_load;
+        if pct >= self.tunables.go_hispeed_load {
+            target_mhz = target_mhz.max(self.tunables.hispeed_freq.as_mhz());
+        }
+        let mut target =
+            table.quantize_up(Frequency::from_khz((target_mhz * 1_000.0).ceil() as u32));
+
+        // Respect the dwell floor.
+        let floor_expired =
+            now.saturating_since(self.floor_set_at) >= self.tunables.min_sample_time;
+        if !floor_expired {
+            target = target.max(self.floor);
+        }
+
+        if target > self.current {
+            self.raise_floor(target, now);
+        }
+        self.current = target.max(table.min_freq());
+        self.current
+    }
+
+    fn on_input(&mut self, now: SimTime, table: &OppTable) -> Option<Frequency> {
+        if !self.tunables.input_boost {
+            return None;
+        }
+        let boosted = table.quantize_up(self.tunables.hispeed_freq);
+        if boosted > self.current {
+            self.current = boosted;
+        }
+        // Touching again re-arms the dwell window either way.
+        self.raise_floor(self.current.max(boosted), now);
+        Some(self.current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> SimDuration {
+        SimDuration::from_millis(20)
+    }
+
+    fn load(pct: u64) -> LoadSample {
+        LoadSample { busy: window() * pct / 100, window: window() }
+    }
+
+    fn table() -> OppTable {
+        OppTable::snapdragon_8074()
+    }
+
+    #[test]
+    fn input_boost_without_any_load() {
+        let t = table();
+        let mut g = Interactive::for_table(&t);
+        g.init(&t);
+        let f = g.on_input(SimTime::from_millis(1), &t).unwrap();
+        assert_eq!(f, g.tunables().hispeed_freq);
+    }
+
+    #[test]
+    fn boost_holds_for_min_sample_time() {
+        let t = table();
+        let mut g = Interactive::for_table(&t);
+        g.init(&t);
+        g.on_input(SimTime::from_millis(0), &t);
+        // 20 ms later, zero load: floor still holds.
+        let f = g.on_sample(SimTime::from_millis(20), load(0), &t);
+        assert_eq!(f, g.tunables().hispeed_freq);
+        let f = g.on_sample(SimTime::from_millis(60), load(0), &t);
+        assert_eq!(f, g.tunables().hispeed_freq);
+        // After 80 ms the floor expires and the clock collapses.
+        let f = g.on_sample(SimTime::from_millis(81), load(0), &t);
+        assert_eq!(f, t.min_freq());
+    }
+
+    #[test]
+    fn high_load_goes_to_at_least_hispeed() {
+        let t = table();
+        let mut g = Interactive::for_table(&t);
+        g.init(&t);
+        let f = g.on_sample(SimTime::from_millis(20), load(90), &t);
+        assert!(f >= g.tunables().hispeed_freq);
+    }
+
+    #[test]
+    fn sustained_saturation_reaches_max() {
+        let t = table();
+        let mut g = Interactive::for_table(&t);
+        g.init(&t);
+        let mut f = t.min_freq();
+        for i in 1..=20 {
+            f = g.on_sample(SimTime::from_millis(20 * i), load(100), &t);
+        }
+        assert_eq!(f, t.max_freq());
+    }
+
+    #[test]
+    fn disabled_input_boost_ignores_touches() {
+        let t = table();
+        let mut tun = InteractiveTunables::for_table(&t);
+        tun.input_boost = false;
+        let mut g = Interactive::new(tun);
+        g.init(&t);
+        assert_eq!(g.on_input(SimTime::from_millis(1), &t), None);
+    }
+
+    #[test]
+    fn moderate_load_scales_proportionally_without_hispeed() {
+        let t = table();
+        let mut g = Interactive::for_table(&t);
+        g.init(&t);
+        // From min frequency with 50 % load the target stays low.
+        let f = g.on_sample(SimTime::from_millis(20), load(50), &t);
+        assert!(f <= Frequency::from_khz(422_400), "got {f}");
+    }
+}

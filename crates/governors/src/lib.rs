@@ -1,0 +1,61 @@
+//! # interlag-governors — the DVFS policies under study
+//!
+//! Implementations of the frequency governors characterised by *Seeker et
+//! al., IISWC 2014*, plugging into the
+//! [`Governor`](interlag_device::dvfs::Governor) hook of the simulated
+//! device:
+//!
+//! * [`ondemand`] — jump-to-max on high load, proportional descent;
+//! * [`conservative`] — stepwise ramping through intermediate points;
+//! * [`interactive`] — Android's default, with its input-event boost;
+//! * [`schedutil`] — the post-paper utilisation-driven default, included
+//!   as an extension to ask whether later governors closed the gap;
+//! * [`simple`] — the trivial `performance` / `powersave` policies;
+//! * [`plan`] — frequency plans and the trace-following governor the
+//!   oracle is evaluated through.
+//!
+//! # Examples
+//!
+//! The three study governors react very differently to the same saturated
+//! window:
+//!
+//! ```
+//! use interlag_device::dvfs::{Governor, LoadSample};
+//! use interlag_evdev::time::{SimDuration, SimTime};
+//! use interlag_governors::{Conservative, Interactive, Ondemand};
+//! use interlag_power::opp::OppTable;
+//!
+//! let table = OppTable::snapdragon_8074();
+//! let window = SimDuration::from_millis(20);
+//! let saturated = LoadSample { busy: window, window };
+//!
+//! let mut ondemand = Ondemand::default();
+//! ondemand.init(&table);
+//! assert_eq!(ondemand.on_sample(SimTime::ZERO, saturated, &table), table.max_freq());
+//!
+//! let mut conservative = Conservative::default();
+//! conservative.init(&table);
+//! assert!(conservative.on_sample(SimTime::ZERO, saturated, &table) < table.max_freq());
+//!
+//! let mut interactive = Interactive::for_table(&table);
+//! interactive.init(&table);
+//! let f = interactive.on_sample(SimTime::ZERO, saturated, &table);
+//! assert!(f >= interactive.tunables().hispeed_freq);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod conservative;
+pub mod interactive;
+pub mod ondemand;
+pub mod plan;
+pub mod schedutil;
+pub mod simple;
+
+pub use conservative::{Conservative, ConservativeTunables};
+pub use interactive::{Interactive, InteractiveTunables};
+pub use ondemand::{Ondemand, OndemandTunables};
+pub use plan::{FrequencyPlan, PlanGovernor};
+pub use schedutil::{Schedutil, SchedutilTunables};
+pub use simple::{Performance, Powersave};

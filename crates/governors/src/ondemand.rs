@@ -1,0 +1,169 @@
+//! The Ondemand governor.
+//!
+//! Linux's classic load-driven policy (and one of the paper's three
+//! subjects): when the load over the last sampling window exceeds
+//! `up_threshold` the clock jumps **straight to the maximum**; otherwise
+//! the next frequency is chosen proportional to the observed load. The
+//! jump-to-max behaviour is exactly the paper's "issue 2": during an
+//! interaction lag Ondemand overshoots, raising the frequency higher than
+//! the user needs. A `sampling_down_factor` keeps it at the top for a few
+//! windows before re-evaluating downwards, as in the kernel.
+
+use interlag_device::dvfs::{Governor, LoadSample};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_power::opp::{Frequency, OppTable};
+
+/// Tunables of [`Ondemand`] (`/sys/devices/system/cpu/cpufreq/ondemand`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OndemandTunables {
+    /// Load percentage above which the clock jumps to maximum.
+    pub up_threshold: f64,
+    /// Evaluation interval.
+    pub sampling_rate: SimDuration,
+    /// After a jump to maximum, skip this many windows before the
+    /// frequency is allowed to fall again.
+    pub sampling_down_factor: u32,
+}
+
+impl Default for OndemandTunables {
+    fn default() -> Self {
+        OndemandTunables {
+            up_threshold: 95.0,
+            sampling_rate: SimDuration::from_millis(20),
+            sampling_down_factor: 2,
+        }
+    }
+}
+
+/// The Ondemand frequency governor.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_device::dvfs::{Governor, LoadSample};
+/// use interlag_evdev::time::{SimDuration, SimTime};
+/// use interlag_governors::ondemand::Ondemand;
+/// use interlag_power::opp::OppTable;
+///
+/// let table = OppTable::snapdragon_8074();
+/// let mut g = Ondemand::default();
+/// g.init(&table);
+/// let window = SimDuration::from_millis(20);
+/// let saturated = LoadSample { busy: window, window };
+/// assert_eq!(g.on_sample(SimTime::ZERO, saturated, &table), table.max_freq());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Ondemand {
+    tunables: OndemandTunables,
+    current: Frequency,
+    down_skip: u32,
+}
+
+impl Ondemand {
+    /// Creates the governor with explicit tunables.
+    pub fn new(tunables: OndemandTunables) -> Self {
+        Ondemand { tunables, current: Frequency::default(), down_skip: 0 }
+    }
+
+    /// The active tunables.
+    pub fn tunables(&self) -> &OndemandTunables {
+        &self.tunables
+    }
+}
+
+impl Governor for Ondemand {
+    fn name(&self) -> &str {
+        "ondemand"
+    }
+
+    fn init(&mut self, table: &OppTable) -> Frequency {
+        self.current = table.min_freq();
+        self.down_skip = 0;
+        self.current
+    }
+
+    fn sample_period(&self) -> SimDuration {
+        self.tunables.sampling_rate
+    }
+
+    fn on_sample(&mut self, _now: SimTime, load: LoadSample, table: &OppTable) -> Frequency {
+        let pct = load.load_percent();
+        if pct > self.tunables.up_threshold {
+            self.current = table.max_freq();
+            self.down_skip = self.tunables.sampling_down_factor;
+            return self.current;
+        }
+        if self.down_skip > 0 {
+            self.down_skip -= 1;
+            return self.current;
+        }
+        // Proportional descent: pick the lowest frequency that could have
+        // carried the observed load below the threshold.
+        let target_mhz = table.max_freq().as_mhz() * pct / 100.0;
+        let target = Frequency::from_khz((target_mhz * 1_000.0).ceil() as u32);
+        self.current = table.quantize_up(target.max(table.min_freq()));
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> SimDuration {
+        SimDuration::from_millis(20)
+    }
+
+    fn load(pct: u64) -> LoadSample {
+        LoadSample { busy: window() * pct / 100, window: window() }
+    }
+
+    fn table() -> OppTable {
+        OppTable::snapdragon_8074()
+    }
+
+    #[test]
+    fn saturation_jumps_straight_to_max() {
+        let t = table();
+        let mut g = Ondemand::default();
+        assert_eq!(g.init(&t), t.min_freq());
+        assert_eq!(g.on_sample(SimTime::ZERO, load(100), &t), t.max_freq());
+    }
+
+    #[test]
+    fn idle_falls_to_min_after_down_factor() {
+        let t = table();
+        let mut g = Ondemand::default();
+        g.init(&t);
+        g.on_sample(SimTime::ZERO, load(100), &t);
+        // Two skipped windows (sampling_down_factor = 2)…
+        assert_eq!(g.on_sample(SimTime::ZERO, load(0), &t), t.max_freq());
+        assert_eq!(g.on_sample(SimTime::ZERO, load(0), &t), t.max_freq());
+        // …then straight down.
+        assert_eq!(g.on_sample(SimTime::ZERO, load(0), &t), t.min_freq());
+    }
+
+    #[test]
+    fn moderate_load_is_proportional() {
+        let t = table();
+        let mut g = Ondemand::default();
+        g.init(&t);
+        let f = g.on_sample(SimTime::ZERO, load(50), &t);
+        // 50 % of 2.15 GHz ≈ 1.08 GHz → next point up is 1.19 GHz.
+        assert_eq!(f, Frequency::from_khz(1_190_400));
+        let f = g.on_sample(SimTime::ZERO, load(10), &t);
+        assert_eq!(f, Frequency::from_khz(300_000));
+    }
+
+    #[test]
+    fn below_threshold_takes_the_proportional_path() {
+        let t = table();
+        let mut g = Ondemand::default();
+        g.init(&t);
+        // 88 % load: below the 95 % threshold, so no jump — the
+        // proportional target is 0.88 × 2.15 GHz ≈ 1.89 GHz → 1.96 GHz.
+        let f = g.on_sample(SimTime::ZERO, load(88), &t);
+        assert_eq!(f, Frequency::from_khz(1_958_400));
+        assert!(f < t.max_freq());
+    }
+}

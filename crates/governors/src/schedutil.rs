@@ -1,0 +1,188 @@
+//! The Schedutil governor — a post-paper extension.
+//!
+//! Schedutil replaced Interactive as Android's default years after the
+//! study: it picks `f = headroom × f_max × utilisation` directly from
+//! scheduler utilisation instead of thresholds, optionally boosted on
+//! input. Including it answers the natural follow-up to the paper — *did
+//! later governors close the gap to the oracle?* — with the same
+//! methodology (see the `headline` bench).
+
+use interlag_device::dvfs::{Governor, LoadSample};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_power::opp::{Frequency, OppTable};
+
+/// Tunables of [`Schedutil`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedutilTunables {
+    /// Headroom factor applied to the utilisation estimate (the kernel
+    /// uses 1.25: "go 25 % faster than strictly needed").
+    pub headroom: f64,
+    /// Exponential-decay weight of the utilisation estimate per window
+    /// (the PELT-like memory; 0 = no memory, 1 = frozen).
+    pub decay: f64,
+    /// Evaluation interval.
+    pub rate_limit: SimDuration,
+    /// Down-scaling is rate-limited harder than up-scaling, as in the
+    /// kernel: the frequency may only fall after this long at a lower
+    /// utilisation.
+    pub down_rate_limit: SimDuration,
+}
+
+impl Default for SchedutilTunables {
+    fn default() -> Self {
+        SchedutilTunables {
+            headroom: 1.25,
+            decay: 0.5,
+            rate_limit: SimDuration::from_millis(10),
+            down_rate_limit: SimDuration::from_millis(40),
+        }
+    }
+}
+
+/// The Schedutil frequency governor.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_device::dvfs::{Governor, LoadSample};
+/// use interlag_evdev::time::{SimDuration, SimTime};
+/// use interlag_governors::schedutil::Schedutil;
+/// use interlag_power::opp::OppTable;
+///
+/// let table = OppTable::snapdragon_8074();
+/// let mut g = Schedutil::default();
+/// g.init(&table);
+/// let w = SimDuration::from_millis(10);
+/// let half = LoadSample { busy: w / 2, window: w };
+/// // 50 % util × 1.25 headroom → ~1.34 GHz target.
+/// let f = g.on_sample(SimTime::from_millis(10), half, &table);
+/// assert!(f > table.min_freq() && f < table.max_freq());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Schedutil {
+    tunables: SchedutilTunables,
+    util: f64,
+    current: Frequency,
+    last_decrease_ok: SimTime,
+}
+
+impl Schedutil {
+    /// Creates the governor with explicit tunables.
+    pub fn new(tunables: SchedutilTunables) -> Self {
+        Schedutil { tunables, ..Default::default() }
+    }
+
+    /// The active tunables.
+    pub fn tunables(&self) -> &SchedutilTunables {
+        &self.tunables
+    }
+}
+
+impl Governor for Schedutil {
+    fn name(&self) -> &str {
+        "schedutil"
+    }
+
+    fn init(&mut self, table: &OppTable) -> Frequency {
+        self.util = 0.0;
+        self.current = table.min_freq();
+        self.last_decrease_ok = SimTime::ZERO;
+        self.current
+    }
+
+    fn sample_period(&self) -> SimDuration {
+        self.tunables.rate_limit
+    }
+
+    fn on_sample(&mut self, now: SimTime, load: LoadSample, table: &OppTable) -> Frequency {
+        let instantaneous = (load.load_percent() / 100.0).clamp(0.0, 1.0);
+        // PELT-ish memory: decays towards the instantaneous utilisation
+        // but rises immediately (max), so bursts are not under-served.
+        let decayed = self.tunables.decay * self.util
+            + (1.0 - self.tunables.decay) * instantaneous;
+        self.util = decayed.max(instantaneous);
+
+        let target_mhz = self.tunables.headroom * table.max_freq().as_mhz() * self.util;
+        let target = table.quantize_up(Frequency::from_khz((target_mhz * 1_000.0).ceil() as u32));
+
+        if target >= self.current {
+            self.current = target;
+            self.last_decrease_ok = now + self.tunables.down_rate_limit;
+        } else if now >= self.last_decrease_ok {
+            self.current = target;
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> SimDuration {
+        SimDuration::from_millis(10)
+    }
+
+    fn load(pct: u64) -> LoadSample {
+        LoadSample { busy: window() * pct / 100, window: window() }
+    }
+
+    fn table() -> OppTable {
+        OppTable::snapdragon_8074()
+    }
+
+    #[test]
+    fn saturation_reaches_max_immediately() {
+        let t = table();
+        let mut g = Schedutil::default();
+        g.init(&t);
+        assert_eq!(g.on_sample(SimTime::from_millis(10), load(100), &t), t.max_freq());
+    }
+
+    #[test]
+    fn headroom_over_provisions() {
+        let t = table();
+        let mut g = Schedutil::default();
+        g.init(&t);
+        // 60 % util → 1.25 × 0.6 × 2.15 GHz ≈ 1.61 GHz → 1.73 GHz point.
+        let f = g.on_sample(SimTime::from_millis(10), load(60), &t);
+        assert_eq!(f, Frequency::from_khz(1_728_000));
+    }
+
+    #[test]
+    fn down_scaling_is_rate_limited() {
+        let t = table();
+        let mut g = Schedutil::default();
+        g.init(&t);
+        let f = g.on_sample(SimTime::from_millis(10), load(100), &t);
+        assert_eq!(f, t.max_freq());
+        // 10 ms later utilisation collapses — but the down rate limit
+        // holds the frequency.
+        let f = g.on_sample(SimTime::from_millis(20), load(0), &t);
+        assert_eq!(f, t.max_freq());
+        // After the down-rate window (40 ms past the raise), it may fall.
+        let mut f = t.max_freq();
+        for ms in [30u64, 40, 50, 60, 70, 80] {
+            f = g.on_sample(SimTime::from_millis(ms), load(0), &t);
+        }
+        assert!(f < t.max_freq());
+    }
+
+    #[test]
+    fn util_memory_keeps_frequency_above_the_instantaneous_target() {
+        let t = table();
+        let mut g = Schedutil::default();
+        g.init(&t);
+        g.on_sample(SimTime::from_millis(10), load(100), &t);
+        // Load drops to 40 %: the decayed utilisation keeps the clock at
+        // or above the pure 40 % target (1.25 x 0.4 x 2.15 GHz -> the
+        // 1.19 GHz point) while it converges onto it.
+        let mut freqs = Vec::new();
+        for i in 1..=10 {
+            freqs.push(g.on_sample(SimTime::from_millis(10 + 10 * i), load(40), &t));
+        }
+        assert!(freqs.iter().all(|f| *f >= Frequency::from_khz(1_190_400)),
+            "never below the 40 % target while converging: {freqs:?}");
+        assert_eq!(*freqs.last().expect("ten samples"), Frequency::from_khz(1_190_400));
+    }
+}

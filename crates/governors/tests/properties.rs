@@ -1,0 +1,119 @@
+//! Property-based tests of the governor implementations: whatever load
+//! sequence arrives, every policy must stay on the OPP table, respect its
+//! own invariants, and remain deterministic.
+
+use proptest::prelude::*;
+
+use interlag_device::dvfs::{FixedGovernor, Governor, LoadSample};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_governors::plan::{FrequencyPlan, PlanGovernor};
+use interlag_governors::{Conservative, Interactive, Ondemand, Schedutil};
+use interlag_power::opp::OppTable;
+
+fn arb_loads() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=100, 1..120)
+}
+
+fn drive(gov: &mut dyn Governor, loads: &[u8], table: &OppTable) -> Vec<u32> {
+    gov.init(table);
+    let period = gov.sample_period();
+    let mut now = SimTime::ZERO;
+    loads
+        .iter()
+        .map(|&pct| {
+            now += period;
+            let sample = LoadSample { busy: period * pct as u64 / 100, window: period };
+            gov.on_sample(now, sample, table).as_khz()
+        })
+        .collect()
+}
+
+proptest! {
+    /// Every governor's every decision is an exact OPP-table frequency.
+    #[test]
+    fn decisions_stay_on_the_opp_table(loads in arb_loads()) {
+        let table = OppTable::snapdragon_8074();
+        let valid: Vec<u32> = table.frequencies().map(|f| f.as_khz()).collect();
+        let mut governors: Vec<Box<dyn Governor>> = vec![
+            Box::new(Ondemand::default()),
+            Box::new(Conservative::default()),
+            Box::new(Interactive::for_table(&table)),
+            Box::new(Schedutil::default()),
+            Box::new(FixedGovernor::new(table.min_freq())),
+        ];
+        for gov in governors.iter_mut() {
+            for khz in drive(gov.as_mut(), &loads, &table) {
+                prop_assert!(valid.contains(&khz), "{}: {khz} kHz off-table", gov.name());
+            }
+        }
+    }
+
+    /// Governors are pure functions of their input history: replaying the
+    /// same loads yields the same decisions.
+    #[test]
+    fn decisions_are_deterministic(loads in arb_loads()) {
+        let table = OppTable::snapdragon_8074();
+        let mut a = Ondemand::default();
+        let mut b = Ondemand::default();
+        prop_assert_eq!(drive(&mut a, &loads, &table), drive(&mut b, &loads, &table));
+        let mut a = Conservative::default();
+        let mut b = Conservative::default();
+        prop_assert_eq!(drive(&mut a, &loads, &table), drive(&mut b, &loads, &table));
+    }
+
+    /// Conservative never moves more than one 5 %-of-max step between
+    /// consecutive samples (quantised outward to the neighbouring OPPs).
+    #[test]
+    fn conservative_steps_are_bounded(loads in arb_loads()) {
+        let table = OppTable::snapdragon_8074();
+        let mut gov = Conservative::default();
+        let freqs = drive(&mut gov, &loads, &table);
+        let step = table.max_freq().as_khz() as f64 * 0.05;
+        // The *requested* frequency moves one step; the published
+        // frequency quantises it onto the table (up when rising, down
+        // when falling), so one sample can hop across an OPP gap on each
+        // side of the request. Bound: one step plus twice the widest gap.
+        let widest_gap = table
+            .opps()
+            .windows(2)
+            .map(|p| p[1].freq.as_khz() - p[0].freq.as_khz())
+            .max()
+            .expect("multiple OPPs") as f64;
+        for pair in freqs.windows(2) {
+            let delta = (pair[1] as f64 - pair[0] as f64).abs();
+            prop_assert!(delta <= step + 2.0 * widest_gap, "jumped {delta} kHz");
+        }
+    }
+
+    /// Under saturation ondemand reaches the maximum immediately and
+    /// never leaves it while the load stays high.
+    #[test]
+    fn ondemand_pins_max_under_saturation(n in 1usize..50) {
+        let table = OppTable::snapdragon_8074();
+        let loads = vec![100u8; n];
+        let mut gov = Ondemand::default();
+        let freqs = drive(&mut gov, &loads, &table);
+        prop_assert!(freqs.iter().all(|&f| f == table.max_freq().as_khz()));
+    }
+
+    /// The plan governor follows an arbitrary plan exactly (quantised up
+    /// to the table).
+    #[test]
+    fn plan_governor_follows_any_plan(
+        steps in prop::collection::vec((0u64..60_000, 200_000u32..2_200_000), 0..20),
+    ) {
+        let table = OppTable::snapdragon_8074();
+        let mut plan = FrequencyPlan::new(table.min_freq());
+        for &(ms, khz) in &steps {
+            plan.set_from(SimTime::from_millis(ms), interlag_power::opp::Frequency::from_khz(khz));
+        }
+        let mut gov = PlanGovernor::new("test-plan", plan.clone());
+        gov.init(&table);
+        let idle = LoadSample { busy: SimDuration::ZERO, window: SimDuration::from_millis(1) };
+        for ms in (0..60_000).step_by(777) {
+            let t = SimTime::from_millis(ms);
+            let got = gov.on_sample(t, idle, &table);
+            prop_assert_eq!(got, table.quantize_up(plan.freq_at(t)));
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Power-model calibration: the paper's micro-benchmark procedure.
+//!
+//! §III-C of the paper: *"We execute a CPU intensive micro benchmark for
+//! each core frequency and measure overall system power. We then subtract
+//! the idle system power to get dynamic core power for each frequency."*
+//!
+//! The same procedure runs here against the simulated power rig: a busy
+//! loop is "executed" at every OPP, the virtual power meter (the
+//! [`PowerModel`] plus optional measurement noise) is sampled, idle power
+//! is measured separately and subtracted, and the result is a
+//! [`MeasuredPowerTable`] — the artifact every energy computation in the
+//! experiments consumes. Calibration-vs-model agreement is itself a test.
+
+use serde::{Deserialize, Serialize};
+
+use interlag_evdev::rng::SplitMix64;
+
+use crate::model::{Milliwatts, PowerModel};
+use crate::opp::{Frequency, OppTable};
+
+/// Per-frequency dynamic power derived from (simulated) measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredPowerTable {
+    entries: Vec<(Frequency, Milliwatts)>,
+    idle_mw: Milliwatts,
+}
+
+impl MeasuredPowerTable {
+    /// Builds a table from raw `(frequency, dynamic power)` pairs plus the
+    /// measured idle power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty.
+    pub fn new(mut entries: Vec<(Frequency, Milliwatts)>, idle_mw: Milliwatts) -> Self {
+        assert!(!entries.is_empty(), "a power table needs at least one entry");
+        entries.sort_by_key(|(f, _)| *f);
+        MeasuredPowerTable { entries, idle_mw }
+    }
+
+    /// The measured idle power, mW.
+    pub fn idle_mw(&self) -> Milliwatts {
+        self.idle_mw
+    }
+
+    /// The `(frequency, dynamic power)` pairs, slowest first.
+    pub fn entries(&self) -> &[(Frequency, Milliwatts)] {
+        &self.entries
+    }
+
+    /// Dynamic power at `freq`.
+    ///
+    /// Exact table hits return the measured value; frequencies between
+    /// points interpolate linearly (a governor may be asked about a
+    /// frequency the rig never measured); beyond the ends the edge value
+    /// is used.
+    pub fn dynamic_power(&self, freq: Frequency) -> Milliwatts {
+        match self.entries.binary_search_by_key(&freq, |(f, _)| *f) {
+            Ok(i) => self.entries[i].1,
+            Err(0) => self.entries[0].1,
+            Err(i) if i == self.entries.len() => self.entries[i - 1].1,
+            Err(i) => {
+                let (f0, p0) = self.entries[i - 1];
+                let (f1, p1) = self.entries[i];
+                let t = (freq.as_khz() - f0.as_khz()) as f64
+                    / (f1.as_khz() - f0.as_khz()) as f64;
+                p0 + (p1 - p0) * t
+            }
+        }
+    }
+
+    /// Dynamic energy per cycle at `freq`, nanojoules.
+    pub fn energy_per_cycle_nj(&self, freq: Frequency) -> f64 {
+        self.dynamic_power(freq) / freq.as_mhz()
+    }
+
+    /// The measured frequency with the lowest dynamic energy per cycle —
+    /// the frequency the oracle runs at outside interaction lags.
+    pub fn most_efficient_freq(&self) -> Frequency {
+        self.entries
+            .iter()
+            .map(|(f, _)| *f)
+            .min_by(|a, b| {
+                self.energy_per_cycle_nj(*a)
+                    .partial_cmp(&self.energy_per_cycle_nj(*b))
+                    .expect("finite energies")
+            })
+            .expect("tables are never empty")
+    }
+}
+
+/// Configuration of the calibration run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Relative 1-sigma noise of each power-meter sample (0.01 = 1 %).
+    pub meter_noise_rel: f64,
+    /// Samples averaged per operating point.
+    pub samples_per_opp: u32,
+    /// PRNG seed for the meter noise.
+    pub seed: u64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig { meter_noise_rel: 0.01, samples_per_opp: 16, seed: 0x0ca1_1b0a }
+    }
+}
+
+/// Runs the micro-benchmark calibration against a virtual power rig backed
+/// by `model`, producing the measured table.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_power::calibrate::{calibrate, CalibrationConfig};
+/// use interlag_power::model::PowerModel;
+/// use interlag_power::opp::OppTable;
+///
+/// let table = OppTable::snapdragon_8074();
+/// let measured = calibrate(&table, &PowerModel::krait_like(), &CalibrationConfig::default());
+/// assert_eq!(measured.entries().len(), 14);
+/// assert_eq!(measured.most_efficient_freq().to_string(), "0.96 GHz");
+/// ```
+pub fn calibrate(
+    table: &OppTable,
+    model: &PowerModel,
+    config: &CalibrationConfig,
+) -> MeasuredPowerTable {
+    let mut rng = SplitMix64::new(config.seed);
+    let mut sample = |true_mw: Milliwatts| -> Milliwatts {
+        let n = config.samples_per_opp.max(1);
+        let mut acc = 0.0;
+        for _ in 0..n {
+            // Uniform noise with the requested relative sigma
+            // (uniform(-a, a) has sigma a/sqrt(3)).
+            let a = config.meter_noise_rel * 3f64.sqrt();
+            let noise = (rng.next_f64() * 2.0 - 1.0) * a;
+            acc += true_mw * (1.0 + noise);
+        }
+        acc / n as f64
+    };
+
+    // Step 1: measure the idle system.
+    let idle_mw = sample(model.idle_mw);
+
+    // Step 2: run the busy loop at every OPP, measure, subtract idle.
+    let entries = table
+        .opps()
+        .iter()
+        .map(|opp| (opp.freq, sample(model.busy_power(opp)) - idle_mw))
+        .collect();
+
+    MeasuredPowerTable::new(entries, idle_mw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measured() -> (OppTable, PowerModel, MeasuredPowerTable) {
+        let table = OppTable::snapdragon_8074();
+        let model = PowerModel::krait_like();
+        let m = calibrate(&table, &model, &CalibrationConfig::default());
+        (table, model, m)
+    }
+
+    #[test]
+    fn calibration_recovers_the_model_within_noise() {
+        let (table, model, m) = measured();
+        for opp in table.opps() {
+            let truth = model.dynamic_power(opp);
+            let meas = m.dynamic_power(opp.freq);
+            let rel = (meas - truth).abs() / truth;
+            assert!(rel < 0.02, "{}: {:.1} vs {:.1} mW", opp.freq, meas, truth);
+        }
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let table = OppTable::snapdragon_8074();
+        let model = PowerModel::krait_like();
+        let a = calibrate(&table, &model, &CalibrationConfig::default());
+        let b = calibrate(&table, &model, &CalibrationConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noiseless_calibration_is_exact() {
+        let table = OppTable::snapdragon_8074();
+        let model = PowerModel::krait_like();
+        let cfg = CalibrationConfig { meter_noise_rel: 0.0, ..Default::default() };
+        let m = calibrate(&table, &model, &cfg);
+        for opp in table.opps() {
+            assert!((m.dynamic_power(opp.freq) - model.dynamic_power(opp)).abs() < 1e-9);
+        }
+        assert!((m.idle_mw() - model.idle_mw).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        let m = MeasuredPowerTable::new(
+            vec![
+                (Frequency::from_mhz(1_000), 100.0),
+                (Frequency::from_mhz(2_000), 300.0),
+            ],
+            10.0,
+        );
+        assert!((m.dynamic_power(Frequency::from_mhz(1_500)) - 200.0).abs() < 1e-9);
+        // Clamped at the edges.
+        assert!((m.dynamic_power(Frequency::from_mhz(500)) - 100.0).abs() < 1e-9);
+        assert!((m.dynamic_power(Frequency::from_mhz(3_000)) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_optimum_matches_model_optimum() {
+        let (table, model, m) = measured();
+        assert_eq!(m.most_efficient_freq(), model.most_efficient_freq(&table));
+    }
+}

@@ -1,0 +1,295 @@
+//! Energy accounting over frequency/load traces.
+//!
+//! During every workload execution the device logs which frequency the
+//! core ran at and how much of each interval it was busy (§III-B: *"we
+//! collect frequency and CPU load traces in the background for each
+//! run"*). The [`EnergyMeter`] integrates such an [`ActivityTrace`]
+//! against a [`MeasuredPowerTable`] to produce the energy numbers of
+//! Figures 12–14. Following the paper, the headline quantity is *dynamic*
+//! energy — busy power minus idle power — because idle platform power is
+//! identical across configurations and would only compress the ratios.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use interlag_evdev::time::{SimDuration, SimTime};
+
+use crate::calibrate::MeasuredPowerTable;
+use crate::opp::Frequency;
+
+/// One homogeneous interval of CPU activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivitySample {
+    /// Interval start.
+    pub start: SimTime,
+    /// Interval length.
+    pub duration: SimDuration,
+    /// Frequency the core was set to.
+    pub freq: Frequency,
+    /// Time within the interval the core actually executed.
+    pub busy: SimDuration,
+}
+
+/// A time-ordered log of [`ActivitySample`]s covering a whole execution.
+///
+/// Adjacent samples with the same frequency are merged on push, so a
+/// 10-minute run compresses to a few thousand entries.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ActivityTrace {
+    samples: Vec<ActivitySample>,
+}
+
+impl ActivityTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        ActivityTrace::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample overlaps the previous one, or if `busy`
+    /// exceeds `duration`.
+    pub fn push(&mut self, sample: ActivitySample) {
+        assert!(
+            sample.busy <= sample.duration,
+            "busy time {} exceeds interval {}",
+            sample.busy,
+            sample.duration
+        );
+        if let Some(last) = self.samples.last_mut() {
+            let last_end = last.start + last.duration;
+            assert!(
+                sample.start >= last_end,
+                "activity samples must not overlap ({} < {})",
+                sample.start,
+                last_end
+            );
+            // Merge contiguous same-frequency samples.
+            if sample.start == last_end && sample.freq == last.freq {
+                last.duration += sample.duration;
+                last.busy += sample.busy;
+                return;
+            }
+        }
+        self.samples.push(sample);
+    }
+
+    /// The (merged) samples in order.
+    pub fn samples(&self) -> &[ActivitySample] {
+        &self.samples
+    }
+
+    /// Total covered time.
+    pub fn total_duration(&self) -> SimDuration {
+        self.samples.iter().map(|s| s.duration).sum()
+    }
+
+    /// Total busy time.
+    pub fn busy_time(&self) -> SimDuration {
+        self.samples.iter().map(|s| s.busy).sum()
+    }
+
+    /// Busy time per frequency, slowest first.
+    pub fn busy_by_freq(&self) -> Vec<(Frequency, SimDuration)> {
+        let mut map: BTreeMap<Frequency, SimDuration> = BTreeMap::new();
+        for s in &self.samples {
+            *map.entry(s.freq).or_default() += s.busy;
+        }
+        map.into_iter().collect()
+    }
+
+    /// The frequency set at `time`, if the trace covers it.
+    pub fn freq_at(&self, time: SimTime) -> Option<Frequency> {
+        let i = self.samples.partition_point(|s| s.start <= time);
+        let s = &self.samples[..i].last()?;
+        (time < s.start + s.duration).then_some(s.freq)
+    }
+
+    /// Restricts the trace to `[from, to)`, splitting boundary samples
+    /// proportionally (busy time is assumed uniform within a sample).
+    pub fn slice(&self, from: SimTime, to: SimTime) -> ActivityTrace {
+        let mut out = ActivityTrace::new();
+        for s in &self.samples {
+            let s_end = s.start + s.duration;
+            let lo = s.start.max(from);
+            let hi = s_end.min(to);
+            if lo >= hi {
+                continue;
+            }
+            let part = hi - lo;
+            let busy_part = if s.duration.is_zero() {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_micros(
+                    s.busy.as_micros() * part.as_micros() / s.duration.as_micros(),
+                )
+            };
+            out.push(ActivitySample { start: lo, duration: part, freq: s.freq, busy: busy_part });
+        }
+        out
+    }
+}
+
+/// Energy totals of one execution, in millijoules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Dynamic (above-idle) energy: the paper's headline quantity.
+    pub dynamic_mj: f64,
+    /// Idle-floor energy over the whole span.
+    pub idle_mj: f64,
+    /// Dynamic energy broken down by frequency, slowest first.
+    pub by_freq: Vec<(Frequency, f64)>,
+}
+
+impl EnergyReport {
+    /// Dynamic plus idle energy.
+    pub fn total_mj(&self) -> f64 {
+        self.dynamic_mj + self.idle_mj
+    }
+
+    /// Dynamic energy in joules.
+    pub fn dynamic_j(&self) -> f64 {
+        self.dynamic_mj / 1_000.0
+    }
+}
+
+/// Integrates activity traces against a measured power table.
+#[derive(Debug, Clone)]
+pub struct EnergyMeter {
+    table: MeasuredPowerTable,
+}
+
+impl EnergyMeter {
+    /// Creates a meter using `table` for power lookups.
+    pub fn new(table: MeasuredPowerTable) -> Self {
+        EnergyMeter { table }
+    }
+
+    /// The power table in use.
+    pub fn table(&self) -> &MeasuredPowerTable {
+        &self.table
+    }
+
+    /// Computes the energy of one execution.
+    pub fn measure(&self, trace: &ActivityTrace) -> EnergyReport {
+        let mut by_freq: BTreeMap<Frequency, f64> = BTreeMap::new();
+        let mut dynamic_mj = 0.0;
+        for s in trace.samples() {
+            let p = self.table.dynamic_power(s.freq); // mW
+            let e = p * s.busy.as_secs_f64(); // mW·s = mJ
+            dynamic_mj += e;
+            *by_freq.entry(s.freq).or_default() += e;
+        }
+        let idle_mj = self.table.idle_mw() * trace.total_duration().as_secs_f64();
+        EnergyReport { dynamic_mj, idle_mj, by_freq: by_freq.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_table() -> MeasuredPowerTable {
+        MeasuredPowerTable::new(
+            vec![
+                (Frequency::from_mhz(300), 300.0),
+                (Frequency::from_mhz(1_000), 1_000.0),
+            ],
+            50.0,
+        )
+    }
+
+    fn sample(start_ms: u64, dur_ms: u64, mhz: u32, busy_ms: u64) -> ActivitySample {
+        ActivitySample {
+            start: SimTime::from_millis(start_ms),
+            duration: SimDuration::from_millis(dur_ms),
+            freq: Frequency::from_mhz(mhz),
+            busy: SimDuration::from_millis(busy_ms),
+        }
+    }
+
+    #[test]
+    fn merging_contiguous_same_freq() {
+        let mut t = ActivityTrace::new();
+        t.push(sample(0, 10, 300, 5));
+        t.push(sample(10, 10, 300, 10));
+        t.push(sample(20, 10, 1_000, 2));
+        assert_eq!(t.samples().len(), 2);
+        assert_eq!(t.total_duration(), SimDuration::from_millis(30));
+        assert_eq!(t.busy_time(), SimDuration::from_millis(17));
+    }
+
+    #[test]
+    fn gaps_prevent_merging() {
+        let mut t = ActivityTrace::new();
+        t.push(sample(0, 10, 300, 5));
+        t.push(sample(20, 10, 300, 5));
+        assert_eq!(t.samples().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn overlap_rejected() {
+        let mut t = ActivityTrace::new();
+        t.push(sample(0, 10, 300, 5));
+        t.push(sample(5, 10, 300, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "busy time")]
+    fn busy_beyond_duration_rejected() {
+        let mut t = ActivityTrace::new();
+        t.push(sample(0, 10, 300, 11));
+    }
+
+    #[test]
+    fn energy_integration() {
+        let mut t = ActivityTrace::new();
+        // 1 s fully busy at 1 GHz (1 000 mW) = 1 000 mJ dynamic.
+        t.push(sample(0, 1_000, 1_000, 1_000));
+        // 1 s idle at 300 MHz: no dynamic energy.
+        t.push(sample(1_000, 1_000, 300, 0));
+        let meter = EnergyMeter::new(flat_table());
+        let report = meter.measure(&t);
+        assert!((report.dynamic_mj - 1_000.0).abs() < 1e-9);
+        // Idle floor: 50 mW × 2 s = 100 mJ.
+        assert!((report.idle_mj - 100.0).abs() < 1e-9);
+        assert!((report.total_mj() - 1_100.0).abs() < 1e-9);
+        assert_eq!(report.by_freq.len(), 2);
+        assert!((report.by_freq[0].1 - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freq_at_lookup() {
+        let mut t = ActivityTrace::new();
+        t.push(sample(0, 10, 300, 0));
+        t.push(sample(10, 10, 1_000, 0));
+        assert_eq!(t.freq_at(SimTime::from_millis(5)), Some(Frequency::from_mhz(300)));
+        assert_eq!(t.freq_at(SimTime::from_millis(10)), Some(Frequency::from_mhz(1_000)));
+        assert_eq!(t.freq_at(SimTime::from_millis(25)), None);
+    }
+
+    #[test]
+    fn slice_splits_proportionally() {
+        let mut t = ActivityTrace::new();
+        t.push(sample(0, 100, 300, 50));
+        let s = t.slice(SimTime::from_millis(25), SimTime::from_millis(75));
+        assert_eq!(s.total_duration(), SimDuration::from_millis(50));
+        assert_eq!(s.busy_time(), SimDuration::from_millis(25));
+        assert_eq!(s.samples()[0].start, SimTime::from_millis(25));
+    }
+
+    #[test]
+    fn busy_by_freq_accumulates() {
+        let mut t = ActivityTrace::new();
+        t.push(sample(0, 10, 1_000, 4));
+        t.push(sample(10, 10, 300, 3));
+        t.push(sample(30, 10, 1_000, 2));
+        let by = t.busy_by_freq();
+        assert_eq!(by[0], (Frequency::from_mhz(300), SimDuration::from_millis(3)));
+        assert_eq!(by[1], (Frequency::from_mhz(1_000), SimDuration::from_millis(6)));
+    }
+}

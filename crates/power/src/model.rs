@@ -1,0 +1,148 @@
+//! The parametric CPU power model.
+//!
+//! The paper measures power directly; we generate it from the standard CMOS
+//! decomposition — P_busy(f) = P_idle + P_active_base + C_eff · V(f)² · f —
+//! with Krait-class voltages from the OPP table. The *active base* term
+//! (uncore, caches, memory interface: power drawn whenever the core is not
+//! idle, independent of frequency) is what creates the race-to-idle effect:
+//! finishing faster spends less time paying it, so energy per cycle is
+//! minimised at a mid-table frequency (0.96 GHz on this platform, as in the
+//! paper) rather than at the slowest point.
+
+use serde::{Deserialize, Serialize};
+
+use crate::opp::{Frequency, Opp, OppTable};
+
+/// Milliwatts, the model's power unit.
+pub type Milliwatts = f64;
+
+/// The parametric power model of a single core plus the uncore it drags
+/// along while busy.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_power::model::PowerModel;
+/// use interlag_power::opp::OppTable;
+///
+/// let table = OppTable::snapdragon_8074();
+/// let model = PowerModel::krait_like();
+/// let slow = model.busy_power(&table.opps()[0]);
+/// let fast = model.busy_power(&table.opps()[13]);
+/// assert!(fast > 4.0 * slow, "dynamic power grows superlinearly");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Power drawn by the whole platform when the CPU idles (display and
+    /// radios excluded), mW.
+    pub idle_mw: Milliwatts,
+    /// Extra power drawn whenever the core executes, independent of
+    /// frequency (uncore/caches/memory), mW.
+    pub active_base_mw: Milliwatts,
+    /// Effective switched capacitance coefficient: dynamic power in mW per
+    /// MHz per V².
+    pub ceff_mw_per_mhz_v2: f64,
+}
+
+impl PowerModel {
+    /// Parameters fitted to a Krait-400-class SoC with the energy-per-cycle
+    /// curve the paper's Figure 12 implies: a shallow optimum at 0.96 GHz
+    /// (race-to-idle), ~+14 % per cycle at 0.30 GHz, ~+74 % at 2.15 GHz.
+    pub fn krait_like() -> Self {
+        PowerModel { idle_mw: 25.0, active_base_mw: 41.0, ceff_mw_per_mhz_v2: 0.68 }
+    }
+
+    /// Power while executing at `opp` (idle + active base + dynamic), mW.
+    pub fn busy_power(&self, opp: &Opp) -> Milliwatts {
+        self.idle_mw + self.dynamic_power(opp)
+    }
+
+    /// Power above idle while executing at `opp`, mW. This is the quantity
+    /// the paper derives from measurements by subtracting idle power.
+    pub fn dynamic_power(&self, opp: &Opp) -> Milliwatts {
+        let v = opp.voltage_v();
+        self.active_base_mw + self.ceff_mw_per_mhz_v2 * opp.freq.as_mhz() * v * v
+    }
+
+    /// Energy above idle per cycle at `opp`, in nanojoules. The frequency
+    /// minimising this is the race-to-idle optimum.
+    pub fn energy_per_cycle_nj(&self, opp: &Opp) -> f64 {
+        // mW / MHz = nJ per cycle.
+        self.dynamic_power(opp) / opp.freq.as_mhz()
+    }
+
+    /// The table frequency with the lowest energy per cycle.
+    pub fn most_efficient_freq(&self, table: &OppTable) -> Frequency {
+        table
+            .opps()
+            .iter()
+            .min_by(|a, b| {
+                self.energy_per_cycle_nj(a)
+                    .partial_cmp(&self.energy_per_cycle_nj(b))
+                    .expect("power model produces finite values")
+            })
+            .expect("OPP tables are never empty")
+            .freq
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::krait_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_is_at_0_96_ghz() {
+        let table = OppTable::snapdragon_8074();
+        let model = PowerModel::krait_like();
+        assert_eq!(model.most_efficient_freq(&table), Frequency::from_khz(960_000));
+    }
+
+    #[test]
+    fn energy_per_cycle_is_u_shaped() {
+        let table = OppTable::snapdragon_8074();
+        let model = PowerModel::krait_like();
+        let e: Vec<f64> =
+            table.opps().iter().map(|o| model.energy_per_cycle_nj(o)).collect();
+        let opt = table.index_of(model.most_efficient_freq(&table)).unwrap();
+        // Strictly decreasing into the optimum, strictly increasing after.
+        for i in 1..=opt {
+            assert!(e[i] < e[i - 1], "should fall towards the optimum at index {i}");
+        }
+        for i in opt + 1..e.len() {
+            assert!(e[i] > e[i - 1], "should rise past the optimum at index {i}");
+        }
+    }
+
+    #[test]
+    fn top_frequency_costs_most_per_cycle_among_fixed() {
+        let table = OppTable::snapdragon_8074();
+        let model = PowerModel::krait_like();
+        let top = model.energy_per_cycle_nj(&table.opps()[13]);
+        for o in table.opps() {
+            assert!(model.energy_per_cycle_nj(o) <= top);
+        }
+        // The paper's Figure 12 shape: the top frequency costs roughly
+        // 1.5–2× the optimum per cycle.
+        let opt = model.energy_per_cycle_nj(
+            table.opp_of(model.most_efficient_freq(&table)).unwrap(),
+        );
+        let ratio = top / opt;
+        assert!((1.4..2.1).contains(&ratio), "top/optimum ratio {ratio:.2} out of band");
+    }
+
+    #[test]
+    fn busy_power_includes_idle_floor() {
+        let table = OppTable::snapdragon_8074();
+        let model = PowerModel::krait_like();
+        for o in table.opps() {
+            assert!(model.busy_power(o) > model.idle_mw);
+            assert!((model.busy_power(o) - model.dynamic_power(o) - model.idle_mw).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # interlag-video — frame buffers, masks and capture paths
+//!
+//! The QoE methodology of *Seeker et al., IISWC 2014* decides when an
+//! interaction has been serviced by looking at what the screen shows: the
+//! device's video output is captured over HDMI, and analysis algorithms
+//! compare frames under masks and tolerances. This crate provides that
+//! entire imaging layer:
+//!
+//! * [`frame`] — 8-bit grayscale [`FrameBuffer`](frame::FrameBuffer)s and
+//!   rectangle arithmetic;
+//! * [`mask`] — excluded-region masks and match tolerances (clock,
+//!   advertisements, blinking cursors — Figure 8 of the paper);
+//! * [`stream`] — timed frame sequences with identical-frame sharing;
+//! * [`capture`] — the lossless HDMI path and a noisy camera model.
+//!
+//! # Examples
+//!
+//! Record a changing screen and check that the mask hides the clock:
+//!
+//! ```
+//! use interlag_evdev::time::SimTime;
+//! use interlag_video::capture::{CaptureLink, HdmiCapture, VideoRecorder};
+//! use interlag_video::frame::{FrameBuffer, Rect};
+//! use interlag_video::mask::{Mask, MatchTolerance};
+//! use interlag_video::stream::FRAME_PERIOD_30FPS;
+//!
+//! let mut rec = VideoRecorder::new(HdmiCapture::new(), FRAME_PERIOD_30FPS);
+//! let mut screen = FrameBuffer::new(64, 96);
+//! for ms in (0..2_000u64).step_by(10) {
+//!     // The top row is a clock that redraws every second.
+//!     screen.fill_rect(Rect::new(0, 0, 64, 4), (ms / 1_000) as u8 + 10);
+//!     rec.poll(SimTime::from_millis(ms), &screen);
+//! }
+//! let video = rec.into_stream();
+//! let mask = Mask::status_bar(64, 4);
+//! let first = &video.frames()[0].buf;
+//! let last = &video.frames().last().unwrap().buf;
+//! assert!(MatchTolerance::EXACT.matches(&mask, first, last));
+//! assert!(!MatchTolerance::EXACT.matches(&Mask::new(), first, last));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod capture;
+pub mod frame;
+pub mod mask;
+pub mod stream;
+
+pub use frame::{FrameBuffer, Rect};
+pub use mask::{Mask, MatchTolerance};
+pub use stream::{VideoFrame, VideoStream, FRAME_PERIOD_30FPS};

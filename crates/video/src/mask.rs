@@ -1,0 +1,244 @@
+//! Image masks: handling legitimate non-determinism between executions.
+//!
+//! The matcher compares frames against annotated ending images, but parts
+//! of the screen differ legitimately between runs — the status-bar clock,
+//! a rotating advertisement, a blinking cursor (Figure 8 of the paper). A
+//! [`Mask`] excludes such regions from comparison. Standard masks for the
+//! common cases ship in [`Mask::status_bar`] and friends; fully custom
+//! rectangle sets are supported, as in the paper's annotation GUI.
+
+use serde::{Deserialize, Serialize};
+
+use crate::frame::{FrameBuffer, Rect};
+
+/// A set of excluded rectangles: pixels inside any rectangle are ignored
+/// when comparing frames.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_video::frame::{FrameBuffer, Rect};
+/// use interlag_video::mask::Mask;
+///
+/// let mut a = FrameBuffer::new(32, 32);
+/// let mut b = a.clone();
+/// b.fill_rect(Rect::new(0, 0, 32, 4), 255); // clock area changed
+/// let mask = Mask::new().with_excluded(Rect::new(0, 0, 32, 4));
+/// assert_eq!(mask.count_diff(&a, &b, 0), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Mask {
+    excluded: Vec<Rect>,
+}
+
+impl Mask {
+    /// A mask that excludes nothing.
+    pub fn new() -> Self {
+        Mask::default()
+    }
+
+    /// Adds an excluded rectangle (builder style).
+    pub fn with_excluded(mut self, rect: Rect) -> Self {
+        self.excluded.push(rect);
+        self
+    }
+
+    /// Adds an excluded rectangle.
+    pub fn exclude(&mut self, rect: Rect) {
+        self.excluded.push(rect);
+    }
+
+    /// The excluded rectangles.
+    pub fn excluded(&self) -> &[Rect] {
+        &self.excluded
+    }
+
+    /// `true` if the mask hides nothing.
+    pub fn is_empty(&self) -> bool {
+        self.excluded.is_empty()
+    }
+
+    /// `true` if `(x, y)` is hidden from comparison.
+    pub fn is_excluded(&self, x: u32, y: u32) -> bool {
+        self.excluded.iter().any(|r| r.contains(x, y))
+    }
+
+    /// The standard mask for a device's status bar (top `rows` pixel rows:
+    /// clock, battery, signal indicators).
+    pub fn status_bar(width: u32, rows: u32) -> Self {
+        Mask::new().with_excluded(Rect::new(0, 0, width, rows))
+    }
+
+    /// Number of pixels differing by more than `value_tolerance` outside
+    /// the mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frames have different dimensions.
+    pub fn count_diff(&self, a: &FrameBuffer, b: &FrameBuffer, value_tolerance: u8) -> u64 {
+        if self.is_empty() {
+            return a.count_diff(b, value_tolerance);
+        }
+        assert_eq!(
+            (a.width(), a.height()),
+            (b.width(), b.height()),
+            "cannot compare frames of different dimensions"
+        );
+        let mut count = 0u64;
+        let (w, h) = (a.width(), a.height());
+        let pa = a.pixels();
+        let pb = b.pixels();
+        for y in 0..h {
+            // Precompute the excluded x-spans of this row to keep the
+            // inner loop branch-light.
+            let row = (y * w) as usize;
+            'pixel: for x in 0..w {
+                for r in &self.excluded {
+                    if r.contains(x, y) {
+                        continue 'pixel;
+                    }
+                }
+                let i = row + x as usize;
+                if pa[i].abs_diff(pb[i]) > value_tolerance {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// Pixel count left visible by the mask for a `width × height` frame.
+    pub fn visible_area(&self, width: u32, height: u32) -> u64 {
+        let mut n = 0u64;
+        for y in 0..height {
+            for x in 0..width {
+                if !self.is_excluded(x, y) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// Paints the excluded regions of `frame` black; annotation databases
+    /// store ending images with their mask burned in so the stored image
+    /// never leaks masked content.
+    pub fn apply(&self, frame: &mut FrameBuffer) {
+        for r in &self.excluded {
+            frame.fill_rect(*r, 0);
+        }
+    }
+}
+
+impl FromIterator<Rect> for Mask {
+    fn from_iter<I: IntoIterator<Item = Rect>>(iter: I) -> Self {
+        Mask { excluded: iter.into_iter().collect() }
+    }
+}
+
+/// Frame-comparison tolerances used together with a [`Mask`].
+///
+/// `value_tolerance` absorbs capture noise (each pixel may deviate by this
+/// much and still match); `pixel_budget` absorbs sparse artifacts (this many
+/// pixels may mismatch outright). HDMI captures are clean and work with
+/// `EXACT`; camera captures need looser settings — quantified in the
+/// `capture_noise` ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchTolerance {
+    /// Maximum per-pixel value difference that still counts as equal.
+    pub value_tolerance: u8,
+    /// Maximum number of (unmasked) mismatching pixels.
+    pub pixel_budget: u64,
+}
+
+impl MatchTolerance {
+    /// Bit-exact comparison: what a clean HDMI capture allows.
+    pub const EXACT: MatchTolerance = MatchTolerance { value_tolerance: 0, pixel_budget: 0 };
+
+    /// A tolerance suitable for mild sensor noise.
+    pub const CAMERA: MatchTolerance = MatchTolerance { value_tolerance: 8, pixel_budget: 64 };
+
+    /// `true` if `a` matches `b` under `mask` within this tolerance.
+    pub fn matches(&self, mask: &Mask, a: &FrameBuffer, b: &FrameBuffer) -> bool {
+        mask.count_diff(a, b, self.value_tolerance) <= self.pixel_budget
+    }
+}
+
+impl Default for MatchTolerance {
+    fn default() -> Self {
+        MatchTolerance::EXACT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_mask_counts_everything() {
+        let mut a = FrameBuffer::new(8, 8);
+        let b = FrameBuffer::new(8, 8);
+        a.fill(9);
+        assert_eq!(Mask::new().count_diff(&a, &b, 0), 64);
+    }
+
+    #[test]
+    fn excluded_region_is_ignored() {
+        let a = FrameBuffer::new(16, 16);
+        let mut b = a.clone();
+        b.fill_rect(Rect::new(4, 4, 4, 4), 255);
+        let mask = Mask::new().with_excluded(Rect::new(4, 4, 4, 4));
+        assert_eq!(mask.count_diff(&a, &b, 0), 0);
+        // One pixel outside the mask still trips it.
+        b.set(0, 0, 255);
+        assert_eq!(mask.count_diff(&a, &b, 0), 1);
+    }
+
+    #[test]
+    fn overlapping_excluded_rects_do_not_double_count() {
+        let mask = Mask::new()
+            .with_excluded(Rect::new(0, 0, 4, 4))
+            .with_excluded(Rect::new(2, 2, 4, 4));
+        assert_eq!(mask.visible_area(8, 8), 64 - (16 + 16 - 4));
+    }
+
+    #[test]
+    fn status_bar_mask_covers_top_rows() {
+        let mask = Mask::status_bar(32, 3);
+        assert!(mask.is_excluded(31, 2));
+        assert!(!mask.is_excluded(0, 3));
+    }
+
+    #[test]
+    fn apply_burns_mask_into_frame() {
+        let mut f = FrameBuffer::new(8, 8);
+        f.fill(200);
+        let mask = Mask::status_bar(8, 2);
+        mask.apply(&mut f);
+        assert_eq!(f.get(0, 0), 0);
+        assert_eq!(f.get(0, 2), 200);
+    }
+
+    #[test]
+    fn tolerance_budget_and_value() {
+        let a = FrameBuffer::new(8, 8);
+        let mut b = a.clone();
+        b.set(1, 1, 5);
+        b.set(2, 2, 5);
+        let mask = Mask::new();
+        assert!(!MatchTolerance::EXACT.matches(&mask, &a, &b));
+        let loose = MatchTolerance { value_tolerance: 4, pixel_budget: 0 };
+        assert!(!loose.matches(&mask, &a, &b));
+        let looser = MatchTolerance { value_tolerance: 0, pixel_budget: 2 };
+        assert!(looser.matches(&mask, &a, &b));
+        assert!(MatchTolerance::CAMERA.matches(&mask, &a, &b));
+    }
+
+    #[test]
+    fn mask_from_iterator() {
+        let mask: Mask = vec![Rect::new(0, 0, 1, 1), Rect::new(2, 2, 1, 1)]
+            .into_iter()
+            .collect();
+        assert_eq!(mask.excluded().len(), 2);
+    }
+}

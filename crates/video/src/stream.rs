@@ -1,0 +1,236 @@
+//! Timed frame sequences: the "video file" of a workload execution.
+//!
+//! A [`VideoStream`] is what the capture box writes to the analysis
+//! machine: frames at a fixed rate, each stamped with its presentation
+//! time. Still periods dominate interactive workloads, so frames are held
+//! behind [`Arc`]s and consecutive identical frames share one allocation —
+//! a 10-minute capture costs megabytes, not gigabytes.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use interlag_evdev::time::{SimDuration, SimTime};
+
+use crate::frame::FrameBuffer;
+
+/// One captured frame with its presentation timestamp.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VideoFrame {
+    /// Zero-based frame number.
+    pub index: u32,
+    /// Presentation time.
+    pub time: SimTime,
+    /// The pixels. Shared with neighbouring identical frames.
+    pub buf: Arc<FrameBuffer>,
+}
+
+/// The standard capture rate of the paper's setup (Elgato at 30 fps).
+pub const FRAME_PERIOD_30FPS: SimDuration = SimDuration::from_micros(33_333);
+
+/// A captured sequence of frames at a fixed rate.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use interlag_video::frame::FrameBuffer;
+/// use interlag_video::stream::{VideoStream, FRAME_PERIOD_30FPS};
+/// use interlag_evdev::time::SimTime;
+///
+/// let mut video = VideoStream::new(FRAME_PERIOD_30FPS);
+/// let frame = Arc::new(FrameBuffer::new(8, 8));
+/// video.push(SimTime::ZERO, frame.clone());
+/// video.push(SimTime::from_micros(33_333), frame);
+/// assert_eq!(video.len(), 2);
+/// assert_eq!(video.frame_at(SimTime::from_millis(20)).unwrap().index, 0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VideoStream {
+    frame_period: SimDuration,
+    frames: Vec<VideoFrame>,
+}
+
+impl VideoStream {
+    /// Creates an empty stream with the given frame period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    pub fn new(frame_period: SimDuration) -> Self {
+        assert!(!frame_period.is_zero(), "frame period must be positive");
+        VideoStream { frame_period, frames: Vec::new() }
+    }
+
+    /// The nominal interval between frames.
+    pub fn frame_period(&self) -> SimDuration {
+        self.frame_period
+    }
+
+    /// Frames per second, rounded to the nearest integer.
+    pub fn fps(&self) -> u32 {
+        (1.0 / self.frame_period.as_secs_f64()).round() as u32
+    }
+
+    /// Appends a frame captured at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the previous frame: capture hardware
+    /// timestamps are monotonic.
+    pub fn push(&mut self, time: SimTime, buf: Arc<FrameBuffer>) {
+        if let Some(last) = self.frames.last() {
+            assert!(time >= last.time, "frame timestamps must be monotonic");
+        }
+        let index = self.frames.len() as u32;
+        self.frames.push(VideoFrame { index, time, buf });
+    }
+
+    /// Number of captured frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// All frames in order.
+    pub fn frames(&self) -> &[VideoFrame] {
+        &self.frames
+    }
+
+    /// Iterates over the frames.
+    pub fn iter(&self) -> std::slice::Iter<'_, VideoFrame> {
+        self.frames.iter()
+    }
+
+    /// The frame with a given index.
+    pub fn get(&self, index: u32) -> Option<&VideoFrame> {
+        self.frames.get(index as usize)
+    }
+
+    /// The frame being displayed at `time`: the last frame presented at or
+    /// before it. `None` before the first frame.
+    pub fn frame_at(&self, time: SimTime) -> Option<&VideoFrame> {
+        match self.frames.binary_search_by_key(&time, |f| f.time) {
+            Ok(i) => Some(&self.frames[i]),
+            Err(0) => None,
+            Err(i) => Some(&self.frames[i - 1]),
+        }
+    }
+
+    /// Index of the first frame presented at or after `time`; `len()` if
+    /// the capture ended earlier. This is where the matcher starts walking
+    /// when a lag begins at `time`.
+    pub fn first_frame_at_or_after(&self, time: SimTime) -> u32 {
+        self.frames.partition_point(|f| f.time < time) as u32
+    }
+
+    /// Capture length from first to last frame.
+    pub fn duration(&self) -> SimDuration {
+        match (self.frames.first(), self.frames.last()) {
+            (Some(a), Some(b)) => b.time - a.time,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Number of distinct frame allocations; still periods make this far
+    /// smaller than `len()`.
+    pub fn unique_frames(&self) -> usize {
+        let mut n = 0;
+        let mut prev: Option<&Arc<FrameBuffer>> = None;
+        for f in &self.frames {
+            if prev.is_none_or(|p| !Arc::ptr_eq(p, &f.buf)) {
+                n += 1;
+            }
+            prev = Some(&f.buf);
+        }
+        n
+    }
+}
+
+impl<'a> IntoIterator for &'a VideoStream {
+    type Item = &'a VideoFrame;
+    type IntoIter = std::slice::Iter<'a, VideoFrame>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.frames.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(v: u8) -> Arc<FrameBuffer> {
+        let mut f = FrameBuffer::new(4, 4);
+        f.fill(v);
+        Arc::new(f)
+    }
+
+    fn stream_of(n: u64) -> VideoStream {
+        let mut s = VideoStream::new(FRAME_PERIOD_30FPS);
+        let shared = frame(1);
+        for i in 0..n {
+            s.push(SimTime::from_micros(i * 33_333), shared.clone());
+        }
+        s
+    }
+
+    #[test]
+    fn fps_rounding() {
+        assert_eq!(VideoStream::new(FRAME_PERIOD_30FPS).fps(), 30);
+        assert_eq!(VideoStream::new(SimDuration::from_millis(16)).fps(), 63);
+    }
+
+    #[test]
+    fn frame_at_picks_displayed_frame() {
+        let s = stream_of(10);
+        assert!(s.frame_at(SimTime::ZERO).is_some());
+        assert_eq!(s.frame_at(SimTime::from_micros(33_332)).unwrap().index, 0);
+        assert_eq!(s.frame_at(SimTime::from_micros(33_333)).unwrap().index, 1);
+        assert_eq!(s.frame_at(SimTime::from_secs(100)).unwrap().index, 9);
+    }
+
+    #[test]
+    fn frame_at_before_start_is_none() {
+        let mut s = VideoStream::new(FRAME_PERIOD_30FPS);
+        s.push(SimTime::from_secs(1), frame(0));
+        assert!(s.frame_at(SimTime::from_millis(999)).is_none());
+    }
+
+    #[test]
+    fn first_frame_at_or_after_boundaries() {
+        let s = stream_of(3);
+        assert_eq!(s.first_frame_at_or_after(SimTime::ZERO), 0);
+        assert_eq!(s.first_frame_at_or_after(SimTime::from_micros(1)), 1);
+        assert_eq!(s.first_frame_at_or_after(SimTime::from_secs(1)), 3);
+    }
+
+    #[test]
+    fn unique_frames_counts_allocations() {
+        let mut s = VideoStream::new(FRAME_PERIOD_30FPS);
+        let a = frame(1);
+        s.push(SimTime::from_micros(0), a.clone());
+        s.push(SimTime::from_micros(33_333), a.clone());
+        s.push(SimTime::from_micros(66_666), frame(2));
+        s.push(SimTime::from_micros(99_999), a);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.unique_frames(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonic")]
+    fn push_rejects_backwards_time() {
+        let mut s = VideoStream::new(FRAME_PERIOD_30FPS);
+        s.push(SimTime::from_secs(2), frame(0));
+        s.push(SimTime::from_secs(1), frame(0));
+    }
+
+    #[test]
+    fn duration_spans_first_to_last() {
+        let s = stream_of(31);
+        assert_eq!(s.duration(), SimDuration::from_micros(30 * 33_333));
+    }
+}

@@ -1,0 +1,672 @@
+//! The workload builder: composing realistic interactive sessions.
+//!
+//! The paper's datasets are ten-minute recordings of volunteers using real
+//! apps (Table I). Here a [`WorkloadBuilder`] plays the volunteer: it walks
+//! a seeded random session — think, tap, read, swipe, type — emitting both
+//! halves of a recording at once: the gesture (which becomes the raw input
+//! trace) and the app's scripted reaction (which becomes compute + screen
+//! changes). Every quantity a human would vary (think time, tap position,
+//! operation cost) is drawn from the builder's PRNG, so one seed is one
+//! reproducible volunteer session.
+
+use interlag_device::scene::{Element, Scene, SceneUpdate};
+use interlag_device::script::{
+    BackgroundWork, DeviceScript, InteractionCategory, InteractionSpec, PeriodicTick,
+};
+use interlag_device::task::{Phase, TaskSpec};
+use interlag_evdev::gesture::{Gesture, HardKey};
+use interlag_evdev::mt::Point;
+use interlag_evdev::rng::SplitMix64;
+use interlag_evdev::time::{SimDuration, SimTime};
+
+/// One million cycles; task demands read naturally in these units.
+pub const MCYCLES: u64 = 1_000_000;
+
+/// A fully generated workload: name, script, intended run length.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Dataset name ("01", "02", …, "24hour").
+    pub name: String,
+    /// Table I-style description of the session.
+    pub description: String,
+    /// The device-side script (apps' reactions).
+    pub script: DeviceScript,
+    /// Nominal recording length (runs get ~15 s of slack on top).
+    pub duration: SimDuration,
+}
+
+impl Workload {
+    /// The wall-clock time an execution of this workload should simulate:
+    /// the recording plus slack for the last interaction to be serviced.
+    pub fn run_until(&self) -> SimTime {
+        SimTime::ZERO + self.duration + SimDuration::from_secs(15)
+    }
+}
+
+/// Screen-body geometry the builder places widgets in (matches the default
+/// [`ScreenConfig`](interlag_device::render::ScreenConfig)).
+const BODY_X: (i32, i32) = (0, 72);
+const BODY_Y: (i32, i32) = (6, 120);
+
+/// Composes a [`Workload`] interaction by interaction.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_workloads::gen::{WorkloadBuilder, MCYCLES};
+/// use interlag_device::script::InteractionCategory;
+///
+/// let mut b = WorkloadBuilder::new(42);
+/// b.app_launch("open gallery", 400 * MCYCLES, 8, InteractionCategory::Common);
+/// b.think_ms(800, 2_000);
+/// b.quick_tap("next image", 120 * MCYCLES, InteractionCategory::SimpleFrequent);
+/// let w = b.build("demo", "a short demo session");
+/// assert_eq!(w.script.interactions.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct WorkloadBuilder {
+    rng: SplitMix64,
+    now: SimTime,
+    interactions: Vec<InteractionSpec>,
+    background: Vec<BackgroundWork>,
+    tick: Option<PeriodicTick>,
+    seed_counter: u64,
+    /// The scene elements available for incremental updates, tracked so
+    /// generated updates reference valid indices.
+    current_elements: usize,
+}
+
+impl WorkloadBuilder {
+    /// Starts a session. The first interaction cannot begin before 2 s
+    /// (the paper resets the device to a known state and lets it settle).
+    pub fn new(seed: u64) -> Self {
+        WorkloadBuilder {
+            rng: SplitMix64::new(seed),
+            now: SimTime::from_secs(2),
+            interactions: Vec::new(),
+            background: Vec::new(),
+            tick: Some(PeriodicTick { period: SimDuration::from_millis(80), cycles: 8 * MCYCLES }),
+            seed_counter: seed.wrapping_mul(0x9e37_79b9) | 1,
+            current_elements: 0,
+        }
+    }
+
+    /// The session clock: when the next interaction will start.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Overrides the periodic system tick (pass `None` to disable).
+    pub fn set_tick(&mut self, tick: Option<PeriodicTick>) -> &mut Self {
+        self.tick = tick;
+        self
+    }
+
+    /// Advances the clock by a uniform think time in `[lo_ms, hi_ms]`.
+    pub fn think_ms(&mut self, lo_ms: u64, hi_ms: u64) -> &mut Self {
+        let ms = self.rng.next_range(lo_ms as i64, hi_ms as i64) as u64;
+        self.now += SimDuration::from_millis(ms);
+        self
+    }
+
+    /// Jumps the clock forward to `t` (used by the 24-hour workload's
+    /// long idle stretches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is in the past.
+    pub fn jump_to(&mut self, t: SimTime) -> &mut Self {
+        assert!(t >= self.now, "cannot move the session clock backwards");
+        self.now = t;
+        self
+    }
+
+    fn fresh_seed(&mut self) -> u64 {
+        self.seed_counter = self.seed_counter.wrapping_add(0x3779_6325_8d2f_11c5);
+        self.seed_counter
+    }
+
+    fn random_widget(&mut self) -> (interlag_video::frame::Rect, Point) {
+        let w = self.rng.next_range(12, 28) as u32;
+        let h = self.rng.next_range(10, 22) as u32;
+        let x = self.rng.next_range(BODY_X.0 as i64, (BODY_X.1 - w as i32 - 1) as i64) as u32;
+        let y = self.rng.next_range(BODY_Y.0 as i64, (BODY_Y.1 - h as i32 - 1) as i64) as u32;
+        let rect = interlag_video::frame::Rect::new(x, y, w, h);
+        let px = self.rng.next_range((x + 1) as i64, (x + w - 2) as i64) as i32;
+        let py = self.rng.next_range((y + 1) as i64, (y + h - 2) as i64) as i32;
+        (rect, Point::new(px, py))
+    }
+
+    fn tap_gesture(&mut self, pos: Point) -> Gesture {
+        let hold = self.rng.next_range(50, 120) as u64;
+        Gesture::Tap { pos, hold: SimDuration::from_millis(hold) }
+    }
+
+    /// Jitter a demand by ±20 % so repeated operations are not identical.
+    fn jitter(&mut self, cycles: u64) -> u64 {
+        let pct = self.rng.next_range(-20, 20);
+        (cycles as i64 + cycles as i64 * pct / 100).max(1) as u64
+    }
+
+    fn push_interaction(
+        &mut self,
+        label: &str,
+        gesture: Gesture,
+        widget: Option<interlag_video::frame::Rect>,
+        response: Option<TaskSpec>,
+        category: InteractionCategory,
+    ) {
+        let start = self.now;
+        self.interactions.push(InteractionSpec {
+            label: label.to_string(),
+            start,
+            gesture,
+            widget,
+            response,
+            category,
+        });
+        // Hold the clock past the gesture itself so gestures never overlap.
+        self.now += gesture.contact_duration() + SimDuration::from_millis(80);
+    }
+
+    /// Builds a multi-phase "app launch / page open" task: a new scene
+    /// appears, then `phases` elements populate one by one — the
+    /// progressive loading that gives the suggester its candidates.
+    fn loading_task(&mut self, total_cycles: u64, phases: usize) -> TaskSpec {
+        let phases = phases.max(1);
+        let mut scene = Scene::new(self.fresh_seed());
+        let cols = 3u32;
+        for i in 0..phases as u32 {
+            let x = 4 + (i % cols) * 22;
+            let y = 10 + (i / cols) * 20;
+            scene = scene.with_element(Element::hidden(
+                interlag_video::frame::Rect::new(x, y.min(100), 18, 14),
+                self.fresh_seed(),
+            ));
+        }
+        self.current_elements = phases;
+
+        // The scene switch costs half the work; the rest is spread over
+        // the element loads with mild jitter. Launching and loading are
+        // I/O-heavy on a phone (flash reads, network): each phase blocks
+        // for a frequency-independent wait before its content appears —
+        // this is why the oracle can service such lags at a mid-table
+        // frequency (Figure 3).
+        let switch_wait = SimDuration::from_millis(self.rng.next_range(150, 260) as u64);
+        let mut spec = vec![Phase::with_wait(
+            total_cycles / 2,
+            switch_wait,
+            SceneUpdate::replace(scene),
+        )];
+        let per = (total_cycles / 2) / phases as u64;
+        for i in 0..phases {
+            let element_wait = SimDuration::from_millis(self.rng.next_range(40, 95) as u64);
+            spec.push(Phase::with_wait(
+                self.jitter(per.max(1)),
+                element_wait,
+                SceneUpdate::ShowElement(i),
+            ));
+        }
+        TaskSpec::new(spec)
+    }
+
+    /// Like [`WorkloadBuilder::app_launch`] but with the response content
+    /// (scene textures, per-phase network/flash waits) drawn from an
+    /// external source — the network, live or proxied (§VI future work).
+    /// The gesture itself still comes from the builder's user model.
+    pub fn app_launch_with_content(
+        &mut self,
+        label: &str,
+        total_cycles: u64,
+        phases: usize,
+        category: InteractionCategory,
+        content: &mut SplitMix64,
+    ) -> &mut Self {
+        self.page_load_categorised(label, total_cycles, phases, SimDuration::ZERO, category, content)
+    }
+
+    /// A network page load: tap a link, pay `latency` before the page
+    /// skeleton appears, then populate `phases` elements whose look and
+    /// pacing come from `content` (what the server responded).
+    pub fn page_load(
+        &mut self,
+        label: &str,
+        total_cycles: u64,
+        phases: usize,
+        latency: SimDuration,
+        content: &mut SplitMix64,
+    ) -> &mut Self {
+        self.page_load_categorised(
+            label,
+            total_cycles,
+            phases,
+            latency,
+            InteractionCategory::Common,
+            content,
+        )
+    }
+
+    fn page_load_categorised(
+        &mut self,
+        label: &str,
+        total_cycles: u64,
+        phases: usize,
+        latency: SimDuration,
+        category: InteractionCategory,
+        content: &mut SplitMix64,
+    ) -> &mut Self {
+        let (rect, pos) = self.random_widget();
+        let phases = phases.max(1);
+        let mut scene = Scene::new(content.next_u64());
+        let cols = 3u32;
+        for i in 0..phases as u32 {
+            let x = 4 + (i % cols) * 22;
+            let y = 10 + (i / cols) * 20;
+            scene = scene.with_element(Element::hidden(
+                interlag_video::frame::Rect::new(x, y.min(100), 18, 14),
+                content.next_u64(),
+            ));
+        }
+        let skeleton_wait = latency
+            + SimDuration::from_millis(content.next_range(120, 240) as u64);
+        let mut spec = vec![Phase::with_wait(
+            total_cycles / 2,
+            skeleton_wait,
+            SceneUpdate::replace(scene),
+        )];
+        let per = (total_cycles / 2) / phases as u64;
+        for i in 0..phases {
+            let element_wait = SimDuration::from_millis(content.next_range(40, 120) as u64);
+            spec.push(Phase::with_wait(per.max(1), element_wait, SceneUpdate::ShowElement(i)));
+        }
+        let g = self.tap_gesture(pos);
+        self.push_interaction(label, g, Some(rect), Some(TaskSpec::new(spec)), category);
+        self
+    }
+
+    /// A scroll whose revealed content comes from an external source.
+    pub fn scroll_with_content(
+        &mut self,
+        label: &str,
+        cycles: u64,
+        content: &mut SplitMix64,
+    ) -> &mut Self {
+        let x = self.rng.next_range(20, 52) as i32;
+        let y0 = self.rng.next_range(80, 110) as i32;
+        let y1 = self.rng.next_range(12, 40) as i32;
+        let dur = self.rng.next_range(180, 400) as u64;
+        let gesture = Gesture::Swipe {
+            from: Point::new(x, y0),
+            to: Point::new(x, y1),
+            duration: SimDuration::from_millis(dur),
+        };
+        let widget = interlag_video::frame::Rect::new(0, 6, 72, 114);
+        let scene = Scene::new(content.next_u64());
+        self.push_interaction(
+            label,
+            gesture,
+            Some(widget),
+            Some(TaskSpec::single(cycles.max(1), SceneUpdate::replace(scene))),
+            InteractionCategory::SimpleFrequent,
+        );
+        self
+    }
+
+    /// Tap a widget that opens a screen which loads progressively.
+    pub fn app_launch(
+        &mut self,
+        label: &str,
+        total_cycles: u64,
+        phases: usize,
+        category: InteractionCategory,
+    ) -> &mut Self {
+        let (rect, pos) = self.random_widget();
+        let cycles = self.jitter(total_cycles);
+        let task = self.loading_task(cycles, phases);
+        let g = self.tap_gesture(pos);
+        self.push_interaction(label, g, Some(rect), Some(task), category);
+        self
+    }
+
+    /// Tap a widget whose response is a single burst of work ending in a
+    /// fresh screen (next photo, answer accepted, …).
+    pub fn quick_tap(
+        &mut self,
+        label: &str,
+        cycles: u64,
+        category: InteractionCategory,
+    ) -> &mut Self {
+        let (rect, pos) = self.random_widget();
+        let cycles = self.jitter(cycles);
+        let scene = Scene::new(self.fresh_seed());
+        self.current_elements = 0;
+        let g = self.tap_gesture(pos);
+        self.push_interaction(
+            label,
+            g,
+            Some(rect),
+            Some(TaskSpec::single(cycles, SceneUpdate::replace(scene))),
+            category,
+        );
+        self
+    }
+
+    /// A vertical swipe that scrolls to new content.
+    pub fn scroll(&mut self, label: &str, cycles: u64, category: InteractionCategory) -> &mut Self {
+        let x = self.rng.next_range(20, 52) as i32;
+        let y0 = self.rng.next_range(80, 110) as i32;
+        let y1 = self.rng.next_range(12, 40) as i32;
+        let (from, to) = if self.rng.chance(0.8) {
+            (Point::new(x, y0), Point::new(x, y1)) // scroll down
+        } else {
+            (Point::new(x, y1), Point::new(x, y0)) // scroll back up
+        };
+        let dur = self.rng.next_range(180, 400) as u64;
+        let gesture = Gesture::Swipe { from, to, duration: SimDuration::from_millis(dur) };
+        let cycles = self.jitter(cycles);
+        let scene = Scene::new(self.fresh_seed());
+        self.current_elements = 0;
+        // The whole body is the scroll surface.
+        let widget = interlag_video::frame::Rect::new(0, 6, 72, 114);
+        self.push_interaction(
+            label,
+            gesture,
+            Some(widget),
+            Some(TaskSpec::single(cycles, SceneUpdate::replace(scene))),
+            category,
+        );
+        self
+    }
+
+    /// A burst of on-screen keyboard input: the first tap opens the
+    /// keyboard (cursor appears), each key echoes cheaply, category
+    /// Typing throughout.
+    pub fn typing_burst(&mut self, label: &str, keys: usize, per_key_cycles: u64) -> &mut Self {
+        let (rect, pos) = self.random_widget();
+        let mut scene = Scene::new(self.fresh_seed()).with_cursor();
+        scene = scene.with_element(Element::new(
+            interlag_video::frame::Rect::new(8, 90, 56, 16),
+            self.fresh_seed(),
+        ));
+        let open = self.jitter(per_key_cycles * 6);
+        let g = self.tap_gesture(pos);
+        self.push_interaction(
+            label,
+            g,
+            Some(rect),
+            Some(TaskSpec::single(open, SceneUpdate::replace(scene))),
+            InteractionCategory::Typing,
+        );
+        for k in 0..keys {
+            self.think_ms(180, 600);
+            let (krect, kpos) = self.random_widget();
+            let echo = self.jitter(per_key_cycles);
+            // Each keystroke repaints the text field with new content.
+            let update = SceneUpdate::replace(
+                Scene::new(self.fresh_seed()).with_cursor().with_element(Element::new(
+                    interlag_video::frame::Rect::new(8, 90, 56, 16),
+                    self.fresh_seed(),
+                )),
+            );
+            let g = self.tap_gesture(kpos);
+            self.push_interaction(
+                &format!("{label} key {k}"),
+                g,
+                Some(krect),
+                Some(TaskSpec::single(echo, update)),
+                InteractionCategory::Typing,
+            );
+        }
+        self
+    }
+
+    /// A heavy operation with a transient progress screen: the progress
+    /// element appears, work runs, the progress element disappears — the
+    /// "ending looks like the beginning" case of §II-E that needs the
+    /// matcher's occurrence counting.
+    pub fn heavy_with_progress(
+        &mut self,
+        label: &str,
+        cycles: u64,
+        category: InteractionCategory,
+    ) -> &mut Self {
+        let (rect, pos) = self.random_widget();
+        let cycles = self.jitter(cycles);
+        let base = Scene::new(self.fresh_seed());
+        let mut with_progress = base.clone();
+        with_progress.elements.push(Element::new(
+            interlag_video::frame::Rect::new(16, 52, 40, 12),
+            self.fresh_seed(),
+        ));
+        // Phase 1 (cheap): the progress dialog pops up and stays visible
+        // for at least its animate-in time, so it is captured at every
+        // frequency. Phase 2 (the real work): the dialog vanishes,
+        // returning to the *same* screen — the matcher's occurrence-2 case.
+        let dialog_in = SimDuration::from_millis(self.rng.next_range(160, 260) as u64);
+        let spec = TaskSpec::new(vec![
+            Phase::with_wait((cycles / 50).max(1), dialog_in, SceneUpdate::replace(with_progress)),
+            Phase::new(cycles, SceneUpdate::replace(base.clone())),
+        ]);
+        // Make the post-interaction screen the base screen so the ending
+        // image equals a frame that was already visible during the lag.
+        let pre = TaskSpec::new(vec![Phase::new(
+            (cycles / 100).max(1),
+            SceneUpdate::replace(base),
+        )]);
+        let (prect, ppos) = self.random_widget();
+        let g = self.tap_gesture(ppos);
+        self.push_interaction(
+            &format!("{label} (open)"),
+            g,
+            Some(prect),
+            Some(pre),
+            InteractionCategory::SimpleFrequent,
+        );
+        self.think_ms(700, 1_500);
+        let g = self.tap_gesture(pos);
+        self.push_interaction(label, g, Some(rect), Some(spec), category);
+        self
+    }
+
+    /// A game session: a tap starts `duration` of continuous animation
+    /// whose every frame costs `per_frame_cycles` of game simulation +
+    /// draw work on the UI thread. When the core cannot deliver a frame
+    /// per 100 ms the animation stutters — the Jank-type workload the
+    /// paper's future work calls for (§VI). Ends on a distinct screen.
+    pub fn game_session(
+        &mut self,
+        label: &str,
+        duration: SimDuration,
+        per_frame_cycles: u64,
+    ) -> &mut Self {
+        let (rect, pos) = self.random_widget();
+        let game_scene = Scene::new(self.fresh_seed())
+            .with_spinner()
+            .with_animation_load(per_frame_cycles);
+        let end_scene = Scene::new(self.fresh_seed());
+        let spec = TaskSpec::new(vec![
+            // Entering the game is cheap; the cost is per frame.
+            Phase::new(20 * MCYCLES, SceneUpdate::replace(game_scene)),
+            // The session itself: the task blocks while the animation
+            // runs (the game loop is modelled by the scene's per-frame
+            // load), then the results screen appears.
+            Phase::with_wait(MCYCLES, duration, SceneUpdate::replace(end_scene)),
+        ]);
+        let g = self.tap_gesture(pos);
+        self.push_interaction(label, g, Some(rect), Some(spec), InteractionCategory::SimpleFrequent);
+        self.now += duration;
+        self
+    }
+
+    /// A tap that misses every widget (or lands on dead UI): a spurious
+    /// lag in the paper's Figure 10 classification.
+    pub fn spurious_tap(&mut self, label: &str) -> &mut Self {
+        let x = self.rng.next_range(BODY_X.0 as i64 + 2, BODY_X.1 as i64 - 2) as i32;
+        let y = self.rng.next_range(BODY_Y.0 as i64 + 2, BODY_Y.1 as i64 - 2) as i32;
+        let g = self.tap_gesture(Point::new(x, y));
+        self.push_interaction(label, g, None, None, InteractionCategory::SimpleFrequent);
+        self
+    }
+
+    /// A hardware key press (back/home) that triggers a screen change.
+    pub fn key_press(&mut self, label: &str, key: HardKey, cycles: u64) -> &mut Self {
+        let hold = self.rng.next_range(40, 90) as u64;
+        let gesture = Gesture::Key { key, hold: SimDuration::from_millis(hold) };
+        let cycles = self.jitter(cycles);
+        let scene = Scene::new(self.fresh_seed());
+        let widget = interlag_video::frame::Rect::new(0, 0, 72, 120);
+        self.push_interaction(
+            label,
+            gesture,
+            Some(widget),
+            Some(TaskSpec::single(cycles, SceneUpdate::replace(scene))),
+            InteractionCategory::SimpleFrequent,
+        );
+        self
+    }
+
+    /// Schedules a background burst (sync, prefetch) `offset` after the
+    /// current session clock. Background work does not touch the screen.
+    pub fn background_burst(&mut self, label: &str, offset: SimDuration, cycles: u64) -> &mut Self {
+        let cycles = self.jitter(cycles);
+        self.background.push(BackgroundWork {
+            label: label.to_string(),
+            start: self.now + offset,
+            cycles,
+        });
+        self
+    }
+
+    /// Schedules a recurring background burst (periodic sync/prefetch)
+    /// every `every` (with ±25 % jitter) from the session start until
+    /// `span`. This is the load behind the paper's "issue 1": the
+    /// governor raises the frequency for work the user is not waiting on.
+    pub fn recurring_background(
+        &mut self,
+        label: &str,
+        every: SimDuration,
+        cycles: u64,
+        span: SimDuration,
+    ) -> &mut Self {
+        let mut t = SimTime::from_secs(1);
+        let end = SimTime::ZERO + span;
+        let mut i = 0u32;
+        while t < end {
+            let c = self.jitter(cycles);
+            self.background.push(BackgroundWork {
+                label: format!("{label} #{i}"),
+                start: t,
+                cycles: c,
+            });
+            let q = every.as_micros() as i64;
+            let jittered = (q + self.rng.next_range(-q / 4, q / 4)).max(1) as u64;
+            t += SimDuration::from_micros(jittered);
+            i += 1;
+        }
+        self
+    }
+
+    /// Finalises the workload.
+    pub fn build(self, name: &str, description: &str) -> Workload {
+        let duration = self
+            .interactions
+            .iter()
+            .map(|i| i.start)
+            .chain(self.background.iter().map(|b| b.start))
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            .saturating_since(SimTime::ZERO);
+        let mut background = self.background;
+        background.sort_by_key(|b| b.start);
+        Workload {
+            name: name.to_string(),
+            description: description.to_string(),
+            script: DeviceScript { interactions: self.interactions, background, tick: self.tick },
+            duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_is_deterministic_per_seed() {
+        let make = |seed| {
+            let mut b = WorkloadBuilder::new(seed);
+            b.app_launch("a", 300 * MCYCLES, 6, InteractionCategory::Common);
+            b.think_ms(500, 1_500);
+            b.quick_tap("b", 100 * MCYCLES, InteractionCategory::SimpleFrequent);
+            b.build("t", "test")
+        };
+        assert_eq!(make(1).script, make(1).script);
+        assert_ne!(make(1).script, make(2).script);
+    }
+
+    #[test]
+    fn interactions_are_chronological_and_non_overlapping() {
+        let mut b = WorkloadBuilder::new(7);
+        for i in 0..20 {
+            b.quick_tap(&format!("t{i}"), 50 * MCYCLES, InteractionCategory::SimpleFrequent);
+            b.think_ms(200, 900);
+        }
+        let w = b.build("t", "test");
+        for pair in w.script.interactions.windows(2) {
+            let end = pair[0].start + pair[0].gesture.contact_duration();
+            assert!(pair[1].start > end, "gestures must not overlap");
+        }
+        // The recorded trace must parse/synthesise cleanly.
+        let trace = w.script.record_trace();
+        assert!(trace.len() > 20 * 8);
+    }
+
+    #[test]
+    fn typing_burst_counts_keys_plus_opener() {
+        let mut b = WorkloadBuilder::new(3);
+        b.typing_burst("compose", 5, 8 * MCYCLES);
+        let w = b.build("t", "test");
+        assert_eq!(w.script.interactions.len(), 6);
+        assert!(w
+            .script
+            .interactions
+            .iter()
+            .all(|i| i.category == InteractionCategory::Typing));
+    }
+
+    #[test]
+    fn heavy_with_progress_ends_on_the_pre_progress_screen() {
+        let mut b = WorkloadBuilder::new(9);
+        b.heavy_with_progress("save image", 2_000 * MCYCLES, InteractionCategory::Complex);
+        let w = b.build("t", "test");
+        let save = w.script.interactions.last().unwrap();
+        let spec = save.response.as_ref().unwrap();
+        assert_eq!(spec.phases().len(), 2);
+        // Final update returns to the scene shown before the progress bar.
+        let opener = &w.script.interactions[0];
+        let opener_spec = opener.response.as_ref().unwrap();
+        assert_eq!(
+            spec.phases().last().unwrap().update,
+            opener_spec.phases().last().unwrap().update
+        );
+    }
+
+    #[test]
+    fn spurious_taps_have_no_widget() {
+        let mut b = WorkloadBuilder::new(11);
+        b.spurious_tap("miss");
+        let w = b.build("t", "test");
+        assert!(w.script.interactions[0].is_spurious());
+        assert_eq!(w.script.actual_lag_count(), 0);
+    }
+
+    #[test]
+    fn duration_covers_background_work() {
+        let mut b = WorkloadBuilder::new(13);
+        b.quick_tap("a", MCYCLES, InteractionCategory::SimpleFrequent);
+        b.background_burst("sync", SimDuration::from_secs(30), 100 * MCYCLES);
+        let w = b.build("t", "test");
+        assert!(w.duration >= SimDuration::from_secs(30));
+        assert!(w.run_until() > SimTime::ZERO + w.duration);
+    }
+}

@@ -1,0 +1,35 @@
+//! # interlag-workloads — the study's interactive workloads
+//!
+//! Reproductions of the recorded sessions of *Seeker et al., IISWC 2014*
+//! (Table I): five ten-minute volunteer sessions across Gallery, Logo
+//! Quiz, Pulse News, MMS and Movie Studio, plus a 24-hour mixed recording.
+//! A workload carries both halves of a recording — the gesture stream
+//! (lowered to a raw input-event trace for the replay agent) and the
+//! scripted app reactions (compute demands + screen changes).
+//!
+//! * [`gen`] — the seeded session builder;
+//! * [`datasets`] — the concrete datasets;
+//! * [`network`] — networking workloads and the deterministic proxy
+//!   (the paper's §VI future work).
+//!
+//! # Examples
+//!
+//! ```
+//! use interlag_workloads::datasets::Dataset;
+//!
+//! let w = Dataset::D01.build();
+//! assert_eq!(w.name, "01");
+//! let trace = w.script.record_trace();
+//! assert!(trace.len() > 300, "a ten-minute session has hundreds of raw events");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod datasets;
+pub mod gen;
+pub mod network;
+
+pub use datasets::Dataset;
+pub use gen::{Workload, WorkloadBuilder, MCYCLES};
+pub use network::{news_browsing, NetworkCondition};

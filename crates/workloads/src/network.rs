@@ -1,0 +1,149 @@
+//! Networking workloads and the deterministic proxy — the paper's §VI
+//! future work, implemented.
+//!
+//! *"In its current state we are not considering networking workloads
+//! since they are heavily non deterministic. If the user, for example,
+//! starts the browser and opens a news web page, it might look completely
+//! different between different workload executions. One could circumvent
+//! this problem by using a workload aware network proxy that creates a
+//! deterministic environment for network accesses."*
+//!
+//! A [`NetworkCondition`] decides where a browsing session's page content
+//! comes from: [`NetworkCondition::Live`] draws content (what the page
+//! looks like) and response latency from a per-execution nonce — every
+//! run sees different pages, exactly the situation that breaks the
+//! matcher; [`NetworkCondition::Proxied`] replays the responses captured
+//! at recording time, making the environment deterministic and the
+//! annotation database valid across runs. The `proxy` bench quantifies
+//! the difference.
+
+use interlag_device::script::InteractionCategory;
+use interlag_evdev::rng::SplitMix64;
+use interlag_evdev::time::SimDuration;
+
+use crate::gen::{Workload, WorkloadBuilder, MCYCLES};
+
+/// Where a networking workload's responses come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkCondition {
+    /// The live network: content and latency differ per execution
+    /// (`run_nonce` stands for "whatever the internet serves today").
+    Live {
+        /// Distinguishes one execution's network state from another's.
+        run_nonce: u64,
+    },
+    /// A workload-aware proxy replaying the responses captured when the
+    /// workload was recorded: content and latency are the recording's.
+    Proxied,
+}
+
+impl NetworkCondition {
+    fn content_rng(&self, recording_seed: u64) -> SplitMix64 {
+        match self {
+            // Live content mixes in the run nonce: different every run.
+            NetworkCondition::Live { run_nonce } => {
+                SplitMix64::new(recording_seed ^ run_nonce.rotate_left(17) ^ 0x0e7_f00d)
+            }
+            // The proxy serves the recorded responses.
+            NetworkCondition::Proxied => SplitMix64::new(recording_seed ^ 0x0e7_f00d),
+        }
+    }
+}
+
+/// A news-browsing session: open the browser, load `pages` articles,
+/// scroll each. The *interactions* (gesture positions and timings) are
+/// identical across conditions — they come from the recorded trace — but
+/// each page's rendered content and network latency come from the
+/// [`NetworkCondition`].
+///
+/// # Examples
+///
+/// ```
+/// use interlag_workloads::network::{news_browsing, NetworkCondition};
+///
+/// let recorded = news_browsing(7, 4, NetworkCondition::Proxied);
+/// let replayed = news_browsing(7, 4, NetworkCondition::Proxied);
+/// assert_eq!(recorded.script, replayed.script, "the proxy is deterministic");
+///
+/// let live_a = news_browsing(7, 4, NetworkCondition::Live { run_nonce: 1 });
+/// let live_b = news_browsing(7, 4, NetworkCondition::Live { run_nonce: 2 });
+/// assert_ne!(live_a.script, live_b.script, "the live network is not");
+/// // Gesture timings are identical either way — only content differs.
+/// let starts = |w: &interlag_workloads::gen::Workload| {
+///     w.script.interactions.iter().map(|i| i.start).collect::<Vec<_>>()
+/// };
+/// assert_eq!(starts(&live_a), starts(&live_b));
+/// ```
+pub fn news_browsing(recording_seed: u64, pages: usize, condition: NetworkCondition) -> Workload {
+    let mut content = condition.content_rng(recording_seed);
+    // The builder's own seed drives only the user side (timings,
+    // positions): identical across conditions.
+    let mut b = WorkloadBuilder::new(recording_seed ^ 0xb04_53e5);
+
+    b.app_launch_with_content(
+        "open browser",
+        500 * MCYCLES,
+        6,
+        InteractionCategory::Common,
+        &mut content,
+    );
+    b.think_ms(3_000, 5_000);
+    for p in 0..pages {
+        // Live latency varies run to run; the proxy replays it.
+        let latency = SimDuration::from_millis(content.next_range(150, 900) as u64);
+        b.page_load(
+            &format!("load article {p}"),
+            400 * MCYCLES,
+            5,
+            latency,
+            &mut content,
+        );
+        b.think_ms(4_000, 7_000);
+        b.scroll_with_content(&format!("scroll article {p}"), 120 * MCYCLES, &mut content);
+        b.think_ms(3_000, 5_000);
+    }
+    let name = match condition {
+        NetworkCondition::Live { .. } => "news-live",
+        NetworkCondition::Proxied => "news-proxied",
+    };
+    b.build(name, "news browsing over the network")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxied_sessions_are_reproducible() {
+        let a = news_browsing(42, 3, NetworkCondition::Proxied);
+        let b = news_browsing(42, 3, NetworkCondition::Proxied);
+        assert_eq!(a.script, b.script);
+    }
+
+    #[test]
+    fn live_sessions_differ_in_content_only() {
+        let a = news_browsing(42, 3, NetworkCondition::Live { run_nonce: 10 });
+        let b = news_browsing(42, 3, NetworkCondition::Live { run_nonce: 11 });
+        assert_ne!(a.script, b.script, "content must differ");
+        assert_eq!(a.script.interactions.len(), b.script.interactions.len());
+        for (x, y) in a.script.interactions.iter().zip(&b.script.interactions) {
+            assert_eq!(x.start, y.start, "gesture timing is the user's, not the network's");
+            assert_eq!(x.gesture, y.gesture);
+            assert_eq!(x.widget, y.widget);
+            // …but the responses (scenes, latencies) differ somewhere.
+        }
+        // The raw input traces are identical: replay replays.
+        assert_eq!(a.script.record_trace(), b.script.record_trace());
+    }
+
+    #[test]
+    fn proxied_equals_one_specific_live_state_never_another() {
+        // The proxy replays the recorded responses; a live run with any
+        // nonce virtually never reproduces them.
+        let proxied = news_browsing(7, 3, NetworkCondition::Proxied);
+        for nonce in 1..5 {
+            let live = news_browsing(7, 3, NetworkCondition::Live { run_nonce: nonce });
+            assert_ne!(proxied.script, live.script);
+        }
+    }
+}

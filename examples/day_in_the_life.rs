@@ -1,0 +1,98 @@
+//! The 24-hour workload (§I: "in our study we include 24 hour
+//! workloads"): a full day of recorded usage replayed end to end.
+//!
+//! Demonstrates that the pipeline scales far beyond ten-minute sessions:
+//! the day-long trace is classified, replayed without video capture under
+//! two governors, and the day's CPU energy compared.
+//!
+//! Run with: `cargo run --release --example day_in_the_life`
+
+use interlag::core::experiment::{Lab, LabConfig};
+use interlag::device::device::{CaptureMode, Device};
+use interlag::device::dvfs::Governor;
+use interlag::evdev::classify::{classify_trace, count_inputs, ClassifierConfig};
+use interlag::evdev::replay::ReplayAgent;
+use interlag::evdev::time::SimTime;
+use interlag::governors::{Conservative, Ondemand};
+use interlag::workloads::datasets::Dataset;
+
+fn main() {
+    let workload = Dataset::Day24h.build();
+    let trace = workload.script.record_trace();
+    println!(
+        "24-hour recording: {} raw events, {} interactions, {} background jobs",
+        trace.len(),
+        workload.script.interactions.len(),
+        workload.script.background.len()
+    );
+
+    // Input classification over the whole day.
+    let inputs = classify_trace(&trace, &ClassifierConfig::default());
+    let counts = count_inputs(&inputs);
+    println!(
+        "classified: {} taps, {} swipes, {} keys (paper's 24 h bar: 218 events)",
+        counts.taps, counts.swipes, counts.keys
+    );
+
+    // Detect usage sessions: gaps above 15 minutes split sessions.
+    let mut sessions = 1;
+    for pair in inputs.windows(2) {
+        if (pair[1].time - pair[0].time).as_secs_f64() > 900.0 {
+            sessions += 1;
+        }
+    }
+    println!("usage sessions detected: {sessions}");
+
+    // Replay the day under two governors (no video: day-long captures are
+    // possible but pointless without annotation).
+    let lab = Lab::new(LabConfig::default());
+    let mut config = lab.device().config().clone();
+    config.capture = CaptureMode::None;
+    let device = Device::new(config);
+
+    for which in ["ondemand", "conservative"] {
+        let started = std::time::Instant::now();
+        let mut ondemand;
+        let mut conservative;
+        let gov: &mut dyn Governor = if which == "ondemand" {
+            ondemand = Ondemand::default();
+            &mut ondemand
+        } else {
+            conservative = Conservative::default();
+            &mut conservative
+        };
+        let run = device.run(
+            &workload.script,
+            ReplayAgent::new(trace.clone()),
+            gov,
+            workload.run_until(),
+        );
+        let energy = lab.meter().measure(&run.activity);
+        let serviced = run
+            .interactions
+            .iter()
+            .filter(|r| r.triggered && !r.spurious && r.service_time.is_some())
+            .count();
+        println!(
+            "\n{which}: simulated {:.1} h in {:.1} s wall clock ({:.0}x real time)",
+            run.end_time.as_secs_f64() / 3_600.0,
+            started.elapsed().as_secs_f64(),
+            run.end_time.as_secs_f64() / started.elapsed().as_secs_f64()
+        );
+        println!(
+            "  serviced {serviced} interactions; CPU busy {:.1} min; \
+             dynamic CPU energy {:.1} J (+ idle floor {:.1} J)",
+            run.activity.busy_time().as_secs_f64() / 60.0,
+            energy.dynamic_mj / 1_000.0,
+            energy.idle_mj / 1_000.0
+        );
+        // A phone-sized battery is ~40 kJ; report the CPU's share.
+        println!(
+            "  -> {:.2} % of a 40 kJ battery for the day's CPU work",
+            100.0 * energy.total_mj() / 40_000_000.0
+        );
+    }
+
+    // Sanity: nothing in the morning before the first session.
+    assert!(inputs.first().expect("inputs exist").time >= SimTime::from_secs(28_000));
+}

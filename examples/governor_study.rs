@@ -1,0 +1,68 @@
+//! The paper's §III governor study on one of the recorded datasets.
+//!
+//! Replays the chosen dataset under all 14 fixed frequencies, the three
+//! Android governors and the composed oracle, then prints the energy and
+//! user-irritation comparison of Figures 12–14.
+//!
+//! Run with: `cargo run --release --example governor_study [01|02|03|04|05]`
+
+use interlag::core::experiment::{Lab, LabConfig};
+use interlag::workloads::datasets::Dataset;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "02".to_string());
+    let dataset = match which.as_str() {
+        "01" => Dataset::D01,
+        "02" => Dataset::D02,
+        "03" => Dataset::D03,
+        "04" => Dataset::D04,
+        "05" => Dataset::D05,
+        other => {
+            eprintln!("unknown dataset {other:?}; use 01..05");
+            std::process::exit(2);
+        }
+    };
+
+    let workload = dataset.build();
+    println!(
+        "dataset {}: {} — {} inputs over {:.0} s",
+        workload.name,
+        workload.description,
+        workload.script.interactions.len(),
+        workload.duration.as_secs_f64()
+    );
+
+    let lab = Lab::new(LabConfig::default());
+    let started = std::time::Instant::now();
+    let study = lab.study(&workload);
+    println!(
+        "study: {} lags annotated, {} configurations, {:.1} s wall clock\n",
+        study.db.len(),
+        study.all_configs().count(),
+        started.elapsed().as_secs_f64()
+    );
+
+    println!(
+        "{:<16} {:>11} {:>11} {:>14} {:>10}",
+        "config", "energy (J)", "vs oracle", "irritation", "mean lag"
+    );
+    for c in study.all_configs() {
+        let mean_lag = c.reps[0].profile.mean_lag();
+        println!(
+            "{:<16} {:>11.2} {:>10.2}x {:>14} {:>10}",
+            c.name,
+            c.mean_energy_mj() / 1_000.0,
+            study.energy_normalised(c),
+            c.mean_irritation().to_string(),
+            mean_lag.to_string(),
+        );
+    }
+
+    let ond = study.config("ondemand").expect("always present");
+    let max = study.fixed.last().expect("14 fixed configs");
+    println!(
+        "\nheadlines: save {:.0} % vs ondemand at better QoE; save {:.0} % vs max frequency at equal QoE",
+        100.0 * (1.0 - 1.0 / study.energy_normalised(ond)),
+        100.0 * (1.0 - 1.0 / study.energy_normalised(max)),
+    );
+}

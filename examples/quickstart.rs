@@ -1,0 +1,58 @@
+//! Quickstart: record a small interactive session, run the paper's full
+//! study pipeline on it (annotate → replay under 18 configurations →
+//! mark up → energy + irritation), and print the headline comparison.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use interlag::core::experiment::{Lab, LabConfig};
+use interlag::device::script::InteractionCategory;
+use interlag::workloads::gen::{WorkloadBuilder, MCYCLES};
+
+fn main() {
+    // 1. "Record" a one-minute session: the builder plays the volunteer.
+    let mut b = WorkloadBuilder::new(0xd00d);
+    b.app_launch("launch mail app", 420 * MCYCLES, 7, InteractionCategory::Common);
+    b.think_ms(2_500, 4_000);
+    for i in 0..6 {
+        b.quick_tap(&format!("open message {i}"), 140 * MCYCLES, InteractionCategory::SimpleFrequent);
+        b.think_ms(2_500, 5_000);
+    }
+    b.typing_burst("reply", 8, 9 * MCYCLES);
+    b.think_ms(1_500, 2_500);
+    b.heavy_with_progress("send with attachment", 1_500 * MCYCLES, InteractionCategory::Common);
+    b.think_ms(3_000, 5_000);
+    b.spurious_tap("tap dead space");
+    let workload = b.build("quickstart", "one-minute mail session");
+    println!(
+        "recorded '{}': {} inputs over {:.0} s\n",
+        workload.name,
+        workload.script.interactions.len(),
+        workload.duration.as_secs_f64()
+    );
+
+    // 2. Set up the lab (device + HDMI capture + calibrated power rig).
+    let lab = Lab::new(LabConfig::default());
+
+    // 3. Run the study: 14 fixed frequencies, 3 governors, the oracle.
+    let study = lab.study(&workload);
+    println!(
+        "annotated {} lags; suggester cut the frames to inspect by {:.0}x\n",
+        study.db.len(),
+        study.annotation.reduction_factor()
+    );
+
+    println!("{:<16} {:>12} {:>14} {:>12}", "config", "energy (J)", "vs oracle", "irritation");
+    for c in study.all_configs() {
+        println!(
+            "{:<16} {:>12.2} {:>13.2}x {:>12}",
+            c.name,
+            c.mean_energy_mj() / 1_000.0,
+            study.energy_normalised(c),
+            c.mean_irritation().to_string(),
+        );
+    }
+
+    let ond = study.config("ondemand").expect("ondemand always runs");
+    let savings = 100.0 * (1.0 - 1.0 / study.energy_normalised(ond));
+    println!("\npotential energy savings over ondemand at equal QoE: {savings:.0} %");
+}

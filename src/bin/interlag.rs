@@ -1,0 +1,279 @@
+//! `interlag` — command-line front end for the reproduction.
+//!
+//! ```text
+//! interlag datasets                          list the study's workloads
+//! interlag record <DS> [-o FILE]             write a dataset's getevent trace
+//! interlag classify <FILE>                   classify a getevent trace
+//! interlag replay <DS> -g <GOVERNOR>         one run: lags + energy
+//! interlag study <DS> [-r REPS] [--csv DIR]  the full §III study
+//! interlag oracle <DS>                       the oracle's per-lag decisions
+//! ```
+//!
+//! Datasets: `01 02 03 04 05 24hour`. Governors: `ondemand conservative
+//! interactive schedutil performance powersave` or a frequency like
+//! `0.96GHz`.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use interlag::core::experiment::{Lab, LabConfig};
+use interlag::core::report::{oracle_csv, profile_csv, study_csv, study_markdown};
+use interlag::device::dvfs::{FixedGovernor, Governor};
+use interlag::evdev::classify::{classify_trace, count_inputs, ClassifierConfig};
+use interlag::evdev::trace::EventTrace;
+use interlag::governors::{Conservative, Interactive, Ondemand, Performance, Powersave, Schedutil};
+use interlag::power::opp::Frequency;
+use interlag::workloads::datasets::Dataset;
+use interlag::workloads::gen::Workload;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: interlag <command> [args]\n\
+         \n\
+         commands:\n\
+         \x20 datasets                         list the study's workloads\n\
+         \x20 record <DS> [-o FILE]            write a dataset's getevent trace\n\
+         \x20 classify <FILE>                  classify a getevent trace\n\
+         \x20 replay <DS> -g <GOVERNOR>        one run: lag + energy summary\n\
+         \x20 study <DS> [-r REPS] [--csv DIR] the full 18-configuration study\n\
+         \x20 oracle <DS>                      the oracle's per-lag decisions\n\
+         \n\
+         datasets: 01 02 03 04 05 24hour\n\
+         governors: ondemand conservative interactive schedutil performance powersave <freq>GHz"
+    );
+    ExitCode::from(2)
+}
+
+fn dataset(name: &str) -> Option<Dataset> {
+    match name {
+        "01" => Some(Dataset::D01),
+        "02" => Some(Dataset::D02),
+        "03" => Some(Dataset::D03),
+        "04" => Some(Dataset::D04),
+        "05" => Some(Dataset::D05),
+        "24hour" | "24h" => Some(Dataset::Day24h),
+        _ => None,
+    }
+}
+
+fn flag_value(args: &[String], names: &[&str]) -> Option<String> {
+    args.iter()
+        .position(|a| names.contains(&a.as_str()))
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn governor_by_name(name: &str, lab: &Lab) -> Option<Box<dyn Governor>> {
+    let table = &lab.device().config().opps;
+    Some(match name {
+        "ondemand" => Box::new(Ondemand::default()),
+        "conservative" => Box::new(Conservative::default()),
+        "interactive" => Box::new(Interactive::for_table(table)),
+        "schedutil" => Box::new(Schedutil::default()),
+        "performance" => Box::new(Performance),
+        "powersave" => Box::new(Powersave),
+        other => {
+            let ghz: f64 = other.trim_end_matches("GHz").trim_end_matches("ghz").parse().ok()?;
+            Box::new(FixedGovernor::new(Frequency::from_khz((ghz * 1e6) as u32)))
+        }
+    })
+}
+
+fn cmd_datasets() -> ExitCode {
+    println!("{:<8} {:<52} {:>7} {:>8}", "dataset", "description", "inputs", "length");
+    for ds in Dataset::TEN_MINUTE.iter().copied().chain([Dataset::Day24h]) {
+        let w = ds.build();
+        println!(
+            "{:<8} {:<52} {:>7} {:>7.0}s",
+            w.name,
+            w.description,
+            w.script.interactions.len(),
+            w.duration.as_secs_f64()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_record(w: &Workload, out: Option<String>) -> ExitCode {
+    let trace = w.script.record_trace();
+    let text = trace.to_getevent_text();
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("interlag: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} events ({} bytes) to {path}",
+                trace.len(),
+                text.len()
+            );
+        }
+        None => {
+            let mut stdout = std::io::stdout().lock();
+            let _ = stdout.write_all(text.as_bytes());
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_classify(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("interlag: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace: EventTrace = match text.parse() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("interlag: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let inputs = classify_trace(&trace, &ClassifierConfig::default());
+    let counts = count_inputs(&inputs);
+    println!(
+        "{} raw events over {:.1} s -> {} inputs: {} taps, {} swipes, {} keys",
+        trace.len(),
+        trace.span().as_secs_f64(),
+        counts.total(),
+        counts.taps,
+        counts.swipes,
+        counts.keys
+    );
+    for i in &inputs {
+        println!(
+            "  {:>10.3}s {:?} at ({}, {}) travel {:.0}px hold {}",
+            i.time.as_secs_f64(),
+            i.class,
+            i.pos.x,
+            i.pos.y,
+            i.travel,
+            i.duration
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_replay(w: &Workload, gov_name: &str) -> ExitCode {
+    let lab = Lab::new(LabConfig::default());
+    let Some(mut gov) = governor_by_name(gov_name, &lab) else {
+        eprintln!("interlag: unknown governor {gov_name:?}");
+        return ExitCode::from(2);
+    };
+    let run = lab.run(w, w.script.record_trace(), gov.as_mut());
+    let energy = lab.meter().measure(&run.activity);
+    let lags: Vec<f64> = run
+        .interactions
+        .iter()
+        .filter_map(|r| r.true_lag())
+        .map(|l| l.as_millis_f64())
+        .collect();
+    let mean = if lags.is_empty() { 0.0 } else { lags.iter().sum::<f64>() / lags.len() as f64 };
+    println!(
+        "dataset {} under {}: {} interactions serviced, mean lag {:.0} ms, max {:.0} ms",
+        w.name,
+        gov_name,
+        lags.len(),
+        mean,
+        lags.iter().cloned().fold(0.0, f64::max)
+    );
+    println!(
+        "dynamic CPU energy {:.2} J; busy {:.1} s of {:.1} s",
+        energy.dynamic_mj / 1_000.0,
+        run.activity.busy_time().as_secs_f64(),
+        run.activity.total_duration().as_secs_f64()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_study(w: &Workload, reps: u32, csv_dir: Option<String>, markdown: bool) -> ExitCode {
+    let lab = Lab::new(LabConfig { reps, ..Default::default() });
+    let study = lab.study(w);
+    if markdown {
+        print!("{}", study_markdown(&study));
+    } else {
+        print!("{}", study_csv(&study));
+    }
+    if let Some(dir) = csv_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("interlag: cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let files = [
+            (format!("{dir}/study-{}.csv", w.name), study_csv(&study)),
+            (format!("{dir}/oracle-{}.csv", w.name), oracle_csv(&study)),
+        ];
+        for (path, data) in files {
+            if let Err(e) = std::fs::write(&path, data) {
+                eprintln!("interlag: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
+        }
+        for c in study.all_configs() {
+            let path = format!("{dir}/profile-{}-{}.csv", w.name, c.name.replace(' ', ""));
+            if std::fs::write(&path, profile_csv(c)).is_ok() {
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_oracle(w: &Workload) -> ExitCode {
+    let lab = Lab::new(LabConfig::default());
+    let study = lab.study(w);
+    print!("{}", oracle_csv(&study));
+    eprintln!(
+        "efficient frequency outside lags: {}",
+        lab.power_table().most_efficient_freq()
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    match command {
+        "datasets" => cmd_datasets(),
+        "record" | "classify" | "replay" | "study" | "oracle" => {
+            let Some(target) = args.get(1) else { return usage() };
+            if command == "classify" {
+                return cmd_classify(target);
+            }
+            let Some(ds) = dataset(target) else {
+                eprintln!("interlag: unknown dataset {target:?}");
+                return ExitCode::from(2);
+            };
+            let w = ds.build();
+            match command {
+                "record" => cmd_record(&w, flag_value(&args, &["-o", "--out"])),
+                "replay" => {
+                    let Some(g) = flag_value(&args, &["-g", "--governor"]) else {
+                        return usage();
+                    };
+                    cmd_replay(&w, &g)
+                }
+                "study" => {
+                    let reps = flag_value(&args, &["-r", "--reps"])
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(1);
+                    let markdown = args.iter().any(|a| a == "--markdown");
+                    cmd_study(&w, reps, flag_value(&args, &["--csv"]), markdown)
+                }
+                "oracle" => cmd_oracle(&w),
+                _ => unreachable!("matched above"),
+            }
+        }
+        "-h" | "--help" | "help" => usage(),
+        other => {
+            eprintln!("interlag: unknown command {other:?}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! # interlag — measuring QoE of interactive workloads on mobile devices
+//!
+//! A full reproduction of *Seeker, Petoumenos, Leather & Franke:
+//! "Measuring QoE of Interactive Workloads and Characterising Frequency
+//! Governors on Mobile Devices", IISWC 2014* (DOI
+//! 10.1109/IISWC.2014.6983040), built as a workspace of simulated
+//! substrates plus the paper's analysis pipeline.
+//!
+//! This facade crate re-exports every member crate under one namespace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`evdev`] | `interlag-evdev` | Linux input events, traces, record/replay |
+//! | [`video`] | `interlag-video` | frame buffers, masks, capture paths |
+//! | [`power`] | `interlag-power` | OPPs, power model, energy metering |
+//! | [`device`] | `interlag-device` | the simulated Android device |
+//! | [`governors`] | `interlag-governors` | ondemand, conservative, interactive, plans |
+//! | [`workloads`] | `interlag-workloads` | the five datasets + 24-hour recording |
+//! | [`core`] | `interlag-core` | suggester, matcher, irritation metric, oracle, lab |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use interlag::core::experiment::Lab;
+//! use interlag::device::script::InteractionCategory;
+//! use interlag::workloads::gen::{WorkloadBuilder, MCYCLES};
+//!
+//! // Record a tiny session…
+//! let mut b = WorkloadBuilder::new(1);
+//! b.app_launch("open app", 250 * MCYCLES, 4, InteractionCategory::Common);
+//! b.think_ms(1_500, 2_500);
+//! b.quick_tap("tap", 90 * MCYCLES, InteractionCategory::SimpleFrequent);
+//! let workload = b.build("hello", "quickstart workload");
+//!
+//! // …and run the paper's whole §III study on it.
+//! let lab = Lab::with_defaults();
+//! let study = lab.study(&workload);
+//! let ondemand = study.config("ondemand").unwrap();
+//! println!(
+//!     "ondemand: {:.2}× oracle energy, {} irritation",
+//!     study.energy_normalised(ondemand),
+//!     ondemand.mean_irritation(),
+//! );
+//! ```
+
+pub use interlag_core as core;
+pub use interlag_device as device;
+pub use interlag_evdev as evdev;
+pub use interlag_governors as governors;
+pub use interlag_power as power;
+pub use interlag_video as video;
+pub use interlag_workloads as workloads;

@@ -1,0 +1,138 @@
+//! Cross-crate behavioural checks of the governor study on a compact
+//! workload: the orderings the paper reports must already hold at small
+//! scale (full-dataset numbers are produced by `cargo bench`).
+
+use interlag::core::experiment::{Lab, LabConfig};
+use interlag::device::script::InteractionCategory;
+use interlag::evdev::time::SimDuration;
+use interlag::workloads::gen::{Workload, WorkloadBuilder, MCYCLES};
+
+/// ~80 seconds with the full interaction mix, small enough for debug CI.
+fn compact_workload() -> Workload {
+    let mut b = WorkloadBuilder::new(0x5ca1e);
+    b.app_launch("launch", 800 * MCYCLES, 7, InteractionCategory::Common);
+    b.think_ms(4_000, 6_000);
+    for i in 0..6 {
+        b.quick_tap(&format!("tap {i}"), 300 * MCYCLES, InteractionCategory::SimpleFrequent);
+        b.think_ms(4_000, 6_000);
+    }
+    b.heavy_with_progress("save", 2_500 * MCYCLES, InteractionCategory::Complex);
+    b.think_ms(4_000, 6_000);
+    b.app_launch("open article", 700 * MCYCLES, 6, InteractionCategory::Common);
+    b.think_ms(3_000, 5_000);
+    b.scroll("scroll", 200 * MCYCLES, InteractionCategory::SimpleFrequent);
+    b.recurring_background(
+        "sync",
+        SimDuration::from_secs(20),
+        300 * MCYCLES,
+        SimDuration::from_secs(75),
+    );
+    b.build("shape", "governor-shape workload")
+}
+
+fn study() -> interlag::core::experiment::StudyResult {
+    let lab = Lab::new(LabConfig { reps: 1, ..Default::default() });
+    lab.study(&compact_workload())
+}
+
+#[test]
+fn oracle_and_fastest_have_zero_irritation_everything_matches() {
+    let s = study();
+    assert_eq!(s.oracle.mean_irritation(), SimDuration::ZERO);
+    assert_eq!(
+        s.fixed.last().expect("14 fixed configs").mean_irritation(),
+        SimDuration::ZERO
+    );
+    for c in s.all_configs() {
+        assert_eq!(c.reps[0].match_failures, 0, "{}", c.name);
+    }
+}
+
+#[test]
+fn energy_orderings_match_the_paper() {
+    let s = study();
+    let e = |name: &str| s.energy_normalised(s.config(name).expect("present"));
+
+    // Fixed-frequency energy is U-shaped with the optimum at 0.96 GHz.
+    let u: Vec<f64> = s.fixed.iter().map(|c| s.energy_normalised(c)).collect();
+    let min_idx = u
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("non-empty")
+        .0;
+    assert_eq!(s.fixed[min_idx].name, "fixed-0.96 GHz", "U-shape optimum: {u:?}");
+    assert!(u[0] > u[min_idx], "0.30 GHz costs more than the optimum");
+    assert!(u[13] > u[0], "2.15 GHz is the most expensive fixed point");
+
+    // Governors: conservative at or below the oracle; ondemand clearly
+    // above; interactive in between.
+    assert!(e("conservative") < 1.05, "conservative {}", e("conservative"));
+    assert!(e("ondemand") > 1.10, "ondemand {}", e("ondemand"));
+    assert!(e("interactive") > 1.0 && e("interactive") <= e("ondemand") + 0.05);
+}
+
+#[test]
+fn irritation_orderings_match_the_paper() {
+    let s = study();
+    let irr = |name: &str| s.config(name).expect("present").mean_irritation();
+    assert!(
+        irr("conservative") > irr("ondemand") * 3,
+        "conservative ({}) must dwarf ondemand ({})",
+        irr("conservative"),
+        irr("ondemand")
+    );
+    assert!(
+        irr("conservative") > irr("interactive") * 3,
+        "conservative ({}) must dwarf interactive ({})",
+        irr("conservative"),
+        irr("interactive")
+    );
+    // Fixed-frequency irritation decreases monotonically (allowing tiny
+    // plateaus at the fast end where everything meets its threshold).
+    let fixed: Vec<f64> = s.fixed.iter().map(|c| c.mean_irritation().as_secs_f64()).collect();
+    assert!(fixed[0] > fixed[13], "{fixed:?}");
+    for w in fixed.windows(2) {
+        assert!(w[1] <= w[0] + 0.25, "irritation should fall with frequency: {fixed:?}");
+    }
+}
+
+#[test]
+fn oracle_saves_energy_against_max_frequency_and_governors() {
+    let s = study();
+    let max = s.fixed.last().expect("fixed configs");
+    assert!(
+        s.energy_normalised(max) > 1.25,
+        "substantial savings vs the performance governor ({}x)",
+        s.energy_normalised(max)
+    );
+    let ond = s.config("ondemand").expect("present");
+    assert!(
+        s.energy_normalised(ond) > 1.08,
+        "meaningful savings vs ondemand ({}x)",
+        s.energy_normalised(ond)
+    );
+}
+
+#[test]
+fn oracle_boosts_during_lags_and_rests_at_the_efficient_frequency() {
+    let lab = Lab::new(LabConfig { reps: 1, ..Default::default() });
+    let w = compact_workload();
+    let s = lab.study(&w);
+    let efficient = lab.power_table().most_efficient_freq();
+
+    // Between the first two interactions the plan must rest at the
+    // efficient frequency.
+    let first = s.oracle_detail.decisions[0].clone();
+    let rest_at = first.input_time + first.hold + SimDuration::from_millis(200);
+    assert_eq!(s.oracle_detail.plan.freq_at(rest_at), efficient);
+    // During each lag the plan runs at the decision's frequency or higher.
+    for d in &s.oracle_detail.decisions {
+        let mid = d.input_time + d.hold / 2;
+        assert!(
+            s.oracle_detail.plan.freq_at(mid) >= d.freq,
+            "lag {} under-clocked mid-boost",
+            d.interaction_id
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! End-to-end jank measurement: the §VI future-work workload type, from
+//! scripted game session through video capture to dropped-frame analysis.
+
+use interlag::core::jank::measure_jank;
+use interlag::core::experiment::{Lab, LabConfig};
+use interlag::device::dvfs::FixedGovernor;
+use interlag::device::render::SPINNER_FRAME_PERIOD;
+use interlag::evdev::time::SimDuration;
+use interlag::governors::{Conservative, Ondemand};
+use interlag::power::opp::Frequency;
+use interlag::workloads::gen::{Workload, WorkloadBuilder, MCYCLES};
+
+fn game_workload() -> Workload {
+    let mut b = WorkloadBuilder::new(0x9a3e);
+    b.think_ms(500, 600);
+    // 40 Mcycles per animation frame: smooth above ~0.5 GHz, janky below.
+    b.game_session("play level", SimDuration::from_secs(10), 40 * MCYCLES);
+    b.think_ms(1_000, 1_500);
+    b.build("game", "jank workload")
+}
+
+fn jank_under(gov: &mut dyn interlag::device::dvfs::Governor) -> f64 {
+    let lab = Lab::new(LabConfig::default());
+    let w = game_workload();
+    let run = lab.run(&w, w.script.record_trace(), gov);
+    let video = run.video.as_ref().expect("capture on");
+    // The animation window: from the game scene appearing to the session
+    // end (the game interaction's service point).
+    let rec = &run.interactions[0];
+    let start = rec.input_time + SimDuration::from_millis(300);
+    let end = rec.service_time.expect("game ends") - SimDuration::from_millis(100);
+    let region = lab.device().config().screen.spinner_rect;
+    let report = measure_jank(video, start, end, region, SPINNER_FRAME_PERIOD);
+    assert!(report.expected_frames > 50, "window long enough");
+    report.jank_ratio()
+}
+
+#[test]
+fn low_frequencies_drop_frames_high_frequencies_do_not() {
+    let mut slow = FixedGovernor::new(Frequency::from_mhz(300));
+    let mut fast = FixedGovernor::new(Frequency::from_mhz(2_150));
+    let jank_slow = jank_under(&mut slow);
+    let jank_fast = jank_under(&mut fast);
+    assert!(jank_slow > 0.25, "0.30 GHz must stutter (jank {jank_slow:.2})");
+    assert!(jank_fast < 0.05, "2.15 GHz must be smooth (jank {jank_fast:.2})");
+}
+
+#[test]
+fn load_driven_governors_ramp_up_and_stay_smooth() {
+    // The sustained per-frame load saturates the core at low clocks, so a
+    // load-driven governor ramps up and the animation smooths out after
+    // the first moments — conservative takes visibly longer than ondemand.
+    let mut ond = Ondemand::default();
+    let jank_ond = jank_under(&mut ond);
+    assert!(jank_ond < 0.15, "ondemand should be mostly smooth (jank {jank_ond:.2})");
+
+    let mut cons = Conservative::default();
+    let jank_cons = jank_under(&mut cons);
+    assert!(
+        jank_cons >= jank_ond,
+        "conservative ramps slower: {jank_cons:.2} vs {jank_ond:.2}"
+    );
+}
+
+#[test]
+fn game_session_does_not_disturb_lag_measurement() {
+    // The game's trigger tap is still an ordinary interaction: annotation
+    // and matching must work on the workload around it.
+    let lab = Lab::new(LabConfig::default());
+    let w = game_workload();
+    let (db, stats, run) = lab.annotate_workload(&w);
+    assert_eq!(stats.unannotated, 0);
+    let (profile, failures) = interlag::core::matcher::mark_up(
+        run.video.as_ref().expect("video"),
+        &run.lag_beginnings(),
+        &db,
+        "ref",
+    );
+    assert!(failures.is_empty(), "{failures:?}");
+    assert_eq!(profile.len(), db.len());
+}

@@ -1,0 +1,177 @@
+//! End-to-end integration of the whole methodology: record → replay →
+//! capture → annotate → match → irritate, across crates, on miniature
+//! workloads small enough for debug-mode CI.
+
+use interlag::core::annotation::GroundTruthPicker;
+use interlag::core::experiment::{Lab, LabConfig};
+use interlag::core::irritation::{user_irritation, ThresholdModel};
+use interlag::core::matcher::mark_up;
+use interlag::device::dvfs::FixedGovernor;
+use interlag::device::script::InteractionCategory;
+use interlag::evdev::time::SimDuration;
+use interlag::power::opp::Frequency;
+use interlag::workloads::gen::{Workload, WorkloadBuilder, MCYCLES};
+
+fn mini_workload(seed: u64) -> Workload {
+    let mut b = WorkloadBuilder::new(seed);
+    b.app_launch("launch app", 500 * MCYCLES, 6, InteractionCategory::Common);
+    b.think_ms(2_500, 3_500);
+    b.quick_tap("open item", 250 * MCYCLES, InteractionCategory::SimpleFrequent);
+    b.think_ms(2_000, 3_000);
+    b.typing_burst("type", 4, 15 * MCYCLES);
+    b.think_ms(1_500, 2_500);
+    b.spurious_tap("miss the button");
+    b.think_ms(1_500, 2_500);
+    b.heavy_with_progress("export", 1_500 * MCYCLES, InteractionCategory::Complex);
+    b.think_ms(2_000, 3_000);
+    b.scroll("scroll away", 150 * MCYCLES, InteractionCategory::SimpleFrequent);
+    b.background_burst("sync", SimDuration::from_secs(2), 250 * MCYCLES);
+    b.build("pipeline-mini", "integration-test workload")
+}
+
+#[test]
+fn matcher_recovers_ground_truth_across_frequencies() {
+    let lab = Lab::new(LabConfig::default());
+    let w = mini_workload(21);
+    let (db, stats, _) = lab.annotate_workload(&w);
+    assert_eq!(stats.unannotated, 0, "every actual lag gets annotated");
+
+    // Mark up executions at three very different frequencies; the matcher
+    // must agree with the simulator's ground truth within one frame
+    // period everywhere.
+    let frame = SimDuration::from_micros(33_333);
+    let quantum = SimDuration::from_millis(1);
+    for mhz in [300u32, 960, 2_150] {
+        let mut gov = FixedGovernor::new(Frequency::from_mhz(mhz));
+        let run = lab.run(&w, w.script.record_trace(), &mut gov);
+        let video = run.video.as_ref().expect("video captured");
+        let (profile, failures) = mark_up(video, &run.lag_beginnings(), &db, "it");
+        assert!(failures.is_empty(), "{mhz} MHz: {failures:?}");
+        for rec in run.interactions.iter().filter(|r| r.triggered && !r.spurious) {
+            let truth = rec.true_lag().expect("serviced");
+            let measured = profile.lag_of(rec.id).expect("matched");
+            let err = if measured > truth { measured - truth } else { truth - measured };
+            assert!(
+                err <= frame + quantum * 2,
+                "{mhz} MHz lag {}: measured {measured}, truth {truth}",
+                rec.id
+            );
+        }
+    }
+}
+
+#[test]
+fn lags_scale_inversely_with_frequency_but_waits_do_not() {
+    let lab = Lab::new(LabConfig::default());
+    let w = mini_workload(22);
+    let (db, _, _) = lab.annotate_workload(&w);
+
+    let profile_at = |mhz: u32| {
+        let mut gov = FixedGovernor::new(Frequency::from_mhz(mhz));
+        let run = lab.run(&w, w.script.record_trace(), &mut gov);
+        let (profile, _) = mark_up(run.video.as_ref().unwrap(), &run.lag_beginnings(), &db, "p");
+        profile
+    };
+    let slow = profile_at(300);
+    let fast = profile_at(2_150);
+    // Total lag must shrink dramatically, but not by the full 7.2x clock
+    // ratio: the I/O waits are frequency-independent.
+    let ratio = slow.total_lag().as_secs_f64() / fast.total_lag().as_secs_f64();
+    assert!(ratio > 2.5, "lags must shrink with frequency (ratio {ratio:.2})");
+    assert!(ratio < 7.2, "waits bound the speedup (ratio {ratio:.2})");
+}
+
+#[test]
+fn spurious_inputs_never_enter_profiles() {
+    let lab = Lab::new(LabConfig::default());
+    let w = mini_workload(23);
+    let spurious_ids: Vec<usize> = w
+        .script
+        .interactions
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.is_spurious())
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!spurious_ids.is_empty());
+
+    let (db, _, run) = lab.annotate_workload(&w);
+    for id in &spurious_ids {
+        assert!(db.get(*id).is_none(), "spurious lag {id} must not be annotated");
+    }
+    let (profile, _) = mark_up(
+        run.video.as_ref().unwrap(),
+        &run.lag_beginnings(),
+        &db,
+        "ref",
+    );
+    for id in spurious_ids {
+        assert!(profile.lag_of(id).is_none());
+    }
+}
+
+#[test]
+fn irritation_is_zero_under_own_reference_and_grows_when_slower() {
+    let lab = Lab::new(LabConfig::default());
+    let w = mini_workload(24);
+    let (db, _, reference) = lab.annotate_workload(&w);
+    let (ref_profile, _) = mark_up(
+        reference.video.as_ref().unwrap(),
+        &reference.lag_beginnings(),
+        &db,
+        "fixed-max",
+    );
+    let model = ThresholdModel::paper_rule(ref_profile.clone());
+    assert_eq!(user_irritation(&ref_profile, &model).total(), SimDuration::ZERO);
+
+    let mut gov = FixedGovernor::new(Frequency::from_mhz(300));
+    let run = lab.run(&w, w.script.record_trace(), &mut gov);
+    let (slow_profile, _) =
+        mark_up(run.video.as_ref().unwrap(), &run.lag_beginnings(), &db, "fixed-min");
+    let report = user_irritation(&slow_profile, &model);
+    assert!(report.total() > SimDuration::from_millis(500));
+    assert!(report.irritating_lags() >= slow_profile.len() / 2);
+}
+
+#[test]
+fn annotation_picker_sees_the_true_ending_among_suggestions() {
+    // The ground-truth picker must never fall back to "no suggestion":
+    // if it did, the suggester missed a real ending.
+    let lab = Lab::new(LabConfig::default());
+    for seed in [31u64, 32, 33] {
+        let w = mini_workload(seed);
+        let (db, stats, run) = lab.annotate_workload(&w);
+        assert_eq!(stats.unannotated, 0, "seed {seed}");
+        assert_eq!(db.len(), run.lag_beginnings().len(), "seed {seed}");
+        let _ = GroundTruthPicker::new(&run);
+    }
+}
+
+#[test]
+fn occurrence_two_lags_are_annotated_and_matched() {
+    // heavy_with_progress produces an ending identical to the screen at
+    // the input: the db must carry occurrence 2 and the matcher must not
+    // match instantly.
+    let lab = Lab::new(LabConfig::default());
+    let w = mini_workload(25);
+    let (db, _, run) = lab.annotate_workload(&w);
+    let export_id = w
+        .script
+        .interactions
+        .iter()
+        .position(|s| s.label == "export")
+        .expect("export interaction exists");
+    let ann = db.get(export_id).expect("annotated");
+    assert!(ann.occurrence >= 2, "ending equals beginning: occurrence {}", ann.occurrence);
+
+    let (profile, _) = mark_up(
+        run.video.as_ref().unwrap(),
+        &run.lag_beginnings(),
+        &db,
+        "ref",
+    );
+    let truth = run.interactions[export_id].true_lag().expect("serviced");
+    let matched = profile.lag_of(export_id).expect("matched");
+    assert!(matched >= truth.saturating_sub(SimDuration::from_millis(40)));
+    assert!(matched >= SimDuration::from_millis(300), "not an instant match: {matched}");
+}
