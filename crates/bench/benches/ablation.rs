@@ -52,7 +52,10 @@ fn suggester_still_run() {
         m.exclude(screen.spinner_rect);
         m
     };
-    println!("{:<14} {:>12} {:>12} {:>12}", "min_still_run", "suggestions", "annotated", "reduction");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "min_still_run", "suggestions", "annotated", "reduction"
+    );
     rule(56);
     for min_still in [1u32, 5, 15, 30] {
         let suggester = Suggester::new(SuggesterConfig {
@@ -82,8 +85,7 @@ fn capture_paths() {
     let trace = w.script.record_trace();
 
     let run_with = |mode: CaptureMode| {
-        let mut cfg = DeviceConfig::default();
-        cfg.capture = mode;
+        let cfg = DeviceConfig { capture: mode, ..Default::default() };
         let device = Device::new(cfg.clone());
         let mut gov = FixedGovernor::new(cfg.opps.max_freq());
         device.run(&w.script, ReplayAgent::new(trace.clone()), &mut gov, w.run_until())
@@ -100,13 +102,11 @@ fn capture_paths() {
         m.exclude(screen.spinner_rect);
         m
     };
-    println!(
-        "{:<28} {:>10} {:>10}",
-        "capture / tolerance", "matched", "failed"
-    );
+    println!("{:<28} {:>10} {:>10}", "capture / tolerance", "matched", "failed");
     rule(52);
     for (cap_name, run) in [("hdmi", &hdmi), ("camera", &camera)] {
-        for (tol_name, tol) in [("exact", MatchTolerance::EXACT), ("camera", MatchTolerance::CAMERA)]
+        for (tol_name, tol) in
+            [("exact", MatchTolerance::EXACT), ("camera", MatchTolerance::CAMERA)]
         {
             let suggester = Suggester::new(SuggesterConfig {
                 mask: mask.clone(),
@@ -125,7 +125,9 @@ fn capture_paths() {
             );
         }
     }
-    println!("\n-> the paper's switch from camera to HDMI capture is what makes exact matching viable");
+    println!(
+        "\n-> the paper's switch from camera to HDMI capture is what makes exact matching viable"
+    );
 }
 
 fn interactive_input_boost() {
@@ -208,7 +210,10 @@ fn schedutil_extension() {
     let trace = w.script.record_trace();
     let table = lab.device().config().opps.clone();
 
-    println!("{:<14} {:>12} {:>14} {:>14}", "governor", "energy (J)", "mean lag (ms)", "max lag (ms)");
+    println!(
+        "{:<14} {:>12} {:>14} {:>14}",
+        "governor", "energy (J)", "mean lag (ms)", "max lag (ms)"
+    );
     rule(58);
     for name in ["ondemand", "interactive", "schedutil"] {
         let mut ond;

@@ -37,8 +37,7 @@ fn main() {
         trace.span().as_secs_f64()
     );
     let text = trace.to_getevent_text();
-    let reparsed: interlag_evdev::trace::EventTrace =
-        text.parse().expect("trace text parses");
+    let reparsed: interlag_evdev::trace::EventTrace = text.parse().expect("trace text parses");
     assert_eq!(reparsed, trace);
     println!("round-trip check: OK ({} bytes of getevent text)", text.len());
 }

@@ -98,8 +98,9 @@ fn main() {
     // The true ending must always remain among the suggestions.
     let service = run.interactions[first_id].service_time.expect("serviced");
     assert!(
-        suggestions.iter().any(|s| s.time >= service
-            && s.time.as_micros() - service.as_micros() < 40_000),
+        suggestions
+            .iter()
+            .any(|s| s.time >= service && s.time.as_micros() - service.as_micros() < 40_000),
         "the true ending frame must be suggested"
     );
     println!("\ntrue ending is among the suggestions: OK");

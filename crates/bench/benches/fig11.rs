@@ -66,9 +66,6 @@ fn main() {
     let slowest = median("fixed-0.30 GHz");
     let fastest = median("fixed-2.15 GHz");
     assert!(slowest > fastest, "medians must fall with frequency");
-    assert!(
-        median("conservative") > median("ondemand"),
-        "conservative lags dominate ondemand's"
-    );
+    assert!(median("conservative") > median("ondemand"), "conservative lags dominate ondemand's");
     println!("\nshape checks (medians fall with frequency; conservative worst): OK");
 }

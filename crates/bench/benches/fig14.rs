@@ -10,10 +10,7 @@ const GOVERNORS: [&str; 3] = ["conservative", "interactive", "ondemand"];
 
 fn main() {
     let datasets = selected_datasets();
-    let studies: Vec<StudyResult> = datasets
-        .iter()
-        .map(|ds| run_study(*ds, reps()).1)
-        .collect();
+    let studies: Vec<StudyResult> = datasets.iter().map(|ds| run_study(*ds, reps()).1).collect();
 
     banner(
         "FIGURE 14 (top) — governor energy normalised to the oracle",
@@ -61,11 +58,7 @@ fn main() {
     for s in &studies {
         let mut row = Vec::new();
         for (i, g) in GOVERNORS.iter().enumerate() {
-            let v = s
-                .config(g)
-                .expect("governor present")
-                .mean_irritation()
-                .as_secs_f64();
+            let v = s.config(g).expect("governor present").mean_irritation().as_secs_f64();
             isums[i] += v;
             row.push(v);
         }
@@ -92,5 +85,7 @@ fn main() {
     assert!(cons_e < 1.02, "conservative averages at or below the oracle's energy");
     assert!(ond_e > 1.1, "ondemand needs clearly more energy than the oracle");
     assert!(cons_i > 5.0 * ond_i.max(0.1), "conservative is far more irritating");
-    println!("\nshape checks (energy: cons <= oracle < ondemand; irritation: cons >> ondemand): OK");
+    println!(
+        "\nshape checks (energy: cons <= oracle < ondemand; irritation: cons >> ondemand): OK"
+    );
 }

@@ -35,9 +35,8 @@ fn main() {
     rule(70);
     for s in &studies {
         let norm = |name: &str| s.energy_normalised(s.config(name).expect("config present"));
-        let irr = |name: &str| {
-            s.config(name).expect("config present").mean_irritation().as_secs_f64()
-        };
+        let irr =
+            |name: &str| s.config(name).expect("config present").mean_irritation().as_secs_f64();
         let vs_ond = 100.0 * (1.0 - 1.0 / norm("ondemand"));
         let vs_inter = 100.0 * (1.0 - 1.0 / norm("interactive"));
         let vs_perf = 100.0 * (1.0 - 1.0 / norm("fixed-2.15 GHz"));

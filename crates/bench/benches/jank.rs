@@ -39,7 +39,7 @@ fn main() {
     );
     rule(78);
 
-    let mut run_one = |name: &str, gov: &mut dyn Governor| {
+    let run_one = |name: &str, gov: &mut dyn Governor| {
         let run = lab.run(&w, trace.clone(), gov);
         let video = run.video.as_ref().expect("capture on");
         let rec = &run.interactions[0];

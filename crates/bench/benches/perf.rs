@@ -56,6 +56,32 @@ fn bench_suggester(c: &mut Criterion) {
     group.finish();
 }
 
+/// The pre-optimisation matcher walk: per-frame naive masked count with no
+/// digest gate, no compiled mask, no memoisation — the baseline the
+/// fast-path numbers in EXPERIMENTS.md are measured against.
+fn naive_match_walk(
+    video: &VideoStream,
+    annotation: &interlag_core::annotation::LagAnnotation,
+) -> u32 {
+    let mut remaining = annotation.occurrence.max(1);
+    let mut in_match = false;
+    for frame in video.frames() {
+        let matches = annotation.mask.count_diff(
+            &annotation.image,
+            &frame.buf,
+            annotation.tolerance.value_tolerance,
+        ) <= annotation.tolerance.pixel_budget;
+        if matches && !in_match {
+            remaining -= 1;
+            if remaining == 0 {
+                return frame.index;
+            }
+        }
+        in_match = matches;
+    }
+    panic!("ending not found");
+}
+
 fn bench_matcher(c: &mut Criterion) {
     let video = synthetic_video(600, 40);
     // Annotate the final frame as the ending: the matcher must walk all
@@ -69,11 +95,23 @@ fn bench_matcher(c: &mut Criterion) {
         occurrence: 1,
         threshold: SimDuration::from_secs(1),
     };
+    let mut masked = annotation.clone();
+    masked.mask = Mask::status_bar(72, 6);
+    masked.mask.apply(&mut masked.image);
     let matcher = Matcher::new();
     let mut group = c.benchmark_group("matcher");
     group.throughput(Throughput::Elements(600));
     group.bench_function("walk_600_frames", |b| {
         b.iter(|| matcher.match_lag(&video, SimTime::ZERO, &annotation).expect("found"))
+    });
+    group.bench_function("walk_600_frames_masked", |b| {
+        b.iter(|| matcher.match_lag(&video, SimTime::ZERO, &masked).expect("found"))
+    });
+    group.bench_function("walk_600_frames_naive", |b| {
+        b.iter(|| naive_match_walk(&video, &annotation))
+    });
+    group.bench_function("walk_600_frames_masked_naive", |b| {
+        b.iter(|| naive_match_walk(&video, &masked))
     });
     group.finish();
 }
@@ -91,9 +129,10 @@ fn bench_device_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("device");
     group.sample_size(10);
     group.throughput(Throughput::Elements(workload.run_until().as_millis()));
-    for (name, capture) in [("sim_30s_no_video", CaptureMode::None), ("sim_30s_hdmi", CaptureMode::Hdmi)] {
-        let mut config = DeviceConfig::default();
-        config.capture = capture;
+    for (name, capture) in
+        [("sim_30s_no_video", CaptureMode::None), ("sim_30s_hdmi", CaptureMode::Hdmi)]
+    {
+        let config = DeviceConfig { capture, ..Default::default() };
         let device = Device::new(config);
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -171,10 +210,22 @@ fn bench_frame_diff(c: &mut Criterion) {
     let mut b2 = a.clone();
     b2.hash_paint(interlag_video::frame::Rect::new(20, 40, 30, 30), 2);
     let mask = Mask::status_bar(72, 6);
+    let compiled = mask.compile(72, 120);
+    // Warm the digest caches so the digest benches measure the steady
+    // state (the matcher compares each frame against many candidates).
+    let _ = (a.digest(), b2.digest());
     let mut group = c.benchmark_group("frame_diff");
     group.throughput(Throughput::Elements(72 * 120));
     group.bench_function("unmasked", |b| b.iter(|| a.count_diff(&b2, 0)));
+    group.bench_function("unmasked_early_exit", |b| b.iter(|| a.differs_more_than(&b2, 0, 0)));
+    group.bench_function("digest_gated_exact", |b| {
+        b.iter(|| MatchTolerance::EXACT.matches(&Mask::new(), &a, &b2))
+    });
     group.bench_function("masked", |b| b.iter(|| mask.count_diff(&a, &b2, 0)));
+    group.bench_function("masked_compiled", |b| b.iter(|| compiled.count_diff(&a, &b2, 0)));
+    group.bench_function("masked_compiled_early_exit", |b| {
+        b.iter(|| compiled.differs_more_than(&a, &b2, 0, 0))
+    });
     group.finish();
 }
 

@@ -30,7 +30,7 @@ fn main() {
     println!("{:<34} {:>9} {:>9} {:>11}", "execution", "matched", "failed", "match rate");
     rule(68);
 
-    let mut mark = |name: &str, condition: NetworkCondition| {
+    let mark = |name: &str, condition: NetworkCondition| {
         let w = news_browsing(SEED, PAGES, condition);
         let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
         let run = lab.run(&w, w.script.record_trace(), &mut gov);
@@ -47,8 +47,10 @@ fn main() {
         (profile.len(), failures)
     };
 
-    let (proxied_ok, proxied_failures) = mark("proxied (recorded responses)", NetworkCondition::Proxied);
-    let (live1_ok, live1_failures) = mark("live network, day 1", NetworkCondition::Live { run_nonce: 1 });
+    let (proxied_ok, proxied_failures) =
+        mark("proxied (recorded responses)", NetworkCondition::Proxied);
+    let (live1_ok, live1_failures) =
+        mark("live network, day 1", NetworkCondition::Live { run_nonce: 1 });
     let (live2_ok, _) = mark("live network, day 2", NetworkCondition::Live { run_nonce: 2 });
 
     println!();

@@ -1,0 +1,112 @@
+//! Scaling of the parallel study engine: the same §III study executed
+//! serially (`workers = 1`, the legacy sweep) and on all available cores,
+//! reporting simulated-seconds per wall-second and the speedup. The two
+//! sweeps are also cross-checked for bit-identical results — the whole
+//! point of the deterministic work-queue design.
+//!
+//! Environment knobs: `INTERLAG_REPS` (repetitions, default 3) and
+//! `INTERLAG_STUDY_WORKERS` (comma-separated worker counts to sweep;
+//! default `1,<cores>`).
+
+use interlag_bench::{banner, reps, rule};
+use interlag_core::experiment::{Lab, LabConfig, StudyResult};
+use interlag_device::script::InteractionCategory;
+use interlag_evdev::time::SimDuration;
+use interlag_workloads::gen::{Workload, WorkloadBuilder, MCYCLES};
+
+/// A ~25-second workload: large enough that the sweep dominates, small
+/// enough that the serial baseline finishes promptly.
+fn study_workload() -> Workload {
+    let mut b = WorkloadBuilder::new(0xfee1);
+    b.app_launch("launch", 400 * MCYCLES, 5, InteractionCategory::Common);
+    b.think_ms(2_000, 3_000);
+    b.quick_tap("tap a", 150 * MCYCLES, InteractionCategory::SimpleFrequent);
+    b.think_ms(2_000, 3_000);
+    b.spurious_tap("miss");
+    b.think_ms(1_500, 2_500);
+    b.heavy_with_progress("save", 1_200 * MCYCLES, InteractionCategory::Complex);
+    b.think_ms(2_000, 3_000);
+    b.quick_tap("tap b", 120 * MCYCLES, InteractionCategory::SimpleFrequent);
+    b.background_burst("sync", SimDuration::from_secs(1), 200 * MCYCLES);
+    b.build("mini", "study-parallel scaling workload")
+}
+
+fn worker_counts() -> Vec<usize> {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    match std::env::var("INTERLAG_STUDY_WORKERS") {
+        Ok(raw) => raw.split(',').filter_map(|w| w.trim().parse().ok()).collect(),
+        Err(_) => {
+            if cores > 1 {
+                vec![1, cores]
+            } else {
+                vec![1]
+            }
+        }
+    }
+}
+
+fn summaries_identical(a: &StudyResult, b: &StudyResult) -> bool {
+    a.db == b.db
+        && a.all_configs().count() == b.all_configs().count()
+        && a.all_configs().zip(b.all_configs()).all(|(x, y)| {
+            x.name == y.name
+                && x.reps.len() == y.reps.len()
+                && x.reps.iter().zip(&y.reps).all(|(r, s)| {
+                    r.profile == s.profile
+                        && r.dynamic_energy_mj.to_bits() == s.dynamic_energy_mj.to_bits()
+                        && r.irritation == s.irritation
+                        && r.match_failures == s.match_failures
+                })
+        })
+}
+
+fn main() {
+    let reps = reps();
+    let workload = study_workload();
+    banner(
+        "study engine scaling",
+        "configuration x repetition sweep: serial vs work-queue workers",
+    );
+
+    // Total simulated time covered by one study: (reference run) + 18
+    // configurations x reps, each replaying the whole workload.
+    let configs = 18u64;
+    let sim_secs_per_study =
+        workload.run_until().as_millis() as f64 / 1e3 * (configs * reps as u64 + 1) as f64;
+
+    println!(
+        "{:>8} {:>12} {:>16} {:>10}  identical",
+        "workers", "wall s", "sim-s/wall-s", "speedup"
+    );
+    rule(64);
+    let mut baseline_wall = None;
+    let mut baseline_study: Option<StudyResult> = None;
+    for workers in worker_counts() {
+        let lab = Lab::new(LabConfig { reps, workers, ..Default::default() });
+        let started = std::time::Instant::now();
+        let study = lab.study(&workload);
+        let wall = started.elapsed().as_secs_f64();
+        let baseline = *baseline_wall.get_or_insert(wall);
+        let identical = match &baseline_study {
+            None => {
+                baseline_study = Some(study);
+                "baseline".to_string()
+            }
+            Some(first) => {
+                if summaries_identical(first, &study) {
+                    "yes".to_string()
+                } else {
+                    "NO - MISMATCH".to_string()
+                }
+            }
+        };
+        println!(
+            "{:>8} {:>12.2} {:>16.1} {:>9.2}x  {}",
+            workers,
+            wall,
+            sim_secs_per_study / wall,
+            baseline / wall,
+            identical
+        );
+    }
+}

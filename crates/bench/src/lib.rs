@@ -20,10 +20,7 @@ use interlag_workloads::gen::Workload;
 
 /// Repetitions per configuration, from `INTERLAG_REPS` (default 3).
 pub fn reps() -> u32 {
-    std::env::var("INTERLAG_REPS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3)
+    std::env::var("INTERLAG_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(3)
 }
 
 /// The datasets a multi-dataset figure should cover, from
@@ -33,12 +30,7 @@ pub fn selected_datasets() -> Vec<Dataset> {
         return Dataset::TEN_MINUTE.to_vec();
     };
     raw.split(',')
-        .filter_map(|name| {
-            Dataset::TEN_MINUTE
-                .iter()
-                .copied()
-                .find(|d| d.name() == name.trim())
-        })
+        .filter_map(|name| Dataset::TEN_MINUTE.iter().copied().find(|d| d.name() == name.trim()))
         .collect()
 }
 

@@ -108,11 +108,8 @@ pub struct GroundTruthPicker {
 impl GroundTruthPicker {
     /// Builds the picker from a reference run's interaction log.
     pub fn new(run: &RunArtifacts) -> Self {
-        let service_times = run
-            .interactions
-            .iter()
-            .filter_map(|r| r.service_time.map(|t| (r.id, t)))
-            .collect();
+        let service_times =
+            run.interactions.iter().filter_map(|r| r.service_time.map(|t| (r.id, t))).collect();
         GroundTruthPicker { service_times }
     }
 }
@@ -212,14 +209,8 @@ pub fn annotate(
 
         // Derive the occurrence: count match-runs of the picked image from
         // the lag beginning through the picked frame.
-        let occurrence = count_occurrences(
-            video,
-            input_time,
-            picked.frame_index,
-            &image,
-            mask,
-            tolerance,
-        );
+        let occurrence =
+            count_occurrences(video, input_time, picked.frame_index, &image, mask, tolerance);
 
         let category = run
             .interactions
@@ -254,8 +245,18 @@ fn count_occurrences(
     let first = video.first_frame_at_or_after(from_time);
     let mut occurrences = 0u32;
     let mut in_match = false;
+    let compiled = mask.compile(image.width(), image.height());
+    // Still periods share one buffer allocation: remember the previous
+    // frame's pointer and verdict so a run of identical frames costs one
+    // comparison total.
+    let mut last: Option<(*const FrameBuffer, bool)> = None;
     for frame in &video.frames()[first as usize..=through_index as usize] {
-        let matches = tolerance.matches(mask, image, &frame.buf);
+        let key = std::sync::Arc::as_ptr(&frame.buf);
+        let matches = match last {
+            Some((prev, verdict)) if prev == key => verdict,
+            _ => tolerance.matches_compiled(&compiled, image, &frame.buf),
+        };
+        last = Some((key, matches));
         if matches && !in_match {
             occurrences += 1;
         }
@@ -293,14 +294,7 @@ mod tests {
         let v = video_of("aabbaa");
         let mut img = FrameBuffer::new(8, 8);
         img.fill(b'a');
-        let n = count_occurrences(
-            &v,
-            SimTime::ZERO,
-            5,
-            &img,
-            &Mask::new(),
-            MatchTolerance::EXACT,
-        );
+        let n = count_occurrences(&v, SimTime::ZERO, 5, &img, &Mask::new(), MatchTolerance::EXACT);
         assert_eq!(n, 2);
         // Through index 1 (still inside the first run): one.
         let n = count_occurrences(&v, SimTime::ZERO, 1, &img, &Mask::new(), MatchTolerance::EXACT);

@@ -14,6 +14,8 @@
 //!    irritation against 110 % of the fastest frequency's profile.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use interlag_device::device::{CaptureMode, Device, DeviceConfig, RunArtifacts};
 use interlag_device::dvfs::{FixedGovernor, Governor};
@@ -52,6 +54,12 @@ pub struct LabConfig {
     pub reps: u32,
     /// Input-timing jitter between repetitions, microseconds.
     pub jitter_us: u64,
+    /// Worker threads for the configuration×repetition sweep of
+    /// [`Lab::study`]. Every run is a pure function of its (trace,
+    /// governor) inputs, so any worker count produces bit-identical
+    /// results; `1` forces the legacy serial sweep. Defaults to
+    /// [`std::thread::available_parallelism`].
+    pub workers: usize,
 }
 
 impl Default for LabConfig {
@@ -63,6 +71,7 @@ impl Default for LabConfig {
             tolerance: MatchTolerance::EXACT,
             reps: 1,
             jitter_us: 1_500,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         }
     }
 }
@@ -174,7 +183,8 @@ impl Lab {
     /// with the paper's micro-benchmark procedure.
     pub fn new(mut config: LabConfig) -> Self {
         config.device.capture = CaptureMode::Hdmi;
-        let measured = calibrate(&config.device.opps, &PowerModel::krait_like(), &config.calibration);
+        let measured =
+            calibrate(&config.device.opps, &PowerModel::krait_like(), &config.calibration);
         let screen = config.device.screen;
         // The standard mask set: status bar (clock), cursor, spinner.
         let mask = {
@@ -274,9 +284,7 @@ impl Lab {
             .iter()
             .map(|e| {
                 let offset = rng.next_range(-j, j);
-                let t = SimTime::from_micros(
-                    (e.time.as_micros() as i64 + offset).max(0) as u64
-                );
+                let t = SimTime::from_micros((e.time.as_micros() as i64 + offset).max(0) as u64);
                 let t = t.max(last);
                 last = t;
                 interlag_evdev::event::TimedEvent::new(t, e.device, e.event)
@@ -284,52 +292,86 @@ impl Lab {
             .collect()
     }
 
+    /// Runs `count` independent jobs across the configured worker threads
+    /// and returns their results in job order. Every job is a pure
+    /// function of its index, so the output is identical for any worker
+    /// count; with one worker (or one job) the jobs simply run inline.
+    fn run_matrix<F>(&self, count: usize, job: F) -> Vec<RepResult>
+    where
+        F: Fn(usize) -> RepResult + Sync,
+    {
+        let workers = self.config.workers.max(1).min(count.max(1));
+        if workers == 1 {
+            return (0..count).map(job).collect();
+        }
+        // A shared-counter work queue: each worker claims the next
+        // unclaimed job until none remain. Slots are per-job, so workers
+        // never contend on a result lock while another job is running.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RepResult>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let result = job(i);
+                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("work queue covered every job")
+            })
+            .collect()
+    }
+
     /// Runs the full study for one workload: annotate once, then replay
     /// under every fixed frequency, every governor and the oracle, with
     /// the configured repetitions.
+    ///
+    /// The configuration×repetition sweep — by far the dominant cost —
+    /// runs on [`LabConfig::workers`] threads. Each (configuration,
+    /// repetition) run is an independent pure function of the recorded
+    /// trace and the governor, so results are reassembled in the paper's
+    /// deterministic order and are bit-identical to a serial sweep. The
+    /// oracle runs in a second stage because its plan is built from the
+    /// fixed-frequency profiles of the first.
     pub fn study(&self, workload: &Workload) -> StudyResult {
+        const GOVERNOR_NAMES: [&str; 3] = ["conservative", "interactive", "ondemand"];
         let trace = workload.script.record_trace();
         let (db, annotation, reference_run) = self.annotate_workload(workload);
         let opps = self.config.device.opps.clone();
         let reps = self.config.reps.max(1);
 
-        // --- fixed frequencies -------------------------------------------
-        let mut fixed: Vec<ConfigSummary> = Vec::new();
-        for freq in opps.frequencies() {
-            let name = format!("fixed-{freq}");
-            let mut summary = ConfigSummary { name: name.clone(), freq: Some(freq), reps: Vec::new() };
-            for rep in 0..reps {
-                let run = if freq == opps.max_freq() && rep == 0 {
+        // --- stage 1: fixed frequencies and governors --------------------
+        // Job i = configuration (i / reps), repetition (i % reps), with
+        // configurations ordered as the paper plots them: fixed slowest →
+        // fastest, then conservative, interactive, ondemand.
+        let freqs: Vec<Frequency> = opps.frequencies().collect();
+        let n_fixed = freqs.len();
+        let per_rep = reps as usize;
+        let results = self.run_matrix((n_fixed + GOVERNOR_NAMES.len()) * per_rep, |i| {
+            let config = i / per_rep;
+            let rep = (i % per_rep) as u32;
+            if config < n_fixed {
+                let freq = freqs[config];
+                let name = format!("fixed-{freq}");
+                if freq == opps.max_freq() && rep == 0 {
                     // Reuse the annotation reference run.
-                    reference_run.clone()
+                    self.measure(&reference_run, &db, &name)
                 } else {
                     let mut gov = FixedGovernor::new(freq);
-                    self.run(workload, self.jittered_trace(&trace, rep), &mut gov)
-                };
-                summary.reps.push(self.measure(&run, &db, &name));
-            }
-            fixed.push(summary);
-        }
-
-        // The threshold models: 110 % of the fastest frequency's profile,
-        // one per repetition — each repetition jitters the input timings,
-        // so a lag must be compared against the reference measured with
-        // the *same* inputs (otherwise frame-grid quantisation leaks a
-        // few spurious milliseconds of irritation into the baselines).
-        let models: Vec<ThresholdModel> = fixed
-            .last()
-            .expect("at least one OPP")
-            .reps
-            .iter()
-            .map(|r| ThresholdModel::paper_rule(r.profile.clone()))
-            .collect();
-
-        // --- governors -----------------------------------------------------
-        let mut governors: Vec<ConfigSummary> = Vec::new();
-        for which in ["conservative", "interactive", "ondemand"] {
-            let mut summary =
-                ConfigSummary { name: which.to_string(), freq: None, reps: Vec::new() };
-            for rep in 0..reps {
+                    let run = self.run(workload, self.jittered_trace(&trace, rep), &mut gov);
+                    self.measure(&run, &db, &name)
+                }
+            } else {
+                let which = GOVERNOR_NAMES[config - n_fixed];
                 let mut conservative;
                 let mut interactive;
                 let mut ondemand;
@@ -348,25 +390,60 @@ impl Lab {
                     }
                 };
                 let run = self.run(workload, self.jittered_trace(&trace, rep), gov);
-                summary.reps.push(self.measure(&run, &db, which));
+                self.measure(&run, &db, which)
             }
-            governors.push(summary);
-        }
+        });
 
-        // --- oracle ----------------------------------------------------------
+        // Reassemble in paper order: the job layout above is config-major,
+        // so each summary takes the next `reps` results.
+        let mut results = results.into_iter();
+        let fixed: Vec<ConfigSummary> = freqs
+            .iter()
+            .map(|&freq| ConfigSummary {
+                name: format!("fixed-{freq}"),
+                freq: Some(freq),
+                reps: results.by_ref().take(per_rep).collect(),
+            })
+            .collect();
+        let governors: Vec<ConfigSummary> = GOVERNOR_NAMES
+            .iter()
+            .map(|&which| ConfigSummary {
+                name: which.to_string(),
+                freq: None,
+                reps: results.by_ref().take(per_rep).collect(),
+            })
+            .collect();
+
+        // The threshold models: 110 % of the fastest frequency's profile,
+        // one per repetition — each repetition jitters the input timings,
+        // so a lag must be compared against the reference measured with
+        // the *same* inputs (otherwise frame-grid quantisation leaks a
+        // few spurious milliseconds of irritation into the baselines).
+        let models: Vec<ThresholdModel> = fixed
+            .last()
+            .expect("at least one OPP")
+            .reps
+            .iter()
+            .map(|r| ThresholdModel::paper_rule(r.profile.clone()))
+            .collect();
+
+        // --- stage 2: oracle ---------------------------------------------
+        // Needs stage 1: the plan is derived from the fixed rep-0 profiles.
         let fixed_profiles: BTreeMap<Frequency, LagProfile> = fixed
             .iter()
             .map(|c| (c.freq.expect("fixed configs have a frequency"), c.reps[0].profile.clone()))
             .collect();
         let oracle_cfg = OracleConfig::paper(self.power_table().most_efficient_freq());
         let oracle_detail = build_oracle(&fixed_profiles, &oracle_cfg);
-        let mut oracle_summary =
-            ConfigSummary { name: "oracle".to_string(), freq: None, reps: Vec::new() };
-        for rep in 0..reps {
-            let mut gov = PlanGovernor::new("oracle", oracle_detail.plan.clone());
-            let run = self.run(workload, self.jittered_trace(&trace, rep), &mut gov);
-            oracle_summary.reps.push(self.measure(&run, &db, "oracle"));
-        }
+        let oracle_summary = ConfigSummary {
+            name: "oracle".to_string(),
+            freq: None,
+            reps: self.run_matrix(per_rep, |rep| {
+                let mut gov = PlanGovernor::new("oracle", oracle_detail.plan.clone());
+                let run = self.run(workload, self.jittered_trace(&trace, rep as u32), &mut gov);
+                self.measure(&run, &db, "oracle")
+            }),
+        };
 
         // --- irritation pass ---------------------------------------------------
         let mut result = StudyResult {
@@ -454,11 +531,7 @@ mod tests {
             let truth = rec.true_lag().expect("serviced");
             let measured = profile.lag_of(rec.id).expect("matched");
             let err = if measured > truth { measured - truth } else { truth - measured };
-            assert!(
-                err <= budget,
-                "lag {}: measured {measured} vs truth {truth}",
-                rec.id
-            );
+            assert!(err <= budget, "lag {}: measured {measured} vs truth {truth}", rec.id);
         }
     }
 
@@ -516,6 +589,39 @@ mod tests {
             study.oracle.mean_energy_mj(),
             fastest.mean_energy_mj()
         );
+    }
+
+    #[test]
+    fn parallel_study_is_bit_identical_to_serial() {
+        let w = mini_workload();
+        let serial = Lab::new(LabConfig { reps: 2, workers: 1, ..Default::default() }).study(&w);
+        let parallel = Lab::new(LabConfig { reps: 2, workers: 4, ..Default::default() }).study(&w);
+
+        assert_eq!(serial.workload, parallel.workload);
+        assert_eq!(serial.annotation, parallel.annotation);
+        assert_eq!(serial.db, parallel.db);
+        assert_eq!(serial.oracle_detail, parallel.oracle_detail);
+
+        let mut configs = 0;
+        for (s, p) in serial.all_configs().zip(parallel.all_configs()) {
+            configs += 1;
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.freq, p.freq);
+            assert_eq!(s.reps.len(), p.reps.len(), "{}", s.name);
+            for (sr, pr) in s.reps.iter().zip(&p.reps) {
+                assert_eq!(sr.profile, pr.profile, "{}", s.name);
+                // Bit-identical, not merely approximately equal.
+                assert_eq!(
+                    sr.dynamic_energy_mj.to_bits(),
+                    pr.dynamic_energy_mj.to_bits(),
+                    "{}",
+                    s.name
+                );
+                assert_eq!(sr.irritation, pr.irritation, "{}", s.name);
+                assert_eq!(sr.match_failures, pr.match_failures, "{}", s.name);
+            }
+        }
+        assert_eq!(configs, 18);
     }
 
     #[test]

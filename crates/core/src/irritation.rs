@@ -174,10 +174,7 @@ mod tests {
         // A profile 50 % slower pays the excess over 110 %.
         let slow = profile(&[150, 300, 450]);
         let r = user_irritation(&slow, &model);
-        assert_eq!(
-            r.total(),
-            SimDuration::from_millis((150 - 110) + (300 - 220) + (450 - 330))
-        );
+        assert_eq!(r.total(), SimDuration::from_millis((150 - 110) + (300 - 220) + (450 - 330)));
     }
 
     #[test]
@@ -189,8 +186,7 @@ mod tests {
             lag: SimDuration::from_millis(1),
             threshold: SimDuration::from_millis(1),
         });
-        let model =
-            ThresholdModel::RelativeToReference { reference, factor: 1.1 };
+        let model = ThresholdModel::RelativeToReference { reference, factor: 1.1 };
         let p = profile(&[500, 1_500]); // id 1 missing from reference
         let r = user_irritation(&p, &model);
         // id 0: threshold 110 ms → 390 ms penalty; id 1: falls back to the

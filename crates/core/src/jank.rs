@@ -92,11 +92,8 @@ pub fn measure_jank(
     nominal_period: SimDuration,
 ) -> JankReport {
     let window = window_end.saturating_since(window_start);
-    let expected_frames = if nominal_period.is_zero() {
-        0
-    } else {
-        window.as_micros() / nominal_period.as_micros()
-    };
+    let expected_frames =
+        if nominal_period.is_zero() { 0 } else { window.as_micros() / nominal_period.as_micros() };
 
     let first = video.first_frame_at_or_after(window_start) as usize;
     let last = video.first_frame_at_or_after(window_end) as usize;
@@ -155,13 +152,8 @@ mod tests {
     fn smooth_animation_has_no_jank() {
         // Updates every 3rd captured frame = every 100 ms = nominal rate.
         let v = video_with_updates(90, 3);
-        let r = measure_jank(
-            &v,
-            SimTime::ZERO,
-            window_end(90),
-            REGION,
-            SimDuration::from_millis(100),
-        );
+        let r =
+            measure_jank(&v, SimTime::ZERO, window_end(90), REGION, SimDuration::from_millis(100));
         assert_eq!(r.expected_frames, 29);
         assert!(r.observed_frames >= 28, "observed {}", r.observed_frames);
         assert!(r.jank_ratio() < 0.05);
@@ -172,13 +164,8 @@ mod tests {
     fn half_rate_animation_is_half_janky() {
         // Updates every 6th frame = every 200 ms instead of 100 ms.
         let v = video_with_updates(90, 6);
-        let r = measure_jank(
-            &v,
-            SimTime::ZERO,
-            window_end(90),
-            REGION,
-            SimDuration::from_millis(100),
-        );
+        let r =
+            measure_jank(&v, SimTime::ZERO, window_end(90), REGION, SimDuration::from_millis(100));
         let ratio = r.jank_ratio();
         assert!((0.4..0.6).contains(&ratio), "ratio {ratio}");
         assert!((4.0..6.0).contains(&r.observed_fps()), "fps {}", r.observed_fps());
@@ -187,13 +174,8 @@ mod tests {
     #[test]
     fn frozen_animation_reports_full_stall() {
         let v = video_with_updates(60, 0);
-        let r = measure_jank(
-            &v,
-            SimTime::ZERO,
-            window_end(60),
-            REGION,
-            SimDuration::from_millis(100),
-        );
+        let r =
+            measure_jank(&v, SimTime::ZERO, window_end(60), REGION, SimDuration::from_millis(100));
         assert_eq!(r.observed_frames, 0);
         assert_eq!(r.jank_ratio(), 1.0);
         assert_eq!(r.longest_stall, window_end(60).saturating_since(SimTime::ZERO));
@@ -208,13 +190,8 @@ mod tests {
             f.hash_paint(Rect::new(0, 0, 16, 2), i);
             v.push(SimTime::from_micros(i * 33_333), Arc::new(f));
         }
-        let r = measure_jank(
-            &v,
-            SimTime::ZERO,
-            window_end(30),
-            REGION,
-            SimDuration::from_millis(100),
-        );
+        let r =
+            measure_jank(&v, SimTime::ZERO, window_end(30), REGION, SimDuration::from_millis(100));
         assert_eq!(r.observed_frames, 0);
     }
 

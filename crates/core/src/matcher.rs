@@ -8,9 +8,13 @@
 //! interaction — with zero human involvement, which is what makes the
 //! 85-execution studies of §III affordable.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_video::frame::FrameBuffer;
 use interlag_video::stream::VideoStream;
 
 use crate::annotation::{AnnotationDb, LagAnnotation};
@@ -71,12 +75,30 @@ impl Matcher {
         let first = video.first_frame_at_or_after(input_time);
         let mut remaining = annotation.occurrence.max(1);
         let mut in_match = false;
+        // Compile the mask's rectangle list once for the whole walk; every
+        // frame comparison then runs over precomputed included spans.
+        let compiled = annotation.mask.compile(annotation.image.width(), annotation.image.height());
+        // The capture pipeline reuses one buffer for every frame of a
+        // still period and a blinking UI oscillates between a handful of
+        // buffers, so most frames are pointer-identical to one already
+        // judged: memoise the verdict per unique buffer, with the
+        // immediately-previous pointer checked first (the still-period
+        // case) before falling back to the map.
+        let mut last: Option<(*const FrameBuffer, bool)> = None;
+        let mut verdicts: HashMap<*const FrameBuffer, bool> = HashMap::new();
         for frame in &video.frames()[first as usize..] {
             // The annotation image has its mask burned in; apply the same
             // masking to the candidate by comparing under the mask (the
             // mask zeroes the same pixels on both sides, and masked
             // comparison ignores them anyway).
-            let matches = annotation.tolerance.matches(&annotation.mask, &annotation.image, &frame.buf);
+            let key = Arc::as_ptr(&frame.buf);
+            let matches = match last {
+                Some((prev, verdict)) if prev == key => verdict,
+                _ => *verdicts.entry(key).or_insert_with(|| {
+                    annotation.tolerance.matches_compiled(&compiled, &annotation.image, &frame.buf)
+                }),
+            };
+            last = Some((key, matches));
             if matches && !in_match {
                 remaining -= 1;
                 if remaining == 0 {

@@ -9,6 +9,8 @@
 //! handled exactly as the paper describes: a per-lag pixel tolerance, an
 //! image mask, and a configurable minimum still-period length.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use interlag_evdev::time::SimTime;
@@ -86,21 +88,33 @@ impl Suggester {
     /// `[from_index, to_index)`, `true` if it differs from its predecessor
     /// under the mask/tolerance. The first frame of the video is `false`
     /// by definition.
-    pub fn change_sequence(&self, video: &VideoStream, from_index: u32, to_index: u32) -> Vec<bool> {
+    pub fn change_sequence(
+        &self,
+        video: &VideoStream,
+        from_index: u32,
+        to_index: u32,
+    ) -> Vec<bool> {
         let frames = video.frames();
         let to = (to_index as usize).min(frames.len());
         let from = (from_index as usize).min(to);
         let mut out = Vec::with_capacity(to - from);
+        if from >= to {
+            return out;
+        }
+        // One mask compilation serves the whole window (frames of one
+        // capture share dimensions, as the naive comparison also assumes).
+        let compiled =
+            self.config.mask.compile(frames[from].buf.width(), frames[from].buf.height());
         for i in from..to {
             if i == 0 {
                 out.push(false);
                 continue;
             }
-            let changed = !self.config.tolerance.matches(
-                &self.config.mask,
-                &frames[i - 1].buf,
-                &frames[i].buf,
-            );
+            let (prev, cur) = (&frames[i - 1].buf, &frames[i].buf);
+            // Still periods reuse one allocation: pointer-identical frames
+            // are equal under every tolerance, no pixels needed.
+            let changed = !Arc::ptr_eq(prev, cur)
+                && !self.config.tolerance.matches_compiled(&compiled, prev, cur);
             out.push(changed);
         }
         out
@@ -150,7 +164,12 @@ impl Suggester {
 
     /// The manual-markup burden this window would have cost: how many
     /// frames a human would step through without the suggester.
-    pub fn frames_in_window(&self, video: &VideoStream, lag_start: SimTime, window_end: SimTime) -> u32 {
+    pub fn frames_in_window(
+        &self,
+        video: &VideoStream,
+        lag_start: SimTime,
+        window_end: SimTime,
+    ) -> u32 {
         let first = video.first_frame_at_or_after(lag_start);
         let last = video.first_frame_at_or_after(window_end);
         last - first
@@ -181,10 +200,7 @@ mod tests {
     }
 
     fn suggest_all(pattern: &str, min_still: u32) -> Vec<u32> {
-        let s = Suggester::new(SuggesterConfig {
-            min_still_run: min_still,
-            ..Default::default()
-        });
+        let s = Suggester::new(SuggesterConfig { min_still_run: min_still, ..Default::default() });
         let v = video_of(pattern);
         s.suggest(&v, SimTime::ZERO, SimTime::from_secs(10))
             .into_iter()
@@ -249,10 +265,8 @@ mod tests {
         let unmasked = Suggester::default();
         assert_eq!(unmasked.suggest(&v, SimTime::ZERO, SimTime::from_secs(1)).len(), 1);
 
-        let masked = Suggester::new(SuggesterConfig {
-            mask: Mask::status_bar(16, 2),
-            ..Default::default()
-        });
+        let masked =
+            Suggester::new(SuggesterConfig { mask: Mask::status_bar(16, 2), ..Default::default() });
         assert!(masked.suggest(&v, SimTime::ZERO, SimTime::from_secs(1)).is_empty());
     }
 

@@ -15,7 +15,7 @@ use interlag_core::stats::{five_number, kernel_density, percentile_sorted};
 use interlag_core::suggester::{Suggester, SuggesterConfig};
 use interlag_evdev::time::{SimDuration, SimTime};
 use interlag_power::opp::Frequency;
-use interlag_video::frame::FrameBuffer;
+use interlag_video::frame::{FrameBuffer, Rect};
 use interlag_video::mask::{Mask, MatchTolerance};
 use interlag_video::stream::{VideoStream, FRAME_PERIOD_30FPS};
 
@@ -38,9 +38,7 @@ fn video_of(symbols: &[u8]) -> VideoStream {
 /// Random videos: runs of 1–20 identical frames over a small alphabet.
 fn arb_symbols() -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec((0u8..6, 1usize..20), 1..25).prop_map(|runs| {
-        runs.into_iter()
-            .flat_map(|(sym, len)| std::iter::repeat_n(sym, len))
-            .collect()
+        runs.into_iter().flat_map(|(sym, len)| std::iter::repeat_n(sym, len)).collect()
     })
 }
 
@@ -204,6 +202,62 @@ proptest! {
             let f = oracle.plan.freq_at(SimTime::from_millis(ms));
             prop_assert!(f >= Frequency::from_mhz(960));
         }
+    }
+
+    /// The compiled mask and the digest-gated/early-exit comparison paths
+    /// must agree exactly with the naive per-pixel reference
+    /// (`Mask::count_diff`) on arbitrary frames, masks and tolerances —
+    /// the fast paths are optimisations, never approximations.
+    #[test]
+    fn fast_matching_paths_agree_with_naive(
+        dims in (1u32..24, 1u32..24),
+        seed in proptest::num::u64::ANY,
+        flips in prop::collection::vec(
+            (proptest::num::u32::ANY, proptest::num::u32::ANY, proptest::num::u8::ANY),
+            0..16,
+        ),
+        rects in prop::collection::vec((0u32..30, 0u32..30, 0u32..12, 0u32..12), 0..4),
+        value_tolerance in 0u8..6,
+        pixel_budget in 0u64..40,
+    ) {
+        let (w, h) = dims;
+        let mut a = FrameBuffer::new(w, h);
+        a.hash_paint(a.bounds(), seed);
+        let mut b = a.clone();
+        for &(x, y, v) in &flips {
+            b.set(x % w, y % h, v);
+        }
+        // Rects may be empty, overlap, or hang past the frame edge.
+        let mask: Mask = rects
+            .iter()
+            .map(|&(x0, y0, rw, rh)| Rect::new(x0, y0, rw, rh))
+            .collect();
+        let tolerance = MatchTolerance { value_tolerance, pixel_budget };
+
+        let naive = mask.count_diff(&a, &b, value_tolerance);
+        let compiled = mask.compile(w, h);
+        prop_assert_eq!(compiled.count_diff(&a, &b, value_tolerance), naive);
+        prop_assert_eq!(compiled.visible_area(), mask.visible_area(w, h));
+
+        let naive_matches = naive <= pixel_budget;
+        prop_assert_eq!(tolerance.matches(&mask, &a, &b), naive_matches);
+        prop_assert_eq!(tolerance.matches_compiled(&compiled, &a, &b), naive_matches);
+
+        for limit in [0, pixel_budget, naive.saturating_sub(1), naive, naive + 1] {
+            prop_assert_eq!(mask.differs_more_than(&a, &b, value_tolerance, limit), naive > limit);
+            prop_assert_eq!(
+                compiled.differs_more_than(&a, &b, value_tolerance, limit),
+                naive > limit
+            );
+            prop_assert_eq!(
+                a.differs_more_than(&b, value_tolerance, limit),
+                a.count_diff(&b, value_tolerance) > limit
+            );
+        }
+
+        // The digest-gated EXACT path is exactly frame equality.
+        prop_assert_eq!(MatchTolerance::EXACT.matches(&Mask::new(), &a, &b), a == b);
+        prop_assert_eq!((a.digest() == b.digest()) || a != b, true);
     }
 
     /// Statistics invariants on arbitrary data.

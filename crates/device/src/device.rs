@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use interlag_evdev::event::TimedEvent;
 use interlag_evdev::mt::{ContactEvent, MtDecoder, Point};
-use interlag_evdev::replay::{Replayer, ReplayStats};
+use interlag_evdev::replay::{ReplayStats, Replayer};
 use interlag_evdev::time::{SimDuration, SimTime};
 use interlag_power::energy::{ActivitySample, ActivityTrace};
 use interlag_power::opp::{Frequency, OppTable};
@@ -163,10 +163,7 @@ impl Device {
     /// Panics if the quantum is zero or larger than the frame period.
     pub fn new(config: DeviceConfig) -> Self {
         assert!(!config.quantum.is_zero(), "quantum must be positive");
-        assert!(
-            config.quantum <= config.frame_period,
-            "quantum must not exceed the frame period"
-        );
+        assert!(config.quantum <= config.frame_period, "quantum must not exceed the frame period");
         let renderer = Renderer::new(config.screen);
         Device { config, renderer }
     }
@@ -280,9 +277,7 @@ impl Device {
             }
 
             // 2. Spawn scripted background work that has become runnable.
-            while next_bg < script.background.len()
-                && script.background[next_bg].start <= now
-            {
+            while next_bg < script.background.len() && script.background[next_bg].start <= now {
                 bg.push_back(Task::new(
                     TaskSpec::single(
                         script.background[next_bg].cycles,
@@ -312,10 +307,7 @@ impl Device {
                 while next_render_spawn <= now {
                     // The compositor drops frames at the source rather
                     // than queueing unboundedly.
-                    let pending = fg
-                        .iter()
-                        .filter(|t| t.kind() == TaskKind::UiRender)
-                        .count();
+                    let pending = fg.iter().filter(|t| t.kind() == TaskKind::UiRender).count();
                     if pending < 2 {
                         fg.push_back(Task::new(
                             TaskSpec::single(
@@ -341,9 +333,7 @@ impl Device {
                 while parked.first().is_some_and(|(at, _)| *at <= now) {
                     let (_, task) = parked.remove(0);
                     match task.kind() {
-                        TaskKind::Foreground { .. } | TaskKind::UiRender => {
-                            fg.push_front(task)
-                        }
+                        TaskKind::Foreground { .. } | TaskKind::UiRender => fg.push_front(task),
                         TaskKind::Background => bg.push_front(task),
                     }
                 }
@@ -653,8 +643,7 @@ mod tests {
     #[test]
     fn capture_none_produces_no_video_and_matches_hdmi_ground_truth() {
         let script = simple_script();
-        let mut config = DeviceConfig::default();
-        config.capture = CaptureMode::None;
+        let config = DeviceConfig { capture: CaptureMode::None, ..Default::default() };
         let device = Device::new(config);
         let trace = script.record_trace();
         let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
@@ -663,8 +652,7 @@ mod tests {
 
         let with_video = run_fixed(960, &script);
         assert_eq!(
-            run.interactions[0].service_time,
-            with_video.interactions[0].service_time,
+            run.interactions[0].service_time, with_video.interactions[0].service_time,
             "capture must not perturb execution"
         );
     }

@@ -117,15 +117,11 @@ mod tests {
 
     #[test]
     fn load_percent_basics() {
-        let full = LoadSample {
-            busy: SimDuration::from_millis(20),
-            window: SimDuration::from_millis(20),
-        };
+        let full =
+            LoadSample { busy: SimDuration::from_millis(20), window: SimDuration::from_millis(20) };
         assert!((full.load_percent() - 100.0).abs() < 1e-9);
-        let half = LoadSample {
-            busy: SimDuration::from_millis(10),
-            window: SimDuration::from_millis(20),
-        };
+        let half =
+            LoadSample { busy: SimDuration::from_millis(10), window: SimDuration::from_millis(20) };
         assert!((half.load_percent() - 50.0).abs() < 1e-9);
         let empty = LoadSample { busy: SimDuration::ZERO, window: SimDuration::ZERO };
         assert_eq!(empty.load_percent(), 0.0);

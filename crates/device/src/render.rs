@@ -95,7 +95,7 @@ impl DecorationState {
         DecorationState {
             clock_seconds: now.as_micros() / 1_000_000,
             cursor_on: scene.cursor
-                && (now.as_micros() / CURSOR_BLINK_PERIOD.as_micros()) % 2 == 0,
+                && (now.as_micros() / CURSOR_BLINK_PERIOD.as_micros()).is_multiple_of(2),
             spinner_frame: if scene.spinner { spinner_frame } else { 0 },
         }
     }
@@ -211,8 +211,10 @@ mod tests {
     fn cursor_blinks_with_phase() {
         let r = Renderer::default();
         let s = Scene::new(1).with_cursor();
-        let on = r.render(&s, &DecorationState { clock_seconds: 0, cursor_on: true, spinner_frame: 0 });
-        let off = r.render(&s, &DecorationState { clock_seconds: 0, cursor_on: false, spinner_frame: 0 });
+        let on =
+            r.render(&s, &DecorationState { clock_seconds: 0, cursor_on: true, spinner_frame: 0 });
+        let off =
+            r.render(&s, &DecorationState { clock_seconds: 0, cursor_on: false, spinner_frame: 0 });
         assert!(on.count_diff(&off, 0) > 0);
         assert_eq!(r.config().cursor_mask().count_diff(&on, &off, 0), 0);
     }

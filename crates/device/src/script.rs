@@ -74,9 +74,7 @@ impl InteractionSpec {
     /// have no position and always "hit" their widget).
     pub fn hits_widget(&self) -> bool {
         match (self.widget, self.gesture.start_pos()) {
-            (Some(w), Some(p)) => {
-                p.x >= 0 && p.y >= 0 && w.contains(p.x as u32, p.y as u32)
-            }
+            (Some(w), Some(p)) => p.x >= 0 && p.y >= 0 && w.contains(p.x as u32, p.y as u32),
             (Some(_), None) => true,
             (None, _) => false,
         }
@@ -162,8 +160,8 @@ impl DeviceScript {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use interlag_evdev::mt::Point;
     use crate::scene::{Scene, SceneUpdate};
+    use interlag_evdev::mt::Point;
 
     fn tap_spec(start_ms: u64, hit: bool) -> InteractionSpec {
         let widget = Rect::new(10, 20, 20, 20);

@@ -76,10 +76,7 @@ impl TaskSpec {
     /// Panics if `phases` is empty or any phase costs zero cycles.
     pub fn new(phases: Vec<Phase>) -> Self {
         assert!(!phases.is_empty(), "a task needs at least one phase");
-        assert!(
-            phases.iter().all(|p| p.cycles > 0),
-            "phases must cost at least one cycle"
-        );
+        assert!(phases.iter().all(|p| p.cycles > 0), "phases must cost at least one cycle");
         TaskSpec { phases }
     }
 
@@ -158,10 +155,7 @@ impl Task {
 
     /// Cycles left until the task finishes.
     pub fn remaining_cycles(&self) -> u64 {
-        let rest: u64 = self.spec.phases()[self.phase_idx + 1..]
-            .iter()
-            .map(|p| p.cycles)
-            .sum();
+        let rest: u64 = self.spec.phases()[self.phase_idx + 1..].iter().map(|p| p.cycles).sum();
         self.remaining_in_phase + rest
     }
 

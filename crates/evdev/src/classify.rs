@@ -240,11 +240,14 @@ mod tests {
     #[test]
     fn short_drag_within_slop_is_a_tap() {
         // 10 px travel is under the 16 px slop.
-        let trace = trace_of(&[(0, Gesture::Swipe {
-            from: Point::new(100, 100),
-            to: Point::new(106, 108),
-            duration: SimDuration::from_millis(120),
-        })]);
+        let trace = trace_of(&[(
+            0,
+            Gesture::Swipe {
+                from: Point::new(100, 100),
+                to: Point::new(106, 108),
+                duration: SimDuration::from_millis(120),
+            },
+        )]);
         let inputs = classify_trace(&trace, &ClassifierConfig::default());
         assert_eq!(inputs[0].class, InputClass::Tap);
         assert!(inputs[0].travel < 16.0);

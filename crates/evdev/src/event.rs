@@ -154,12 +154,7 @@ impl InputEvent {
     /// Formats the triple the way `getevent` prints it: three groups of
     /// zero-padded hex, the value in two's complement.
     pub fn raw_line(self) -> String {
-        format!(
-            "{:04x} {:04x} {:08x}",
-            self.kind.as_raw(),
-            self.code,
-            self.value as u32
-        )
+        format!("{:04x} {:04x} {:08x}", self.kind.as_raw(), self.code, self.value as u32)
     }
 }
 
@@ -192,13 +187,7 @@ impl TimedEvent {
 impl fmt::Display for TimedEvent {
     /// Formats one `getevent -t` output line.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[{:>14}] /dev/input/event{}: {}",
-            self.time.to_string(),
-            self.device,
-            self.event
-        )
+        write!(f, "[{:>14}] /dev/input/event{}: {}", self.time.to_string(), self.device, self.event)
     }
 }
 
@@ -235,9 +224,6 @@ mod tests {
             1,
             InputEvent::new(EventType::Abs, codes::ABS_MT_POSITION_X, 0x16b),
         );
-        assert_eq!(
-            te.to_string(),
-            "[      1.234567] /dev/input/event1: 0003 0035 0000016b"
-        );
+        assert_eq!(te.to_string(), "[      1.234567] /dev/input/event1: 0003 0035 0000016b");
     }
 }

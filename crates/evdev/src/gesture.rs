@@ -100,9 +100,9 @@ impl Gesture {
     /// How long a finger or key is held down.
     pub fn contact_duration(&self) -> SimDuration {
         match *self {
-            Gesture::Tap { hold, .. } | Gesture::LongPress { hold, .. } | Gesture::Key { hold, .. } => {
-                hold
-            }
+            Gesture::Tap { hold, .. }
+            | Gesture::LongPress { hold, .. }
+            | Gesture::Key { hold, .. } => hold,
             Gesture::Swipe { duration, .. } => duration,
         }
     }
@@ -138,12 +138,7 @@ impl GestureSynth {
     /// Creates a synthesiser emitting touches on device node
     /// `touch_device` and hardware keys on `key_device`.
     pub fn new(touch_device: u8, key_device: u8) -> Self {
-        GestureSynth {
-            encoder: MtEncoder::new(),
-            touch_device,
-            key_device,
-            pressure: 58,
-        }
+        GestureSynth { encoder: MtEncoder::new(), touch_device, key_device, pressure: 58 }
     }
 
     /// The device node touch events are emitted on.
@@ -189,10 +184,8 @@ impl GestureSynth {
                     let t = start + SWIPE_SAMPLE_PERIOD * i;
                     let frac = i as f64 / steps as f64;
                     let pos = from.lerp(to, frac);
-                    let body = self
-                        .encoder
-                        .touch_move(0, pos)
-                        .expect("slot 0 still down during swipe");
+                    let body =
+                        self.encoder.touch_move(0, pos).expect("slot 0 still down during swipe");
                     self.emit(&mut out, t, self.touch_device, body);
                 }
                 let body = self.encoder.touch_up(0).expect("slot 0 still down");
@@ -230,10 +223,7 @@ mod tests {
         assert_eq!(contacts.len(), 2);
         assert!(matches!(contacts[0], ContactEvent::Down { .. }));
         assert!(matches!(contacts[1], ContactEvent::Up { .. }));
-        assert_eq!(
-            contacts[1].time() - contacts[0].time(),
-            SimDuration::from_millis(80)
-        );
+        assert_eq!(contacts[1].time() - contacts[0].time(), SimDuration::from_millis(80));
     }
 
     #[test]

@@ -111,11 +111,7 @@ impl MtEncoder {
     /// Panics if `slots` is zero.
     pub fn with_slots(slots: usize) -> Self {
         assert!(slots > 0, "a touchscreen needs at least one slot");
-        MtEncoder {
-            slots: vec![None; slots],
-            current_slot: 0,
-            next_tracking_id: 0,
-        }
+        MtEncoder { slots: vec![None; slots], current_slot: 0, next_tracking_id: 0 }
     }
 
     /// Number of currently active contacts.
@@ -170,7 +166,11 @@ impl MtEncoder {
     /// # Errors
     ///
     /// [`SlotStateError`] if the slot is empty or out of range.
-    pub fn touch_move(&mut self, slot: usize, pos: Point) -> Result<Vec<InputEvent>, SlotStateError> {
+    pub fn touch_move(
+        &mut self,
+        slot: usize,
+        pos: Point,
+    ) -> Result<Vec<InputEvent>, SlotStateError> {
         if slot >= self.slots.len() || self.slots[slot].is_none() {
             return Err(SlotStateError { slot, operation: "touch_move" });
         }
@@ -194,11 +194,7 @@ impl MtEncoder {
         self.slots[slot] = None;
         let mut out = Vec::with_capacity(3);
         self.select_slot(slot, &mut out);
-        out.push(InputEvent::new(
-            EventType::Abs,
-            codes::ABS_MT_TRACKING_ID,
-            TRACKING_ID_NONE,
-        ));
+        out.push(InputEvent::new(EventType::Abs, codes::ABS_MT_TRACKING_ID, TRACKING_ID_NONE));
         if self.active_contacts() == 0 {
             out.push(InputEvent::new(EventType::Key, codes::BTN_TOUCH, 0));
         }
@@ -326,10 +322,7 @@ impl Default for MtDecoder {
 impl MtDecoder {
     /// Creates a decoder with [`DEFAULT_SLOTS`] slots.
     pub fn new() -> Self {
-        MtDecoder {
-            slots: vec![SlotState::default(); DEFAULT_SLOTS],
-            current_slot: 0,
-        }
+        MtDecoder { slots: vec![SlotState::default(); DEFAULT_SLOTS], current_slot: 0 }
     }
 
     fn slot_mut(&mut self, idx: usize) -> &mut SlotState {
@@ -422,10 +415,7 @@ impl MtDecoder {
 mod tests {
     use super::*;
 
-    fn run_packets(
-        enc_ops: Vec<Vec<InputEvent>>,
-        times: Vec<SimTime>,
-    ) -> Vec<ContactEvent> {
+    fn run_packets(enc_ops: Vec<Vec<InputEvent>>, times: Vec<SimTime>) -> Vec<ContactEvent> {
         let mut dec = MtDecoder::new();
         let mut out = Vec::new();
         for (body, t) in enc_ops.into_iter().zip(times) {
@@ -442,10 +432,8 @@ mod tests {
         let mut enc = MtEncoder::new();
         let down = enc.touch_down(0, Point::new(100, 200), 60).unwrap();
         let up = enc.touch_up(0).unwrap();
-        let evs = run_packets(
-            vec![down, up],
-            vec![SimTime::from_millis(0), SimTime::from_millis(80)],
-        );
+        let evs =
+            run_packets(vec![down, up], vec![SimTime::from_millis(0), SimTime::from_millis(80)]);
         assert_eq!(evs.len(), 2);
         assert!(matches!(
             evs[0],
@@ -463,15 +451,11 @@ mod tests {
             packets.push(enc.touch_move(0, Point::new(i * 10, i * 20)).unwrap());
         }
         packets.push(enc.touch_up(0).unwrap());
-        let times: Vec<SimTime> = (0..packets.len() as u64)
-            .map(|i| SimTime::from_millis(i * 16))
-            .collect();
+        let times: Vec<SimTime> =
+            (0..packets.len() as u64).map(|i| SimTime::from_millis(i * 16)).collect();
         let evs = run_packets(packets, times);
         assert_eq!(evs.len(), 7);
-        let moves = evs
-            .iter()
-            .filter(|e| matches!(e, ContactEvent::Move { .. }))
-            .count();
+        let moves = evs.iter().filter(|e| matches!(e, ContactEvent::Move { .. })).count();
         assert_eq!(moves, 5);
         assert_eq!(evs[3].pos(), Point::new(30, 60));
     }
@@ -488,9 +472,7 @@ mod tests {
             .any(|e| e.kind == EventType::Abs && e.code == codes::ABS_MT_SLOT && e.value == 1));
         // BTN_TOUCH is only pressed once.
         let btn = |p: &Vec<InputEvent>| {
-            p.iter()
-                .filter(|e| e.kind == EventType::Key && e.code == codes::BTN_TOUCH)
-                .count()
+            p.iter().filter(|e| e.kind == EventType::Key && e.code == codes::BTN_TOUCH).count()
         };
         assert_eq!(btn(&p1), 1);
         assert_eq!(btn(&p2), 0);

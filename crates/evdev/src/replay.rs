@@ -241,11 +241,10 @@ mod tests {
 
     #[test]
     fn agent_next_due_allows_skipping_idle() {
-        let trace: EventTrace = vec![
-            TimedEvent::new(SimTime::from_secs(100), 1, InputEvent::syn_report()),
-        ]
-        .into_iter()
-        .collect();
+        let trace: EventTrace =
+            vec![TimedEvent::new(SimTime::from_secs(100), 1, InputEvent::syn_report())]
+                .into_iter()
+                .collect();
         let mut agent = ReplayAgent::new(trace);
         assert_eq!(agent.next_due(), Some(SimTime::from_secs(100)));
         assert!(agent.poll(SimTime::from_secs(99)).is_empty());

@@ -202,12 +202,11 @@ impl FromStr for EventTrace {
             let err = |reason: String| ParseTraceError { line: line_no, reason };
 
             let (time, rest) = if let Some(stripped) = line.strip_prefix('[') {
-                let close = stripped
-                    .find(']')
-                    .ok_or_else(|| err("missing ']' after timestamp".into()))?;
+                let close =
+                    stripped.find(']').ok_or_else(|| err("missing ']' after timestamp".into()))?;
                 let ts = stripped[..close].trim();
-                let time = parse_timestamp(ts)
-                    .ok_or_else(|| err(format!("bad timestamp {ts:?}")))?;
+                let time =
+                    parse_timestamp(ts).ok_or_else(|| err(format!("bad timestamp {ts:?}")))?;
                 (time, stripped[close + 1..].trim())
             } else {
                 (SimTime::ZERO, line)
@@ -216,21 +215,18 @@ impl FromStr for EventTrace {
             let rest = rest
                 .strip_prefix("/dev/input/event")
                 .ok_or_else(|| err("missing device node prefix".into()))?;
-            let colon = rest
-                .find(':')
-                .ok_or_else(|| err("missing ':' after device node".into()))?;
+            let colon =
+                rest.find(':').ok_or_else(|| err("missing ':' after device node".into()))?;
             let device: u8 = rest[..colon]
                 .parse()
                 .map_err(|_| err(format!("bad device index {:?}", &rest[..colon])))?;
 
             let mut fields = rest[colon + 1..].split_whitespace();
             let mut next_hex = |what: &str| -> Result<u32, ParseTraceError> {
-                let f = fields
-                    .next()
-                    .ok_or_else(|| ParseTraceError {
-                        line: line_no,
-                        reason: format!("missing {what} field"),
-                    })?;
+                let f = fields.next().ok_or_else(|| ParseTraceError {
+                    line: line_no,
+                    reason: format!("missing {what} field"),
+                })?;
                 u32::from_str_radix(f, 16).map_err(|_| ParseTraceError {
                     line: line_no,
                     reason: format!("bad hex {what} {f:?}"),
@@ -285,21 +281,13 @@ mod tests {
             1,
             InputEvent::new(EventType::Abs, codes::ABS_MT_POSITION_X, 0x16b),
         ));
-        t.push(TimedEvent::new(
-            SimTime::from_micros(1_500_000),
-            1,
-            InputEvent::syn_report(),
-        ));
+        t.push(TimedEvent::new(SimTime::from_micros(1_500_000), 1, InputEvent::syn_report()));
         t.push(TimedEvent::new(
             SimTime::from_micros(1_580_000),
             1,
             InputEvent::new(EventType::Abs, codes::ABS_MT_TRACKING_ID, -1),
         ));
-        t.push(TimedEvent::new(
-            SimTime::from_micros(1_580_000),
-            1,
-            InputEvent::syn_report(),
-        ));
+        t.push(TimedEvent::new(SimTime::from_micros(1_580_000), 1, InputEvent::syn_report()));
         t
     }
 
@@ -323,7 +311,8 @@ mod tests {
 
     #[test]
     fn parse_skips_comments_and_blank_lines() {
-        let text = "# recorded on dragonboard\n\n[ 0.000001] /dev/input/event1: 0000 0000 00000000\n";
+        let text =
+            "# recorded on dragonboard\n\n[ 0.000001] /dev/input/event1: 0000 0000 00000000\n";
         let t: EventTrace = text.parse().unwrap();
         assert_eq!(t.len(), 1);
     }
@@ -338,15 +327,9 @@ mod tests {
     #[test]
     fn parse_rejects_bad_hex_and_unknown_type() {
         assert!("/dev/input/event1: zz 0 0".parse::<EventTrace>().is_err());
-        assert!("/dev/input/event1: 0015 0000 00000000"
-            .parse::<EventTrace>()
-            .is_err());
-        assert!("/dev/input/eventX: 0000 0000 00000000"
-            .parse::<EventTrace>()
-            .is_err());
-        assert!("[ 1.23 ] /dev/input/event1: 0000 0000 00000000"
-            .parse::<EventTrace>()
-            .is_err());
+        assert!("/dev/input/event1: 0015 0000 00000000".parse::<EventTrace>().is_err());
+        assert!("/dev/input/eventX: 0000 0000 00000000".parse::<EventTrace>().is_err());
+        assert!("[ 1.23 ] /dev/input/event1: 0000 0000 00000000".parse::<EventTrace>().is_err());
     }
 
     #[test]
@@ -368,7 +351,7 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let evs = vec![
+        let evs = [
             TimedEvent::new(SimTime::from_secs(1), 1, InputEvent::syn_report()),
             TimedEvent::new(SimTime::from_secs(2), 1, InputEvent::syn_report()),
         ];

@@ -21,26 +21,25 @@ fn arb_point() -> impl Strategy<Value = Point> {
 
 fn arb_gesture() -> impl Strategy<Value = Gesture> {
     prop_oneof![
-        (arb_point(), 40u64..200).prop_map(|(pos, ms)| Gesture::Tap {
-            pos,
-            hold: SimDuration::from_millis(ms),
-        }),
+        (arb_point(), 40u64..200)
+            .prop_map(|(pos, ms)| Gesture::Tap { pos, hold: SimDuration::from_millis(ms) }),
         (arb_point(), arb_point(), 100u64..600).prop_map(|(from, to, ms)| Gesture::Swipe {
             from,
             to,
             duration: SimDuration::from_millis(ms),
         }),
-        (arb_point(), 500u64..1200).prop_map(|(pos, ms)| Gesture::LongPress {
-            pos,
-            hold: SimDuration::from_millis(ms),
-        }),
-        (prop_oneof![
-            Just(HardKey::Power),
-            Just(HardKey::Home),
-            Just(HardKey::Back),
-            Just(HardKey::VolumeUp),
-            Just(HardKey::VolumeDown),
-        ], 30u64..150)
+        (arb_point(), 500u64..1200)
+            .prop_map(|(pos, ms)| Gesture::LongPress { pos, hold: SimDuration::from_millis(ms) }),
+        (
+            prop_oneof![
+                Just(HardKey::Power),
+                Just(HardKey::Home),
+                Just(HardKey::Back),
+                Just(HardKey::VolumeUp),
+                Just(HardKey::VolumeDown),
+            ],
+            30u64..150
+        )
             .prop_map(|(key, ms)| Gesture::Key { key, hold: SimDuration::from_millis(ms) }),
     ]
 }

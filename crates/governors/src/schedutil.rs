@@ -98,8 +98,7 @@ impl Governor for Schedutil {
         let instantaneous = (load.load_percent() / 100.0).clamp(0.0, 1.0);
         // PELT-ish memory: decays towards the instantaneous utilisation
         // but rises immediately (max), so bursts are not under-served.
-        let decayed = self.tunables.decay * self.util
-            + (1.0 - self.tunables.decay) * instantaneous;
+        let decayed = self.tunables.decay * self.util + (1.0 - self.tunables.decay) * instantaneous;
         self.util = decayed.max(instantaneous);
 
         let target_mhz = self.tunables.headroom * table.max_freq().as_mhz() * self.util;
@@ -181,8 +180,10 @@ mod tests {
         for i in 1..=10 {
             freqs.push(g.on_sample(SimTime::from_millis(10 + 10 * i), load(40), &t));
         }
-        assert!(freqs.iter().all(|f| *f >= Frequency::from_khz(1_190_400)),
-            "never below the 40 % target while converging: {freqs:?}");
+        assert!(
+            freqs.iter().all(|f| *f >= Frequency::from_khz(1_190_400)),
+            "never below the 40 % target while converging: {freqs:?}"
+        );
         assert_eq!(*freqs.last().expect("ten samples"), Frequency::from_khz(1_190_400));
     }
 }

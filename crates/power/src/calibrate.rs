@@ -62,8 +62,7 @@ impl MeasuredPowerTable {
             Err(i) => {
                 let (f0, p0) = self.entries[i - 1];
                 let (f1, p1) = self.entries[i];
-                let t = (freq.as_khz() - f0.as_khz()) as f64
-                    / (f1.as_khz() - f0.as_khz()) as f64;
+                let t = (freq.as_khz() - f0.as_khz()) as f64 / (f1.as_khz() - f0.as_khz()) as f64;
                 p0 + (p1 - p0) * t
             }
         }
@@ -199,10 +198,7 @@ mod tests {
     #[test]
     fn interpolation_between_points() {
         let m = MeasuredPowerTable::new(
-            vec![
-                (Frequency::from_mhz(1_000), 100.0),
-                (Frequency::from_mhz(2_000), 300.0),
-            ],
+            vec![(Frequency::from_mhz(1_000), 100.0), (Frequency::from_mhz(2_000), 300.0)],
             10.0,
         );
         assert!((m.dynamic_power(Frequency::from_mhz(1_500)) - 200.0).abs() < 1e-9);

@@ -194,10 +194,7 @@ mod tests {
 
     fn flat_table() -> MeasuredPowerTable {
         MeasuredPowerTable::new(
-            vec![
-                (Frequency::from_mhz(300), 300.0),
-                (Frequency::from_mhz(1_000), 1_000.0),
-            ],
+            vec![(Frequency::from_mhz(300), 300.0), (Frequency::from_mhz(1_000), 1_000.0)],
             50.0,
         )
     }

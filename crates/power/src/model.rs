@@ -107,8 +107,7 @@ mod tests {
     fn energy_per_cycle_is_u_shaped() {
         let table = OppTable::snapdragon_8074();
         let model = PowerModel::krait_like();
-        let e: Vec<f64> =
-            table.opps().iter().map(|o| model.energy_per_cycle_nj(o)).collect();
+        let e: Vec<f64> = table.opps().iter().map(|o| model.energy_per_cycle_nj(o)).collect();
         let opt = table.index_of(model.most_efficient_freq(&table)).unwrap();
         // Strictly decreasing into the optimum, strictly increasing after.
         for i in 1..=opt {
@@ -129,9 +128,8 @@ mod tests {
         }
         // The paper's Figure 12 shape: the top frequency costs roughly
         // 1.5–2× the optimum per cycle.
-        let opt = model.energy_per_cycle_nj(
-            table.opp_of(model.most_efficient_freq(&table)).unwrap(),
-        );
+        let opt =
+            model.energy_per_cycle_nj(table.opp_of(model.most_efficient_freq(&table)).unwrap());
         let ratio = top / opt;
         assert!((1.4..2.1).contains(&ratio), "top/optimum ratio {ratio:.2} out of band");
     }

@@ -216,12 +216,7 @@ impl OppTable {
     /// The fastest frequency that is at most `target`; falls back to the
     /// slowest point if `target` is below the table.
     pub fn highest_at_most(&self, target: Frequency) -> Frequency {
-        self.opps
-            .iter()
-            .map(|o| o.freq)
-            .filter(|f| *f <= target)
-            .next_back()
-            .unwrap_or_else(|| self.min_freq())
+        self.opps.iter().map(|o| o.freq).rfind(|f| *f <= target).unwrap_or_else(|| self.min_freq())
     }
 
     /// Clamps an arbitrary frequency onto the nearest table entry at or
@@ -242,9 +237,8 @@ mod tests {
         assert_eq!(
             labels,
             [
-                "0.30 GHz", "0.42 GHz", "0.65 GHz", "0.73 GHz", "0.88 GHz", "0.96 GHz",
-                "1.04 GHz", "1.19 GHz", "1.27 GHz", "1.50 GHz", "1.57 GHz", "1.73 GHz",
-                "1.96 GHz", "2.15 GHz"
+                "0.30 GHz", "0.42 GHz", "0.65 GHz", "0.73 GHz", "0.88 GHz", "0.96 GHz", "1.04 GHz",
+                "1.19 GHz", "1.27 GHz", "1.50 GHz", "1.57 GHz", "1.73 GHz", "1.96 GHz", "2.15 GHz"
             ]
         );
     }

@@ -6,7 +6,8 @@
 //! HDMI captures to full colour but the comparison logic is identical.
 
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
@@ -76,6 +77,40 @@ pub struct FrameBuffer {
     width: u32,
     height: u32,
     pixels: Vec<u8>,
+    /// Lazily computed content digest; see [`FrameBuffer::digest`]. Not
+    /// part of the frame's identity: ignored by equality/hashing and never
+    /// serialised (rebuilt on demand after deserialisation).
+    #[serde(skip)]
+    digest: DigestCell,
+}
+
+/// Cache slot for a frame's content digest.
+///
+/// Equality and hashing ignore the cache so two `FrameBuffer`s with the
+/// same pixels compare equal regardless of which has been digested.
+#[derive(Debug, Default)]
+struct DigestCell(OnceLock<u64>);
+
+impl Clone for DigestCell {
+    fn clone(&self) -> Self {
+        let cell = OnceLock::new();
+        if let Some(&v) = self.0.get() {
+            let _ = cell.set(v);
+        }
+        DigestCell(cell)
+    }
+}
+
+impl PartialEq for DigestCell {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for DigestCell {}
+
+impl Hash for DigestCell {
+    fn hash<H: Hasher>(&self, _state: &mut H) {}
 }
 
 impl FrameBuffer {
@@ -86,7 +121,12 @@ impl FrameBuffer {
     /// Panics if either dimension is zero.
     pub fn new(width: u32, height: u32) -> Self {
         assert!(width > 0 && height > 0, "frame dimensions must be positive");
-        FrameBuffer { width, height, pixels: vec![0; (width * height) as usize] }
+        FrameBuffer {
+            width,
+            height,
+            pixels: vec![0; (width * height) as usize],
+            digest: DigestCell::default(),
+        }
     }
 
     /// Creates a frame from raw pixels in row-major order.
@@ -97,7 +137,7 @@ impl FrameBuffer {
     pub fn from_pixels(width: u32, height: u32, pixels: Vec<u8>) -> Self {
         assert!(width > 0 && height > 0, "frame dimensions must be positive");
         assert_eq!(pixels.len(), (width * height) as usize, "pixel count mismatch");
-        FrameBuffer { width, height, pixels }
+        FrameBuffer { width, height, pixels, digest: DigestCell::default() }
     }
 
     /// Frame width in pixels.
@@ -122,7 +162,32 @@ impl FrameBuffer {
 
     /// Mutable raw pixels, row-major.
     pub fn pixels_mut(&mut self) -> &mut [u8] {
+        self.digest = DigestCell::default();
         &mut self.pixels
+    }
+
+    /// The frame's 64-bit content digest, computed on first use and cached
+    /// (every `&mut` method drops the cache). The digest is a pure function
+    /// of `(width, height, pixels)`, so equal frames always have equal
+    /// digests; unequal digests prove frames differ without touching a
+    /// single pixel — the fast path behind exact-tolerance matching.
+    pub fn digest(&self) -> u64 {
+        *self.digest.0.get_or_init(|| {
+            let mut h: u64 =
+                0xcbf2_9ce4_8422_2325 ^ ((self.width as u64) << 32) ^ self.height as u64;
+            let mut chunks = self.pixels.chunks_exact(8);
+            for c in &mut chunks {
+                let v = u64::from_le_bytes(c.try_into().expect("chunk of 8"));
+                h = (h ^ v).wrapping_mul(0x1000_0000_01b3);
+                h ^= h >> 47;
+            }
+            for &b in chunks.remainder() {
+                h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+            }
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^ (h >> 33)
+        })
     }
 
     #[inline]
@@ -145,17 +210,20 @@ impl FrameBuffer {
     #[inline]
     pub fn set(&mut self, x: u32, y: u32, value: u8) {
         let i = self.idx(x, y);
+        self.digest = DigestCell::default();
         self.pixels[i] = value;
     }
 
     /// Fills the whole frame with one value.
     pub fn fill(&mut self, value: u8) {
+        self.digest = DigestCell::default();
         self.pixels.fill(value);
     }
 
     /// Fills `rect` (clipped to the frame) with one value.
     pub fn fill_rect(&mut self, rect: Rect, value: u8) {
         let Some(r) = rect.intersect(&self.bounds()) else { return };
+        self.digest = DigestCell::default();
         for y in r.y0..r.y1 {
             let row = (y * self.width) as usize;
             self.pixels[row + r.x0 as usize..row + r.x1 as usize].fill(value);
@@ -168,6 +236,7 @@ impl FrameBuffer {
     /// differ in almost every pixel.
     pub fn hash_paint(&mut self, rect: Rect, seed: u64) {
         let Some(r) = rect.intersect(&self.bounds()) else { return };
+        self.digest = DigestCell::default();
         for y in r.y0..r.y1 {
             for x in r.x0..r.x1 {
                 // FNV-ish position hash mixed with the seed.
@@ -203,6 +272,39 @@ impl FrameBuffer {
             .count() as u64
     }
 
+    /// `true` if more than `limit` pixels differ by more than
+    /// `value_tolerance` — the early-exit form of [`count_diff`]: the scan
+    /// stops at mismatch `limit + 1` instead of visiting every pixel, which
+    /// is what frame matching actually needs (`count <= budget` is
+    /// `!differs_more_than(budget)`).
+    ///
+    /// [`count_diff`]: FrameBuffer::count_diff
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn differs_more_than(&self, other: &FrameBuffer, value_tolerance: u8, limit: u64) -> bool {
+        assert_eq!(
+            (self.width, self.height),
+            (other.width, other.height),
+            "cannot compare frames of different dimensions"
+        );
+        if value_tolerance == 0 && limit == 0 {
+            // Bit-exact, zero budget: one memcmp decides it.
+            return self.pixels != other.pixels;
+        }
+        let mut over = 0u64;
+        for (a, b) in self.pixels.iter().zip(&other.pixels) {
+            if a.abs_diff(*b) > value_tolerance {
+                over += 1;
+                if over > limit {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
     /// Copies the pixels of `rect` (clipped to the frame) into a new
     /// buffer; jank analysis compares the animation region across frames.
     ///
@@ -210,16 +312,13 @@ impl FrameBuffer {
     ///
     /// Panics if `rect` does not intersect the frame at all.
     pub fn crop(&self, rect: Rect) -> FrameBuffer {
-        let r = rect
-            .intersect(&self.bounds())
-            .expect("crop rectangle must intersect the frame");
-        let mut out = FrameBuffer::new(r.width(), r.height());
-        for y in 0..r.height() {
-            for x in 0..r.width() {
-                out.set(x, y, self.get(r.x0 + x, r.y0 + y));
-            }
+        let r = rect.intersect(&self.bounds()).expect("crop rectangle must intersect the frame");
+        let mut pixels = Vec::with_capacity(r.area() as usize);
+        for y in r.y0..r.y1 {
+            let row = (y * self.width) as usize;
+            pixels.extend_from_slice(&self.pixels[row + r.x0 as usize..row + r.x1 as usize]);
         }
-        out
+        FrameBuffer::from_pixels(r.width(), r.height(), pixels)
     }
 
     /// Shares the buffer behind an [`Arc`]; still periods reuse one
@@ -314,6 +413,58 @@ mod tests {
     #[should_panic(expected = "intersect")]
     fn crop_outside_bounds_panics() {
         FrameBuffer::new(4, 4).crop(Rect::new(10, 10, 2, 2));
+    }
+
+    #[test]
+    fn digest_tracks_content_not_cache_state() {
+        let mut a = FrameBuffer::new(16, 16);
+        let mut b = FrameBuffer::new(16, 16);
+        a.hash_paint(Rect::new(0, 0, 16, 16), 7);
+        b.hash_paint(Rect::new(0, 0, 16, 16), 7);
+        assert_eq!(a.digest(), b.digest(), "equal content, equal digest");
+        // A digested frame still compares equal to an undigested clone.
+        let undigested = b.clone();
+        assert_eq!(a, undigested);
+
+        // Every mutator drops the cache.
+        let before = a.digest();
+        a.set(3, 3, a.get(3, 3).wrapping_add(1));
+        assert_ne!(a.digest(), before);
+        let before = a.digest();
+        a.fill_rect(Rect::new(0, 0, 4, 4), 250);
+        assert_ne!(a.digest(), before);
+        let before = a.digest();
+        a.fill(9);
+        assert_ne!(a.digest(), before);
+        let before = a.digest();
+        a.pixels_mut()[0] = 10;
+        assert_ne!(a.digest(), before);
+        let before = a.digest();
+        a.hash_paint(Rect::new(0, 0, 16, 16), 99);
+        assert_ne!(a.digest(), before);
+    }
+
+    #[test]
+    fn digest_depends_on_dimensions() {
+        // Same bytes, different shape: digests must differ.
+        let a = FrameBuffer::from_pixels(4, 2, vec![1; 8]);
+        let b = FrameBuffer::from_pixels(2, 4, vec![1; 8]);
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn differs_more_than_agrees_with_count_diff() {
+        let mut a = FrameBuffer::new(8, 8);
+        let mut b = FrameBuffer::new(8, 8);
+        a.hash_paint(Rect::new(0, 0, 8, 8), 1);
+        b.hash_paint(Rect::new(0, 0, 8, 8), 2);
+        for tol in [0u8, 4, 64, 255] {
+            let count = a.count_diff(&b, tol);
+            for limit in [0u64, 1, count.saturating_sub(1), count, count + 1] {
+                assert_eq!(a.differs_more_than(&b, tol, limit), count > limit);
+            }
+        }
+        assert!(!a.differs_more_than(&a.clone(), 0, 0));
     }
 
     #[test]

@@ -120,7 +120,12 @@ fn gallery(seed: u64) -> Workload {
     b.think_ms(2_000, 4_000);
     b.spurious_tap("tap dead toolbar area");
     b.background_burst("media scanner", SimDuration::from_secs(5), 400 * MCYCLES);
-    b.recurring_background("periodic sync", SimDuration::from_secs(25), 300 * MCYCLES, SimDuration::from_secs(600));
+    b.recurring_background(
+        "periodic sync",
+        SimDuration::from_secs(25),
+        300 * MCYCLES,
+        SimDuration::from_secs(600),
+    );
     b.build(Dataset::D01.name(), Dataset::D01.description())
 }
 
@@ -147,7 +152,12 @@ fn logo_quiz(seed: u64) -> Workload {
         b.think_ms(2_000, 4_000);
     }
     b.background_burst("score sync", SimDuration::from_secs(3), 250 * MCYCLES);
-    b.recurring_background("periodic sync", SimDuration::from_secs(25), 300 * MCYCLES, SimDuration::from_secs(560));
+    b.recurring_background(
+        "periodic sync",
+        SimDuration::from_secs(25),
+        300 * MCYCLES,
+        SimDuration::from_secs(560),
+    );
     b.build(Dataset::D02.name(), Dataset::D02.description())
 }
 
@@ -185,7 +195,12 @@ fn news_and_mms(seed: u64) -> Workload {
     b.think_ms(2_000, 4_000);
     b.spurious_tap("settings not supported");
     b.background_burst("feed refresh", SimDuration::from_secs(30), 500 * MCYCLES);
-    b.recurring_background("periodic sync", SimDuration::from_secs(25), 300 * MCYCLES, SimDuration::from_secs(620));
+    b.recurring_background(
+        "periodic sync",
+        SimDuration::from_secs(25),
+        300 * MCYCLES,
+        SimDuration::from_secs(620),
+    );
     b.build(Dataset::D03.name(), Dataset::D03.description())
 }
 
@@ -220,7 +235,12 @@ fn movie_studio(seed: u64) -> Workload {
         b.think_ms(2_000, 4_000);
     }
     b.background_burst("thumbnail generation", SimDuration::from_secs(8), 600 * MCYCLES);
-    b.recurring_background("periodic sync", SimDuration::from_secs(25), 300 * MCYCLES, SimDuration::from_secs(600));
+    b.recurring_background(
+        "periodic sync",
+        SimDuration::from_secs(25),
+        300 * MCYCLES,
+        SimDuration::from_secs(600),
+    );
     b.build(Dataset::D04.name(), Dataset::D04.description())
 }
 
@@ -251,7 +271,12 @@ fn pulse_news(seed: u64) -> Workload {
     }
     b.background_burst("feed sync", SimDuration::from_secs(60), 500 * MCYCLES);
     b.background_burst("image prefetch", SimDuration::from_secs(200), 400 * MCYCLES);
-    b.recurring_background("periodic sync", SimDuration::from_secs(25), 300 * MCYCLES, SimDuration::from_secs(680));
+    b.recurring_background(
+        "periodic sync",
+        SimDuration::from_secs(25),
+        300 * MCYCLES,
+        SimDuration::from_secs(680),
+    );
     b.build(Dataset::D05.name(), Dataset::D05.description())
 }
 
@@ -317,10 +342,8 @@ mod tests {
 
     #[test]
     fn dataset_02_is_the_densest() {
-        let counts: Vec<usize> = Dataset::TEN_MINUTE
-            .iter()
-            .map(|d| d.build().script.interactions.len())
-            .collect();
+        let counts: Vec<usize> =
+            Dataset::TEN_MINUTE.iter().map(|d| d.build().script.interactions.len()).collect();
         let max = counts.iter().max().unwrap();
         assert_eq!(counts[1], *max, "D02 (Logo Quiz) must be the densest: {counts:?}");
     }
@@ -330,11 +353,7 @@ mod tests {
         for ds in Dataset::TEN_MINUTE {
             let w = ds.build();
             let secs = w.duration.as_secs_f64();
-            assert!(
-                (420.0..=780.0).contains(&secs),
-                "dataset {} lasts {secs:.0} s",
-                ds.name()
-            );
+            assert!((420.0..=780.0).contains(&secs), "dataset {} lasts {secs:.0} s", ds.name());
         }
     }
 

@@ -193,11 +193,8 @@ impl WorkloadBuilder {
         // this is why the oracle can service such lags at a mid-table
         // frequency (Figure 3).
         let switch_wait = SimDuration::from_millis(self.rng.next_range(150, 260) as u64);
-        let mut spec = vec![Phase::with_wait(
-            total_cycles / 2,
-            switch_wait,
-            SceneUpdate::replace(scene),
-        )];
+        let mut spec =
+            vec![Phase::with_wait(total_cycles / 2, switch_wait, SceneUpdate::replace(scene))];
         let per = (total_cycles / 2) / phases as u64;
         for i in 0..phases {
             let element_wait = SimDuration::from_millis(self.rng.next_range(40, 95) as u64);
@@ -222,7 +219,14 @@ impl WorkloadBuilder {
         category: InteractionCategory,
         content: &mut SplitMix64,
     ) -> &mut Self {
-        self.page_load_categorised(label, total_cycles, phases, SimDuration::ZERO, category, content)
+        self.page_load_categorised(
+            label,
+            total_cycles,
+            phases,
+            SimDuration::ZERO,
+            category,
+            content,
+        )
     }
 
     /// A network page load: tap a link, pay `latency` before the page
@@ -267,13 +271,9 @@ impl WorkloadBuilder {
                 content.next_u64(),
             ));
         }
-        let skeleton_wait = latency
-            + SimDuration::from_millis(content.next_range(120, 240) as u64);
-        let mut spec = vec![Phase::with_wait(
-            total_cycles / 2,
-            skeleton_wait,
-            SceneUpdate::replace(scene),
-        )];
+        let skeleton_wait = latency + SimDuration::from_millis(content.next_range(120, 240) as u64);
+        let mut spec =
+            vec![Phase::with_wait(total_cycles / 2, skeleton_wait, SceneUpdate::replace(scene))];
         let per = (total_cycles / 2) / phases as u64;
         for i in 0..phases {
             let element_wait = SimDuration::from_millis(content.next_range(40, 120) as u64);
@@ -449,10 +449,8 @@ impl WorkloadBuilder {
         ]);
         // Make the post-interaction screen the base screen so the ending
         // image equals a frame that was already visible during the lag.
-        let pre = TaskSpec::new(vec![Phase::new(
-            (cycles / 100).max(1),
-            SceneUpdate::replace(base),
-        )]);
+        let pre =
+            TaskSpec::new(vec![Phase::new((cycles / 100).max(1), SceneUpdate::replace(base))]);
         let (prect, ppos) = self.random_widget();
         let g = self.tap_gesture(ppos);
         self.push_interaction(
@@ -480,9 +478,8 @@ impl WorkloadBuilder {
         per_frame_cycles: u64,
     ) -> &mut Self {
         let (rect, pos) = self.random_widget();
-        let game_scene = Scene::new(self.fresh_seed())
-            .with_spinner()
-            .with_animation_load(per_frame_cycles);
+        let game_scene =
+            Scene::new(self.fresh_seed()).with_spinner().with_animation_load(per_frame_cycles);
         let end_scene = Scene::new(self.fresh_seed());
         let spec = TaskSpec::new(vec![
             // Entering the game is cheap; the cost is per frame.
@@ -493,7 +490,13 @@ impl WorkloadBuilder {
             Phase::with_wait(MCYCLES, duration, SceneUpdate::replace(end_scene)),
         ]);
         let g = self.tap_gesture(pos);
-        self.push_interaction(label, g, Some(rect), Some(spec), InteractionCategory::SimpleFrequent);
+        self.push_interaction(
+            label,
+            g,
+            Some(rect),
+            Some(spec),
+            InteractionCategory::SimpleFrequent,
+        );
         self.now += duration;
         self
     }
@@ -627,11 +630,7 @@ mod tests {
         b.typing_burst("compose", 5, 8 * MCYCLES);
         let w = b.build("t", "test");
         assert_eq!(w.script.interactions.len(), 6);
-        assert!(w
-            .script
-            .interactions
-            .iter()
-            .all(|i| i.category == InteractionCategory::Typing));
+        assert!(w.script.interactions.iter().all(|i| i.category == InteractionCategory::Typing));
     }
 
     #[test]

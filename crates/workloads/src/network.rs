@@ -91,13 +91,7 @@ pub fn news_browsing(recording_seed: u64, pages: usize, condition: NetworkCondit
     for p in 0..pages {
         // Live latency varies run to run; the proxy replays it.
         let latency = SimDuration::from_millis(content.next_range(150, 900) as u64);
-        b.page_load(
-            &format!("load article {p}"),
-            400 * MCYCLES,
-            5,
-            latency,
-            &mut content,
-        );
+        b.page_load(&format!("load article {p}"), 400 * MCYCLES, 5, latency, &mut content);
         b.think_ms(4_000, 7_000);
         b.scroll_with_content(&format!("scroll article {p}"), 120 * MCYCLES, &mut content);
         b.think_ms(3_000, 5_000);

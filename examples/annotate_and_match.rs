@@ -105,7 +105,9 @@ fn main() {
     let overshoot: f64 = naive_profile
         .entries()
         .iter()
-        .filter_map(|e| profile.lag_of(e.interaction_id).map(|l| e.lag.as_millis_f64() - l.as_millis_f64()))
+        .filter_map(|e| {
+            profile.lag_of(e.interaction_id).map(|l| e.lag.as_millis_f64() - l.as_millis_f64())
+        })
         .sum::<f64>()
         / naive_profile.len().max(1) as f64;
     println!(

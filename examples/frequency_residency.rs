@@ -1,25 +1,41 @@
 use interlag::core::experiment::{Lab, LabConfig};
-use interlag::workloads::datasets::Dataset;
-use interlag::governors::{Conservative, Interactive, Ondemand};
 use interlag::device::dvfs::Governor;
+use interlag::governors::{Conservative, Interactive, Ondemand};
+use interlag::workloads::datasets::Dataset;
 
 fn main() {
     let w = Dataset::D02.build();
     let lab = Lab::new(LabConfig::default());
     let trace = w.script.record_trace();
     for name in ["conservative", "ondemand", "interactive"] {
-        let mut c; let mut o; let mut i;
+        let mut c;
+        let mut o;
+        let mut i;
         let gov: &mut dyn Governor = match name {
-            "conservative" => { c = Conservative::default(); &mut c }
-            "ondemand" => { o = Ondemand::default(); &mut o }
-            _ => { i = Interactive::for_table(&lab.device().config().opps); &mut i }
+            "conservative" => {
+                c = Conservative::default();
+                &mut c
+            }
+            "ondemand" => {
+                o = Ondemand::default();
+                &mut o
+            }
+            _ => {
+                i = Interactive::for_table(&lab.device().config().opps);
+                &mut i
+            }
         };
         let run = lab.run(&w, trace.clone(), gov);
         println!("== {name}");
         let total: f64 = run.activity.busy_time().as_secs_f64();
         for (f, busy) in run.activity.busy_by_freq() {
             let cycles = f.as_mhz() * busy.as_secs_f64();
-            println!("  {f}: busy {:>8.2}s ({:>4.1}%)  {:.1} Gcycles", busy.as_secs_f64(), 100.0*busy.as_secs_f64()/total, cycles/1000.0);
+            println!(
+                "  {f}: busy {:>8.2}s ({:>4.1}%)  {:.1} Gcycles",
+                busy.as_secs_f64(),
+                100.0 * busy.as_secs_f64() / total,
+                cycles / 1000.0
+            );
         }
     }
 }

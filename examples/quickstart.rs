@@ -14,7 +14,11 @@ fn main() {
     b.app_launch("launch mail app", 420 * MCYCLES, 7, InteractionCategory::Common);
     b.think_ms(2_500, 4_000);
     for i in 0..6 {
-        b.quick_tap(&format!("open message {i}"), 140 * MCYCLES, InteractionCategory::SimpleFrequent);
+        b.quick_tap(
+            &format!("open message {i}"),
+            140 * MCYCLES,
+            InteractionCategory::SimpleFrequent,
+        );
         b.think_ms(2_500, 5_000);
     }
     b.typing_burst("reply", 8, 9 * MCYCLES);

@@ -49,13 +49,10 @@ fn main() {
     // 3. Classification back to user-level inputs (Figure 10's basis).
     let inputs = classify_trace(&trace, &ClassifierConfig::default());
     let counts = count_inputs(&inputs);
-    println!(
-        "\nclassified: {} taps, {} swipes, {} keys",
-        counts.taps, counts.swipes, counts.keys
-    );
+    println!("\nclassified: {} taps, {} swipes, {} keys", counts.taps, counts.swipes, counts.keys);
 
     // 4. Replay fidelity: custom agent vs stock sendevent.
-    let mut drain = |name: &str, r: &mut dyn Replayer| {
+    let drain = |name: &str, r: &mut dyn Replayer| {
         let mut now = SimTime::ZERO;
         let mut replayed = 0;
         while !r.is_finished() {

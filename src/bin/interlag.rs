@@ -57,10 +57,7 @@ fn dataset(name: &str) -> Option<Dataset> {
 }
 
 fn flag_value(args: &[String], names: &[&str]) -> Option<String> {
-    args.iter()
-        .position(|a| names.contains(&a.as_str()))
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    args.iter().position(|a| names.contains(&a.as_str())).and_then(|i| args.get(i + 1)).cloned()
 }
 
 fn governor_by_name(name: &str, lab: &Lab) -> Option<Box<dyn Governor>> {
@@ -103,11 +100,7 @@ fn cmd_record(w: &Workload, out: Option<String>) -> ExitCode {
                 eprintln!("interlag: cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
-            eprintln!(
-                "wrote {} events ({} bytes) to {path}",
-                trace.len(),
-                text.len()
-            );
+            eprintln!("wrote {} events ({} bytes) to {path}", trace.len(), text.len());
         }
         None => {
             let mut stdout = std::io::stdout().lock();
@@ -165,12 +158,8 @@ fn cmd_replay(w: &Workload, gov_name: &str) -> ExitCode {
     };
     let run = lab.run(w, w.script.record_trace(), gov.as_mut());
     let energy = lab.meter().measure(&run.activity);
-    let lags: Vec<f64> = run
-        .interactions
-        .iter()
-        .filter_map(|r| r.true_lag())
-        .map(|l| l.as_millis_f64())
-        .collect();
+    let lags: Vec<f64> =
+        run.interactions.iter().filter_map(|r| r.true_lag()).map(|l| l.as_millis_f64()).collect();
     let mean = if lags.is_empty() { 0.0 } else { lags.iter().sum::<f64>() / lags.len() as f64 };
     println!(
         "dataset {} under {}: {} interactions serviced, mean lag {:.0} ms, max {:.0} ms",
@@ -227,10 +216,7 @@ fn cmd_oracle(w: &Workload) -> ExitCode {
     let lab = Lab::new(LabConfig::default());
     let study = lab.study(w);
     print!("{}", oracle_csv(&study));
-    eprintln!(
-        "efficient frequency outside lags: {}",
-        lab.power_table().most_efficient_freq()
-    );
+    eprintln!("efficient frequency outside lags: {}", lab.power_table().most_efficient_freq());
     ExitCode::SUCCESS
 }
 

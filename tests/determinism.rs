@@ -96,19 +96,13 @@ fn sendevent_replay_perturbs_measured_lags() {
     // a sendevent-driven execution differ from the accurate ones.
     let w = workload();
     let trace = w.script.record_trace();
-    let mut config = DeviceConfig::default();
-    config.capture = CaptureMode::None;
+    let config = DeviceConfig { capture: CaptureMode::None, ..Default::default() };
     let device = Device::new(config);
 
     let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
     let accurate = device.run(&w.script, ReplayAgent::new(trace.clone()), &mut gov, w.run_until());
     let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
-    let smeared = device.run(
-        &w.script,
-        SendeventReplayer::new(trace),
-        &mut gov,
-        w.run_until(),
-    );
+    let smeared = device.run(&w.script, SendeventReplayer::new(trace), &mut gov, w.run_until());
 
     // Every interaction still triggers (order is preserved)…
     assert_eq!(

@@ -39,10 +39,7 @@ fn study() -> interlag::core::experiment::StudyResult {
 fn oracle_and_fastest_have_zero_irritation_everything_matches() {
     let s = study();
     assert_eq!(s.oracle.mean_irritation(), SimDuration::ZERO);
-    assert_eq!(
-        s.fixed.last().expect("14 fixed configs").mean_irritation(),
-        SimDuration::ZERO
-    );
+    assert_eq!(s.fixed.last().expect("14 fixed configs").mean_irritation(), SimDuration::ZERO);
     for c in s.all_configs() {
         assert_eq!(c.reps[0].match_failures, 0, "{}", c.name);
     }

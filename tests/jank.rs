@@ -1,8 +1,8 @@
 //! End-to-end jank measurement: the §VI future-work workload type, from
 //! scripted game session through video capture to dropped-frame analysis.
 
-use interlag::core::jank::measure_jank;
 use interlag::core::experiment::{Lab, LabConfig};
+use interlag::core::jank::measure_jank;
 use interlag::device::dvfs::FixedGovernor;
 use interlag::device::render::SPINNER_FRAME_PERIOD;
 use interlag::evdev::time::SimDuration;
@@ -56,10 +56,7 @@ fn load_driven_governors_ramp_up_and_stay_smooth() {
 
     let mut cons = Conservative::default();
     let jank_cons = jank_under(&mut cons);
-    assert!(
-        jank_cons >= jank_ond,
-        "conservative ramps slower: {jank_cons:.2} vs {jank_ond:.2}"
-    );
+    assert!(jank_cons >= jank_ond, "conservative ramps slower: {jank_cons:.2} vs {jank_ond:.2}");
 }
 
 #[test]

@@ -99,12 +99,7 @@ fn spurious_inputs_never_enter_profiles() {
     for id in &spurious_ids {
         assert!(db.get(*id).is_none(), "spurious lag {id} must not be annotated");
     }
-    let (profile, _) = mark_up(
-        run.video.as_ref().unwrap(),
-        &run.lag_beginnings(),
-        &db,
-        "ref",
-    );
+    let (profile, _) = mark_up(run.video.as_ref().unwrap(), &run.lag_beginnings(), &db, "ref");
     for id in spurious_ids {
         assert!(profile.lag_of(id).is_none());
     }
@@ -115,12 +110,8 @@ fn irritation_is_zero_under_own_reference_and_grows_when_slower() {
     let lab = Lab::new(LabConfig::default());
     let w = mini_workload(24);
     let (db, _, reference) = lab.annotate_workload(&w);
-    let (ref_profile, _) = mark_up(
-        reference.video.as_ref().unwrap(),
-        &reference.lag_beginnings(),
-        &db,
-        "fixed-max",
-    );
+    let (ref_profile, _) =
+        mark_up(reference.video.as_ref().unwrap(), &reference.lag_beginnings(), &db, "fixed-max");
     let model = ThresholdModel::paper_rule(ref_profile.clone());
     assert_eq!(user_irritation(&ref_profile, &model).total(), SimDuration::ZERO);
 
@@ -164,12 +155,7 @@ fn occurrence_two_lags_are_annotated_and_matched() {
     let ann = db.get(export_id).expect("annotated");
     assert!(ann.occurrence >= 2, "ending equals beginning: occurrence {}", ann.occurrence);
 
-    let (profile, _) = mark_up(
-        run.video.as_ref().unwrap(),
-        &run.lag_beginnings(),
-        &db,
-        "ref",
-    );
+    let (profile, _) = mark_up(run.video.as_ref().unwrap(), &run.lag_beginnings(), &db, "ref");
     let truth = run.interactions[export_id].true_lag().expect("serviced");
     let matched = profile.lag_of(export_id).expect("matched");
     assert!(matched >= truth.saturating_sub(SimDuration::from_millis(40)));

@@ -1,0 +1,483 @@
+//! Vendored, offline minimal `serde`.
+//!
+//! The build environment has no network access, so the real serde cannot
+//! be fetched. This crate keeps the workspace's public surface — the
+//! `Serialize`/`Deserialize` traits, the derives, `de::DeserializeOwned`
+//! — but replaces serde's streaming architecture with a small JSON-like
+//! content tree ([`content::Content`]): serialising builds the tree,
+//! deserialising reads it back. The vendored `serde_json` renders that
+//! tree to JSON text and parses it back, which is all the workspace needs
+//! (artifact round-trips between machines).
+//!
+//! The `derive` and `rc` cargo features exist for manifest compatibility;
+//! derives are always available and `Arc`/`Rc` impls are always on.
+
+pub use serde_derive::{Deserialize as DeserializeDerive, Serialize as SerializeDerive};
+
+// Re-export the derive macros under the trait names, as `features =
+// ["derive"]` does upstream. The traits themselves live below; Rust
+// resolves `#[derive(Serialize)]` to the macro and `impl Serialize` to
+// the trait through separate namespaces.
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub mod content {
+    //! The reduced data model every value serialises into.
+
+    /// A JSON-like tree: the entire serde data model of this stub.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Content {
+        /// Null / `Option::None`.
+        Null,
+        /// Boolean.
+        Bool(bool),
+        /// Unsigned integer.
+        U64(u64),
+        /// Signed integer.
+        I64(i64),
+        /// Floating point.
+        F64(f64),
+        /// String (also enum unit variants).
+        Str(String),
+        /// Sequence (vectors, tuples, tuple structs).
+        Seq(Vec<Content>),
+        /// Key-value pairs (structs, maps, data-carrying enum variants).
+        Map(Vec<(Content, Content)>),
+    }
+
+    impl Content {
+        /// The map entries, if this is a map.
+        pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+            match self {
+                Content::Map(m) => Some(m),
+                _ => None,
+            }
+        }
+
+        /// The sequence elements, if this is a sequence.
+        pub fn as_seq(&self) -> Option<&[Content]> {
+            match self {
+                Content::Seq(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The string, if this is one.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Content::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    /// Looks up a string key in struct-style map content.
+    pub fn map_get<'a>(entries: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+        entries.iter().find_map(|(k, v)| match k {
+            Content::Str(s) if s == key => Some(v),
+            _ => None,
+        })
+    }
+
+    /// Interprets content as an externally-tagged enum variant:
+    /// a single-entry map `{ variant: payload }`.
+    pub fn as_variant(c: &Content) -> Option<(&str, &Content)> {
+        match c {
+            Content::Map(entries) if entries.len() == 1 => match &entries[0] {
+                (Content::Str(tag), payload) => Some((tag.as_str(), payload)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialisation support types.
+
+    use super::content::Content;
+
+    /// The single error type of the stub.
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl Error {
+        /// Creates an error with a message.
+        pub fn new(msg: impl Into<String>) -> Self {
+            Error(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Mirror of upstream's lifetime-free convenience bound.
+    pub trait DeserializeOwned: Sized {
+        /// Reconstructs a value from its content tree.
+        fn deserialize_content(c: &Content) -> Result<Self, Error>;
+    }
+
+    impl<T: super::Deserialize> DeserializeOwned for T {
+        fn deserialize_content(c: &Content) -> Result<Self, Error> {
+            T::from_content(c)
+        }
+    }
+
+    pub use super::Deserialize;
+}
+
+pub mod ser {
+    //! Serialisation support types (errors never occur in the stub).
+    pub use super::Serialize;
+}
+
+/// Serialise into the [`content::Content`] tree.
+pub trait Serialize {
+    /// The value as a content tree.
+    fn to_content(&self) -> content::Content;
+}
+
+/// Deserialise from the [`content::Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs a value from its content tree.
+    fn from_content(c: &content::Content) -> Result<Self, de::Error>;
+}
+
+use content::Content;
+use de::Error;
+
+// --- primitive impls -------------------------------------------------------
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 => v as u64,
+                    _ => return Err(Error::new(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(v).map_err(|_| Error::new(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| Error::new(concat!(stringify!($t), " out of range")))?,
+                    Content::F64(v) if v.fract() == 0.0 => v as i64,
+                    _ => return Err(Error::new(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(v).map_err(|_| Error::new(concat!(stringify!($t), " out of range")))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                match *c {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    _ => Err(Error::new(concat!("expected ", stringify!($t)))),
+                }
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(Error::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .and_then(|s| {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(ch), None) => Some(ch),
+                    _ => None,
+                }
+            })
+            .ok_or_else(|| Error::new("expected single-char string"))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str().map(str::to_owned).ok_or_else(|| Error::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::new("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Vec::<T>::from_content(c).map(Into::into)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+),)*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$n.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let s = c.as_seq().ok_or_else(|| Error::new("expected tuple sequence"))?;
+                Ok(($($t::from_content(
+                    s.get($n).ok_or_else(|| Error::new("tuple too short"))?
+                )?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+}
+
+fn map_to_content<'a, K, V, I>(entries: I) -> Content
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Content::Map(entries.map(|(k, v)| (k.to_content(), v.to_content())).collect())
+}
+
+/// Accepts either map content or a sequence of `[key, value]` pairs (the
+/// JSON rendering of non-string-keyed maps).
+fn map_entries(c: &Content) -> Result<Vec<(&Content, &Content)>, Error> {
+    match c {
+        Content::Map(m) => Ok(m.iter().map(|(k, v)| (k, v)).collect()),
+        Content::Seq(s) => s
+            .iter()
+            .map(|pair| match pair.as_seq() {
+                Some([k, v]) => Ok((k, v)),
+                _ => Err(Error::new("expected [key, value] pair")),
+            })
+            .collect(),
+        _ => Err(Error::new("expected map")),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        map_entries(c)?
+            .into_iter()
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + std::hash::Hash + Eq,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        map_entries(c)?
+            .into_iter()
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+// --- smart pointers (the `rc` feature upstream) ----------------------------
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Arc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Rc::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::content::Content;
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_through_content() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert!(bool::from_content(&true.to_content()).unwrap());
+        assert_eq!(String::from_content(&"hi".to_string().to_content()).unwrap(), "hi");
+        assert_eq!(Option::<u8>::from_content(&Content::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn collections_roundtrip_through_content() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_content(&v.to_content()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert(3usize, "x".to_string());
+        assert_eq!(BTreeMap::<usize, String>::from_content(&m.to_content()).unwrap(), m);
+        let t = (1u8, -2i64, "s".to_string());
+        assert_eq!(<(u8, i64, String)>::from_content(&t.to_content()).unwrap(), t);
+    }
+
+    #[test]
+    fn arc_values_roundtrip() {
+        let a = Arc::new(vec![5u8, 6]);
+        let c = a.to_content();
+        assert_eq!(Arc::<Vec<u8>>::from_content(&c).unwrap(), a);
+    }
+}

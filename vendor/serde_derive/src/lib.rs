@@ -1,0 +1,445 @@
+//! Vendored, offline `serde_derive`: derives for the workspace's minimal
+//! content-tree serde (see `vendor/serde`).
+//!
+//! The build environment has no network access, so the real serde cannot
+//! be fetched; this crate re-implements the two derive macros against the
+//! reduced data model the vendored `serde` exposes (`Content`, a
+//! JSON-like tree). It parses items directly from the raw token stream —
+//! `syn`/`quote` are equally unavailable — which is tractable because the
+//! workspace only derives on plain structs and enums without generics.
+//!
+//! Supported attribute subset: `#[serde(transparent)]` (a no-op, since
+//! single-field structs already serialise as their inner value),
+//! `#[serde(default)]` (missing field -> `Default::default()`), and
+//! `#[serde(skip)]` (never serialised, always defaulted).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name (or tuple index), plus attribute flags.
+struct Field {
+    /// Named-field name, or the decimal index for tuple fields.
+    name: String,
+    /// `true` for `#[serde(default)]`.
+    default: bool,
+    /// `true` for `#[serde(skip)]`.
+    skip: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    /// `None` for unit variants; `Some((named, fields))` otherwise.
+    fields: Option<(bool, Vec<Field>)>,
+}
+
+/// The parsed item a derive applies to.
+enum Item {
+    Struct { name: String, named: bool, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// --- parsing ---------------------------------------------------------------
+
+/// Scans a `#[serde(...)]` attribute group body for a flag word.
+fn serde_attr_flags(tokens: &[TokenTree], flags: &mut (bool, bool)) {
+    // tokens is the content of the `[...]` group: `serde ( ... )`.
+    let mut iter = tokens.iter();
+    match iter.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "serde" => {}
+        _ => return,
+    }
+    if let Some(TokenTree::Group(g)) = iter.next() {
+        for t in g.stream() {
+            if let TokenTree::Ident(i) = t {
+                match i.to_string().as_str() {
+                    "default" => flags.0 = true,
+                    "skip" => flags.1 = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Consumes leading attributes from `toks[*pos]`, returning serde flags.
+fn skip_attrs(toks: &[TokenTree], pos: &mut usize) -> (bool, bool) {
+    let mut flags = (false, false);
+    while *pos < toks.len() {
+        match &toks[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *pos += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*pos) {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    serde_attr_flags(&inner, &mut flags);
+                    *pos += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    flags
+}
+
+/// Skips a visibility modifier (`pub`, `pub(...)`).
+fn skip_vis(toks: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(i)) = toks.get(*pos) {
+        if i.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skips a type (or expression) up to a top-level `,`, tracking `<...>`
+/// depth so generic arguments survive.
+fn skip_to_comma(toks: &[TokenTree], pos: &mut usize) {
+    let mut angle = 0i32;
+    while *pos < toks.len() {
+        if let TokenTree::Punct(p) = &toks[*pos] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < toks.len() {
+        let (default, skip) = skip_attrs(&toks, &mut pos);
+        skip_vis(&toks, &mut pos);
+        let Some(TokenTree::Ident(name)) = toks.get(pos) else { break };
+        let name = name.to_string();
+        pos += 1; // name
+        pos += 1; // ':'
+        skip_to_comma(&toks, &mut pos);
+        pos += 1; // ','
+        fields.push(Field { name, default, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    let mut index = 0usize;
+    while pos < toks.len() {
+        let (default, skip) = skip_attrs(&toks, &mut pos);
+        skip_vis(&toks, &mut pos);
+        if pos >= toks.len() {
+            break;
+        }
+        skip_to_comma(&toks, &mut pos);
+        pos += 1; // ','
+        fields.push(Field { name: index.to_string(), default, skip });
+        index += 1;
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < toks.len() {
+        skip_attrs(&toks, &mut pos);
+        let Some(TokenTree::Ident(name)) = toks.get(pos) else { break };
+        let name = name.to_string();
+        pos += 1;
+        let fields = match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Some((true, parse_named_fields(g)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Some((false, parse_tuple_fields(g)))
+            }
+            _ => None,
+        };
+        // Skip an explicit discriminant (`= expr`).
+        if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+            if p.as_char() == '=' {
+                pos += 1;
+                skip_to_comma(&toks, &mut pos);
+            }
+        }
+        if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+            if p.as_char() == ',' {
+                pos += 1;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs(&toks, &mut pos);
+    skip_vis(&toks, &mut pos);
+    let kind = match &toks[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected struct/enum, found {other}"),
+    };
+    pos += 1;
+    let name = match &toks[pos] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(pos) {
+        if p.as_char() == '<' {
+            panic!("the vendored serde_derive does not support generic types ({name})");
+        }
+    }
+    match kind.as_str() {
+        "struct" => match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Struct { name, named: true, fields: parse_named_fields(g) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::Struct { name, named: false, fields: parse_tuple_fields(g) }
+            }
+            _ => Item::Struct { name, named: true, fields: Vec::new() }, // unit struct
+        },
+        "enum" => match toks.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item::Enum { name, variants: parse_variants(g) }
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive serde traits for `{other}`"),
+    }
+}
+
+// --- code generation -------------------------------------------------------
+
+const C: &str = "::serde::content::Content";
+
+/// Expression serialising `expr` (a reference) to a `Content`.
+fn ser(expr: &str) -> String {
+    format!("::serde::Serialize::to_content({expr})")
+}
+
+/// Expression deserialising `expr` (a `&Content`) — propagates errors.
+fn de(expr: &str) -> String {
+    format!("::serde::Deserialize::from_content({expr})?")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, named, fields } => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let body = if live.len() == 1 && fields.len() == 1 {
+                // Newtype / single-field structs serialise transparently.
+                let access =
+                    if *named { format!("&self.{}", live[0].name) } else { "&self.0".to_string() };
+                ser(&access)
+            } else if *named {
+                let entries: Vec<String> = live
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "({C}::Str(::std::string::String::from(\"{n}\")), {v})",
+                            n = f.name,
+                            v = ser(&format!("&self.{}", f.name))
+                        )
+                    })
+                    .collect();
+                format!("{C}::Map(::std::vec![{}])", entries.join(", "))
+            } else {
+                let entries: Vec<String> =
+                    live.iter().map(|f| ser(&format!("&self.{}", f.name))).collect();
+                format!("{C}::Seq(::std::vec![{}])", entries.join(", "))
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        None => format!(
+                            "{name}::{vn} => {C}::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Some((true, fields)) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .filter(|f| !f.skip)
+                                .map(|f| {
+                                    format!(
+                                        "({C}::Str(::std::string::String::from(\"{n}\")), {v})",
+                                        n = f.name,
+                                        v = ser(&f.name)
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => {C}::Map(::std::vec![({C}::Str(::std::string::String::from(\"{vn}\")), {C}::Map(::std::vec![{entries}]))]),",
+                                binds = binds.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                        Some((false, fields)) => {
+                            let binds: Vec<String> =
+                                (0..fields.len()).map(|i| format!("f{i}")).collect();
+                            let payload = if fields.len() == 1 {
+                                ser("f0")
+                            } else {
+                                let items: Vec<String> =
+                                    binds.iter().map(|b| ser(b)).collect();
+                                format!("{C}::Seq(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => {C}::Map(::std::vec![({C}::Str(::std::string::String::from(\"{vn}\")), {payload})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name.clone(), format!("match self {{ {} }}", arms.join(" ")))
+        }
+    };
+    format!("impl ::serde::Serialize for {name} {{ fn to_content(&self) -> {C} {{ {body} }} }}")
+}
+
+/// Field-extraction expression for named fields inside a map binding `m`.
+fn de_named_field(f: &Field) -> String {
+    if f.skip {
+        return format!("{}: ::core::default::Default::default()", f.name);
+    }
+    let fetch = format!("::serde::content::map_get(m, \"{}\")", f.name);
+    if f.default {
+        format!(
+            "{n}: match {fetch} {{ Some(v) => {v}, None => ::core::default::Default::default() }}",
+            n = f.name,
+            v = de("v")
+        )
+    } else {
+        format!(
+            "{n}: {v}",
+            n = f.name,
+            v = de(&format!(
+                "{fetch}.ok_or_else(|| ::serde::de::Error::new(\"missing field `{}`\"))?",
+                f.name
+            ))
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, named, fields } => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let body = if live.len() == 1 && fields.len() == 1 {
+                if *named {
+                    format!("Ok({name} {{ {n}: {v} }})", n = live[0].name, v = de("c"))
+                } else {
+                    format!("Ok({name}({v}))", v = de("c"))
+                }
+            } else if *named {
+                let inits: Vec<String> = fields.iter().map(de_named_field).collect();
+                format!(
+                    "let m = c.as_map().ok_or_else(|| ::serde::de::Error::new(\"expected map for struct {name}\"))?; Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            } else {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        if f.skip {
+                            "::core::default::Default::default()".to_string()
+                        } else {
+                            de(&format!(
+                                "s.get({i}).ok_or_else(|| ::serde::de::Error::new(\"short tuple for {name}\"))?"
+                            ))
+                        }
+                    })
+                    .collect();
+                format!(
+                    "let s = c.as_seq().ok_or_else(|| ::serde::de::Error::new(\"expected seq for struct {name}\"))?; Ok({name}({}))",
+                    inits.join(", ")
+                )
+            };
+            (name.clone(), body)
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.fields.is_none())
+                .map(|v| format!("\"{vn}\" => return Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    let (named, fields) = v.fields.as_ref()?;
+                    let body = if *named {
+                        let inits: Vec<String> =
+                            fields.iter().map(de_named_field).collect();
+                        format!(
+                            "let m = payload.as_map().ok_or_else(|| ::serde::de::Error::new(\"expected map for variant {vn}\"))?; return Ok({name}::{vn} {{ {} }});",
+                            inits.join(", ")
+                        )
+                    } else if fields.len() == 1 {
+                        format!("return Ok({name}::{vn}({v}));", v = de("payload"))
+                    } else {
+                        let inits: Vec<String> = (0..fields.len())
+                            .map(|i| {
+                                de(&format!(
+                                    "s.get({i}).ok_or_else(|| ::serde::de::Error::new(\"short tuple for variant {vn}\"))?"
+                                ))
+                            })
+                            .collect();
+                        format!(
+                            "let s = payload.as_seq().ok_or_else(|| ::serde::de::Error::new(\"expected seq for variant {vn}\"))?; return Ok({name}::{vn}({}));",
+                            inits.join(", ")
+                        )
+                    };
+                    Some(format!("\"{vn}\" => {{ {body} }}"))
+                })
+                .collect();
+            let body = format!(
+                "if let Some(tag) = c.as_str() {{ match tag {{ {units} _ => {{}} }} }} \
+                 if let Some((tag, payload)) = ::serde::content::as_variant(c) {{ match tag {{ {datas} _ => {{}} }} }} \
+                 Err(::serde::de::Error::new(\"unknown variant for enum {name}\"))",
+                units = unit_arms.join(" "),
+                datas = data_arms.join(" ")
+            );
+            (name.clone(), body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ fn from_content(c: &{C}) -> ::std::result::Result<Self, ::serde::de::Error> {{ {body} }} }}"
+    )
+}
