@@ -44,7 +44,7 @@ fn suggester_still_run() {
     let w = Dataset::D01.build();
     let trace = w.script.record_trace();
     let mut gov = FixedGovernor::new(lab.device().config().opps.min_freq());
-    let run = lab.run(&w, trace, &mut gov);
+    let run = lab.run(&w, trace, &mut gov).expect("clean run");
     let screen = lab.device().config().screen;
     let mask = {
         let mut m = screen.status_bar_mask();
@@ -88,7 +88,9 @@ fn capture_paths() {
         let cfg = DeviceConfig { capture: mode, ..Default::default() };
         let device = Device::new(cfg.clone());
         let mut gov = FixedGovernor::new(cfg.opps.max_freq());
-        device.run(&w.script, ReplayAgent::new(trace.clone()), &mut gov, w.run_until())
+        device
+            .run(&w.script, ReplayAgent::new(trace.clone()), &mut gov, w.run_until())
+            .expect("clean run")
     };
     let hdmi = run_with(CaptureMode::Hdmi);
     let camera = run_with(CaptureMode::Camera { seed: 99 });
@@ -146,7 +148,7 @@ fn interactive_input_boost() {
         let mut tun = InteractiveTunables::for_table(&table);
         tun.input_boost = boost;
         let mut gov = Interactive::new(tun);
-        let run = lab.run(&w, trace.clone(), &mut gov);
+        let run = lab.run(&w, trace.clone(), &mut gov).expect("clean run");
         let energy = lab.meter().measure(&run.activity).dynamic_mj / 1_000.0;
         let lags: Vec<f64> = run
             .interactions
@@ -233,7 +235,7 @@ fn schedutil_extension() {
                 &mut sched
             }
         };
-        let run = lab.run(&w, trace.clone(), gov);
+        let run = lab.run(&w, trace.clone(), gov).expect("clean run");
         let energy = lab.meter().measure(&run.activity).dynamic_mj / 1_000.0;
         let lags: Vec<f64> = run
             .interactions

@@ -18,12 +18,12 @@ fn main() {
     let lab = lab_with_reps(1);
 
     // Build the oracle (through the study machinery) and run ondemand.
-    let study = lab.study(&workload);
+    let study = lab.study(&workload).expect("study");
     let trace = workload.script.record_trace();
     let mut ondemand = Ondemand::default();
-    let ond_run = lab.run(&workload, trace.clone(), &mut ondemand);
+    let ond_run = lab.run(&workload, trace.clone(), &mut ondemand).expect("clean run");
     let mut oracle_gov = PlanGovernor::new("oracle", study.oracle_detail.plan.clone());
-    let oracle_run = lab.run(&workload, trace, &mut oracle_gov);
+    let oracle_run = lab.run(&workload, trace, &mut oracle_gov).expect("clean run");
 
     // Pick a typical mid-sized interaction (ground-truth lag closest to
     // 800 ms under ondemand): the same kind of "input → serviced" window

@@ -17,7 +17,7 @@ fn main() {
     // slowest there, giving the richest suggestion window.
     let trace = workload.script.record_trace();
     let mut gov = FixedGovernor::new(lab.device().config().opps.min_freq());
-    let run = lab.run(&workload, trace, &mut gov);
+    let run = lab.run(&workload, trace, &mut gov).expect("clean run");
     let video = run.video.as_ref().expect("capture on");
 
     // The Gallery launch is the first interaction.

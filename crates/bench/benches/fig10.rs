@@ -44,6 +44,7 @@ fn main() {
             &mut gov,
             w.run_until(),
         );
+        let run = run.expect("clean run");
         let actual = run.interactions.iter().filter(|r| r.triggered && !r.spurious).count();
         let spurious = run.interactions.iter().filter(|r| r.triggered && r.spurious).count();
 

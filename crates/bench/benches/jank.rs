@@ -40,7 +40,7 @@ fn main() {
     rule(78);
 
     let run_one = |name: &str, gov: &mut dyn Governor| {
-        let run = lab.run(&w, trace.clone(), gov);
+        let run = lab.run(&w, trace.clone(), gov).expect("clean run");
         let video = run.video.as_ref().expect("capture on");
         let rec = &run.interactions[0];
         let start = rec.input_time + SimDuration::from_millis(300);

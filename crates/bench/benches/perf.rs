@@ -37,7 +37,7 @@ fn synthetic_video(frames: u32, change_every: u32) -> VideoStream {
             f.hash_paint(f.bounds(), i as u64);
             current = Arc::new(f);
         }
-        v.push(SimTime::from_micros(i as u64 * 33_333), current.clone());
+        v.push(SimTime::from_micros(i as u64 * 33_333), current.clone()).unwrap();
     }
     v
 }

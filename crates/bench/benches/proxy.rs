@@ -21,7 +21,7 @@ fn main() {
 
     // Part A on the recorded (proxied) session.
     let recorded = news_browsing(SEED, PAGES, NetworkCondition::Proxied);
-    let (db, _, _) = lab.annotate_workload(&recorded);
+    let (db, _, _) = lab.annotate_workload(&recorded).expect("annotate");
 
     banner(
         "EXTENSION — networking workloads need a deterministic proxy",
@@ -33,7 +33,7 @@ fn main() {
     let mark = |name: &str, condition: NetworkCondition| {
         let w = news_browsing(SEED, PAGES, condition);
         let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
-        let run = lab.run(&w, w.script.record_trace(), &mut gov);
+        let run = lab.run(&w, w.script.record_trace(), &mut gov).expect("clean run");
         let video = run.video.as_ref().expect("capture on");
         let (profile, failures) = mark_up(video, &run.lag_beginnings(), &db, name);
         let total = profile.len() + failures.len();

@@ -84,7 +84,7 @@ fn main() {
     for workers in worker_counts() {
         let lab = Lab::new(LabConfig { reps, workers, ..Default::default() });
         let started = std::time::Instant::now();
-        let study = lab.study(&workload);
+        let study = lab.study(&workload).expect("study");
         let wall = started.elapsed().as_secs_f64();
         let baseline = *baseline_wall.get_or_insert(wall);
         let identical = match &baseline_study {

@@ -44,7 +44,7 @@ pub fn run_study(dataset: Dataset, reps: u32) -> (Workload, StudyResult) {
     let workload = dataset.build();
     let lab = lab_with_reps(reps);
     let started = std::time::Instant::now();
-    let study = lab.study(&workload);
+    let study = lab.study(&workload).expect("fault-free study");
     eprintln!(
         "[bench] dataset {}: {} lags, {} configs x {} reps in {:.1} s",
         dataset.name(),

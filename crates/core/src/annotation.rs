@@ -282,7 +282,7 @@ mod tests {
     fn video_of(pattern: &str) -> VideoStream {
         let mut v = VideoStream::new(FRAME_PERIOD_30FPS);
         for (i, c) in pattern.chars().enumerate() {
-            v.push(SimTime::from_micros(i as u64 * 33_333), frame(c as u8));
+            v.push(SimTime::from_micros(i as u64 * 33_333), frame(c as u8)).unwrap();
         }
         v
     }

@@ -1,0 +1,71 @@
+//! Typed pipeline failures.
+//!
+//! A study repetition can fail at several stage boundaries — the device
+//! run itself, the video that should have been captured, the matcher that
+//! should have found every annotated ending. Each failure is a value, not
+//! a panic, so the self-healing study loop in [`experiment`](crate::experiment)
+//! can retry a repetition with a re-derived fault stream and, if the retry
+//! budget runs out, report the abandoned repetition with its cause.
+
+use std::error::Error;
+use std::fmt;
+
+use interlag_device::DeviceError;
+
+use crate::matcher::MatchFailure;
+
+/// Why a pipeline stage failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterlagError {
+    /// The device run itself failed.
+    Device(DeviceError),
+    /// The matcher could not resolve an interaction's lag, even after
+    /// tolerance escalation.
+    Match {
+        /// The interaction whose ending was not found.
+        interaction_id: usize,
+        /// The underlying matcher failure.
+        failure: MatchFailure,
+    },
+    /// A study run produced no video to mark up.
+    MissingVideo,
+}
+
+impl fmt::Display for InterlagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterlagError::Device(e) => write!(f, "device run failed: {e}"),
+            InterlagError::Match { interaction_id, failure } => {
+                write!(f, "matching interaction {interaction_id} failed: {failure:?}")
+            }
+            InterlagError::MissingVideo => write!(f, "run produced no video to mark up"),
+        }
+    }
+}
+
+impl Error for InterlagError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            InterlagError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for InterlagError {
+    fn from(e: DeviceError) -> Self {
+        InterlagError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failing_stage() {
+        let e = InterlagError::Match { interaction_id: 3, failure: MatchFailure::EndingNotFound };
+        assert!(format!("{e}").contains("interaction 3"));
+        assert!(format!("{}", InterlagError::MissingVideo).contains("video"));
+    }
+}

@@ -23,18 +23,21 @@ use interlag_evdev::replay::ReplayAgent;
 use interlag_evdev::rng::SplitMix64;
 use interlag_evdev::time::{SimDuration, SimTime};
 use interlag_evdev::trace::EventTrace;
+use interlag_faults::{FaultConfig, FaultStreams, FaultyCapture, FaultyGovernor, FaultyReplayer};
 use interlag_governors::plan::PlanGovernor;
 use interlag_governors::{Conservative, Interactive, Ondemand};
 use interlag_power::calibrate::{calibrate, CalibrationConfig, MeasuredPowerTable};
 use interlag_power::energy::EnergyMeter;
 use interlag_power::model::PowerModel;
 use interlag_power::opp::Frequency;
+use interlag_video::capture::HdmiCapture;
 use interlag_video::mask::{Mask, MatchTolerance};
 use interlag_workloads::gen::Workload;
 
 use crate::annotation::{annotate, AnnotationDb, AnnotationStats, GroundTruthPicker};
+use crate::error::InterlagError;
 use crate::irritation::{user_irritation, ThresholdModel};
-use crate::matcher::mark_up;
+use crate::matcher::{mark_up, mark_up_with_policy, MatchPolicy};
 use crate::oracle::{build_oracle, Oracle, OracleConfig};
 use crate::profile::LagProfile;
 use crate::suggester::{Suggester, SuggesterConfig};
@@ -60,6 +63,23 @@ pub struct LabConfig {
     /// results; `1` forces the legacy serial sweep. Defaults to
     /// [`std::thread::available_parallelism`].
     pub workers: usize,
+    /// Fault injection for the study runs. `None` (the default) runs the
+    /// exact legacy pipeline; `Some` wraps every stage boundary with the
+    /// seeded injectors from `interlag-faults`. A quiescent configuration
+    /// (all rates zero) produces bit-identical results to `None`. The
+    /// annotation reference run is always fault-exempt — annotations must
+    /// come from a clean execution, as in the paper's Part A.
+    pub faults: Option<FaultConfig>,
+    /// How many times a failed repetition is retried before being
+    /// abandoned. Each retry re-derives its fault streams with the next
+    /// attempt number — deterministic, backoff-free re-seeding — while the
+    /// input jitter stays fixed per repetition, so a retry measures the
+    /// same nominal run under a fresh fault pattern.
+    pub retry_budget: u32,
+    /// Matcher recovery ladder for fault-injected runs (ignored when
+    /// `faults` is `None`): tolerances escalate within this bound before a
+    /// repetition is declared failed.
+    pub recovery: MatchPolicy,
 }
 
 impl Default for LabConfig {
@@ -72,6 +92,9 @@ impl Default for LabConfig {
             reps: 1,
             jitter_us: 1_500,
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            faults: None,
+            retry_budget: 2,
+            recovery: MatchPolicy::paper_recovery(),
         }
     }
 }
@@ -87,6 +110,35 @@ pub struct RepResult {
     pub irritation: SimDuration,
     /// Lags the matcher could not resolve (should be zero).
     pub match_failures: usize,
+    /// Malformed input events the device tolerated during the run.
+    pub input_faults: usize,
+}
+
+/// How one repetition of a configuration concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepOutcome {
+    /// The first attempt succeeded.
+    Ok,
+    /// One or more attempts failed but a retry succeeded.
+    Retried {
+        /// Total attempts made, including the successful one.
+        attempts: u32,
+    },
+    /// Every attempt failed; the repetition's result slot is an empty
+    /// placeholder and is excluded from the configuration's aggregates.
+    Abandoned {
+        /// Total attempts made.
+        attempts: u32,
+        /// The last attempt's failure.
+        cause: InterlagError,
+    },
+}
+
+impl RepOutcome {
+    /// `true` if the repetition never produced a measurement.
+    pub fn is_abandoned(&self) -> bool {
+        matches!(self, RepOutcome::Abandoned { .. })
+    }
 }
 
 /// All repetitions of one configuration.
@@ -96,32 +148,110 @@ pub struct ConfigSummary {
     pub name: String,
     /// The pinned frequency for fixed configurations.
     pub freq: Option<Frequency>,
-    /// Per-repetition results.
+    /// Per-repetition results (one slot per repetition; abandoned slots
+    /// hold an empty placeholder — check `outcomes`).
     pub reps: Vec<RepResult>,
+    /// How each repetition concluded, parallel to `reps`.
+    pub outcomes: Vec<RepOutcome>,
+    /// `true` when the study injected faults: aggregate means then apply
+    /// outlier rejection (median/MAD) so a fault-skewed repetition cannot
+    /// drag the summary. `false` keeps the plain legacy means.
+    pub robust: bool,
 }
 
 impl ConfigSummary {
-    /// Mean dynamic energy across repetitions.
-    pub fn mean_energy_mj(&self) -> f64 {
-        if self.reps.is_empty() {
-            return 0.0;
-        }
-        self.reps.iter().map(|r| r.dynamic_energy_mj).sum::<f64>() / self.reps.len() as f64
+    /// The repetitions that produced a measurement (abandoned slots are
+    /// skipped; with no recorded outcomes every slot counts).
+    pub fn measured(&self) -> impl Iterator<Item = &RepResult> {
+        self.reps.iter().enumerate().filter_map(|(i, r)| match self.outcomes.get(i) {
+            Some(o) if o.is_abandoned() => None,
+            _ => Some(r),
+        })
     }
 
-    /// Mean irritation across repetitions.
-    pub fn mean_irritation(&self) -> SimDuration {
-        if self.reps.is_empty() {
-            return SimDuration::ZERO;
+    /// Number of repetitions abandoned after exhausting their retries.
+    pub fn abandoned(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_abandoned()).count()
+    }
+
+    /// Mean dynamic energy across measured repetitions (outlier-rejected
+    /// when the study ran with fault injection).
+    pub fn mean_energy_mj(&self) -> f64 {
+        let values: Vec<f64> = self.measured().map(|r| r.dynamic_energy_mj).collect();
+        if values.is_empty() {
+            return 0.0;
         }
-        let total: SimDuration = self.reps.iter().map(|r| r.irritation).sum();
-        total / self.reps.len() as u64
+        if self.robust {
+            robust_mean(&values)
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        }
+    }
+
+    /// Mean irritation across measured repetitions (outlier-rejected when
+    /// the study ran with fault injection).
+    pub fn mean_irritation(&self) -> SimDuration {
+        if self.robust {
+            let values: Vec<f64> =
+                self.measured().map(|r| r.irritation.as_micros() as f64).collect();
+            if values.is_empty() {
+                return SimDuration::ZERO;
+            }
+            return SimDuration::from_micros(robust_mean(&values).round() as u64);
+        }
+        let mut n = 0u64;
+        let mut total = SimDuration::ZERO;
+        for r in self.measured() {
+            total += r.irritation;
+            n += 1;
+        }
+        if n == 0 {
+            SimDuration::ZERO
+        } else {
+            total / n
+        }
     }
 
     /// Every measured lag, pooled across repetitions (Figure 11's violins
     /// pool repetitions the same way).
     pub fn pooled_lags_ms(&self) -> Vec<f64> {
-        self.reps.iter().flat_map(|r| r.profile.lags_ms()).collect()
+        self.measured().flat_map(|r| r.profile.lags_ms()).collect()
+    }
+}
+
+/// Mean with median/MAD outlier rejection (modified z-score > 3.5, the
+/// Iglewicz–Hoaglin rule). With two or fewer values there is no robust
+/// estimate to be had, so the plain mean is returned; when the MAD is zero
+/// (more than half the values identical) only values equal to the median
+/// survive.
+fn robust_mean(values: &[f64]) -> f64 {
+    let plain = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() <= 2 {
+        return plain;
+    }
+    let median_of = |sorted: &[f64]| {
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    };
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+    let median = median_of(&sorted);
+    let mut deviations: Vec<f64> = values.iter().map(|v| (v - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+    let mad = median_of(&deviations);
+    let kept: Vec<f64> = if mad == 0.0 {
+        values.iter().copied().filter(|v| *v == median).collect()
+    } else {
+        values.iter().copied().filter(|v| 0.6745 * (v - median).abs() / mad <= 3.5).collect()
+    };
+    if kept.is_empty() {
+        plain
+    } else {
+        kept.iter().sum::<f64>() / kept.len() as f64
     }
 }
 
@@ -166,6 +296,19 @@ impl StudyResult {
         }
         config.mean_energy_mj() / oracle
     }
+}
+
+/// Everything one study repetition needs besides the attempt number:
+/// its position in the sweep and the study's shared inputs. Built per
+/// repetition so the retry loop only re-derives the fault streams.
+struct RepContext<'a> {
+    workload: &'a Workload,
+    trace: &'a EventTrace,
+    fc: &'a FaultConfig,
+    db: &'a AnnotationDb,
+    name: &'a str,
+    config: usize,
+    rep: u32,
 }
 
 /// The simulated laboratory.
@@ -225,26 +368,39 @@ impl Lab {
     }
 
     /// Executes one run of `workload` under `governor`, replaying `trace`.
+    ///
+    /// # Errors
+    ///
+    /// [`InterlagError::Device`] if the device run fails.
     pub fn run(
         &self,
         workload: &Workload,
         trace: EventTrace,
         governor: &mut dyn Governor,
-    ) -> RunArtifacts {
-        self.device.run(&workload.script, ReplayAgent::new(trace), governor, workload.run_until())
+    ) -> Result<RunArtifacts, InterlagError> {
+        Ok(self.device.run(
+            &workload.script,
+            ReplayAgent::new(trace),
+            governor,
+            workload.run_until(),
+        )?)
     }
 
     /// Part A: annotates the workload from a reference execution at the
     /// fastest fixed frequency, with the ground-truth picker playing the
     /// human. Returns the database, session statistics and the reference
-    /// run itself.
+    /// run itself. The reference run is never fault-injected.
+    ///
+    /// # Errors
+    ///
+    /// [`InterlagError::Device`] if the reference run fails.
     pub fn annotate_workload(
         &self,
         workload: &Workload,
-    ) -> (AnnotationDb, AnnotationStats, RunArtifacts) {
+    ) -> Result<(AnnotationDb, AnnotationStats, RunArtifacts), InterlagError> {
         let trace = workload.script.record_trace();
         let mut reference_gov = FixedGovernor::new(self.config.device.opps.max_freq());
-        let run = self.run(workload, trace, &mut reference_gov);
+        let run = self.run(workload, trace, &mut reference_gov)?;
         let picker = GroundTruthPicker::new(&run);
         let (db, stats) = annotate(
             &run,
@@ -254,7 +410,7 @@ impl Lab {
             self.config.tolerance,
             &workload.name,
         );
-        (db, stats, run)
+        Ok((db, stats, run))
     }
 
     /// Part B for one run: marks up the video and meters the energy.
@@ -268,7 +424,96 @@ impl Lab {
             dynamic_energy_mj: energy.dynamic_mj,
             irritation: SimDuration::ZERO,
             match_failures: failures.len(),
+            input_faults: run.input_faults,
         }
+    }
+
+    /// One fault-injected attempt of a study repetition: every stage
+    /// boundary wrapped with the injectors, streams derived from
+    /// `(seed, config, rep, attempt)`, markup with tolerance escalation.
+    /// Any stage failure — including lags the recovery ladder could not
+    /// resolve — comes back as an error for the retry loop. The repetition
+    /// coordinates and shared inputs travel in a [`RepContext`]; only the
+    /// attempt number varies between retries.
+    fn faulted_attempt(
+        &self,
+        ctx: &RepContext<'_>,
+        attempt: u32,
+        governor: &mut dyn Governor,
+    ) -> Result<RepResult, InterlagError> {
+        let fc = ctx.fc;
+        let streams =
+            FaultStreams::derive(fc.seed, ctx.config as u64, ctx.rep as u64, attempt as u64);
+        let replayer = FaultyReplayer::new(
+            ReplayAgent::new(self.jittered_trace(ctx.trace, ctx.rep)),
+            fc.replay,
+            streams.replay,
+        );
+        let mut governor = FaultyGovernor::new(governor, fc.dvfs, streams.dvfs);
+        let mut capture = FaultyCapture::new(HdmiCapture::new(), fc.capture, streams.capture);
+        let run = self.device.run_with_capture(
+            &ctx.workload.script,
+            replayer,
+            &mut governor,
+            ctx.workload.run_until(),
+            &mut capture,
+        )?;
+        let video = run.video.as_ref().ok_or(InterlagError::MissingVideo)?;
+        let (profile, failures) = mark_up_with_policy(
+            video,
+            &run.lag_beginnings(),
+            ctx.db,
+            ctx.name,
+            &self.config.recovery,
+        );
+        if let Some(&(interaction_id, failure)) = failures.first() {
+            return Err(InterlagError::Match { interaction_id, failure });
+        }
+        let mut power_rng = streams.power;
+        let (activity, _) = fc.power.perturb(&run.activity, &mut power_rng);
+        let energy = self.meter.measure(&activity);
+        Ok(RepResult {
+            profile,
+            dynamic_energy_mj: energy.dynamic_mj,
+            irritation: SimDuration::ZERO,
+            match_failures: 0,
+            input_faults: run.input_faults,
+        })
+    }
+
+    /// The self-healing repetition loop: run an attempt, retry with a
+    /// re-derived fault stream on failure, abandon with the last cause
+    /// once the budget is spent. Abandoned slots carry an empty profile so
+    /// result shapes stay rectangular; aggregates skip them via the
+    /// recorded outcome.
+    fn rep_with_retries<A>(&self, name: &str, mut attempt_fn: A) -> (RepResult, RepOutcome)
+    where
+        A: FnMut(u32) -> Result<RepResult, InterlagError>,
+    {
+        let budget = self.config.retry_budget;
+        let mut last_err = None;
+        for attempt in 0..=budget {
+            match attempt_fn(attempt) {
+                Ok(result) => {
+                    let outcome = if attempt == 0 {
+                        RepOutcome::Ok
+                    } else {
+                        RepOutcome::Retried { attempts: attempt + 1 }
+                    };
+                    return (result, outcome);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let cause = last_err.expect("retry loop made at least one attempt");
+        let placeholder = RepResult {
+            profile: LagProfile::new(name),
+            dynamic_energy_mj: 0.0,
+            irritation: SimDuration::ZERO,
+            match_failures: 0,
+            input_faults: 0,
+        };
+        (placeholder, RepOutcome::Abandoned { attempts: budget + 1, cause })
     }
 
     /// Jitters input timings by ±`jitter_us` (repetition `rep` > 0), the
@@ -296,9 +541,10 @@ impl Lab {
     /// and returns their results in job order. Every job is a pure
     /// function of its index, so the output is identical for any worker
     /// count; with one worker (or one job) the jobs simply run inline.
-    fn run_matrix<F>(&self, count: usize, job: F) -> Vec<RepResult>
+    fn run_matrix<T, F>(&self, count: usize, job: F) -> Vec<T>
     where
-        F: Fn(usize) -> RepResult + Sync,
+        T: Send,
+        F: Fn(usize) -> T + Sync,
     {
         let workers = self.config.workers.max(1).min(count.max(1));
         if workers == 1 {
@@ -308,7 +554,7 @@ impl Lab {
         // unclaimed job until none remain. Slots are per-job, so workers
         // never contend on a result lock while another job is running.
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RepResult>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|| loop {
@@ -342,12 +588,27 @@ impl Lab {
     /// deterministic order and are bit-identical to a serial sweep. The
     /// oracle runs in a second stage because its plan is built from the
     /// fixed-frequency profiles of the first.
-    pub fn study(&self, workload: &Workload) -> StudyResult {
+    ///
+    /// With [`LabConfig::faults`] set, every run (except the annotation
+    /// reference) goes through the fault injectors, failed repetitions are
+    /// retried up to [`LabConfig::retry_budget`] times with re-derived
+    /// fault streams, and each repetition's [`RepOutcome`] is recorded in
+    /// its [`ConfigSummary`]. A repetition that exhausts its budget is
+    /// abandoned — reported with its cause, excluded from aggregates — and
+    /// the study still completes.
+    ///
+    /// # Errors
+    ///
+    /// [`InterlagError::Device`] if the fault-exempt annotation reference
+    /// run fails; injected faults never abort the study.
+    pub fn study(&self, workload: &Workload) -> Result<StudyResult, InterlagError> {
         const GOVERNOR_NAMES: [&str; 3] = ["conservative", "interactive", "ondemand"];
         let trace = workload.script.record_trace();
-        let (db, annotation, reference_run) = self.annotate_workload(workload);
+        let (db, annotation, reference_run) = self.annotate_workload(workload)?;
         let opps = self.config.device.opps.clone();
         let reps = self.config.reps.max(1);
+        let faults = self.config.faults;
+        let robust = faults.as_ref().is_some_and(|f| !f.is_quiescent());
 
         // --- stage 1: fixed frequencies and governors --------------------
         // Job i = configuration (i / reps), repetition (i % reps), with
@@ -356,6 +617,30 @@ impl Lab {
         let freqs: Vec<Frequency> = opps.frequencies().collect();
         let n_fixed = freqs.len();
         let per_rep = reps as usize;
+        // One repetition of one configuration, with the governor built
+        // fresh by the caller; retries reuse the governor (its `init`
+        // resets state) but re-derive every fault stream.
+        let run_rep = |config: usize,
+                       rep: u32,
+                       gov: &mut dyn Governor,
+                       name: &str|
+         -> (RepResult, RepOutcome) {
+            match &faults {
+                None => {
+                    let run = self
+                        .run(workload, self.jittered_trace(&trace, rep), gov)
+                        .expect("fault-free study run");
+                    (self.measure(&run, &db, name), RepOutcome::Ok)
+                }
+                Some(fc) => {
+                    let ctx =
+                        RepContext { workload, trace: &trace, fc, db: &db, name, config, rep };
+                    self.rep_with_retries(name, |attempt| {
+                        self.faulted_attempt(&ctx, attempt, &mut *gov)
+                    })
+                }
+            }
+        };
         let results = self.run_matrix((n_fixed + GOVERNOR_NAMES.len()) * per_rep, |i| {
             let config = i / per_rep;
             let rep = (i % per_rep) as u32;
@@ -363,12 +648,13 @@ impl Lab {
                 let freq = freqs[config];
                 let name = format!("fixed-{freq}");
                 if freq == opps.max_freq() && rep == 0 {
-                    // Reuse the annotation reference run.
-                    self.measure(&reference_run, &db, &name)
+                    // Reuse the annotation reference run: it doubles as the
+                    // fastest configuration's first repetition and stays
+                    // fault-exempt even in a fault-injected study.
+                    (self.measure(&reference_run, &db, &name), RepOutcome::Ok)
                 } else {
                     let mut gov = FixedGovernor::new(freq);
-                    let run = self.run(workload, self.jittered_trace(&trace, rep), &mut gov);
-                    self.measure(&run, &db, &name)
+                    run_rep(config, rep, &mut gov, &name)
                 }
             } else {
                 let which = GOVERNOR_NAMES[config - n_fixed];
@@ -389,60 +675,76 @@ impl Lab {
                         &mut ondemand
                     }
                 };
-                let run = self.run(workload, self.jittered_trace(&trace, rep), gov);
-                self.measure(&run, &db, which)
+                run_rep(config, rep, gov, which)
             }
         });
 
         // Reassemble in paper order: the job layout above is config-major,
         // so each summary takes the next `reps` results.
         let mut results = results.into_iter();
-        let fixed: Vec<ConfigSummary> = freqs
-            .iter()
-            .map(|&freq| ConfigSummary {
-                name: format!("fixed-{freq}"),
-                freq: Some(freq),
-                reps: results.by_ref().take(per_rep).collect(),
-            })
-            .collect();
-        let governors: Vec<ConfigSummary> = GOVERNOR_NAMES
-            .iter()
-            .map(|&which| ConfigSummary {
-                name: which.to_string(),
-                freq: None,
-                reps: results.by_ref().take(per_rep).collect(),
-            })
-            .collect();
+        let mut take_config = |name: String, freq: Option<Frequency>| {
+            let (reps, outcomes): (Vec<RepResult>, Vec<RepOutcome>) =
+                results.by_ref().take(per_rep).unzip();
+            ConfigSummary { name, freq, reps, outcomes, robust }
+        };
+        let fixed: Vec<ConfigSummary> =
+            freqs.iter().map(|&freq| take_config(format!("fixed-{freq}"), Some(freq))).collect();
+        let governors: Vec<ConfigSummary> =
+            GOVERNOR_NAMES.iter().map(|&which| take_config(which.to_string(), None)).collect();
 
         // The threshold models: 110 % of the fastest frequency's profile,
         // one per repetition — each repetition jitters the input timings,
         // so a lag must be compared against the reference measured with
         // the *same* inputs (otherwise frame-grid quantisation leaks a
-        // few spurious milliseconds of irritation into the baselines).
-        let models: Vec<ThresholdModel> = fixed
-            .last()
-            .expect("at least one OPP")
+        // few spurious milliseconds of irritation into the baselines). If
+        // a fastest-frequency repetition was abandoned, its model falls
+        // back to the first surviving repetition (repetition 0 reuses the
+        // fault-exempt reference run, so one always survives).
+        let fastest = fixed.last().expect("at least one OPP");
+        let fallback_model_profile = fastest
+            .measured()
+            .next()
+            .map(|r| r.profile.clone())
+            .unwrap_or_else(|| fastest.reps[0].profile.clone());
+        let models: Vec<ThresholdModel> = fastest
             .reps
             .iter()
-            .map(|r| ThresholdModel::paper_rule(r.profile.clone()))
+            .zip(&fastest.outcomes)
+            .map(|(r, o)| {
+                let profile = if o.is_abandoned() {
+                    fallback_model_profile.clone()
+                } else {
+                    r.profile.clone()
+                };
+                ThresholdModel::paper_rule(profile)
+            })
             .collect();
 
         // --- stage 2: oracle ---------------------------------------------
-        // Needs stage 1: the plan is derived from the fixed rep-0 profiles.
+        // Needs stage 1: the plan is derived from the fixed-frequency
+        // profiles — the first surviving repetition of each (repetition 0
+        // unless faults abandoned it).
         let fixed_profiles: BTreeMap<Frequency, LagProfile> = fixed
             .iter()
-            .map(|c| (c.freq.expect("fixed configs have a frequency"), c.reps[0].profile.clone()))
+            .filter_map(|c| {
+                let rep = c.measured().next()?;
+                Some((c.freq.expect("fixed configs have a frequency"), rep.profile.clone()))
+            })
             .collect();
         let oracle_cfg = OracleConfig::paper(self.power_table().most_efficient_freq());
         let oracle_detail = build_oracle(&fixed_profiles, &oracle_cfg);
+        let oracle_results: Vec<(RepResult, RepOutcome)> = self.run_matrix(per_rep, |rep| {
+            let mut gov = PlanGovernor::new("oracle", oracle_detail.plan.clone());
+            run_rep(n_fixed + GOVERNOR_NAMES.len(), rep as u32, &mut gov, "oracle")
+        });
+        let (oracle_reps, oracle_outcomes): (Vec<RepResult>, Vec<RepOutcome>) =
+            oracle_results.into_iter().unzip();
         let oracle_summary = ConfigSummary {
             name: "oracle".to_string(),
             freq: None,
-            reps: self.run_matrix(per_rep, |rep| {
-                let mut gov = PlanGovernor::new("oracle", oracle_detail.plan.clone());
-                let run = self.run(workload, self.jittered_trace(&trace, rep as u32), &mut gov);
-                self.measure(&run, &db, "oracle")
-            }),
+            reps: oracle_reps,
+            outcomes: oracle_outcomes,
+            robust,
         };
 
         // --- irritation pass ---------------------------------------------------
@@ -462,11 +764,14 @@ impl Lab {
             .chain(std::iter::once(&mut result.oracle))
         {
             for (rep_idx, rep) in summary.reps.iter_mut().enumerate() {
+                if summary.outcomes.get(rep_idx).is_some_and(RepOutcome::is_abandoned) {
+                    continue;
+                }
                 let model = &models[rep_idx.min(models.len() - 1)];
                 rep.irritation = user_irritation(&rep.profile, model).total();
             }
         }
-        result
+        Ok(result)
     }
 }
 
@@ -508,7 +813,7 @@ mod tests {
     fn annotation_covers_every_actual_lag() {
         let lab = tiny_lab();
         let w = mini_workload();
-        let (db, stats, run) = lab.annotate_workload(&w);
+        let (db, stats, run) = lab.annotate_workload(&w).expect("annotate");
         assert_eq!(db.len(), run.lag_beginnings().len());
         assert_eq!(stats.unannotated, 0);
         assert!(stats.reduction_factor() > 3.0, "factor {}", stats.reduction_factor());
@@ -518,11 +823,11 @@ mod tests {
     fn matcher_agrees_with_ground_truth_within_a_frame() {
         let lab = tiny_lab();
         let w = mini_workload();
-        let (db, _, _) = lab.annotate_workload(&w);
+        let (db, _, _) = lab.annotate_workload(&w).expect("annotate");
         // Measure a *different* configuration than the annotation
         // reference.
         let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
-        let run = lab.run(&w, w.script.record_trace(), &mut gov);
+        let run = lab.run(&w, w.script.record_trace(), &mut gov).expect("clean run");
         let video = run.video.as_ref().unwrap();
         let (profile, failures) = mark_up(video, &run.lag_beginnings(), &db, "fixed-0.96");
         assert!(failures.is_empty(), "failures: {failures:?}");
@@ -539,7 +844,7 @@ mod tests {
     fn study_produces_the_full_configuration_matrix() {
         let lab = tiny_lab();
         let w = mini_workload();
-        let study = lab.study(&w);
+        let study = lab.study(&w).expect("study");
         assert_eq!(study.fixed.len(), 14);
         assert_eq!(study.governors.len(), 3);
         assert_eq!(study.all_configs().count(), 18);
@@ -557,7 +862,7 @@ mod tests {
     fn fastest_fixed_and_oracle_do_not_irritate() {
         let lab = tiny_lab();
         let w = mini_workload();
-        let study = lab.study(&w);
+        let study = lab.study(&w).expect("study");
         let fastest = study.fixed.last().unwrap();
         assert_eq!(fastest.mean_irritation(), SimDuration::ZERO);
         assert_eq!(study.oracle.mean_irritation(), SimDuration::ZERO);
@@ -569,7 +874,7 @@ mod tests {
     fn lag_medians_shrink_with_frequency() {
         let lab = tiny_lab();
         let w = mini_workload();
-        let study = lab.study(&w);
+        let study = lab.study(&w).expect("study");
         let mean_of = |c: &ConfigSummary| c.reps[0].profile.mean_lag();
         let slow = mean_of(&study.fixed[0]);
         let mid = mean_of(&study.fixed[5]);
@@ -581,7 +886,7 @@ mod tests {
     fn oracle_energy_beats_fastest_fixed() {
         let lab = tiny_lab();
         let w = mini_workload();
-        let study = lab.study(&w);
+        let study = lab.study(&w).expect("study");
         let fastest = study.fixed.last().unwrap();
         assert!(
             study.oracle.mean_energy_mj() < fastest.mean_energy_mj(),
@@ -594,8 +899,12 @@ mod tests {
     #[test]
     fn parallel_study_is_bit_identical_to_serial() {
         let w = mini_workload();
-        let serial = Lab::new(LabConfig { reps: 2, workers: 1, ..Default::default() }).study(&w);
-        let parallel = Lab::new(LabConfig { reps: 2, workers: 4, ..Default::default() }).study(&w);
+        let serial = Lab::new(LabConfig { reps: 2, workers: 1, ..Default::default() })
+            .study(&w)
+            .expect("study");
+        let parallel = Lab::new(LabConfig { reps: 2, workers: 4, ..Default::default() })
+            .study(&w)
+            .expect("study");
 
         assert_eq!(serial.workload, parallel.workload);
         assert_eq!(serial.annotation, parallel.annotation);
@@ -632,7 +941,7 @@ mod tests {
         b.think_ms(1_500, 2_000);
         b.quick_tap("tap", 100 * MCYCLES, InteractionCategory::SimpleFrequent);
         let w = b.build("mini2", "two-interaction workload");
-        let study = lab.study(&w);
+        let study = lab.study(&w).expect("study");
         let ond = study.config("ondemand").unwrap();
         assert_eq!(ond.reps.len(), 2);
         let (a, b_) = (&ond.reps[0], &ond.reps[1]);

@@ -105,6 +105,7 @@ impl IrritationReport {
 ///     input_time: SimTime::ZERO,
 ///     lag: SimDuration::from_millis(1_400),
 ///     threshold: SimDuration::from_secs(1),
+///     confidence: 1.0,
 /// });
 /// let report = user_irritation(&p, &ThresholdModel::Annotated);
 /// assert_eq!(report.total(), SimDuration::from_millis(400));
@@ -140,6 +141,7 @@ mod tests {
                 input_time: SimTime::from_secs(i as u64),
                 lag: SimDuration::from_millis(ms),
                 threshold: SimDuration::from_millis(1_000),
+                confidence: 1.0,
             });
         }
         p
@@ -185,6 +187,7 @@ mod tests {
             input_time: SimTime::ZERO,
             lag: SimDuration::from_millis(1),
             threshold: SimDuration::from_millis(1),
+            confidence: 1.0,
         });
         let model = ThresholdModel::RelativeToReference { reference, factor: 1.1 };
         let p = profile(&[500, 1_500]); // id 1 missing from reference

@@ -72,7 +72,7 @@ impl JankReport {
 /// let mut v = VideoStream::new(FRAME_PERIOD_30FPS);
 /// let f = Arc::new(FrameBuffer::new(16, 16));
 /// for i in 0..10u64 {
-///     v.push(SimTime::from_micros(i * 33_333), f.clone());
+///     v.push(SimTime::from_micros(i * 33_333), f.clone()).unwrap();
 /// }
 /// let r = measure_jank(
 ///     &v,
@@ -139,7 +139,7 @@ mod tests {
             let mut f = FrameBuffer::new(16, 16);
             f.fill(40);
             f.hash_paint(REGION, counter);
-            v.push(SimTime::from_micros(i * 33_333), Arc::new(f));
+            v.push(SimTime::from_micros(i * 33_333), Arc::new(f)).unwrap();
         }
         v
     }
@@ -188,7 +188,7 @@ mod tests {
             let mut f = FrameBuffer::new(16, 16);
             // The clock area changes; the animation region stays still.
             f.hash_paint(Rect::new(0, 0, 16, 2), i);
-            v.push(SimTime::from_micros(i * 33_333), Arc::new(f));
+            v.push(SimTime::from_micros(i * 33_333), Arc::new(f)).unwrap();
         }
         let r =
             measure_jank(&v, SimTime::ZERO, window_end(30), REGION, SimDuration::from_millis(100));

@@ -20,7 +20,9 @@
 //!   replay × 18 configurations → mark up → meter energy → score
 //!   irritation;
 //! * [`report`] — CSV/Markdown exporters for study results;
-//! * [`stats`] — quartiles, KDE and summaries for the evaluation figures.
+//! * [`stats`] — quartiles, KDE and summaries for the evaluation figures;
+//! * [`error`] — typed pipeline failures driving the self-healing study
+//!   loop (retry budget + tolerance escalation under fault injection).
 //!
 //! # Examples
 //!
@@ -38,7 +40,7 @@
 //! let workload = b.build("demo", "doc-test workload");
 //!
 //! let lab = Lab::new(LabConfig::default());
-//! let study = lab.study(&workload);
+//! let study = lab.study(&workload).expect("fault-free studies cannot fail");
 //! assert_eq!(study.all_configs().count(), 18); // 14 fixed + 3 governors + oracle
 //! let ondemand = study.config("ondemand").unwrap();
 //! assert!(study.energy_normalised(ondemand) > 0.5);
@@ -48,6 +50,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod annotation;
+pub mod error;
 pub mod experiment;
 pub mod irritation;
 pub mod jank;
@@ -59,10 +62,11 @@ pub mod stats;
 pub mod suggester;
 
 pub use annotation::{annotate, AnnotationDb, AnnotationStats, FramePicker, GroundTruthPicker};
-pub use experiment::{ConfigSummary, Lab, LabConfig, RepResult, StudyResult};
+pub use error::InterlagError;
+pub use experiment::{ConfigSummary, Lab, LabConfig, RepOutcome, RepResult, StudyResult};
 pub use irritation::{user_irritation, IrritationReport, ThresholdModel};
 pub use jank::{measure_jank, JankReport};
-pub use matcher::{mark_up, MatchFailure, MatchedLag, Matcher};
+pub use matcher::{mark_up, mark_up_with_policy, MatchFailure, MatchPolicy, MatchedLag, Matcher};
 pub use oracle::{build_oracle, Oracle, OracleConfig, OracleDecision};
 pub use profile::{LagEntry, LagProfile};
 pub use report::{oracle_csv, profile_csv, study_csv, study_markdown};

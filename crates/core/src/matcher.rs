@@ -15,13 +15,14 @@ use serde::{Deserialize, Serialize};
 
 use interlag_evdev::time::{SimDuration, SimTime};
 use interlag_video::frame::FrameBuffer;
+use interlag_video::mask::MatchTolerance;
 use interlag_video::stream::VideoStream;
 
 use crate::annotation::{AnnotationDb, LagAnnotation};
 use crate::profile::{LagEntry, LagProfile};
 
 /// One matched lag ending.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MatchedLag {
     /// The interaction whose ending was found.
     pub interaction_id: usize,
@@ -31,6 +32,10 @@ pub struct MatchedLag {
     pub end_time: SimTime,
     /// The measured interaction lag (ending frame time − input time).
     pub lag: SimDuration,
+    /// How trustworthy the match is: `1.0` when found at the annotated
+    /// tolerance, lower for every escalation step a [`MatchPolicy`] had to
+    /// take to find it.
+    pub confidence: f64,
 }
 
 /// Why a lag could not be matched.
@@ -41,6 +46,56 @@ pub enum MatchFailure {
     /// The video ended before the annotated image appeared (the run's
     /// slack was too short, or the system never serviced the input).
     EndingNotFound,
+}
+
+/// How the matcher recovers when a lag's ending cannot be found at the
+/// annotated tolerance.
+///
+/// A corrupted or noisy capture can leave the annotated ending image a few
+/// pixels away from every frame of the video. Rather than abandoning the
+/// repetition outright, the policy retries the walk with progressively
+/// looser tolerances; a match found on escalation step *i* carries
+/// confidence `1 / (i + 2)` so downstream consumers can weigh (or reject)
+/// weakly-matched lags. The escalation ladder is bounded — a screen that
+/// genuinely never shows the ending still reports
+/// [`MatchFailure::EndingNotFound`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchPolicy {
+    /// Tolerances to try, in order, after the annotated one fails. Each
+    /// step is taken component-wise: the effective tolerance never drops
+    /// below the annotation's own.
+    pub escalation: Vec<MatchTolerance>,
+}
+
+impl MatchPolicy {
+    /// No recovery: the annotated tolerance decides, exactly as the paper's
+    /// pipeline behaves on a clean HDMI capture.
+    pub fn strict() -> Self {
+        MatchPolicy { escalation: Vec::new() }
+    }
+
+    /// The recovery ladder used by fault-injected studies: three steps that
+    /// widen only the *pixel budget*, sized to absorb the bit-flip
+    /// corruption the capture-fault model injects (a handful of pixels with
+    /// arbitrary value error). The value tolerance stays at the
+    /// annotation's own — widening it would let genuinely different UI
+    /// states whose fills differ by a few grey levels false-match, which is
+    /// worse than an honest failure.
+    pub fn paper_recovery() -> Self {
+        MatchPolicy {
+            escalation: vec![
+                MatchTolerance { value_tolerance: 0, pixel_budget: 4 },
+                MatchTolerance { value_tolerance: 0, pixel_budget: 16 },
+                MatchTolerance { value_tolerance: 0, pixel_budget: 48 },
+            ],
+        }
+    }
+}
+
+impl Default for MatchPolicy {
+    fn default() -> Self {
+        MatchPolicy::strict()
+    }
 }
 
 /// The matcher algorithm.
@@ -72,6 +127,55 @@ impl Matcher {
         input_time: SimTime,
         annotation: &LagAnnotation,
     ) -> Result<MatchedLag, MatchFailure> {
+        self.match_at(video, input_time, annotation, annotation.tolerance, 1.0)
+    }
+
+    /// Like [`Matcher::match_lag`], but when the annotated tolerance finds
+    /// nothing the walk is retried along `policy`'s escalation ladder; the
+    /// returned confidence records how far the ladder had to go.
+    ///
+    /// # Errors
+    ///
+    /// [`MatchFailure::EndingNotFound`] if even the loosest escalation step
+    /// fails.
+    pub fn match_lag_with_policy(
+        &self,
+        video: &VideoStream,
+        input_time: SimTime,
+        annotation: &LagAnnotation,
+        policy: &MatchPolicy,
+    ) -> Result<MatchedLag, MatchFailure> {
+        match self.match_at(video, input_time, annotation, annotation.tolerance, 1.0) {
+            Err(MatchFailure::EndingNotFound) => {
+                for (i, step) in policy.escalation.iter().enumerate() {
+                    let tolerance = MatchTolerance {
+                        value_tolerance: step
+                            .value_tolerance
+                            .max(annotation.tolerance.value_tolerance),
+                        pixel_budget: step.pixel_budget.max(annotation.tolerance.pixel_budget),
+                    };
+                    let confidence = 1.0 / (i + 2) as f64;
+                    if let Ok(m) =
+                        self.match_at(video, input_time, annotation, tolerance, confidence)
+                    {
+                        return Ok(m);
+                    }
+                }
+                Err(MatchFailure::EndingNotFound)
+            }
+            verdict => verdict,
+        }
+    }
+
+    /// The frame walk at one explicit tolerance.
+    fn match_at(
+        &self,
+        video: &VideoStream,
+        input_time: SimTime,
+        annotation: &LagAnnotation,
+        tolerance: MatchTolerance,
+        confidence: f64,
+    ) -> Result<MatchedLag, MatchFailure> {
         let first = video.first_frame_at_or_after(input_time);
         let mut remaining = annotation.occurrence.max(1);
         let mut in_match = false;
@@ -95,7 +199,7 @@ impl Matcher {
             let matches = match last {
                 Some((prev, verdict)) if prev == key => verdict,
                 _ => *verdicts.entry(key).or_insert_with(|| {
-                    annotation.tolerance.matches_compiled(&compiled, &annotation.image, &frame.buf)
+                    tolerance.matches_compiled(&compiled, &annotation.image, &frame.buf)
                 }),
             };
             last = Some((key, matches));
@@ -107,6 +211,7 @@ impl Matcher {
                         end_frame: frame.index,
                         end_time: frame.time,
                         lag: frame.time.saturating_since(input_time),
+                        confidence,
                     });
                 }
             }
@@ -128,21 +233,38 @@ pub fn mark_up(
     db: &AnnotationDb,
     config_name: &str,
 ) -> (LagProfile, Vec<(usize, MatchFailure)>) {
+    mark_up_with_policy(video, lag_beginnings, db, config_name, &MatchPolicy::strict())
+}
+
+/// [`mark_up`] with tolerance-escalation recovery: lags the annotated
+/// tolerance cannot resolve are retried along `policy`'s ladder, and each
+/// profile entry records the confidence of its match. With
+/// [`MatchPolicy::strict`] this is exactly [`mark_up`].
+pub fn mark_up_with_policy(
+    video: &VideoStream,
+    lag_beginnings: &[(usize, SimTime)],
+    db: &AnnotationDb,
+    config_name: &str,
+    policy: &MatchPolicy,
+) -> (LagProfile, Vec<(usize, MatchFailure)>) {
     let matcher = Matcher::new();
     let mut profile = LagProfile::new(config_name);
     let mut failures = Vec::new();
     for &(id, input_time) in lag_beginnings {
         match db.get(id) {
             None => failures.push((id, MatchFailure::NotAnnotated)),
-            Some(annotation) => match matcher.match_lag(video, input_time, annotation) {
-                Ok(m) => profile.push(LagEntry {
-                    interaction_id: id,
-                    input_time,
-                    lag: m.lag,
-                    threshold: annotation.threshold,
-                }),
-                Err(f) => failures.push((id, f)),
-            },
+            Some(annotation) => {
+                match matcher.match_lag_with_policy(video, input_time, annotation, policy) {
+                    Ok(m) => profile.push(LagEntry {
+                        interaction_id: id,
+                        input_time,
+                        lag: m.lag,
+                        threshold: annotation.threshold,
+                        confidence: m.confidence,
+                    }),
+                    Err(f) => failures.push((id, f)),
+                }
+            }
         }
     }
     (profile, failures)
@@ -165,7 +287,7 @@ mod tests {
     fn video_of(pattern: &str) -> VideoStream {
         let mut v = VideoStream::new(FRAME_PERIOD_30FPS);
         for (i, c) in pattern.chars().enumerate() {
-            v.push(SimTime::from_micros(i as u64 * 33_333), frame(c as u8));
+            v.push(SimTime::from_micros(i as u64 * 33_333), frame(c as u8)).unwrap();
         }
         v
     }
@@ -228,6 +350,118 @@ mod tests {
     }
 
     #[test]
+    fn occurrence_beyond_the_video_horizon_is_an_error() {
+        // The ending image appears once, but the annotation asks for the
+        // second occurrence and the video ends first.
+        let v = video_of("aabba");
+        let m = Matcher::new();
+        assert_eq!(
+            m.match_lag(&v, SimTime::ZERO, &annotation_of('b', 2)),
+            Err(MatchFailure::EndingNotFound)
+        );
+        // Sanity: the first occurrence is reachable.
+        assert!(m.match_lag(&v, SimTime::ZERO, &annotation_of('b', 1)).is_ok());
+    }
+
+    #[test]
+    fn input_after_the_last_frame_exhausts_the_horizon() {
+        let v = video_of("abab");
+        let m = Matcher::new();
+        // Walk starts past the end of the video: nothing left to match.
+        let late = SimTime::from_secs(10);
+        assert_eq!(
+            m.match_lag(&v, late, &annotation_of('a', 1)),
+            Err(MatchFailure::EndingNotFound)
+        );
+    }
+
+    #[test]
+    fn clean_matches_keep_full_confidence_under_any_policy() {
+        let v = video_of("aaabbb");
+        let m = Matcher::new();
+        let hit = m
+            .match_lag_with_policy(
+                &v,
+                SimTime::ZERO,
+                &annotation_of('b', 1),
+                &MatchPolicy::paper_recovery(),
+            )
+            .unwrap();
+        assert_eq!(hit.end_frame, 3);
+        assert_eq!(hit.confidence, 1.0);
+    }
+
+    #[test]
+    fn escalation_recovers_a_corrupted_ending_with_reduced_confidence() {
+        // The ending frame differs from the annotation by a few flipped
+        // pixels — the capture-corruption fault model's signature.
+        let mut v = video_of("aaa");
+        let mut corrupted = FrameBuffer::new(8, 8);
+        corrupted.fill(b'b');
+        corrupted.set(1, 1, b'b' ^ 0x05);
+        corrupted.set(5, 5, b'b' ^ 0x11);
+        v.push(SimTime::from_micros(3 * 33_333), Arc::new(corrupted)).unwrap();
+
+        let m = Matcher::new();
+        let ann = annotation_of('b', 1);
+        assert_eq!(m.match_lag(&v, SimTime::ZERO, &ann), Err(MatchFailure::EndingNotFound));
+        let hit = m
+            .match_lag_with_policy(&v, SimTime::ZERO, &ann, &MatchPolicy::paper_recovery())
+            .unwrap();
+        assert_eq!(hit.end_frame, 3);
+        assert!(hit.confidence < 1.0, "escalated match must lose confidence");
+        // Strict policy has no ladder to climb.
+        assert_eq!(
+            m.match_lag_with_policy(&v, SimTime::ZERO, &ann, &MatchPolicy::strict()),
+            Err(MatchFailure::EndingNotFound)
+        );
+    }
+
+    #[test]
+    fn escalation_is_bounded_and_still_fails_honestly() {
+        // No frame is anywhere near the ending image: every ladder step
+        // must fail and the failure must survive.
+        let v = video_of("aaaa");
+        let m = Matcher::new();
+        assert_eq!(
+            m.match_lag_with_policy(
+                &v,
+                SimTime::ZERO,
+                &annotation_of('z', 1),
+                &MatchPolicy::paper_recovery()
+            ),
+            Err(MatchFailure::EndingNotFound)
+        );
+    }
+
+    #[test]
+    fn mark_up_with_policy_records_per_lag_confidence() {
+        let mut v = video_of("aab");
+        let mut corrupted = FrameBuffer::new(8, 8);
+        corrupted.fill(b'c');
+        corrupted.set(2, 2, b'c' ^ 0x03);
+        v.push(SimTime::from_micros(3 * 33_333), Arc::new(corrupted)).unwrap();
+
+        let mut db = AnnotationDb::new("t");
+        let mut ann_b = annotation_of('b', 1);
+        ann_b.interaction_id = 0;
+        db.insert(ann_b);
+        let mut ann_c = annotation_of('c', 1);
+        ann_c.interaction_id = 1;
+        db.insert(ann_c);
+
+        let beginnings = vec![(0usize, SimTime::ZERO), (1usize, SimTime::ZERO)];
+        let (profile, failures) =
+            mark_up_with_policy(&v, &beginnings, &db, "test", &MatchPolicy::paper_recovery());
+        assert!(failures.is_empty(), "failures: {failures:?}");
+        let confidence_of = |id: usize| {
+            profile.entries().iter().find(|e| e.interaction_id == id).unwrap().confidence
+        };
+        assert_eq!(confidence_of(0), 1.0, "clean match keeps full confidence");
+        assert!(confidence_of(1) < 1.0, "recovered match is flagged");
+    }
+
+    #[test]
     fn mark_up_collects_profile_and_failures() {
         let v = video_of("aabbccc");
         let mut db = AnnotationDb::new("t");
@@ -255,12 +489,12 @@ mod tests {
         let mut v = VideoStream::new(FRAME_PERIOD_30FPS);
         let mut f0 = FrameBuffer::new(8, 8);
         f0.fill(7);
-        v.push(SimTime::ZERO, Arc::new(f0.clone()));
+        v.push(SimTime::ZERO, Arc::new(f0.clone())).unwrap();
         // Target screen, but with a different "clock" row than annotated.
         let mut f1 = FrameBuffer::new(8, 8);
         f1.fill(42);
         f1.fill_rect(interlag_video::frame::Rect::new(0, 0, 8, 1), 200);
-        v.push(SimTime::from_micros(33_333), Arc::new(f1));
+        v.push(SimTime::from_micros(33_333), Arc::new(f1)).unwrap();
 
         let mask = Mask::status_bar(8, 1);
         let mut img = FrameBuffer::new(8, 8);

@@ -156,6 +156,7 @@ mod tests {
             input_time: SimTime::from_secs(at_s),
             lag: SimDuration::from_millis(lag_ms),
             threshold: SimDuration::from_secs(1),
+            confidence: 1.0,
         }
     }
 
@@ -226,12 +227,14 @@ mod tests {
                 input_time: SimTime::from_secs(10),
                 lag: SimDuration::from_millis(l0),
                 threshold: SimDuration::from_secs(1),
+                confidence: 1.0,
             });
             p.push(LagEntry {
                 interaction_id: 1,
                 input_time: SimTime::from_millis(10_100),
                 lag: SimDuration::from_millis(l1),
                 threshold: SimDuration::from_secs(1),
+                confidence: 1.0,
             });
             map.insert(Frequency::from_mhz(mhz), p);
         }

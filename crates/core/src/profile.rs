@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use interlag_evdev::time::{SimDuration, SimTime};
 
 /// One measured interaction lag.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LagEntry {
     /// The interaction this lag belongs to.
     pub interaction_id: usize,
@@ -22,6 +22,10 @@ pub struct LagEntry {
     /// The irritation threshold annotated for this lag (HCI category
     /// default unless overridden).
     pub threshold: SimDuration,
+    /// Match confidence: `1.0` for a lag matched at the annotated
+    /// tolerance, lower when the matcher had to escalate tolerances to
+    /// recover the ending (see `MatchPolicy` in the matcher module).
+    pub confidence: f64,
 }
 
 /// The lag profile of one workload execution.
@@ -38,11 +42,12 @@ pub struct LagEntry {
 ///     input_time: SimTime::from_secs(1),
 ///     lag: SimDuration::from_millis(300),
 ///     threshold: SimDuration::from_secs(1),
+///     confidence: 1.0,
 /// });
 /// assert_eq!(p.len(), 1);
 /// assert_eq!(p.mean_lag(), SimDuration::from_millis(300));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LagProfile {
     /// The system configuration that produced this execution
     /// (`"ondemand"`, `"fixed-0.96 GHz"`, `"oracle"`, …).
@@ -109,6 +114,18 @@ impl LagProfile {
     pub fn total_lag(&self) -> SimDuration {
         self.lags().sum()
     }
+
+    /// The weakest match confidence in the profile; `1.0` for an empty
+    /// profile (nothing was recovered, so nothing is in doubt).
+    pub fn min_confidence(&self) -> f64 {
+        self.entries.iter().map(|e| e.confidence).fold(1.0, f64::min)
+    }
+
+    /// How many lags were matched below full confidence, i.e. needed
+    /// tolerance escalation to resolve.
+    pub fn recovered_lags(&self) -> usize {
+        self.entries.iter().filter(|e| e.confidence < 1.0).count()
+    }
 }
 
 impl Extend<LagEntry> for LagProfile {
@@ -127,6 +144,7 @@ mod tests {
             input_time: SimTime::from_secs(id as u64),
             lag: SimDuration::from_millis(lag_ms),
             threshold: SimDuration::from_secs(1),
+            confidence: 1.0,
         }
     }
 
@@ -148,5 +166,19 @@ mod tests {
         assert_eq!(p.mean_lag(), SimDuration::ZERO);
         assert_eq!(p.max_lag(), SimDuration::ZERO);
         assert!(p.lags_ms().is_empty());
+        assert_eq!(p.min_confidence(), 1.0);
+        assert_eq!(p.recovered_lags(), 0);
+    }
+
+    #[test]
+    fn confidence_aggregates_track_recovered_lags() {
+        let mut p = LagProfile::new("test");
+        p.extend([entry(0, 100), entry(1, 200)]);
+        assert_eq!(p.min_confidence(), 1.0);
+        let mut weak = entry(2, 300);
+        weak.confidence = 0.5;
+        p.push(weak);
+        assert_eq!(p.min_confidence(), 0.5);
+        assert_eq!(p.recovered_lags(), 1);
     }
 }

@@ -33,7 +33,7 @@ fn csv_field(s: &str) -> String {
 ///
 /// let mut b = WorkloadBuilder::new(3);
 /// b.quick_tap("tap", 100 * MCYCLES, InteractionCategory::SimpleFrequent);
-/// let study = Lab::with_defaults().study(&b.build("w", "d"));
+/// let study = Lab::with_defaults().study(&b.build("w", "d")).expect("study");
 /// let csv = study_csv(&study);
 /// assert_eq!(csv.lines().count(), 1 + 18); // header + configurations
 /// assert!(csv.lines().nth(1).unwrap().starts_with("fixed-0.30 GHz,fixed,300000,"));
@@ -138,7 +138,7 @@ mod tests {
         b.app_launch("launch", 300 * MCYCLES, 4, InteractionCategory::Common);
         b.think_ms(1_500, 2_500);
         b.quick_tap("tap", 100 * MCYCLES, InteractionCategory::SimpleFrequent);
-        Lab::new(LabConfig::default()).study(&b.build("report", "report test"))
+        Lab::new(LabConfig::default()).study(&b.build("report", "report test")).expect("study")
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub struct Suggestion {
 /// bb.fill(200);
 /// let b = Arc::new(bb);
 /// for (i, f) in [&a, &a, &b, &b, &b].iter().enumerate() {
-///     video.push(SimTime::from_micros(i as u64 * 33_333), (*f).clone());
+///     video.push(SimTime::from_micros(i as u64 * 33_333), (*f).clone()).unwrap();
 /// }
 /// let s = Suggester::new(SuggesterConfig::default());
 /// let suggestions = s.suggest(&video, SimTime::ZERO, SimTime::from_secs(1));
@@ -194,7 +194,7 @@ mod tests {
     fn video_of(pattern: &str) -> VideoStream {
         let mut v = VideoStream::new(FRAME_PERIOD_30FPS);
         for (i, c) in pattern.chars().enumerate() {
-            v.push(SimTime::from_micros(i as u64 * 33_333), frame(c as u8));
+            v.push(SimTime::from_micros(i as u64 * 33_333), frame(c as u8)).unwrap();
         }
         v
     }
@@ -255,12 +255,12 @@ mod tests {
     fn mask_suppresses_suggestions_from_masked_regions() {
         let mut v = VideoStream::new(FRAME_PERIOD_30FPS);
         let base = frame(10);
-        v.push(SimTime::ZERO, base.clone());
+        v.push(SimTime::ZERO, base.clone()).unwrap();
         // A change only inside the top bar.
         let mut f = (*base).clone();
         f.fill_rect(Rect::new(0, 0, 16, 2), 99);
-        v.push(SimTime::from_micros(33_333), Arc::new(f));
-        v.push(SimTime::from_micros(66_666), v.frames()[1].buf.clone());
+        v.push(SimTime::from_micros(33_333), Arc::new(f)).unwrap();
+        v.push(SimTime::from_micros(66_666), v.frames()[1].buf.clone()).unwrap();
 
         let unmasked = Suggester::default();
         assert_eq!(unmasked.suggest(&v, SimTime::ZERO, SimTime::from_secs(1)).len(), 1);

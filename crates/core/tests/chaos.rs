@@ -1,0 +1,186 @@
+//! Chaos tests: the study pipeline under deterministic fault injection.
+//!
+//! The fault harness exists to answer two questions the clean-path tests
+//! cannot: does the self-healing study loop keep a realistic fault rate
+//! from sinking a whole study, and does turning every fault off really
+//! leave the pipeline byte-for-byte untouched? Both are answerable only
+//! because every injected failure is a pure function of
+//! `(seed, config, rep, attempt)`.
+
+use interlag_core::experiment::{ConfigSummary, Lab, LabConfig, RepOutcome, StudyResult};
+use interlag_device::script::InteractionCategory;
+use interlag_evdev::rng::SplitMix64;
+use interlag_evdev::time::SimDuration;
+use interlag_faults::FaultConfig;
+use interlag_workloads::gen::{Workload, WorkloadBuilder, MCYCLES};
+
+/// A fast two-interaction workload: chaos studies run the full
+/// 18-configuration matrix, so the per-run cost must stay small.
+fn small_workload() -> Workload {
+    let mut b = WorkloadBuilder::new(0xc4a05);
+    b.app_launch("launch", 300 * MCYCLES, 4, InteractionCategory::Common);
+    b.think_ms(1_500, 2_000);
+    b.quick_tap("tap", 100 * MCYCLES, InteractionCategory::SimpleFrequent);
+    b.build("chaos", "chaos-study workload")
+}
+
+fn lab_with_faults(faults: Option<FaultConfig>, retry_budget: u32, workers: usize) -> Lab {
+    Lab::new(LabConfig { reps: 2, faults, retry_budget, workers, ..Default::default() })
+}
+
+/// Bit-level comparison of two study results: every value the study
+/// reports, not merely approximately equal.
+fn assert_studies_identical(a: &StudyResult, b: &StudyResult) {
+    assert_eq!(a.workload, b.workload);
+    assert_eq!(a.annotation, b.annotation);
+    assert_eq!(a.db, b.db);
+    assert_eq!(a.oracle_detail, b.oracle_detail);
+    let (ca, cb): (Vec<&ConfigSummary>, Vec<&ConfigSummary>) =
+        (a.all_configs().collect(), b.all_configs().collect());
+    assert_eq!(ca.len(), cb.len());
+    for (s, p) in ca.iter().zip(&cb) {
+        assert_eq!(s.name, p.name);
+        assert_eq!(s.freq, p.freq);
+        assert_eq!(s.outcomes, p.outcomes, "{}", s.name);
+        assert_eq!(s.reps.len(), p.reps.len(), "{}", s.name);
+        for (sr, pr) in s.reps.iter().zip(&p.reps) {
+            assert_eq!(sr.profile, pr.profile, "{}", s.name);
+            assert_eq!(sr.dynamic_energy_mj.to_bits(), pr.dynamic_energy_mj.to_bits());
+            assert_eq!(sr.irritation, pr.irritation, "{}", s.name);
+            assert_eq!(sr.match_failures, pr.match_failures, "{}", s.name);
+            assert_eq!(sr.input_faults, pr.input_faults, "{}", s.name);
+        }
+    }
+}
+
+#[test]
+fn chaos_study_completes_with_bounded_abandonment() {
+    // A realistic ~5 % fault rate at every stage boundary: the study must
+    // still complete, and the retry budget must keep the abandonment rate
+    // bounded — the acceptance bar is ≥ 90 % of repetitions ok or retried.
+    let w = small_workload();
+    let lab = lab_with_faults(Some(FaultConfig::uniform(0xc4a0_55ed, 0.05)), 2, 2);
+    let study = lab.study(&w).expect("chaos study completes");
+
+    let mut total = 0usize;
+    let mut survived = 0usize;
+    let mut retried = 0usize;
+    for c in study.all_configs() {
+        assert_eq!(c.outcomes.len(), c.reps.len(), "{}", c.name);
+        for (rep_idx, o) in c.outcomes.iter().enumerate() {
+            total += 1;
+            match o {
+                RepOutcome::Ok => survived += 1,
+                RepOutcome::Retried { attempts } => {
+                    survived += 1;
+                    retried += 1;
+                    assert!(
+                        (2..=3).contains(attempts),
+                        "{}: retried outcome with {attempts} attempts",
+                        c.name
+                    );
+                }
+                RepOutcome::Abandoned { attempts, cause } => {
+                    // Every abandoned repetition reports how hard it tried
+                    // and why the last attempt failed…
+                    assert_eq!(*attempts, 3, "{}: budget is 2 retries", c.name);
+                    assert!(!format!("{cause}").is_empty());
+                    // …and its placeholder slot is empty, excluded from
+                    // the aggregates via `measured()`.
+                    assert!(c.reps[rep_idx].profile.is_empty());
+                }
+            }
+        }
+        // Abandonment never swallows a whole configuration here: the
+        // aggregates always have at least one surviving repetition.
+        assert!(c.measured().count() >= 1, "{}: all reps abandoned", c.name);
+    }
+    assert_eq!(total, 18 * 2);
+    assert!(
+        survived * 10 >= total * 9,
+        "only {survived}/{total} repetitions survived ({retried} via retry)"
+    );
+    // With faults on, summaries switch to outlier-rejected aggregation.
+    assert!(study.all_configs().all(|c| c.robust));
+}
+
+#[test]
+fn chaos_outcomes_are_reproducible() {
+    // Same seed, same fault pattern, same retries, same abandonments —
+    // a failure report is a repro recipe, not an anecdote.
+    let w = small_workload();
+    let fc = FaultConfig::uniform(77, 0.05);
+    let a = lab_with_faults(Some(fc), 2, 2).study(&w).expect("study a");
+    let b = lab_with_faults(Some(fc), 2, 2).study(&w).expect("study b");
+    assert_studies_identical(&a, &b);
+}
+
+#[test]
+fn brutal_corruption_abandons_reps_with_causes() {
+    // Corrupt every captured frame beyond what the matcher's escalation
+    // ladder can absorb, and grant no retries: repetitions must be
+    // abandoned — visibly, with a cause — rather than panic or silently
+    // report garbage. (At partial corruption rates the matcher shrugs the
+    // faults off entirely: a lag ending persists on screen for many
+    // frames, so the walk skips corrupted captures until a clean one of
+    // the same still matches.)
+    let w = small_workload();
+    let mut fc = FaultConfig::quiescent(0xdead);
+    fc.capture.corrupt_rate = 1.0;
+    fc.capture.corrupt_pixels = 2_048;
+    let lab = lab_with_faults(Some(fc), 0, 2);
+    let study = lab.study(&w).expect("study still completes");
+
+    let abandoned: usize = study.all_configs().map(|c| c.abandoned()).sum();
+    assert!(abandoned > 0, "total corruption with no retries must abandon something");
+    for c in study.all_configs() {
+        for o in &c.outcomes {
+            if let RepOutcome::Abandoned { attempts, cause } = o {
+                assert_eq!(*attempts, 1, "retry budget is zero");
+                assert!(format!("{cause}").contains("failed"), "cause: {cause}");
+            }
+        }
+        // The annotation reference run is fault-exempt, so the fastest
+        // fixed configuration's first repetition always survives…
+        if c.name == study.fixed.last().map(|f| f.name.as_str()).unwrap_or_default() {
+            assert_eq!(c.outcomes[0], RepOutcome::Ok);
+        }
+        // …and abandoned placeholders never leak into the aggregates.
+        let measured = c.measured().count();
+        assert_eq!(measured + c.abandoned(), c.reps.len());
+        if measured > 0 {
+            assert!(c.mean_irritation() < SimDuration::from_secs(3_600));
+        }
+    }
+}
+
+/// Property: a quiescent fault configuration — injection plumbed through
+/// every stage boundary, but every rate zero — is byte-identical to
+/// running with no fault harness at all, at any worker count. Fault
+/// injection must cost nothing when it is off.
+///
+/// A study is far too expensive for proptest's 64-case default, so this
+/// sweeps a small deterministic sample of the input space by hand: fault
+/// seeds drawn from [`SplitMix64`], crossed with serial and parallel
+/// worker counts, against one clean baseline per worker count.
+#[test]
+fn quiescent_faults_are_bit_identical_to_none_at_any_worker_count() {
+    let w = small_workload();
+    let mut seeds = SplitMix64::new(0x0b17_1d3a);
+    for workers in [1usize, 4] {
+        let clean = lab_with_faults(None, 2, workers).study(&w).expect("clean study");
+        for _ in 0..2 {
+            let seed = seeds.next_u64();
+            let quiescent = lab_with_faults(Some(FaultConfig::quiescent(seed)), 2, workers)
+                .study(&w)
+                .expect("quiescent study");
+            assert_studies_identical(&clean, &quiescent);
+            // Quiescent studies keep the legacy plain-mean aggregation and
+            // succeed on every first attempt.
+            assert!(quiescent.all_configs().all(|c| !c.robust));
+            assert!(quiescent
+                .all_configs()
+                .all(|c| c.outcomes.iter().all(|o| *o == RepOutcome::Ok)));
+        }
+    }
+}

@@ -30,7 +30,7 @@ fn frame_of(symbol: u8) -> Arc<FrameBuffer> {
 fn video_of(symbols: &[u8]) -> VideoStream {
     let mut v = VideoStream::new(FRAME_PERIOD_30FPS);
     for (i, &s) in symbols.iter().enumerate() {
-        v.push(SimTime::from_micros(i as u64 * 33_333), frame_of(s));
+        v.push(SimTime::from_micros(i as u64 * 33_333), frame_of(s)).unwrap();
     }
     v
 }
@@ -151,6 +151,7 @@ proptest! {
                     input_time: SimTime::from_secs(i as u64),
                     lag: SimDuration::from_millis(ms * scale / 100),
                     threshold: SimDuration::from_secs(2),
+                    confidence: 1.0,
                 });
             }
             p
@@ -186,6 +187,7 @@ proptest! {
                     input_time: SimTime::from_secs(10 * (i as u64 + 1)),
                     lag: SimDuration::from_millis(lag),
                     threshold: SimDuration::from_secs(1),
+                    confidence: 1.0,
                 });
             }
             profiles.insert(Frequency::from_mhz(mhz), p);

@@ -29,6 +29,7 @@ use interlag_video::frame::FrameBuffer;
 use interlag_video::stream::VideoStream;
 
 use crate::dvfs::{Governor, LoadSample};
+use crate::error::DeviceError;
 use crate::render::{DecorationState, Renderer, ScreenConfig};
 use crate::scene::Scene;
 use crate::script::{DeviceScript, InteractionCategory};
@@ -127,6 +128,10 @@ pub struct RunArtifacts {
     pub interactions: Vec<InteractionRecord>,
     /// Replay-agent timing statistics.
     pub replay: ReplayStats,
+    /// Malformed input events the device tolerated (out-of-range slots,
+    /// double downs, ups without a contact). Zero on clean traces; fault
+    /// injection and corrupted recordings raise it.
+    pub input_faults: usize,
     /// When the run ended.
     pub end_time: SimTime,
 }
@@ -179,13 +184,54 @@ impl Device {
     /// the apps react; `governor` picks frequencies; the run lasts until
     /// `until` (wall-clock), which should leave slack after the last input
     /// for the final interaction to be serviced.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError`] if a stage boundary rejects data — today only the
+    /// capture path, which refuses non-monotonic frame timestamps.
     pub fn run<R: Replayer>(
+        &self,
+        script: &DeviceScript,
+        replayer: R,
+        governor: &mut dyn Governor,
+        until: SimTime,
+    ) -> Result<RunArtifacts, DeviceError> {
+        match self.config.capture {
+            CaptureMode::Camera { seed } => {
+                let mut camera = CameraCapture::new(seed);
+                self.run_inner(script, replayer, governor, until, Some(&mut camera))
+            }
+            _ => self.run_inner(script, replayer, governor, until, None),
+        }
+    }
+
+    /// Like [`Device::run`], but captures the screen through an explicit
+    /// [`CaptureLink`] instead of the configured one — the seam where
+    /// fault injection wraps the capture path. Ignored when capture is
+    /// [`CaptureMode::None`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Device::run`].
+    pub fn run_with_capture<R: Replayer>(
+        &self,
+        script: &DeviceScript,
+        replayer: R,
+        governor: &mut dyn Governor,
+        until: SimTime,
+        link: &mut dyn CaptureLink,
+    ) -> Result<RunArtifacts, DeviceError> {
+        self.run_inner(script, replayer, governor, until, Some(link))
+    }
+
+    fn run_inner<R: Replayer>(
         &self,
         script: &DeviceScript,
         mut replayer: R,
         governor: &mut dyn Governor,
         until: SimTime,
-    ) -> RunArtifacts {
+        mut link: Option<&mut dyn CaptureLink>,
+    ) -> Result<RunArtifacts, DeviceError> {
         let cfg = &self.config;
         let quantum = cfg.quantum;
         let khz_of = |f: Frequency| f.as_khz() as u64;
@@ -214,14 +260,11 @@ impl Device {
             CaptureMode::None => None,
             _ => Some(VideoStream::new(cfg.frame_period)),
         };
-        let mut camera = match cfg.capture {
-            CaptureMode::Camera { seed } => Some(CameraCapture::new(seed)),
-            _ => None,
-        };
         let mut next_frame_at = SimTime::ZERO;
 
         // --- state: input dispatch ---------------------------------------
         let mut decoder = MtDecoder::new();
+        let mut input_faults = 0usize;
         let mut next_interaction = 0usize;
         let mut interactions: Vec<InteractionRecord> = script
             .interactions
@@ -264,7 +307,7 @@ impl Device {
                         TaskKind::Background,
                     ));
                 }
-                for trigger in Self::triggers(&mut decoder, &te) {
+                for trigger in Self::triggers(&mut decoder, &te, &mut input_faults) {
                     self.dispatch(
                         script,
                         &mut interactions,
@@ -349,7 +392,9 @@ impl Device {
                     }
                     if task_finished {
                         if let TaskKind::Foreground { id } = kind {
-                            interactions[id].service_time = Some(at.max(now));
+                            if let Some(rec) = interactions.get_mut(id) {
+                                rec.service_time = Some(at.max(now));
+                            }
                         }
                     }
                 }
@@ -378,7 +423,9 @@ impl Device {
                         }
                         match comp.kind {
                             TaskKind::Foreground { id } if comp.task_finished => {
-                                interactions[id].service_time = Some(ts.min(qend));
+                                if let Some(rec) = interactions.get_mut(id) {
+                                    rec.service_time = Some(ts.min(qend));
+                                }
                             }
                             TaskKind::UiRender if comp.task_finished => {
                                 spinner_frame += 1;
@@ -403,9 +450,10 @@ impl Device {
                 }
                 if finished {
                     queue.pop_front();
-                } else if let Some(_wait) = blocked {
-                    let task = queue.pop_front().expect("task is at the front");
-                    parked.push((block_at, task));
+                } else if blocked.is_some() {
+                    if let Some(task) = queue.pop_front() {
+                        parked.push((block_at, task));
+                    }
                 } else if c == 0 {
                     break; // cannot happen, but never spin
                 }
@@ -441,11 +489,11 @@ impl Device {
             // 8. Capture frames due in this quantum.
             if let Some(video) = video.as_mut() {
                 while next_frame_at <= qend {
-                    let frame = match camera.as_mut() {
-                        Some(cam) => cam.capture(next_frame_at, &screen),
+                    let frame = match link.as_deref_mut() {
+                        Some(l) => l.capture(next_frame_at, &screen),
                         None => screen.clone(),
                     };
-                    video.push(next_frame_at, frame);
+                    video.push(next_frame_at, frame)?;
                     next_frame_at += cfg.frame_period;
                 }
             }
@@ -453,22 +501,35 @@ impl Device {
             now = qend;
         }
 
-        RunArtifacts {
+        Ok(RunArtifacts {
             governor_name: governor.name().to_string(),
             video,
             activity,
             interactions,
             replay: replayer.stats(),
+            input_faults,
             end_time: now,
-        }
+        })
     }
 
     /// Extracts interaction triggers (finger-down, hardware-key-down) from
-    /// one raw event.
-    fn triggers(decoder: &mut MtDecoder, te: &TimedEvent) -> Vec<Option<Point>> {
+    /// one raw event. Malformed multitouch events are counted into
+    /// `faults` and otherwise tolerated.
+    fn triggers(
+        decoder: &mut MtDecoder,
+        te: &TimedEvent,
+        faults: &mut usize,
+    ) -> Vec<Option<Point>> {
         let mut out = Vec::new();
         if te.device == 1 {
-            for c in decoder.push(te.time, te.event) {
+            let contacts = match decoder.try_push(te.time, te.event) {
+                Ok(contacts) => contacts,
+                Err(_) => {
+                    *faults += 1;
+                    Vec::new()
+                }
+            };
+            for c in contacts {
                 if let ContactEvent::Down { pos, .. } = c {
                     out.push(Some(pos));
                 }
@@ -498,7 +559,9 @@ impl Device {
         };
         *next_interaction += 1;
 
-        let rec = &mut interactions[id];
+        let Some(rec) = interactions.get_mut(id) else {
+            return; // records mirror the script; a shorter slice is benign
+        };
         rec.triggered = true;
         rec.input_time = time;
 
@@ -572,7 +635,9 @@ mod tests {
         let device = Device::default();
         let trace = script.record_trace();
         let mut gov = FixedGovernor::new(Frequency::from_mhz(mhz));
-        device.run(script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(5))
+        device
+            .run(script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(5))
+            .expect("clean run")
     }
 
     #[test]
@@ -630,12 +695,14 @@ mod tests {
         let device = Device::default();
         // Empty trace: nothing is ever delivered.
         let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
-        let run = device.run(
-            &script,
-            ReplayAgent::new(interlag_evdev::trace::EventTrace::new()),
-            &mut gov,
-            SimTime::from_secs(1),
-        );
+        let run = device
+            .run(
+                &script,
+                ReplayAgent::new(interlag_evdev::trace::EventTrace::new()),
+                &mut gov,
+                SimTime::from_secs(1),
+            )
+            .expect("clean run");
         assert!(run.interactions.iter().all(|r| !r.triggered));
         assert!(run.lag_beginnings().is_empty());
     }
@@ -647,7 +714,9 @@ mod tests {
         let device = Device::new(config);
         let trace = script.record_trace();
         let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
-        let run = device.run(&script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(5));
+        let run = device
+            .run(&script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(5))
+            .expect("clean run");
         assert!(run.video.is_none());
 
         let with_video = run_fixed(960, &script);
@@ -681,7 +750,9 @@ mod tests {
             let script = spec(wait_ms);
             let trace = script.record_trace();
             let mut gov = FixedGovernor::new(Frequency::from_mhz(mhz));
-            let run = device.run(&script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(4));
+            let run = device
+                .run(&script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(4))
+                .expect("clean run");
             run.interactions[0].true_lag().expect("serviced")
         };
         // The wait adds ~300 ms at any frequency.
@@ -730,7 +801,9 @@ mod tests {
         let device = Device::default();
         let trace = script.record_trace();
         let mut gov = FixedGovernor::new(Frequency::from_mhz(300));
-        let run = device.run(&script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(3));
+        let run = device
+            .run(&script, ReplayAgent::new(trace), &mut gov, SimTime::from_secs(3))
+            .expect("clean run");
         // Service ends ~200 ms (input) + ~3 ms + 1 s wait + ~3 ms ≈ 1.21 s,
         // even though a full second of background work ran meanwhile.
         let service = run.interactions[0].service_time.expect("serviced");

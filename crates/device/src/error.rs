@@ -1,0 +1,36 @@
+//! Typed failures of the simulated device.
+//!
+//! [`Device::run`](crate::device::Device::run) used to panic on any
+//! internal inconsistency; a study abandons one repetition instead of a
+//! whole sweep when the error is a value.
+
+use interlag_video::stream::VideoError;
+
+/// Why a device run could not produce its artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceError {
+    /// The capture path rejected a frame.
+    Video(VideoError),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::Video(e) => write!(f, "video capture failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Video(e) => Some(e),
+        }
+    }
+}
+
+impl From<VideoError> for DeviceError {
+    fn from(e: VideoError) -> Self {
+        DeviceError::Video(e)
+    }
+}

@@ -11,7 +11,8 @@
 //! * [`task`] — phased compute work whose service time scales with DVFS;
 //! * [`script`] — the app-side half of a recorded workload;
 //! * [`dvfs`] — the governor interface and the fixed-frequency governor;
-//! * [`device`] — the 1 ms-quantum execution loop tying it all together.
+//! * [`device`] — the 1 ms-quantum execution loop tying it all together;
+//! * [`error`] — the typed failures a run can surface instead of panicking.
 //!
 //! # Examples
 //!
@@ -50,7 +51,9 @@
 //! let device = Device::new(DeviceConfig::default());
 //! let trace = script.record_trace();
 //! let mut governor = FixedGovernor::new(Frequency::from_mhz(960));
-//! let run = device.run(&script, ReplayAgent::new(trace), &mut governor, SimTime::from_secs(3));
+//! let run = device
+//!     .run(&script, ReplayAgent::new(trace), &mut governor, SimTime::from_secs(3))
+//!     .expect("clean run");
 //!
 //! let lag = run.interactions[0].true_lag().expect("interaction serviced");
 //! assert!(lag.as_millis() > 30 && lag.as_millis() < 200);
@@ -62,6 +65,7 @@
 
 pub mod device;
 pub mod dvfs;
+pub mod error;
 pub mod render;
 pub mod scene;
 pub mod script;
@@ -69,6 +73,7 @@ pub mod task;
 
 pub use device::{CaptureMode, Device, DeviceConfig, InteractionRecord, RunArtifacts};
 pub use dvfs::{FixedGovernor, Governor, LoadSample};
+pub use error::DeviceError;
 pub use scene::{Element, Scene, SceneUpdate};
 pub use script::{DeviceScript, InteractionCategory, InteractionSpec};
 pub use task::{Phase, TaskKind, TaskSpec};

@@ -92,6 +92,54 @@ impl std::error::Error for SlotStateError {}
 /// Default number of contact slots (matches the Galaxy Nexus mXT224 panel).
 pub const DEFAULT_SLOTS: usize = 10;
 
+/// Hard upper bound on decoder slots. Real panels top out well below this;
+/// a malformed `ABS_MT_SLOT` value (e.g. `i32::MAX` from a corrupted
+/// trace) used to grow the slot table unboundedly — an allocation-abort
+/// waiting to happen — and is now rejected instead.
+pub const MAX_SLOTS: usize = 64;
+
+/// A malformed event in a protocol-B stream, as detected by
+/// [`MtDecoder::try_push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MtError {
+    /// `ABS_MT_SLOT` selected a negative slot or one at/beyond
+    /// [`MAX_SLOTS`].
+    SlotOutOfRange {
+        /// The raw slot value from the event.
+        value: i32,
+    },
+    /// A tracking id landed in a slot that already holds a live contact
+    /// (a finger went down twice without lifting — typically a lost `up`).
+    DownOnOccupied {
+        /// The slot with the live contact.
+        slot: usize,
+    },
+    /// A tracking-id release arrived for an empty slot (an `up` without a
+    /// preceding `down`).
+    UpWithoutContact {
+        /// The empty slot.
+        slot: usize,
+    },
+}
+
+impl std::fmt::Display for MtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtError::SlotOutOfRange { value } => {
+                write!(f, "ABS_MT_SLOT value {value} outside 0..{MAX_SLOTS}")
+            }
+            MtError::DownOnOccupied { slot } => {
+                write!(f, "tracking id assigned to occupied slot {slot}")
+            }
+            MtError::UpWithoutContact { slot } => {
+                write!(f, "tracking id released on empty slot {slot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MtError {}
+
 impl Default for MtEncoder {
     fn default() -> Self {
         Self::new()
@@ -333,11 +381,35 @@ impl MtDecoder {
     }
 
     /// Consumes one raw event stamped `time`; returns contact changes
-    /// completed by it (non-empty only for `SYN_REPORT`).
+    /// completed by it (non-empty only for `SYN_REPORT`). Malformed events
+    /// are dropped silently; use [`MtDecoder::try_push`] to observe them.
     pub fn push(&mut self, time: SimTime, event: InputEvent) -> Vec<ContactEvent> {
+        self.try_push(time, event).unwrap_or_default()
+    }
+
+    /// Consumes one raw event stamped `time`, reporting malformed slot
+    /// sequences instead of silently tolerating (or, for wild
+    /// `ABS_MT_SLOT` values, unboundedly growing the slot table on) them.
+    ///
+    /// The decoder stays usable after an error: a double `down` re-binds
+    /// the slot (the usual recovery when an `up` was lost in transit), the
+    /// other malformed events leave the state untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`MtError`] for slot values outside `0..`[`MAX_SLOTS`], a tracking
+    /// id assigned to an occupied slot, or a release on an empty slot.
+    pub fn try_push(
+        &mut self,
+        time: SimTime,
+        event: InputEvent,
+    ) -> Result<Vec<ContactEvent>, MtError> {
         match (event.kind, event.code) {
             (EventType::Abs, codes::ABS_MT_SLOT) => {
-                self.current_slot = event.value.max(0) as usize;
+                if event.value < 0 || event.value as usize >= MAX_SLOTS {
+                    return Err(MtError::SlotOutOfRange { value: event.value });
+                }
+                self.current_slot = event.value as usize;
                 self.slot_mut(self.current_slot);
             }
             (EventType::Abs, codes::ABS_MT_TRACKING_ID) => {
@@ -346,10 +418,16 @@ impl MtDecoder {
                 if event.value == TRACKING_ID_NONE {
                     if s.tracking_id.is_some() {
                         s.dirty_up = true;
+                    } else {
+                        return Err(MtError::UpWithoutContact { slot: cur });
                     }
                 } else {
+                    let occupied = s.tracking_id.is_some() && !s.dirty_up;
                     s.tracking_id = Some(event.value);
                     s.dirty_down = true;
+                    if occupied {
+                        return Err(MtError::DownOnOccupied { slot: cur });
+                    }
                 }
             }
             (EventType::Abs, codes::ABS_MT_POSITION_X) => {
@@ -364,10 +442,10 @@ impl MtDecoder {
                 s.pos.y = event.value;
                 s.dirty_move = true;
             }
-            (EventType::Syn, codes::SYN_REPORT) => return self.flush(time),
+            (EventType::Syn, codes::SYN_REPORT) => return Ok(self.flush(time)),
             _ => {}
         }
-        Vec::new()
+        Ok(Vec::new())
     }
 
     fn flush(&mut self, time: SimTime) -> Vec<ContactEvent> {
@@ -381,6 +459,13 @@ impl MtDecoder {
                     pos,
                     time,
                 });
+                // A down and an up squeezed into one packet (lost
+                // intermediate SYN): complete the lifecycle instead of
+                // leaving the contact stuck down forever.
+                if s.dirty_up {
+                    out.push(ContactEvent::Up { slot, pos, time });
+                    s.tracking_id = None;
+                }
             } else if s.dirty_up {
                 out.push(ContactEvent::Up { slot, pos, time });
                 s.tracking_id = None;
@@ -491,6 +576,75 @@ mod tests {
         let err = enc.touch_down(0, Point::new(2, 2), 30).unwrap_err();
         assert_eq!(err.operation, "touch_down");
         assert!(enc.touch_down(DEFAULT_SLOTS, Point::new(1, 1), 30).is_err());
+    }
+
+    #[test]
+    fn wild_slot_values_are_rejected_not_allocated() {
+        // A corrupted trace selecting slot i32::MAX used to resize the
+        // slot table to 2^31 entries; it must now be a typed error.
+        let mut dec = MtDecoder::new();
+        let ev = InputEvent::new(EventType::Abs, codes::ABS_MT_SLOT, i32::MAX);
+        assert_eq!(
+            dec.try_push(SimTime::ZERO, ev),
+            Err(MtError::SlotOutOfRange { value: i32::MAX })
+        );
+        let neg = InputEvent::new(EventType::Abs, codes::ABS_MT_SLOT, -3);
+        assert_eq!(dec.try_push(SimTime::ZERO, neg), Err(MtError::SlotOutOfRange { value: -3 }));
+        // The tolerant path drops the event and the decoder keeps working.
+        assert!(dec.push(SimTime::ZERO, ev).is_empty());
+        let mut enc = MtEncoder::new();
+        for e in enc.touch_down(0, Point::new(5, 6), 30).unwrap() {
+            assert!(dec.try_push(SimTime::ZERO, e).is_ok());
+        }
+        let out = dec.push(SimTime::ZERO, MtEncoder::sync());
+        assert!(matches!(out[0], ContactEvent::Down { slot: 0, .. }));
+    }
+
+    #[test]
+    fn double_down_is_reported_but_rebinds_the_slot() {
+        let mut dec = MtDecoder::new();
+        let id = |v| InputEvent::new(EventType::Abs, codes::ABS_MT_TRACKING_ID, v);
+        assert!(dec.try_push(SimTime::ZERO, id(7)).is_ok());
+        dec.push(SimTime::ZERO, MtEncoder::sync());
+        // Second down without an up: the lost-up recovery case.
+        let t = SimTime::from_millis(50);
+        assert_eq!(dec.try_push(t, id(8)), Err(MtError::DownOnOccupied { slot: 0 }));
+        let out = dec.push(t, MtEncoder::sync());
+        assert!(
+            matches!(out[0], ContactEvent::Down { slot: 0, tracking_id: 8, .. }),
+            "recovered contact: {out:?}"
+        );
+    }
+
+    #[test]
+    fn up_without_down_is_reported_and_ignored() {
+        let mut dec = MtDecoder::new();
+        let up = InputEvent::new(EventType::Abs, codes::ABS_MT_TRACKING_ID, TRACKING_ID_NONE);
+        assert_eq!(dec.try_push(SimTime::ZERO, up), Err(MtError::UpWithoutContact { slot: 0 }));
+        assert!(dec.push(SimTime::ZERO, MtEncoder::sync()).is_empty());
+    }
+
+    #[test]
+    fn down_and_up_merged_into_one_packet_complete_the_lifecycle() {
+        // A lost SYN_REPORT merges a tap's down and up packets; the
+        // decoder must not leave the contact stuck down forever.
+        let mut enc = MtEncoder::new();
+        let mut dec = MtDecoder::new();
+        let mut body = enc.touch_down(0, Point::new(40, 50), 30).unwrap();
+        body.extend(enc.touch_up(0).unwrap());
+        let mut out = Vec::new();
+        for ev in body {
+            out.extend(dec.push(SimTime::ZERO, ev));
+        }
+        out.extend(dec.push(SimTime::ZERO, MtEncoder::sync()));
+        assert_eq!(out.len(), 2);
+        assert!(matches!(out[0], ContactEvent::Down { slot: 0, .. }));
+        assert!(matches!(out[1], ContactEvent::Up { slot: 0, .. }));
+        // The slot is free again for the next tap.
+        let down2 = enc.touch_down(0, Point::new(1, 2), 30).unwrap();
+        for ev in down2 {
+            assert!(dec.try_push(SimTime::from_millis(9), ev).is_ok());
+        }
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Fault injection on the capture path.
+//!
+//! Wraps any [`CaptureLink`] and perturbs the frame stream the way a real
+//! HDMI capture box misbehaves: dropped frames (the box repeats its last
+//! good signal), duplicated frames (one frame latched into two slots) and
+//! bit-flipped frames (transmission corruption). All draws come from the
+//! stream handed in at construction, so the exact set of faulted frames is
+//! a pure function of the derivation tuple.
+
+use std::sync::Arc;
+
+use interlag_evdev::rng::SplitMix64;
+use interlag_evdev::time::SimTime;
+use interlag_video::capture::CaptureLink;
+use interlag_video::frame::FrameBuffer;
+
+use crate::config::CaptureFaults;
+
+/// Counts of capture faults actually injected during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CaptureFaultLog {
+    /// Frames replaced by a stale repeat of the previous frame.
+    pub dropped: usize,
+    /// Frames latched into the following slot as well.
+    pub duplicated: usize,
+    /// Frames delivered with flipped pixels.
+    pub corrupted: usize,
+}
+
+/// A [`CaptureLink`] decorator injecting drop / duplicate / corrupt faults.
+///
+/// With all rates zero it is a strict pass-through: no RNG draws, no frame
+/// copies — the wrapped link's output is returned untouched, which is what
+/// keeps quiescent studies bit-identical to unwrapped ones.
+#[derive(Debug)]
+pub struct FaultyCapture<L> {
+    inner: L,
+    faults: CaptureFaults,
+    rng: SplitMix64,
+    /// Last frame delivered downstream; what a drop repeats.
+    last: Option<Arc<FrameBuffer>>,
+    /// A frame latched for duplication into the next slot.
+    held: Option<Arc<FrameBuffer>>,
+    log: CaptureFaultLog,
+}
+
+impl<L: CaptureLink> FaultyCapture<L> {
+    /// Wraps `inner`, drawing fault decisions from `rng`.
+    pub fn new(inner: L, faults: CaptureFaults, rng: SplitMix64) -> Self {
+        FaultyCapture {
+            inner,
+            faults,
+            rng,
+            last: None,
+            held: None,
+            log: CaptureFaultLog::default(),
+        }
+    }
+
+    /// The faults injected so far.
+    pub fn log(&self) -> CaptureFaultLog {
+        self.log
+    }
+
+    fn quiescent(&self) -> bool {
+        self.faults.drop_rate == 0.0
+            && self.faults.duplicate_rate == 0.0
+            && self.faults.corrupt_rate == 0.0
+    }
+}
+
+impl<L: CaptureLink> CaptureLink for FaultyCapture<L> {
+    fn capture(&mut self, time: SimTime, screen: &FrameBuffer) -> Arc<FrameBuffer> {
+        if self.quiescent() {
+            return self.inner.capture(time, screen);
+        }
+        // A latched duplicate owns this slot outright; the live screen
+        // content for this instant is simply never captured.
+        if let Some(held) = self.held.take() {
+            self.log.duplicated += 1;
+            self.last = Some(held.clone());
+            return held;
+        }
+        let live = self.inner.capture(time, screen);
+        let frame = if self.rng.chance(self.faults.drop_rate) {
+            self.log.dropped += 1;
+            self.last.clone().unwrap_or_else(|| live.clone())
+        } else if self.rng.chance(self.faults.corrupt_rate) && self.faults.corrupt_pixels > 0 {
+            self.log.corrupted += 1;
+            let mut buf = (*live).clone();
+            let len = buf.pixels().len() as u64;
+            for _ in 0..self.faults.corrupt_pixels {
+                let i = self.rng.next_below(len) as usize;
+                // Flip at least one bit so the pixel really changes.
+                let flip = (self.rng.next_u64() & 0xff) as u8 | 0x01;
+                buf.pixels_mut()[i] ^= flip;
+            }
+            Arc::new(buf)
+        } else {
+            live
+        };
+        if self.rng.chance(self.faults.duplicate_rate) {
+            self.held = Some(frame.clone());
+        }
+        self.last = Some(frame.clone());
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interlag_video::capture::HdmiCapture;
+
+    fn screen(v: u8) -> FrameBuffer {
+        let mut fb = FrameBuffer::new(8, 8);
+        fb.fill(v);
+        fb
+    }
+
+    fn always(drop: f64, dup: f64, corrupt: f64) -> CaptureFaults {
+        CaptureFaults {
+            drop_rate: drop,
+            duplicate_rate: dup,
+            corrupt_rate: corrupt,
+            corrupt_pixels: 4,
+        }
+    }
+
+    #[test]
+    fn quiescent_wrapper_shares_the_inner_links_allocations() {
+        let mut link =
+            FaultyCapture::new(HdmiCapture::new(), always(0.0, 0.0, 0.0), SplitMix64::new(1));
+        let s = screen(10);
+        let a = link.capture(SimTime::ZERO, &s);
+        let b = link.capture(SimTime::from_millis(33), &s);
+        assert!(Arc::ptr_eq(&a, &b), "pass-through must preserve dedup");
+        assert_eq!(link.log(), CaptureFaultLog::default());
+    }
+
+    #[test]
+    fn drops_repeat_the_previous_frame() {
+        let mut link =
+            FaultyCapture::new(HdmiCapture::new(), always(1.0, 0.0, 0.0), SplitMix64::new(2));
+        let first = link.capture(SimTime::ZERO, &screen(10));
+        // Every subsequent frame is dropped, so the stale first frame
+        // repeats no matter what the screen shows.
+        let second = link.capture(SimTime::from_millis(33), &screen(200));
+        assert_eq!(second.as_ref(), first.as_ref());
+        assert!(link.log().dropped >= 1);
+    }
+
+    #[test]
+    fn corruption_flips_a_bounded_number_of_pixels() {
+        let mut link =
+            FaultyCapture::new(HdmiCapture::new(), always(0.0, 0.0, 1.0), SplitMix64::new(3));
+        let s = screen(128);
+        let shot = link.capture(SimTime::ZERO, &s);
+        let diff = shot.count_diff(&s, 0);
+        assert!((1..=4).contains(&diff), "expected 1..=4 flipped pixels, got {diff}");
+        assert_eq!(link.log().corrupted, 1);
+    }
+
+    #[test]
+    fn duplicates_latch_into_the_next_slot() {
+        let mut link =
+            FaultyCapture::new(HdmiCapture::new(), always(0.0, 1.0, 0.0), SplitMix64::new(4));
+        let a = link.capture(SimTime::ZERO, &screen(10));
+        // The next capture returns the latched frame, not the new screen.
+        let b = link.capture(SimTime::from_millis(33), &screen(200));
+        assert_eq!(b.as_ref(), a.as_ref());
+        assert_eq!(link.log().duplicated, 1);
+    }
+
+    #[test]
+    fn fault_pattern_reproduces_from_the_stream_seed() {
+        let shots = |seed: u64| {
+            let mut link = FaultyCapture::new(
+                HdmiCapture::new(),
+                always(0.3, 0.3, 0.3),
+                SplitMix64::new(seed),
+            );
+            (0..40u8)
+                .map(|i| {
+                    link.capture(SimTime::from_millis(i as u64 * 33), &screen(i)).as_ref().clone()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shots(77), shots(77));
+        assert_ne!(shots(77), shots(78));
+    }
+}

@@ -1,0 +1,177 @@
+//! Fault-rate configuration and deterministic stream derivation.
+//!
+//! Every fault draw in the crate comes from a [`SplitMix64`] stream
+//! derived from `(seed, configuration, repetition, attempt, stage)`, so a
+//! failure observed anywhere in a study is exactly reproducible — and so
+//! a retried repetition sees a *different* but equally deterministic
+//! fault pattern (backoff-free re-seeding).
+
+use interlag_evdev::rng::SplitMix64;
+
+/// Faults on the capture path (the [`CaptureLink`] boundary).
+///
+/// [`CaptureLink`]: interlag_video::capture::CaptureLink
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaptureFaults {
+    /// Probability a frame is dropped (the previous frame is repeated, as
+    /// a capture box holding its last good signal does).
+    pub drop_rate: f64,
+    /// Probability a frame is duplicated into the next slot.
+    pub duplicate_rate: f64,
+    /// Probability a frame arrives with corrupted pixels.
+    pub corrupt_rate: f64,
+    /// How many pixels a corrupted frame has flipped.
+    pub corrupt_pixels: u32,
+}
+
+/// Faults on the replay path (the [`Replayer`] boundary).
+///
+/// [`Replayer`]: interlag_evdev::replay::Replayer
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplayFaults {
+    /// Probability an input event is lost in transit.
+    pub event_loss_rate: f64,
+    /// Probability an event is delayed by extra jitter.
+    pub delay_rate: f64,
+    /// Peak extra delay, microseconds (uniform in `[0, max]`).
+    pub max_delay_us: u64,
+}
+
+/// Faults on the power-metering path (the activity-trace boundary).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerFaults {
+    /// Probability a sample's busy time reads as zero (meter dropout).
+    pub dropout_rate: f64,
+    /// Probability a sample's busy time reads as fully busy (a spike).
+    pub spike_rate: f64,
+}
+
+/// Faults on governor/DVFS transitions (the sysfs-write boundary).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvfsFaults {
+    /// Probability a requested OPP change is rejected and the previous
+    /// frequency stays in force until the next decision.
+    pub reject_rate: f64,
+}
+
+/// Complete fault-injection settings for one pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Root seed all fault streams derive from.
+    pub seed: u64,
+    /// Capture-path faults.
+    pub capture: CaptureFaults,
+    /// Replay-path faults.
+    pub replay: ReplayFaults,
+    /// Power-metering faults.
+    pub power: PowerFaults,
+    /// DVFS-transition faults.
+    pub dvfs: DvfsFaults,
+}
+
+impl FaultConfig {
+    /// All rates zero: wrappers become pass-throughs and the pipeline is
+    /// bit-identical to running without them.
+    pub fn quiescent(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            capture: CaptureFaults {
+                drop_rate: 0.0,
+                duplicate_rate: 0.0,
+                corrupt_rate: 0.0,
+                corrupt_pixels: 0,
+            },
+            replay: ReplayFaults { event_loss_rate: 0.0, delay_rate: 0.0, max_delay_us: 0 },
+            power: PowerFaults { dropout_rate: 0.0, spike_rate: 0.0 },
+            dvfs: DvfsFaults { reject_rate: 0.0 },
+        }
+    }
+
+    /// Every per-stage fault fires with probability `rate`; magnitudes use
+    /// chaos-test defaults (12 corrupted pixels, up to 2 ms extra delay).
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            capture: CaptureFaults {
+                drop_rate: rate,
+                duplicate_rate: rate,
+                corrupt_rate: rate,
+                corrupt_pixels: 12,
+            },
+            replay: ReplayFaults { event_loss_rate: rate, delay_rate: rate, max_delay_us: 2_000 },
+            power: PowerFaults { dropout_rate: rate, spike_rate: rate },
+            dvfs: DvfsFaults { reject_rate: rate },
+        }
+    }
+
+    /// `true` if every rate is zero — injection changes nothing.
+    pub fn is_quiescent(&self) -> bool {
+        self.capture.drop_rate == 0.0
+            && self.capture.duplicate_rate == 0.0
+            && self.capture.corrupt_rate == 0.0
+            && self.replay.event_loss_rate == 0.0
+            && self.replay.delay_rate == 0.0
+            && self.power.dropout_rate == 0.0
+            && self.power.spike_rate == 0.0
+            && self.dvfs.reject_rate == 0.0
+    }
+}
+
+/// Per-stage RNG streams for one `(configuration, repetition, attempt)`.
+///
+/// Stages draw from disjoint streams so that, say, a dropped frame never
+/// shifts which input event gets delayed — each stage's fault pattern is
+/// a pure function of the derivation tuple.
+#[derive(Debug, Clone)]
+pub struct FaultStreams {
+    /// Stream for [`CaptureFaults`].
+    pub capture: SplitMix64,
+    /// Stream for [`ReplayFaults`].
+    pub replay: SplitMix64,
+    /// Stream for [`PowerFaults`].
+    pub power: SplitMix64,
+    /// Stream for [`DvfsFaults`].
+    pub dvfs: SplitMix64,
+}
+
+impl FaultStreams {
+    /// Derives the four stage streams for one repetition attempt.
+    pub fn derive(seed: u64, config: u64, rep: u64, attempt: u64) -> Self {
+        let stage = |tag: u64| {
+            let mut r = SplitMix64::new(seed);
+            for part in [config, rep, attempt, tag] {
+                r = SplitMix64::new(r.next_u64() ^ part.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            }
+            r
+        };
+        FaultStreams { capture: stage(1), replay: stage(2), power: stage(3), dvfs: stage(4) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiescent_is_quiescent() {
+        assert!(FaultConfig::quiescent(7).is_quiescent());
+        assert!(!FaultConfig::uniform(7, 0.05).is_quiescent());
+        assert!(FaultConfig::uniform(7, 0.0).is_quiescent());
+    }
+
+    #[test]
+    fn streams_are_reproducible_and_distinct() {
+        let mut a = FaultStreams::derive(1, 2, 3, 0);
+        let mut b = FaultStreams::derive(1, 2, 3, 0);
+        assert_eq!(a.capture.next_u64(), b.capture.next_u64());
+        assert_eq!(a.replay.next_u64(), b.replay.next_u64());
+
+        // Another attempt re-seeds every stream.
+        let mut c = FaultStreams::derive(1, 2, 3, 1);
+        assert_ne!(a.capture.next_u64(), c.capture.next_u64());
+        // Stages do not share a stream.
+        let mut d = FaultStreams::derive(1, 2, 3, 0);
+        let (x, y) = (d.capture.next_u64(), d.replay.next_u64());
+        assert_ne!(x, y);
+    }
+}

@@ -1,0 +1,203 @@
+//! Fault injection on the replay path.
+//!
+//! Wraps any [`Replayer`] and perturbs the event stream the way a lossy
+//! input-injection channel does: events vanish in transit, or arrive late
+//! by a bounded random extra delay (on top of whatever timing error the
+//! wrapped replayer already models). Delayed events are re-stamped with
+//! their actual (late) release time, exactly as the paper's `sendevent`
+//! measurements show inaccuracy corrupting a replayed workload (§II-B).
+
+use interlag_evdev::event::TimedEvent;
+use interlag_evdev::replay::{ReplayStats, Replayer};
+use interlag_evdev::rng::SplitMix64;
+use interlag_evdev::time::{SimDuration, SimTime};
+
+use crate::config::ReplayFaults;
+
+/// Counts of replay faults actually injected during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayFaultLog {
+    /// Events lost in transit.
+    pub lost: usize,
+    /// Events delivered late with a re-stamped timestamp.
+    pub delayed: usize,
+}
+
+/// A [`Replayer`] decorator injecting event loss and extra delay.
+///
+/// With both rates zero it is a strict pass-through: the wrapped
+/// replayer's events come back untouched and no RNG draws are made.
+#[derive(Debug)]
+pub struct FaultyReplayer<R> {
+    inner: R,
+    faults: ReplayFaults,
+    rng: SplitMix64,
+    /// Delayed events waiting for their new release time, time-ordered.
+    pending: Vec<TimedEvent>,
+    log: ReplayFaultLog,
+}
+
+impl<R: Replayer> FaultyReplayer<R> {
+    /// Wraps `inner`, drawing fault decisions from `rng`.
+    pub fn new(inner: R, faults: ReplayFaults, rng: SplitMix64) -> Self {
+        FaultyReplayer { inner, faults, rng, pending: Vec::new(), log: ReplayFaultLog::default() }
+    }
+
+    /// The faults injected so far.
+    pub fn log(&self) -> ReplayFaultLog {
+        self.log
+    }
+
+    fn quiescent(&self) -> bool {
+        self.faults.event_loss_rate == 0.0
+            && (self.faults.delay_rate == 0.0 || self.faults.max_delay_us == 0)
+    }
+}
+
+impl<R: Replayer> Replayer for FaultyReplayer<R> {
+    fn poll(&mut self, now: SimTime) -> Vec<TimedEvent> {
+        let incoming = self.inner.poll(now);
+        if self.quiescent() && self.pending.is_empty() {
+            return incoming;
+        }
+        let mut out = Vec::with_capacity(incoming.len());
+        for ev in incoming {
+            if self.rng.chance(self.faults.event_loss_rate) {
+                self.log.lost += 1;
+                continue;
+            }
+            if self.faults.max_delay_us > 0 && self.rng.chance(self.faults.delay_rate) {
+                let extra = self.rng.next_below(self.faults.max_delay_us + 1);
+                let late = ev.time + SimDuration::from_micros(extra);
+                self.pending.push(TimedEvent::new(late, ev.device, ev.event));
+                self.log.delayed += 1;
+                continue;
+            }
+            out.push(ev);
+        }
+        // Release delayed events that have become due and merge them into
+        // time order with this poll's on-time events.
+        self.pending.sort_by_key(|e| e.time);
+        let due = self.pending.partition_point(|e| e.time <= now);
+        out.extend(self.pending.drain(..due));
+        out.sort_by_key(|e| e.time);
+        out
+    }
+
+    fn is_finished(&self) -> bool {
+        self.inner.is_finished() && self.pending.is_empty()
+    }
+
+    fn stats(&self) -> ReplayStats {
+        self.inner.stats()
+    }
+
+    fn next_due(&self) -> Option<SimTime> {
+        let held = self.pending.iter().map(|e| e.time).min();
+        match (self.inner.next_due(), held) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interlag_evdev::event::InputEvent;
+    use interlag_evdev::replay::ReplayAgent;
+    use interlag_evdev::trace::EventTrace;
+
+    fn trace(n: u64) -> EventTrace {
+        (0..n)
+            .map(|i| TimedEvent::new(SimTime::from_millis(i * 10), 1, InputEvent::syn_report()))
+            .collect()
+    }
+
+    fn faults(loss: f64, delay: f64, max_us: u64) -> ReplayFaults {
+        ReplayFaults { event_loss_rate: loss, delay_rate: delay, max_delay_us: max_us }
+    }
+
+    fn drain<R: Replayer>(r: &mut R, until_ms: u64) -> Vec<TimedEvent> {
+        let mut out = Vec::new();
+        for ms in 0..=until_ms {
+            out.extend(r.poll(SimTime::from_millis(ms)));
+        }
+        out
+    }
+
+    #[test]
+    fn quiescent_wrapper_is_transparent() {
+        let mut plain = ReplayAgent::new(trace(10));
+        let mut wrapped = FaultyReplayer::new(
+            ReplayAgent::new(trace(10)),
+            faults(0.0, 0.0, 0),
+            SplitMix64::new(1),
+        );
+        assert_eq!(drain(&mut wrapped, 200), drain(&mut plain, 200));
+        assert!(wrapped.is_finished());
+        assert_eq!(wrapped.log(), ReplayFaultLog::default());
+    }
+
+    #[test]
+    fn total_loss_swallows_every_event() {
+        let mut r = FaultyReplayer::new(
+            ReplayAgent::new(trace(10)),
+            faults(1.0, 0.0, 0),
+            SplitMix64::new(2),
+        );
+        assert!(drain(&mut r, 200).is_empty());
+        assert!(r.is_finished());
+        assert_eq!(r.log().lost, 10);
+    }
+
+    #[test]
+    fn delays_restamp_but_never_lose_events() {
+        let mut r = FaultyReplayer::new(
+            ReplayAgent::new(trace(10)),
+            faults(0.0, 1.0, 5_000),
+            SplitMix64::new(3),
+        );
+        let out = drain(&mut r, 200);
+        assert_eq!(out.len(), 10, "delayed events must still all arrive");
+        assert!(r.is_finished());
+        assert_eq!(r.log().delayed, 10);
+        // Output stays time-ordered and within the delay bound.
+        for w in out.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        for (i, ev) in out.iter().enumerate() {
+            let intended = SimTime::from_millis(i as u64 * 10);
+            assert!(ev.time >= intended);
+            assert!(ev.time <= intended + SimDuration::from_micros(5_000));
+        }
+    }
+
+    #[test]
+    fn next_due_accounts_for_held_events() {
+        let mut r = FaultyReplayer::new(
+            ReplayAgent::new(trace(2)),
+            faults(0.0, 1.0, 5_000),
+            SplitMix64::new(4),
+        );
+        // Poll at the first event's time: it gets delayed and held.
+        assert!(r.poll(SimTime::ZERO).is_empty());
+        let due = r.next_due().expect("held event pending");
+        assert!(due <= SimTime::from_micros(5_000));
+        assert!(!r.is_finished());
+    }
+
+    #[test]
+    fn fault_pattern_reproduces_from_the_stream_seed() {
+        let run = |seed: u64| {
+            let mut r = FaultyReplayer::new(
+                ReplayAgent::new(trace(50)),
+                faults(0.2, 0.2, 3_000),
+                SplitMix64::new(seed),
+            );
+            drain(&mut r, 1_000)
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+}

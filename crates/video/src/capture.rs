@@ -17,7 +17,7 @@ use interlag_evdev::rng::SplitMix64;
 use interlag_evdev::time::{SimDuration, SimTime};
 
 use crate::frame::FrameBuffer;
-use crate::stream::VideoStream;
+use crate::stream::{VideoError, VideoStream};
 
 /// A device that turns screen contents into captured frames.
 ///
@@ -136,13 +136,20 @@ impl<L: CaptureLink> VideoRecorder<L> {
     /// past several boundaries the *current* screen contents are recorded
     /// for each missed boundary, mirroring how a capture box repeats the
     /// live signal.
-    pub fn poll(&mut self, now: SimTime, screen: &FrameBuffer) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VideoError`] from the underlying stream; the recorder
+    /// samples on a strictly increasing grid, so this only fires if a
+    /// caller rewound time between polls.
+    pub fn poll(&mut self, now: SimTime, screen: &FrameBuffer) -> Result<(), VideoError> {
         while self.next_sample <= now {
             let t = self.next_sample;
             let frame = self.link.capture(t, screen);
-            self.stream.push(t, frame);
+            self.stream.push(t, frame)?;
             self.next_sample = t + self.frame_period;
         }
+        Ok(())
     }
 
     /// When the next frame is due; lets event-driven loops sleep exactly
@@ -207,7 +214,7 @@ mod tests {
         let screen = FrameBuffer::new(4, 4);
         // Advance one second in 1 ms steps.
         for ms in 0..=1_000 {
-            rec.poll(SimTime::from_millis(ms), &screen);
+            rec.poll(SimTime::from_millis(ms), &screen).unwrap();
         }
         let n = rec.stream().len();
         assert!((30..=32).contains(&n), "expected ~31 frames, got {n}");
@@ -218,8 +225,8 @@ mod tests {
     fn recorder_catches_up_after_a_stall() {
         let mut rec = VideoRecorder::new(HdmiCapture::new(), FRAME_PERIOD_30FPS);
         let screen = FrameBuffer::new(4, 4);
-        rec.poll(SimTime::ZERO, &screen);
-        rec.poll(SimTime::from_secs(1), &screen); // a 1 s stall
+        rec.poll(SimTime::ZERO, &screen).unwrap();
+        rec.poll(SimTime::from_secs(1), &screen).unwrap(); // a 1 s stall
         assert!(rec.stream().len() >= 30);
         // Timestamps stay on the frame grid.
         for f in rec.stream().iter() {

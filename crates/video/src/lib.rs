@@ -29,7 +29,7 @@
 //! for ms in (0..2_000u64).step_by(10) {
 //!     // The top row is a clock that redraws every second.
 //!     screen.fill_rect(Rect::new(0, 0, 64, 4), (ms / 1_000) as u8 + 10);
-//!     rec.poll(SimTime::from_millis(ms), &screen);
+//!     rec.poll(SimTime::from_millis(ms), &screen).unwrap();
 //! }
 //! let video = rec.into_stream();
 //! let mask = Mask::status_bar(64, 4);
@@ -49,4 +49,4 @@ pub mod stream;
 
 pub use frame::{FrameBuffer, Rect};
 pub use mask::{Mask, MatchTolerance};
-pub use stream::{VideoFrame, VideoStream, FRAME_PERIOD_30FPS};
+pub use stream::{VideoError, VideoFrame, VideoStream, FRAME_PERIOD_30FPS};

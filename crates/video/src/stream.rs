@@ -14,6 +14,33 @@ use interlag_evdev::time::{SimDuration, SimTime};
 
 use crate::frame::FrameBuffer;
 
+/// Why the capture path rejected an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VideoError {
+    /// A frame arrived stamped earlier than its predecessor. Accepting it
+    /// would corrupt the binary-search invariants of
+    /// [`VideoStream::frame_at`] and
+    /// [`VideoStream::first_frame_at_or_after`].
+    NonMonotonicTimestamp {
+        /// Timestamp of the previously pushed frame.
+        prev: SimTime,
+        /// The offending timestamp.
+        time: SimTime,
+    },
+}
+
+impl std::fmt::Display for VideoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VideoError::NonMonotonicTimestamp { prev, time } => {
+                write!(f, "frame timestamps must be monotonic ({time} after {prev})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VideoError {}
+
 /// One captured frame with its presentation timestamp.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VideoFrame {
@@ -40,8 +67,8 @@ pub const FRAME_PERIOD_30FPS: SimDuration = SimDuration::from_micros(33_333);
 ///
 /// let mut video = VideoStream::new(FRAME_PERIOD_30FPS);
 /// let frame = Arc::new(FrameBuffer::new(8, 8));
-/// video.push(SimTime::ZERO, frame.clone());
-/// video.push(SimTime::from_micros(33_333), frame);
+/// video.push(SimTime::ZERO, frame.clone()).unwrap();
+/// video.push(SimTime::from_micros(33_333), frame).unwrap();
 /// assert_eq!(video.len(), 2);
 /// assert_eq!(video.frame_at(SimTime::from_millis(20)).unwrap().index, 0);
 /// ```
@@ -74,16 +101,21 @@ impl VideoStream {
 
     /// Appends a frame captured at `time`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `time` precedes the previous frame: capture hardware
-    /// timestamps are monotonic.
-    pub fn push(&mut self, time: SimTime, buf: Arc<FrameBuffer>) {
+    /// [`VideoError::NonMonotonicTimestamp`] if `time` precedes the
+    /// previous frame: capture hardware timestamps are monotonic, and a
+    /// backwards frame would corrupt the binary-search invariants of
+    /// [`VideoStream::frame_at`]. The stream is left unchanged.
+    pub fn push(&mut self, time: SimTime, buf: Arc<FrameBuffer>) -> Result<(), VideoError> {
         if let Some(last) = self.frames.last() {
-            assert!(time >= last.time, "frame timestamps must be monotonic");
+            if time < last.time {
+                return Err(VideoError::NonMonotonicTimestamp { prev: last.time, time });
+            }
         }
         let index = self.frames.len() as u32;
         self.frames.push(VideoFrame { index, time, buf });
+        Ok(())
     }
 
     /// Number of captured frames.
@@ -173,7 +205,7 @@ mod tests {
         let mut s = VideoStream::new(FRAME_PERIOD_30FPS);
         let shared = frame(1);
         for i in 0..n {
-            s.push(SimTime::from_micros(i * 33_333), shared.clone());
+            s.push(SimTime::from_micros(i * 33_333), shared.clone()).unwrap();
         }
         s
     }
@@ -196,7 +228,7 @@ mod tests {
     #[test]
     fn frame_at_before_start_is_none() {
         let mut s = VideoStream::new(FRAME_PERIOD_30FPS);
-        s.push(SimTime::from_secs(1), frame(0));
+        s.push(SimTime::from_secs(1), frame(0)).unwrap();
         assert!(s.frame_at(SimTime::from_millis(999)).is_none());
     }
 
@@ -212,20 +244,33 @@ mod tests {
     fn unique_frames_counts_allocations() {
         let mut s = VideoStream::new(FRAME_PERIOD_30FPS);
         let a = frame(1);
-        s.push(SimTime::from_micros(0), a.clone());
-        s.push(SimTime::from_micros(33_333), a.clone());
-        s.push(SimTime::from_micros(66_666), frame(2));
-        s.push(SimTime::from_micros(99_999), a);
+        s.push(SimTime::from_micros(0), a.clone()).unwrap();
+        s.push(SimTime::from_micros(33_333), a.clone()).unwrap();
+        s.push(SimTime::from_micros(66_666), frame(2)).unwrap();
+        s.push(SimTime::from_micros(99_999), a).unwrap();
         assert_eq!(s.len(), 4);
         assert_eq!(s.unique_frames(), 3);
     }
 
     #[test]
-    #[should_panic(expected = "monotonic")]
-    fn push_rejects_backwards_time() {
+    fn push_rejects_backwards_time_and_leaves_stream_intact() {
         let mut s = VideoStream::new(FRAME_PERIOD_30FPS);
-        s.push(SimTime::from_secs(2), frame(0));
-        s.push(SimTime::from_secs(1), frame(0));
+        s.push(SimTime::from_secs(2), frame(0)).unwrap();
+        let err = s.push(SimTime::from_secs(1), frame(0)).unwrap_err();
+        assert_eq!(
+            err,
+            VideoError::NonMonotonicTimestamp {
+                prev: SimTime::from_secs(2),
+                time: SimTime::from_secs(1),
+            }
+        );
+        assert!(err.to_string().contains("monotonic"));
+        // The rejected frame must not have corrupted the stream.
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.first_frame_at_or_after(SimTime::from_secs(1)), 0);
+        // Equal timestamps remain allowed (a stalled capture box repeats).
+        s.push(SimTime::from_secs(2), frame(1)).unwrap();
+        assert_eq!(s.len(), 2);
     }
 
     #[test]

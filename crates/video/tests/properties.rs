@@ -75,7 +75,7 @@ proptest! {
         let mut t = SimTime::ZERO;
         let end = SimTime::from_millis(span_ms);
         while t <= end {
-            rec.poll(t, &screen);
+            rec.poll(t, &screen).unwrap();
             t += SimDuration::from_micros(step_us);
         }
         let video = rec.into_stream();

@@ -37,7 +37,7 @@ fn main() {
 
     // ---- Part A: annotate once --------------------------------------------
     println!("Part A: reference execution at 2.15 GHz, suggester + picker");
-    let (db, stats, reference) = lab.annotate_workload(&workload);
+    let (db, stats, reference) = lab.annotate_workload(&workload).expect("annotate");
     println!(
         "  {} lags annotated, {} suggestions shown for {} frames -> {:.0}x fewer frames to inspect",
         stats.annotated,
@@ -59,7 +59,7 @@ fn main() {
     println!("\nPart B: replay pinned to 0.42 GHz, matcher marks up the video");
     let trace = workload.script.record_trace();
     let mut gov = FixedGovernor::new(Frequency::from_mhz(422));
-    let run = lab.run(&workload, trace, &mut gov);
+    let run = lab.run(&workload, trace, &mut gov).expect("clean run");
     let video = run.video.as_ref().expect("capture on");
     let (profile, failures) = mark_up(video, &run.lag_beginnings(), &db, "fixed-0.42 GHz");
     assert!(failures.is_empty(), "matcher failures: {failures:?}");

@@ -67,6 +67,7 @@ fn main() {
             gov,
             workload.run_until(),
         );
+        let run = run.expect("clean run");
         let energy = lab.meter().measure(&run.activity);
         let serviced = run
             .interactions

@@ -25,7 +25,7 @@ fn main() {
                 &mut i
             }
         };
-        let run = lab.run(&w, trace.clone(), gov);
+        let run = lab.run(&w, trace.clone(), gov).expect("clean run");
         println!("== {name}");
         let total: f64 = run.activity.busy_time().as_secs_f64();
         for (f, busy) in run.activity.busy_by_freq() {

@@ -34,7 +34,7 @@ fn main() {
 
     let lab = Lab::new(LabConfig::default());
     let started = std::time::Instant::now();
-    let study = lab.study(&workload);
+    let study = lab.study(&workload).expect("study");
     println!(
         "study: {} lags annotated, {} configurations, {:.1} s wall clock\n",
         study.db.len(),

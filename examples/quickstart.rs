@@ -38,7 +38,7 @@ fn main() {
     let lab = Lab::new(LabConfig::default());
 
     // 3. Run the study: 14 fixed frequencies, 3 governors, the oracle.
-    let study = lab.study(&workload);
+    let study = lab.study(&workload).expect("study");
     println!(
         "annotated {} lags; suggester cut the frames to inspect by {:.0}x\n",
         study.db.len(),

@@ -156,7 +156,13 @@ fn cmd_replay(w: &Workload, gov_name: &str) -> ExitCode {
         eprintln!("interlag: unknown governor {gov_name:?}");
         return ExitCode::from(2);
     };
-    let run = lab.run(w, w.script.record_trace(), gov.as_mut());
+    let run = match lab.run(w, w.script.record_trace(), gov.as_mut()) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("interlag: replay failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let energy = lab.meter().measure(&run.activity);
     let lags: Vec<f64> =
         run.interactions.iter().filter_map(|r| r.true_lag()).map(|l| l.as_millis_f64()).collect();
@@ -180,7 +186,13 @@ fn cmd_replay(w: &Workload, gov_name: &str) -> ExitCode {
 
 fn cmd_study(w: &Workload, reps: u32, csv_dir: Option<String>, markdown: bool) -> ExitCode {
     let lab = Lab::new(LabConfig { reps, ..Default::default() });
-    let study = lab.study(w);
+    let study = match lab.study(w) {
+        Ok(study) => study,
+        Err(e) => {
+            eprintln!("interlag: study failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if markdown {
         print!("{}", study_markdown(&study));
     } else {
@@ -214,7 +226,13 @@ fn cmd_study(w: &Workload, reps: u32, csv_dir: Option<String>, markdown: bool) -
 
 fn cmd_oracle(w: &Workload) -> ExitCode {
     let lab = Lab::new(LabConfig::default());
-    let study = lab.study(w);
+    let study = match lab.study(w) {
+        Ok(study) => study,
+        Err(e) => {
+            eprintln!("interlag: study failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     print!("{}", oracle_csv(&study));
     eprintln!("efficient frequency outside lags: {}", lab.power_table().most_efficient_freq());
     ExitCode::SUCCESS

@@ -16,6 +16,7 @@
 //! | [`device`] | `interlag-device` | the simulated Android device |
 //! | [`governors`] | `interlag-governors` | ondemand, conservative, interactive, plans |
 //! | [`workloads`] | `interlag-workloads` | the five datasets + 24-hour recording |
+//! | [`faults`] | `interlag-faults` | seeded fault injection at every stage boundary |
 //! | [`core`] | `interlag-core` | suggester, matcher, irritation metric, oracle, lab |
 //!
 //! # Quickstart
@@ -34,7 +35,7 @@
 //!
 //! // …and run the paper's whole §III study on it.
 //! let lab = Lab::with_defaults();
-//! let study = lab.study(&workload);
+//! let study = lab.study(&workload).expect("study");
 //! let ondemand = study.config("ondemand").unwrap();
 //! println!(
 //!     "ondemand: {:.2}× oracle energy, {} irritation",
@@ -46,6 +47,7 @@
 pub use interlag_core as core;
 pub use interlag_device as device;
 pub use interlag_evdev as evdev;
+pub use interlag_faults as faults;
 pub use interlag_governors as governors;
 pub use interlag_power as power;
 pub use interlag_video as video;

@@ -45,7 +45,7 @@ fn event_trace_roundtrips_via_json_and_getevent_text() {
 fn annotation_db_roundtrips_and_still_matches() {
     let lab = Lab::new(LabConfig::default());
     let w = workload();
-    let (db, _, run) = lab.annotate_workload(&w);
+    let (db, _, run) = lab.annotate_workload(&w).expect("annotate");
 
     let restored: AnnotationDb = roundtrip(&db);
     assert_eq!(restored, db);
@@ -62,7 +62,7 @@ fn annotation_db_roundtrips_and_still_matches() {
 fn lag_profiles_and_plans_roundtrip() {
     let lab = Lab::new(LabConfig::default());
     let w = workload();
-    let study = lab.study(&w);
+    let study = lab.study(&w).expect("study");
 
     let profile = &study.oracle.reps[0].profile;
     let restored: LagProfile = roundtrip(profile);
@@ -84,7 +84,7 @@ fn activity_traces_roundtrip_with_equal_energy() {
     let w = workload();
     let trace = w.script.record_trace();
     let mut gov = interlag::device::dvfs::FixedGovernor::new(Frequency::from_mhz(960));
-    let run = lab.run(&w, trace, &mut gov);
+    let run = lab.run(&w, trace, &mut gov).expect("clean run");
 
     let restored: ActivityTrace = roundtrip(&run.activity);
     assert_eq!(restored, run.activity);

@@ -33,7 +33,9 @@ fn identical_replays_are_bit_identical() {
     let device = Device::new(DeviceConfig::default());
     let run = |gov_mhz: u32| {
         let mut gov = FixedGovernor::new(Frequency::from_mhz(gov_mhz));
-        device.run(&w.script, ReplayAgent::new(trace.clone()), &mut gov, w.run_until())
+        device
+            .run(&w.script, ReplayAgent::new(trace.clone()), &mut gov, w.run_until())
+            .expect("clean run")
     };
     let a = run(960);
     let b = run(960);
@@ -54,7 +56,9 @@ fn governor_runs_are_also_deterministic() {
     let device = Device::new(DeviceConfig::default());
     let run = || {
         let mut gov = Ondemand::default();
-        device.run(&w.script, ReplayAgent::new(trace.clone()), &mut gov, w.run_until())
+        device
+            .run(&w.script, ReplayAgent::new(trace.clone()), &mut gov, w.run_until())
+            .expect("clean run")
     };
     let a = run();
     let b = run();
@@ -83,9 +87,13 @@ fn getevent_text_reimport_reproduces_the_execution() {
 
     let device = Device::new(DeviceConfig::default());
     let mut gov_a = FixedGovernor::new(Frequency::from_mhz(960));
-    let a = device.run(&w.script, ReplayAgent::new(trace), &mut gov_a, w.run_until());
+    let a = device
+        .run(&w.script, ReplayAgent::new(trace), &mut gov_a, w.run_until())
+        .expect("clean run");
     let mut gov_b = FixedGovernor::new(Frequency::from_mhz(960));
-    let b = device.run(&w.script, ReplayAgent::new(reimported), &mut gov_b, w.run_until());
+    let b = device
+        .run(&w.script, ReplayAgent::new(reimported), &mut gov_b, w.run_until())
+        .expect("clean run");
     assert_eq!(a.interactions, b.interactions);
     assert_eq!(a.activity, b.activity);
 }
@@ -100,9 +108,13 @@ fn sendevent_replay_perturbs_measured_lags() {
     let device = Device::new(config);
 
     let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
-    let accurate = device.run(&w.script, ReplayAgent::new(trace.clone()), &mut gov, w.run_until());
+    let accurate = device
+        .run(&w.script, ReplayAgent::new(trace.clone()), &mut gov, w.run_until())
+        .expect("clean run");
     let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
-    let smeared = device.run(&w.script, SendeventReplayer::new(trace), &mut gov, w.run_until());
+    let smeared = device
+        .run(&w.script, SendeventReplayer::new(trace), &mut gov, w.run_until())
+        .expect("clean run");
 
     // Every interaction still triggers (order is preserved)…
     assert_eq!(
@@ -123,8 +135,8 @@ fn sendevent_replay_perturbs_measured_lags() {
 fn study_results_are_reproducible_for_equal_seeds() {
     let lab = Lab::new(LabConfig { reps: 1, ..Default::default() });
     let w = workload();
-    let a = lab.study(&w);
-    let b = lab.study(&w);
+    let a = lab.study(&w).expect("study");
+    let b = lab.study(&w).expect("study");
     for (ca, cb) in a.all_configs().zip(b.all_configs()) {
         assert_eq!(ca.name, cb.name);
         assert_eq!(ca.reps[0].profile, cb.reps[0].profile);

@@ -32,7 +32,7 @@ fn compact_workload() -> Workload {
 
 fn study() -> interlag::core::experiment::StudyResult {
     let lab = Lab::new(LabConfig { reps: 1, ..Default::default() });
-    lab.study(&compact_workload())
+    lab.study(&compact_workload()).expect("study")
 }
 
 #[test]
@@ -115,7 +115,7 @@ fn oracle_saves_energy_against_max_frequency_and_governors() {
 fn oracle_boosts_during_lags_and_rests_at_the_efficient_frequency() {
     let lab = Lab::new(LabConfig { reps: 1, ..Default::default() });
     let w = compact_workload();
-    let s = lab.study(&w);
+    let s = lab.study(&w).expect("study");
     let efficient = lab.power_table().most_efficient_freq();
 
     // Between the first two interactions the plan must rest at the

@@ -22,7 +22,7 @@ fn game_workload() -> Workload {
 fn jank_under(gov: &mut dyn interlag::device::dvfs::Governor) -> f64 {
     let lab = Lab::new(LabConfig::default());
     let w = game_workload();
-    let run = lab.run(&w, w.script.record_trace(), gov);
+    let run = lab.run(&w, w.script.record_trace(), gov).expect("clean run");
     let video = run.video.as_ref().expect("capture on");
     // The animation window: from the game scene appearing to the session
     // end (the game interaction's service point).
@@ -65,7 +65,7 @@ fn game_session_does_not_disturb_lag_measurement() {
     // and matching must work on the workload around it.
     let lab = Lab::new(LabConfig::default());
     let w = game_workload();
-    let (db, stats, run) = lab.annotate_workload(&w);
+    let (db, stats, run) = lab.annotate_workload(&w).expect("annotate");
     assert_eq!(stats.unannotated, 0);
     let (profile, failures) = interlag::core::matcher::mark_up(
         run.video.as_ref().expect("video"),

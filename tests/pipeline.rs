@@ -33,7 +33,7 @@ fn mini_workload(seed: u64) -> Workload {
 fn matcher_recovers_ground_truth_across_frequencies() {
     let lab = Lab::new(LabConfig::default());
     let w = mini_workload(21);
-    let (db, stats, _) = lab.annotate_workload(&w);
+    let (db, stats, _) = lab.annotate_workload(&w).expect("annotate");
     assert_eq!(stats.unannotated, 0, "every actual lag gets annotated");
 
     // Mark up executions at three very different frequencies; the matcher
@@ -43,7 +43,7 @@ fn matcher_recovers_ground_truth_across_frequencies() {
     let quantum = SimDuration::from_millis(1);
     for mhz in [300u32, 960, 2_150] {
         let mut gov = FixedGovernor::new(Frequency::from_mhz(mhz));
-        let run = lab.run(&w, w.script.record_trace(), &mut gov);
+        let run = lab.run(&w, w.script.record_trace(), &mut gov).expect("clean run");
         let video = run.video.as_ref().expect("video captured");
         let (profile, failures) = mark_up(video, &run.lag_beginnings(), &db, "it");
         assert!(failures.is_empty(), "{mhz} MHz: {failures:?}");
@@ -64,11 +64,11 @@ fn matcher_recovers_ground_truth_across_frequencies() {
 fn lags_scale_inversely_with_frequency_but_waits_do_not() {
     let lab = Lab::new(LabConfig::default());
     let w = mini_workload(22);
-    let (db, _, _) = lab.annotate_workload(&w);
+    let (db, _, _) = lab.annotate_workload(&w).expect("annotate");
 
     let profile_at = |mhz: u32| {
         let mut gov = FixedGovernor::new(Frequency::from_mhz(mhz));
-        let run = lab.run(&w, w.script.record_trace(), &mut gov);
+        let run = lab.run(&w, w.script.record_trace(), &mut gov).expect("clean run");
         let (profile, _) = mark_up(run.video.as_ref().unwrap(), &run.lag_beginnings(), &db, "p");
         profile
     };
@@ -95,7 +95,7 @@ fn spurious_inputs_never_enter_profiles() {
         .collect();
     assert!(!spurious_ids.is_empty());
 
-    let (db, _, run) = lab.annotate_workload(&w);
+    let (db, _, run) = lab.annotate_workload(&w).expect("annotate");
     for id in &spurious_ids {
         assert!(db.get(*id).is_none(), "spurious lag {id} must not be annotated");
     }
@@ -109,14 +109,14 @@ fn spurious_inputs_never_enter_profiles() {
 fn irritation_is_zero_under_own_reference_and_grows_when_slower() {
     let lab = Lab::new(LabConfig::default());
     let w = mini_workload(24);
-    let (db, _, reference) = lab.annotate_workload(&w);
+    let (db, _, reference) = lab.annotate_workload(&w).expect("annotate");
     let (ref_profile, _) =
         mark_up(reference.video.as_ref().unwrap(), &reference.lag_beginnings(), &db, "fixed-max");
     let model = ThresholdModel::paper_rule(ref_profile.clone());
     assert_eq!(user_irritation(&ref_profile, &model).total(), SimDuration::ZERO);
 
     let mut gov = FixedGovernor::new(Frequency::from_mhz(300));
-    let run = lab.run(&w, w.script.record_trace(), &mut gov);
+    let run = lab.run(&w, w.script.record_trace(), &mut gov).expect("clean run");
     let (slow_profile, _) =
         mark_up(run.video.as_ref().unwrap(), &run.lag_beginnings(), &db, "fixed-min");
     let report = user_irritation(&slow_profile, &model);
@@ -131,7 +131,7 @@ fn annotation_picker_sees_the_true_ending_among_suggestions() {
     let lab = Lab::new(LabConfig::default());
     for seed in [31u64, 32, 33] {
         let w = mini_workload(seed);
-        let (db, stats, run) = lab.annotate_workload(&w);
+        let (db, stats, run) = lab.annotate_workload(&w).expect("annotate");
         assert_eq!(stats.unannotated, 0, "seed {seed}");
         assert_eq!(db.len(), run.lag_beginnings().len(), "seed {seed}");
         let _ = GroundTruthPicker::new(&run);
@@ -145,7 +145,7 @@ fn occurrence_two_lags_are_annotated_and_matched() {
     // match instantly.
     let lab = Lab::new(LabConfig::default());
     let w = mini_workload(25);
-    let (db, _, run) = lab.annotate_workload(&w);
+    let (db, _, run) = lab.annotate_workload(&w).expect("annotate");
     let export_id = w
         .script
         .interactions
