@@ -1,0 +1,77 @@
+//! Golden snapshot helpers for report output.
+//!
+//! Snapshots live under `tests/golden/` in this crate and are committed.
+//! On mismatch the assertion prints the first differing line and a
+//! one-line regeneration hint; setting `UPDATE_GOLDEN=1` rewrites the
+//! snapshot instead of failing.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// The committed snapshot directory (`tests/golden/` in this crate).
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+/// The line number (1-based) and contents of the first difference between
+/// two texts, or `None` if they are identical.
+pub fn first_mismatch<'a>(expected: &'a str, actual: &'a str) -> Option<(usize, &'a str, &'a str)> {
+    let mut exp = expected.lines();
+    let mut act = actual.lines();
+    let mut line = 0;
+    loop {
+        line += 1;
+        match (exp.next(), act.next()) {
+            (None, None) => return None,
+            (e, a) if e == a => continue,
+            (e, a) => return Some((line, e.unwrap_or("<eof>"), a.unwrap_or("<eof>"))),
+        }
+    }
+}
+
+/// Asserts that `actual` matches the committed snapshot `name`.
+///
+/// With `UPDATE_GOLDEN=1` in the environment the snapshot is (re)written
+/// and the assertion passes. Otherwise a missing or differing snapshot
+/// panics with the first differing line and the regeneration hint.
+pub fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::write(&path, actual).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        return;
+    }
+    let expected = match fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!(
+            "golden snapshot {} unreadable ({e}); regenerate with: UPDATE_GOLDEN=1 cargo test -p interlag-conformance",
+            path.display()
+        ),
+    };
+    if let Some((line, exp, act)) = first_mismatch(&expected, actual) {
+        panic!(
+            "snapshot {name} differs at line {line}:\n  expected: {exp}\n  actual:   {act}\nregenerate with: UPDATE_GOLDEN=1 cargo test -p interlag-conformance"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_have_no_mismatch() {
+        assert_eq!(first_mismatch("a\nb\n", "a\nb\n"), None);
+    }
+
+    #[test]
+    fn first_differing_line_is_reported() {
+        assert_eq!(first_mismatch("a\nb\nc", "a\nx\nc"), Some((2, "b", "x")));
+    }
+
+    #[test]
+    fn length_mismatch_is_a_mismatch() {
+        assert_eq!(first_mismatch("a", "a\nb"), Some((2, "<eof>", "b")));
+        assert_eq!(first_mismatch("a\nb", "a"), Some((2, "b", "<eof>")));
+    }
+}

@@ -1,0 +1,28 @@
+//! Ground-truth conformance harness for the interlag pipeline.
+//!
+//! The paper's measurement chain — record/replay, 30 fps capture,
+//! suggester, matcher, irritation metric, governor study — is only
+//! trustworthy if each stage can be checked against a known answer. This
+//! crate provides that answer synthetically: [`scenario::ScenarioSpec`]
+//! expands a declarative description into a scripted workload whose true
+//! interaction-lag endings, irritation penalties, and per-OPP orderings
+//! are known *analytically by construction*, carried alongside the
+//! workload as a [`truth::GroundTruth`] manifest.
+//!
+//! The differential suite in `tests/` then runs the real `Lab` pipeline
+//! over the [`matrix::scenarios`] matrix and asserts stage-by-stage
+//! agreement with each manifest under an explicit
+//! [`truth::TolerancePolicy`], plus golden snapshots of `report.rs`
+//! output under `tests/golden/` (see [`golden`]).
+
+#![warn(missing_docs)]
+
+pub mod golden;
+pub mod matrix;
+pub mod scenario;
+pub mod truth;
+
+pub use golden::{assert_matches_golden, golden_dir};
+pub use matrix::scenarios;
+pub use scenario::{ResponseKind, Scenario, ScenarioSpec};
+pub use truth::{ExpectedRanking, GroundTruth, LagModel, TolerancePolicy, TruthLag};

@@ -1,0 +1,139 @@
+//! The parameterised conformance matrix: every scenario the differential
+//! suite runs, straddling each Shneiderman threshold from both sides and
+//! crossing the masked / double-occurrence / frame-rate / fault axes.
+
+use interlag_device::script::InteractionCategory;
+use interlag_evdev::time::SimDuration;
+use interlag_workloads::gen::MCYCLES;
+
+use crate::scenario::ScenarioSpec;
+
+/// 60 fps capture period.
+pub const FPS60: SimDuration = SimDuration::from_micros(16_667);
+/// 15 fps capture period.
+pub const FPS15: SimDuration = SimDuration::from_micros(66_667);
+
+use InteractionCategory::{Common, Complex, SimpleFrequent, Typing};
+
+const MS: fn(u64) -> SimDuration = SimDuration::from_millis;
+
+/// The full scenario matrix. Names are unique; every entry builds and
+/// validates (see the unit tests below), and the suite in
+/// `tests/conformance.rs` checks each against its manifest.
+pub fn scenarios() -> Vec<ScenarioSpec> {
+    vec![
+        // Shneiderman straddle: one below and one above each threshold
+        // (150 ms typing, 1 s simple-frequent, 4 s common, 12 s complex).
+        ScenarioSpec::wait("typing-below", Typing, MS(60)),
+        ScenarioSpec::wait("typing-above", Typing, MS(450)),
+        ScenarioSpec::wait("simple-below", SimpleFrequent, MS(600)),
+        ScenarioSpec::wait("simple-above", SimpleFrequent, MS(1_500)),
+        ScenarioSpec::wait("common-below", Common, MS(3_000)),
+        ScenarioSpec::wait("common-above", Common, MS(4_500)).taps(1),
+        ScenarioSpec::wait("complex-below", Complex, MS(10_000)).taps(1),
+        ScenarioSpec::wait("complex-above", Complex, MS(12_600)).taps(1),
+        // Masked endings: the ending's changed region overlaps the
+        // standard mask (cursor rectangle), exercising masked compare in
+        // suggester and matcher.
+        ScenarioSpec::wait("typing-above-masked", Typing, MS(450)).masked(),
+        ScenarioSpec::wait("simple-below-masked", SimpleFrequent, MS(600)).masked(),
+        ScenarioSpec::wait("common-above-masked", Common, MS(4_500)).taps(1).masked(),
+        ScenarioSpec::wait("complex-below-masked", Complex, MS(10_000)).taps(1).masked(),
+        // Double occurrence: progress scene then back to the beginning
+        // image, so the true ending is the second match run (§II-E).
+        ScenarioSpec::wait("occ2-typing-above", Typing, MS(450)).double_occurrence(),
+        ScenarioSpec::wait("occ2-simple-below", SimpleFrequent, MS(600)).double_occurrence(),
+        ScenarioSpec::wait("occ2-simple-above", SimpleFrequent, MS(1_500)).double_occurrence(),
+        ScenarioSpec::wait("occ2-common-below", Common, MS(3_000)).double_occurrence(),
+        // Frame-rate axis: the same truths must hold on finer and coarser
+        // capture grids (the tolerance scales with the frame period).
+        ScenarioSpec::wait("fps60-simple-below", SimpleFrequent, MS(600)).frame_period(FPS60),
+        ScenarioSpec::wait("fps60-typing-above", Typing, MS(450)).frame_period(FPS60),
+        ScenarioSpec::wait("fps15-simple-above", SimpleFrequent, MS(1_500)).frame_period(FPS15),
+        ScenarioSpec::wait("fps15-common-below", Common, MS(3_000)).frame_period(FPS15),
+        // Fault-injected: 2 % capture/replay/dvfs faults under the
+        // relaxed fault tolerance policy; event loss stays zero so the
+        // manifest remains total.
+        ScenarioSpec::wait("faulty-typing-above", Typing, MS(450)).faulty(0xfa_0001),
+        ScenarioSpec::wait("faulty-simple-above", SimpleFrequent, MS(1_500)).faulty(0xfa_0002),
+        ScenarioSpec::wait("faulty-common-below", Common, MS(3_000)).faulty(0xfa_0003),
+        ScenarioSpec::wait("faulty-occ2-simple-below", SimpleFrequent, MS(600))
+            .double_occurrence()
+            .faulty(0xfa_0004),
+        // Ranking scenarios: compute-bound lag shrinks with frequency;
+        // wait-bound lag must not.
+        ScenarioSpec::compute("ranking-compute", SimpleFrequent, 150 * MCYCLES).taps(1),
+        ScenarioSpec::wait("ranking-wait", SimpleFrequent, MS(600)).taps(1),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ResponseKind;
+    use crate::truth::ExpectedRanking;
+    use interlag_video::stream::FRAME_PERIOD_30FPS;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn matrix_meets_issue_floor() {
+        let m = scenarios();
+        assert!(m.len() >= 24, "matrix has {} scenarios, need >= 24", m.len());
+        assert!(m.iter().filter(|s| s.fault_seed.is_some()).count() >= 4);
+    }
+
+    #[test]
+    fn every_threshold_class_is_straddled() {
+        let m = scenarios();
+        for cat in [Typing, SimpleFrequent, Common, Complex] {
+            let threshold = cat.threshold();
+            let lag_of = |s: &ScenarioSpec| match s.response {
+                ResponseKind::Wait(d) => d,
+                ResponseKind::Compute(_) => SimDuration::ZERO,
+            };
+            assert!(
+                m.iter().any(|s| s.category == cat && lag_of(s) > threshold),
+                "{cat:?} has no above-threshold scenario"
+            );
+            assert!(
+                m.iter()
+                    .any(|s| s.category == cat && !lag_of(s).is_zero() && lag_of(s) < threshold),
+                "{cat:?} has no below-threshold scenario"
+            );
+        }
+    }
+
+    #[test]
+    fn axes_are_covered() {
+        let m = scenarios();
+        assert!(m.iter().any(|s| s.masked_ending));
+        assert!(m.iter().any(|s| s.double_occurrence));
+        assert!(m.iter().any(|s| s.double_occurrence && s.fault_seed.is_some()));
+        let periods: BTreeSet<u64> = m.iter().map(|s| s.frame_period.as_micros()).collect();
+        assert!(periods.len() >= 3, "need 30 fps plus at least two other rates");
+        assert!(periods.contains(&FRAME_PERIOD_30FPS.as_micros()));
+        assert!(m.iter().any(|s| matches!(s.response, ResponseKind::Compute(_))));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let m = scenarios();
+        let names: BTreeSet<&str> = m.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), m.len());
+    }
+
+    #[test]
+    fn every_scenario_builds_and_validates() {
+        for spec in scenarios() {
+            spec.validate().unwrap_or_else(|e| panic!("{e}"));
+            let sc = spec.build();
+            assert_eq!(sc.truth.lags.len(), spec.taps);
+            assert_eq!(sc.truth.penalties.len(), spec.taps);
+            let expected = match spec.response {
+                ResponseKind::Wait(_) => ExpectedRanking::FrequencyIndependent,
+                ResponseKind::Compute(_) => ExpectedRanking::FasterIsBetter,
+            };
+            assert_eq!(sc.truth.expected_ranking, expected);
+        }
+    }
+}

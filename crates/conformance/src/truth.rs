@@ -1,0 +1,227 @@
+//! Ground-truth manifests: what a scenario's lags *must* measure as.
+//!
+//! Every generated scenario carries a [`GroundTruth`] built analytically
+//! from the script it was generated with — not from running the pipeline.
+//! The differential suite then runs the real pipeline and checks each
+//! stage against the manifest under an explicit [`TolerancePolicy`].
+//!
+//! The analytic model rests on two simulator facts (see
+//! `interlag_device::device`):
+//!
+//! * a phase's deferred scene update becomes visible at exactly
+//!   `completion + wait`, and the interaction's service time is recorded
+//!   at that instant (microsecond precision, no quantum rounding);
+//! * foreground tasks have strict priority over background work, so the
+//!   per-input bookkeeping cost and periodic ticks never delay the
+//!   scripted response.
+//!
+//! Hence a wait-dominated response (`Phase::with_wait` with an epsilon
+//! cycle count) produces a lag of `wait + ε(f)` at *any* frequency, and a
+//! compute-bound response of `c` cycles produces `c / f` — both known in
+//! closed form before anything runs.
+
+use interlag_device::device::DeviceConfig;
+use interlag_device::script::InteractionCategory;
+use interlag_evdev::time::SimDuration;
+use interlag_power::opp::Frequency;
+
+/// How one interaction's true lag depends on the CPU clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LagModel {
+    /// I/O-wait dominated: the lag is this duration at any frequency
+    /// (plus the sub-millisecond epsilon of its token cycle count).
+    Wait(SimDuration),
+    /// Compute bound: the lag is `cycles / f` at frequency `f`.
+    Compute(u64),
+}
+
+impl LagModel {
+    /// The analytic lag at frequency `f` (the wait itself, or the cycle
+    /// demand clocked at `f`).
+    pub fn lag_at(&self, f: Frequency) -> SimDuration {
+        match *self {
+            LagModel::Wait(d) => d,
+            LagModel::Compute(cycles) => f.time_for(cycles),
+        }
+    }
+}
+
+/// The analytically known truth for one scripted interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TruthLag {
+    /// Interaction id (index in the generated script).
+    pub interaction_id: usize,
+    /// How the lag scales with frequency.
+    pub model: LagModel,
+    /// HCI category, fixing the irritation threshold.
+    pub category: InteractionCategory,
+    /// Which match-run of the ending image is the true ending (2 when the
+    /// ending looks like the beginning, §II-E).
+    pub occurrence: u32,
+}
+
+impl TruthLag {
+    /// The true lag at frequency `f`.
+    pub fn lag_at(&self, f: Frequency) -> SimDuration {
+        self.model.lag_at(f)
+    }
+
+    /// The true irritation penalty at frequency `f` under the
+    /// category-threshold model: `max(0, lag - threshold)`.
+    pub fn penalty_at(&self, f: Frequency) -> SimDuration {
+        self.lag_at(f).saturating_sub(self.category.threshold())
+    }
+}
+
+/// How per-OPP mean lags must be ordered for a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExpectedRanking {
+    /// Wait-dominated: every OPP measures the same lag (within slack);
+    /// no frequency buys responsiveness.
+    FrequencyIndependent,
+    /// Compute-bound: mean lag is non-increasing as frequency rises, and
+    /// strictly lower at the top of the table than at the bottom.
+    FasterIsBetter,
+}
+
+/// The full manifest one scenario carries: per-interaction true lags,
+/// the penalties expected at the scenario's probe frequency, and how the
+/// per-OPP lag ordering must come out.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Per-interaction truth, ordered by interaction id.
+    pub lags: Vec<TruthLag>,
+    /// Expected irritation penalties at the scenario's probe frequency,
+    /// parallel to `lags`.
+    pub penalties: Vec<SimDuration>,
+    /// Expected per-OPP mean-lag ordering.
+    pub expected_ranking: ExpectedRanking,
+}
+
+impl GroundTruth {
+    /// The truth entry for interaction `id`.
+    pub fn lag(&self, id: usize) -> Option<&TruthLag> {
+        self.lags.iter().find(|t| t.interaction_id == id)
+    }
+}
+
+/// Explicit agreement bounds between a measurement and the manifest.
+///
+/// The measured ending of a lag sits on the capture-frame grid, so it can
+/// trail the true service time by up to one frame period; input delivery
+/// and update application each round to the 1 ms scheduler quantum; and a
+/// wait phase's epsilon cycle count adds under a millisecond of compute.
+/// A frame captured inside the service quantum may also show the ending
+/// up to one quantum *early* (the screen repaints before frames due in
+/// the quantum are sampled), which is why the lower bound is not zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TolerancePolicy {
+    /// Maximum amount a measured lag may exceed its true value.
+    pub lag_slack: SimDuration,
+    /// Maximum amount a measured lag may undercut its true value (the
+    /// same-quantum early-capture case).
+    pub early_slack: SimDuration,
+}
+
+impl TolerancePolicy {
+    /// The policy for fault-free runs on `device`: one capture frame of
+    /// grid quantisation plus a few scheduler quanta of rounding and the
+    /// sub-millisecond compute epsilon of a wait phase.
+    pub fn quiescent(device: &DeviceConfig) -> Self {
+        TolerancePolicy {
+            lag_slack: device.frame_period + device.quantum * 4 + SimDuration::from_millis(1),
+            early_slack: device.quantum,
+        }
+    }
+
+    /// The policy for fault-injected runs: dropped or duplicated capture
+    /// frames can hide the true ending for a few extra slots, and delayed
+    /// replay adds up to 2 ms, so the upper bound relaxes accordingly.
+    pub fn fault_injected(device: &DeviceConfig) -> Self {
+        let base = Self::quiescent(device);
+        TolerancePolicy {
+            lag_slack: base.lag_slack + device.frame_period * 3 + SimDuration::from_millis(2),
+            early_slack: base.early_slack,
+        }
+    }
+
+    /// `true` if a measured lag agrees with its true value under this
+    /// policy.
+    pub fn lag_agrees(&self, truth: SimDuration, measured: SimDuration) -> bool {
+        measured >= truth.saturating_sub(self.early_slack) && measured <= truth + self.lag_slack
+    }
+
+    /// `true` if a measured penalty agrees with its expected value.
+    /// Expected-zero penalties must measure exactly zero (scenarios keep
+    /// their lags clear of the threshold by more than the slack); others
+    /// carry the same bounds as the lag itself.
+    pub fn penalty_agrees(&self, expected: SimDuration, measured: SimDuration) -> bool {
+        if expected.is_zero() {
+            measured.is_zero()
+        } else {
+            measured >= expected.saturating_sub(self.early_slack)
+                && measured <= expected + self.lag_slack
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_model_closed_forms() {
+        let f = Frequency::from_khz(1_000_000); // 1 GHz: 1 cycle per ns
+        assert_eq!(LagModel::Wait(SimDuration::from_millis(300)).lag_at(f).as_millis(), 300);
+        assert_eq!(LagModel::Compute(1_000_000_000).lag_at(f), SimDuration::from_secs(1));
+        // Slower clock, longer lag; waits don't care.
+        let slow = Frequency::from_khz(500_000);
+        assert_eq!(LagModel::Compute(1_000_000_000).lag_at(slow), SimDuration::from_secs(2));
+        assert_eq!(LagModel::Wait(SimDuration::from_millis(300)).lag_at(slow).as_millis(), 300);
+    }
+
+    #[test]
+    fn penalties_clamp_at_zero() {
+        let t = TruthLag {
+            interaction_id: 0,
+            model: LagModel::Wait(SimDuration::from_millis(600)),
+            category: InteractionCategory::SimpleFrequent,
+            occurrence: 1,
+        };
+        let f = Frequency::from_khz(1_000_000);
+        assert!(t.penalty_at(f).is_zero());
+        let above = TruthLag { model: LagModel::Wait(SimDuration::from_millis(1_500)), ..t };
+        assert_eq!(above.penalty_at(f).as_millis(), 500);
+    }
+
+    #[test]
+    fn tolerance_bounds_are_one_sided_around_truth() {
+        let device = DeviceConfig::default();
+        let tol = TolerancePolicy::quiescent(&device);
+        let truth = SimDuration::from_millis(600);
+        assert!(tol.lag_agrees(truth, truth));
+        assert!(tol.lag_agrees(truth, truth + device.frame_period));
+        assert!(!tol.lag_agrees(truth, truth + tol.lag_slack + SimDuration::from_micros(1)));
+        // One quantum early is the capture-inside-the-service-quantum case.
+        assert!(tol.lag_agrees(truth, truth - device.quantum));
+        assert!(!tol.lag_agrees(truth, truth - device.quantum * 2));
+    }
+
+    #[test]
+    fn zero_penalties_must_measure_exactly_zero() {
+        let tol = TolerancePolicy::quiescent(&DeviceConfig::default());
+        assert!(tol.penalty_agrees(SimDuration::ZERO, SimDuration::ZERO));
+        assert!(!tol.penalty_agrees(SimDuration::ZERO, SimDuration::from_micros(1)));
+        let p = SimDuration::from_millis(300);
+        assert!(tol.penalty_agrees(p, p + SimDuration::from_millis(30)));
+    }
+
+    #[test]
+    fn fault_injected_policy_is_strictly_looser() {
+        let device = DeviceConfig::default();
+        let q = TolerancePolicy::quiescent(&device);
+        let f = TolerancePolicy::fault_injected(&device);
+        assert!(f.lag_slack > q.lag_slack);
+        assert_eq!(f.early_slack, q.early_slack);
+    }
+}

@@ -1,0 +1,376 @@
+//! The differential conformance suite: run the full `Lab` pipeline over
+//! the oracle scenario matrix and assert stage-by-stage agreement with
+//! each scenario's analytic [`GroundTruth`] manifest.
+//!
+//! Stages checked per scenario:
+//!
+//! 1. **Annotation** — the reference pass annotates every scripted
+//!    interaction, with the occurrence count and threshold the manifest
+//!    prescribes.
+//! 2. **Device** — the simulator's own `true_lag` agrees with the
+//!    analytic lag at the reference frequency.
+//! 3. **Matcher** — a probe run at the scenario's mid-table frequency
+//!    (fault-injected where the scenario says so) yields matcher-found
+//!    lag endings within the tolerance policy of the true lags.
+//! 4. **Irritation** — per-interaction penalties agree with the manifest
+//!    (exactly zero where the manifest says zero).
+//! 5. **Ranking** — compute-bound lags shrink monotonically with
+//!    frequency; wait-bound lags do not move.
+
+use interlag_conformance::{scenarios, Scenario, ScenarioSpec};
+use interlag_core::{
+    mark_up_with_policy, user_irritation, Lab, LabConfig, LagProfile, MatchPolicy, ThresholdModel,
+};
+use interlag_device::{FixedGovernor, Governor, InteractionCategory};
+use interlag_evdev::replay::ReplayAgent;
+use interlag_evdev::time::SimDuration;
+use interlag_faults::{FaultStreams, FaultyCapture, FaultyGovernor, FaultyReplayer};
+use interlag_governors::{
+    Conservative, FrequencyPlan, Interactive, Ondemand, PlanGovernor, Schedutil,
+};
+use interlag_power::opp::Frequency;
+use interlag_video::capture::HdmiCapture;
+
+/// Builds the scenario's lab: same device, one repetition, serial sweep.
+fn lab_for(sc: &Scenario) -> Lab {
+    Lab::new(LabConfig { device: sc.device.clone(), reps: 1, workers: 1, ..LabConfig::default() })
+}
+
+/// Runs the scenario once at `freq` (honouring its fault plan) and marks
+/// it up against `db`, returning the matched profile.
+fn probe_profile(
+    sc: &Scenario,
+    lab: &Lab,
+    db: &interlag_core::AnnotationDb,
+    freq: Frequency,
+) -> LagProfile {
+    let trace = sc.workload.script.record_trace();
+    let mut governor = FixedGovernor::new(freq);
+    let run = match sc.faults {
+        None => lab
+            .run(&sc.workload, trace, &mut governor)
+            .unwrap_or_else(|e| panic!("{}: probe run failed: {e}", sc.name)),
+        Some(fc) => {
+            let streams = FaultStreams::derive(fc.seed, 0, 0, 0);
+            let replayer = FaultyReplayer::new(ReplayAgent::new(trace), fc.replay, streams.replay);
+            let mut faulty = FaultyGovernor::new(&mut governor, fc.dvfs, streams.dvfs);
+            let mut capture = FaultyCapture::new(HdmiCapture::new(), fc.capture, streams.capture);
+            lab.device()
+                .run_with_capture(
+                    &sc.workload.script,
+                    replayer,
+                    &mut faulty,
+                    sc.workload.run_until(),
+                    &mut capture,
+                )
+                .unwrap_or_else(|e| panic!("{}: faulty probe run failed: {e}", sc.name))
+        }
+    };
+    let video = run.video.as_ref().unwrap_or_else(|| panic!("{}: no video captured", sc.name));
+    let (profile, failures) = mark_up_with_policy(
+        video,
+        &run.lag_beginnings(),
+        db,
+        sc.name,
+        &MatchPolicy::paper_recovery(),
+    );
+    assert!(
+        failures.is_empty(),
+        "{}: matcher failed on interactions {:?}",
+        sc.name,
+        failures.iter().map(|(id, f)| format!("{id}: {f:?}")).collect::<Vec<_>>()
+    );
+    profile
+}
+
+/// The full per-scenario differential check (stages 1–4 above).
+fn check(spec: &ScenarioSpec) {
+    spec.validate().unwrap_or_else(|e| panic!("{e}"));
+    let sc = spec.build();
+    let lab = lab_for(&sc);
+    let max_freq = sc.device.opps.max_freq();
+
+    // Stage 1: annotation. Every scripted interaction is annotated, with
+    // the manifest's occurrence and the category threshold.
+    let (db, stats, reference) = lab
+        .annotate_workload(&sc.workload)
+        .unwrap_or_else(|e| panic!("{}: annotation failed: {e}", sc.name));
+    assert_eq!(stats.annotated, spec.taps, "{}: not every interaction annotated", sc.name);
+    assert_eq!(stats.unannotated, 0, "{}: unannotated interactions", sc.name);
+    assert_eq!(db.len(), sc.truth.lags.len(), "{}: manifest/db size mismatch", sc.name);
+    for truth in &sc.truth.lags {
+        let ann = db.get(truth.interaction_id).unwrap_or_else(|| {
+            panic!("{}: interaction {} not in db", sc.name, truth.interaction_id)
+        });
+        assert_eq!(
+            ann.occurrence, truth.occurrence,
+            "{}: interaction {} occurrence",
+            sc.name, truth.interaction_id
+        );
+        assert_eq!(
+            ann.threshold,
+            truth.category.threshold(),
+            "{}: interaction {} threshold",
+            sc.name,
+            truth.interaction_id
+        );
+    }
+
+    // Stage 2: the device's own service-time bookkeeping matches the
+    // analytic lag at the reference frequency.
+    for truth in &sc.truth.lags {
+        let rec = &reference.interactions[truth.interaction_id];
+        let measured = rec.true_lag().unwrap_or_else(|| {
+            panic!("{}: interaction {} never serviced", sc.name, truth.interaction_id)
+        });
+        let expected = truth.lag_at(max_freq);
+        assert!(
+            sc.tolerance.lag_agrees(expected, measured),
+            "{}: device true_lag {} µs vs analytic {} µs (interaction {})",
+            sc.name,
+            measured.as_micros(),
+            expected.as_micros(),
+            truth.interaction_id
+        );
+    }
+
+    // Stage 3: matcher-found lag endings at the probe frequency.
+    let profile = probe_profile(&sc, &lab, &db, sc.probe);
+    assert_eq!(profile.len(), sc.truth.lags.len(), "{}: profile size", sc.name);
+    for truth in &sc.truth.lags {
+        let measured = profile.lag_of(truth.interaction_id).unwrap_or_else(|| {
+            panic!("{}: interaction {} unmatched", sc.name, truth.interaction_id)
+        });
+        let expected = truth.lag_at(sc.probe);
+        assert!(
+            sc.tolerance.lag_agrees(expected, measured),
+            "{}: matched lag {} µs vs true {} µs (interaction {}, slack {} µs)",
+            sc.name,
+            measured.as_micros(),
+            expected.as_micros(),
+            truth.interaction_id,
+            sc.tolerance.lag_slack.as_micros()
+        );
+    }
+
+    // Stage 4: irritation penalties against the manifest.
+    let report = user_irritation(&profile, &ThresholdModel::Annotated);
+    assert_eq!(report.penalties.len(), sc.truth.penalties.len(), "{}: penalty count", sc.name);
+    for (penalty, expected) in report.penalties.iter().zip(&sc.truth.penalties) {
+        assert!(
+            sc.tolerance.penalty_agrees(*expected, penalty.penalty),
+            "{}: penalty {} µs vs expected {} µs (interaction {})",
+            sc.name,
+            penalty.penalty.as_micros(),
+            expected.as_micros(),
+            penalty.interaction_id
+        );
+    }
+}
+
+/// Looks up matrix entries by name, panicking on a stale list.
+fn matrix_group(names: &[&str]) -> Vec<ScenarioSpec> {
+    let all = scenarios();
+    names
+        .iter()
+        .map(|n| {
+            *all.iter()
+                .find(|s| s.name == *n)
+                .unwrap_or_else(|| panic!("scenario {n} missing from matrix"))
+        })
+        .collect()
+}
+
+#[test]
+fn straddles_every_shneiderman_threshold() {
+    for spec in matrix_group(&[
+        "typing-below",
+        "typing-above",
+        "simple-below",
+        "simple-above",
+        "common-below",
+        "common-above",
+        "complex-below",
+        "complex-above",
+    ]) {
+        check(&spec);
+    }
+}
+
+#[test]
+fn masked_endings_conform() {
+    for spec in matrix_group(&[
+        "typing-above-masked",
+        "simple-below-masked",
+        "common-above-masked",
+        "complex-below-masked",
+    ]) {
+        check(&spec);
+    }
+}
+
+#[test]
+fn double_occurrence_endings_conform() {
+    for spec in matrix_group(&[
+        "occ2-typing-above",
+        "occ2-simple-below",
+        "occ2-simple-above",
+        "occ2-common-below",
+    ]) {
+        check(&spec);
+    }
+}
+
+#[test]
+fn frame_rate_axis_conforms() {
+    for spec in matrix_group(&[
+        "fps60-simple-below",
+        "fps60-typing-above",
+        "fps15-simple-above",
+        "fps15-common-below",
+    ]) {
+        check(&spec);
+    }
+}
+
+#[test]
+fn fault_injected_scenarios_conform() {
+    for spec in matrix_group(&[
+        "faulty-typing-above",
+        "faulty-simple-above",
+        "faulty-common-below",
+        "faulty-occ2-simple-below",
+    ]) {
+        check(&spec);
+    }
+}
+
+/// Compute-bound lags must shrink (weakly) as the clock rises, and by a
+/// large margin across the whole table — the paper's core per-OPP
+/// ordering claim, checked against analytic truth at all 14 OPPs.
+#[test]
+fn compute_ranking_is_faster_is_better() {
+    let spec = matrix_group(&["ranking-compute"]).remove(0);
+    let sc = spec.build();
+    let lab = lab_for(&sc);
+    let (db, _, _) = lab.annotate_workload(&sc.workload).expect("annotation");
+    let truth = sc.truth.lags[0];
+
+    let freqs: Vec<Frequency> = sc.device.opps.frequencies().collect();
+    let mut lags = Vec::with_capacity(freqs.len());
+    for &freq in &freqs {
+        let profile = probe_profile(&sc, &lab, &db, freq);
+        let measured = profile.lag_of(0).expect("matched lag");
+        let expected = truth.lag_at(freq);
+        assert!(
+            sc.tolerance.lag_agrees(expected, measured),
+            "ranking-compute at {freq}: measured {} µs vs true {} µs",
+            measured.as_micros(),
+            expected.as_micros()
+        );
+        lags.push(measured);
+    }
+    for pair in lags.windows(2) {
+        assert!(
+            pair[1] <= pair[0],
+            "ranking-compute: lag grew with frequency ({} -> {} µs)",
+            pair[0].as_micros(),
+            pair[1].as_micros()
+        );
+    }
+    let spread = lags[0] - lags[lags.len() - 1];
+    assert!(
+        spread >= SimDuration::from_millis(300),
+        "ranking-compute: min->max frequency only saved {} µs",
+        spread.as_micros()
+    );
+}
+
+/// Wait-bound lags must not move with the clock: the spread across the
+/// table stays within one tolerance band.
+#[test]
+fn wait_ranking_is_frequency_independent() {
+    let spec = matrix_group(&["ranking-wait"]).remove(0);
+    let sc = spec.build();
+    let lab = lab_for(&sc);
+    let (db, _, _) = lab.annotate_workload(&sc.workload).expect("annotation");
+    let truth = sc.truth.lags[0];
+
+    let opps = &sc.device.opps;
+    let mut lags = Vec::new();
+    for freq in [opps.min_freq(), sc.probe, opps.max_freq()] {
+        let profile = probe_profile(&sc, &lab, &db, freq);
+        let measured = profile.lag_of(0).expect("matched lag");
+        assert!(
+            sc.tolerance.lag_agrees(truth.lag_at(freq), measured),
+            "ranking-wait at {freq}: measured {} µs",
+            measured.as_micros()
+        );
+        lags.push(measured);
+    }
+    let spread = *lags.iter().max().unwrap() - *lags.iter().min().unwrap();
+    let band = sc.tolerance.lag_slack + sc.tolerance.early_slack;
+    assert!(
+        spread <= band,
+        "ranking-wait: lag moved {} µs across the table (band {} µs)",
+        spread.as_micros(),
+        band.as_micros()
+    );
+}
+
+/// A wait-bound truth holds under *any* governor: the four kernel models
+/// and an arbitrary frequency plan all measure the same lag. This pins
+/// the composition of governor plans into conformance scenarios.
+#[test]
+fn governors_cannot_change_wait_bound_truth() {
+    let spec = ScenarioSpec::wait(
+        "governor-wait",
+        InteractionCategory::SimpleFrequent,
+        SimDuration::from_millis(1_500),
+    )
+    .taps(1);
+    spec.validate().unwrap_or_else(|e| panic!("{e}"));
+    let sc = spec.build();
+    let lab = lab_for(&sc);
+    let (db, _, _) = lab.annotate_workload(&sc.workload).expect("annotation");
+    let truth = sc.truth.lags[0];
+
+    let opps = &sc.device.opps;
+    let mut plan = FrequencyPlan::new(opps.min_freq());
+    for (i, freq) in opps.frequencies().enumerate() {
+        plan.set_from(
+            interlag_evdev::time::SimTime::ZERO + SimDuration::from_millis(500 * i as u64),
+            freq,
+        );
+    }
+    let mut governors: Vec<Box<dyn Governor>> = vec![
+        Box::new(Conservative::default()),
+        Box::new(Interactive::for_table(opps)),
+        Box::new(Ondemand::default()),
+        Box::new(Schedutil::default()),
+        Box::new(PlanGovernor::new("staircase-plan", plan)),
+    ];
+    for governor in &mut governors {
+        let trace = sc.workload.script.record_trace();
+        let run = lab.run(&sc.workload, trace, governor.as_mut()).expect("governor run");
+        let video = run.video.as_ref().expect("video");
+        let (profile, failures) = mark_up_with_policy(
+            video,
+            &run.lag_beginnings(),
+            &db,
+            sc.name,
+            &MatchPolicy::paper_recovery(),
+        );
+        assert!(failures.is_empty(), "{}: match failures under {}", sc.name, run.governor_name);
+        let measured = profile.lag_of(0).expect("matched lag");
+        let expected = truth.lag_at(opps.max_freq());
+        assert!(
+            sc.tolerance.lag_agrees(expected, measured),
+            "{}: governor {} measured {} µs vs wait-bound truth {} µs",
+            sc.name,
+            run.governor_name,
+            measured.as_micros(),
+            expected.as_micros()
+        );
+    }
+}

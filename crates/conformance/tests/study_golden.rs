@@ -1,0 +1,61 @@
+//! Golden snapshot tests for `report.rs` over a full study of one oracle
+//! scenario, pinned across worker counts.
+//!
+//! A compact 4-OPP table keeps the study (4 fixed configs + 3 governors +
+//! oracle, 2 reps each) quick while exercising every report format. The
+//! same study runs with `workers = 1` and `workers = 4`; the paper
+//! pipeline is a pure function of its inputs, so both must render
+//! byte-identical reports, which are then held against committed
+//! snapshots under `tests/golden/`.
+//!
+//! Regenerate after an intentional format change with:
+//! `UPDATE_GOLDEN=1 cargo test -p interlag-conformance`.
+
+use interlag_conformance::{assert_matches_golden, ScenarioSpec};
+use interlag_core::{
+    oracle_csv, profile_csv, study_csv, study_markdown, Lab, LabConfig, StudyResult,
+};
+use interlag_device::InteractionCategory;
+use interlag_evdev::time::SimDuration;
+use interlag_power::opp::{Opp, OppTable};
+
+/// A Krait-shaped but compact OPP table: floor, two middle steps, ceiling.
+fn small_table() -> OppTable {
+    OppTable::new(vec![
+        Opp::new(300_000, 900),
+        Opp::new(960_000, 975),
+        Opp::new(1_497_600, 1_050),
+        Opp::new(2_150_400, 1_125),
+    ])
+}
+
+fn run_study(workers: usize) -> StudyResult {
+    let spec = ScenarioSpec::wait(
+        "golden-study",
+        InteractionCategory::SimpleFrequent,
+        SimDuration::from_millis(600),
+    );
+    spec.validate().unwrap_or_else(|e| panic!("{e}"));
+    let mut sc = spec.build();
+    sc.device.opps = small_table();
+    let lab = Lab::new(LabConfig { device: sc.device, reps: 2, workers, ..LabConfig::default() });
+    lab.study(&sc.workload).expect("study")
+}
+
+#[test]
+fn study_reports_match_golden_at_any_worker_count() {
+    let serial = run_study(1);
+    let parallel = run_study(4);
+
+    let first_fixed = &serial.fixed[0];
+    let renders = [
+        ("study.csv", study_csv(&serial), study_csv(&parallel)),
+        ("study.md", study_markdown(&serial), study_markdown(&parallel)),
+        ("profile.csv", profile_csv(first_fixed), profile_csv(&parallel.fixed[0])),
+        ("oracle.csv", oracle_csv(&serial), oracle_csv(&parallel)),
+    ];
+    for (name, at_one, at_four) in &renders {
+        assert_eq!(at_one, at_four, "{name}: workers=1 and workers=4 reports differ");
+        assert_matches_golden(name, at_one);
+    }
+}

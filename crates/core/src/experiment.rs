@@ -40,6 +40,7 @@ use crate::irritation::{user_irritation, ThresholdModel};
 use crate::matcher::{mark_up, mark_up_with_policy, MatchPolicy};
 use crate::oracle::{build_oracle, Oracle, OracleConfig};
 use crate::profile::LagProfile;
+use crate::stats::robust_mean;
 use crate::suggester::{Suggester, SuggesterConfig};
 
 /// Laboratory configuration.
@@ -216,42 +217,6 @@ impl ConfigSummary {
     /// pool repetitions the same way).
     pub fn pooled_lags_ms(&self) -> Vec<f64> {
         self.measured().flat_map(|r| r.profile.lags_ms()).collect()
-    }
-}
-
-/// Mean with median/MAD outlier rejection (modified z-score > 3.5, the
-/// Iglewicz–Hoaglin rule). With two or fewer values there is no robust
-/// estimate to be had, so the plain mean is returned; when the MAD is zero
-/// (more than half the values identical) only values equal to the median
-/// survive.
-fn robust_mean(values: &[f64]) -> f64 {
-    let plain = values.iter().sum::<f64>() / values.len() as f64;
-    if values.len() <= 2 {
-        return plain;
-    }
-    let median_of = |sorted: &[f64]| {
-        let n = sorted.len();
-        if n % 2 == 1 {
-            sorted[n / 2]
-        } else {
-            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-        }
-    };
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
-    let median = median_of(&sorted);
-    let mut deviations: Vec<f64> = values.iter().map(|v| (v - median).abs()).collect();
-    deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
-    let mad = median_of(&deviations);
-    let kept: Vec<f64> = if mad == 0.0 {
-        values.iter().copied().filter(|v| *v == median).collect()
-    } else {
-        values.iter().copied().filter(|v| 0.6745 * (v - median).abs() / mad <= 3.5).collect()
-    };
-    if kept.is_empty() {
-        plain
-    } else {
-        kept.iter().sum::<f64>() / kept.len() as f64
     }
 }
 

@@ -125,6 +125,67 @@ pub fn kernel_density(values: &[f64], grid_points: usize) -> Vec<(f64, f64)> {
         .collect()
 }
 
+/// Median of `values`; `None` for an empty slice. Even-length slices
+/// average the two central order statistics.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+    Some(median_sorted(&sorted))
+}
+
+/// Median absolute deviation from the median; `None` for an empty slice.
+/// Zero for a single element or all-identical data.
+pub fn mad(values: &[f64]) -> Option<f64> {
+    let m = median(values)?;
+    let mut deviations: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+    Some(median_sorted(&deviations))
+}
+
+fn median_sorted(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Mean with median/MAD outlier rejection (modified z-score, the
+/// Iglewicz–Hoaglin 3.5 cut): values whose `0.6745·|v − median| / MAD`
+/// exceeds 3.5 are dropped before averaging. With fewer than three
+/// samples — or when rejection would discard everything — it falls back
+/// to the plain mean, and an empty slice yields `0.0`, so the result is
+/// always finite (never NaN) for finite input.
+///
+/// Study summaries under fault injection use this so one abandoned or
+/// wildly perturbed repetition cannot drag a configuration's mean.
+pub fn robust_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let plain = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() <= 2 {
+        return plain;
+    }
+    let m = median(values).expect("non-empty");
+    let mad = mad(values).expect("non-empty");
+    let kept: Vec<f64> = if mad == 0.0 {
+        // All deviations tie at zero spread: keep the consensus values.
+        values.iter().copied().filter(|v| *v == m).collect()
+    } else {
+        values.iter().copied().filter(|v| 0.6745 * (v - m).abs() / mad <= 3.5).collect()
+    };
+    if kept.is_empty() {
+        plain
+    } else {
+        kept.iter().sum::<f64>() / kept.len() as f64
+    }
+}
+
 /// Geometric mean; zero if any value is non-positive or the slice is
 /// empty. Used for cross-dataset energy summaries.
 pub fn geometric_mean(values: &[f64]) -> f64 {
@@ -208,5 +269,62 @@ mod tests {
         assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert_eq!(geometric_mean(&[]), 0.0);
         assert_eq!(geometric_mean(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn median_edge_cases() {
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+        // Even length averages the two central order statistics,
+        // regardless of input order.
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+        assert_eq!(median(&[5.0, 5.0, 5.0, 5.0]), Some(5.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0]), Some(2.0));
+    }
+
+    #[test]
+    fn mad_edge_cases() {
+        assert_eq!(mad(&[]), None);
+        assert_eq!(mad(&[7.0]), Some(0.0));
+        assert_eq!(mad(&[5.0, 5.0, 5.0]), Some(0.0));
+        // {1,2,3,4}: median 2.5, deviations {1.5,0.5,0.5,1.5}, MAD 1.0.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0]), Some(1.0));
+    }
+
+    #[test]
+    fn robust_mean_rejects_the_outlier() {
+        // Tight cluster plus one wild value: the modified z-score cut
+        // drops it and the mean stays at the cluster.
+        let m = robust_mean(&[10.0, 10.1, 9.9, 10.0, 500.0]);
+        assert!((m - 10.0).abs() < 0.1, "robust mean {m}");
+        // Plain mean would be ~108.
+    }
+
+    #[test]
+    fn robust_mean_small_and_identical_inputs() {
+        assert_eq!(robust_mean(&[]), 0.0);
+        assert_eq!(robust_mean(&[3.0]), 3.0);
+        // Two samples cannot vote an outlier out: plain mean.
+        assert_eq!(robust_mean(&[1.0, 9.0]), 5.0);
+        // All-identical data has MAD zero; consensus is the value itself.
+        assert_eq!(robust_mean(&[4.0; 6]), 4.0);
+        // Majority-identical with stragglers: MAD zero keeps the consensus.
+        assert_eq!(robust_mean(&[4.0, 4.0, 4.0, 4.0, 100.0]), 4.0);
+    }
+
+    #[test]
+    fn robust_mean_never_yields_nan() {
+        let cases: [&[f64]; 6] = [
+            &[],
+            &[0.0],
+            &[0.0, 0.0],
+            &[1.0, 2.0],
+            &[1.0, 1.0, 1.0, 1e9],
+            &[-5.0, 5.0, 0.0, 1e-12],
+        ];
+        for values in cases {
+            let m = robust_mean(values);
+            assert!(m.is_finite(), "robust_mean({values:?}) = {m}");
+        }
     }
 }

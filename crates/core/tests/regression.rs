@@ -1,0 +1,64 @@
+//! Regression: the suggester assumes strictly increasing frame
+//! timestamps — `first_frame_at_or_after` binary-searches the time axis
+//! and `change_sequence` treats each index as a distinct instant. A
+//! duplicate timestamp must therefore be rejected at the stream
+//! boundary (a typed [`VideoError`]), and the suggester must behave
+//! correctly on the frames that survive.
+
+use std::sync::Arc;
+
+use interlag_core::suggester::{Suggester, SuggesterConfig};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_video::frame::FrameBuffer;
+use interlag_video::stream::{VideoError, VideoStream, FRAME_PERIOD_30FPS};
+
+fn frame(v: u8) -> Arc<FrameBuffer> {
+    let mut f = FrameBuffer::new(8, 8);
+    f.fill(v);
+    Arc::new(f)
+}
+
+#[test]
+fn duplicate_timestamps_are_rejected_and_suggester_sees_clean_frames() {
+    let period = FRAME_PERIOD_30FPS;
+    let mut video = VideoStream::new(period);
+    let base = frame(10);
+    let ending = frame(200);
+
+    // A A A E E E on the 30 fps grid, with a stalled-capture duplicate
+    // attempted at the change point.
+    for i in 0..3u64 {
+        video.push(SimTime::ZERO + period * i, base.clone()).unwrap();
+    }
+    let stalled_at = SimTime::ZERO + period * 2;
+    let err = video.push(stalled_at, ending.clone()).unwrap_err();
+    assert_eq!(err, VideoError::NonMonotonicTimestamp { prev: stalled_at, time: stalled_at });
+    // The typed rejection leaves the stream intact: same length, and the
+    // last surviving frame still holds the pre-change image.
+    assert_eq!(video.len(), 3);
+    assert!(Arc::ptr_eq(&video.frames()[2].buf, &base));
+
+    for i in 3..6u64 {
+        video.push(SimTime::ZERO + period * i, ending.clone()).unwrap();
+    }
+
+    // Strictly increasing timestamps survive, so the binary-searched
+    // window bounds are unambiguous...
+    let times: Vec<u64> = video.iter().map(|f| f.time.as_micros()).collect();
+    assert!(times.windows(2).all(|w| w[0] < w[1]), "timestamps not strictly increasing");
+
+    // ...and the suggester finds exactly one ending, at the first frame
+    // showing the new image — not at the rejected duplicate's slot.
+    let suggester = Suggester::new(SuggesterConfig::default());
+    let suggestions =
+        suggester.suggest(&video, SimTime::ZERO, SimTime::ZERO + SimDuration::from_secs(1));
+    assert_eq!(suggestions.len(), 1);
+    assert_eq!(suggestions[0].frame_index, 3);
+    assert_eq!(suggestions[0].time, SimTime::ZERO + period * 3);
+
+    // The change sequence marks one change across the whole capture: the
+    // duplicate never entered, so no index claims the same instant twice.
+    let changes = suggester.change_sequence(&video, 0, video.len() as u32);
+    assert_eq!(changes.iter().filter(|&&c| c).count(), 1);
+    assert!(changes[3]);
+}

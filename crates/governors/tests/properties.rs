@@ -28,6 +28,26 @@ fn drive(gov: &mut dyn Governor, loads: &[u8], table: &OppTable) -> Vec<u32> {
         .collect()
 }
 
+/// Fresh instances of the four kernel governor models, one constructor
+/// per policy so each property can build as many independent copies as
+/// it needs.
+type GovernorCtor = fn(&OppTable) -> Box<dyn Governor>;
+
+const KERNEL_GOVERNORS: [GovernorCtor; 4] = [
+    |_| Box::new(Ondemand::default()),
+    |_| Box::new(Conservative::default()),
+    |t| Box::new(Interactive::for_table(t)),
+    |_| Box::new(Schedutil::default()),
+];
+
+/// The frequency a fresh `gov` settles on after `n` samples of constant
+/// `pct` load — long enough for every policy's ramps, dwell timers and
+/// rate limits to converge.
+fn steady_state(gov: &mut dyn Governor, pct: u8, n: usize, table: &OppTable) -> u32 {
+    let loads = vec![pct; n];
+    *drive(gov, &loads, table).last().expect("at least one sample")
+}
+
 proptest! {
     /// Every governor's every decision is an exact OPP-table frequency.
     #[test]
@@ -94,6 +114,54 @@ proptest! {
         let mut gov = Ondemand::default();
         let freqs = drive(&mut gov, &loads, &table);
         prop_assert!(freqs.iter().all(|&f| f == table.max_freq().as_khz()));
+    }
+
+    /// Sustained load is answered monotonically: for every kernel
+    /// governor, the steady-state frequency under a heavier constant load
+    /// is never below the steady-state frequency under a lighter one —
+    /// and both are valid table OPPs.
+    #[test]
+    fn sustained_load_response_is_monotone(a in 0u8..=100, b in 0u8..=100) {
+        let table = OppTable::snapdragon_8074();
+        let valid: Vec<u32> = table.frequencies().map(|f| f.as_khz()).collect();
+        let (lighter, heavier) = if a <= b { (a, b) } else { (b, a) };
+        for make in KERNEL_GOVERNORS {
+            let mut gov = make(&table);
+            let f_light = steady_state(gov.as_mut(), lighter, 300, &table);
+            let mut gov = make(&table);
+            let f_heavy = steady_state(gov.as_mut(), heavier, 300, &table);
+            prop_assert!(valid.contains(&f_light), "{}: {f_light} kHz off-table", gov.name());
+            prop_assert!(valid.contains(&f_heavy), "{}: {f_heavy} kHz off-table", gov.name());
+            prop_assert!(
+                f_light <= f_heavy,
+                "{}: steady {f_light} kHz at {lighter}% load > {f_heavy} kHz at {heavier}%",
+                gov.name()
+            );
+        }
+    }
+
+    /// After any burst of saturation, sustained idleness decays every
+    /// kernel governor back to the table floor: ondemand immediately,
+    /// conservative by 5 % steps, interactive after its dwell,
+    /// schedutil as its utilisation estimate drains.
+    #[test]
+    fn idle_decay_reaches_the_floor(busy_len in 1usize..40) {
+        let table = OppTable::snapdragon_8074();
+        let mut loads = vec![100u8; busy_len];
+        loads.extend(std::iter::repeat_n(0u8, 300));
+        for make in KERNEL_GOVERNORS {
+            let mut gov = make(&table);
+            let freqs = drive(gov.as_mut(), &loads, &table);
+            let last = *freqs.last().expect("non-empty load sequence");
+            prop_assert_eq!(
+                last,
+                table.min_freq().as_khz(),
+                "{}: idles at {} kHz, floor is {} kHz",
+                gov.name(),
+                last,
+                table.min_freq().as_khz()
+            );
+        }
     }
 
     /// The plan governor follows an arbitrary plan exactly (quantised up

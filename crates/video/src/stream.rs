@@ -17,10 +17,12 @@ use crate::frame::FrameBuffer;
 /// Why the capture path rejected an operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VideoError {
-    /// A frame arrived stamped earlier than its predecessor. Accepting it
+    /// A frame arrived stamped at or before its predecessor. Accepting it
     /// would corrupt the binary-search invariants of
     /// [`VideoStream::frame_at`] and
-    /// [`VideoStream::first_frame_at_or_after`].
+    /// [`VideoStream::first_frame_at_or_after`], and a duplicate
+    /// timestamp would hand downstream walkers two frames claiming the
+    /// same instant.
     NonMonotonicTimestamp {
         /// Timestamp of the previously pushed frame.
         prev: SimTime,
@@ -103,13 +105,16 @@ impl VideoStream {
     ///
     /// # Errors
     ///
-    /// [`VideoError::NonMonotonicTimestamp`] if `time` precedes the
-    /// previous frame: capture hardware timestamps are monotonic, and a
-    /// backwards frame would corrupt the binary-search invariants of
-    /// [`VideoStream::frame_at`]. The stream is left unchanged.
+    /// [`VideoError::NonMonotonicTimestamp`] if `time` is at or before the
+    /// previous frame: capture hardware timestamps are strictly monotonic,
+    /// a backwards frame would corrupt the binary-search invariants of
+    /// [`VideoStream::frame_at`], and a duplicate timestamp would make the
+    /// suggester and matcher walk two frames claiming the same instant (a
+    /// stalled capture box re-presents the previous *buffer* at the next
+    /// slot, never the same timestamp twice). The stream is left unchanged.
     pub fn push(&mut self, time: SimTime, buf: Arc<FrameBuffer>) -> Result<(), VideoError> {
         if let Some(last) = self.frames.last() {
-            if time < last.time {
+            if time <= last.time {
                 return Err(VideoError::NonMonotonicTimestamp { prev: last.time, time });
             }
         }
@@ -268,8 +273,20 @@ mod tests {
         // The rejected frame must not have corrupted the stream.
         assert_eq!(s.len(), 1);
         assert_eq!(s.first_frame_at_or_after(SimTime::from_secs(1)), 0);
-        // Equal timestamps remain allowed (a stalled capture box repeats).
-        s.push(SimTime::from_secs(2), frame(1)).unwrap();
+        // A duplicate timestamp is rejected too: a stalled capture box
+        // repeats the previous *buffer* at the next slot, never the same
+        // timestamp twice, and downstream walkers assume strict order.
+        let dup = s.push(SimTime::from_secs(2), frame(1)).unwrap_err();
+        assert_eq!(
+            dup,
+            VideoError::NonMonotonicTimestamp {
+                prev: SimTime::from_secs(2),
+                time: SimTime::from_secs(2),
+            }
+        );
+        assert_eq!(s.len(), 1);
+        // Strictly later frames still append.
+        s.push(SimTime::from_secs(2) + SimDuration::from_micros(1), frame(1)).unwrap();
         assert_eq!(s.len(), 2);
     }
 
