@@ -26,6 +26,7 @@ use interlag_evdev::trace::EventTrace;
 use interlag_faults::{FaultConfig, FaultStreams, FaultyCapture, FaultyGovernor, FaultyReplayer};
 use interlag_governors::plan::PlanGovernor;
 use interlag_governors::{Conservative, Interactive, Ondemand};
+use interlag_obs::{Counter, Hist, Recorder};
 use interlag_power::calibrate::{calibrate, CalibrationConfig, MeasuredPowerTable};
 use interlag_power::energy::EnergyMeter;
 use interlag_power::model::PowerModel;
@@ -37,7 +38,7 @@ use interlag_workloads::gen::Workload;
 use crate::annotation::{annotate, AnnotationDb, AnnotationStats, GroundTruthPicker};
 use crate::error::InterlagError;
 use crate::irritation::{user_irritation, ThresholdModel};
-use crate::matcher::{mark_up, mark_up_with_policy, MatchPolicy};
+use crate::matcher::{mark_up_with_policy_observed, MatchPolicy};
 use crate::oracle::{build_oracle, Oracle, OracleConfig};
 use crate::profile::LagProfile;
 use crate::stats::robust_mean;
@@ -81,6 +82,13 @@ pub struct LabConfig {
     /// `faults` is `None`): tolerances escalate within this bound before a
     /// repetition is declared failed.
     pub recovery: MatchPolicy,
+    /// Observability recorder threaded through the whole study path — the
+    /// device loop, the matcher, the retry loop and the worker pool all
+    /// record into it. Disabled by default: a disabled recorder costs one
+    /// null check per call and the study output is bit-identical with or
+    /// without it. Everything the recorder derives from simulated time is
+    /// itself identical for any [`LabConfig::workers`] value.
+    pub obs: Recorder,
 }
 
 impl Default for LabConfig {
@@ -96,6 +104,7 @@ impl Default for LabConfig {
             faults: None,
             retry_budget: 2,
             recovery: MatchPolicy::paper_recovery(),
+            obs: Recorder::disabled(),
         }
     }
 }
@@ -291,6 +300,9 @@ impl Lab {
     /// with the paper's micro-benchmark procedure.
     pub fn new(mut config: LabConfig) -> Self {
         config.device.capture = CaptureMode::Hdmi;
+        // The device loop records into the same sink as the lab, so one
+        // recorder sees the whole pipeline.
+        config.device.obs = config.obs.clone();
         let measured =
             calibrate(&config.device.opps, &PowerModel::krait_like(), &config.calibration);
         let screen = config.device.screen;
@@ -363,6 +375,8 @@ impl Lab {
         &self,
         workload: &Workload,
     ) -> Result<(AnnotationDb, AnnotationStats, RunArtifacts), InterlagError> {
+        let _span = self.config.obs.wall_span("annotate");
+        self.config.obs.count(Counter::AnnotateRuns, 1);
         let trace = workload.script.record_trace();
         let mut reference_gov = FixedGovernor::new(self.config.device.opps.max_freq());
         let run = self.run(workload, trace, &mut reference_gov)?;
@@ -382,7 +396,17 @@ impl Lab {
     /// Irritation is filled in later once the threshold model exists.
     fn measure(&self, run: &RunArtifacts, db: &AnnotationDb, name: &str) -> RepResult {
         let video = run.video.as_ref().expect("study runs capture video");
-        let (profile, failures) = mark_up(video, &run.lag_beginnings(), db, name);
+        let (profile, failures) = {
+            let _span = self.config.obs.wall_span("match");
+            mark_up_with_policy_observed(
+                video,
+                &run.lag_beginnings(),
+                db,
+                name,
+                &MatchPolicy::strict(),
+                &self.config.obs,
+            )
+        };
         let energy = self.meter.measure(&run.activity);
         RepResult {
             profile,
@@ -416,21 +440,28 @@ impl Lab {
         );
         let mut governor = FaultyGovernor::new(governor, fc.dvfs, streams.dvfs);
         let mut capture = FaultyCapture::new(HdmiCapture::new(), fc.capture, streams.capture);
-        let run = self.device.run_with_capture(
-            &ctx.workload.script,
-            replayer,
-            &mut governor,
-            ctx.workload.run_until(),
-            &mut capture,
-        )?;
+        let run = {
+            let _span = self.config.obs.wall_span("replay");
+            self.device.run_with_capture(
+                &ctx.workload.script,
+                replayer,
+                &mut governor,
+                ctx.workload.run_until(),
+                &mut capture,
+            )?
+        };
         let video = run.video.as_ref().ok_or(InterlagError::MissingVideo)?;
-        let (profile, failures) = mark_up_with_policy(
-            video,
-            &run.lag_beginnings(),
-            ctx.db,
-            ctx.name,
-            &self.config.recovery,
-        );
+        let (profile, failures) = {
+            let _span = self.config.obs.wall_span("match");
+            mark_up_with_policy_observed(
+                video,
+                &run.lag_beginnings(),
+                ctx.db,
+                ctx.name,
+                &self.config.recovery,
+                &self.config.obs,
+            )
+        };
         if let Some(&(interaction_id, failure)) = failures.first() {
             return Err(InterlagError::Match { interaction_id, failure });
         }
@@ -482,24 +513,9 @@ impl Lab {
     }
 
     /// Jitters input timings by ±`jitter_us` (repetition `rep` > 0), the
-    /// run-to-run variation a real rig sees. Event order is preserved.
+    /// run-to-run variation a real rig sees. See [`jitter_events`].
     fn jittered_trace(&self, trace: &EventTrace, rep: u32) -> EventTrace {
-        if rep == 0 || self.config.jitter_us == 0 {
-            return trace.clone();
-        }
-        let mut rng = SplitMix64::new(0x0e9_5eed ^ rep as u64);
-        let j = self.config.jitter_us as i64;
-        let mut last = SimTime::ZERO;
-        trace
-            .iter()
-            .map(|e| {
-                let offset = rng.next_range(-j, j);
-                let t = SimTime::from_micros((e.time.as_micros() as i64 + offset).max(0) as u64);
-                let t = t.max(last);
-                last = t;
-                interlag_evdev::event::TimedEvent::new(t, e.device, e.event)
-            })
-            .collect()
+        jitter_events(trace, self.config.jitter_us, rep)
     }
 
     /// Runs `count` independent jobs across the configured worker threads
@@ -511,9 +527,15 @@ impl Lab {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        let obs = &self.config.obs;
         let workers = self.config.workers.max(1).min(count.max(1));
         if workers == 1 {
-            return (0..count).map(job).collect();
+            return (0..count)
+                .map(|i| {
+                    obs.count(Counter::WorkerJobs, 1);
+                    job(i)
+                })
+                .collect();
         }
         // A shared-counter work queue: each worker claims the next
         // unclaimed job until none remain. Slots are per-job, so workers
@@ -521,14 +543,34 @@ impl Lab {
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= count {
-                        break;
+            let (next, slots, job) = (&next, &slots, &job);
+            for w in 0..workers {
+                s.spawn(move || {
+                    // Tag the thread so wall spans land on this worker's
+                    // trace track, and account its busy/idle split.
+                    interlag_obs::set_worker(w as u32 + 1);
+                    let started = std::time::Instant::now();
+                    let mut busy = std::time::Duration::ZERO;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        let t0 = std::time::Instant::now();
+                        let result = job(i);
+                        busy += t0.elapsed();
+                        obs.count(Counter::WorkerJobs, 1);
+                        *slots[i].lock().expect("result slot poisoned") = Some(result);
                     }
-                    let result = job(i);
-                    *slots[i].lock().expect("result slot poisoned") = Some(result);
+                    if obs.is_enabled() {
+                        let total = started.elapsed();
+                        obs.worker_time(
+                            w as u32 + 1,
+                            busy.as_nanos() as u64,
+                            total.saturating_sub(busy).as_nanos() as u64,
+                        );
+                    }
+                    interlag_obs::set_worker(0);
                 });
             }
         });
@@ -568,6 +610,8 @@ impl Lab {
     /// run fails; injected faults never abort the study.
     pub fn study(&self, workload: &Workload) -> Result<StudyResult, InterlagError> {
         const GOVERNOR_NAMES: [&str; 3] = ["conservative", "interactive", "ondemand"];
+        let obs = &self.config.obs;
+        let _study_span = obs.wall_span("study");
         let trace = workload.script.record_trace();
         let (db, annotation, reference_run) = self.annotate_workload(workload)?;
         let opps = self.config.device.opps.clone();
@@ -592,9 +636,11 @@ impl Lab {
          -> (RepResult, RepOutcome) {
             match &faults {
                 None => {
-                    let run = self
-                        .run(workload, self.jittered_trace(&trace, rep), gov)
-                        .expect("fault-free study run");
+                    let run = {
+                        let _span = obs.wall_span("replay");
+                        self.run(workload, self.jittered_trace(&trace, rep), gov)
+                            .expect("fault-free study run")
+                    };
                     (self.measure(&run, &db, name), RepOutcome::Ok)
                 }
                 Some(fc) => {
@@ -606,13 +652,52 @@ impl Lab {
                 }
             }
         };
+        // Per-repetition telemetry: outcome counters (commutative, so
+        // identical at any worker count) plus — when recording — the
+        // repetition's simulated-time track with its stage and lag spans.
+        // Everything here derives from simulated time or fixed inputs, so
+        // the sim-axis exports stay byte-stable across worker counts.
+        let trace_end_us = trace.iter().last().map(|e| e.time.as_micros()).unwrap_or(0);
+        let record_rep = |name: &str, rep: u32, (result, outcome): &(RepResult, RepOutcome)| {
+            obs.count(Counter::StudyReps, 1);
+            match outcome {
+                RepOutcome::Ok => {
+                    obs.count(Counter::RepsOk, 1);
+                    obs.observe(Hist::RetryAttemptsPerRep, 1);
+                }
+                RepOutcome::Retried { attempts } => {
+                    obs.count(Counter::RepsRetried, 1);
+                    obs.count(Counter::RetryAttempts, u64::from(attempts - 1));
+                    obs.observe(Hist::RetryAttemptsPerRep, u64::from(*attempts));
+                }
+                RepOutcome::Abandoned { attempts, .. } => {
+                    obs.count(Counter::RepsAbandoned, 1);
+                    obs.count(Counter::RetryAttempts, u64::from(attempts - 1));
+                    obs.observe(Hist::RetryAttemptsPerRep, u64::from(*attempts));
+                }
+            }
+            if obs.is_enabled() {
+                let track = obs.track(&format!("{name}/rep{rep}"));
+                obs.sim_span("replay", track, 0, trace_end_us);
+                obs.sim_span("capture", track, 0, workload.run_until().as_micros());
+                for e in result.profile.entries() {
+                    obs.sim_span(
+                        "lag",
+                        track,
+                        e.input_time.as_micros(),
+                        (e.input_time + e.lag).as_micros(),
+                    );
+                }
+            }
+        };
         let results = self.run_matrix((n_fixed + GOVERNOR_NAMES.len()) * per_rep, |i| {
+            let _span = obs.wall_span("study-rep");
             let config = i / per_rep;
             let rep = (i % per_rep) as u32;
             if config < n_fixed {
                 let freq = freqs[config];
                 let name = format!("fixed-{freq}");
-                if freq == opps.max_freq() && rep == 0 {
+                let out = if freq == opps.max_freq() && rep == 0 {
                     // Reuse the annotation reference run: it doubles as the
                     // fastest configuration's first repetition and stays
                     // fault-exempt even in a fault-injected study.
@@ -620,7 +705,9 @@ impl Lab {
                 } else {
                     let mut gov = FixedGovernor::new(freq);
                     run_rep(config, rep, &mut gov, &name)
-                }
+                };
+                record_rep(&name, rep, &out);
+                out
             } else {
                 let which = GOVERNOR_NAMES[config - n_fixed];
                 let mut conservative;
@@ -640,7 +727,9 @@ impl Lab {
                         &mut ondemand
                     }
                 };
-                run_rep(config, rep, gov, which)
+                let out = run_rep(config, rep, gov, which);
+                record_rep(which, rep, &out);
+                out
             }
         });
 
@@ -699,8 +788,11 @@ impl Lab {
         let oracle_cfg = OracleConfig::paper(self.power_table().most_efficient_freq());
         let oracle_detail = build_oracle(&fixed_profiles, &oracle_cfg);
         let oracle_results: Vec<(RepResult, RepOutcome)> = self.run_matrix(per_rep, |rep| {
+            let _span = obs.wall_span("study-rep");
             let mut gov = PlanGovernor::new("oracle", oracle_detail.plan.clone());
-            run_rep(n_fixed + GOVERNOR_NAMES.len(), rep as u32, &mut gov, "oracle")
+            let out = run_rep(n_fixed + GOVERNOR_NAMES.len(), rep as u32, &mut gov, "oracle");
+            record_rep("oracle", rep as u32, &out);
+            out
         });
         let (oracle_reps, oracle_outcomes): (Vec<RepResult>, Vec<RepOutcome>) =
             oracle_results.into_iter().unzip();
@@ -722,6 +814,7 @@ impl Lab {
             oracle: oracle_summary,
             oracle_detail,
         };
+        let _irritate_span = obs.wall_span("irritate");
         for summary in result
             .fixed
             .iter_mut()
@@ -746,9 +839,41 @@ impl Default for Lab {
     }
 }
 
+/// Applies per-event timing jitter of ±`jitter_us` to `trace` for
+/// repetition `rep`, preserving event order and emitting *strictly
+/// increasing* timestamps. Replay and the capture path assume monotone
+/// time, and `VideoStream::push` rejects duplicates outright, so a pair of
+/// events that the jitter (or the clamp at zero) pushes onto the same
+/// microsecond would poison the run; colliding timestamps are bumped
+/// forward by 1 µs instead. Repetition 0 — and a zero jitter setting —
+/// replays the recording untouched.
+fn jitter_events(trace: &EventTrace, jitter_us: u64, rep: u32) -> EventTrace {
+    if rep == 0 || jitter_us == 0 {
+        return trace.clone();
+    }
+    let mut rng = SplitMix64::new(0x0e9_5eed ^ rep as u64);
+    let j = jitter_us as i64;
+    let mut last: Option<SimTime> = None;
+    trace
+        .iter()
+        .map(|e| {
+            let offset = rng.next_range(-j, j);
+            let mut t = SimTime::from_micros((e.time.as_micros() as i64 + offset).max(0) as u64);
+            if let Some(prev) = last {
+                if t <= prev {
+                    t = prev + SimDuration::from_micros(1);
+                }
+            }
+            last = Some(t);
+            interlag_evdev::event::TimedEvent::new(t, e.device, e.event)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matcher::mark_up;
     use interlag_device::script::InteractionCategory;
     use interlag_workloads::gen::{WorkloadBuilder, MCYCLES};
 
@@ -772,6 +897,46 @@ mod tests {
         // Reduce the OPP sweep cost: keep the full table (the study needs
         // it) but a single repetition.
         Lab::new(LabConfig { reps: 1, ..Default::default() })
+    }
+
+    proptest::proptest! {
+        /// The contract replay depends on: jittered traces keep their
+        /// length and stay *strictly* increasing in time, whatever the
+        /// input spacing. The old clamp-to-last produced duplicate
+        /// timestamps whenever jitter pulled neighbours together.
+        #[test]
+        fn jitter_keeps_timestamps_strictly_increasing(
+            mut times in proptest::collection::vec(0u64..5_000_000, 1..64),
+            jitter_us in 1u64..10_000,
+            rep in 1u32..8,
+        ) {
+            use interlag_evdev::event::{EventType, InputEvent, TimedEvent};
+            times.sort_unstable();
+            let trace: EventTrace = times
+                .iter()
+                .map(|&t| {
+                    TimedEvent::new(
+                        SimTime::from_micros(t),
+                        0,
+                        InputEvent::new(EventType::Syn, 0, 0),
+                    )
+                })
+                .collect();
+            let out = jitter_events(&trace, jitter_us, rep);
+            proptest::prop_assert_eq!(out.iter().count(), times.len());
+            let mut prev: Option<SimTime> = None;
+            for e in out.iter() {
+                if let Some(p) = prev {
+                    proptest::prop_assert!(e.time > p, "{:?} !> {:?}", e.time, p);
+                }
+                prev = Some(e.time);
+            }
+            // Repetition 0 replays the recording untouched.
+            let identity = jitter_events(&trace, jitter_us, 0);
+            for (a, b) in trace.iter().zip(identity.iter()) {
+                proptest::prop_assert_eq!(a.time, b.time);
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_obs::{Counter, Hist, Recorder, DISABLED};
 use interlag_video::frame::FrameBuffer;
 use interlag_video::mask::MatchTolerance;
 use interlag_video::stream::VideoStream;
@@ -127,7 +128,7 @@ impl Matcher {
         input_time: SimTime,
         annotation: &LagAnnotation,
     ) -> Result<MatchedLag, MatchFailure> {
-        self.match_at(video, input_time, annotation, annotation.tolerance, 1.0)
+        self.match_at(video, input_time, annotation, annotation.tolerance, 1.0, &DISABLED)
     }
 
     /// Like [`Matcher::match_lag`], but when the annotated tolerance finds
@@ -145,7 +146,25 @@ impl Matcher {
         annotation: &LagAnnotation,
         policy: &MatchPolicy,
     ) -> Result<MatchedLag, MatchFailure> {
-        match self.match_at(video, input_time, annotation, annotation.tolerance, 1.0) {
+        self.match_lag_with_policy_observed(video, input_time, annotation, policy, &DISABLED)
+    }
+
+    /// [`Matcher::match_lag_with_policy`] with telemetry: escalation-ladder
+    /// steps taken are counted into `rec`, and a successful match records
+    /// the ladder depth it was found at (0 = the annotated tolerance).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Matcher::match_lag_with_policy`].
+    pub fn match_lag_with_policy_observed(
+        &self,
+        video: &VideoStream,
+        input_time: SimTime,
+        annotation: &LagAnnotation,
+        policy: &MatchPolicy,
+        rec: &Recorder,
+    ) -> Result<MatchedLag, MatchFailure> {
+        match self.match_at(video, input_time, annotation, annotation.tolerance, 1.0, rec) {
             Err(MatchFailure::EndingNotFound) => {
                 for (i, step) in policy.escalation.iter().enumerate() {
                     let tolerance = MatchTolerance {
@@ -155,19 +174,29 @@ impl Matcher {
                         pixel_budget: step.pixel_budget.max(annotation.tolerance.pixel_budget),
                     };
                     let confidence = 1.0 / (i + 2) as f64;
+                    rec.count(Counter::MatchEscalations, 1);
                     if let Ok(m) =
-                        self.match_at(video, input_time, annotation, tolerance, confidence)
+                        self.match_at(video, input_time, annotation, tolerance, confidence, rec)
                     {
+                        rec.observe(Hist::EscalationDepth, i as u64 + 1);
                         return Ok(m);
                     }
                 }
                 Err(MatchFailure::EndingNotFound)
             }
-            verdict => verdict,
+            verdict => {
+                if verdict.is_ok() {
+                    rec.observe(Hist::EscalationDepth, 0);
+                }
+                verdict
+            }
         }
     }
 
-    /// The frame walk at one explicit tolerance.
+    /// The frame walk at one explicit tolerance. Walk length and
+    /// verdict-cache traffic are accumulated locally and flushed to `rec`
+    /// once per walk, so the per-frame path stays allocation- and
+    /// atomics-free.
     fn match_at(
         &self,
         video: &VideoStream,
@@ -175,6 +204,7 @@ impl Matcher {
         annotation: &LagAnnotation,
         tolerance: MatchTolerance,
         confidence: f64,
+        rec: &Recorder,
     ) -> Result<MatchedLag, MatchFailure> {
         let first = video.first_frame_at_or_after(input_time);
         let mut remaining = annotation.occurrence.max(1);
@@ -190,34 +220,59 @@ impl Matcher {
         // case) before falling back to the map.
         let mut last: Option<(*const FrameBuffer, bool)> = None;
         let mut verdicts: HashMap<*const FrameBuffer, bool> = HashMap::new();
-        for frame in &video.frames()[first as usize..] {
-            // The annotation image has its mask burned in; apply the same
-            // masking to the candidate by comparing under the mask (the
-            // mask zeroes the same pixels on both sides, and masked
-            // comparison ignores them anyway).
-            let key = Arc::as_ptr(&frame.buf);
-            let matches = match last {
-                Some((prev, verdict)) if prev == key => verdict,
-                _ => *verdicts.entry(key).or_insert_with(|| {
-                    tolerance.matches_compiled(&compiled, &annotation.image, &frame.buf)
-                }),
-            };
-            last = Some((key, matches));
-            if matches && !in_match {
-                remaining -= 1;
-                if remaining == 0 {
-                    return Ok(MatchedLag {
-                        interaction_id: annotation.interaction_id,
-                        end_frame: frame.index,
-                        end_time: frame.time,
-                        lag: frame.time.saturating_since(input_time),
-                        confidence,
-                    });
+        let (mut walked, mut hit_last, mut hit_map, mut missed) = (0u64, 0u64, 0u64, 0u64);
+        let result = 'walk: {
+            for frame in &video.frames()[first as usize..] {
+                // The annotation image has its mask burned in; apply the same
+                // masking to the candidate by comparing under the mask (the
+                // mask zeroes the same pixels on both sides, and masked
+                // comparison ignores them anyway).
+                walked += 1;
+                let key = Arc::as_ptr(&frame.buf);
+                let matches = match last {
+                    Some((prev, verdict)) if prev == key => {
+                        hit_last += 1;
+                        verdict
+                    }
+                    _ => match verdicts.get(&key) {
+                        Some(&verdict) => {
+                            hit_map += 1;
+                            verdict
+                        }
+                        None => {
+                            missed += 1;
+                            let verdict = tolerance.matches_compiled(
+                                &compiled,
+                                &annotation.image,
+                                &frame.buf,
+                            );
+                            verdicts.insert(key, verdict);
+                            verdict
+                        }
+                    },
+                };
+                last = Some((key, matches));
+                if matches && !in_match {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        break 'walk Ok(MatchedLag {
+                            interaction_id: annotation.interaction_id,
+                            end_frame: frame.index,
+                            end_time: frame.time,
+                            lag: frame.time.saturating_since(input_time),
+                            confidence,
+                        });
+                    }
                 }
+                in_match = matches;
             }
-            in_match = matches;
-        }
-        Err(MatchFailure::EndingNotFound)
+            Err(MatchFailure::EndingNotFound)
+        };
+        rec.observe(Hist::MatchWalkFrames, walked);
+        rec.count(Counter::VerdictCacheHitLast, hit_last);
+        rec.count(Counter::VerdictCacheHitMap, hit_map);
+        rec.count(Counter::VerdictCacheMiss, missed);
+        result
     }
 }
 
@@ -247,6 +302,21 @@ pub fn mark_up_with_policy(
     config_name: &str,
     policy: &MatchPolicy,
 ) -> (LagProfile, Vec<(usize, MatchFailure)>) {
+    mark_up_with_policy_observed(video, lag_beginnings, db, config_name, policy, &DISABLED)
+}
+
+/// [`mark_up_with_policy`] with telemetry: resolved and failed lags, walk
+/// lengths, verdict-cache traffic and escalation depths are recorded into
+/// `rec`. With a disabled recorder this is exactly
+/// [`mark_up_with_policy`].
+pub fn mark_up_with_policy_observed(
+    video: &VideoStream,
+    lag_beginnings: &[(usize, SimTime)],
+    db: &AnnotationDb,
+    config_name: &str,
+    policy: &MatchPolicy,
+    rec: &Recorder,
+) -> (LagProfile, Vec<(usize, MatchFailure)>) {
     let matcher = Matcher::new();
     let mut profile = LagProfile::new(config_name);
     let mut failures = Vec::new();
@@ -254,7 +324,9 @@ pub fn mark_up_with_policy(
         match db.get(id) {
             None => failures.push((id, MatchFailure::NotAnnotated)),
             Some(annotation) => {
-                match matcher.match_lag_with_policy(video, input_time, annotation, policy) {
+                match matcher
+                    .match_lag_with_policy_observed(video, input_time, annotation, policy, rec)
+                {
                     Ok(m) => profile.push(LagEntry {
                         interaction_id: id,
                         input_time,
@@ -267,6 +339,8 @@ pub fn mark_up_with_policy(
             }
         }
     }
+    rec.count(Counter::MatchLags, profile.len() as u64);
+    rec.count(Counter::MatchFailures, failures.len() as u64);
     (profile, failures)
 }
 

@@ -51,7 +51,11 @@ pub fn study_csv(study: &StudyResult) -> String {
             "governor"
         };
         let freq = c.freq.map(|f| f.as_khz().to_string()).unwrap_or_default();
-        let lags = c.reps.first().map(|r| r.profile.len()).unwrap_or(0);
+        // First *measured* repetition: under fault injection repetition 0
+        // can be an abandoned placeholder with an empty profile, which
+        // used to report `lags = 0` for a configuration that measured
+        // fine in its surviving repetitions.
+        let lags = c.measured().next().map(|r| r.profile.len()).unwrap_or(0);
         let _ = writeln!(
             out,
             "{},{},{},{:.3},{:.4},{:.3},{},{}",
@@ -68,11 +72,14 @@ pub fn study_csv(study: &StudyResult) -> String {
     out
 }
 
-/// One configuration's lag profile (repetition 0) as CSV:
+/// One configuration's lag profile (first measured repetition) as CSV:
 /// `interaction_id,input_time_us,lag_ms,threshold_ms`.
+///
+/// Abandoned placeholder repetitions are skipped, so a fault that
+/// abandons repetition 0 does not blank the whole export.
 pub fn profile_csv(config: &ConfigSummary) -> String {
     let mut out = String::from("interaction_id,input_time_us,lag_ms,threshold_ms\n");
-    if let Some(rep) = config.reps.first() {
+    if let Some(rep) = config.measured().next() {
         for e in rep.profile.entries() {
             let _ = writeln!(
                 out,
@@ -182,6 +189,49 @@ mod tests {
         assert!(md.contains("| config |"));
         assert_eq!(md.matches("| fixed-").count(), 14);
         assert!(md.contains("| oracle |"));
+    }
+
+    #[test]
+    fn abandoned_first_rep_does_not_blank_exports() {
+        use crate::error::InterlagError;
+        use crate::experiment::{RepOutcome, RepResult};
+        use crate::profile::LagProfile;
+        use interlag_evdev::time::SimDuration;
+
+        let mut study = small_study();
+        let idx = study.governors.iter().position(|c| c.name == "ondemand").expect("present");
+        let expected_lags = study.governors[idx].reps[0].profile.len();
+        assert!(expected_lags > 0, "sanity: the study measured something");
+
+        // Simulate a fault run that abandoned repetition 0: its slot is an
+        // empty placeholder, exactly as Lab::study records it.
+        let cfg = &mut study.governors[idx];
+        cfg.reps.insert(
+            0,
+            RepResult {
+                profile: LagProfile::new("ondemand"),
+                dynamic_energy_mj: 0.0,
+                irritation: SimDuration::ZERO,
+                match_failures: 0,
+                input_faults: 0,
+            },
+        );
+        cfg.outcomes = std::iter::once(RepOutcome::Abandoned {
+            attempts: 3,
+            cause: InterlagError::MissingVideo,
+        })
+        .chain((1..cfg.reps.len()).map(|_| RepOutcome::Ok))
+        .collect();
+
+        // The lag profile export must come from the first *measured* rep…
+        let csv = profile_csv(&study.governors[idx]);
+        assert_eq!(csv.lines().count(), 1 + expected_lags);
+
+        // …and the summary's lag count likewise.
+        let summary = study_csv(&study);
+        let row = summary.lines().find(|l| l.starts_with("ondemand,")).expect("row");
+        let lags: usize = row.split(',').nth(6).expect("lags field").parse().expect("number");
+        assert_eq!(lags, expected_lags);
     }
 
     #[test]

@@ -40,18 +40,27 @@ impl FiveNumber {
     }
 }
 
+/// The NaN-free subset of `values`. A faulted measurement (say, a power
+/// sample perturbed into `0.0 / 0.0`) must degrade one statistic, not
+/// panic the whole study: every public function here drops NaNs through
+/// this filter before sorting. Infinities order fine and pass through.
+fn without_nans(values: &[f64]) -> Vec<f64> {
+    values.iter().copied().filter(|v| !v.is_nan()).collect()
+}
+
 /// Computes the five-number summary of `values`.
 ///
 /// Quartiles use linear interpolation between order statistics (type-7,
 /// the numpy default the paper's plots were made with).
 ///
-/// Returns `None` for an empty slice.
+/// NaN values are ignored; returns `None` for an empty slice or when
+/// every value is NaN.
 pub fn five_number(values: &[f64]) -> Option<FiveNumber> {
-    if values.is_empty() {
+    let mut v = without_nans(values);
+    if v.is_empty() {
         return None;
     }
-    let mut v: Vec<f64> = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("lag data is finite"));
+    v.sort_by(f64::total_cmp);
     let mean = v.iter().sum::<f64>() / v.len() as f64;
     Some(FiveNumber {
         min: v[0],
@@ -125,23 +134,26 @@ pub fn kernel_density(values: &[f64], grid_points: usize) -> Vec<(f64, f64)> {
         .collect()
 }
 
-/// Median of `values`; `None` for an empty slice. Even-length slices
-/// average the two central order statistics.
+/// Median of `values`, ignoring NaNs; `None` for an empty slice (or one
+/// that is entirely NaN). Even-length slices average the two central
+/// order statistics.
 pub fn median(values: &[f64]) -> Option<f64> {
-    if values.is_empty() {
+    let mut sorted = without_nans(values);
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+    sorted.sort_by(f64::total_cmp);
     Some(median_sorted(&sorted))
 }
 
-/// Median absolute deviation from the median; `None` for an empty slice.
-/// Zero for a single element or all-identical data.
+/// Median absolute deviation from the median, ignoring NaNs; `None` for
+/// an empty (or all-NaN) slice. Zero for a single element or
+/// all-identical data.
 pub fn mad(values: &[f64]) -> Option<f64> {
     let m = median(values)?;
-    let mut deviations: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
-    deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+    let mut deviations: Vec<f64> =
+        values.iter().filter(|v| !v.is_nan()).map(|v| (v - m).abs()).collect();
+    deviations.sort_by(f64::total_cmp);
     Some(median_sorted(&deviations))
 }
 
@@ -162,8 +174,12 @@ fn median_sorted(sorted: &[f64]) -> f64 {
 /// always finite (never NaN) for finite input.
 ///
 /// Study summaries under fault injection use this so one abandoned or
-/// wildly perturbed repetition cannot drag a configuration's mean.
+/// wildly perturbed repetition cannot drag a configuration's mean. NaN
+/// values are dropped up front — a single poisoned sample rejects itself
+/// rather than poisoning the mean.
 pub fn robust_mean(values: &[f64]) -> f64 {
+    let values = without_nans(values);
+    let values = values.as_slice();
     if values.is_empty() {
         return 0.0;
     }
@@ -198,6 +214,27 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn nan_values_are_filtered_not_fatal() {
+        let nan = f64::NAN;
+        // Each of these used to panic inside the sort comparator.
+        assert_eq!(median(&[1.0, nan, 3.0]), Some(2.0));
+        assert_eq!(median(&[nan]), None);
+        assert_eq!(mad(&[1.0, nan, 2.0, 3.0, nan]), Some(1.0));
+        assert!(mad(&[nan, nan]).is_none());
+
+        let f = five_number(&[nan, 5.0, 1.0, nan, 3.0]).unwrap();
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.median, 3.0);
+        assert_eq!(f.max, 5.0);
+        assert_eq!(f.mean, 3.0);
+        assert!(five_number(&[nan, nan]).is_none());
+
+        let m = robust_mean(&[10.0, nan, 10.2, 9.8, nan]);
+        assert!((m - 10.0).abs() < 0.2);
+        assert_eq!(robust_mean(&[nan]), 0.0);
+    }
 
     #[test]
     fn five_number_of_known_data() {

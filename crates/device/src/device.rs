@@ -69,6 +69,12 @@ pub struct DeviceConfig {
     /// passes share the foreground queue, so heavy foreground work makes
     /// animations drop frames — jank.
     pub ui_render_cycles: u64,
+    /// Observability sink for the execution loop (governor sampling,
+    /// input boosts, captured frames). Disabled by default; the lab
+    /// injects its own recorder so study telemetry includes device-level
+    /// counters. Counts are accumulated locally and flushed once per run,
+    /// so the quantum loop never touches shared state.
+    pub obs: interlag_obs::Recorder,
 }
 
 impl Default for DeviceConfig {
@@ -81,6 +87,7 @@ impl Default for DeviceConfig {
             capture: CaptureMode::Hdmi,
             input_cost_cycles: 150_000,
             ui_render_cycles: 8_000_000,
+            obs: interlag_obs::Recorder::disabled(),
         }
     }
 }
@@ -285,6 +292,15 @@ impl Device {
         let mut next_bg = 0usize;
         let mut next_tick_at = script.tick.map(|_| SimTime::ZERO + quantum);
 
+        // --- state: observability -------------------------------------------
+        // Local accumulators, flushed to the recorder once per run: the
+        // quantum loop stays free of shared-state traffic even when
+        // recording is on.
+        let mut obs_input_boosts = 0u64;
+        let mut obs_samples = 0u64;
+        let mut obs_transitions = 0u64;
+        let mut obs_frames = 0u64;
+
         // --- state: I/O waits ----------------------------------------------
         // Tasks blocked on a phase wait, with their resume times, and scene
         // updates whose visibility is deferred behind a wait.
@@ -300,6 +316,7 @@ impl Device {
             for te in replayer.poll(now) {
                 if let Some(f) = governor.on_input(te.time, &cfg.opps) {
                     freq = cfg.opps.quantize_up(f);
+                    obs_input_boosts += 1;
                 }
                 if te.event.is_syn_report() && cfg.input_cost_cycles > 0 {
                     bg.push_back(Task::new(
@@ -472,7 +489,10 @@ impl Device {
             if qend >= next_sample_at {
                 let window = qend - last_sample_at;
                 let sample = LoadSample { busy: busy_acc, window };
+                let before = freq;
                 freq = cfg.opps.quantize_up(governor.on_sample(qend, sample, &cfg.opps));
+                obs_samples += 1;
+                obs_transitions += u64::from(freq != before);
                 busy_acc = SimDuration::ZERO;
                 last_sample_at = qend;
                 next_sample_at = qend + governor.sample_period();
@@ -494,12 +514,18 @@ impl Device {
                         None => screen.clone(),
                     };
                     video.push(next_frame_at, frame)?;
+                    obs_frames += 1;
                     next_frame_at += cfg.frame_period;
                 }
             }
 
             now = qend;
         }
+
+        cfg.obs.count(interlag_obs::Counter::InputBoosts, obs_input_boosts);
+        cfg.obs.count(interlag_obs::Counter::GovernorSamples, obs_samples);
+        cfg.obs.count(interlag_obs::Counter::FreqTransitions, obs_transitions);
+        cfg.obs.count(interlag_obs::Counter::FramesCaptured, obs_frames);
 
         Ok(RunArtifacts {
             governor_name: governor.name().to_string(),

@@ -1,0 +1,377 @@
+//! Exporters: Chrome trace-event JSON and the plain-text run report.
+//!
+//! Both render from a [`Snapshot`] — an owned copy of the recorder state —
+//! so no lock is held while formatting. The JSON is hand-rolled (the crate
+//! is dependency-free); the only dynamic strings that reach it are track
+//! names, which pass through [`escape_json`].
+//!
+//! Determinism: callers ask for either the full rendering (wall-clock
+//! process / section included) or the sim-only rendering. The sim-only
+//! rendering depends exclusively on simulated-time data and fixed metric
+//! registries, and sorts spans and tracks before emitting, so it is
+//! byte-identical across runs and worker counts for the same study inputs.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{Counter, Hist};
+
+/// A completed span on the simulated-time axis.
+#[derive(Debug, Clone)]
+pub(crate) struct SimSpan {
+    pub(crate) name: &'static str,
+    pub(crate) track: u32,
+    pub(crate) start_us: u64,
+    pub(crate) end_us: u64,
+}
+
+/// A completed span on the wall-clock axis.
+#[derive(Debug, Clone)]
+pub(crate) struct WallRec {
+    pub(crate) name: &'static str,
+    pub(crate) worker: u32,
+    pub(crate) start_ns: u64,
+    pub(crate) end_ns: u64,
+}
+
+/// Everything the exporters need, pulled out of the shared recorder state
+/// in one pass.
+#[derive(Debug, Default)]
+pub(crate) struct Snapshot {
+    /// One total per [`Counter`], in `Counter::ALL` order (empty when the
+    /// recorder is disabled).
+    pub(crate) counters: Vec<u64>,
+    /// Per [`Hist`]: bucket counts (`bounds().len() + 1`), total count, sum.
+    pub(crate) hists: Vec<(Vec<u64>, u64, u64)>,
+    pub(crate) tracks: Vec<String>,
+    pub(crate) sim_spans: Vec<SimSpan>,
+    pub(crate) wall_spans: Vec<WallRec>,
+    /// `(worker, busy_ns, idle_ns)` — one entry per worker.
+    pub(crate) workers: Vec<(u32, u64, u64)>,
+}
+
+/// Process id used for the wall-clock tracks in the Chrome trace.
+const PID_WALL: u32 = 1;
+/// Process id used for the simulated-time tracks in the Chrome trace.
+const PID_SIM: u32 = 2;
+
+/// Escapes a string for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Pushes one trace event object onto `events`.
+fn push_event(events: &mut Vec<String>, body: String) {
+    events.push(format!("{{{body}}}"));
+}
+
+/// Sim tracks sorted by name with their original ids, so tids are assigned
+/// by name order regardless of interning (i.e. scheduling) order.
+fn sorted_tracks(snap: &Snapshot) -> Vec<(u32, &str)> {
+    let mut tracks: Vec<(u32, &str)> =
+        snap.tracks.iter().enumerate().map(|(i, n)| (i as u32, n.as_str())).collect();
+    tracks.sort_by(|a, b| a.1.cmp(b.1));
+    tracks
+}
+
+/// Sim spans sorted by `(track name, start, end, name)` — a total order
+/// independent of recording interleave.
+fn sorted_sim_spans<'a>(snap: &'a Snapshot, tracks: &[(u32, &str)]) -> Vec<&'a SimSpan> {
+    let name_of = |id: u32| snap.tracks.get(id as usize).map(String::as_str).unwrap_or("");
+    let _ = tracks;
+    let mut spans: Vec<&SimSpan> = snap.sim_spans.iter().collect();
+    spans.sort_by(|a, b| {
+        name_of(a.track)
+            .cmp(name_of(b.track))
+            .then(a.start_us.cmp(&b.start_us))
+            .then(a.end_us.cmp(&b.end_us))
+            .then(a.name.cmp(b.name))
+    });
+    spans
+}
+
+/// Renders Chrome trace-event JSON. With `include_wall` the document has a
+/// wall-clock process (one thread per worker) alongside the simulated-time
+/// process; without it only the deterministic simulated-time process is
+/// emitted.
+pub(crate) fn chrome_trace(snap: &Snapshot, include_wall: bool) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    // Simulated-time process: tids assigned by sorted track name.
+    push_event(
+        &mut events,
+        format!(
+            "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID_SIM},\"tid\":0,\
+             \"args\":{{\"name\":\"simulated time\"}}"
+        ),
+    );
+    let tracks = sorted_tracks(snap);
+    let mut tid_of = vec![0u32; snap.tracks.len()];
+    for (tid, (orig, name)) in tracks.iter().enumerate() {
+        let tid = tid as u32 + 1;
+        tid_of[*orig as usize] = tid;
+        push_event(
+            &mut events,
+            format!(
+                "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID_SIM},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}",
+                escape_json(name)
+            ),
+        );
+    }
+    for span in sorted_sim_spans(snap, &tracks) {
+        let tid = tid_of.get(span.track as usize).copied().unwrap_or(0);
+        push_event(
+            &mut events,
+            format!(
+                "\"name\":\"{}\",\"ph\":\"X\",\"pid\":{PID_SIM},\"tid\":{tid},\
+                 \"ts\":{},\"dur\":{},\"cat\":\"sim\"",
+                escape_json(span.name),
+                span.start_us,
+                span.end_us - span.start_us
+            ),
+        );
+    }
+
+    if include_wall {
+        push_event(
+            &mut events,
+            format!(
+                "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID_WALL},\"tid\":0,\
+                 \"args\":{{\"name\":\"wall clock\"}}"
+            ),
+        );
+        let mut workers: Vec<u32> = snap
+            .wall_spans
+            .iter()
+            .map(|s| s.worker)
+            .chain(snap.workers.iter().map(|w| w.0))
+            .collect();
+        workers.sort_unstable();
+        workers.dedup();
+        for w in &workers {
+            push_event(
+                &mut events,
+                format!(
+                    "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID_WALL},\"tid\":{w},\
+                     \"args\":{{\"name\":\"worker {w}\"}}"
+                ),
+            );
+        }
+        let mut wall: Vec<&WallRec> = snap.wall_spans.iter().collect();
+        wall.sort_by(|a, b| {
+            a.worker
+                .cmp(&b.worker)
+                .then(a.start_ns.cmp(&b.start_ns))
+                .then(a.end_ns.cmp(&b.end_ns))
+                .then(a.name.cmp(b.name))
+        });
+        for span in wall {
+            // Chrome trace timestamps are double microseconds; keep
+            // nanosecond resolution in the fraction.
+            push_event(
+                &mut events,
+                format!(
+                    "\"name\":\"{}\",\"ph\":\"X\",\"pid\":{PID_WALL},\"tid\":{},\
+                     \"ts\":{}.{:03},\"dur\":{}.{:03},\"cat\":\"wall\"",
+                    escape_json(span.name),
+                    span.worker,
+                    span.start_ns / 1_000,
+                    span.start_ns % 1_000,
+                    (span.end_ns - span.start_ns) / 1_000,
+                    (span.end_ns - span.start_ns) % 1_000
+                ),
+            );
+        }
+        for (worker, busy_ns, idle_ns) in &snap.workers {
+            push_event(
+                &mut events,
+                format!(
+                    "\"name\":\"worker_time\",\"ph\":\"M\",\"pid\":{PID_WALL},\"tid\":{worker},\
+                     \"args\":{{\"busy_ns\":{busy_ns},\"idle_ns\":{idle_ns}}}"
+                ),
+            );
+        }
+    }
+
+    let mut out = String::from("{\"traceEvents\":[");
+    out.push_str(&events.join(","));
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders the plain-text run report. The deterministic section (counters,
+/// sim histograms, sim span totals) always comes first; with
+/// `include_wall` a clearly-marked wall-clock section follows.
+pub(crate) fn text_report(snap: &Snapshot, include_wall: bool) -> String {
+    let mut out = String::new();
+    out.push_str("## Observability report\n\n");
+    out.push_str("### Counters (deterministic)\n\n");
+    out.push_str("| counter | total |\n|---|---:|\n");
+    for c in Counter::ALL {
+        let v = snap.counters.get(c as usize).copied().unwrap_or(0);
+        let _ = writeln!(out, "| {} | {} |", c.name(), v);
+    }
+
+    out.push_str("\n### Histograms (deterministic)\n\n");
+    for h in Hist::ALL {
+        if h.is_wall_clock() {
+            continue;
+        }
+        render_hist(&mut out, snap, h);
+    }
+
+    out.push_str("\n### Span totals by stage (simulated time)\n\n");
+    out.push_str("| stage | spans | total sim ms |\n|---|---:|---:|\n");
+    let mut stages: Vec<(&str, u64, u64)> = Vec::new();
+    for span in &snap.sim_spans {
+        let dur = span.end_us - span.start_us;
+        match stages.iter_mut().find(|(n, _, _)| *n == span.name) {
+            Some((_, count, total)) => {
+                *count += 1;
+                *total += dur;
+            }
+            None => stages.push((span.name, 1, dur)),
+        }
+    }
+    stages.sort_by(|a, b| a.0.cmp(b.0));
+    for (name, count, total_us) in stages {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {}.{:03} |",
+            name,
+            count,
+            total_us / 1_000,
+            total_us % 1_000
+        );
+    }
+
+    if include_wall {
+        out.push_str("\n### Wall clock (non-deterministic)\n\n");
+        if !snap.workers.is_empty() {
+            out.push_str("| worker | busy ms | idle ms |\n|---|---:|---:|\n");
+            let mut workers = snap.workers.clone();
+            workers.sort_unstable();
+            for (worker, busy_ns, idle_ns) in workers {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} |",
+                    worker,
+                    busy_ns / 1_000_000,
+                    idle_ns / 1_000_000
+                );
+            }
+            render_hist(&mut out, snap, Hist::WorkerBusyMs);
+        }
+        out.push_str("\n| stage | spans | total wall ms |\n|---|---:|---:|\n");
+        let mut stages: Vec<(&str, u64, u64)> = Vec::new();
+        for span in &snap.wall_spans {
+            let dur = span.end_ns - span.start_ns;
+            match stages.iter_mut().find(|(n, _, _)| *n == span.name) {
+                Some((_, count, total)) => {
+                    *count += 1;
+                    *total += dur;
+                }
+                None => stages.push((span.name, 1, dur)),
+            }
+        }
+        stages.sort_by(|a, b| a.0.cmp(b.0));
+        for (name, count, total_ns) in stages {
+            let _ = writeln!(out, "| {} | {} | {} |", name, count, total_ns / 1_000_000);
+        }
+    }
+    out
+}
+
+/// Renders one histogram as a compact `bucket<=N: count` line.
+fn render_hist(out: &mut String, snap: &Snapshot, h: Hist) {
+    let (buckets, count, sum) = match snap.hists.get(h as usize) {
+        Some(slot) => (slot.0.as_slice(), slot.1, slot.2),
+        None => (&[] as &[u64], 0, 0),
+    };
+    let _ = write!(out, "- `{}` (n={count}, sum={sum}):", h.name());
+    for (i, bound) in h.bounds().iter().enumerate() {
+        let n = buckets.get(i).copied().unwrap_or(0);
+        let _ = write!(out, " <={bound}:{n}");
+    }
+    let overflow = buckets.get(h.bounds().len()).copied().unwrap_or(0);
+    let _ = writeln!(out, " over:{overflow}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: vec![0; Counter::ALL.len()],
+            hists: Hist::ALL.iter().map(|h| (vec![0; h.bounds().len() + 1], 0, 0)).collect(),
+            tracks: vec!["b-track".into(), "a-track".into()],
+            sim_spans: vec![
+                SimSpan { name: "replay", track: 0, start_us: 10, end_us: 30 },
+                SimSpan { name: "match", track: 1, start_us: 0, end_us: 5 },
+            ],
+            wall_spans: vec![WallRec { name: "rep", worker: 1, start_ns: 5_000, end_ns: 9_000 }],
+            workers: vec![(1, 4_000, 1_000)],
+        }
+    }
+
+    #[test]
+    fn sim_tids_follow_name_order_not_intern_order() {
+        let json = chrome_trace(&sample(), false);
+        // "a-track" interned second must still get tid 1.
+        let a = json.find("\"name\":\"a-track\"").expect("a-track present");
+        let b = json.find("\"name\":\"b-track\"").expect("b-track present");
+        assert!(a < b, "tracks must be emitted in name order");
+        assert!(!json.contains("wall clock"), "sim-only export must omit wall data");
+    }
+
+    #[test]
+    fn full_trace_includes_wall_process() {
+        let json = chrome_trace(&sample(), true);
+        assert!(json.contains("\"name\":\"wall clock\""));
+        assert!(json.contains("\"name\":\"worker 1\""));
+        assert!(json.contains("\"busy_ns\":4000"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_documents() {
+        let json = chrome_trace(&Snapshot::default(), true);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("}"));
+        let report = text_report(&Snapshot::default(), true);
+        assert!(report.contains("## Observability report"));
+        assert!(report.contains("| annotate_runs | 0 |"));
+    }
+
+    #[test]
+    fn report_sections_are_ordered_and_segregated() {
+        let report = text_report(&sample(), true);
+        let det = report.find("### Counters (deterministic)").unwrap();
+        let wall = report.find("### Wall clock (non-deterministic)").unwrap();
+        assert!(det < wall);
+        let det_only = text_report(&sample(), false);
+        assert!(!det_only.contains("Wall clock"));
+        assert!(det_only.contains("| match | 1 | 0.005 |"));
+        assert!(det_only.contains("| replay | 1 | 0.020 |"));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+}

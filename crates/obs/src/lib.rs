@@ -1,0 +1,53 @@
+//! Deterministic, dependency-free observability for the interlag pipeline.
+//!
+//! The study sweep (17 governor configurations × repetitions × workloads)
+//! runs in parallel, with fault injection and retries; this crate makes it
+//! visible without making it nondeterministic. It provides:
+//!
+//! - **Spans** on two time axes: wall-clock guards ([`Recorder::wall_span`])
+//!   around pipeline stages as they execute on worker threads, and
+//!   simulated-time spans ([`Recorder::sim_span`]) describing where inside
+//!   the simulated run each stage's work lives.
+//! - **Counters** ([`Counter`]) and **fixed-bucket histograms** ([`Hist`])
+//!   for match walk lengths, verdict-cache hit rates, retry attempts,
+//!   escalation depth, and worker busy/idle time.
+//! - **Exporters**: Chrome trace-event JSON loadable in `about:tracing` /
+//!   [Perfetto](https://ui.perfetto.dev) ([`Recorder::chrome_trace_json`]),
+//!   and a plain-text run report for the study markdown
+//!   ([`Recorder::text_report`]).
+//!
+//! # Determinism rules
+//!
+//! Everything derived from *simulated* time is byte-stable across runs and
+//! worker counts: counters are commutative atomic sums, non-wall histograms
+//! bucket sim-derived quantities with compile-time bounds, and the sim-axis
+//! exporters sort tracks by name and spans by `(track, start, end, name)`
+//! before emitting. Wall-clock data is segregated — a separate trace
+//! process and a clearly-marked report section — and excluded from
+//! [`Recorder::chrome_trace_json_sim_only`] and
+//! [`Recorder::text_report_deterministic`].
+//!
+//! # Costs
+//!
+//! A disabled [`Recorder`] (the default everywhere) is one `Option` null
+//! check per call; with the `record` cargo feature off the whole API
+//! compiles to empty inline bodies. Enabled recording is an atomic add on
+//! hot paths (counters, histograms) and a short mutex push at stage
+//! granularity (spans).
+
+#![warn(missing_docs)]
+
+mod export;
+pub mod metrics;
+
+#[cfg(feature = "record")]
+mod imp;
+#[cfg(feature = "record")]
+pub use imp::{set_worker, Recorder, TrackId, WallSpan, DISABLED};
+
+#[cfg(not(feature = "record"))]
+mod noop;
+#[cfg(not(feature = "record"))]
+pub use noop::{set_worker, Recorder, TrackId, WallSpan, DISABLED};
+
+pub use metrics::{Counter, Hist};

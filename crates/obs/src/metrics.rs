@@ -1,0 +1,182 @@
+//! The metric taxonomy: every counter and histogram the pipeline records.
+//!
+//! The registry is closed — a fixed enum per metric kind — so recording is
+//! an array index away from an atomic increment, the exporters can render
+//! every metric without a name table built at runtime, and two runs of the
+//! same study enumerate their metrics in exactly the same order.
+
+/// A monotonically increasing event count.
+///
+/// Counters are summed atomically, so their totals are identical for any
+/// worker count: addition commutes even when repetitions interleave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Annotation reference runs executed (Part A).
+    AnnotateRuns,
+    /// Study repetitions completed (any outcome).
+    StudyReps,
+    /// Repetitions whose first attempt succeeded.
+    RepsOk,
+    /// Repetitions that needed at least one retry before succeeding.
+    RepsRetried,
+    /// Repetitions abandoned after exhausting the retry budget.
+    RepsAbandoned,
+    /// Failed attempts that triggered a retry.
+    RetryAttempts,
+    /// Lags the matcher resolved.
+    MatchLags,
+    /// Lags the matcher gave up on (after the escalation ladder).
+    MatchFailures,
+    /// Escalation-ladder steps climbed across all matches.
+    MatchEscalations,
+    /// Matcher frame verdicts answered by the previous-pointer fast path.
+    VerdictCacheHitLast,
+    /// Matcher frame verdicts answered by the per-walk memo map.
+    VerdictCacheHitMap,
+    /// Matcher frame verdicts that had to compare pixels.
+    VerdictCacheMiss,
+    /// Governor sampling decisions taken by the device loop.
+    GovernorSamples,
+    /// Sampling decisions that changed the operating point.
+    FreqTransitions,
+    /// Input-boost hooks that raised the frequency.
+    InputBoosts,
+    /// Frames pushed into capture streams.
+    FramesCaptured,
+    /// Jobs executed by the study work queue.
+    WorkerJobs,
+}
+
+impl Counter {
+    /// Every counter, in rendering order.
+    pub const ALL: [Counter; 17] = [
+        Counter::AnnotateRuns,
+        Counter::StudyReps,
+        Counter::RepsOk,
+        Counter::RepsRetried,
+        Counter::RepsAbandoned,
+        Counter::RetryAttempts,
+        Counter::MatchLags,
+        Counter::MatchFailures,
+        Counter::MatchEscalations,
+        Counter::VerdictCacheHitLast,
+        Counter::VerdictCacheHitMap,
+        Counter::VerdictCacheMiss,
+        Counter::GovernorSamples,
+        Counter::FreqTransitions,
+        Counter::InputBoosts,
+        Counter::FramesCaptured,
+        Counter::WorkerJobs,
+    ];
+
+    /// Stable snake-case name used by both exporters.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::AnnotateRuns => "annotate_runs",
+            Counter::StudyReps => "study_reps",
+            Counter::RepsOk => "reps_ok",
+            Counter::RepsRetried => "reps_retried",
+            Counter::RepsAbandoned => "reps_abandoned",
+            Counter::RetryAttempts => "retry_attempts",
+            Counter::MatchLags => "match_lags",
+            Counter::MatchFailures => "match_failures",
+            Counter::MatchEscalations => "match_escalations",
+            Counter::VerdictCacheHitLast => "verdict_cache_hit_last",
+            Counter::VerdictCacheHitMap => "verdict_cache_hit_map",
+            Counter::VerdictCacheMiss => "verdict_cache_miss",
+            Counter::GovernorSamples => "governor_samples",
+            Counter::FreqTransitions => "freq_transitions",
+            Counter::InputBoosts => "input_boosts",
+            Counter::FramesCaptured => "frames_captured",
+            Counter::WorkerJobs => "worker_jobs",
+        }
+    }
+}
+
+/// A fixed-bucket histogram of one measured quantity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Hist {
+    /// Frames walked per matcher invocation (one walk per tolerance tried).
+    MatchWalkFrames,
+    /// Escalation-ladder depth at which a lag finally matched (0 = the
+    /// annotated tolerance was enough).
+    EscalationDepth,
+    /// Attempts a repetition took, counting the successful (or final
+    /// failed) one.
+    RetryAttemptsPerRep,
+    /// Wall-clock milliseconds a worker spent executing jobs. Wall-clock
+    /// domain: excluded from the deterministic exports.
+    WorkerBusyMs,
+}
+
+impl Hist {
+    /// Every histogram, in rendering order.
+    pub const ALL: [Hist; 4] = [
+        Hist::MatchWalkFrames,
+        Hist::EscalationDepth,
+        Hist::RetryAttemptsPerRep,
+        Hist::WorkerBusyMs,
+    ];
+
+    /// Stable snake-case name used by both exporters.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Hist::MatchWalkFrames => "match_walk_frames",
+            Hist::EscalationDepth => "escalation_depth",
+            Hist::RetryAttemptsPerRep => "retry_attempts_per_rep",
+            Hist::WorkerBusyMs => "worker_busy_ms",
+        }
+    }
+
+    /// Upper bucket bounds (inclusive); one overflow bucket follows the
+    /// last bound. Bounds are fixed at compile time so two runs bucket
+    /// identically.
+    pub const fn bounds(self) -> &'static [u64] {
+        match self {
+            Hist::MatchWalkFrames => &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096],
+            Hist::EscalationDepth => &[0, 1, 2, 3, 4],
+            Hist::RetryAttemptsPerRep => &[1, 2, 3, 4, 6, 8],
+            Hist::WorkerBusyMs => &[1, 10, 100, 1_000, 10_000, 60_000],
+        }
+    }
+
+    /// `true` when the quantity is wall-clock derived and must stay out of
+    /// the deterministic exports.
+    pub const fn is_wall_clock(self) -> bool {
+        matches!(self, Hist::WorkerBusyMs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique_and_ordered() {
+        let mut names: Vec<&str> = Counter::ALL.iter().map(|c| c.name()).collect();
+        names.extend(Hist::ALL.iter().map(|h| h.name()));
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "metric names must be unique");
+    }
+
+    #[test]
+    fn bucket_bounds_are_strictly_increasing() {
+        for h in Hist::ALL {
+            let b = h.bounds();
+            assert!(!b.is_empty(), "{}", h.name());
+            assert!(b.windows(2).all(|w| w[0] < w[1]), "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn only_worker_busy_is_wall_clock() {
+        assert!(Hist::WorkerBusyMs.is_wall_clock());
+        assert!(!Hist::MatchWalkFrames.is_wall_clock());
+        assert!(!Hist::EscalationDepth.is_wall_clock());
+        assert!(!Hist::RetryAttemptsPerRep.is_wall_clock());
+    }
+}

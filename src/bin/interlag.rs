@@ -5,7 +5,7 @@
 //! interlag record <DS> [-o FILE]             write a dataset's getevent trace
 //! interlag classify <FILE>                   classify a getevent trace
 //! interlag replay <DS> -g <GOVERNOR>         one run: lags + energy
-//! interlag study <DS> [-r REPS] [--csv DIR]  the full §III study
+//! interlag study <DS> [-r REPS] [--csv DIR] [--trace FILE]  the full §III study
 //! interlag oracle <DS>                       the oracle's per-lag decisions
 //! ```
 //!
@@ -35,7 +35,9 @@ fn usage() -> ExitCode {
          \x20 record <DS> [-o FILE]            write a dataset's getevent trace\n\
          \x20 classify <FILE>                  classify a getevent trace\n\
          \x20 replay <DS> -g <GOVERNOR>        one run: lag + energy summary\n\
-         \x20 study <DS> [-r REPS] [--csv DIR] the full 18-configuration study\n\
+         \x20 study <DS> [-r REPS] [--csv DIR] [--trace FILE]\n\
+         \x20                                  the full 18-configuration study;\n\
+         \x20                                  --trace writes a Chrome trace JSON\n\
          \x20 oracle <DS>                      the oracle's per-lag decisions\n\
          \n\
          datasets: 01 02 03 04 05 24hour\n\
@@ -184,8 +186,16 @@ fn cmd_replay(w: &Workload, gov_name: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_study(w: &Workload, reps: u32, csv_dir: Option<String>, markdown: bool) -> ExitCode {
-    let lab = Lab::new(LabConfig { reps, ..Default::default() });
+fn cmd_study(
+    w: &Workload,
+    reps: u32,
+    csv_dir: Option<String>,
+    markdown: bool,
+    trace_out: Option<String>,
+) -> ExitCode {
+    let obs =
+        if trace_out.is_some() { interlag::obs::Recorder::enabled() } else { Default::default() };
+    let lab = Lab::new(LabConfig { reps, obs: obs.clone(), ..Default::default() });
     let study = match lab.study(w) {
         Ok(study) => study,
         Err(e) => {
@@ -195,8 +205,18 @@ fn cmd_study(w: &Workload, reps: u32, csv_dir: Option<String>, markdown: bool) -
     };
     if markdown {
         print!("{}", study_markdown(&study));
+        if trace_out.is_some() {
+            print!("\n{}", obs.text_report());
+        }
     } else {
         print!("{}", study_csv(&study));
+    }
+    if let Some(path) = trace_out {
+        if let Err(e) = std::fs::write(&path, obs.chrome_trace_json()) {
+            eprintln!("interlag: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path} (load it in about:tracing or ui.perfetto.dev)");
     }
     if let Some(dir) = csv_dir {
         if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -268,7 +288,13 @@ fn main() -> ExitCode {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or(1);
                     let markdown = args.iter().any(|a| a == "--markdown");
-                    cmd_study(&w, reps, flag_value(&args, &["--csv"]), markdown)
+                    cmd_study(
+                        &w,
+                        reps,
+                        flag_value(&args, &["--csv"]),
+                        markdown,
+                        flag_value(&args, &["-t", "--trace"]),
+                    )
                 }
                 "oracle" => cmd_oracle(&w),
                 _ => unreachable!("matched above"),

@@ -319,6 +319,166 @@ impl<'a> Parser<'a> {
     }
 }
 
+// --- dynamic values ---------------------------------------------------------
+
+/// A dynamically-typed JSON value, the stub's analogue of upstream
+/// `serde_json::Value`. Obtained with `from_str::<Value>(..)`; navigated
+/// with indexing (`doc["traceEvents"][0]["name"]`), which — like upstream —
+/// returns [`Value::Null`] for missing keys rather than panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`, and the result of indexing a missing key.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (held as the parser produced it).
+    Number(Content),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn from_content(c: &Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => Value::Number(c.clone()),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => Value::Array(items.iter().map(Value::from_content).collect()),
+            Content::Map(entries) => Value::Object(
+                entries
+                    .iter()
+                    .map(|(k, v)| {
+                        let key = match k {
+                            Content::Str(s) => s.clone(),
+                            other => format!("{other:?}"),
+                        };
+                        (key, Value::from_content(v))
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The elements if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as an `i64` if it fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Content::I64(v)) => Some(*v),
+            Value::Number(Content::U64(v)) => i64::try_from(*v).ok(),
+            Value::Number(Content::F64(v)) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// `true` for any JSON number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(c) => {
+                let mut out = String::new();
+                write_content(c, &mut out);
+                f.write_str(&out)
+            }
+            Value::String(s) => {
+                let mut out = String::new();
+                write_string(s, &mut out);
+                f.write_str(&out)
+            }
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    let mut key = String::new();
+                    write_string(k, &mut key);
+                    write!(f, "{key}:{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+impl serde::de::DeserializeOwned for Value {
+    fn deserialize_content(c: &Content) -> std::result::Result<Self, serde::de::Error> {
+        Ok(Value::from_content(c))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Object(entries) => {
+                entries.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap_or(&NULL)
+            }
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        const NULL: Value = Value::Null;
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_i64() == Some(*other)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +503,20 @@ mod tests {
         m.insert(9, vec![2, 3]);
         let json = to_string(&m).unwrap();
         assert_eq!(from_str::<BTreeMap<usize, Vec<u8>>>(&json).unwrap(), m);
+    }
+
+    #[test]
+    fn dynamic_values_navigate_like_upstream() {
+        let doc: Value =
+            from_str("{\"events\":[{\"ph\":\"X\",\"ts\":12,\"pid\":1},{\"ph\":\"M\"}]}").unwrap();
+        let events = doc["events"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert!(events[0]["ph"] == "X");
+        assert!(events[0]["pid"] == 1i64);
+        assert!(events[0]["ts"].is_number());
+        assert_eq!(doc["missing"], Value::Null);
+        assert_eq!(doc["events"][5]["ph"], Value::Null);
+        assert_eq!(events[0]["ts"].as_i64(), Some(12));
     }
 
     #[test]
