@@ -48,6 +48,18 @@ pub struct LagAnnotation {
     pub threshold: SimDuration,
 }
 
+impl LagAnnotation {
+    /// The first excluded mask rectangle that reaches outside the
+    /// annotation's ending frame, if any. A non-`None` answer means the
+    /// mask was drawn against a different frame geometry than the image it
+    /// is stored with — matching under it would silently ignore the wrong
+    /// pixels, so ingestion rejects (or drops) such annotations.
+    pub fn oversized_mask_rect(&self) -> Option<interlag_video::frame::Rect> {
+        let (w, h) = (self.image.width(), self.image.height());
+        self.mask.excluded().iter().copied().find(|r| r.x1 > w || r.y1 > h)
+    }
+}
+
 /// The annotation database of one workload.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct AnnotationDb {

@@ -1,0 +1,545 @@
+//! Durable study checkpoints: the codec between study repetitions and the
+//! write-ahead journal, plus the [`StudyJournal`] the sweep records into.
+//!
+//! Every completed `(configuration, repetition)` of a journalled study is
+//! appended to an fsync'd, checksummed journal (`interlag-journal`'s
+//! framing) before the sweep moves on. A study resumed from that journal
+//! replays the recorded repetitions instead of re-running them and
+//! re-dispatches only the remainder — and because every repetition is a
+//! pure function of its inputs, the resumed study's reports are
+//! byte-identical to an uninterrupted run at any worker count.
+//!
+//! The payload codec is deliberately exact: every `f64` travels as its
+//! IEEE bit pattern (`to_bits`), every simulated time as integer
+//! microseconds, so a value that crossed the journal is *the same value*,
+//! not a close decimal. Records carry a fingerprint of the dataset trace
+//! and the lab configuration; resuming against a different dataset or a
+//! reconfigured lab ignores the stale records rather than splicing
+//! foreign measurements into the study.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use interlag_device::DeviceError;
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_journal::{decode_records, Journal};
+use interlag_video::stream::VideoError;
+
+use crate::error::InterlagError;
+use crate::experiment::{LabConfig, RepOutcome, RepResult};
+use crate::ingest::DatasetError;
+use crate::matcher::MatchFailure;
+use crate::profile::{LagEntry, LagProfile};
+
+/// Version stamp carried by every checkpoint record; decoding rejects
+/// records from other versions (they are treated like fingerprint
+/// mismatches: ignored, re-run).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// One journalled repetition: coordinates, fingerprint, outcome and the
+/// full measurement, in exact (bit-preserving) representation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointRecord {
+    /// Codec version ([`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// [`study_fingerprint`] of the dataset and lab configuration this
+    /// repetition belongs to.
+    pub fingerprint: u64,
+    /// Configuration index in the sweep's job layout (fixed frequencies
+    /// slowest-first, then the governors, then the oracle).
+    pub config: usize,
+    /// Repetition number within the configuration.
+    pub rep: u32,
+    outcome: OutcomeRepr,
+    result: ResultRepr,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LagEntryRepr {
+    id: usize,
+    input_us: u64,
+    lag_us: u64,
+    threshold_us: u64,
+    confidence_bits: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ResultRepr {
+    config_name: String,
+    entries: Vec<LagEntryRepr>,
+    energy_bits: u64,
+    irritation_us: u64,
+    match_failures: usize,
+    input_faults: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum OutcomeRepr {
+    Ok,
+    Retried { attempts: u32 },
+    TimedOut { attempts: u32 },
+    Abandoned { attempts: u32, cause: CauseRepr },
+}
+
+/// Exact mirror of [`InterlagError`] for the journal. The device error is
+/// flattened (its variants are mirrored here) so the codec does not
+/// depend on foreign types growing serde support.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum CauseRepr {
+    DeviceNonMonotonic { prev_us: u64, time_us: u64 },
+    DeviceCancelled,
+    Match { interaction_id: usize, failure: MatchFailure },
+    MissingVideo,
+    Timeout,
+    Dataset(DatasetError),
+}
+
+impl From<&InterlagError> for CauseRepr {
+    fn from(e: &InterlagError) -> Self {
+        match e {
+            InterlagError::Device(DeviceError::Video(VideoError::NonMonotonicTimestamp {
+                prev,
+                time,
+            })) => CauseRepr::DeviceNonMonotonic {
+                prev_us: prev.as_micros(),
+                time_us: time.as_micros(),
+            },
+            InterlagError::Device(DeviceError::Cancelled) => CauseRepr::DeviceCancelled,
+            InterlagError::Match { interaction_id, failure } => {
+                CauseRepr::Match { interaction_id: *interaction_id, failure: *failure }
+            }
+            InterlagError::MissingVideo => CauseRepr::MissingVideo,
+            InterlagError::Timeout => CauseRepr::Timeout,
+            InterlagError::Dataset(d) => CauseRepr::Dataset(d.clone()),
+        }
+    }
+}
+
+impl From<CauseRepr> for InterlagError {
+    fn from(c: CauseRepr) -> Self {
+        match c {
+            CauseRepr::DeviceNonMonotonic { prev_us, time_us } => {
+                InterlagError::Device(DeviceError::Video(VideoError::NonMonotonicTimestamp {
+                    prev: SimTime::from_micros(prev_us),
+                    time: SimTime::from_micros(time_us),
+                }))
+            }
+            CauseRepr::DeviceCancelled => InterlagError::Device(DeviceError::Cancelled),
+            CauseRepr::Match { interaction_id, failure } => {
+                InterlagError::Match { interaction_id, failure }
+            }
+            CauseRepr::MissingVideo => InterlagError::MissingVideo,
+            CauseRepr::Timeout => InterlagError::Timeout,
+            CauseRepr::Dataset(d) => InterlagError::Dataset(d),
+        }
+    }
+}
+
+fn result_repr(result: &RepResult) -> ResultRepr {
+    ResultRepr {
+        config_name: result.profile.config.clone(),
+        entries: result
+            .profile
+            .entries()
+            .iter()
+            .map(|e| LagEntryRepr {
+                id: e.interaction_id,
+                input_us: e.input_time.as_micros(),
+                lag_us: e.lag.as_micros(),
+                threshold_us: e.threshold.as_micros(),
+                confidence_bits: e.confidence.to_bits(),
+            })
+            .collect(),
+        energy_bits: result.dynamic_energy_mj.to_bits(),
+        irritation_us: result.irritation.as_micros(),
+        match_failures: result.match_failures,
+        input_faults: result.input_faults,
+    }
+}
+
+fn result_from_repr(repr: ResultRepr) -> RepResult {
+    let mut profile = LagProfile::new(repr.config_name);
+    for e in repr.entries {
+        profile.push(LagEntry {
+            interaction_id: e.id,
+            input_time: SimTime::from_micros(e.input_us),
+            lag: SimDuration::from_micros(e.lag_us),
+            threshold: SimDuration::from_micros(e.threshold_us),
+            confidence: f64::from_bits(e.confidence_bits),
+        });
+    }
+    RepResult {
+        profile,
+        dynamic_energy_mj: f64::from_bits(repr.energy_bits),
+        irritation: SimDuration::from_micros(repr.irritation_us),
+        match_failures: repr.match_failures,
+        input_faults: repr.input_faults,
+    }
+}
+
+fn outcome_repr(outcome: &RepOutcome) -> OutcomeRepr {
+    match outcome {
+        RepOutcome::Ok => OutcomeRepr::Ok,
+        RepOutcome::Retried { attempts } => OutcomeRepr::Retried { attempts: *attempts },
+        RepOutcome::TimedOut { attempts } => OutcomeRepr::TimedOut { attempts: *attempts },
+        RepOutcome::Abandoned { attempts, cause } => {
+            OutcomeRepr::Abandoned { attempts: *attempts, cause: cause.into() }
+        }
+    }
+}
+
+fn outcome_from_repr(repr: OutcomeRepr) -> RepOutcome {
+    match repr {
+        OutcomeRepr::Ok => RepOutcome::Ok,
+        OutcomeRepr::Retried { attempts } => RepOutcome::Retried { attempts },
+        OutcomeRepr::TimedOut { attempts } => RepOutcome::TimedOut { attempts },
+        OutcomeRepr::Abandoned { attempts, cause } => {
+            RepOutcome::Abandoned { attempts, cause: cause.into() }
+        }
+    }
+}
+
+impl CheckpointRecord {
+    /// Builds the record for one completed repetition.
+    pub fn new(
+        fingerprint: u64,
+        config: usize,
+        rep: u32,
+        result: &RepResult,
+        outcome: &RepOutcome,
+    ) -> Self {
+        CheckpointRecord {
+            version: CHECKPOINT_VERSION,
+            fingerprint,
+            config,
+            rep,
+            outcome: outcome_repr(outcome),
+            result: result_repr(result),
+        }
+    }
+
+    /// Unpacks the record back into the study's own types.
+    pub fn into_parts(self) -> (usize, u32, RepResult, RepOutcome) {
+        (self.config, self.rep, result_from_repr(self.result), outcome_from_repr(self.outcome))
+    }
+}
+
+/// Serialises a checkpoint to journal-payload bytes (JSON, one line).
+pub fn encode_checkpoint(record: &CheckpointRecord) -> Vec<u8> {
+    serde_json::to_string(record).expect("checkpoint records always serialise").into_bytes()
+}
+
+/// Parses journal-payload bytes back into a checkpoint. `None` for
+/// payloads that are not valid UTF-8, not valid JSON for the schema, or
+/// stamped with a different [`CHECKPOINT_VERSION`] — the caller treats
+/// all three as "not a usable checkpoint", never as corruption worth
+/// aborting over.
+pub fn decode_checkpoint(payload: &[u8]) -> Option<CheckpointRecord> {
+    let text = std::str::from_utf8(payload).ok()?;
+    let record: CheckpointRecord = serde_json::from_str(text).ok()?;
+    (record.version == CHECKPOINT_VERSION).then_some(record)
+}
+
+/// FNV-1a (64-bit) over the dataset's `getevent` text and the
+/// result-affecting lab settings.
+///
+/// Worker count and observability are deliberately excluded: both are
+/// guaranteed not to change study results, and resuming a sweep on a
+/// machine with a different core count must reuse the journal.
+pub fn study_fingerprint(trace_text: &str, config: &LabConfig) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    eat(trace_text.as_bytes());
+    eat(config_signature(config).as_bytes());
+    hash
+}
+
+/// The stable textual digest of every [`LabConfig`] field that can change
+/// study results. `workers` and `obs` are excluded by construction.
+fn config_signature(config: &LabConfig) -> String {
+    let d = &config.device;
+    format!(
+        "sig-v1|screen={:?}|opps={:?}|quantum={:?}|frame_period={:?}|capture={:?}\
+         |input_cost={}|ui_render={}|calibration={:?}|min_still_run={}|tolerance={:?}\
+         |reps={}|jitter_us={}|faults={:?}|retry_budget={}|recovery={:?}|watchdog={:?}",
+        d.screen,
+        d.opps,
+        d.quantum,
+        d.frame_period,
+        d.capture,
+        d.input_cost_cycles,
+        d.ui_render_cycles,
+        config.calibration,
+        config.min_still_run,
+        config.tolerance,
+        config.reps,
+        config.jitter_us,
+        config.faults,
+        config.retry_budget,
+        config.recovery,
+        config.watchdog,
+    )
+}
+
+/// The write-ahead journal of one study sweep.
+///
+/// Shared across the sweep's worker threads: appends serialise through a
+/// mutex (the fsync dominates anyway), replay lookups read an immutable
+/// map built once at open time. Append failures are counted, not
+/// propagated — losing durability must not abort a healthy sweep; the
+/// caller can surface [`StudyJournal::write_errors`] afterwards.
+#[derive(Debug)]
+pub struct StudyJournal {
+    journal: Mutex<Journal>,
+    fingerprint: u64,
+    cached: BTreeMap<(usize, u32), (RepResult, RepOutcome)>,
+    torn: usize,
+    foreign: usize,
+    write_errors: AtomicUsize,
+}
+
+impl StudyJournal {
+    /// Starts a fresh journal at `path` (truncating any existing file).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the file.
+    pub fn create(path: impl AsRef<Path>, fingerprint: u64) -> io::Result<Self> {
+        Ok(StudyJournal {
+            journal: Mutex::new(Journal::create(path)?),
+            fingerprint,
+            cached: BTreeMap::new(),
+            torn: 0,
+            foreign: 0,
+            write_errors: AtomicUsize::new(0),
+        })
+    }
+
+    /// Opens `path` for resumption: reads the valid record prefix,
+    /// truncates away any torn tail (so new appends extend a clean
+    /// prefix), and caches every record whose fingerprint matches.
+    /// Records from other datasets/configurations/versions are counted in
+    /// [`StudyJournal::foreign`] and otherwise ignored. A missing file
+    /// resumes as an empty journal.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error reading, truncating or reopening the file.
+    pub fn resume(path: impl AsRef<Path>, fingerprint: u64) -> io::Result<Self> {
+        let path = path.as_ref();
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        let decoded = decode_records(&bytes);
+        if decoded.valid_len() < bytes.len() {
+            let file = std::fs::OpenOptions::new().write(true).open(path)?;
+            file.set_len(decoded.valid_len() as u64)?;
+            file.sync_data()?;
+        }
+        let mut cached = BTreeMap::new();
+        let mut foreign = 0;
+        for payload in &decoded.records {
+            match decode_checkpoint(payload) {
+                Some(record) if record.fingerprint == fingerprint => {
+                    let (config, rep, result, outcome) = record.into_parts();
+                    cached.insert((config, rep), (result, outcome));
+                }
+                _ => foreign += 1,
+            }
+        }
+        Ok(StudyJournal {
+            journal: Mutex::new(Journal::open_append(path)?),
+            fingerprint,
+            cached,
+            torn: decoded.torn,
+            foreign,
+            write_errors: AtomicUsize::new(0),
+        })
+    }
+
+    /// The fingerprint this journal records against.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The repetition cached for `(config, rep)`, if the journal holds
+    /// one.
+    pub fn cached(&self, config: usize, rep: u32) -> Option<(RepResult, RepOutcome)> {
+        self.cached.get(&(config, rep)).cloned()
+    }
+
+    /// How many repetitions the journal can replay.
+    pub fn replayable(&self) -> usize {
+        self.cached.len()
+    }
+
+    /// Torn/garbled tail records dropped at open time.
+    pub fn torn(&self) -> usize {
+        self.torn
+    }
+
+    /// Well-framed records ignored for fingerprint/version mismatch.
+    pub fn foreign(&self) -> usize {
+        self.foreign
+    }
+
+    /// Appends one completed repetition. Failures are swallowed into
+    /// [`StudyJournal::write_errors`]: a full disk costs durability, not
+    /// the sweep.
+    pub fn record(&self, config: usize, rep: u32, result: &RepResult, outcome: &RepOutcome) {
+        let record = CheckpointRecord::new(self.fingerprint, config, rep, result, outcome);
+        let payload = encode_checkpoint(&record);
+        let failed = match self.journal.lock() {
+            Ok(mut journal) => journal.append(&payload).is_err(),
+            Err(_) => true,
+        };
+        if failed {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Appends that failed since the journal was opened.
+    pub fn write_errors(&self) -> usize {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result(name: &str) -> RepResult {
+        let mut profile = LagProfile::new(name);
+        profile.push(LagEntry {
+            interaction_id: 4,
+            input_time: SimTime::from_micros(1_234_567),
+            lag: SimDuration::from_micros(250_431),
+            threshold: SimDuration::from_millis(1_000),
+            confidence: 0.1 + 0.2, // deliberately not exactly 0.3
+        });
+        RepResult {
+            profile,
+            dynamic_energy_mj: 1234.5678901234567,
+            irritation: SimDuration::ZERO,
+            match_failures: 0,
+            input_faults: 2,
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bits_exactly() {
+        let result = sample_result("ondemand");
+        for outcome in [
+            RepOutcome::Ok,
+            RepOutcome::Retried { attempts: 2 },
+            RepOutcome::TimedOut { attempts: 3 },
+            RepOutcome::Abandoned { attempts: 3, cause: InterlagError::MissingVideo },
+            RepOutcome::Abandoned { attempts: 1, cause: InterlagError::Timeout },
+            RepOutcome::Abandoned {
+                attempts: 2,
+                cause: InterlagError::Match {
+                    interaction_id: 9,
+                    failure: MatchFailure::EndingNotFound,
+                },
+            },
+            RepOutcome::Abandoned {
+                attempts: 2,
+                cause: InterlagError::Device(DeviceError::Video(
+                    VideoError::NonMonotonicTimestamp {
+                        prev: SimTime::from_micros(5),
+                        time: SimTime::from_micros(5),
+                    },
+                )),
+            },
+            RepOutcome::Abandoned {
+                attempts: 4,
+                cause: InterlagError::Dataset(DatasetError::BadUtf8 { offset: 17 }),
+            },
+        ] {
+            let record = CheckpointRecord::new(0xfeed, 3, 1, &result, &outcome);
+            let decoded = decode_checkpoint(&encode_checkpoint(&record)).expect("decodes");
+            let (config, rep, r, o) = decoded.into_parts();
+            assert_eq!((config, rep), (3, 1));
+            assert_eq!(o, outcome);
+            assert_eq!(r.profile, result.profile);
+            assert_eq!(r.dynamic_energy_mj.to_bits(), result.dynamic_energy_mj.to_bits());
+            assert_eq!(
+                r.profile.entries()[0].confidence.to_bits(),
+                result.profile.entries()[0].confidence.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn version_and_garbage_are_rejected_quietly() {
+        let record = CheckpointRecord::new(1, 0, 0, &sample_result("x"), &RepOutcome::Ok);
+        let mut wrong_version = record.clone();
+        wrong_version.version = CHECKPOINT_VERSION + 1;
+        assert!(decode_checkpoint(&encode_checkpoint(&wrong_version)).is_none());
+        assert!(decode_checkpoint(b"not json").is_none());
+        assert!(decode_checkpoint(&[0xff, 0xfe]).is_none());
+    }
+
+    #[test]
+    fn fingerprint_separates_datasets_and_configs() {
+        let base = LabConfig::default();
+        let a = study_fingerprint("trace a", &base);
+        assert_eq!(a, study_fingerprint("trace a", &base));
+        assert_ne!(a, study_fingerprint("trace b", &base));
+        let reconfigured = LabConfig { reps: base.reps + 1, ..LabConfig::default() };
+        assert_ne!(a, study_fingerprint("trace a", &reconfigured));
+        // Worker count and observability are excluded on purpose.
+        let more_workers = LabConfig { workers: 64, ..LabConfig::default() };
+        assert_eq!(a, study_fingerprint("trace a", &more_workers));
+    }
+
+    #[test]
+    fn study_journal_round_trips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("interlag-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("study.journal");
+        let result = sample_result("fixed-1.50 GHz");
+
+        let journal = StudyJournal::create(&path, 0xabc).expect("create");
+        journal.record(2, 0, &result, &RepOutcome::Ok);
+        journal.record(2, 1, &result, &RepOutcome::Retried { attempts: 2 });
+        assert_eq!(journal.write_errors(), 0);
+        drop(journal);
+
+        // Append garbage: a torn tail must not poison resumption.
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new().append(true).open(&path).expect("open");
+        file.write_all(b"0000z").expect("garbage");
+        drop(file);
+
+        let resumed = StudyJournal::resume(&path, 0xabc).expect("resume");
+        assert_eq!(resumed.replayable(), 2);
+        assert_eq!(resumed.torn(), 1);
+        assert_eq!(resumed.foreign(), 0);
+        let (r, o) = resumed.cached(2, 1).expect("cached");
+        assert_eq!(o, RepOutcome::Retried { attempts: 2 });
+        assert_eq!(r.profile, result.profile);
+        assert!(resumed.cached(2, 2).is_none());
+
+        // A different fingerprint sees only foreign records.
+        let other = StudyJournal::resume(&path, 0xdef).expect("resume");
+        assert_eq!(other.replayable(), 0);
+        assert_eq!(other.foreign(), 2);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

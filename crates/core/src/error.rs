@@ -12,10 +12,11 @@ use std::fmt;
 
 use interlag_device::DeviceError;
 
+use crate::ingest::DatasetError;
 use crate::matcher::MatchFailure;
 
 /// Why a pipeline stage failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InterlagError {
     /// The device run itself failed.
     Device(DeviceError),
@@ -29,6 +30,12 @@ pub enum InterlagError {
     },
     /// A study run produced no video to mark up.
     MissingVideo,
+    /// The repetition exceeded its watchdog deadline and was cancelled
+    /// cooperatively (device loop or matcher walk).
+    Timeout,
+    /// A dataset could not be ingested (truncated, mis-encoded or
+    /// internally inconsistent input files).
+    Dataset(DatasetError),
 }
 
 impl fmt::Display for InterlagError {
@@ -39,6 +46,10 @@ impl fmt::Display for InterlagError {
                 write!(f, "matching interaction {interaction_id} failed: {failure:?}")
             }
             InterlagError::MissingVideo => write!(f, "run produced no video to mark up"),
+            InterlagError::Timeout => {
+                write!(f, "repetition exceeded its watchdog deadline and was cancelled")
+            }
+            InterlagError::Dataset(e) => write!(f, "dataset ingestion failed: {e}"),
         }
     }
 }
@@ -47,6 +58,7 @@ impl Error for InterlagError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             InterlagError::Device(e) => Some(e),
+            InterlagError::Dataset(e) => Some(e),
             _ => None,
         }
     }
@@ -54,7 +66,18 @@ impl Error for InterlagError {
 
 impl From<DeviceError> for InterlagError {
     fn from(e: DeviceError) -> Self {
-        InterlagError::Device(e)
+        match e {
+            // A cancelled device run is the watchdog speaking, not a
+            // device defect: surface it as the timeout it is.
+            DeviceError::Cancelled => InterlagError::Timeout,
+            other => InterlagError::Device(other),
+        }
+    }
+}
+
+impl From<DatasetError> for InterlagError {
+    fn from(e: DatasetError) -> Self {
+        InterlagError::Dataset(e)
     }
 }
 

@@ -23,9 +23,12 @@ use interlag_evdev::replay::ReplayAgent;
 use interlag_evdev::rng::SplitMix64;
 use interlag_evdev::time::{SimDuration, SimTime};
 use interlag_evdev::trace::EventTrace;
-use interlag_faults::{FaultConfig, FaultStreams, FaultyCapture, FaultyGovernor, FaultyReplayer};
+use interlag_faults::{
+    FaultConfig, FaultStreams, FaultyCapture, FaultyGovernor, FaultyReplayer, WedgedGovernor,
+};
 use interlag_governors::plan::PlanGovernor;
 use interlag_governors::{Conservative, Interactive, Ondemand};
+use interlag_journal::CancelToken;
 use interlag_obs::{Counter, Hist, Recorder};
 use interlag_power::calibrate::{calibrate, CalibrationConfig, MeasuredPowerTable};
 use interlag_power::energy::EnergyMeter;
@@ -36,13 +39,64 @@ use interlag_video::mask::{Mask, MatchTolerance};
 use interlag_workloads::gen::Workload;
 
 use crate::annotation::{annotate, AnnotationDb, AnnotationStats, GroundTruthPicker};
+use crate::checkpoint::StudyJournal;
 use crate::error::InterlagError;
 use crate::irritation::{user_irritation, ThresholdModel};
-use crate::matcher::{mark_up_with_policy_observed, MatchPolicy};
+use crate::matcher::{mark_up_cancellable, MatchFailure, MatchPolicy};
 use crate::oracle::{build_oracle, Oracle, OracleConfig};
 use crate::profile::LagProfile;
 use crate::stats::robust_mean;
 use crate::suggester::{Suggester, SuggesterConfig};
+
+/// The per-repetition watchdog: how long (in wall-clock time) one study
+/// repetition attempt may run before it is cooperatively cancelled.
+///
+/// The deadline is checked at the cancellation points threaded through
+/// the pipeline — every [`interlag_device::device::CANCEL_STRIDE`] device
+/// quanta, every [`crate::matcher::MATCH_CANCEL_STRIDE`] matcher frames
+/// and between escalation-ladder steps — so a wedged governor, a stalled
+/// capture path or a runaway matcher walk cannot hang the sweep. A
+/// cancelled attempt is charged against the retry budget; a repetition
+/// whose final attempt was cancelled is recorded as
+/// [`RepOutcome::TimedOut`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WatchdogConfig {
+    /// No deadline: a repetition may run forever.
+    Disabled,
+    /// Deadline derived from the workload: `multiplier ×` the workload's
+    /// simulated duration, read as wall-clock time, floored at one
+    /// second. The simulator runs orders of magnitude faster than the
+    /// simulated clock, so this default never fires on a healthy run even
+    /// on a heavily loaded CI machine — it exists to catch runs making
+    /// *no* forward progress.
+    Auto {
+        /// Wall-clock budget per simulated second.
+        multiplier: u32,
+    },
+    /// A fixed wall-clock deadline per attempt.
+    Fixed(std::time::Duration),
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        WatchdogConfig::Auto { multiplier: 4 }
+    }
+}
+
+impl WatchdogConfig {
+    /// The wall-clock budget for one attempt of a workload that spans
+    /// `sim_span` of simulated time, or `None` when disabled.
+    pub fn budget_for(&self, sim_span: SimDuration) -> Option<std::time::Duration> {
+        match *self {
+            WatchdogConfig::Disabled => None,
+            WatchdogConfig::Auto { multiplier } => {
+                let us = sim_span.as_micros().saturating_mul(u64::from(multiplier));
+                Some(std::time::Duration::from_micros(us).max(std::time::Duration::from_secs(1)))
+            }
+            WatchdogConfig::Fixed(d) => Some(d),
+        }
+    }
+}
 
 /// Laboratory configuration.
 #[derive(Debug, Clone)]
@@ -82,6 +136,11 @@ pub struct LabConfig {
     /// `faults` is `None`): tolerances escalate within this bound before a
     /// repetition is declared failed.
     pub recovery: MatchPolicy,
+    /// The per-repetition deadline. The default ([`WatchdogConfig::Auto`]
+    /// with a generous multiplier) only ever fires on a repetition making
+    /// no forward progress, so healthy studies are bit-identical with the
+    /// watchdog on or off.
+    pub watchdog: WatchdogConfig,
     /// Observability recorder threaded through the whole study path — the
     /// device loop, the matcher, the retry loop and the worker pool all
     /// record into it. Disabled by default: a disabled recorder costs one
@@ -104,6 +163,7 @@ impl Default for LabConfig {
             faults: None,
             retry_budget: 2,
             recovery: MatchPolicy::paper_recovery(),
+            watchdog: WatchdogConfig::default(),
             obs: Recorder::disabled(),
         }
     }
@@ -134,6 +194,14 @@ pub enum RepOutcome {
         /// Total attempts made, including the successful one.
         attempts: u32,
     },
+    /// Every attempt failed and the *final* attempt was cancelled by the
+    /// rep watchdog. Like an abandoned repetition, the result slot is an
+    /// empty placeholder excluded from aggregates; the distinct outcome
+    /// keeps hangs visible separately from ordinary failures.
+    TimedOut {
+        /// Total attempts made.
+        attempts: u32,
+    },
     /// Every attempt failed; the repetition's result slot is an empty
     /// placeholder and is excluded from the configuration's aggregates.
     Abandoned {
@@ -148,6 +216,17 @@ impl RepOutcome {
     /// `true` if the repetition never produced a measurement.
     pub fn is_abandoned(&self) -> bool {
         matches!(self, RepOutcome::Abandoned { .. })
+    }
+
+    /// `true` if the repetition's final attempt hit the watchdog deadline.
+    pub fn is_timed_out(&self) -> bool {
+        matches!(self, RepOutcome::TimedOut { .. })
+    }
+
+    /// `true` if the repetition produced a real measurement (its result
+    /// slot is not a placeholder).
+    pub fn is_measured(&self) -> bool {
+        matches!(self, RepOutcome::Ok | RepOutcome::Retried { .. })
     }
 }
 
@@ -170,11 +249,12 @@ pub struct ConfigSummary {
 }
 
 impl ConfigSummary {
-    /// The repetitions that produced a measurement (abandoned slots are
-    /// skipped; with no recorded outcomes every slot counts).
+    /// The repetitions that produced a measurement (abandoned and
+    /// timed-out slots are skipped; with no recorded outcomes every slot
+    /// counts).
     pub fn measured(&self) -> impl Iterator<Item = &RepResult> {
         self.reps.iter().enumerate().filter_map(|(i, r)| match self.outcomes.get(i) {
-            Some(o) if o.is_abandoned() => None,
+            Some(o) if !o.is_measured() => None,
             _ => Some(r),
         })
     }
@@ -182,6 +262,17 @@ impl ConfigSummary {
     /// Number of repetitions abandoned after exhausting their retries.
     pub fn abandoned(&self) -> usize {
         self.outcomes.iter().filter(|o| o.is_abandoned()).count()
+    }
+
+    /// Number of repetitions whose final attempt was cancelled by the rep
+    /// watchdog.
+    pub fn timed_out(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_timed_out()).count()
+    }
+
+    /// Number of repetitions that needed at least one retry to succeed.
+    pub fn retried(&self) -> usize {
+        self.outcomes.iter().filter(|o| matches!(o, RepOutcome::Retried { .. })).count()
     }
 
     /// Mean dynamic energy across measured repetitions (outlier-rejected
@@ -285,6 +376,25 @@ struct RepContext<'a> {
     rep: u32,
 }
 
+/// Optional study machinery: the durable journal to checkpoint into (and
+/// replay from), and an externally ingested input trace.
+///
+/// [`Lab::study`] is `study_with` under default options; the CLI's
+/// `--journal`/`--resume`/`--events` flags all funnel through here.
+#[derive(Debug, Default)]
+pub struct StudyOptions<'a> {
+    /// Checkpoint every completed repetition into this journal and replay
+    /// any repetition it already holds. The journal's fingerprint is the
+    /// caller's problem: open it with [`StudyJournal::resume`] against
+    /// [`crate::checkpoint::study_fingerprint`] of the same trace and
+    /// config, or stale records will (correctly) be ignored.
+    pub journal: Option<&'a StudyJournal>,
+    /// Replay this trace instead of recording one from the workload
+    /// script — the hardened-ingestion path for traces loaded from disk
+    /// (possibly with salvage-dropped lines).
+    pub trace: Option<EventTrace>,
+}
+
 /// The simulated laboratory.
 #[derive(Debug)]
 pub struct Lab {
@@ -375,9 +485,23 @@ impl Lab {
         &self,
         workload: &Workload,
     ) -> Result<(AnnotationDb, AnnotationStats, RunArtifacts), InterlagError> {
+        self.annotate_workload_from(workload, workload.script.record_trace())
+    }
+
+    /// [`Lab::annotate_workload`] replaying a caller-supplied trace — the
+    /// path a study takes when its input events were ingested from disk
+    /// rather than recorded from the script.
+    ///
+    /// # Errors
+    ///
+    /// [`InterlagError::Device`] if the reference run fails.
+    pub fn annotate_workload_from(
+        &self,
+        workload: &Workload,
+        trace: EventTrace,
+    ) -> Result<(AnnotationDb, AnnotationStats, RunArtifacts), InterlagError> {
         let _span = self.config.obs.wall_span("annotate");
         self.config.obs.count(Counter::AnnotateRuns, 1);
-        let trace = workload.script.record_trace();
         let mut reference_gov = FixedGovernor::new(self.config.device.opps.max_freq());
         let run = self.run(workload, trace, &mut reference_gov)?;
         let picker = GroundTruthPicker::new(&run);
@@ -395,26 +519,49 @@ impl Lab {
     /// Part B for one run: marks up the video and meters the energy.
     /// Irritation is filled in later once the threshold model exists.
     fn measure(&self, run: &RunArtifacts, db: &AnnotationDb, name: &str) -> RepResult {
+        self.measure_cancellable(run, db, name, &CancelToken::none())
+            .expect("an uncancellable measurement cannot time out")
+    }
+
+    /// [`Lab::measure`] under a watchdog: the matcher walk polls `cancel`,
+    /// and a cancelled markup surfaces as [`InterlagError::Timeout`]
+    /// rather than a partially-matched profile — a half-measured
+    /// repetition must never be journalled or aggregated as if complete.
+    ///
+    /// # Errors
+    ///
+    /// [`InterlagError::Timeout`] if `cancel` fired during the markup.
+    fn measure_cancellable(
+        &self,
+        run: &RunArtifacts,
+        db: &AnnotationDb,
+        name: &str,
+        cancel: &CancelToken,
+    ) -> Result<RepResult, InterlagError> {
         let video = run.video.as_ref().expect("study runs capture video");
         let (profile, failures) = {
             let _span = self.config.obs.wall_span("match");
-            mark_up_with_policy_observed(
+            mark_up_cancellable(
                 video,
                 &run.lag_beginnings(),
                 db,
                 name,
                 &MatchPolicy::strict(),
                 &self.config.obs,
+                cancel,
             )
         };
+        if failures.iter().any(|&(_, f)| f == MatchFailure::Cancelled) {
+            return Err(InterlagError::Timeout);
+        }
         let energy = self.meter.measure(&run.activity);
-        RepResult {
+        Ok(RepResult {
             profile,
             dynamic_energy_mj: energy.dynamic_mj,
             irritation: SimDuration::ZERO,
             match_failures: failures.len(),
             input_faults: run.input_faults,
-        }
+        })
     }
 
     /// One fault-injected attempt of a study repetition: every stage
@@ -429,9 +576,10 @@ impl Lab {
         ctx: &RepContext<'_>,
         attempt: u32,
         governor: &mut dyn Governor,
+        cancel: &CancelToken,
     ) -> Result<RepResult, InterlagError> {
         let fc = ctx.fc;
-        let streams =
+        let mut streams =
             FaultStreams::derive(fc.seed, ctx.config as u64, ctx.rep as u64, attempt as u64);
         let replayer = FaultyReplayer::new(
             ReplayAgent::new(self.jittered_trace(ctx.trace, ctx.rep)),
@@ -439,30 +587,39 @@ impl Lab {
             streams.replay,
         );
         let mut governor = FaultyGovernor::new(governor, fc.dvfs, streams.dvfs);
+        // The wedge wraps outermost: a wedged attempt stalls wall-clock
+        // time without touching simulated decisions, which is exactly what
+        // the watchdog token passed below exists to cancel.
+        let mut governor = WedgedGovernor::new(&mut governor, fc.wedge, &mut streams.wedge);
         let mut capture = FaultyCapture::new(HdmiCapture::new(), fc.capture, streams.capture);
         let run = {
             let _span = self.config.obs.wall_span("replay");
-            self.device.run_with_capture(
+            self.device.run_with_capture_cancellable(
                 &ctx.workload.script,
                 replayer,
                 &mut governor,
                 ctx.workload.run_until(),
                 &mut capture,
+                cancel,
             )?
         };
         let video = run.video.as_ref().ok_or(InterlagError::MissingVideo)?;
         let (profile, failures) = {
             let _span = self.config.obs.wall_span("match");
-            mark_up_with_policy_observed(
+            mark_up_cancellable(
                 video,
                 &run.lag_beginnings(),
                 ctx.db,
                 ctx.name,
                 &self.config.recovery,
                 &self.config.obs,
+                cancel,
             )
         };
         if let Some(&(interaction_id, failure)) = failures.first() {
+            if failures.iter().any(|&(_, f)| f == MatchFailure::Cancelled) {
+                return Err(InterlagError::Timeout);
+            }
             return Err(InterlagError::Match { interaction_id, failure });
         }
         let mut power_rng = streams.power;
@@ -477,19 +634,31 @@ impl Lab {
         })
     }
 
-    /// The self-healing repetition loop: run an attempt, retry with a
-    /// re-derived fault stream on failure, abandon with the last cause
-    /// once the budget is spent. Abandoned slots carry an empty profile so
-    /// result shapes stay rectangular; aggregates skip them via the
-    /// recorded outcome.
-    fn rep_with_retries<A>(&self, name: &str, mut attempt_fn: A) -> (RepResult, RepOutcome)
+    /// The self-healing repetition loop: run an attempt under a fresh
+    /// watchdog token, retry with a re-derived fault stream on failure,
+    /// abandon with the last cause once the budget is spent. A
+    /// watchdog-cancelled attempt is charged against the same budget; if
+    /// the *final* attempt timed out the repetition is recorded as
+    /// [`RepOutcome::TimedOut`]. Abandoned and timed-out slots carry an
+    /// empty profile so result shapes stay rectangular; aggregates skip
+    /// them via the recorded outcome.
+    fn rep_with_retries<A>(
+        &self,
+        name: &str,
+        wall_budget: Option<std::time::Duration>,
+        mut attempt_fn: A,
+    ) -> (RepResult, RepOutcome)
     where
-        A: FnMut(u32) -> Result<RepResult, InterlagError>,
+        A: FnMut(u32, &CancelToken) -> Result<RepResult, InterlagError>,
     {
         let budget = self.config.retry_budget;
         let mut last_err = None;
         for attempt in 0..=budget {
-            match attempt_fn(attempt) {
+            let cancel = match wall_budget {
+                Some(d) => CancelToken::with_budget(d),
+                None => CancelToken::none(),
+            };
+            match attempt_fn(attempt, &cancel) {
                 Ok(result) => {
                     let outcome = if attempt == 0 {
                         RepOutcome::Ok
@@ -498,7 +667,12 @@ impl Lab {
                     };
                     return (result, outcome);
                 }
-                Err(e) => last_err = Some(e),
+                Err(e) => {
+                    if e == InterlagError::Timeout {
+                        self.config.obs.count(Counter::WatchdogFires, 1);
+                    }
+                    last_err = Some(e);
+                }
             }
         }
         let cause = last_err.expect("retry loop made at least one attempt");
@@ -509,7 +683,12 @@ impl Lab {
             match_failures: 0,
             input_faults: 0,
         };
-        (placeholder, RepOutcome::Abandoned { attempts: budget + 1, cause })
+        let outcome = if cause == InterlagError::Timeout {
+            RepOutcome::TimedOut { attempts: budget + 1 }
+        } else {
+            RepOutcome::Abandoned { attempts: budget + 1, cause }
+        };
+        (placeholder, outcome)
     }
 
     /// Jitters input timings by ±`jitter_us` (repetition `rep` > 0), the
@@ -609,15 +788,63 @@ impl Lab {
     /// [`InterlagError::Device`] if the fault-exempt annotation reference
     /// run fails; injected faults never abort the study.
     pub fn study(&self, workload: &Workload) -> Result<StudyResult, InterlagError> {
+        self.study_with(workload, StudyOptions::default())
+    }
+
+    /// [`Lab::study`] with [`StudyOptions`]: optionally checkpointing
+    /// every completed repetition into a durable journal (and replaying
+    /// the repetitions an interrupted sweep already paid for), and
+    /// optionally replaying an externally ingested trace.
+    ///
+    /// Journalled and resumed studies are *byte-identical* to an
+    /// uninterrupted run at any worker count: each repetition is a pure
+    /// function of its coordinates, the journal stores results in
+    /// bit-exact form, and irritation — the only cross-repetition derived
+    /// quantity — is recomputed after reassembly in both paths.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Lab::study`].
+    pub fn study_with(
+        &self,
+        workload: &Workload,
+        options: StudyOptions<'_>,
+    ) -> Result<StudyResult, InterlagError> {
         const GOVERNOR_NAMES: [&str; 3] = ["conservative", "interactive", "ondemand"];
         let obs = &self.config.obs;
         let _study_span = obs.wall_span("study");
-        let trace = workload.script.record_trace();
-        let (db, annotation, reference_run) = self.annotate_workload(workload)?;
+        let trace = options.trace.clone().unwrap_or_else(|| workload.script.record_trace());
+        let (db, annotation, reference_run) =
+            self.annotate_workload_from(workload, trace.clone())?;
         let opps = self.config.device.opps.clone();
         let reps = self.config.reps.max(1);
         let faults = self.config.faults;
         let robust = faults.as_ref().is_some_and(|f| !f.is_quiescent());
+        let wall_budget =
+            self.config.watchdog.budget_for(workload.run_until().saturating_since(SimTime::ZERO));
+        let journal = options.journal;
+        if let Some(j) = journal {
+            obs.count(Counter::JournalTornRecords, j.torn() as u64);
+        }
+        // Journal interposition for one repetition slot: replay the cached
+        // result if the journal holds one, otherwise compute and append.
+        let journalled = |config: usize,
+                          rep: u32,
+                          compute: &mut dyn FnMut() -> (RepResult, RepOutcome)|
+         -> (RepResult, RepOutcome) {
+            if let Some(j) = journal {
+                if let Some(hit) = j.cached(config, rep) {
+                    obs.count(Counter::JournalReplayedReps, 1);
+                    return hit;
+                }
+            }
+            let out = compute();
+            if let Some(j) = journal {
+                j.record(config, rep, &out.0, &out.1);
+                obs.count(Counter::JournalAppends, 1);
+            }
+            out
+        };
 
         // --- stage 1: fixed frequencies and governors --------------------
         // Job i = configuration (i / reps), repetition (i % reps), with
@@ -635,19 +862,24 @@ impl Lab {
                        name: &str|
          -> (RepResult, RepOutcome) {
             match &faults {
-                None => {
+                None => self.rep_with_retries(name, wall_budget, |_, cancel| {
                     let run = {
                         let _span = obs.wall_span("replay");
-                        self.run(workload, self.jittered_trace(&trace, rep), gov)
-                            .expect("fault-free study run")
+                        self.device.run_cancellable(
+                            &workload.script,
+                            ReplayAgent::new(self.jittered_trace(&trace, rep)),
+                            &mut *gov,
+                            workload.run_until(),
+                            cancel,
+                        )?
                     };
-                    (self.measure(&run, &db, name), RepOutcome::Ok)
-                }
+                    self.measure_cancellable(&run, &db, name, cancel)
+                }),
                 Some(fc) => {
                     let ctx =
                         RepContext { workload, trace: &trace, fc, db: &db, name, config, rep };
-                    self.rep_with_retries(name, |attempt| {
-                        self.faulted_attempt(&ctx, attempt, &mut *gov)
+                    self.rep_with_retries(name, wall_budget, |attempt, cancel| {
+                        self.faulted_attempt(&ctx, attempt, &mut *gov, cancel)
                     })
                 }
             }
@@ -667,6 +899,11 @@ impl Lab {
                 }
                 RepOutcome::Retried { attempts } => {
                     obs.count(Counter::RepsRetried, 1);
+                    obs.count(Counter::RetryAttempts, u64::from(attempts - 1));
+                    obs.observe(Hist::RetryAttemptsPerRep, u64::from(*attempts));
+                }
+                RepOutcome::TimedOut { attempts } => {
+                    obs.count(Counter::RepsTimedOut, 1);
                     obs.count(Counter::RetryAttempts, u64::from(attempts - 1));
                     obs.observe(Hist::RetryAttemptsPerRep, u64::from(*attempts));
                 }
@@ -697,37 +934,41 @@ impl Lab {
             if config < n_fixed {
                 let freq = freqs[config];
                 let name = format!("fixed-{freq}");
-                let out = if freq == opps.max_freq() && rep == 0 {
-                    // Reuse the annotation reference run: it doubles as the
-                    // fastest configuration's first repetition and stays
-                    // fault-exempt even in a fault-injected study.
-                    (self.measure(&reference_run, &db, &name), RepOutcome::Ok)
-                } else {
-                    let mut gov = FixedGovernor::new(freq);
-                    run_rep(config, rep, &mut gov, &name)
-                };
+                let out = journalled(config, rep, &mut || {
+                    if freq == opps.max_freq() && rep == 0 {
+                        // Reuse the annotation reference run: it doubles as
+                        // the fastest configuration's first repetition and
+                        // stays fault-exempt even in a fault-injected study.
+                        (self.measure(&reference_run, &db, &name), RepOutcome::Ok)
+                    } else {
+                        let mut gov = FixedGovernor::new(freq);
+                        run_rep(config, rep, &mut gov, &name)
+                    }
+                });
                 record_rep(&name, rep, &out);
                 out
             } else {
                 let which = GOVERNOR_NAMES[config - n_fixed];
-                let mut conservative;
-                let mut interactive;
-                let mut ondemand;
-                let gov: &mut dyn Governor = match which {
-                    "conservative" => {
-                        conservative = Conservative::default();
-                        &mut conservative
-                    }
-                    "interactive" => {
-                        interactive = Interactive::for_table(&opps);
-                        &mut interactive
-                    }
-                    _ => {
-                        ondemand = Ondemand::default();
-                        &mut ondemand
-                    }
-                };
-                let out = run_rep(config, rep, gov, which);
+                let out = journalled(config, rep, &mut || {
+                    let mut conservative;
+                    let mut interactive;
+                    let mut ondemand;
+                    let gov: &mut dyn Governor = match which {
+                        "conservative" => {
+                            conservative = Conservative::default();
+                            &mut conservative
+                        }
+                        "interactive" => {
+                            interactive = Interactive::for_table(&opps);
+                            &mut interactive
+                        }
+                        _ => {
+                            ondemand = Ondemand::default();
+                            &mut ondemand
+                        }
+                    };
+                    run_rep(config, rep, gov, which)
+                });
                 record_rep(which, rep, &out);
                 out
             }
@@ -765,10 +1006,10 @@ impl Lab {
             .iter()
             .zip(&fastest.outcomes)
             .map(|(r, o)| {
-                let profile = if o.is_abandoned() {
-                    fallback_model_profile.clone()
-                } else {
+                let profile = if o.is_measured() {
                     r.profile.clone()
+                } else {
+                    fallback_model_profile.clone()
                 };
                 ThresholdModel::paper_rule(profile)
             })
@@ -789,8 +1030,11 @@ impl Lab {
         let oracle_detail = build_oracle(&fixed_profiles, &oracle_cfg);
         let oracle_results: Vec<(RepResult, RepOutcome)> = self.run_matrix(per_rep, |rep| {
             let _span = obs.wall_span("study-rep");
-            let mut gov = PlanGovernor::new("oracle", oracle_detail.plan.clone());
-            let out = run_rep(n_fixed + GOVERNOR_NAMES.len(), rep as u32, &mut gov, "oracle");
+            let config = n_fixed + GOVERNOR_NAMES.len();
+            let out = journalled(config, rep as u32, &mut || {
+                let mut gov = PlanGovernor::new("oracle", oracle_detail.plan.clone());
+                run_rep(config, rep as u32, &mut gov, "oracle")
+            });
             record_rep("oracle", rep as u32, &out);
             out
         });
@@ -822,7 +1066,7 @@ impl Lab {
             .chain(std::iter::once(&mut result.oracle))
         {
             for (rep_idx, rep) in summary.reps.iter_mut().enumerate() {
-                if summary.outcomes.get(rep_idx).is_some_and(RepOutcome::is_abandoned) {
+                if summary.outcomes.get(rep_idx).is_some_and(|o| !o.is_measured()) {
                     continue;
                 }
                 let model = &models[rep_idx.min(models.len() - 1)];

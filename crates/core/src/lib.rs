@@ -22,7 +22,11 @@
 //! * [`report`] — CSV/Markdown exporters for study results;
 //! * [`stats`] — quartiles, KDE and summaries for the evaluation figures;
 //! * [`error`] — typed pipeline failures driving the self-healing study
-//!   loop (retry budget + tolerance escalation under fault injection).
+//!   loop (retry budget + tolerance escalation under fault injection);
+//! * [`ingest`] — hardened dataset loaders (strict vs salvage policies
+//!   over traces, annotation databases and video manifests);
+//! * [`checkpoint`] — the durable write-ahead study journal behind
+//!   crash-safe, resumable sweeps.
 //!
 //! # Examples
 //!
@@ -50,8 +54,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod annotation;
+pub mod checkpoint;
 pub mod error;
 pub mod experiment;
+pub mod ingest;
 pub mod irritation;
 pub mod jank;
 pub mod matcher;
@@ -62,8 +68,12 @@ pub mod stats;
 pub mod suggester;
 
 pub use annotation::{annotate, AnnotationDb, AnnotationStats, FramePicker, GroundTruthPicker};
+pub use checkpoint::{study_fingerprint, CheckpointRecord, StudyJournal};
 pub use error::InterlagError;
-pub use experiment::{ConfigSummary, Lab, LabConfig, RepOutcome, RepResult, StudyResult};
+pub use experiment::{
+    ConfigSummary, Lab, LabConfig, RepOutcome, RepResult, StudyOptions, StudyResult, WatchdogConfig,
+};
+pub use ingest::{DatasetError, IngestMode, IngestReport};
 pub use irritation::{user_irritation, IrritationReport, ThresholdModel};
 pub use jank::{measure_jank, JankReport};
 pub use matcher::{mark_up, mark_up_with_policy, MatchFailure, MatchPolicy, MatchedLag, Matcher};

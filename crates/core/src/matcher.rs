@@ -14,6 +14,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_journal::CancelToken;
 use interlag_obs::{Counter, Hist, Recorder, DISABLED};
 use interlag_video::frame::FrameBuffer;
 use interlag_video::mask::MatchTolerance;
@@ -47,6 +48,9 @@ pub enum MatchFailure {
     /// The video ended before the annotated image appeared (the run's
     /// slack was too short, or the system never serviced the input).
     EndingNotFound,
+    /// A watchdog cancellation token fired mid-walk; the verdict is
+    /// unknown, not negative.
+    Cancelled,
 }
 
 /// How the matcher recovers when a lag's ending cannot be found at the
@@ -99,6 +103,12 @@ impl Default for MatchPolicy {
     }
 }
 
+/// How many frames the walk advances between watchdog polls. A poll is
+/// one relaxed atomic load (plus a clock read until the deadline latches),
+/// so the stride mainly bounds cancellation latency: at most this many
+/// frame comparisons happen after the deadline passes.
+pub const MATCH_CANCEL_STRIDE: u64 = 256;
+
 /// The matcher algorithm.
 ///
 /// # Examples
@@ -128,7 +138,15 @@ impl Matcher {
         input_time: SimTime,
         annotation: &LagAnnotation,
     ) -> Result<MatchedLag, MatchFailure> {
-        self.match_at(video, input_time, annotation, annotation.tolerance, 1.0, &DISABLED)
+        self.match_at(
+            video,
+            input_time,
+            annotation,
+            annotation.tolerance,
+            1.0,
+            &DISABLED,
+            &CancelToken::none(),
+        )
     }
 
     /// Like [`Matcher::match_lag`], but when the annotated tolerance finds
@@ -164,9 +182,32 @@ impl Matcher {
         policy: &MatchPolicy,
         rec: &Recorder,
     ) -> Result<MatchedLag, MatchFailure> {
-        match self.match_at(video, input_time, annotation, annotation.tolerance, 1.0, rec) {
+        self.match_lag_cancellable(video, input_time, annotation, policy, rec, &CancelToken::none())
+    }
+
+    /// [`Matcher::match_lag_with_policy_observed`] under a watchdog: the
+    /// walk and the escalation ladder both poll `cancel` and abort with
+    /// [`MatchFailure::Cancelled`] once it fires.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Matcher::match_lag_with_policy`], plus
+    /// [`MatchFailure::Cancelled`].
+    pub fn match_lag_cancellable(
+        &self,
+        video: &VideoStream,
+        input_time: SimTime,
+        annotation: &LagAnnotation,
+        policy: &MatchPolicy,
+        rec: &Recorder,
+        cancel: &CancelToken,
+    ) -> Result<MatchedLag, MatchFailure> {
+        match self.match_at(video, input_time, annotation, annotation.tolerance, 1.0, rec, cancel) {
             Err(MatchFailure::EndingNotFound) => {
                 for (i, step) in policy.escalation.iter().enumerate() {
+                    if cancel.is_cancelled() {
+                        return Err(MatchFailure::Cancelled);
+                    }
                     let tolerance = MatchTolerance {
                         value_tolerance: step
                             .value_tolerance
@@ -175,11 +216,15 @@ impl Matcher {
                     };
                     let confidence = 1.0 / (i + 2) as f64;
                     rec.count(Counter::MatchEscalations, 1);
-                    if let Ok(m) =
-                        self.match_at(video, input_time, annotation, tolerance, confidence, rec)
+                    match self
+                        .match_at(video, input_time, annotation, tolerance, confidence, rec, cancel)
                     {
-                        rec.observe(Hist::EscalationDepth, i as u64 + 1);
-                        return Ok(m);
+                        Ok(m) => {
+                            rec.observe(Hist::EscalationDepth, i as u64 + 1);
+                            return Ok(m);
+                        }
+                        Err(MatchFailure::Cancelled) => return Err(MatchFailure::Cancelled),
+                        Err(_) => {}
                     }
                 }
                 Err(MatchFailure::EndingNotFound)
@@ -196,7 +241,9 @@ impl Matcher {
     /// The frame walk at one explicit tolerance. Walk length and
     /// verdict-cache traffic are accumulated locally and flushed to `rec`
     /// once per walk, so the per-frame path stays allocation- and
-    /// atomics-free.
+    /// atomics-free; the cancel token is polled every
+    /// [`MATCH_CANCEL_STRIDE`] frames for the same reason.
+    #[allow(clippy::too_many_arguments)]
     fn match_at(
         &self,
         video: &VideoStream,
@@ -205,6 +252,7 @@ impl Matcher {
         tolerance: MatchTolerance,
         confidence: f64,
         rec: &Recorder,
+        cancel: &CancelToken,
     ) -> Result<MatchedLag, MatchFailure> {
         let first = video.first_frame_at_or_after(input_time);
         let mut remaining = annotation.occurrence.max(1);
@@ -227,6 +275,9 @@ impl Matcher {
                 // masking to the candidate by comparing under the mask (the
                 // mask zeroes the same pixels on both sides, and masked
                 // comparison ignores them anyway).
+                if walked % MATCH_CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+                    break 'walk Err(MatchFailure::Cancelled);
+                }
                 walked += 1;
                 let key = Arc::as_ptr(&frame.buf);
                 let matches = match last {
@@ -317,15 +368,36 @@ pub fn mark_up_with_policy_observed(
     policy: &MatchPolicy,
     rec: &Recorder,
 ) -> (LagProfile, Vec<(usize, MatchFailure)>) {
+    mark_up_cancellable(video, lag_beginnings, db, config_name, policy, rec, &CancelToken::none())
+}
+
+/// [`mark_up_with_policy_observed`] under a watchdog: once `cancel` fires,
+/// the current walk aborts and every remaining lag is reported as
+/// [`MatchFailure::Cancelled`] without being walked — the caller is about
+/// to discard the repetition, so finishing the markup would only delay the
+/// cancellation it asked for.
+pub fn mark_up_cancellable(
+    video: &VideoStream,
+    lag_beginnings: &[(usize, SimTime)],
+    db: &AnnotationDb,
+    config_name: &str,
+    policy: &MatchPolicy,
+    rec: &Recorder,
+    cancel: &CancelToken,
+) -> (LagProfile, Vec<(usize, MatchFailure)>) {
     let matcher = Matcher::new();
     let mut profile = LagProfile::new(config_name);
     let mut failures = Vec::new();
     for &(id, input_time) in lag_beginnings {
+        if cancel.is_cancelled() {
+            failures.push((id, MatchFailure::Cancelled));
+            continue;
+        }
         match db.get(id) {
             None => failures.push((id, MatchFailure::NotAnnotated)),
             Some(annotation) => {
                 match matcher
-                    .match_lag_with_policy_observed(video, input_time, annotation, policy, rec)
+                    .match_lag_cancellable(video, input_time, annotation, policy, rec, cancel)
                 {
                     Ok(m) => profile.push(LagEntry {
                         interaction_id: id,
@@ -556,6 +628,52 @@ mod tests {
         assert_eq!(failures.len(), 2);
         assert!(failures.contains(&(1, MatchFailure::EndingNotFound)));
         assert!(failures.contains(&(2, MatchFailure::NotAnnotated)));
+    }
+
+    #[test]
+    fn fired_token_cancels_the_walk_and_the_remaining_lags() {
+        let v = video_of("aaabbb");
+        let token = CancelToken::manual();
+        token.cancel();
+        let m = Matcher::new();
+        assert_eq!(
+            m.match_lag_cancellable(
+                &v,
+                SimTime::ZERO,
+                &annotation_of('b', 1),
+                &MatchPolicy::paper_recovery(),
+                &DISABLED,
+                &token,
+            ),
+            Err(MatchFailure::Cancelled)
+        );
+        let mut db = AnnotationDb::new("t");
+        db.insert(annotation_of('b', 1));
+        let beginnings = vec![(0usize, SimTime::ZERO), (1usize, SimTime::ZERO)];
+        let (profile, failures) = mark_up_cancellable(
+            &v,
+            &beginnings,
+            &db,
+            "t",
+            &MatchPolicy::strict(),
+            &DISABLED,
+            &token,
+        );
+        assert!(profile.is_empty());
+        assert_eq!(failures, vec![(0, MatchFailure::Cancelled), (1, MatchFailure::Cancelled)]);
+        // An unfired token changes nothing.
+        let live = CancelToken::manual();
+        let hit = m
+            .match_lag_cancellable(
+                &v,
+                SimTime::ZERO,
+                &annotation_of('b', 1),
+                &MatchPolicy::strict(),
+                &DISABLED,
+                &live,
+            )
+            .unwrap();
+        assert_eq!(hit.end_frame, 3);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::fmt::Write as _;
 
 use crate::experiment::{ConfigSummary, StudyResult};
+use crate::ingest::IngestReport;
 
 /// Escapes one CSV field (quotes fields containing separators).
 fn csv_field(s: &str) -> String {
@@ -133,6 +134,52 @@ pub fn study_markdown(study: &StudyResult) -> String {
     out
 }
 
+/// [`study_markdown`] annotated with robustness context: a repetition
+/// outcome section when any repetition was retried, timed out or
+/// abandoned, and an ingestion section when salvage-mode loading dropped
+/// anything. For a clean study over a clean dataset the output is
+/// byte-identical to [`study_markdown`], so healthy reports never change
+/// shape.
+pub fn study_markdown_with_ingest(study: &StudyResult, ingest: &IngestReport) -> String {
+    let mut out = study_markdown(study);
+    let degraded: Vec<&ConfigSummary> =
+        study.all_configs().filter(|c| c.retried() + c.timed_out() + c.abandoned() > 0).collect();
+    if !degraded.is_empty() {
+        out.push_str(
+            "\n#### Repetition outcomes\n\n\
+             | config | reps | retried | timed out | abandoned |\n\
+             |---|---:|---:|---:|---:|\n",
+        );
+        for c in degraded {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} |",
+                c.name,
+                c.reps.len(),
+                c.retried(),
+                c.timed_out(),
+                c.abandoned(),
+            );
+        }
+    }
+    if !ingest.is_clean() {
+        out.push_str("\n#### Ingestion (salvage mode)\n\n");
+        let _ = writeln!(
+            out,
+            "{} unparseable input(s) dropped: {} trace line(s), {} annotation(s), \
+             {} manifest line(s).\n",
+            ingest.total_dropped(),
+            ingest.dropped_trace_lines,
+            ingest.dropped_annotations,
+            ingest.dropped_manifest_lines,
+        );
+        for note in &ingest.notes {
+            let _ = writeln!(out, "- {note}");
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +279,31 @@ mod tests {
         let row = summary.lines().find(|l| l.starts_with("ondemand,")).expect("row");
         let lags: usize = row.split(',').nth(6).expect("lags field").parse().expect("number");
         assert_eq!(lags, expected_lags);
+    }
+
+    #[test]
+    fn clean_study_over_clean_dataset_keeps_the_plain_markdown() {
+        let study = small_study();
+        let clean = IngestReport::default();
+        assert!(clean.is_clean());
+        assert_eq!(study_markdown_with_ingest(&study, &clean), study_markdown(&study));
+    }
+
+    #[test]
+    fn salvage_and_outcome_sections_appear_when_degraded() {
+        use crate::experiment::RepOutcome;
+
+        let mut study = small_study();
+        let mut ingest = IngestReport { dropped_trace_lines: 3, ..Default::default() };
+        ingest.note("trace line 7: malformed hex field");
+        study.governors[0].outcomes[0] = RepOutcome::TimedOut { attempts: 3 };
+
+        let md = study_markdown_with_ingest(&study, &ingest);
+        assert!(md.contains("#### Repetition outcomes"));
+        assert!(md.contains("| conservative | 1 | 0 | 1 | 0 |"));
+        assert!(md.contains("#### Ingestion (salvage mode)"));
+        assert!(md.contains("3 trace line(s)"));
+        assert!(md.contains("- trace line 7: malformed hex field"));
     }
 
     #[test]

@@ -89,6 +89,11 @@ fn chaos_study_completes_with_bounded_abandonment() {
                     // the aggregates via `measured()`.
                     assert!(c.reps[rep_idx].profile.is_empty());
                 }
+                RepOutcome::TimedOut { .. } => {
+                    // The uniform chaos config injects no wall-clock
+                    // wedges, so the watchdog never fires here.
+                    panic!("{}: unexpected watchdog timeout", c.name);
+                }
             }
         }
         // Abandonment never swallows a whole configuration here: the

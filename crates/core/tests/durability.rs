@@ -1,0 +1,203 @@
+//! Kill–resume equivalence and watchdog acceptance for journalled studies.
+//!
+//! The durability contract is absolute: a journalled study killed at *any*
+//! byte of its journal — a record boundary or the middle of a torn write —
+//! and resumed must reproduce the uninterrupted run's reports
+//! byte-for-byte, at any worker count. And a repetition wedged by a
+//! wall-clock hang must be cancelled by the rep watchdog, recorded as
+//! timed out, and must not stop the rest of the sweep.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use interlag_core::checkpoint::{study_fingerprint, StudyJournal};
+use interlag_core::experiment::{
+    Lab, LabConfig, RepOutcome, StudyOptions, StudyResult, WatchdogConfig,
+};
+use interlag_core::report::{oracle_csv, profile_csv, study_csv};
+use interlag_device::script::InteractionCategory;
+use interlag_faults::{FaultConfig, WedgeFaults};
+use interlag_journal::decode_records;
+use interlag_workloads::gen::{Workload, WorkloadBuilder, MCYCLES};
+
+/// The cheapest workload that still exercises the full 18-configuration
+/// matrix: kill–resume sweeps re-run the study dozens of times.
+fn small_workload() -> Workload {
+    let mut b = WorkloadBuilder::new(0xd04a);
+    b.quick_tap("tap", 100 * MCYCLES, InteractionCategory::SimpleFrequent);
+    b.build("durability", "kill-resume workload")
+}
+
+fn lab_config(workers: usize) -> LabConfig {
+    LabConfig { reps: 1, workers, ..Default::default() }
+}
+
+/// Every report the CLI exports, concatenated: the equivalence the test
+/// asserts is exactly what a user diffing output files would see.
+fn reports(study: &StudyResult) -> String {
+    let mut out = study_csv(study);
+    out.push_str(&oracle_csv(study));
+    for c in study.all_configs() {
+        out.push_str(&profile_csv(c));
+    }
+    out
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("interlag-durability-{}-{tag}.journal", std::process::id()))
+}
+
+#[test]
+fn kill_resume_is_byte_identical_at_every_truncation_point() {
+    let w = small_workload();
+    let trace_text = w.script.record_trace().to_getevent_text();
+
+    for workers in [1usize, 4] {
+        let fingerprint = study_fingerprint(&trace_text, &lab_config(workers));
+        let path = temp_journal(&format!("kill-{workers}"));
+        let _ = std::fs::remove_file(&path);
+
+        let journal = StudyJournal::create(&path, fingerprint).expect("create journal");
+        let golden = Lab::new(lab_config(workers))
+            .study_with(&w, StudyOptions { journal: Some(&journal), trace: None })
+            .expect("golden study");
+        let golden_reports = reports(&golden);
+        drop(journal);
+
+        let bytes = std::fs::read(&path).expect("journal written");
+        let decoded = decode_records(&bytes);
+        assert_eq!(decoded.torn, 0, "a completed study leaves a clean journal");
+        assert_eq!(decoded.records.len(), 18, "one record per (config, rep)");
+
+        // Cut at every record boundary (including the empty journal) and
+        // in the middle of every record — the torn-tail case a SIGKILL
+        // mid-`write` leaves behind.
+        let mut cuts = vec![0usize];
+        let mut prev = 0;
+        for &boundary in &decoded.boundaries {
+            cuts.push(prev + (boundary - prev) / 2);
+            cuts.push(boundary);
+            prev = boundary;
+        }
+
+        for cut in cuts {
+            std::fs::write(&path, &bytes[..cut]).expect("truncate journal");
+            let resumed_journal = StudyJournal::resume(&path, fingerprint).expect("resume journal");
+            let resumed = Lab::new(lab_config(workers))
+                .study_with(&w, StudyOptions { journal: Some(&resumed_journal), trace: None })
+                .expect("resumed study");
+            assert_eq!(
+                reports(&resumed),
+                golden_reports,
+                "workers={workers}: resume after kill at byte {cut} diverged"
+            );
+        }
+
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn resume_ignores_a_journal_from_a_different_study() {
+    let w = small_workload();
+    let trace_text = w.script.record_trace().to_getevent_text();
+    let fingerprint = study_fingerprint(&trace_text, &lab_config(1));
+    let path = temp_journal("foreign");
+    let _ = std::fs::remove_file(&path);
+
+    let journal = StudyJournal::create(&path, fingerprint).expect("create journal");
+    let golden = Lab::new(lab_config(1))
+        .study_with(&w, StudyOptions { journal: Some(&journal), trace: None })
+        .expect("golden study");
+    drop(journal);
+
+    // Resuming under a different fingerprint (say, a retuned lab) must
+    // treat every record as foreign and re-run the full sweep — and still
+    // land on the identical result, because repetitions are pure.
+    let foreign = StudyJournal::resume(&path, fingerprint ^ 1).expect("resume journal");
+    assert_eq!(foreign.replayable(), 0);
+    assert_eq!(foreign.foreign(), 18);
+    let rerun = Lab::new(lab_config(1))
+        .study_with(&w, StudyOptions { journal: Some(&foreign), trace: None })
+        .expect("re-run study");
+    assert_eq!(reports(&rerun), reports(&golden));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn watchdog_cancels_wedged_reps_and_the_sweep_completes() {
+    let w = small_workload();
+    // Every repetition attempt wedges: the governor path stalls the host
+    // thread a few milliseconds per sample, far past the fixed watchdog
+    // budget. Without cooperative cancellation this test would hang.
+    let mut faults = FaultConfig::quiescent(0x7ed);
+    faults.wedge = WedgeFaults { hang_rate: 1.0, stall_ms: 5 };
+    let lab = Lab::new(LabConfig {
+        reps: 1,
+        faults: Some(faults),
+        retry_budget: 0,
+        watchdog: WatchdogConfig::Fixed(Duration::from_millis(40)),
+        ..Default::default()
+    });
+
+    let study = lab.study(&w).expect("the sweep must survive wedged reps");
+    assert_eq!(study.all_configs().count(), 18, "every configuration reported");
+
+    let timed_out: usize = study.all_configs().map(|c| c.timed_out()).sum();
+    assert!(timed_out > 0, "the watchdog never fired on an always-wedged sweep");
+    for c in study.all_configs() {
+        for o in &c.outcomes {
+            assert!(
+                matches!(o, RepOutcome::TimedOut { .. } | RepOutcome::Ok),
+                "{}: wedge faults should time out or pass (reference reuse), got {o:?}",
+                c.name
+            );
+        }
+    }
+}
+
+#[test]
+fn journalled_timeouts_replay_instead_of_re_wedging() {
+    let w = small_workload();
+    let trace_text = w.script.record_trace().to_getevent_text();
+    let mut faults = FaultConfig::quiescent(0x7ed);
+    faults.wedge = WedgeFaults { hang_rate: 1.0, stall_ms: 5 };
+    let config = || LabConfig {
+        reps: 1,
+        faults: Some(faults),
+        retry_budget: 0,
+        watchdog: WatchdogConfig::Fixed(Duration::from_millis(40)),
+        ..Default::default()
+    };
+    let fingerprint = study_fingerprint(&trace_text, &config());
+    let path = temp_journal("wedge");
+    let _ = std::fs::remove_file(&path);
+
+    let journal = StudyJournal::create(&path, fingerprint).expect("create journal");
+    let golden = Lab::new(config())
+        .study_with(&w, StudyOptions { journal: Some(&journal), trace: None })
+        .expect("wedged sweep completes");
+    let timed_out: usize = golden.all_configs().map(|c| c.timed_out()).sum();
+    assert!(timed_out > 0);
+    drop(journal);
+
+    // The timed-out outcomes are in the journal: a resume replays them
+    // rather than paying the watchdog budget again, and reports match.
+    let resumed_journal = StudyJournal::resume(&path, fingerprint).expect("resume journal");
+    assert_eq!(resumed_journal.replayable(), 18);
+    let started = std::time::Instant::now();
+    let resumed = Lab::new(config())
+        .study_with(&w, StudyOptions { journal: Some(&resumed_journal), trace: None })
+        .expect("replayed study");
+    let elapsed = started.elapsed();
+    assert_eq!(reports(&resumed), reports(&golden));
+    let resumed_timed_out: usize = resumed.all_configs().map(|c| c.timed_out()).sum();
+    assert_eq!(resumed_timed_out, timed_out, "replay must preserve timed-out outcomes");
+    assert!(
+        elapsed < Duration::from_millis(40) * 18,
+        "a full replay should not re-pay the watchdog budget ({elapsed:?})"
+    );
+
+    let _ = std::fs::remove_file(&path);
+}

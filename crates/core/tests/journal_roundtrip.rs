@@ -1,0 +1,207 @@
+//! Property tests for the checkpoint codec: arbitrary repetition results
+//! and outcomes survive the journal bit-exactly, and once framed, no
+//! single-byte corruption slips past the checksum or is misparsed into a
+//! different checkpoint.
+
+use interlag_core::checkpoint::{
+    decode_checkpoint, encode_checkpoint, CheckpointRecord, CHECKPOINT_VERSION,
+};
+use interlag_core::error::InterlagError;
+use interlag_core::experiment::{RepOutcome, RepResult};
+use interlag_core::ingest::DatasetError;
+use interlag_core::matcher::MatchFailure;
+use interlag_core::profile::{LagEntry, LagProfile};
+use interlag_device::DeviceError;
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_journal::{decode_records, encode_record};
+use interlag_video::stream::VideoError;
+use proptest::prelude::*;
+
+/// Confidence values including the awkward ones: the codec ships the IEEE
+/// bit pattern, so NaN and infinities must survive too.
+fn confidence() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0f64..1.0,
+        Just(1.0f64),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(-0.0f64),
+        Just(f64::MIN_POSITIVE),
+    ]
+}
+
+fn lag_entry() -> impl Strategy<Value = LagEntry> {
+    (0usize..10_000, 0u64..86_400_000_000, 0u64..600_000_000, 0u64..5_000_000, confidence())
+        .prop_map(|(id, input_us, lag_us, threshold_us, confidence)| LagEntry {
+            interaction_id: id,
+            input_time: SimTime::from_micros(input_us),
+            lag: SimDuration::from_micros(lag_us),
+            threshold: SimDuration::from_micros(threshold_us),
+            confidence,
+        })
+}
+
+fn rep_result() -> impl Strategy<Value = RepResult> {
+    let name = prop_oneof![
+        Just("ondemand".to_string()),
+        Just("fixed-0.30 GHz".to_string()),
+        Just("oracle".to_string()),
+        (0u32..100).prop_map(|i| format!("config-{i}")),
+    ];
+    (
+        name,
+        proptest::collection::vec(lag_entry(), 0..20),
+        0u64..u64::MAX, // raw IEEE bits: covers NaN payloads, denormals, infinities
+        0u64..3_600_000_000,
+        0usize..10,
+        0usize..10,
+    )
+        .prop_map(
+            |(name, entries, energy_bits, irritation_us, match_failures, input_faults)| {
+                let mut profile = LagProfile::new(name);
+                for e in entries {
+                    profile.push(e);
+                }
+                RepResult {
+                    profile,
+                    dynamic_energy_mj: f64::from_bits(energy_bits),
+                    irritation: SimDuration::from_micros(irritation_us),
+                    match_failures,
+                    input_faults,
+                }
+            },
+        )
+}
+
+fn cause() -> impl Strategy<Value = InterlagError> {
+    let match_failure = prop_oneof![
+        Just(MatchFailure::NotAnnotated),
+        Just(MatchFailure::EndingNotFound),
+        Just(MatchFailure::Cancelled),
+    ];
+    prop_oneof![
+        (0u64..1_000_000_000, 0u64..1_000_000_000).prop_map(|(prev_us, time_us)| {
+            InterlagError::Device(DeviceError::Video(VideoError::NonMonotonicTimestamp {
+                prev: SimTime::from_micros(prev_us),
+                time: SimTime::from_micros(time_us),
+            }))
+        }),
+        Just(InterlagError::Device(DeviceError::Cancelled)),
+        (0usize..500, match_failure)
+            .prop_map(|(interaction_id, failure)| InterlagError::Match { interaction_id, failure }),
+        Just(InterlagError::MissingVideo),
+        Just(InterlagError::Timeout),
+        (0usize..1_000_000)
+            .prop_map(|offset| InterlagError::Dataset(DatasetError::BadUtf8 { offset })),
+    ]
+}
+
+fn rep_outcome() -> impl Strategy<Value = RepOutcome> {
+    prop_oneof![
+        Just(RepOutcome::Ok),
+        (2u32..10).prop_map(|attempts| RepOutcome::Retried { attempts }),
+        (1u32..10).prop_map(|attempts| RepOutcome::TimedOut { attempts }),
+        (1u32..10, cause()).prop_map(|(attempts, cause)| RepOutcome::Abandoned { attempts, cause }),
+    ]
+}
+
+/// Field-by-field, bit-exact equality for results (`RepResult` has no
+/// `PartialEq`, and NaN energies would defeat one anyway).
+fn assert_result_bits_equal(a: &RepResult, b: &RepResult) {
+    assert_eq!(a.profile.config, b.profile.config);
+    assert_eq!(a.profile.entries().len(), b.profile.entries().len());
+    for (x, y) in a.profile.entries().iter().zip(b.profile.entries()) {
+        assert_eq!(x.interaction_id, y.interaction_id);
+        assert_eq!(x.input_time, y.input_time);
+        assert_eq!(x.lag, y.lag);
+        assert_eq!(x.threshold, y.threshold);
+        assert_eq!(x.confidence.to_bits(), y.confidence.to_bits());
+    }
+    assert_eq!(a.dynamic_energy_mj.to_bits(), b.dynamic_energy_mj.to_bits());
+    assert_eq!(a.irritation, b.irritation);
+    assert_eq!(a.match_failures, b.match_failures);
+    assert_eq!(a.input_faults, b.input_faults);
+}
+
+proptest! {
+    #[test]
+    fn checkpoints_round_trip_bit_exactly(
+        fingerprint in 0u64..u64::MAX,
+        config in 0usize..32,
+        rep in 0u32..16,
+        result in rep_result(),
+        outcome in rep_outcome(),
+    ) {
+        let record = CheckpointRecord::new(fingerprint, config, rep, &result, &outcome);
+        let payload = encode_checkpoint(&record);
+        prop_assert!(
+            !payload.contains(&b'\n'),
+            "checkpoint payloads must be framable (newline-free)"
+        );
+        let back = decode_checkpoint(&payload).expect("a clean payload decodes");
+        prop_assert_eq!(&back, &record);
+
+        let (config2, rep2, result2, outcome2) = back.into_parts();
+        prop_assert_eq!(config2, config);
+        prop_assert_eq!(rep2, rep);
+        prop_assert_eq!(&outcome2, &outcome);
+        assert_result_bits_equal(&result2, &result);
+    }
+
+    #[test]
+    fn framed_checkpoint_survives_no_single_byte_corruption(
+        result in rep_result(),
+        outcome in rep_outcome(),
+        byte_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let record = CheckpointRecord::new(0x5eed, 3, 1, &result, &outcome);
+        let payload = encode_checkpoint(&record);
+        let framed = encode_record(&payload).expect("payload frames");
+
+        let idx = ((framed.len() as f64 * byte_frac) as usize).min(framed.len() - 1);
+        let mut corrupt = framed.clone();
+        corrupt[idx] ^= flip; // XOR with a non-zero mask always changes the byte
+
+        let out = decode_records(&corrupt);
+        // The CRC covers the length prefix and the payload, so an 8-bit
+        // burst anywhere in the frame is always caught: nothing decodes.
+        for rec in &out.records {
+            prop_assert_eq!(
+                rec.as_slice(),
+                payload.as_slice(),
+                "corruption at byte {} was misparsed into a different record",
+                idx
+            );
+        }
+        prop_assert!(
+            out.records.is_empty(),
+            "single-byte corruption at byte {} escaped the checksum",
+            idx
+        );
+    }
+
+}
+
+#[test]
+fn version_mismatch_is_rejected_not_misread() {
+    let result = RepResult {
+        profile: LagProfile::new("ondemand"),
+        dynamic_energy_mj: 1.5,
+        irritation: SimDuration::ZERO,
+        match_failures: 0,
+        input_faults: 0,
+    };
+    let record = CheckpointRecord::new(1, 0, 0, &result, &RepOutcome::Ok);
+    let payload = encode_checkpoint(&record);
+    let text = std::str::from_utf8(&payload).expect("JSON is UTF-8");
+    assert!(text.contains(&format!("\"version\":{CHECKPOINT_VERSION}")));
+    let bumped = text.replace(
+        &format!("\"version\":{CHECKPOINT_VERSION}"),
+        &format!("\"version\":{}", CHECKPOINT_VERSION + 1),
+    );
+    assert!(decode_checkpoint(bumped.as_bytes()).is_none());
+    assert!(decode_checkpoint(b"not json at all").is_none());
+    assert!(decode_checkpoint(&[0xff, 0xfe, 0x00]).is_none());
+}

@@ -22,6 +22,7 @@ use interlag_evdev::event::TimedEvent;
 use interlag_evdev::mt::{ContactEvent, MtDecoder, Point};
 use interlag_evdev::replay::{ReplayStats, Replayer};
 use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_journal::CancelToken;
 use interlag_power::energy::{ActivitySample, ActivityTrace};
 use interlag_power::opp::{Frequency, OppTable};
 use interlag_video::capture::{CameraCapture, CaptureLink};
@@ -34,6 +35,11 @@ use crate::render::{DecorationState, Renderer, ScreenConfig};
 use crate::scene::Scene;
 use crate::script::{DeviceScript, InteractionCategory};
 use crate::task::{Task, TaskKind, TaskSpec};
+
+/// How many quanta the execution loop runs between watchdog polls. At the
+/// default 1 ms quantum this bounds cancellation latency to 64 ms of
+/// simulated work per poll — far below any sensible rep deadline.
+pub const CANCEL_STRIDE: u64 = 64;
 
 /// How the screen output is captured during a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -203,12 +209,32 @@ impl Device {
         governor: &mut dyn Governor,
         until: SimTime,
     ) -> Result<RunArtifacts, DeviceError> {
+        self.run_cancellable(script, replayer, governor, until, &CancelToken::none())
+    }
+
+    /// Like [`Device::run`], with a watchdog token polled cooperatively in
+    /// the quantum loop (every [`CANCEL_STRIDE`] quanta, so a wedged
+    /// governor cannot stall a sweep for longer than its deadline plus one
+    /// stride).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Device::run`], plus [`DeviceError::Cancelled`] if the
+    /// token fires mid-run.
+    pub fn run_cancellable<R: Replayer>(
+        &self,
+        script: &DeviceScript,
+        replayer: R,
+        governor: &mut dyn Governor,
+        until: SimTime,
+        cancel: &CancelToken,
+    ) -> Result<RunArtifacts, DeviceError> {
         match self.config.capture {
             CaptureMode::Camera { seed } => {
                 let mut camera = CameraCapture::new(seed);
-                self.run_inner(script, replayer, governor, until, Some(&mut camera))
+                self.run_inner(script, replayer, governor, until, Some(&mut camera), cancel)
             }
-            _ => self.run_inner(script, replayer, governor, until, None),
+            _ => self.run_inner(script, replayer, governor, until, None, cancel),
         }
     }
 
@@ -228,7 +254,25 @@ impl Device {
         until: SimTime,
         link: &mut dyn CaptureLink,
     ) -> Result<RunArtifacts, DeviceError> {
-        self.run_inner(script, replayer, governor, until, Some(link))
+        self.run_inner(script, replayer, governor, until, Some(link), &CancelToken::none())
+    }
+
+    /// [`Device::run_with_capture`] with a watchdog token, as
+    /// [`Device::run_cancellable`] is to [`Device::run`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Device::run_cancellable`].
+    pub fn run_with_capture_cancellable<R: Replayer>(
+        &self,
+        script: &DeviceScript,
+        replayer: R,
+        governor: &mut dyn Governor,
+        until: SimTime,
+        link: &mut dyn CaptureLink,
+        cancel: &CancelToken,
+    ) -> Result<RunArtifacts, DeviceError> {
+        self.run_inner(script, replayer, governor, until, Some(link), cancel)
     }
 
     fn run_inner<R: Replayer>(
@@ -238,6 +282,7 @@ impl Device {
         governor: &mut dyn Governor,
         until: SimTime,
         mut link: Option<&mut dyn CaptureLink>,
+        cancel: &CancelToken,
     ) -> Result<RunArtifacts, DeviceError> {
         let cfg = &self.config;
         let quantum = cfg.quantum;
@@ -309,7 +354,15 @@ impl Device {
             Vec::new();
 
         let mut now = SimTime::ZERO;
+        let mut quanta = 0u64;
         while now < until {
+            // Watchdog poll, strided so the common (no-watchdog) case costs
+            // one branch per CANCEL_STRIDE quanta and deadline tokens read
+            // the clock rarely.
+            if quanta.is_multiple_of(CANCEL_STRIDE) && cancel.is_cancelled() {
+                return Err(DeviceError::Cancelled);
+            }
+            quanta += 1;
             let qend = now + quantum;
 
             // 1. Deliver input events due by `now`.
@@ -835,6 +888,45 @@ mod tests {
         let service = run.interactions[0].service_time.expect("serviced");
         assert!(service < SimTime::from_millis(1_300), "service at {service}");
         assert!(run.activity.busy_time() > SimDuration::from_millis(900));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_run() {
+        let script = simple_script();
+        let device = Device::default();
+        let trace = script.record_trace();
+        let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
+        let cancel = CancelToken::manual();
+        cancel.cancel();
+        let err = device
+            .run_cancellable(
+                &script,
+                ReplayAgent::new(trace),
+                &mut gov,
+                SimTime::from_secs(5),
+                &cancel,
+            )
+            .expect_err("pre-fired token must abort the run");
+        assert_eq!(err, DeviceError::Cancelled);
+    }
+
+    #[test]
+    fn unfired_token_does_not_perturb_the_run() {
+        let script = simple_script();
+        let device = Device::default();
+        let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
+        let run = device
+            .run_cancellable(
+                &script,
+                ReplayAgent::new(script.record_trace()),
+                &mut gov,
+                SimTime::from_secs(5),
+                &CancelToken::manual(),
+            )
+            .expect("clean run");
+        let baseline = run_fixed(960, &script);
+        assert_eq!(run.interactions, baseline.interactions);
+        assert_eq!(run.activity, baseline.activity);
     }
 
     #[test]

@@ -11,12 +11,16 @@ use interlag_video::stream::VideoError;
 pub enum DeviceError {
     /// The capture path rejected a frame.
     Video(VideoError),
+    /// A watchdog cancellation token fired mid-run; the quantum loop
+    /// unwound cooperatively instead of finishing the workload.
+    Cancelled,
 }
 
 impl std::fmt::Display for DeviceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DeviceError::Video(e) => write!(f, "video capture failed: {e}"),
+            DeviceError::Cancelled => write!(f, "device run cancelled by watchdog"),
         }
     }
 }
@@ -25,6 +29,7 @@ impl std::error::Error for DeviceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DeviceError::Video(e) => Some(e),
+            DeviceError::Cancelled => None,
         }
     }
 }

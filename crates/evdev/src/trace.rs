@@ -195,63 +195,63 @@ impl FromStr for EventTrace {
         let mut trace = EventTrace::new();
         for (idx, raw_line) in s.lines().enumerate() {
             let line_no = idx + 1;
-            let line = raw_line.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
+            if let Some(ev) = parse_getevent_line(raw_line)
+                .map_err(|reason| ParseTraceError { line: line_no, reason })?
+            {
+                // Parsing tolerates out-of-order lines (clock adjustments
+                // happen on real devices); sort once at the end instead of
+                // panicking.
+                trace.events.push(ev);
             }
-            let err = |reason: String| ParseTraceError { line: line_no, reason };
-
-            let (time, rest) = if let Some(stripped) = line.strip_prefix('[') {
-                let close =
-                    stripped.find(']').ok_or_else(|| err("missing ']' after timestamp".into()))?;
-                let ts = stripped[..close].trim();
-                let time =
-                    parse_timestamp(ts).ok_or_else(|| err(format!("bad timestamp {ts:?}")))?;
-                (time, stripped[close + 1..].trim())
-            } else {
-                (SimTime::ZERO, line)
-            };
-
-            let rest = rest
-                .strip_prefix("/dev/input/event")
-                .ok_or_else(|| err("missing device node prefix".into()))?;
-            let colon =
-                rest.find(':').ok_or_else(|| err("missing ':' after device node".into()))?;
-            let device: u8 = rest[..colon]
-                .parse()
-                .map_err(|_| err(format!("bad device index {:?}", &rest[..colon])))?;
-
-            let mut fields = rest[colon + 1..].split_whitespace();
-            let mut next_hex = |what: &str| -> Result<u32, ParseTraceError> {
-                let f = fields.next().ok_or_else(|| ParseTraceError {
-                    line: line_no,
-                    reason: format!("missing {what} field"),
-                })?;
-                u32::from_str_radix(f, 16).map_err(|_| ParseTraceError {
-                    line: line_no,
-                    reason: format!("bad hex {what} {f:?}"),
-                })
-            };
-            let kind_raw = next_hex("type")?;
-            let code = next_hex("code")?;
-            let value = next_hex("value")? as i32;
-            if fields.next().is_some() {
-                return Err(err("trailing fields after value".into()));
-            }
-            let kind = EventType::from_raw(kind_raw as u16)
-                .ok_or_else(|| err(format!("unknown event type {kind_raw:#06x}")))?;
-
-            // Parsing tolerates out-of-order lines (clock adjustments happen
-            // on real devices); sort once at the end instead of panicking.
-            trace.events.push(TimedEvent::new(
-                time,
-                device,
-                InputEvent::new(kind, code as u16, value),
-            ));
         }
         trace.events.sort_by_key(|e| e.time);
         Ok(trace)
     }
+}
+
+/// Parses one `getevent -t` line. `Ok(None)` for blank and `#`-comment
+/// lines; `Err` carries the reason a malformed line was rejected, so
+/// salvage-mode ingestion can drop the line and keep the reason while
+/// strict ingestion attaches a location and fails.
+///
+/// # Errors
+///
+/// A human-readable reason string for any malformed line.
+pub fn parse_getevent_line(raw_line: &str) -> Result<Option<TimedEvent>, String> {
+    let line = raw_line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+
+    let (time, rest) = if let Some(stripped) = line.strip_prefix('[') {
+        let close = stripped.find(']').ok_or("missing ']' after timestamp")?;
+        let ts = stripped[..close].trim();
+        let time = parse_timestamp(ts).ok_or_else(|| format!("bad timestamp {ts:?}"))?;
+        (time, stripped[close + 1..].trim())
+    } else {
+        (SimTime::ZERO, line)
+    };
+
+    let rest = rest.strip_prefix("/dev/input/event").ok_or("missing device node prefix")?;
+    let colon = rest.find(':').ok_or("missing ':' after device node")?;
+    let device: u8 =
+        rest[..colon].parse().map_err(|_| format!("bad device index {:?}", &rest[..colon]))?;
+
+    let mut fields = rest[colon + 1..].split_whitespace();
+    let mut next_hex = |what: &str| -> Result<u32, String> {
+        let f = fields.next().ok_or_else(|| format!("missing {what} field"))?;
+        u32::from_str_radix(f, 16).map_err(|_| format!("bad hex {what} {f:?}"))
+    };
+    let kind_raw = next_hex("type")?;
+    let code = next_hex("code")?;
+    let value = next_hex("value")? as i32;
+    if fields.next().is_some() {
+        return Err("trailing fields after value".into());
+    }
+    let kind = EventType::from_raw(kind_raw as u16)
+        .ok_or_else(|| format!("unknown event type {kind_raw:#06x}"))?;
+
+    Ok(Some(TimedEvent::new(time, device, InputEvent::new(kind, code as u16, value))))
 }
 
 fn parse_timestamp(s: &str) -> Option<SimTime> {
@@ -261,7 +261,11 @@ fn parse_timestamp(s: &str) -> Option<SimTime> {
         return None;
     }
     let micros: u64 = micros.parse().ok()?;
-    Some(SimTime::from_micros(secs * 1_000_000 + micros))
+    // A 20-digit seconds field fits a u64 but not the microsecond clock:
+    // reject out-of-range timestamps instead of wrapping them into the
+    // middle of the recording.
+    let total = secs.checked_mul(1_000_000)?.checked_add(micros)?;
+    Some(SimTime::from_micros(total))
 }
 
 #[cfg(test)]
@@ -330,6 +334,22 @@ mod tests {
         assert!("/dev/input/event1: 0015 0000 00000000".parse::<EventTrace>().is_err());
         assert!("/dev/input/eventX: 0000 0000 00000000".parse::<EventTrace>().is_err());
         assert!("[ 1.23 ] /dev/input/event1: 0000 0000 00000000".parse::<EventTrace>().is_err());
+    }
+
+    #[test]
+    fn parse_rejects_overflowing_timestamps() {
+        // 18446744073709.551616 s × 10⁶ would wrap a u64 microsecond clock.
+        let text = "[ 18446744073709.551616 ] /dev/input/event1: 0000 0000 00000000\n";
+        let err = text.parse::<EventTrace>().unwrap_err();
+        assert!(err.reason.contains("bad timestamp"), "{}", err.reason);
+    }
+
+    #[test]
+    fn line_parser_classifies_lines() {
+        assert_eq!(parse_getevent_line("  # comment"), Ok(None));
+        assert_eq!(parse_getevent_line(""), Ok(None));
+        assert!(parse_getevent_line("/dev/input/event1: 0000 0000 00000000").unwrap().is_some());
+        assert!(parse_getevent_line("garbage").is_err());
     }
 
     #[test]

@@ -54,6 +54,29 @@ pub struct DvfsFaults {
     pub reject_rate: f64,
 }
 
+/// Wedge faults: a repetition whose governor path hangs in wall-clock
+/// time, the failure mode the rep watchdog exists for.
+///
+/// Unlike the other fault families, a wedge does not perturb simulated
+/// results — it stalls the *host* thread (as a livelocked kernel governor
+/// stalls a real sweep), so without a watchdog the study never finishes.
+/// It is therefore opt-in only: [`FaultConfig::uniform`] leaves it off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WedgeFaults {
+    /// Probability one repetition attempt wedges, drawn once per attempt
+    /// from the wedge stream.
+    pub hang_rate: f64,
+    /// Wall-clock stall per governor sample while wedged, milliseconds.
+    pub stall_ms: u64,
+}
+
+impl WedgeFaults {
+    /// No wedging.
+    pub fn none() -> Self {
+        WedgeFaults { hang_rate: 0.0, stall_ms: 0 }
+    }
+}
+
 /// Complete fault-injection settings for one pipeline.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultConfig {
@@ -67,6 +90,8 @@ pub struct FaultConfig {
     pub power: PowerFaults,
     /// DVFS-transition faults.
     pub dvfs: DvfsFaults,
+    /// Wall-clock wedge faults (watchdog fodder).
+    pub wedge: WedgeFaults,
 }
 
 impl FaultConfig {
@@ -84,6 +109,7 @@ impl FaultConfig {
             replay: ReplayFaults { event_loss_rate: 0.0, delay_rate: 0.0, max_delay_us: 0 },
             power: PowerFaults { dropout_rate: 0.0, spike_rate: 0.0 },
             dvfs: DvfsFaults { reject_rate: 0.0 },
+            wedge: WedgeFaults::none(),
         }
     }
 
@@ -101,6 +127,9 @@ impl FaultConfig {
             replay: ReplayFaults { event_loss_rate: rate, delay_rate: rate, max_delay_us: 2_000 },
             power: PowerFaults { dropout_rate: rate, spike_rate: rate },
             dvfs: DvfsFaults { reject_rate: rate },
+            // Wedges stall the host thread and need a watchdog to recover;
+            // chaos sweeps that just want data-path noise must not hang.
+            wedge: WedgeFaults::none(),
         }
     }
 
@@ -114,6 +143,7 @@ impl FaultConfig {
             && self.power.dropout_rate == 0.0
             && self.power.spike_rate == 0.0
             && self.dvfs.reject_rate == 0.0
+            && self.wedge.hang_rate == 0.0
     }
 }
 
@@ -132,6 +162,8 @@ pub struct FaultStreams {
     pub power: SplitMix64,
     /// Stream for [`DvfsFaults`].
     pub dvfs: SplitMix64,
+    /// Stream for [`WedgeFaults`].
+    pub wedge: SplitMix64,
 }
 
 impl FaultStreams {
@@ -144,7 +176,13 @@ impl FaultStreams {
             }
             r
         };
-        FaultStreams { capture: stage(1), replay: stage(2), power: stage(3), dvfs: stage(4) }
+        FaultStreams {
+            capture: stage(1),
+            replay: stage(2),
+            power: stage(3),
+            dvfs: stage(4),
+            wedge: stage(5),
+        }
     }
 }
 

@@ -12,7 +12,7 @@ use interlag_evdev::rng::SplitMix64;
 use interlag_evdev::time::{SimDuration, SimTime};
 use interlag_power::opp::{Frequency, OppTable};
 
-use crate::config::DvfsFaults;
+use crate::config::{DvfsFaults, WedgeFaults};
 
 /// A [`Governor`] decorator whose frequency writes can be rejected.
 ///
@@ -79,6 +79,60 @@ impl Governor for FaultyGovernor<'_> {
     }
 }
 
+/// A [`Governor`] decorator that can *wedge*: with the configured
+/// probability (drawn once at construction) every governor sample stalls
+/// the host thread for `stall_ms` of wall-clock time, the way a
+/// livelocked kernel cpufreq path stalls a real sweep.
+///
+/// A wedged run makes no forward progress in wall time even though the
+/// simulated results would be unchanged — which is exactly the failure the
+/// rep watchdog exists to cancel. An unwedged instance (including any
+/// instance with `hang_rate == 0`) is a strict pass-through.
+pub struct WedgedGovernor<'a> {
+    inner: &'a mut dyn Governor,
+    stall: std::time::Duration,
+    wedged: bool,
+}
+
+impl<'a> WedgedGovernor<'a> {
+    /// Wraps `inner`, drawing the wedge decision from `rng` now so the
+    /// outcome is a pure function of the fault stream.
+    pub fn new(inner: &'a mut dyn Governor, faults: WedgeFaults, rng: &mut SplitMix64) -> Self {
+        let wedged = faults.hang_rate > 0.0 && rng.chance(faults.hang_rate);
+        WedgedGovernor { inner, stall: std::time::Duration::from_millis(faults.stall_ms), wedged }
+    }
+
+    /// Whether this attempt drew the wedge.
+    pub fn wedged(&self) -> bool {
+        self.wedged
+    }
+}
+
+impl Governor for WedgedGovernor<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn init(&mut self, table: &OppTable) -> Frequency {
+        self.inner.init(table)
+    }
+
+    fn sample_period(&self) -> SimDuration {
+        self.inner.sample_period()
+    }
+
+    fn on_sample(&mut self, now: SimTime, load: LoadSample, table: &OppTable) -> Frequency {
+        if self.wedged && !self.stall.is_zero() {
+            std::thread::sleep(self.stall);
+        }
+        self.inner.on_sample(now, load, table)
+    }
+
+    fn on_input(&mut self, now: SimTime, table: &OppTable) -> Option<Frequency> {
+        self.inner.on_input(now, table)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +190,40 @@ mod tests {
             assert_eq!(g.on_sample(SimTime::from_millis(i * 20), sample(), &table), init);
         }
         assert_eq!(g.rejected(), 10);
+    }
+
+    #[test]
+    fn unwedged_governor_is_transparent() {
+        let table = OppTable::snapdragon_8074();
+        let mut plain = Sweeper { idx: 0 };
+        let mut inner = Sweeper { idx: 0 };
+        let mut rng = SplitMix64::new(3);
+        let mut g = WedgedGovernor::new(&mut inner, WedgeFaults::none(), &mut rng);
+        assert!(!g.wedged());
+        assert_eq!(g.init(&table), plain.init(&table));
+        for i in 0..10u64 {
+            let now = SimTime::from_millis(i * 20);
+            assert_eq!(g.on_sample(now, sample(), &table), plain.on_sample(now, sample(), &table));
+        }
+    }
+
+    #[test]
+    fn certain_wedge_stalls_wall_clock_without_changing_decisions() {
+        let table = OppTable::snapdragon_8074();
+        let mut plain = Sweeper { idx: 0 };
+        let mut inner = Sweeper { idx: 0 };
+        let mut rng = SplitMix64::new(4);
+        let faults = WedgeFaults { hang_rate: 1.0, stall_ms: 5 };
+        let mut g = WedgedGovernor::new(&mut inner, faults, &mut rng);
+        assert!(g.wedged());
+        g.init(&table);
+        plain.init(&table);
+        let t0 = std::time::Instant::now();
+        for i in 0..4u64 {
+            let now = SimTime::from_millis(i * 20);
+            assert_eq!(g.on_sample(now, sample(), &table), plain.on_sample(now, sample(), &table));
+        }
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20), "4 samples × 5 ms stall");
     }
 
     #[test]

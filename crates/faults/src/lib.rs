@@ -41,7 +41,9 @@ pub mod power;
 pub mod replay;
 
 pub use capture::{CaptureFaultLog, FaultyCapture};
-pub use config::{CaptureFaults, DvfsFaults, FaultConfig, FaultStreams, PowerFaults, ReplayFaults};
-pub use dvfs::FaultyGovernor;
+pub use config::{
+    CaptureFaults, DvfsFaults, FaultConfig, FaultStreams, PowerFaults, ReplayFaults, WedgeFaults,
+};
+pub use dvfs::{FaultyGovernor, WedgedGovernor};
 pub use power::PowerFaultLog;
 pub use replay::{FaultyReplayer, ReplayFaultLog};

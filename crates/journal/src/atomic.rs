@@ -1,0 +1,95 @@
+//! Atomic file output: write a temp sibling, sync it, rename over the
+//! destination.
+//!
+//! A study that crashes while writing its reports must not leave a
+//! half-written CSV where a complete one used to be — a resumed run (or a
+//! human) reading it later would see silently truncated data. The rename
+//! is atomic on POSIX filesystems, so readers observe either the old
+//! complete file or the new complete file, never a prefix.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: the bytes land in a temporary
+/// sibling file (same directory, so the rename cannot cross filesystems),
+/// are synced to disk, and the temp file is renamed over `path`.
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, syncing, or renaming; on error
+/// the destination is untouched and the temp file is cleaned up on a
+/// best-effort basis.
+pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
+    let path = path.as_ref();
+    let file_name = path.file_name().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("atomic_write target has no file name: {}", path.display()),
+        )
+    })?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+
+    let result = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(contents.as_ref())?;
+        file.sync_data()?;
+        drop(file);
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ilj-atomic-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_fresh_file() {
+        let dir = scratch_dir("fresh");
+        let path = dir.join("out.csv");
+        atomic_write(&path, "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replaces_existing_file() {
+        let dir = scratch_dir("replace");
+        let path = dir.join("out.csv");
+        std::fs::write(&path, "old contents, much longer than the new ones").unwrap();
+        atomic_write(&path, "new").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "new");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn leaves_no_temp_files_behind() {
+        let dir = scratch_dir("clean");
+        atomic_write(dir.join("a.txt"), "x").unwrap();
+        atomic_write(dir.join("b.txt"), "y").unwrap();
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(names.len(), 2, "only the two destinations remain: {names:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_pathless_target() {
+        assert!(atomic_write("/", "x").is_err());
+    }
+}

@@ -1,0 +1,55 @@
+//! # interlag-journal — crash-safe durability primitives
+//!
+//! The paper's governor studies replay five ten-minute workloads (plus a
+//! 24-hour recording) across 18 configurations with repeated repetitions:
+//! multi-hour unattended sweeps. A killed process, a wedged repetition or
+//! a half-written output file must not throw away everything already
+//! measured. This crate provides the three mechanisms the pipeline builds
+//! its durability on:
+//!
+//! * [`record`] — an append-only record journal with CRC32-checksummed,
+//!   length-prefixed framing and per-append `fsync`. Readers recover the
+//!   longest valid prefix of records; a torn or garbled tail (the
+//!   signature of a crash mid-write) is detected and dropped, never
+//!   misparsed. Payloads are opaque bytes, so the crate stays free of any
+//!   dependency on the pipeline's types.
+//! * [`atomic`] — write-temp-then-rename file output, so a crash never
+//!   leaves a half-written CSV or trace where a complete one used to be.
+//! * [`watchdog`] — cooperative cancellation tokens with optional
+//!   wall-clock deadlines. Long-running loops (the device quantum loop,
+//!   the matcher's frame walk) poll a token and unwind cleanly when a
+//!   repetition exceeds its budget.
+//!
+//! The crate is std-only with zero dependencies — it must be buildable
+//! (and auditable) even when nothing else in the workspace is.
+//!
+//! # Examples
+//!
+//! Round-trip two records and recover from a torn tail:
+//!
+//! ```
+//! use interlag_journal::record::{decode_records, encode_record};
+//!
+//! let mut bytes = Vec::new();
+//! bytes.extend_from_slice(&encode_record(b"first").unwrap());
+//! bytes.extend_from_slice(&encode_record(b"second").unwrap());
+//! // A crash tears the third record mid-write.
+//! bytes.extend_from_slice(&encode_record(b"third").unwrap()[..10]);
+//!
+//! let decoded = decode_records(&bytes);
+//! assert_eq!(decoded.records, vec![b"first".to_vec(), b"second".to_vec()]);
+//! assert_eq!(decoded.torn, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod atomic;
+pub mod crc32;
+pub mod record;
+pub mod watchdog;
+
+pub use atomic::atomic_write;
+pub use crc32::crc32;
+pub use record::{decode_records, encode_record, DecodeOutcome, Journal, RecordError};
+pub use watchdog::CancelToken;

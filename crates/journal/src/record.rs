@@ -1,0 +1,293 @@
+//! The append-only record journal: CRC32-framed lines with torn-tail
+//! recovery.
+//!
+//! # Format
+//!
+//! One record per line:
+//!
+//! ```text
+//! <len:08x> <crc:08x> <payload>\n
+//! ```
+//!
+//! `len` is the payload length in bytes; `crc` is the CRC-32 of the
+//! *length-prefixed* record — the payload length as an 8-byte
+//! little-endian integer followed by the payload bytes — so a checksum
+//! can never validate a payload of the wrong length. Payloads are opaque
+//! bytes except that they must not contain a newline (the line is the
+//! frame); JSON payloads satisfy this by construction.
+//!
+//! # Recovery contract
+//!
+//! [`decode_records`] returns the longest prefix of structurally valid,
+//! checksum-verified records. The first record that fails any check —
+//! missing terminator, malformed header, length mismatch, checksum
+//! mismatch — ends decoding; it and everything after it are counted as
+//! torn and dropped. Consequences:
+//!
+//! * a crash mid-append (torn write) loses at most the record being
+//!   written, never an earlier one;
+//! * any single-byte corruption is detected (CRC-32 catches all
+//!   single-byte errors; a flip that creates or destroys a newline
+//!   changes the framed length and fails the length check), so decoded
+//!   records are always a true prefix of what was written.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::crc32::{crc32_begin, crc32_finish, crc32_update};
+
+/// Why a payload could not be encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// The payload contains a newline, which would break line framing.
+    PayloadContainsNewline,
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::PayloadContainsNewline => {
+                write!(f, "journal payloads must not contain newlines")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+/// The CRC of one record: over the 8-byte little-endian payload length,
+/// then the payload itself.
+fn record_crc(payload: &[u8]) -> u32 {
+    let mut s = crc32_begin();
+    s = crc32_update(s, &(payload.len() as u64).to_le_bytes());
+    s = crc32_update(s, payload);
+    crc32_finish(s)
+}
+
+/// Encodes one record as its framed line (including the trailing
+/// newline).
+///
+/// # Errors
+///
+/// [`RecordError::PayloadContainsNewline`] if the payload cannot be line
+/// framed.
+pub fn encode_record(payload: &[u8]) -> Result<Vec<u8>, RecordError> {
+    if payload.contains(&b'\n') {
+        return Err(RecordError::PayloadContainsNewline);
+    }
+    let mut out = Vec::with_capacity(payload.len() + 19);
+    out.extend_from_slice(format!("{:08x} {:08x} ", payload.len(), record_crc(payload)).as_bytes());
+    out.extend_from_slice(payload);
+    out.push(b'\n');
+    Ok(out)
+}
+
+/// What [`decode_records`] recovered from a journal's bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeOutcome {
+    /// The payloads of every valid record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Byte offsets just *after* each valid record — `boundaries[i]` is
+    /// where record `i + 1` would begin. Kill–resume tests truncate here.
+    pub boundaries: Vec<usize>,
+    /// How many damaged trailing chunks were dropped (0 for a clean
+    /// journal). Chunks are counted per newline-separated fragment, so a
+    /// torn final write counts as one.
+    pub torn: usize,
+}
+
+impl DecodeOutcome {
+    /// The byte length of the valid prefix.
+    pub fn valid_len(&self) -> usize {
+        self.boundaries.last().copied().unwrap_or(0)
+    }
+}
+
+/// Decodes the longest valid prefix of records from raw journal bytes;
+/// see the module docs for the recovery contract.
+pub fn decode_records(bytes: &[u8]) -> DecodeOutcome {
+    let mut records = Vec::new();
+    let mut boundaries = Vec::new();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let Some(valid) = decode_one(&bytes[offset..]) else { break };
+        let (payload, consumed) = valid;
+        records.push(payload);
+        offset += consumed;
+        boundaries.push(offset);
+    }
+    // Everything past the valid prefix is torn: count the fragments so
+    // callers can report how much was dropped.
+    let torn = bytes[offset..].split(|&b| b == b'\n').filter(|chunk| !chunk.is_empty()).count();
+    DecodeOutcome { records, boundaries, torn }
+}
+
+/// Decodes one record at the start of `bytes`; `None` if it is damaged
+/// or incomplete. Returns the payload and the bytes consumed.
+fn decode_one(bytes: &[u8]) -> Option<(Vec<u8>, usize)> {
+    let line_end = bytes.iter().position(|&b| b == b'\n')?;
+    let line = &bytes[..line_end];
+    // "llllllll cccccccc " + payload
+    if line.len() < 18 || line[8] != b' ' || line[17] != b' ' {
+        return None;
+    }
+    let len = parse_hex8(&line[0..8])? as usize;
+    let crc = parse_hex8(&line[9..17])?;
+    let payload = &line[18..];
+    if payload.len() != len || record_crc(payload) != crc {
+        return None;
+    }
+    Some((payload.to_vec(), line_end + 1))
+}
+
+fn parse_hex8(digits: &[u8]) -> Option<u32> {
+    let s = std::str::from_utf8(digits).ok()?;
+    // `from_str_radix` accepts `+` and uppercase; the writer emits exactly
+    // eight lowercase hex digits, so hold the reader to the same.
+    if s.len() != 8 || !s.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b)) {
+        return None;
+    }
+    u32::from_str_radix(s, 16).ok()
+}
+
+/// An open journal file accepting durable appends.
+///
+/// Every [`Journal::append`] writes one framed record and `fsync`s it
+/// before returning: once `append` succeeds, the record survives a crash
+/// (of the process or the machine) at any later point.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+}
+
+impl Journal {
+    /// Creates (or truncates) a journal at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening the file.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+        Ok(Journal { file })
+    }
+
+    /// Opens an existing journal (or creates an empty one) for appending;
+    /// the resume path uses this after reading the valid prefix.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error opening the file.
+    pub fn open_append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = OpenOptions::new().append(true).create(true).open(path)?;
+        Ok(Journal { file })
+    }
+
+    /// Appends one record and syncs it to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`RecordError`] mapped to `InvalidInput` if the payload cannot be
+    /// framed, or any I/O error from the write or the sync.
+    pub fn append(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        let framed = encode_record(payload)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        self.file.write_all(&framed)?;
+        self.file.sync_data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal_of(payloads: &[&[u8]]) -> Vec<u8> {
+        payloads.iter().flat_map(|p| encode_record(p).unwrap()).collect()
+    }
+
+    #[test]
+    fn round_trips_in_order() {
+        let bytes = journal_of(&[b"alpha", b"", b"{\"rep\":3}"]);
+        let out = decode_records(&bytes);
+        assert_eq!(out.records, vec![b"alpha".to_vec(), b"".to_vec(), b"{\"rep\":3}".to_vec()]);
+        assert_eq!(out.torn, 0);
+        assert_eq!(out.valid_len(), bytes.len());
+    }
+
+    #[test]
+    fn boundaries_mark_every_record_end() {
+        let bytes = journal_of(&[b"a", b"bb", b"ccc"]);
+        let out = decode_records(&bytes);
+        assert_eq!(out.boundaries.len(), 3);
+        for (i, &end) in out.boundaries.iter().enumerate() {
+            let truncated = decode_records(&bytes[..end]);
+            assert_eq!(truncated.records.len(), i + 1);
+            assert_eq!(truncated.torn, 0);
+        }
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let mut bytes = journal_of(&[b"keep me"]);
+        let torn = encode_record(b"torn away").unwrap();
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        let out = decode_records(&bytes);
+        assert_eq!(out.records, vec![b"keep me".to_vec()]);
+        assert_eq!(out.torn, 1);
+    }
+
+    #[test]
+    fn garbled_middle_record_ends_the_valid_prefix() {
+        let mut bytes = journal_of(&[b"one", b"two"]);
+        // Corrupt a payload byte of record two; record three follows.
+        let boundary = decode_records(&bytes).boundaries[0];
+        bytes[boundary + 18] ^= 0x40;
+        bytes.extend_from_slice(&encode_record(b"three").unwrap());
+        let out = decode_records(&bytes);
+        assert_eq!(out.records, vec![b"one".to_vec()]);
+        assert_eq!(out.torn, 2, "the corrupted record and its successor are both dropped");
+    }
+
+    #[test]
+    fn newline_payloads_are_rejected() {
+        assert_eq!(encode_record(b"a\nb"), Err(RecordError::PayloadContainsNewline));
+    }
+
+    #[test]
+    fn header_must_be_exact_lowercase_hex() {
+        // `u32::from_str_radix` would happily accept an uppercase digit or
+        // a leading `+`; the framing rejects anything the writer never
+        // emits so corrupted headers cannot alias valid ones.
+        let good = encode_record(&[0xAB; 26]).unwrap(); // len 0000001a
+        assert_eq!(&good[..8], b"0000001a");
+        for (pos, byte) in [(7usize, b'A'), (0usize, b'+'), (9usize, b'G')] {
+            let mut bad = good.clone();
+            bad[pos] = byte;
+            assert!(
+                decode_records(&bad).records.is_empty(),
+                "header byte {pos} = {:?} must be rejected",
+                byte as char
+            );
+        }
+    }
+
+    #[test]
+    fn append_then_read_back_from_disk() {
+        let dir = std::env::temp_dir().join(format!("ilj-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.ilj");
+        {
+            let mut j = Journal::create(&path).unwrap();
+            j.append(b"first").unwrap();
+            j.append(b"second").unwrap();
+        }
+        {
+            let mut j = Journal::open_append(&path).unwrap();
+            j.append(b"third").unwrap();
+        }
+        let out = decode_records(&std::fs::read(&path).unwrap());
+        assert_eq!(out.records, vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,129 @@
+//! Cooperative cancellation tokens with optional wall-clock deadlines.
+//!
+//! A wedged repetition — a governor stuck in a pathological loop, a
+//! matcher walk that never converges — must not hang a multi-hour sweep.
+//! Rather than killing threads (unsafe in Rust and unportable anyway),
+//! the pipeline threads a [`CancelToken`] through its long-running loops:
+//! the device quantum loop, the matcher's frame walk, and the escalation
+//! ladder each poll the token at a coarse stride and unwind with a typed
+//! error when it fires.
+//!
+//! The token is an `Option<Arc<_>>` internally, so the common case — no
+//! watchdog — is a `None` check with zero allocation and no clock reads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cheaply clonable cancellation token.
+///
+/// A token is *fired* once [`CancelToken::cancel`] has been called on any
+/// clone or (for deadline tokens) the wall clock passes the deadline.
+/// Firing is sticky: once fired, a token stays fired.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Option<Arc<Inner>>);
+
+impl CancelToken {
+    /// The no-op token: never fires, costs one pointer-sized `None` check
+    /// per poll. Use this when no watchdog is configured.
+    pub fn none() -> Self {
+        CancelToken(None)
+    }
+
+    /// A token that fires when the wall clock passes `deadline` (or when
+    /// [`CancelToken::cancel`] is called first).
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken(Some(Arc::new(Inner {
+            cancelled: AtomicBool::new(false),
+            deadline: Some(deadline),
+        })))
+    }
+
+    /// A token that fires `budget` from now.
+    pub fn with_budget(budget: Duration) -> Self {
+        Self::with_deadline(Instant::now() + budget)
+    }
+
+    /// A token with no deadline that only fires on an explicit
+    /// [`CancelToken::cancel`] — for tests and manual interruption.
+    pub fn manual() -> Self {
+        CancelToken(Some(Arc::new(Inner { cancelled: AtomicBool::new(false), deadline: None })))
+    }
+
+    /// Fires the token (and every clone of it). No-op on
+    /// [`CancelToken::none`].
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.0 {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// Polls the token. Reads the clock only for deadline tokens that
+    /// have not already been cancelled, so callers should still stride
+    /// their polls in hot loops.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(inner) => {
+                if inner.cancelled.load(Ordering::Acquire) {
+                    return true;
+                }
+                match inner.deadline {
+                    Some(deadline) if Instant::now() >= deadline => {
+                        // Latch it so later polls skip the clock read and
+                        // every clone agrees the token fired.
+                        inner.cancelled.store(true, Ordering::Release);
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let t = CancelToken::none();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn manual_fires_on_cancel_and_is_shared_by_clones() {
+        let t = CancelToken::manual();
+        let clone = t.clone();
+        assert!(!clone.is_cancelled());
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert!(t.is_cancelled(), "firing is sticky");
+    }
+
+    #[test]
+    fn past_deadline_fires_immediately() {
+        let t = CancelToken::with_deadline(Instant::now() - Duration::from_secs(1));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_has_not_fired_yet() {
+        let t = CancelToken::with_budget(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn default_is_the_noop_token() {
+        assert!(!CancelToken::default().is_cancelled());
+    }
+}

@@ -22,6 +22,8 @@ pub enum Counter {
     RepsRetried,
     /// Repetitions abandoned after exhausting the retry budget.
     RepsAbandoned,
+    /// Repetitions whose final attempt was cancelled by the watchdog.
+    RepsTimedOut,
     /// Failed attempts that triggered a retry.
     RetryAttempts,
     /// Lags the matcher resolved.
@@ -46,16 +48,27 @@ pub enum Counter {
     FramesCaptured,
     /// Jobs executed by the study work queue.
     WorkerJobs,
+    /// Checkpoint records appended (and fsync'd) to the study journal.
+    JournalAppends,
+    /// Repetitions restored from the journal on resume instead of re-run.
+    JournalReplayedReps,
+    /// Torn or garbled journal tail records dropped during resume.
+    JournalTornRecords,
+    /// Repetition attempts cancelled by the watchdog deadline.
+    WatchdogFires,
+    /// Unparseable dataset lines dropped by salvage-mode ingestion.
+    SalvageDroppedLines,
 }
 
 impl Counter {
     /// Every counter, in rendering order.
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 23] = [
         Counter::AnnotateRuns,
         Counter::StudyReps,
         Counter::RepsOk,
         Counter::RepsRetried,
         Counter::RepsAbandoned,
+        Counter::RepsTimedOut,
         Counter::RetryAttempts,
         Counter::MatchLags,
         Counter::MatchFailures,
@@ -68,6 +81,11 @@ impl Counter {
         Counter::InputBoosts,
         Counter::FramesCaptured,
         Counter::WorkerJobs,
+        Counter::JournalAppends,
+        Counter::JournalReplayedReps,
+        Counter::JournalTornRecords,
+        Counter::WatchdogFires,
+        Counter::SalvageDroppedLines,
     ];
 
     /// Stable snake-case name used by both exporters.
@@ -78,6 +96,7 @@ impl Counter {
             Counter::RepsOk => "reps_ok",
             Counter::RepsRetried => "reps_retried",
             Counter::RepsAbandoned => "reps_abandoned",
+            Counter::RepsTimedOut => "reps_timed_out",
             Counter::RetryAttempts => "retry_attempts",
             Counter::MatchLags => "match_lags",
             Counter::MatchFailures => "match_failures",
@@ -90,6 +109,11 @@ impl Counter {
             Counter::InputBoosts => "input_boosts",
             Counter::FramesCaptured => "frames_captured",
             Counter::WorkerJobs => "worker_jobs",
+            Counter::JournalAppends => "journal_appends",
+            Counter::JournalReplayedReps => "journal_replayed_reps",
+            Counter::JournalTornRecords => "journal_torn_records",
+            Counter::WatchdogFires => "watchdog_fires",
+            Counter::SalvageDroppedLines => "salvage_dropped_lines",
         }
     }
 }

@@ -44,9 +44,11 @@
 
 pub mod capture;
 pub mod frame;
+pub mod manifest;
 pub mod mask;
 pub mod stream;
 
 pub use frame::{FrameBuffer, Rect};
+pub use manifest::{parse_manifest, parse_manifest_salvage, ManifestDefect, ManifestError};
 pub use mask::{Mask, MatchTolerance};
 pub use stream::{VideoError, VideoFrame, VideoStream, FRAME_PERIOD_30FPS};

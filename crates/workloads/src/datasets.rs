@@ -28,6 +28,11 @@ pub enum Dataset {
     D05,
     /// The full-day recording used for the input-classification figure.
     Day24h,
+    /// A ~25-second smoke dataset — two interactions and a background
+    /// burst. Not part of the paper's study; exists so CLI tests, the CI
+    /// durability job and quick local sanity checks can run a complete
+    /// journalled study in seconds instead of minutes.
+    Mini,
 }
 
 impl Dataset {
@@ -44,6 +49,7 @@ impl Dataset {
             Dataset::D04 => "04",
             Dataset::D05 => "05",
             Dataset::Day24h => "24hour",
+            Dataset::Mini => "mini",
         }
     }
 
@@ -56,6 +62,7 @@ impl Dataset {
             Dataset::D04 => "Movie Studio video creation.",
             Dataset::D05 => "Pulse News application.",
             Dataset::Day24h => "One full day of mixed phone usage.",
+            Dataset::Mini => "Miniature smoke session for fast end-to-end checks.",
         }
     }
 
@@ -68,6 +75,7 @@ impl Dataset {
             Dataset::D04 => 0x5eed_0004,
             Dataset::D05 => 0x5eed_0005,
             Dataset::Day24h => 0x5eed_0024,
+            Dataset::Mini => 0x5eed_00ff,
         }
     }
 
@@ -87,8 +95,25 @@ impl Dataset {
             Dataset::D04 => movie_studio(seed),
             Dataset::D05 => pulse_news(seed),
             Dataset::Day24h => day_24h(seed),
+            Dataset::Mini => mini(seed),
         }
     }
+}
+
+/// The `mini` smoke dataset: a launch, a tap and a background burst in
+/// about 25 simulated seconds. Small enough that an 18-configuration
+/// study finishes in seconds even in a debug build — the dataset the CLI
+/// integration tests and the CI durability job (kill, resume, diff)
+/// sweep.
+fn mini(seed: u64) -> Workload {
+    let mut b = WorkloadBuilder::new(seed);
+    b.app_launch("open app", 300 * MCYCLES, 4, Common);
+    b.think_ms(1_500, 2_500);
+    b.quick_tap("tap", 100 * MCYCLES, SimpleFrequent);
+    b.think_ms(1_500, 2_500);
+    b.spurious_tap("mis-tap");
+    b.background_burst("sync", SimDuration::from_secs(1), 200 * MCYCLES);
+    b.build(Dataset::Mini.name(), Dataset::Mini.description())
 }
 
 /// Dataset 01 — Gallery image manipulation: browse, edit, save to SD.

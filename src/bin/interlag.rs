@@ -5,26 +5,43 @@
 //! interlag record <DS> [-o FILE]             write a dataset's getevent trace
 //! interlag classify <FILE>                   classify a getevent trace
 //! interlag replay <DS> -g <GOVERNOR>         one run: lags + energy
-//! interlag study <DS> [-r REPS] [--csv DIR] [--trace FILE]  the full §III study
+//! interlag study <DS> [-r REPS] [--csv DIR] [--trace FILE]
+//!                    [--events FILE] [--strict]
+//!                    [--journal FILE] [--resume]  the full §III study
 //! interlag oracle <DS>                       the oracle's per-lag decisions
 //! ```
 //!
-//! Datasets: `01 02 03 04 05 24hour`. Governors: `ondemand conservative
-//! interactive schedutil performance powersave` or a frequency like
-//! `0.96GHz`.
+//! Datasets: `01 02 03 04 05 24hour mini`. Governors: `ondemand
+//! conservative interactive schedutil performance powersave` or a
+//! frequency like `0.96GHz`.
+//!
+//! Exit codes: `0` success, `1` runtime failure, `2` usage error,
+//! `3` corrupt dataset, `4` study resumed but some repetitions remain
+//! timed out or abandoned.
 
 use std::io::Write as _;
 use std::process::ExitCode;
 
-use interlag::core::experiment::{Lab, LabConfig};
-use interlag::core::report::{oracle_csv, profile_csv, study_csv, study_markdown};
+use interlag::core::checkpoint::{study_fingerprint, StudyJournal};
+use interlag::core::experiment::{Lab, LabConfig, StudyOptions};
+use interlag::core::ingest::{load_trace_bytes, IngestMode, IngestReport};
+use interlag::core::report::{oracle_csv, profile_csv, study_csv, study_markdown_with_ingest};
 use interlag::device::dvfs::{FixedGovernor, Governor};
 use interlag::evdev::classify::{classify_trace, count_inputs, ClassifierConfig};
 use interlag::evdev::trace::EventTrace;
 use interlag::governors::{Conservative, Interactive, Ondemand, Performance, Powersave, Schedutil};
+use interlag::journal::atomic_write;
 use interlag::power::opp::Frequency;
 use interlag::workloads::datasets::Dataset;
 use interlag::workloads::gen::Workload;
+
+/// Exit code for usage errors.
+const EXIT_USAGE: u8 = 2;
+/// Exit code for a dataset the loaders rejected as corrupt.
+const EXIT_CORRUPT_DATASET: u8 = 3;
+/// Exit code for a resumed study that completed with timed-out or
+/// abandoned repetitions still in it.
+const EXIT_RESUMED_DEGRADED: u8 = 4;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -36,14 +53,22 @@ fn usage() -> ExitCode {
          \x20 classify <FILE>                  classify a getevent trace\n\
          \x20 replay <DS> -g <GOVERNOR>        one run: lag + energy summary\n\
          \x20 study <DS> [-r REPS] [--csv DIR] [--trace FILE]\n\
+         \x20            [--events FILE] [--strict] [--journal FILE] [--resume]\n\
          \x20                                  the full 18-configuration study;\n\
-         \x20                                  --trace writes a Chrome trace JSON\n\
+         \x20                                  --trace writes a Chrome trace JSON;\n\
+         \x20                                  --events replays an ingested getevent log\n\
+         \x20                                  (--strict fails fast on corrupt datasets,\n\
+         \x20                                  the default salvages what parses);\n\
+         \x20                                  --journal checkpoints each repetition,\n\
+         \x20                                  --resume replays a prior journal\n\
          \x20 oracle <DS>                      the oracle's per-lag decisions\n\
          \n\
-         datasets: 01 02 03 04 05 24hour\n\
-         governors: ondemand conservative interactive schedutil performance powersave <freq>GHz"
+         datasets: 01 02 03 04 05 24hour mini\n\
+         governors: ondemand conservative interactive schedutil performance powersave <freq>GHz\n\
+         exit codes: 0 ok, 1 failure, 2 usage, 3 corrupt dataset,\n\
+         \x20           4 resumed study still has timed-out/abandoned reps"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn dataset(name: &str) -> Option<Dataset> {
@@ -54,6 +79,7 @@ fn dataset(name: &str) -> Option<Dataset> {
         "04" => Some(Dataset::D04),
         "05" => Some(Dataset::D05),
         "24hour" | "24h" => Some(Dataset::Day24h),
+        "mini" => Some(Dataset::Mini),
         _ => None,
     }
 }
@@ -80,7 +106,7 @@ fn governor_by_name(name: &str, lab: &Lab) -> Option<Box<dyn Governor>> {
 
 fn cmd_datasets() -> ExitCode {
     println!("{:<8} {:<52} {:>7} {:>8}", "dataset", "description", "inputs", "length");
-    for ds in Dataset::TEN_MINUTE.iter().copied().chain([Dataset::Day24h]) {
+    for ds in Dataset::TEN_MINUTE.iter().copied().chain([Dataset::Day24h, Dataset::Mini]) {
         let w = ds.build();
         println!(
             "{:<8} {:<52} {:>7} {:>7.0}s",
@@ -186,40 +212,134 @@ fn cmd_replay(w: &Workload, gov_name: &str) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_study(
-    w: &Workload,
+/// Everything `interlag study` takes from the command line.
+struct StudyArgs {
     reps: u32,
     csv_dir: Option<String>,
     markdown: bool,
     trace_out: Option<String>,
-) -> ExitCode {
-    let obs =
-        if trace_out.is_some() { interlag::obs::Recorder::enabled() } else { Default::default() };
-    let lab = Lab::new(LabConfig { reps, obs: obs.clone(), ..Default::default() });
-    let study = match lab.study(w) {
+    /// Replay an externally recorded getevent log through the hardened
+    /// loader instead of recording the trace from the script.
+    events: Option<String>,
+    /// Fail fast on the first dataset defect instead of salvaging.
+    strict: bool,
+    journal: Option<String>,
+    resume: bool,
+}
+
+fn cmd_study(w: &Workload, args: StudyArgs) -> ExitCode {
+    let mode = if args.strict { IngestMode::Strict } else { IngestMode::Salvage };
+    let mut ingest = IngestReport::default();
+
+    // The trace the study will replay: recorded from the script, or
+    // loaded from disk through the hardened loader.
+    let events_trace = match &args.events {
+        None => None,
+        Some(path) => {
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("interlag: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match load_trace_bytes(&bytes, mode) {
+                Ok((trace, report)) => {
+                    ingest.merge(report);
+                    Some(trace)
+                }
+                Err(e) => {
+                    eprintln!("interlag: {path}: corrupt dataset: {e}");
+                    return ExitCode::from(EXIT_CORRUPT_DATASET);
+                }
+            }
+        }
+    };
+    if !ingest.is_clean() {
+        eprintln!(
+            "interlag: salvage mode dropped {} unparseable input(s); \
+             re-run with --strict to fail instead",
+            ingest.total_dropped()
+        );
+    }
+
+    let obs = if args.trace_out.is_some() {
+        interlag::obs::Recorder::enabled()
+    } else {
+        Default::default()
+    };
+    let lab_config = LabConfig { reps: args.reps, obs: obs.clone(), ..Default::default() };
+
+    // The journal fingerprints the exact trace bytes the study replays
+    // plus the result-affecting lab settings, so resuming against a
+    // different dataset or configuration re-runs instead of splicing.
+    let trace = events_trace.unwrap_or_else(|| w.script.record_trace());
+    let journal = match &args.journal {
+        None => None,
+        Some(path) => {
+            let fp = study_fingerprint(&trace.to_getevent_text(), &lab_config);
+            let opened = if args.resume {
+                StudyJournal::resume(path, fp)
+            } else {
+                StudyJournal::create(path, fp)
+            };
+            match opened {
+                Ok(j) => {
+                    if args.resume {
+                        eprintln!(
+                            "interlag: resuming from {path}: {} repetition(s) journalled, \
+                             {} torn record(s) dropped, {} foreign record(s) ignored",
+                            j.replayable(),
+                            j.torn(),
+                            j.foreign(),
+                        );
+                    }
+                    Some(j)
+                }
+                Err(e) => {
+                    eprintln!("interlag: cannot open journal {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let lab = Lab::new(lab_config);
+    let options = StudyOptions { journal: journal.as_ref(), trace: Some(trace) };
+    let study = match lab.study_with(w, options) {
         Ok(study) => study,
         Err(e) => {
             eprintln!("interlag: study failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if markdown {
-        print!("{}", study_markdown(&study));
-        if trace_out.is_some() {
+    if let Some(j) = &journal {
+        if j.write_errors() > 0 {
+            eprintln!(
+                "interlag: warning: {} journal append(s) failed; \
+                 the study completed but a resume may repeat work",
+                j.write_errors()
+            );
+        }
+    }
+
+    if args.markdown {
+        print!("{}", study_markdown_with_ingest(&study, &ingest));
+        if args.trace_out.is_some() {
             print!("\n{}", obs.text_report());
         }
     } else {
         print!("{}", study_csv(&study));
     }
-    if let Some(path) = trace_out {
-        if let Err(e) = std::fs::write(&path, obs.chrome_trace_json()) {
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = atomic_write(path, obs.chrome_trace_json()) {
             eprintln!("interlag: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {path} (load it in about:tracing or ui.perfetto.dev)");
     }
-    if let Some(dir) = csv_dir {
-        if let Err(e) = std::fs::create_dir_all(&dir) {
+    if let Some(dir) = &args.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("interlag: cannot create {dir}: {e}");
             return ExitCode::FAILURE;
         }
@@ -228,7 +348,7 @@ fn cmd_study(
             (format!("{dir}/oracle-{}.csv", w.name), oracle_csv(&study)),
         ];
         for (path, data) in files {
-            if let Err(e) = std::fs::write(&path, data) {
+            if let Err(e) = atomic_write(&path, data) {
                 eprintln!("interlag: cannot write {path}: {e}");
                 return ExitCode::FAILURE;
             }
@@ -236,10 +356,19 @@ fn cmd_study(
         }
         for c in study.all_configs() {
             let path = format!("{dir}/profile-{}-{}.csv", w.name, c.name.replace(' ', ""));
-            if std::fs::write(&path, profile_csv(c)).is_ok() {
+            if atomic_write(&path, profile_csv(c)).is_ok() {
                 eprintln!("wrote {path}");
             }
         }
+    }
+
+    // A resumed sweep that still carries holes must say so in its exit
+    // code: downstream automation treats 4 as "reports written, but
+    // incomplete — inspect before trusting aggregates".
+    let degraded: usize = study.all_configs().map(|c| c.abandoned() + c.timed_out()).sum();
+    if args.resume && degraded > 0 {
+        eprintln!("interlag: resumed study still has {degraded} timed-out/abandoned repetition(s)");
+        return ExitCode::from(EXIT_RESUMED_DEGRADED);
     }
     ExitCode::SUCCESS
 }
@@ -287,13 +416,23 @@ fn main() -> ExitCode {
                     let reps = flag_value(&args, &["-r", "--reps"])
                         .and_then(|v| v.parse().ok())
                         .unwrap_or(1);
-                    let markdown = args.iter().any(|a| a == "--markdown");
+                    let resume = args.iter().any(|a| a == "--resume");
+                    if resume && flag_value(&args, &["--journal"]).is_none() {
+                        eprintln!("interlag: --resume requires --journal FILE");
+                        return usage();
+                    }
                     cmd_study(
                         &w,
-                        reps,
-                        flag_value(&args, &["--csv"]),
-                        markdown,
-                        flag_value(&args, &["-t", "--trace"]),
+                        StudyArgs {
+                            reps,
+                            csv_dir: flag_value(&args, &["--csv"]),
+                            markdown: args.iter().any(|a| a == "--markdown"),
+                            trace_out: flag_value(&args, &["-t", "--trace"]),
+                            events: flag_value(&args, &["--events"]),
+                            strict: args.iter().any(|a| a == "--strict"),
+                            journal: flag_value(&args, &["--journal"]),
+                            resume,
+                        },
                     )
                 }
                 "oracle" => cmd_oracle(&w),

@@ -18,6 +18,7 @@
 //! | [`workloads`] | `interlag-workloads` | the five datasets + 24-hour recording |
 //! | [`faults`] | `interlag-faults` | seeded fault injection at every stage boundary |
 //! | [`obs`] | `interlag-obs` | spans, counters, histograms, trace/report exporters |
+//! | [`journal`] | `interlag-journal` | checkpoint journal, atomic writes, watchdog tokens |
 //! | [`core`] | `interlag-core` | suggester, matcher, irritation metric, oracle, lab |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@ pub use interlag_device as device;
 pub use interlag_evdev as evdev;
 pub use interlag_faults as faults;
 pub use interlag_governors as governors;
+pub use interlag_journal as journal;
 pub use interlag_obs as obs;
 pub use interlag_power as power;
 pub use interlag_video as video;

@@ -1,0 +1,116 @@
+//! The CLI's exit-code contract, end to end against the real binary:
+//! 0 = success, 2 = usage error, 3 = corrupt dataset under `--strict`,
+//! 4 = a resumed study that still carries timed-out or abandoned reps.
+//! Automation scripts branch on these, so they are tested as an
+//! interface, not an implementation detail.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use interlag::core::checkpoint::{study_fingerprint, StudyJournal};
+use interlag::core::experiment::{LabConfig, RepOutcome, RepResult};
+use interlag::core::profile::LagProfile;
+use interlag::evdev::time::SimDuration;
+use interlag::workloads::datasets::Dataset;
+
+fn interlag_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_interlag"))
+}
+
+fn exit_code(cmd: &mut Command) -> i32 {
+    cmd.output().expect("binary runs").status.code().expect("binary exits, not signalled")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("interlag-cli-{}-{tag}", std::process::id()))
+}
+
+#[test]
+fn clean_study_exits_zero() {
+    assert_eq!(exit_code(interlag_cmd().args(["study", "mini"])), 0);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(exit_code(&mut interlag_cmd()), 2, "no arguments");
+    assert_eq!(exit_code(interlag_cmd().arg("frobnicate")), 2, "unknown command");
+    assert_eq!(exit_code(interlag_cmd().args(["study", "no-such-dataset"])), 2);
+    assert_eq!(
+        exit_code(interlag_cmd().args(["study", "mini", "--resume"])),
+        2,
+        "--resume without --journal"
+    );
+}
+
+#[test]
+fn corrupt_dataset_under_strict_exits_three() {
+    let path = temp_path("corrupt.trace");
+    std::fs::write(&path, b"[      2.000000] /dev/input/event1: 0003 0039 00000000\nGARBAGE\n")
+        .expect("write corrupt trace");
+    let code = exit_code(interlag_cmd().args([
+        "study",
+        "mini",
+        "--events",
+        path.to_str().expect("utf-8 temp path"),
+        "--strict",
+    ]));
+    assert_eq!(code, 3);
+
+    // The same file in default salvage mode drops the bad line and runs.
+    let code = exit_code(interlag_cmd().args([
+        "study",
+        "mini",
+        "--events",
+        path.to_str().expect("utf-8 temp path"),
+    ]));
+    assert_eq!(code, 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_with_degraded_reps_exits_four() {
+    // Fabricate the journal a killed sweep would leave behind: one
+    // repetition recorded as timed out, under the exact fingerprint the
+    // CLI computes for `study mini` (reps = 1, default lab settings).
+    let w = Dataset::Mini.build();
+    let config = LabConfig { reps: 1, ..Default::default() };
+    let fingerprint = study_fingerprint(&w.script.record_trace().to_getevent_text(), &config);
+
+    let path = temp_path("degraded.journal");
+    let _ = std::fs::remove_file(&path);
+    let journal = StudyJournal::create(&path, fingerprint).expect("create journal");
+    let placeholder = RepResult {
+        profile: LagProfile::new("fixed-0.30 GHz"),
+        dynamic_energy_mj: 0.0,
+        irritation: SimDuration::ZERO,
+        match_failures: 0,
+        input_faults: 0,
+    };
+    journal.record(0, 0, &placeholder, &RepOutcome::TimedOut { attempts: 1 });
+    assert_eq!(journal.write_errors(), 0);
+    drop(journal);
+
+    let code = exit_code(interlag_cmd().args([
+        "study",
+        "mini",
+        "--journal",
+        path.to_str().expect("utf-8 temp path"),
+        "--resume",
+    ]));
+    assert_eq!(code, 4, "a resumed-but-degraded study must flag its holes");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn clean_resume_exits_zero() {
+    let path = temp_path("clean.journal");
+    let _ = std::fs::remove_file(&path);
+    let journal_arg = path.to_str().expect("utf-8 temp path").to_string();
+    assert_eq!(exit_code(interlag_cmd().args(["study", "mini", "--journal", &journal_arg])), 0);
+    assert_eq!(
+        exit_code(interlag_cmd().args(["study", "mini", "--journal", &journal_arg, "--resume"])),
+        0,
+        "resuming a completed clean sweep stays success"
+    );
+    let _ = std::fs::remove_file(&path);
+}
