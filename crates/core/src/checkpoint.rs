@@ -35,6 +35,7 @@ use crate::experiment::{LabConfig, RepOutcome, RepResult};
 use crate::ingest::DatasetError;
 use crate::matcher::MatchFailure;
 use crate::profile::{LagEntry, LagProfile};
+use crate::wire::{R, W};
 
 /// Version stamp carried by every checkpoint record; decoding rejects
 /// records from other versions (they are treated like fingerprint
@@ -245,6 +246,161 @@ pub fn decode_checkpoint(payload: &[u8]) -> Option<CheckpointRecord> {
     (record.version == CHECKPOINT_VERSION).then_some(record)
 }
 
+/// Magic prefix of binary checkpoint payloads. JSON payloads start with
+/// `{`, so the first byte alone discriminates the two codecs.
+pub const CHECKPOINT_BINARY_MAGIC: &[u8; 4] = b"ILC1";
+
+/// Serialises a checkpoint to the compact binary payload: fixed-width
+/// little-endian fields, `f64`s as IEEE bit patterns, enums as one-byte
+/// tags. Carries exactly the same information as [`encode_checkpoint`]
+/// at roughly a third the size and without any float formatting/parsing
+/// on the hot resume path.
+pub fn encode_checkpoint_binary(record: &CheckpointRecord) -> Vec<u8> {
+    let mut w = W::new();
+    w.raw(CHECKPOINT_BINARY_MAGIC);
+    w.u32(record.version);
+    w.u64(record.fingerprint);
+    w.usize(record.config);
+    w.u32(record.rep);
+    match &record.outcome {
+        OutcomeRepr::Ok => w.u8(0),
+        OutcomeRepr::Retried { attempts } => {
+            w.u8(1);
+            w.u32(*attempts);
+        }
+        OutcomeRepr::TimedOut { attempts } => {
+            w.u8(2);
+            w.u32(*attempts);
+        }
+        OutcomeRepr::Abandoned { attempts, cause } => {
+            w.u8(3);
+            w.u32(*attempts);
+            encode_cause(&mut w, cause);
+        }
+    }
+    let result = &record.result;
+    w.str(&result.config_name);
+    w.u32(result.entries.len() as u32);
+    for e in &result.entries {
+        w.usize(e.id);
+        w.u64(e.input_us);
+        w.u64(e.lag_us);
+        w.u64(e.threshold_us);
+        w.u64(e.confidence_bits);
+    }
+    w.u64(result.energy_bits);
+    w.u64(result.irritation_us);
+    w.usize(result.match_failures);
+    w.usize(result.input_faults);
+    w.into_bytes()
+}
+
+fn encode_cause(w: &mut W, cause: &CauseRepr) {
+    match cause {
+        CauseRepr::DeviceNonMonotonic { prev_us, time_us } => {
+            w.u8(0);
+            w.u64(*prev_us);
+            w.u64(*time_us);
+        }
+        CauseRepr::DeviceCancelled => w.u8(1),
+        CauseRepr::Match { interaction_id, failure } => {
+            w.u8(2);
+            w.usize(*interaction_id);
+            w.u8(match failure {
+                MatchFailure::NotAnnotated => 0,
+                MatchFailure::EndingNotFound => 1,
+                MatchFailure::Cancelled => 2,
+            });
+        }
+        CauseRepr::MissingVideo => w.u8(3),
+        CauseRepr::Timeout => w.u8(4),
+        // Dataset errors are cold (they abandon the whole study) and
+        // structurally rich; shipping them as embedded JSON keeps the
+        // binary codec free of their churn.
+        CauseRepr::Dataset(d) => {
+            w.u8(5);
+            w.str(&serde_json::to_string(d).expect("dataset errors serialise"));
+        }
+    }
+}
+
+/// Parses a compact binary checkpoint payload; `None` on wrong magic,
+/// version, truncation, trailing garbage or any malformed field —
+/// mirrors [`decode_checkpoint`]'s "not usable, not fatal" contract.
+pub fn decode_checkpoint_binary(payload: &[u8]) -> Option<CheckpointRecord> {
+    let mut r = R::new(payload);
+    if r.raw(4)? != CHECKPOINT_BINARY_MAGIC {
+        return None;
+    }
+    let version = r.u32()?;
+    if version != CHECKPOINT_VERSION {
+        return None;
+    }
+    let fingerprint = r.u64()?;
+    let config = r.usize()?;
+    let rep = r.u32()?;
+    let outcome = match r.u8()? {
+        0 => OutcomeRepr::Ok,
+        1 => OutcomeRepr::Retried { attempts: r.u32()? },
+        2 => OutcomeRepr::TimedOut { attempts: r.u32()? },
+        3 => OutcomeRepr::Abandoned { attempts: r.u32()?, cause: decode_cause(&mut r)? },
+        _ => return None,
+    };
+    let config_name = r.str()?;
+    let count = r.u32()? as usize;
+    let mut entries = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        entries.push(LagEntryRepr {
+            id: r.usize()?,
+            input_us: r.u64()?,
+            lag_us: r.u64()?,
+            threshold_us: r.u64()?,
+            confidence_bits: r.u64()?,
+        });
+    }
+    let result = ResultRepr {
+        config_name,
+        entries,
+        energy_bits: r.u64()?,
+        irritation_us: r.u64()?,
+        match_failures: r.usize()?,
+        input_faults: r.usize()?,
+    };
+    r.at_end().then_some(CheckpointRecord { version, fingerprint, config, rep, outcome, result })
+}
+
+fn decode_cause(r: &mut R<'_>) -> Option<CauseRepr> {
+    Some(match r.u8()? {
+        0 => CauseRepr::DeviceNonMonotonic { prev_us: r.u64()?, time_us: r.u64()? },
+        1 => CauseRepr::DeviceCancelled,
+        2 => CauseRepr::Match {
+            interaction_id: r.usize()?,
+            failure: match r.u8()? {
+                0 => MatchFailure::NotAnnotated,
+                1 => MatchFailure::EndingNotFound,
+                2 => MatchFailure::Cancelled,
+                _ => return None,
+            },
+        },
+        3 => CauseRepr::MissingVideo,
+        4 => CauseRepr::Timeout,
+        5 => CauseRepr::Dataset(serde_json::from_str(&r.str()?).ok()?),
+        _ => return None,
+    })
+}
+
+/// Parses a checkpoint payload in either codec, telling them apart by
+/// their first bytes (JSON starts `{`, binary starts [`CHECKPOINT_BINARY_MAGIC`]).
+/// Resume paths use this so a study journal written in one format can be
+/// continued in the other.
+pub fn decode_checkpoint_any(payload: &[u8]) -> Option<CheckpointRecord> {
+    if payload.starts_with(CHECKPOINT_BINARY_MAGIC) {
+        decode_checkpoint_binary(payload)
+    } else {
+        decode_checkpoint(payload)
+    }
+}
+
 /// FNV-1a (64-bit) over the dataset's `getevent` text and the
 /// result-affecting lab settings.
 ///
@@ -303,6 +459,7 @@ fn config_signature(config: &LabConfig) -> String {
 #[derive(Debug)]
 pub struct StudyJournal {
     journal: Mutex<Journal>,
+    format: CheckpointFormat,
     fingerprint: u64,
     cached: BTreeMap<(usize, u32), (RepResult, RepOutcome)>,
     torn: usize,
@@ -310,15 +467,41 @@ pub struct StudyJournal {
     write_errors: AtomicUsize,
 }
 
+/// Which payload codec a [`StudyJournal`] appends with. Reading always
+/// accepts both ([`decode_checkpoint_any`]), so this only governs new
+/// records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointFormat {
+    /// One-line JSON payloads in text frames — greppable, debuggable.
+    Json,
+    /// Compact fixed-width payloads in binary frames — roughly a third
+    /// the bytes and no float formatting on the write path.
+    Binary,
+}
+
+impl CheckpointFormat {
+    /// The format implied by a journal path: `.json`/`.jsonl` stay JSON
+    /// for debuggability, everything else gets the compact binary codec.
+    pub fn for_path(path: &Path) -> Self {
+        match path.extension().and_then(|e| e.to_str()) {
+            Some("json") | Some("jsonl") => CheckpointFormat::Json,
+            _ => CheckpointFormat::Binary,
+        }
+    }
+}
+
 impl StudyJournal {
-    /// Starts a fresh journal at `path` (truncating any existing file).
+    /// Starts a fresh journal at `path` (truncating any existing file),
+    /// in the format [`CheckpointFormat::for_path`] picks for it.
     ///
     /// # Errors
     ///
     /// Any I/O error creating the file.
     pub fn create(path: impl AsRef<Path>, fingerprint: u64) -> io::Result<Self> {
+        let path = path.as_ref();
         Ok(StudyJournal {
             journal: Mutex::new(Journal::create(path)?),
+            format: CheckpointFormat::for_path(path),
             fingerprint,
             cached: BTreeMap::new(),
             torn: 0,
@@ -353,7 +536,7 @@ impl StudyJournal {
         let mut cached = BTreeMap::new();
         let mut foreign = 0;
         for payload in &decoded.records {
-            match decode_checkpoint(payload) {
+            match decode_checkpoint_any(payload) {
                 Some(record) if record.fingerprint == fingerprint => {
                     let (config, rep, result, outcome) = record.into_parts();
                     cached.insert((config, rep), (result, outcome));
@@ -363,6 +546,7 @@ impl StudyJournal {
         }
         Ok(StudyJournal {
             journal: Mutex::new(Journal::open_append(path)?),
+            format: CheckpointFormat::for_path(path),
             fingerprint,
             cached,
             torn: decoded.torn,
@@ -402,14 +586,23 @@ impl StudyJournal {
     /// the sweep.
     pub fn record(&self, config: usize, rep: u32, result: &RepResult, outcome: &RepOutcome) {
         let record = CheckpointRecord::new(self.fingerprint, config, rep, result, outcome);
-        let payload = encode_checkpoint(&record);
-        let failed = match self.journal.lock() {
-            Ok(mut journal) => journal.append(&payload).is_err(),
-            Err(_) => true,
+        let failed = match (self.journal.lock(), self.format) {
+            (Ok(mut journal), CheckpointFormat::Json) => {
+                journal.append(&encode_checkpoint(&record)).is_err()
+            }
+            (Ok(mut journal), CheckpointFormat::Binary) => {
+                journal.append_binary(&encode_checkpoint_binary(&record)).is_err()
+            }
+            (Err(_), _) => true,
         };
         if failed {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// The payload codec new records are appended with.
+    pub fn format(&self) -> CheckpointFormat {
+        self.format
     }
 
     /// Appends that failed since the journal was opened.

@@ -66,9 +66,10 @@ pub mod profile;
 pub mod report;
 pub mod stats;
 pub mod suggester;
+pub mod wire;
 
 pub use annotation::{annotate, AnnotationDb, AnnotationStats, FramePicker, GroundTruthPicker};
-pub use checkpoint::{study_fingerprint, CheckpointRecord, StudyJournal};
+pub use checkpoint::{study_fingerprint, CheckpointFormat, CheckpointRecord, StudyJournal};
 pub use error::InterlagError;
 pub use experiment::{
     ConfigSummary, Lab, LabConfig, RepOutcome, RepResult, StudyOptions, StudyResult, WatchdogConfig,

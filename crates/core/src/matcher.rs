@@ -16,8 +16,9 @@ use serde::{Deserialize, Serialize};
 use interlag_evdev::time::{SimDuration, SimTime};
 use interlag_journal::CancelToken;
 use interlag_obs::{Counter, Hist, Recorder, DISABLED};
+use interlag_video::arena::PackedVideo;
 use interlag_video::frame::FrameBuffer;
-use interlag_video::mask::MatchTolerance;
+use interlag_video::mask::{CompiledMask, MatchTolerance};
 use interlag_video::stream::VideoStream;
 
 use crate::annotation::{AnnotationDb, LagAnnotation};
@@ -376,6 +377,13 @@ pub fn mark_up_with_policy_observed(
 /// [`MatchFailure::Cancelled`] without being walked — the caller is about
 /// to discard the repetition, so finishing the markup would only delay the
 /// cancellation it asked for.
+///
+/// All lags of the call share one [`BatchMatcher`]: the video is packed in
+/// a single forward walk and every lag is resolved against the packed
+/// runs, so frame contents are compared at most once per (interaction,
+/// tolerance) no matter how many lags or escalation retries walk past
+/// them. Results are bit-identical to matching each lag separately with
+/// [`Matcher::match_lag_cancellable`].
 pub fn mark_up_cancellable(
     video: &VideoStream,
     lag_beginnings: &[(usize, SimTime)],
@@ -385,7 +393,7 @@ pub fn mark_up_cancellable(
     rec: &Recorder,
     cancel: &CancelToken,
 ) -> (LagProfile, Vec<(usize, MatchFailure)>) {
-    let matcher = Matcher::new();
+    let mut batch = BatchMatcher::new(video);
     let mut profile = LagProfile::new(config_name);
     let mut failures = Vec::new();
     for &(id, input_time) in lag_beginnings {
@@ -396,9 +404,7 @@ pub fn mark_up_cancellable(
         match db.get(id) {
             None => failures.push((id, MatchFailure::NotAnnotated)),
             Some(annotation) => {
-                match matcher
-                    .match_lag_cancellable(video, input_time, annotation, policy, rec, cancel)
-                {
+                match batch.match_lag(input_time, annotation, policy, rec, cancel) {
                     Ok(m) => profile.push(LagEntry {
                         interaction_id: id,
                         input_time,
@@ -414,6 +420,170 @@ pub fn mark_up_cancellable(
     rec.count(Counter::MatchLags, profile.len() as u64);
     rec.count(Counter::MatchFailures, failures.len() as u64);
     (profile, failures)
+}
+
+/// The batched matching engine behind [`mark_up_cancellable`].
+///
+/// The per-lag [`Matcher`] walks the video frame by frame for every lag,
+/// re-judging content it has already seen on earlier lags. The batch
+/// engine instead packs the stream once — one forward walk deduplicating
+/// every frame content into a [`FrameArena`](interlag_video::FrameArena)
+/// and run-length encoding the sequence — and then resolves each lag by
+/// walking the content *runs*: O(distinct contents) comparisons and
+/// O(runs) verdict lookups per lag, instead of O(frames) pointer chases.
+/// Verdicts are memoised per arena slot in dense vectors keyed by
+/// (interaction, effective tolerance), so escalation retries and repeated
+/// interactions reuse every verdict already computed.
+///
+/// Matching semantics are exactly the per-lag matcher's: a run of
+/// consecutive matching frames is one occurrence, the walk starts at the
+/// first frame at/after the input time, and a match lands on the first
+/// frame of the occurrence (clipped to the walk's start when it begins
+/// mid-run).
+struct BatchMatcher<'a> {
+    video: &'a VideoStream,
+    packed: PackedVideo,
+    /// Compiled masks, one per annotated interaction.
+    compiled: HashMap<usize, CompiledMask>,
+    /// Slot verdicts per (interaction id, value tolerance, pixel budget):
+    /// dense over arena slots so a lookup is an index, not a hash.
+    verdicts: HashMap<(usize, u8, u64), Vec<Option<bool>>>,
+}
+
+impl<'a> BatchMatcher<'a> {
+    /// Packs the video (the one forward walk) and readies empty caches.
+    fn new(video: &'a VideoStream) -> Self {
+        BatchMatcher {
+            video,
+            packed: PackedVideo::pack(video),
+            compiled: HashMap::new(),
+            verdicts: HashMap::new(),
+        }
+    }
+
+    /// [`Matcher::match_lag_cancellable`], resolved against the packed
+    /// runs: identical escalation ladder, confidence and telemetry.
+    fn match_lag(
+        &mut self,
+        input_time: SimTime,
+        annotation: &LagAnnotation,
+        policy: &MatchPolicy,
+        rec: &Recorder,
+        cancel: &CancelToken,
+    ) -> Result<MatchedLag, MatchFailure> {
+        match self.walk(input_time, annotation, annotation.tolerance, 1.0, rec, cancel) {
+            Err(MatchFailure::EndingNotFound) => {
+                for (i, step) in policy.escalation.iter().enumerate() {
+                    if cancel.is_cancelled() {
+                        return Err(MatchFailure::Cancelled);
+                    }
+                    let tolerance = MatchTolerance {
+                        value_tolerance: step
+                            .value_tolerance
+                            .max(annotation.tolerance.value_tolerance),
+                        pixel_budget: step.pixel_budget.max(annotation.tolerance.pixel_budget),
+                    };
+                    let confidence = 1.0 / (i + 2) as f64;
+                    rec.count(Counter::MatchEscalations, 1);
+                    match self.walk(input_time, annotation, tolerance, confidence, rec, cancel) {
+                        Ok(m) => {
+                            rec.observe(Hist::EscalationDepth, i as u64 + 1);
+                            return Ok(m);
+                        }
+                        Err(MatchFailure::Cancelled) => return Err(MatchFailure::Cancelled),
+                        Err(_) => {}
+                    }
+                }
+                Err(MatchFailure::EndingNotFound)
+            }
+            verdict => {
+                if verdict.is_ok() {
+                    rec.observe(Hist::EscalationDepth, 0);
+                }
+                verdict
+            }
+        }
+    }
+
+    /// The run walk at one explicit tolerance — the batched analogue of
+    /// [`Matcher::match_at`]. Telemetry mirrors the per-frame walk:
+    /// `MatchWalkFrames` counts the frames the per-frame walk would have
+    /// visited, misses are verdicts actually computed, and frames beyond
+    /// the first of a run count as last-pointer hits (they are the same
+    /// still period the pointer cache absorbs).
+    fn walk(
+        &mut self,
+        input_time: SimTime,
+        annotation: &LagAnnotation,
+        tolerance: MatchTolerance,
+        confidence: f64,
+        rec: &Recorder,
+        cancel: &CancelToken,
+    ) -> Result<MatchedLag, MatchFailure> {
+        let first = self.video.first_frame_at_or_after(input_time);
+        let mut remaining = annotation.occurrence.max(1);
+        let mut in_match = false;
+        let compiled = self.compiled.entry(annotation.interaction_id).or_insert_with(|| {
+            annotation.mask.compile(annotation.image.width(), annotation.image.height())
+        });
+        let arena = self.packed.arena();
+        let cache = self
+            .verdicts
+            .entry((annotation.interaction_id, tolerance.value_tolerance, tolerance.pixel_budget))
+            .or_insert_with(|| vec![None; arena.len()]);
+        let (mut walked, mut hit_last, mut hit_map, mut missed) = (0u64, 0u64, 0u64, 0u64);
+        let result = 'walk: {
+            for run in &self.packed.runs()[self.packed.run_of_frame(first)..] {
+                // One poll per run bounds cancellation latency at one
+                // frame comparison, tighter than the per-frame stride.
+                if cancel.is_cancelled() {
+                    break 'walk Err(MatchFailure::Cancelled);
+                }
+                let overlap_first = run.first_frame.max(first);
+                let overlap_len = (run.first_frame + run.len - overlap_first) as u64;
+                let matches = match cache[run.slot as usize] {
+                    Some(verdict) => {
+                        hit_map += 1;
+                        verdict
+                    }
+                    None => {
+                        missed += 1;
+                        let verdict = tolerance.matches_pixels(
+                            compiled,
+                            &annotation.image,
+                            arena.pixels(run.slot),
+                            arena.digest(run.slot),
+                        );
+                        cache[run.slot as usize] = Some(verdict);
+                        verdict
+                    }
+                };
+                if matches && !in_match {
+                    remaining -= 1;
+                    if remaining == 0 {
+                        walked += 1;
+                        let frame = &self.video.frames()[overlap_first as usize];
+                        break 'walk Ok(MatchedLag {
+                            interaction_id: annotation.interaction_id,
+                            end_frame: frame.index,
+                            end_time: frame.time,
+                            lag: frame.time.saturating_since(input_time),
+                            confidence,
+                        });
+                    }
+                }
+                walked += overlap_len;
+                hit_last += overlap_len - 1;
+                in_match = matches;
+            }
+            Err(MatchFailure::EndingNotFound)
+        };
+        rec.observe(Hist::MatchWalkFrames, walked);
+        rec.count(Counter::VerdictCacheHitLast, hit_last);
+        rec.count(Counter::VerdictCacheHitMap, hit_map);
+        rec.count(Counter::VerdictCacheMiss, missed);
+        result
+    }
 }
 
 #[cfg(test)]
@@ -674,6 +844,63 @@ mod tests {
             )
             .unwrap();
         assert_eq!(hit.end_frame, 3);
+    }
+
+    #[test]
+    fn batched_mark_up_is_bit_identical_to_per_lag_matching() {
+        // A corpus that exercises every verdict path: occurrence counting,
+        // mid-stream starts, escalation recovery, honest failures and
+        // missing annotations — all against content that repeats so the
+        // batch engine's slot caches are actually shared across lags.
+        let mut v = video_of("aabbaapppa");
+        let mut corrupted = FrameBuffer::new(8, 8);
+        corrupted.fill(b'q');
+        corrupted.set(3, 3, b'q' ^ 0x0f);
+        v.push(SimTime::from_micros(10 * 33_333), Arc::new(corrupted)).unwrap();
+
+        let mut db = AnnotationDb::new("t");
+        for (id, (c, occurrence)) in
+            [(b'b', 1), (b'a', 2), (b'a', 3), (b'q', 1), (b'z', 1)].iter().enumerate()
+        {
+            let mut ann = annotation_of(*c as char, *occurrence);
+            ann.interaction_id = id;
+            db.insert(ann);
+        }
+        let beginnings: Vec<(usize, SimTime)> = vec![
+            (0, SimTime::ZERO),
+            (1, SimTime::ZERO),
+            (2, SimTime::from_micros(33_333)),
+            (3, SimTime::ZERO),                    // needs escalation
+            (4, SimTime::ZERO),                    // never matches
+            (5, SimTime::ZERO),                    // not annotated
+            (0, SimTime::from_micros(5 * 33_333)), // repeated id, no 'b' left
+        ];
+        let policy = MatchPolicy::paper_recovery();
+        let (profile, failures) = mark_up_with_policy(&v, &beginnings, &db, "t", &policy);
+
+        // Reference: each lag matched on its own by the per-frame walker.
+        let matcher = Matcher::new();
+        let mut ref_profile = LagProfile::new("t");
+        let mut ref_failures = Vec::new();
+        for &(id, input_time) in &beginnings {
+            match db.get(id) {
+                None => ref_failures.push((id, MatchFailure::NotAnnotated)),
+                Some(ann) => match matcher.match_lag_with_policy(&v, input_time, ann, &policy) {
+                    Ok(m) => ref_profile.push(LagEntry {
+                        interaction_id: id,
+                        input_time,
+                        lag: m.lag,
+                        threshold: ann.threshold,
+                        confidence: m.confidence,
+                    }),
+                    Err(f) => ref_failures.push((id, f)),
+                },
+            }
+        }
+        assert_eq!(profile.entries(), ref_profile.entries());
+        assert_eq!(failures, ref_failures);
+        assert_eq!(profile.len(), 4, "lags 0..=3 resolve; the repeat finds no 'b' left");
+        assert_eq!(failures.len(), 3);
     }
 
     #[test]

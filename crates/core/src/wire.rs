@@ -1,0 +1,177 @@
+//! Minimal binary wire helpers for the compact checkpoint codec.
+//!
+//! Little-endian, length-prefixed, bounds-checked: the writer ([`W`]) is
+//! infallible, the reader ([`R`]) returns `None` the moment a read would
+//! run off the end, so a truncated or garbled payload can never panic the
+//! decoder — it just fails to decode, exactly like malformed JSON does on
+//! the text path. Integer widths are fixed (`usize` travels as `u64`) so
+//! encodings are identical across platforms, and `f64`s travel as their
+//! IEEE bit patterns.
+
+/// Append-only binary writer.
+#[derive(Debug, Default)]
+pub struct W {
+    buf: Vec<u8>,
+}
+
+impl W {
+    /// Starts an empty payload.
+    pub fn new() -> Self {
+        W { buf: Vec::new() }
+    }
+
+    /// The finished payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Raw bytes, no length prefix (magic numbers, fixed-size blobs).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// One byte (enum tags).
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` as a `u64` so the width never depends on the platform.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// `f64` as its exact IEEE-754 bit pattern (NaN payloads included).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// UTF-8 string, `u32` byte length followed by the bytes.
+    pub fn str(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// Bounds-checked binary reader over one payload.
+#[derive(Debug)]
+pub struct R<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> R<'a> {
+    /// Starts reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        R { buf, pos: 0 }
+    }
+
+    /// The next `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Option<&'a [u8]> {
+        let bytes = self.buf.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(bytes)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.raw(1)?[0])
+    }
+
+    /// `u32`, little-endian.
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.raw(4)?.try_into().ok()?))
+    }
+
+    /// `u64`, little-endian.
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.raw(8)?.try_into().ok()?))
+    }
+
+    /// `usize` from its `u64` encoding; `None` if it does not fit.
+    pub fn usize(&mut self) -> Option<usize> {
+        usize::try_from(self.u64()?).ok()
+    }
+
+    /// `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.raw(len)?.to_vec()).ok()
+    }
+
+    /// `true` once every byte has been consumed — decoders require this
+    /// so trailing garbage fails the decode instead of being ignored.
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = W::new();
+        w.raw(b"MAGC");
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX);
+        w.usize(123_456);
+        w.f64(f64::from_bits(0x7ff8_dead_beef_0001)); // NaN with payload
+        w.str("naïve ✓");
+        let bytes = w.into_bytes();
+
+        let mut r = R::new(&bytes);
+        assert_eq!(r.raw(4), Some(&b"MAGC"[..]));
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32(), Some(0xdead_beef));
+        assert_eq!(r.u64(), Some(u64::MAX));
+        assert_eq!(r.usize(), Some(123_456));
+        assert_eq!(r.f64().map(f64::to_bits), Some(0x7ff8_dead_beef_0001));
+        assert_eq!(r.str().as_deref(), Some("naïve ✓"));
+        assert!(r.at_end());
+    }
+
+    #[test]
+    fn truncation_reads_none_never_panics() {
+        let mut w = W::new();
+        w.u64(42);
+        w.str("hello");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = R::new(&bytes[..cut]);
+            // Whichever read hits the cut must return None.
+            let full = r.u64().is_some() && r.str().is_some();
+            assert!(!full, "cut at {cut} still decoded fully");
+        }
+    }
+
+    #[test]
+    fn bad_utf8_and_oversized_lengths_fail_cleanly() {
+        let mut w = W::new();
+        w.u32(3);
+        w.raw(&[0xff, 0xfe, 0xfd]);
+        let bytes = w.into_bytes();
+        assert_eq!(R::new(&bytes).str(), None, "invalid UTF-8");
+
+        let mut w = W::new();
+        w.u32(u32::MAX); // length far past the buffer
+        w.raw(b"xy");
+        assert_eq!(R::new(&w.into_bytes()).str(), None);
+    }
+}

@@ -8,11 +8,12 @@
 //! its durability on:
 //!
 //! * [`record`] — an append-only record journal with CRC32-checksummed,
-//!   length-prefixed framing and per-append `fsync`. Readers recover the
-//!   longest valid prefix of records; a torn or garbled tail (the
-//!   signature of a crash mid-write) is detected and dropped, never
-//!   misparsed. Payloads are opaque bytes, so the crate stays free of any
-//!   dependency on the pipeline's types.
+//!   length-prefixed framing (text lines or compact binary frames,
+//!   freely mixed and told apart per record) and per-append `fsync`.
+//!   Readers recover the longest valid prefix of records; a torn or
+//!   garbled tail (the signature of a crash mid-write) is detected and
+//!   dropped, never misparsed. Payloads are opaque bytes, so the crate
+//!   stays free of any dependency on the pipeline's types.
 //! * [`atomic`] — write-temp-then-rename file output, so a crash never
 //!   leaves a half-written CSV or trace where a complete one used to be.
 //! * [`watchdog`] — cooperative cancellation tokens with optional
@@ -51,5 +52,8 @@ pub mod watchdog;
 
 pub use atomic::atomic_write;
 pub use crc32::crc32;
-pub use record::{decode_records, encode_record, DecodeOutcome, Journal, RecordError};
+pub use record::{
+    decode_records, encode_record, encode_record_binary, DecodeOutcome, Journal, RecordError,
+    BINARY_FRAME_MAGIC,
+};
 pub use watchdog::CancelToken;

@@ -1,9 +1,9 @@
-//! The append-only record journal: CRC32-framed lines with torn-tail
+//! The append-only record journal: CRC32-framed records with torn-tail
 //! recovery.
 //!
-//! # Format
+//! # Formats
 //!
-//! One record per line:
+//! Text framing — one record per line:
 //!
 //! ```text
 //! <len:08x> <crc:08x> <payload>\n
@@ -15,6 +15,18 @@
 //! can never validate a payload of the wrong length. Payloads are opaque
 //! bytes except that they must not contain a newline (the line is the
 //! frame); JSON payloads satisfy this by construction.
+//!
+//! Binary framing — for payloads that are not line-safe (or where the 18
+//! bytes of hex header and the newline restriction cost too much):
+//!
+//! ```text
+//! 0xB1 <len:u32 le> <crc:u32 le> <payload bytes>
+//! ```
+//!
+//! with the same length-prefixed CRC. Text records always begin with a
+//! lowercase hex digit, so the `0xB1` magic makes every record
+//! self-describing: one journal may freely mix text and binary records
+//! and [`decode_records`] tells them apart per record.
 //!
 //! # Recovery contract
 //!
@@ -84,6 +96,26 @@ pub fn encode_record(payload: &[u8]) -> Result<Vec<u8>, RecordError> {
     Ok(out)
 }
 
+/// First byte of a binary-framed record. Text records start with a
+/// lowercase hex digit (`0-9a-f`), so the magic unambiguously marks a
+/// frame as binary.
+pub const BINARY_FRAME_MAGIC: u8 = 0xB1;
+
+/// Bytes of binary framing before the payload: magic, `len: u32` LE,
+/// `crc: u32` LE.
+const BINARY_HEADER_LEN: usize = 9;
+
+/// Encodes one record with binary framing. Unlike [`encode_record`] this
+/// never fails: any payload, newlines included, is representable.
+pub fn encode_record_binary(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + BINARY_HEADER_LEN);
+    out.push(BINARY_FRAME_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&record_crc(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
 /// What [`decode_records`] recovered from a journal's bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DecodeOutcome {
@@ -119,14 +151,24 @@ pub fn decode_records(bytes: &[u8]) -> DecodeOutcome {
         boundaries.push(offset);
     }
     // Everything past the valid prefix is torn: count the fragments so
-    // callers can report how much was dropped.
-    let torn = bytes[offset..].split(|&b| b == b'\n').filter(|chunk| !chunk.is_empty()).count();
+    // callers can report how much was dropped. A torn binary record has
+    // no line structure to count by, so it (and whatever follows it) is
+    // one fragment.
+    let tail = &bytes[offset..];
+    let torn = if tail.first() == Some(&BINARY_FRAME_MAGIC) {
+        1
+    } else {
+        tail.split(|&b| b == b'\n').filter(|chunk| !chunk.is_empty()).count()
+    };
     DecodeOutcome { records, boundaries, torn }
 }
 
 /// Decodes one record at the start of `bytes`; `None` if it is damaged
 /// or incomplete. Returns the payload and the bytes consumed.
 fn decode_one(bytes: &[u8]) -> Option<(Vec<u8>, usize)> {
+    if bytes.first() == Some(&BINARY_FRAME_MAGIC) {
+        return decode_one_binary(bytes);
+    }
     let line_end = bytes.iter().position(|&b| b == b'\n')?;
     let line = &bytes[..line_end];
     // "llllllll cccccccc " + payload
@@ -140,6 +182,20 @@ fn decode_one(bytes: &[u8]) -> Option<(Vec<u8>, usize)> {
         return None;
     }
     Some((payload.to_vec(), line_end + 1))
+}
+
+/// Decodes one binary-framed record at the start of `bytes`.
+fn decode_one_binary(bytes: &[u8]) -> Option<(Vec<u8>, usize)> {
+    if bytes.len() < BINARY_HEADER_LEN {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[1..5].try_into().ok()?) as usize;
+    let crc = u32::from_le_bytes(bytes[5..9].try_into().ok()?);
+    let payload = bytes.get(BINARY_HEADER_LEN..BINARY_HEADER_LEN + len)?;
+    if record_crc(payload) != crc {
+        return None;
+    }
+    Some((payload.to_vec(), BINARY_HEADER_LEN + len))
 }
 
 fn parse_hex8(digits: &[u8]) -> Option<u32> {
@@ -194,6 +250,17 @@ impl Journal {
         let framed = encode_record(payload)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
         self.file.write_all(&framed)?;
+        self.file.sync_data()
+    }
+
+    /// Appends one binary-framed record and syncs it to stable storage.
+    /// Accepts any payload — see [`encode_record_binary`].
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the write or the sync.
+    pub fn append_binary(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        self.file.write_all(&encode_record_binary(payload))?;
         self.file.sync_data()
     }
 }
@@ -269,6 +336,59 @@ mod tests {
                 "header byte {pos} = {:?} must be rejected",
                 byte as char
             );
+        }
+    }
+
+    #[test]
+    fn binary_records_round_trip_with_any_payload() {
+        let payloads: [&[u8]; 4] = [b"plain", b"line\nbreaks\nallowed", &[0u8, 0xB1, 0xFF], b""];
+        let bytes: Vec<u8> = payloads.iter().flat_map(|p| encode_record_binary(p)).collect();
+        let out = decode_records(&bytes);
+        assert_eq!(out.records, payloads.map(<[u8]>::to_vec).to_vec());
+        assert_eq!(out.torn, 0);
+        assert_eq!(out.valid_len(), bytes.len());
+    }
+
+    #[test]
+    fn text_and_binary_records_mix_in_one_journal() {
+        let mut bytes = journal_of(&[b"text one"]);
+        bytes.extend_from_slice(&encode_record_binary(b"binary\nwith newline"));
+        bytes.extend_from_slice(&encode_record(b"text two").unwrap());
+        let out = decode_records(&bytes);
+        assert_eq!(
+            out.records,
+            vec![b"text one".to_vec(), b"binary\nwith newline".to_vec(), b"text two".to_vec()]
+        );
+        assert_eq!(out.torn, 0);
+    }
+
+    #[test]
+    fn torn_binary_tail_is_dropped_not_fatal() {
+        let mut bytes = journal_of(&[b"keep me"]);
+        let torn = encode_record_binary(b"torn binary record");
+        for cut in 1..torn.len() {
+            let mut damaged = bytes.clone();
+            damaged.extend_from_slice(&torn[..cut]);
+            let out = decode_records(&damaged);
+            assert_eq!(out.records, vec![b"keep me".to_vec()], "cut at {cut}");
+            assert_eq!(out.torn, 1, "cut at {cut}");
+            assert_eq!(out.valid_len(), bytes.len(), "cut at {cut}");
+        }
+        // Sanity: the intact record decodes.
+        bytes.extend_from_slice(&torn);
+        assert_eq!(decode_records(&bytes).records.len(), 2);
+    }
+
+    #[test]
+    fn binary_single_byte_flips_are_always_detected() {
+        let bytes = encode_record_binary(b"checksummed payload");
+        for pos in 0..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[pos] ^= flip;
+                let out = decode_records(&bad);
+                assert!(out.records.is_empty(), "flip {flip:#04x} at byte {pos} must not decode");
+            }
         }
     }
 

@@ -1,0 +1,248 @@
+//! Compact binary encoding of recorder snapshots.
+//!
+//! The Chrome-trace JSON exporter renders every span as a ~100-byte text
+//! event; long sweeps produce traces in the tens of megabytes and spend
+//! real time formatting them. The binary codec stores the same snapshot —
+//! counters, histograms, tracks, spans on both axes, worker times — as
+//! fixed-width little-endian fields with length-prefixed strings, wrapped
+//! in `interlag-journal`'s CRC-checked binary framing so torn or corrupted
+//! trace files are detected, not misparsed.
+//!
+//! The codec is lossless with respect to the JSON exporter:
+//! [`binary_trace_to_chrome_json`] re-renders a decoded snapshot through
+//! the very same [`chrome_trace`](crate::export::chrome_trace) path, so
+//! converting a binary trace yields *byte-identical* JSON to what the
+//! recorder would have written directly.
+
+use std::borrow::Cow;
+
+use interlag_journal::record::{decode_records, encode_record_binary};
+
+use crate::export::{self, SimSpan, Snapshot, WallRec};
+
+/// Magic prefix of binary trace payloads.
+const TRACE_MAGIC: &[u8; 4] = b"ILT1";
+/// Codec version; decoding rejects others.
+const TRACE_VERSION: u32 = 1;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let bytes = self.buf.get(self.pos..self.pos.checked_add(n)?)?;
+        self.pos += n;
+        Some(bytes)
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+
+    /// A count field used as a `Vec` preallocation hint: capped so a
+    /// corrupted length cannot ask for gigabytes before the next bounds
+    /// check fails.
+    fn count(&mut self) -> Option<usize> {
+        Some(self.u32()? as usize)
+    }
+}
+
+/// Encodes a snapshot (plus the wall/sim-only flag it should render with)
+/// into one CRC-framed binary record.
+pub(crate) fn encode_trace(snap: &Snapshot, include_wall: bool) -> Vec<u8> {
+    let mut p = Vec::new();
+    p.extend_from_slice(TRACE_MAGIC);
+    put_u32(&mut p, TRACE_VERSION);
+    p.push(include_wall as u8);
+    put_u32(&mut p, snap.counters.len() as u32);
+    for &c in &snap.counters {
+        put_u64(&mut p, c);
+    }
+    put_u32(&mut p, snap.hists.len() as u32);
+    for (buckets, count, sum) in &snap.hists {
+        put_u32(&mut p, buckets.len() as u32);
+        for &b in buckets {
+            put_u64(&mut p, b);
+        }
+        put_u64(&mut p, *count);
+        put_u64(&mut p, *sum);
+    }
+    put_u32(&mut p, snap.tracks.len() as u32);
+    for t in &snap.tracks {
+        put_str(&mut p, t);
+    }
+    put_u32(&mut p, snap.sim_spans.len() as u32);
+    for s in &snap.sim_spans {
+        put_str(&mut p, &s.name);
+        put_u32(&mut p, s.track);
+        put_u64(&mut p, s.start_us);
+        put_u64(&mut p, s.end_us);
+    }
+    put_u32(&mut p, snap.wall_spans.len() as u32);
+    for s in &snap.wall_spans {
+        put_str(&mut p, &s.name);
+        put_u32(&mut p, s.worker);
+        put_u64(&mut p, s.start_ns);
+        put_u64(&mut p, s.end_ns);
+    }
+    put_u32(&mut p, snap.workers.len() as u32);
+    for &(worker, busy_ns, idle_ns) in &snap.workers {
+        put_u32(&mut p, worker);
+        put_u64(&mut p, busy_ns);
+        put_u64(&mut p, idle_ns);
+    }
+    encode_record_binary(&p)
+}
+
+/// Decodes one framed binary trace back into a snapshot and its
+/// include-wall flag. `None` on framing/CRC damage, wrong magic or
+/// version, truncation, or trailing garbage.
+fn decode_trace(bytes: &[u8]) -> Option<(Snapshot, bool)> {
+    let decoded = decode_records(bytes);
+    if decoded.records.len() != 1 || decoded.torn != 0 {
+        return None;
+    }
+    let payload = &decoded.records[0];
+    let mut r = Reader { buf: payload, pos: 0 };
+    if r.take(4)? != TRACE_MAGIC || r.u32()? != TRACE_VERSION {
+        return None;
+    }
+    let include_wall = match r.take(1)?[0] {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let mut snap = Snapshot::default();
+    for _ in 0..r.count()? {
+        snap.counters.push(r.u64()?);
+    }
+    for _ in 0..r.count()? {
+        let mut buckets = Vec::new();
+        for _ in 0..r.count()? {
+            buckets.push(r.u64()?);
+        }
+        snap.hists.push((buckets, r.u64()?, r.u64()?));
+    }
+    for _ in 0..r.count()? {
+        let track = r.str()?;
+        snap.tracks.push(track);
+    }
+    for _ in 0..r.count()? {
+        snap.sim_spans.push(SimSpan {
+            name: Cow::Owned(r.str()?),
+            track: r.u32()?,
+            start_us: r.u64()?,
+            end_us: r.u64()?,
+        });
+    }
+    for _ in 0..r.count()? {
+        snap.wall_spans.push(WallRec {
+            name: Cow::Owned(r.str()?),
+            worker: r.u32()?,
+            start_ns: r.u64()?,
+            end_ns: r.u64()?,
+        });
+    }
+    for _ in 0..r.count()? {
+        snap.workers.push((r.u32()?, r.u64()?, r.u64()?));
+    }
+    (r.pos == payload.len()).then_some((snap, include_wall))
+}
+
+/// Re-renders a binary trace (from [`Recorder::binary_trace`](crate::Recorder::binary_trace))
+/// as Chrome trace-event JSON — byte-identical to the JSON the recorder
+/// would have exported directly. `None` if the bytes are not one intact,
+/// checksum-valid binary trace.
+pub fn binary_trace_to_chrome_json(bytes: &[u8]) -> Option<String> {
+    let (snap, include_wall) = decode_trace(bytes)?;
+    Some(export::chrome_trace(&snap, include_wall))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Counter, Hist};
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            counters: (0..Counter::ALL.len() as u64).collect(),
+            hists: Hist::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, h)| ((0..=h.bounds().len() as u64).collect(), i as u64, i as u64 * 100))
+                .collect(),
+            tracks: vec!["ondemand/rep0".into(), "a \"quoted\"\ntrack".into()],
+            sim_spans: vec![
+                SimSpan { name: "replay".into(), track: 0, start_us: 0, end_us: 40 },
+                SimSpan { name: "match".into(), track: 1, start_us: 7, end_us: 9 },
+            ],
+            wall_spans: vec![WallRec { name: "rep".into(), worker: 2, start_ns: 10, end_ns: 55 }],
+            workers: vec![(2, 45, 10)],
+        }
+    }
+
+    #[test]
+    fn binary_trace_re_renders_to_identical_json() {
+        let snap = sample();
+        for include_wall in [false, true] {
+            let direct = export::chrome_trace(&snap, include_wall);
+            let via_binary = binary_trace_to_chrome_json(&encode_trace(&snap, include_wall))
+                .expect("round trip decodes");
+            assert_eq!(via_binary, direct);
+        }
+    }
+
+    #[test]
+    fn binary_trace_is_smaller_than_the_json() {
+        let snap = sample();
+        let json = export::chrome_trace(&snap, true);
+        let binary = encode_trace(&snap, true);
+        assert!(binary.len() < json.len(), "{} !< {}", binary.len(), json.len());
+    }
+
+    #[test]
+    fn corruption_and_truncation_fail_closed() {
+        let bytes = encode_trace(&sample(), true);
+        assert!(binary_trace_to_chrome_json(&bytes).is_some());
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(binary_trace_to_chrome_json(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        for pos in [0, 5, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x20;
+            assert!(binary_trace_to_chrome_json(&bad).is_none(), "flip at {pos}");
+        }
+        assert!(binary_trace_to_chrome_json(b"").is_none());
+        assert!(binary_trace_to_chrome_json(b"not a trace").is_none());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let json = binary_trace_to_chrome_json(&encode_trace(&Snapshot::default(), true));
+        assert_eq!(json, Some(export::chrome_trace(&Snapshot::default(), true)));
+    }
+}

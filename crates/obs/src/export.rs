@@ -11,14 +11,17 @@
 //! registries, and sorts spans and tracks before emitting, so it is
 //! byte-identical across runs and worker counts for the same study inputs.
 
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
 use crate::metrics::{Counter, Hist};
 
-/// A completed span on the simulated-time axis.
+/// A completed span on the simulated-time axis. Names are `Cow` so live
+/// recording stays allocation-free (`&'static str` stage names) while the
+/// binary-trace decoder can rebuild owned snapshots.
 #[derive(Debug, Clone)]
 pub(crate) struct SimSpan {
-    pub(crate) name: &'static str,
+    pub(crate) name: Cow<'static, str>,
     pub(crate) track: u32,
     pub(crate) start_us: u64,
     pub(crate) end_us: u64,
@@ -27,7 +30,7 @@ pub(crate) struct SimSpan {
 /// A completed span on the wall-clock axis.
 #[derive(Debug, Clone)]
 pub(crate) struct WallRec {
-    pub(crate) name: &'static str,
+    pub(crate) name: Cow<'static, str>,
     pub(crate) worker: u32,
     pub(crate) start_ns: u64,
     pub(crate) end_ns: u64,
@@ -98,7 +101,7 @@ fn sorted_sim_spans<'a>(snap: &'a Snapshot, tracks: &[(u32, &str)]) -> Vec<&'a S
             .cmp(name_of(b.track))
             .then(a.start_us.cmp(&b.start_us))
             .then(a.end_us.cmp(&b.end_us))
-            .then(a.name.cmp(b.name))
+            .then(a.name.cmp(&b.name))
     });
     spans
 }
@@ -139,7 +142,7 @@ pub(crate) fn chrome_trace(snap: &Snapshot, include_wall: bool) -> String {
             format!(
                 "\"name\":\"{}\",\"ph\":\"X\",\"pid\":{PID_SIM},\"tid\":{tid},\
                  \"ts\":{},\"dur\":{},\"cat\":\"sim\"",
-                escape_json(span.name),
+                escape_json(&span.name),
                 span.start_us,
                 span.end_us - span.start_us
             ),
@@ -177,7 +180,7 @@ pub(crate) fn chrome_trace(snap: &Snapshot, include_wall: bool) -> String {
                 .cmp(&b.worker)
                 .then(a.start_ns.cmp(&b.start_ns))
                 .then(a.end_ns.cmp(&b.end_ns))
-                .then(a.name.cmp(b.name))
+                .then(a.name.cmp(&b.name))
         });
         for span in wall {
             // Chrome trace timestamps are double microseconds; keep
@@ -187,7 +190,7 @@ pub(crate) fn chrome_trace(snap: &Snapshot, include_wall: bool) -> String {
                 format!(
                     "\"name\":\"{}\",\"ph\":\"X\",\"pid\":{PID_WALL},\"tid\":{},\
                      \"ts\":{}.{:03},\"dur\":{}.{:03},\"cat\":\"wall\"",
-                    escape_json(span.name),
+                    escape_json(&span.name),
                     span.worker,
                     span.start_ns / 1_000,
                     span.start_ns % 1_000,
@@ -239,12 +242,12 @@ pub(crate) fn text_report(snap: &Snapshot, include_wall: bool) -> String {
     let mut stages: Vec<(&str, u64, u64)> = Vec::new();
     for span in &snap.sim_spans {
         let dur = span.end_us - span.start_us;
-        match stages.iter_mut().find(|(n, _, _)| *n == span.name) {
+        match stages.iter_mut().find(|(n, _, _)| *n == span.name.as_ref()) {
             Some((_, count, total)) => {
                 *count += 1;
                 *total += dur;
             }
-            None => stages.push((span.name, 1, dur)),
+            None => stages.push((span.name.as_ref(), 1, dur)),
         }
     }
     stages.sort_by(|a, b| a.0.cmp(b.0));
@@ -280,12 +283,12 @@ pub(crate) fn text_report(snap: &Snapshot, include_wall: bool) -> String {
         let mut stages: Vec<(&str, u64, u64)> = Vec::new();
         for span in &snap.wall_spans {
             let dur = span.end_ns - span.start_ns;
-            match stages.iter_mut().find(|(n, _, _)| *n == span.name) {
+            match stages.iter_mut().find(|(n, _, _)| *n == span.name.as_ref()) {
                 Some((_, count, total)) => {
                     *count += 1;
                     *total += dur;
                 }
-                None => stages.push((span.name, 1, dur)),
+                None => stages.push((span.name.as_ref(), 1, dur)),
             }
         }
         stages.sort_by(|a, b| a.0.cmp(b.0));
@@ -321,10 +324,15 @@ mod tests {
             hists: Hist::ALL.iter().map(|h| (vec![0; h.bounds().len() + 1], 0, 0)).collect(),
             tracks: vec!["b-track".into(), "a-track".into()],
             sim_spans: vec![
-                SimSpan { name: "replay", track: 0, start_us: 10, end_us: 30 },
-                SimSpan { name: "match", track: 1, start_us: 0, end_us: 5 },
+                SimSpan { name: "replay".into(), track: 0, start_us: 10, end_us: 30 },
+                SimSpan { name: "match".into(), track: 1, start_us: 0, end_us: 5 },
             ],
-            wall_spans: vec![WallRec { name: "rep", worker: 1, start_ns: 5_000, end_ns: 9_000 }],
+            wall_spans: vec![WallRec {
+                name: "rep".into(),
+                worker: 1,
+                start_ns: 5_000,
+                end_ns: 9_000,
+            }],
             workers: vec![(1, 4_000, 1_000)],
         }
     }

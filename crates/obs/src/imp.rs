@@ -167,7 +167,7 @@ impl Recorder {
     pub fn sim_span(&self, name: &'static str, track: TrackId, start_us: u64, end_us: u64) {
         if let Some(inner) = &self.inner {
             inner.sim_spans.lock().expect("sim span log poisoned").push(SimSpan {
-                name,
+                name: name.into(),
                 track: track.0,
                 start_us,
                 end_us: end_us.max(start_us),
@@ -229,6 +229,14 @@ impl Recorder {
         export::chrome_trace(&self.snapshot(), false)
     }
 
+    /// The full trace as one CRC-framed binary record: the same data as
+    /// [`chrome_trace_json`](Self::chrome_trace_json) at a fraction of the
+    /// size. Convert back with [`crate::binary_trace_to_chrome_json`],
+    /// which reproduces that JSON byte for byte.
+    pub fn binary_trace(&self) -> Vec<u8> {
+        crate::codec::encode_trace(&self.snapshot(), true)
+    }
+
     /// The plain-text run report: the deterministic section followed by
     /// the wall-clock section.
     pub fn text_report(&self) -> String {
@@ -254,7 +262,7 @@ impl Drop for WallSpan<'_> {
             let start_ns = started.duration_since(inner.epoch).as_nanos() as u64;
             let end_ns = start_ns + started.elapsed().as_nanos() as u64;
             inner.wall_spans.lock().expect("wall span log poisoned").push(WallRec {
-                name,
+                name: name.into(),
                 worker,
                 start_ns,
                 end_ns,
@@ -332,6 +340,20 @@ mod tests {
         rec.sim_span("lag", t, 100, 40);
         let snap = rec.snapshot();
         assert_eq!(snap.sim_spans[0].end_us, 100);
+    }
+
+    #[test]
+    fn binary_trace_converts_back_to_the_exact_json() {
+        let rec = Recorder::enabled();
+        rec.count(Counter::MatchLags, 4);
+        rec.observe(Hist::MatchWalkFrames, 17);
+        let t = rec.track("ondemand/rep0");
+        rec.sim_span("replay", t, 0, 25_000);
+        rec.sim_span("match", t, 25_000, 26_000);
+        drop(rec.wall_span("annotate"));
+        rec.worker_time(0, 1_000, 2_000);
+        let json = crate::binary_trace_to_chrome_json(&rec.binary_trace());
+        assert_eq!(json, Some(rec.chrome_trace_json()));
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //!   escalation depth, and worker busy/idle time.
 //! - **Exporters**: Chrome trace-event JSON loadable in `about:tracing` /
 //!   [Perfetto](https://ui.perfetto.dev) ([`Recorder::chrome_trace_json`]),
-//!   and a plain-text run report for the study markdown
-//!   ([`Recorder::text_report`]).
+//!   a compact CRC-framed binary trace ([`Recorder::binary_trace`],
+//!   reversible via [`binary_trace_to_chrome_json`]), and a plain-text run
+//!   report for the study markdown ([`Recorder::text_report`]).
 //!
 //! # Determinism rules
 //!
@@ -37,8 +38,11 @@
 
 #![warn(missing_docs)]
 
+mod codec;
 mod export;
 pub mod metrics;
+
+pub use codec::binary_trace_to_chrome_json;
 
 #[cfg(feature = "record")]
 mod imp;

@@ -75,6 +75,11 @@ impl Recorder {
         crate::export::chrome_trace(&Default::default(), false)
     }
 
+    /// The binary encoding of an empty trace.
+    pub fn binary_trace(&self) -> Vec<u8> {
+        crate::codec::encode_trace(&Default::default(), true)
+    }
+
     /// The "empty recorder" run report.
     pub fn text_report(&self) -> String {
         crate::export::text_report(&Default::default(), true)

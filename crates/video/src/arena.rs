@@ -1,0 +1,333 @@
+//! Arena-backed frame storage: every distinct frame of a stream in one
+//! contiguous allocation.
+//!
+//! A [`VideoStream`] shares still-period frames behind `Arc`s, which keeps
+//! memory small but scatters the distinct frames across the heap and makes
+//! the matcher chase pointers. [`PackedVideo::pack`] walks the stream once
+//! and rebuilds it as:
+//!
+//! * a [`FrameArena`] — one `Vec<u8>` holding every *distinct* frame
+//!   content back to back (slot-major, row-major within a slot), with
+//!   row-slice accessors so hot loops never do per-pixel `get`/`set`;
+//! * a run-length encoding of the stream — maximal runs of consecutive
+//!   frames with identical content, each pointing at its arena slot.
+//!
+//! Deduplication is by *content* (digest-gated, pixel-verified), which is
+//! strictly stronger than the stream's pointer sharing: a blinking cursor
+//! that re-renders the same two screens into fresh allocations still
+//! collapses to two slots. The batched matcher walks the runs — O(runs)
+//! per lag instead of O(frames) — and compares against contiguous arena
+//! rows with the word kernels.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::frame::FrameBuffer;
+use crate::stream::VideoStream;
+
+/// A contiguous store of equally-sized frames ("slots").
+///
+/// # Examples
+///
+/// ```
+/// use interlag_video::arena::FrameArena;
+/// use interlag_video::frame::FrameBuffer;
+///
+/// let mut arena = FrameArena::new(8, 4);
+/// let mut f = FrameBuffer::new(8, 4);
+/// f.fill(9);
+/// let slot = arena.push(&f);
+/// assert_eq!(arena.pixels(slot), f.pixels());
+/// assert_eq!(arena.row(slot, 2), &[9u8; 8][..]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameArena {
+    width: u32,
+    height: u32,
+    /// Slot-major, row-major pixel storage: slot `s` occupies
+    /// `[s * frame_len, (s + 1) * frame_len)`.
+    pixels: Vec<u8>,
+    /// Per-slot content digest ([`FrameBuffer::digest`] of the slot).
+    digests: Vec<u64>,
+}
+
+impl FrameArena {
+    /// Creates an empty arena for `width × height` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be positive");
+        FrameArena { width, height, pixels: Vec::new(), digests: Vec::new() }
+    }
+
+    /// Frame width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pixels per frame.
+    pub fn frame_len(&self) -> usize {
+        (self.width * self.height) as usize
+    }
+
+    /// Number of stored frames.
+    pub fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    /// `true` if no frame is stored.
+    pub fn is_empty(&self) -> bool {
+        self.digests.is_empty()
+    }
+
+    /// Copies a frame into the arena, returning its slot index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame's dimensions differ from the arena's.
+    pub fn push(&mut self, frame: &FrameBuffer) -> u32 {
+        assert_eq!(
+            (frame.width(), frame.height()),
+            (self.width, self.height),
+            "arena frames must share one geometry"
+        );
+        let slot = self.digests.len() as u32;
+        self.pixels.extend_from_slice(frame.pixels());
+        self.digests.push(frame.digest());
+        slot
+    }
+
+    /// The full pixel slice of one slot, row-major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range.
+    #[inline]
+    pub fn pixels(&self, slot: u32) -> &[u8] {
+        let len = self.frame_len();
+        let start = slot as usize * len;
+        &self.pixels[start..start + len]
+    }
+
+    /// One row of one slot as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot or row is out of range.
+    #[inline]
+    pub fn row(&self, slot: u32, y: u32) -> &[u8] {
+        assert!(y < self.height, "row out of range");
+        let start = slot as usize * self.frame_len() + (y * self.width) as usize;
+        &self.pixels[start..start + self.width as usize]
+    }
+
+    /// The content digest of one slot — identical to what
+    /// [`FrameBuffer::digest`] returns for the same pixels, so digests are
+    /// comparable across the arena/buffer boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is out of range.
+    #[inline]
+    pub fn digest(&self, slot: u32) -> u64 {
+        self.digests[slot as usize]
+    }
+}
+
+/// One maximal run of consecutive video frames with identical content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRun {
+    /// Index of the run's first frame in the original stream.
+    pub first_frame: u32,
+    /// Number of consecutive frames in the run.
+    pub len: u32,
+    /// Arena slot holding the run's pixel content.
+    pub slot: u32,
+}
+
+/// A [`VideoStream`] repacked for matching: distinct contents in a
+/// [`FrameArena`], the frame sequence as content runs.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use interlag_evdev::time::SimTime;
+/// use interlag_video::arena::PackedVideo;
+/// use interlag_video::frame::FrameBuffer;
+/// use interlag_video::stream::{VideoStream, FRAME_PERIOD_30FPS};
+///
+/// let mut v = VideoStream::new(FRAME_PERIOD_30FPS);
+/// let still = Arc::new(FrameBuffer::new(4, 4));
+/// for i in 0..5u64 {
+///     v.push(SimTime::from_micros(i * 33_333), still.clone()).unwrap();
+/// }
+/// let packed = PackedVideo::pack(&v);
+/// assert_eq!(packed.runs().len(), 1);
+/// assert_eq!(packed.arena().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PackedVideo {
+    arena: FrameArena,
+    runs: Vec<FrameRun>,
+    /// Total frame count of the source stream.
+    frames: u32,
+}
+
+impl PackedVideo {
+    /// Packs a stream: one forward walk deduplicating frame contents into
+    /// the arena and run-length encoding the sequence. Pointer-identical
+    /// neighbours are recognised without touching pixels; new pointers are
+    /// deduplicated by digest and verified by memcmp before reusing a
+    /// slot, so two slots never hold equal content.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream mixes frame geometries.
+    pub fn pack(video: &VideoStream) -> Self {
+        let frames = video.frames();
+        let Some(first) = frames.first() else {
+            return PackedVideo {
+                arena: FrameArena { width: 0, height: 0, pixels: Vec::new(), digests: Vec::new() },
+                runs: Vec::new(),
+                frames: 0,
+            };
+        };
+        let mut arena = FrameArena::new(first.buf.width(), first.buf.height());
+        let mut runs: Vec<FrameRun> = Vec::new();
+        // Pointer cache: a blinking UI oscillates between a handful of
+        // shared buffers, so most frames resolve without hashing.
+        let mut slot_of_ptr: HashMap<*const FrameBuffer, u32> = HashMap::new();
+        let mut by_digest: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut last: Option<(*const FrameBuffer, u32)> = None;
+        for frame in frames {
+            let ptr = Arc::as_ptr(&frame.buf);
+            let slot = match last {
+                Some((prev, slot)) if prev == ptr => slot,
+                _ => *slot_of_ptr.entry(ptr).or_insert_with(|| {
+                    let digest = frame.buf.digest();
+                    let slots = by_digest.entry(digest).or_default();
+                    match slots.iter().find(|&&s| arena.pixels(s) == frame.buf.pixels()) {
+                        Some(&slot) => slot,
+                        None => {
+                            let slot = arena.push(&frame.buf);
+                            slots.push(slot);
+                            slot
+                        }
+                    }
+                }),
+            };
+            last = Some((ptr, slot));
+            match runs.last_mut() {
+                Some(run) if run.slot == slot => run.len += 1,
+                _ => runs.push(FrameRun { first_frame: frame.index, len: 1, slot }),
+            }
+        }
+        PackedVideo { arena, runs, frames: frames.len() as u32 }
+    }
+
+    /// The deduplicated frame store.
+    pub fn arena(&self) -> &FrameArena {
+        &self.arena
+    }
+
+    /// The content runs, in stream order.
+    pub fn runs(&self) -> &[FrameRun] {
+        &self.runs
+    }
+
+    /// Total frame count of the source stream.
+    pub fn frame_count(&self) -> u32 {
+        self.frames
+    }
+
+    /// Index (into [`PackedVideo::runs`]) of the run containing `frame`;
+    /// `runs().len()` if the frame index is past the stream's end.
+    pub fn run_of_frame(&self, frame: u32) -> usize {
+        self.runs.partition_point(|r| r.first_frame + r.len <= frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::FRAME_PERIOD_30FPS;
+    use interlag_evdev::time::SimTime;
+
+    fn frame(v: u8) -> Arc<FrameBuffer> {
+        let mut f = FrameBuffer::new(8, 8);
+        f.fill(v);
+        Arc::new(f)
+    }
+
+    fn video_of(pattern: &[u8]) -> VideoStream {
+        let mut v = VideoStream::new(FRAME_PERIOD_30FPS);
+        for (i, &c) in pattern.iter().enumerate() {
+            // Fresh allocation per frame: dedup must work by content.
+            v.push(SimTime::from_micros(i as u64 * 33_333), frame(c)).unwrap();
+        }
+        v
+    }
+
+    #[test]
+    fn packs_runs_and_dedups_by_content() {
+        let packed = PackedVideo::pack(&video_of(b"aaabbaaa"));
+        assert_eq!(packed.frame_count(), 8);
+        // Three runs (aaa, bb, aaa) over two distinct contents.
+        assert_eq!(packed.runs().len(), 3);
+        assert_eq!(packed.arena().len(), 2);
+        assert_eq!(packed.runs()[0].slot, packed.runs()[2].slot);
+        assert_eq!(packed.runs()[1].len, 2);
+        assert_eq!(packed.arena().pixels(packed.runs()[1].slot), &[b'b'; 64][..]);
+    }
+
+    #[test]
+    fn run_of_frame_finds_the_containing_run() {
+        let packed = PackedVideo::pack(&video_of(b"aabbbc"));
+        assert_eq!(packed.run_of_frame(0), 0);
+        assert_eq!(packed.run_of_frame(1), 0);
+        assert_eq!(packed.run_of_frame(2), 1);
+        assert_eq!(packed.run_of_frame(4), 1);
+        assert_eq!(packed.run_of_frame(5), 2);
+        assert_eq!(packed.run_of_frame(6), 3, "past the end");
+    }
+
+    #[test]
+    fn arena_digests_match_framebuffer_digests() {
+        let packed = PackedVideo::pack(&video_of(b"xyz"));
+        for run in packed.runs() {
+            let mut f = FrameBuffer::new(8, 8);
+            f.pixels_mut().copy_from_slice(packed.arena().pixels(run.slot));
+            assert_eq!(packed.arena().digest(run.slot), f.digest());
+        }
+    }
+
+    #[test]
+    fn empty_stream_packs_empty() {
+        let packed = PackedVideo::pack(&VideoStream::new(FRAME_PERIOD_30FPS));
+        assert!(packed.runs().is_empty());
+        assert!(packed.arena().is_empty());
+        assert_eq!(packed.run_of_frame(0), 0);
+    }
+
+    #[test]
+    fn rows_are_contiguous_slices() {
+        let mut f = FrameBuffer::new(4, 3);
+        for y in 0..3 {
+            for x in 0..4 {
+                f.set(x, y, (y * 10 + x) as u8);
+            }
+        }
+        let mut arena = FrameArena::new(4, 3);
+        let s = arena.push(&f);
+        assert_eq!(arena.row(s, 1), &[10, 11, 12, 13]);
+        assert_eq!(arena.frame_len(), 12);
+    }
+}

@@ -11,6 +11,8 @@ use std::sync::{Arc, OnceLock};
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernel;
+
 /// An axis-aligned pixel rectangle, `[x0, x1) × [y0, y1)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Rect {
@@ -166,6 +168,33 @@ impl FrameBuffer {
         &mut self.pixels
     }
 
+    /// One row as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    #[inline]
+    pub fn row(&self, y: u32) -> &[u8] {
+        assert!(y < self.height, "row out of range");
+        let start = (y * self.width) as usize;
+        &self.pixels[start..start + self.width as usize]
+    }
+
+    /// One row as a mutable contiguous slice; hot loops write whole rows
+    /// instead of calling [`FrameBuffer::set`] per pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, y: u32) -> &mut [u8] {
+        assert!(y < self.height, "row out of range");
+        self.digest = DigestCell::default();
+        let start = (y * self.width) as usize;
+        let width = self.width as usize;
+        &mut self.pixels[start..start + width]
+    }
+
     /// The frame's 64-bit content digest, computed on first use and cached
     /// (every `&mut` method drops the cache). The digest is a pure function
     /// of `(width, height, pixels)`, so equal frames always have equal
@@ -237,23 +266,26 @@ impl FrameBuffer {
     pub fn hash_paint(&mut self, rect: Rect, seed: u64) {
         let Some(r) = rect.intersect(&self.bounds()) else { return };
         self.digest = DigestCell::default();
+        // The per-x hash chain shares its first multiply across the row.
+        let row_base = (seed ^ 0xcbf2_9ce4_8422_2325).wrapping_mul(0x1000_0000_01b3);
         for y in r.y0..r.y1 {
-            for x in r.x0..r.x1 {
+            let start = (y * self.width + r.x0) as usize;
+            let row = &mut self.pixels[start..start + (r.x1 - r.x0) as usize];
+            for (dx, p) in row.iter_mut().enumerate() {
                 // FNV-ish position hash mixed with the seed.
-                let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
-                h = h.wrapping_mul(0x1000_0000_01b3) ^ (x as u64);
+                let mut h = row_base ^ (r.x0 + dx as u32) as u64;
                 h = h.wrapping_mul(0x1000_0000_01b3) ^ (y as u64);
                 h ^= h >> 33;
                 h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
                 h ^= h >> 33;
-                let i = self.idx(x, y);
-                self.pixels[i] = (h & 0xff) as u8;
+                *p = (h & 0xff) as u8;
             }
         }
     }
 
     /// Number of pixels whose values differ by more than `value_tolerance`
-    /// between `self` and `other`.
+    /// between `self` and `other`. Runs on the word-wide SWAR kernels
+    /// ([`crate::kernel`]), eight pixels per compare.
     ///
     /// # Panics
     ///
@@ -265,11 +297,7 @@ impl FrameBuffer {
             (other.width, other.height),
             "cannot compare frames of different dimensions"
         );
-        self.pixels
-            .iter()
-            .zip(&other.pixels)
-            .filter(|(a, b)| a.abs_diff(**b) > value_tolerance)
-            .count() as u64
+        kernel::count_over(&self.pixels, &other.pixels, value_tolerance)
     }
 
     /// `true` if more than `limit` pixels differ by more than
@@ -289,20 +317,7 @@ impl FrameBuffer {
             (other.width, other.height),
             "cannot compare frames of different dimensions"
         );
-        if value_tolerance == 0 && limit == 0 {
-            // Bit-exact, zero budget: one memcmp decides it.
-            return self.pixels != other.pixels;
-        }
-        let mut over = 0u64;
-        for (a, b) in self.pixels.iter().zip(&other.pixels) {
-            if a.abs_diff(*b) > value_tolerance {
-                over += 1;
-                if over > limit {
-                    return true;
-                }
-            }
-        }
-        false
+        kernel::exceeds(&self.pixels, &other.pixels, value_tolerance, limit)
     }
 
     /// Copies the pixels of `rect` (clipped to the frame) into a new
@@ -442,6 +457,43 @@ mod tests {
         let before = a.digest();
         a.hash_paint(Rect::new(0, 0, 16, 16), 99);
         assert_ne!(a.digest(), before);
+    }
+
+    /// Regression for the cache-invalidation bug class: after *any*
+    /// mutation path the cached digest must equal the digest a fresh
+    /// buffer computes from the same pixels — stale-cache bugs show up as
+    /// an inequality here even when the pre/post digests happen to differ.
+    #[test]
+    fn digest_is_never_stale_after_mutation() {
+        let fresh_digest = |f: &FrameBuffer| {
+            FrameBuffer::from_pixels(f.width(), f.height(), f.pixels().to_vec()).digest()
+        };
+        type Mutation = Box<dyn Fn(&mut FrameBuffer)>;
+        let mut f = FrameBuffer::new(16, 16);
+        f.hash_paint(Rect::new(0, 0, 16, 16), 42);
+        let mutations: Vec<Mutation> = vec![
+            Box::new(|f| f.set(3, 7, 201)),
+            Box::new(|f| f.fill_rect(Rect::new(2, 2, 5, 5), 9)),
+            Box::new(|f| f.fill(17)),
+            Box::new(|f| f.pixels_mut()[31] ^= 0xa5),
+            Box::new(|f| f.row_mut(4)[0] = 250),
+            Box::new(|f| f.hash_paint(Rect::new(1, 1, 10, 10), 77)),
+        ];
+        for (i, mutate) in mutations.iter().enumerate() {
+            let _ = f.digest(); // force the cache warm before mutating
+            mutate(&mut f);
+            assert_eq!(f.digest(), fresh_digest(&f), "mutation {i} left a stale digest");
+        }
+    }
+
+    #[test]
+    fn row_accessors_view_row_major_pixels() {
+        let mut f = FrameBuffer::new(4, 3);
+        f.fill_rect(Rect::new(0, 1, 4, 1), 8);
+        assert_eq!(f.row(1), &[8, 8, 8, 8]);
+        assert_eq!(f.row(0), &[0, 0, 0, 0]);
+        f.row_mut(2).copy_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(f.get(2, 2), 3);
     }
 
     #[test]

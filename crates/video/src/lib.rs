@@ -42,12 +42,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod capture;
 pub mod frame;
+pub mod kernel;
 pub mod manifest;
 pub mod mask;
 pub mod stream;
 
+pub use arena::{FrameArena, FrameRun, PackedVideo};
 pub use frame::{FrameBuffer, Rect};
 pub use manifest::{parse_manifest, parse_manifest_salvage, ManifestDefect, ManifestError};
 pub use mask::{Mask, MatchTolerance};

@@ -55,11 +55,13 @@ fn usage() -> ExitCode {
          \x20 study <DS> [-r REPS] [--csv DIR] [--trace FILE]\n\
          \x20            [--events FILE] [--strict] [--journal FILE] [--resume]\n\
          \x20                                  the full 18-configuration study;\n\
-         \x20                                  --trace writes a Chrome trace JSON;\n\
+         \x20                                  --trace writes a Chrome trace (.json:\n\
+         \x20                                  JSON text, else compact binary);\n\
          \x20                                  --events replays an ingested getevent log\n\
          \x20                                  (--strict fails fast on corrupt datasets,\n\
          \x20                                  the default salvages what parses);\n\
-         \x20                                  --journal checkpoints each repetition,\n\
+         \x20                                  --journal checkpoints each repetition\n\
+         \x20                                  (.json/.jsonl: JSON lines, else binary),\n\
          \x20                                  --resume replays a prior journal\n\
          \x20 oracle <DS>                      the oracle's per-lag decisions\n\
          \n\
@@ -332,7 +334,15 @@ fn cmd_study(w: &Workload, args: StudyArgs) -> ExitCode {
         print!("{}", study_csv(&study));
     }
     if let Some(path) = &args.trace_out {
-        if let Err(e) = atomic_write(path, obs.chrome_trace_json()) {
+        // `.json` gets the Chrome trace-event text; any other extension
+        // gets the compact CRC-framed binary form, convertible back to the
+        // identical JSON with interlag_obs::binary_trace_to_chrome_json.
+        let result = if path.ends_with(".json") {
+            atomic_write(path, obs.chrome_trace_json())
+        } else {
+            atomic_write(path, obs.binary_trace())
+        };
+        if let Err(e) = result {
             eprintln!("interlag: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
