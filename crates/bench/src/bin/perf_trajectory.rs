@@ -1,7 +1,7 @@
 //! `perf_trajectory` — the tracked performance trajectory of the raw-speed
-//! frame pipeline, emitted as machine-readable JSON (`BENCH_6.json`).
+//! frame pipeline, emitted as machine-readable JSON (`BENCH_7.json`).
 //!
-//! Five sections, each timing the optimised path against the baseline it
+//! Six sections, each timing the optimised path against the baseline it
 //! replaced:
 //!
 //! 1. **kernel** — the chunked-u64 diff kernels against the per-pixel
@@ -12,6 +12,9 @@
 //! 4. **journal** — checkpoint replay rate through the framed decoder
 //!    (mixed JSON and binary eras, like a real resumed file).
 //! 5. **checkpoint** — binary vs JSON checkpoint record sizes.
+//! 6. **shard_merge** — the sweep supervisor's journal-merge gauntlet
+//!    (CRC framing, decode, fingerprint, slot dedup, canonical
+//!    re-encode) across shard counts.
 //!
 //! Usage: `cargo run --release -p interlag-bench --bin perf_trajectory
 //! [-- --quick] [--out FILE]`. `--quick` shrinks sample counts for CI;
@@ -250,6 +253,47 @@ fn journal_section(records: usize, samples: usize) -> JournalNumbers {
     JournalNumbers { records, records_per_s: records as f64 / secs }
 }
 
+struct ShardMergeNumbers {
+    shards: usize,
+    records_per_s: f64,
+}
+
+/// Merge throughput of the sweep supervisor's gauntlet: `records`
+/// checkpoints partitioned round-robin across binary shard journals,
+/// decoded, validated, deduplicated and re-encoded canonically — the
+/// exact path `interlag sweep` pays after every wave.
+fn shard_merge_section(records: usize, samples: usize) -> Vec<ShardMergeNumbers> {
+    use interlag_orchestrator::{encode_merged, merge_shard_journals};
+    let all: Vec<CheckpointRecord> = (0..records as u32).map(sample_checkpoint).collect();
+    [1usize, 4, 8, 16]
+        .into_iter()
+        .map(|shards| {
+            let journals: Vec<Vec<u8>> = (0..shards)
+                .map(|s| {
+                    let map: std::collections::BTreeMap<(usize, u32), CheckpointRecord> = all
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % shards == s)
+                        .map(|(_, r)| ((r.config, r.rep), r.clone()))
+                        .collect();
+                    encode_merged(&map, interlag_core::checkpoint::CheckpointFormat::Binary)
+                })
+                .collect();
+            let secs = time_median(samples, || {
+                let merged = merge_shard_journals(
+                    journals.iter().map(Vec::as_slice),
+                    0x5eed_f00d,
+                    |_, _| true,
+                );
+                assert_eq!(merged.records.len(), records);
+                encode_merged(&merged.records, interlag_core::checkpoint::CheckpointFormat::Binary)
+                    .len()
+            });
+            ShardMergeNumbers { shards, records_per_s: records as f64 / secs }
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -258,7 +302,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
 
     let (kernel_samples, matcher_samples, journal_records, study_reps) =
         if quick { (5, 3, 200, 1) } else { (25, 9, 2_000, interlag_bench::reps()) };
@@ -297,12 +341,22 @@ fn main() {
         json_bytes as f64 / binary_bytes as f64
     );
 
+    eprintln!("[trajectory] shard_merge: supervisor merge gauntlet throughput");
+    let merges = shard_merge_section(journal_records, matcher_samples);
+    for m in &merges {
+        eprintln!("[trajectory]   shards={}: {:.0} records/s", m.shards, m.records_per_s);
+    }
+
     let workers_json: Vec<String> = study
         .iter()
         .map(|(workers, wall)| format!("{{\"workers\": {workers}, \"wall_s\": {wall:.4}}}"))
         .collect();
+    let merges_json: Vec<String> = merges
+        .iter()
+        .map(|m| format!("{{\"shards\": {}, \"records_per_s\": {:.0}}}", m.shards, m.records_per_s))
+        .collect();
     let doc = format!(
-        "{{\n  \"schema\": \"interlag-bench-trajectory/v1\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"schema\": \"interlag-bench-trajectory/v2\",\n  \"quick\": {quick},\n  \
          \"kernel\": {{\n    \"pixels_per_frame\": {pixels},\n    \"scalar_px_per_s\": {sps:.0},\n    \
          \"kernel_px_per_s\": {kps:.0},\n    \"speedup\": {kspeed:.3}\n  }},\n  \
          \"matcher\": {{\n    \"lags\": {lags},\n    \"frames\": {frames},\n    \
@@ -310,7 +364,8 @@ fn main() {
          \"study\": {{\n    \"reps\": {reps},\n    \"sweeps\": [{sweeps}]\n  }},\n  \
          \"journal\": {{\n    \"records\": {records},\n    \"replay_records_per_s\": {rps:.0}\n  }},\n  \
          \"checkpoint\": {{\n    \"json_bytes\": {jb},\n    \"binary_bytes\": {bb},\n    \
-         \"json_over_binary\": {ratio:.3}\n  }}\n}}\n",
+         \"json_over_binary\": {ratio:.3}\n  }},\n  \
+         \"shard_merge\": {{\n    \"records\": {records},\n    \"merges\": [{merges}]\n  }}\n}}\n",
         pixels = k.pixels,
         sps = k.scalar_px_per_s,
         kps = k.kernel_px_per_s,
@@ -327,6 +382,7 @@ fn main() {
         jb = json_bytes,
         bb = binary_bytes,
         ratio = json_bytes as f64 / binary_bytes as f64,
+        merges = merges_json.join(", "),
     );
     if let Err(e) = interlag_journal::atomic_write(&out, &doc) {
         eprintln!("perf_trajectory: cannot write {out}: {e}");

@@ -30,7 +30,7 @@ use interlag_evdev::time::{SimDuration, SimTime};
 use interlag_journal::{decode_records, Journal};
 use interlag_video::stream::VideoError;
 
-use crate::error::InterlagError;
+use crate::error::{InterlagError, ShardFailure};
 use crate::experiment::{LabConfig, RepOutcome, RepResult};
 use crate::ingest::DatasetError;
 use crate::matcher::MatchFailure;
@@ -85,6 +85,10 @@ enum OutcomeRepr {
     Retried { attempts: u32 },
     TimedOut { attempts: u32 },
     Abandoned { attempts: u32, cause: CauseRepr },
+    // Skipped slots belong to another shard and are never journalled by
+    // the study loop itself, but the codec stays total: a record holding
+    // one round-trips instead of poisoning the journal.
+    Skipped,
 }
 
 /// Exact mirror of [`InterlagError`] for the journal. The device error is
@@ -98,6 +102,7 @@ enum CauseRepr {
     MissingVideo,
     Timeout,
     Dataset(DatasetError),
+    Shard { failure: ShardFailure },
 }
 
 impl From<&InterlagError> for CauseRepr {
@@ -117,6 +122,7 @@ impl From<&InterlagError> for CauseRepr {
             InterlagError::MissingVideo => CauseRepr::MissingVideo,
             InterlagError::Timeout => CauseRepr::Timeout,
             InterlagError::Dataset(d) => CauseRepr::Dataset(d.clone()),
+            InterlagError::Shard { failure } => CauseRepr::Shard { failure: *failure },
         }
     }
 }
@@ -137,6 +143,7 @@ impl From<CauseRepr> for InterlagError {
             CauseRepr::MissingVideo => InterlagError::MissingVideo,
             CauseRepr::Timeout => InterlagError::Timeout,
             CauseRepr::Dataset(d) => InterlagError::Dataset(d),
+            CauseRepr::Shard { failure } => InterlagError::Shard { failure },
         }
     }
 }
@@ -191,6 +198,7 @@ fn outcome_repr(outcome: &RepOutcome) -> OutcomeRepr {
         RepOutcome::Abandoned { attempts, cause } => {
             OutcomeRepr::Abandoned { attempts: *attempts, cause: cause.into() }
         }
+        RepOutcome::Skipped => OutcomeRepr::Skipped,
     }
 }
 
@@ -202,6 +210,7 @@ fn outcome_from_repr(repr: OutcomeRepr) -> RepOutcome {
         OutcomeRepr::Abandoned { attempts, cause } => {
             RepOutcome::Abandoned { attempts, cause: cause.into() }
         }
+        OutcomeRepr::Skipped => RepOutcome::Skipped,
     }
 }
 
@@ -277,6 +286,7 @@ pub fn encode_checkpoint_binary(record: &CheckpointRecord) -> Vec<u8> {
             w.u32(*attempts);
             encode_cause(&mut w, cause);
         }
+        OutcomeRepr::Skipped => w.u8(4),
     }
     let result = &record.result;
     w.str(&result.config_name);
@@ -321,6 +331,14 @@ fn encode_cause(w: &mut W, cause: &CauseRepr) {
             w.u8(5);
             w.str(&serde_json::to_string(d).expect("dataset errors serialise"));
         }
+        CauseRepr::Shard { failure } => {
+            w.u8(6);
+            w.u8(match failure {
+                ShardFailure::Crashed => 0,
+                ShardFailure::Wedged => 1,
+                ShardFailure::Corrupt => 2,
+            });
+        }
     }
 }
 
@@ -344,6 +362,7 @@ pub fn decode_checkpoint_binary(payload: &[u8]) -> Option<CheckpointRecord> {
         1 => OutcomeRepr::Retried { attempts: r.u32()? },
         2 => OutcomeRepr::TimedOut { attempts: r.u32()? },
         3 => OutcomeRepr::Abandoned { attempts: r.u32()?, cause: decode_cause(&mut r)? },
+        4 => OutcomeRepr::Skipped,
         _ => return None,
     };
     let config_name = r.str()?;
@@ -385,6 +404,14 @@ fn decode_cause(r: &mut R<'_>) -> Option<CauseRepr> {
         3 => CauseRepr::MissingVideo,
         4 => CauseRepr::Timeout,
         5 => CauseRepr::Dataset(serde_json::from_str(&r.str()?).ok()?),
+        6 => CauseRepr::Shard {
+            failure: match r.u8()? {
+                0 => ShardFailure::Crashed,
+                1 => ShardFailure::Wedged,
+                2 => ShardFailure::Corrupt,
+                _ => return None,
+            },
+        },
         _ => return None,
     })
 }
@@ -465,6 +492,23 @@ pub struct StudyJournal {
     torn: usize,
     foreign: usize,
     write_errors: AtomicUsize,
+    observer: Option<RecordObserver>,
+}
+
+/// A callback a [`StudyJournal`] invokes with every record it appends —
+/// after the durable append attempt (successful or not), so the record is
+/// on disk before anyone else hears about it. The sharded-sweep agent
+/// streams checkpoint frames to its supervisor from here; the chaos
+/// harness implements crash-on-nth-checkpoint from here.
+///
+/// Called from whichever worker thread completed the repetition, so the
+/// callback must be `Send + Sync` and should serialise its own output.
+pub struct RecordObserver(Box<dyn Fn(&CheckpointRecord) + Send + Sync>);
+
+impl std::fmt::Debug for RecordObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("RecordObserver(..)")
+    }
 }
 
 /// Which payload codec a [`StudyJournal`] appends with. Reading always
@@ -507,6 +551,7 @@ impl StudyJournal {
             torn: 0,
             foreign: 0,
             write_errors: AtomicUsize::new(0),
+            observer: None,
         })
     }
 
@@ -552,7 +597,15 @@ impl StudyJournal {
             torn: decoded.torn,
             foreign,
             write_errors: AtomicUsize::new(0),
+            observer: None,
         })
+    }
+
+    /// Installs a [`RecordObserver`] invoked with every subsequently
+    /// appended record. Set it before the study starts — the journal is
+    /// shared immutably across workers once the sweep is running.
+    pub fn set_observer(&mut self, f: impl Fn(&CheckpointRecord) + Send + Sync + 'static) {
+        self.observer = Some(RecordObserver(Box::new(f)));
     }
 
     /// The fingerprint this journal records against.
@@ -597,6 +650,11 @@ impl StudyJournal {
         };
         if failed {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        // The observer runs after the append attempt — even a failed one:
+        // losing durability must not also lose the streamed copy.
+        if let Some(observer) = &self.observer {
+            (observer.0)(&record);
         }
     }
 

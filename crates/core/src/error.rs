@@ -11,9 +11,29 @@ use std::error::Error;
 use std::fmt;
 
 use interlag_device::DeviceError;
+use serde::{Deserialize, Serialize};
 
 use crate::ingest::DatasetError;
 use crate::matcher::MatchFailure;
+
+/// Why a sweep supervisor gave up on the shard that owned a repetition.
+///
+/// Unlike the other [`InterlagError`] variants this failure is not
+/// observed *inside* the pipeline: it is synthesised by the orchestrator
+/// when an agent process exhausts its re-dispatch budget, so the merged
+/// report can carry a per-repetition cause instead of a silent hole.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShardFailure {
+    /// The agent process died (crash, SIGKILL, non-zero exit) on every
+    /// dispatch attempt.
+    Crashed,
+    /// The agent stopped making checkpoint progress and was killed by the
+    /// supervisor's watchdog on every dispatch attempt.
+    Wedged,
+    /// The shard's returned journal never yielded a valid record for this
+    /// repetition (corrupt frames, foreign fingerprints).
+    Corrupt,
+}
 
 /// Why a pipeline stage failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +56,12 @@ pub enum InterlagError {
     /// A dataset could not be ingested (truncated, mis-encoded or
     /// internally inconsistent input files).
     Dataset(DatasetError),
+    /// The sweep supervisor abandoned the shard that owned this
+    /// repetition after exhausting its re-dispatch budget.
+    Shard {
+        /// How the shard kept failing.
+        failure: ShardFailure,
+    },
 }
 
 impl fmt::Display for InterlagError {
@@ -50,6 +76,14 @@ impl fmt::Display for InterlagError {
                 write!(f, "repetition exceeded its watchdog deadline and was cancelled")
             }
             InterlagError::Dataset(e) => write!(f, "dataset ingestion failed: {e}"),
+            InterlagError::Shard { failure } => {
+                let how = match failure {
+                    ShardFailure::Crashed => "kept crashing",
+                    ShardFailure::Wedged => "kept wedging past the heartbeat watchdog",
+                    ShardFailure::Corrupt => "never returned a valid record",
+                };
+                write!(f, "sweep shard owning this repetition {how} and was abandoned")
+            }
         }
     }
 }

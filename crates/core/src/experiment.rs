@@ -26,7 +26,7 @@ use interlag_evdev::trace::EventTrace;
 use interlag_faults::{
     FaultConfig, FaultStreams, FaultyCapture, FaultyGovernor, FaultyReplayer, WedgedGovernor,
 };
-use interlag_governors::plan::PlanGovernor;
+use interlag_governors::plan::{FrequencyPlan, PlanGovernor};
 use interlag_governors::{Conservative, Interactive, Ondemand};
 use interlag_journal::CancelToken;
 use interlag_obs::{Counter, Hist, Recorder};
@@ -210,6 +210,12 @@ pub enum RepOutcome {
         /// The last attempt's failure.
         cause: InterlagError,
     },
+    /// The repetition belongs to another shard of a scoped sweep
+    /// ([`StudyScope`]) and was neither computed nor journalled here: the
+    /// result slot is an empty placeholder that only exists to keep the
+    /// study shape rectangular. Skipped slots never reach a journal — the
+    /// shard that owns the slot writes the real record.
+    Skipped,
 }
 
 impl RepOutcome {
@@ -227,6 +233,12 @@ impl RepOutcome {
     /// slot is not a placeholder).
     pub fn is_measured(&self) -> bool {
         matches!(self, RepOutcome::Ok | RepOutcome::Retried { .. })
+    }
+
+    /// `true` if the repetition was left to another shard of a scoped
+    /// sweep.
+    pub fn is_skipped(&self) -> bool {
+        matches!(self, RepOutcome::Skipped)
     }
 }
 
@@ -376,6 +388,59 @@ struct RepContext<'a> {
     rep: u32,
 }
 
+/// Which half of a sharded sweep a [`StudyScope`] selects from.
+///
+/// The oracle's plan is derived from the *complete* stage-1 profile set,
+/// which no single shard can know locally, so a sharded sweep dispatches
+/// in two waves: stage-1 shards first, then oracle shards resuming from
+/// the merged stage-1 journal (every stage-1 slot replays from cache, so
+/// the plan each oracle shard derives is identical to a single-process
+/// run's by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepStage {
+    /// Fixed frequencies and the kernel governors (the first
+    /// `(n_fixed + 3) × reps` jobs of the sweep grid).
+    Stage1,
+    /// The oracle configuration's repetitions.
+    Oracle,
+}
+
+/// Restricts a study to one shard of the `(configuration, repetition)`
+/// grid: slots this shard is not assigned come back as
+/// [`RepOutcome::Skipped`] placeholders (unless the journal already
+/// caches them, in which case they replay as usual).
+///
+/// Assignment is round-robin so the same `(shard, of, stage)` triple
+/// always selects the same slots — the supervisor and the agent compute
+/// the assignment independently and must agree. The scope is *not* part
+/// of [`study_fingerprint`](crate::checkpoint::study_fingerprint):
+/// journalled records are shard-independent, which is what makes shard
+/// journals mergeable in the first place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StudyScope {
+    /// This shard's index, `0 ≤ shard < of`.
+    pub shard: u32,
+    /// Total shard count in this wave.
+    pub of: u32,
+    /// Which wave of the sweep this shard belongs to.
+    pub stage: SweepStage,
+}
+
+impl StudyScope {
+    /// `true` when this scope owns stage-1 slot `(config, rep)` of a
+    /// sweep with `reps` repetitions per configuration.
+    pub fn owns_stage1(&self, config: usize, rep: u32, reps: u32) -> bool {
+        self.stage == SweepStage::Stage1
+            && (config * reps as usize + rep as usize) % self.of.max(1) as usize
+                == self.shard as usize
+    }
+
+    /// `true` when this scope owns oracle repetition `rep`.
+    pub fn owns_oracle(&self, rep: u32) -> bool {
+        self.stage == SweepStage::Oracle && rep % self.of.max(1) == self.shard
+    }
+}
+
 /// Optional study machinery: the durable journal to checkpoint into (and
 /// replay from), and an externally ingested input trace.
 ///
@@ -393,6 +458,10 @@ pub struct StudyOptions<'a> {
     /// script — the hardened-ingestion path for traces loaded from disk
     /// (possibly with salvage-dropped lines).
     pub trace: Option<EventTrace>,
+    /// Run only this shard of the sweep grid; unowned slots come back as
+    /// [`RepOutcome::Skipped`] placeholders instead of being computed.
+    /// `None` (the default) runs the whole grid.
+    pub scope: Option<StudyScope>,
 }
 
 /// The simulated laboratory.
@@ -676,13 +745,7 @@ impl Lab {
             }
         }
         let cause = last_err.expect("retry loop made at least one attempt");
-        let placeholder = RepResult {
-            profile: LagProfile::new(name),
-            dynamic_energy_mj: 0.0,
-            irritation: SimDuration::ZERO,
-            match_failures: 0,
-            input_faults: 0,
-        };
+        let placeholder = placeholder_result(name);
         let outcome = if cause == InterlagError::Timeout {
             RepOutcome::TimedOut { attempts: budget + 1 }
         } else {
@@ -823,13 +886,20 @@ impl Lab {
         let wall_budget =
             self.config.watchdog.budget_for(workload.run_until().saturating_since(SimTime::ZERO));
         let journal = options.journal;
+        let scope = options.scope;
         if let Some(j) = journal {
             obs.count(Counter::JournalTornRecords, j.torn() as u64);
         }
         // Journal interposition for one repetition slot: replay the cached
         // result if the journal holds one, otherwise compute and append.
+        // Slots a scoped (sharded) study does not own are skipped with a
+        // placeholder — never computed, never journalled — unless the
+        // journal already caches them (an oracle-wave agent replays the
+        // whole merged stage-1 prefix this way).
         let journalled = |config: usize,
                           rep: u32,
+                          owned: bool,
+                          name: &str,
                           compute: &mut dyn FnMut() -> (RepResult, RepOutcome)|
          -> (RepResult, RepOutcome) {
             if let Some(j) = journal {
@@ -837,6 +907,9 @@ impl Lab {
                     obs.count(Counter::JournalReplayedReps, 1);
                     return hit;
                 }
+            }
+            if !owned {
+                return (placeholder_result(name), RepOutcome::Skipped);
             }
             let out = compute();
             if let Some(j) = journal {
@@ -891,6 +964,11 @@ impl Lab {
         // the sim-axis exports stay byte-stable across worker counts.
         let trace_end_us = trace.iter().last().map(|e| e.time.as_micros()).unwrap_or(0);
         let record_rep = |name: &str, rep: u32, (result, outcome): &(RepResult, RepOutcome)| {
+            // Skipped slots belong to another shard: they did no work here
+            // and must not count as repetitions of this (partial) study.
+            if outcome.is_skipped() {
+                return;
+            }
             obs.count(Counter::StudyReps, 1);
             match outcome {
                 RepOutcome::Ok => {
@@ -912,6 +990,7 @@ impl Lab {
                     obs.count(Counter::RetryAttempts, u64::from(attempts - 1));
                     obs.observe(Hist::RetryAttemptsPerRep, u64::from(*attempts));
                 }
+                RepOutcome::Skipped => unreachable!("skipped slots return early above"),
             }
             if obs.is_enabled() {
                 let track = obs.track(&format!("{name}/rep{rep}"));
@@ -931,10 +1010,11 @@ impl Lab {
             let _span = obs.wall_span("study-rep");
             let config = i / per_rep;
             let rep = (i % per_rep) as u32;
+            let owned = scope.is_none_or(|s| s.owns_stage1(config, rep, reps));
             if config < n_fixed {
                 let freq = freqs[config];
                 let name = format!("fixed-{freq}");
-                let out = journalled(config, rep, &mut || {
+                let out = journalled(config, rep, owned, &name, &mut || {
                     if freq == opps.max_freq() && rep == 0 {
                         // Reuse the annotation reference run: it doubles as
                         // the fastest configuration's first repetition and
@@ -949,7 +1029,7 @@ impl Lab {
                 out
             } else {
                 let which = GOVERNOR_NAMES[config - n_fixed];
-                let out = journalled(config, rep, &mut || {
+                let out = journalled(config, rep, owned, which, &mut || {
                     let mut conservative;
                     let mut interactive;
                     let mut ondemand;
@@ -1027,11 +1107,20 @@ impl Lab {
             })
             .collect();
         let oracle_cfg = OracleConfig::paper(self.power_table().most_efficient_freq());
-        let oracle_detail = build_oracle(&fixed_profiles, &oracle_cfg);
+        // A scoped stage-1 shard may own no fixed-frequency slot at all
+        // (and never owns an oracle slot), leaving it nothing to build the
+        // oracle from; a degenerate constant-frequency plan keeps the
+        // partial result well-formed without running anything.
+        let oracle_detail = if fixed_profiles.is_empty() {
+            Oracle { plan: FrequencyPlan::new(opps.max_freq()), decisions: Vec::new() }
+        } else {
+            build_oracle(&fixed_profiles, &oracle_cfg)
+        };
         let oracle_results: Vec<(RepResult, RepOutcome)> = self.run_matrix(per_rep, |rep| {
             let _span = obs.wall_span("study-rep");
             let config = n_fixed + GOVERNOR_NAMES.len();
-            let out = journalled(config, rep as u32, &mut || {
+            let owned = scope.is_none_or(|s| s.owns_oracle(rep as u32));
+            let out = journalled(config, rep as u32, owned, "oracle", &mut || {
                 let mut gov = PlanGovernor::new("oracle", oracle_detail.plan.clone());
                 run_rep(config, rep as u32, &mut gov, "oracle")
             });
@@ -1080,6 +1169,19 @@ impl Lab {
 impl Default for Lab {
     fn default() -> Self {
         Lab::with_defaults()
+    }
+}
+
+/// The empty result filling a slot that carries no measurement — an
+/// abandoned, timed-out or (in a sharded sweep) skipped repetition.
+/// Aggregates exclude these slots via their recorded [`RepOutcome`].
+pub fn placeholder_result(name: &str) -> RepResult {
+    RepResult {
+        profile: LagProfile::new(name),
+        dynamic_energy_mj: 0.0,
+        irritation: SimDuration::ZERO,
+        match_failures: 0,
+        input_faults: 0,
     }
 }
 

@@ -94,6 +94,11 @@ fn chaos_study_completes_with_bounded_abandonment() {
                     // wedges, so the watchdog never fires here.
                     panic!("{}: unexpected watchdog timeout", c.name);
                 }
+                RepOutcome::Skipped => {
+                    // Skipped slots exist only inside a sharded sweep's
+                    // scoped agents, never in a whole local study.
+                    panic!("{}: unexpected skipped repetition", c.name);
+                }
             }
         }
         // Abandonment never swallows a whole configuration here: the

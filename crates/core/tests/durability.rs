@@ -59,7 +59,7 @@ fn kill_resume_is_byte_identical_at_every_truncation_point() {
 
         let journal = StudyJournal::create(&path, fingerprint).expect("create journal");
         let golden = Lab::new(lab_config(workers))
-            .study_with(&w, StudyOptions { journal: Some(&journal), trace: None })
+            .study_with(&w, StudyOptions { journal: Some(&journal), trace: None, scope: None })
             .expect("golden study");
         let golden_reports = reports(&golden);
         drop(journal);
@@ -84,7 +84,10 @@ fn kill_resume_is_byte_identical_at_every_truncation_point() {
             std::fs::write(&path, &bytes[..cut]).expect("truncate journal");
             let resumed_journal = StudyJournal::resume(&path, fingerprint).expect("resume journal");
             let resumed = Lab::new(lab_config(workers))
-                .study_with(&w, StudyOptions { journal: Some(&resumed_journal), trace: None })
+                .study_with(
+                    &w,
+                    StudyOptions { journal: Some(&resumed_journal), trace: None, scope: None },
+                )
                 .expect("resumed study");
             assert_eq!(
                 reports(&resumed),
@@ -107,7 +110,7 @@ fn resume_ignores_a_journal_from_a_different_study() {
 
     let journal = StudyJournal::create(&path, fingerprint).expect("create journal");
     let golden = Lab::new(lab_config(1))
-        .study_with(&w, StudyOptions { journal: Some(&journal), trace: None })
+        .study_with(&w, StudyOptions { journal: Some(&journal), trace: None, scope: None })
         .expect("golden study");
     drop(journal);
 
@@ -118,7 +121,7 @@ fn resume_ignores_a_journal_from_a_different_study() {
     assert_eq!(foreign.replayable(), 0);
     assert_eq!(foreign.foreign(), 18);
     let rerun = Lab::new(lab_config(1))
-        .study_with(&w, StudyOptions { journal: Some(&foreign), trace: None })
+        .study_with(&w, StudyOptions { journal: Some(&foreign), trace: None, scope: None })
         .expect("re-run study");
     assert_eq!(reports(&rerun), reports(&golden));
 
@@ -176,7 +179,7 @@ fn journalled_timeouts_replay_instead_of_re_wedging() {
 
     let journal = StudyJournal::create(&path, fingerprint).expect("create journal");
     let golden = Lab::new(config())
-        .study_with(&w, StudyOptions { journal: Some(&journal), trace: None })
+        .study_with(&w, StudyOptions { journal: Some(&journal), trace: None, scope: None })
         .expect("wedged sweep completes");
     let timed_out: usize = golden.all_configs().map(|c| c.timed_out()).sum();
     assert!(timed_out > 0);
@@ -188,7 +191,7 @@ fn journalled_timeouts_replay_instead_of_re_wedging() {
     assert_eq!(resumed_journal.replayable(), 18);
     let started = std::time::Instant::now();
     let resumed = Lab::new(config())
-        .study_with(&w, StudyOptions { journal: Some(&resumed_journal), trace: None })
+        .study_with(&w, StudyOptions { journal: Some(&resumed_journal), trace: None, scope: None })
         .expect("replayed study");
     let elapsed = started.elapsed();
     assert_eq!(reports(&resumed), reports(&golden));

@@ -12,7 +12,10 @@
 //! * [`FaultyReplayer`] — lost input events and bounded extra delay;
 //! * [`PowerFaults::perturb`] — meter dropouts and spikes on the
 //!   activity trace;
-//! * [`FaultyGovernor`] — rejected OPP writes.
+//! * [`FaultyGovernor`] — rejected OPP writes;
+//! * [`transport`] — dropped/duplicated/truncated/delayed frames on the
+//!   sharded-sweep agent↔supervisor link, plus scheduled agent sabotage
+//!   (crash/wedge on the nth checkpoint, SIGKILL after the nth record).
 //!
 //! Two properties make the injectors usable inside the study pipeline:
 //!
@@ -39,6 +42,7 @@ pub mod config;
 pub mod dvfs;
 pub mod power;
 pub mod replay;
+pub mod transport;
 
 pub use capture::{CaptureFaultLog, FaultyCapture};
 pub use config::{
@@ -47,3 +51,4 @@ pub use config::{
 pub use dvfs::{FaultyGovernor, WedgedGovernor};
 pub use power::PowerFaultLog;
 pub use replay::{FaultyReplayer, ReplayFaultLog};
+pub use transport::{AgentSabotage, FrameFate, FrameMangler, SabotageKind, TransportFaults};

@@ -1,0 +1,288 @@
+//! Transport faults: deterministic mangling of the framed byte stream
+//! between a sweep agent and its supervisor.
+//!
+//! The sharded-sweep orchestrator ships checkpoint records over stdio as
+//! CRC-framed records (`interlag-journal` framing). Real transports drop,
+//! duplicate, truncate and delay — and real agents die mid-shard. This
+//! module makes every one of those failures injectable and exactly
+//! reproducible, in the same style as the pipeline fault families:
+//!
+//! * [`TransportFaults`] — per-frame fault rates, drawn from a
+//!   [`SplitMix64`] stream derived by [`TransportFaults::stream`] from
+//!   `(seed, shard, attempt)`, so the byte-level failure pattern of any
+//!   dispatch attempt replays exactly;
+//! * [`FrameFate`] / [`TransportFaults::fate`] — the per-frame decision;
+//! * [`FrameMangler`] — applies fates to a sequence of complete frames,
+//!   producing the byte stream the supervisor actually sees;
+//! * [`AgentSabotage`] — scheduled agent-level failures (crash or wedge
+//!   at the nth checkpoint append, supervisor-side SIGKILL after the nth
+//!   received record), pinned to one `(shard, attempt)` so chaos tests
+//!   can script an exact kill schedule.
+//!
+//! Quiescent transparency holds here too: [`TransportFaults::none`]
+//! delivers every frame verbatim without a single RNG draw.
+
+use interlag_evdev::rng::SplitMix64;
+
+/// Frame-level fault rates for one agent↔supervisor link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransportFaults {
+    /// Probability a frame is dropped entirely.
+    pub drop_rate: f64,
+    /// Probability a frame is delivered twice back to back.
+    pub duplicate_rate: f64,
+    /// Probability a frame is truncated mid-bytes (a torn tail: the
+    /// remainder — including the frame terminator — never arrives, so the
+    /// next frame's bytes run straight on).
+    pub truncate_rate: f64,
+    /// Probability a frame is delayed in wall-clock time before delivery.
+    pub delay_rate: f64,
+    /// Peak extra delay for a delayed frame, milliseconds (uniform in
+    /// `[1, max]`).
+    pub max_delay_ms: u64,
+}
+
+impl TransportFaults {
+    /// No transport faults: every frame is delivered verbatim, no RNG
+    /// draws are made.
+    pub fn none() -> Self {
+        TransportFaults {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            truncate_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// Every frame fault fires with probability `rate`; delays use the
+    /// chaos-test default of up to 5 ms.
+    pub fn uniform(rate: f64) -> Self {
+        TransportFaults {
+            drop_rate: rate,
+            duplicate_rate: rate,
+            truncate_rate: rate,
+            delay_rate: rate,
+            max_delay_ms: 5,
+        }
+    }
+
+    /// `true` if every rate is zero — the mangler is a strict
+    /// pass-through.
+    pub fn is_quiescent(&self) -> bool {
+        self.drop_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && self.truncate_rate == 0.0
+            && self.delay_rate == 0.0
+    }
+
+    /// The fault stream for one dispatch attempt of one shard, derived
+    /// like [`FaultStreams::derive`](crate::FaultStreams::derive): a
+    /// retried attempt sees a fresh but equally deterministic pattern.
+    pub fn stream(seed: u64, shard: u64, attempt: u64) -> SplitMix64 {
+        let mut r = SplitMix64::new(seed);
+        for part in [shard, attempt, 6] {
+            r = SplitMix64::new(r.next_u64() ^ part.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        r
+    }
+
+    /// Draws the fate of the next frame (of `frame_len` bytes) from
+    /// `rng`. Quiescent configurations return [`FrameFate::Deliver`]
+    /// without drawing, preserving stream alignment with a no-fault run.
+    pub fn fate(&self, rng: &mut SplitMix64, frame_len: usize) -> FrameFate {
+        if self.is_quiescent() {
+            return FrameFate::Deliver;
+        }
+        if rng.next_f64() < self.drop_rate {
+            return FrameFate::Drop;
+        }
+        if rng.next_f64() < self.duplicate_rate {
+            return FrameFate::Duplicate;
+        }
+        if rng.next_f64() < self.truncate_rate {
+            // Keep at least one byte and lose at least one, so a
+            // truncation is always a real torn frame.
+            let keep =
+                if frame_len > 1 { 1 + (rng.next_u64() as usize % (frame_len - 1)) } else { 0 };
+            return FrameFate::Truncate { keep };
+        }
+        if self.delay_rate > 0.0 && rng.next_f64() < self.delay_rate {
+            let ms = 1 + rng.next_u64() % self.max_delay_ms.max(1);
+            return FrameFate::Delay { ms };
+        }
+        FrameFate::Deliver
+    }
+}
+
+/// What happens to one frame in transit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameFate {
+    /// Delivered verbatim.
+    Deliver,
+    /// Lost entirely.
+    Drop,
+    /// Delivered twice back to back.
+    Duplicate,
+    /// Only the first `keep` bytes arrive; the rest (and the frame
+    /// terminator) never do.
+    Truncate {
+        /// Bytes of the frame that survive.
+        keep: usize,
+    },
+    /// Delivered intact but `ms` milliseconds late.
+    Delay {
+        /// Extra wall-clock delay, milliseconds.
+        ms: u64,
+    },
+}
+
+/// Applies [`TransportFaults`] to a sequence of complete frames,
+/// producing the byte chunks (and delays) the receiver observes.
+#[derive(Debug)]
+pub struct FrameMangler {
+    faults: TransportFaults,
+    rng: SplitMix64,
+    dropped: u64,
+    duplicated: u64,
+    truncated: u64,
+    delayed: u64,
+}
+
+impl FrameMangler {
+    /// A mangler for one `(seed, shard, attempt)` link.
+    pub fn new(faults: TransportFaults, seed: u64, shard: u64, attempt: u64) -> Self {
+        FrameMangler {
+            faults,
+            rng: TransportFaults::stream(seed, shard, attempt),
+            dropped: 0,
+            duplicated: 0,
+            truncated: 0,
+            delayed: 0,
+        }
+    }
+
+    /// Mangles one complete frame: the bytes to forward (possibly empty,
+    /// possibly doubled, possibly a torn prefix) and any wall-clock delay
+    /// to impose before forwarding them.
+    pub fn mangle(&mut self, frame: &[u8]) -> (Vec<u8>, std::time::Duration) {
+        match self.faults.fate(&mut self.rng, frame.len()) {
+            FrameFate::Deliver => (frame.to_vec(), std::time::Duration::ZERO),
+            FrameFate::Drop => {
+                self.dropped += 1;
+                (Vec::new(), std::time::Duration::ZERO)
+            }
+            FrameFate::Duplicate => {
+                self.duplicated += 1;
+                let mut twice = frame.to_vec();
+                twice.extend_from_slice(frame);
+                (twice, std::time::Duration::ZERO)
+            }
+            FrameFate::Truncate { keep } => {
+                self.truncated += 1;
+                (frame[..keep.min(frame.len())].to_vec(), std::time::Duration::ZERO)
+            }
+            FrameFate::Delay { ms } => {
+                self.delayed += 1;
+                (frame.to_vec(), std::time::Duration::from_millis(ms))
+            }
+        }
+    }
+
+    /// Frames dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames duplicated so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated
+    }
+
+    /// Frames truncated so far.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Frames delayed so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed
+    }
+}
+
+/// How a scheduled agent-level failure strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SabotageKind {
+    /// The agent aborts the instant it has journalled its `n`th new
+    /// checkpoint record (1-based): the record is durable, the process
+    /// dies before announcing it.
+    CrashAtCheckpoint(u32),
+    /// The agent's worker wedges (stops making checkpoint progress
+    /// forever) after journalling its `n`th new record — heartbeats keep
+    /// flowing, which is exactly what the supervisor's progress watchdog
+    /// exists to catch.
+    WedgeAtCheckpoint(u32),
+    /// The *supervisor* SIGKILLs the agent upon receiving its `n`th
+    /// checkpoint frame — a kill aligned to a checkpoint boundary from
+    /// the outside.
+    KillAfterRecords(u32),
+    /// The agent appends a torn half-frame to its own shard journal
+    /// after its `n`th record, then aborts — the crash-mid-append case:
+    /// the journal's valid prefix holds `n` records and ends in garbage.
+    TearJournal(u32),
+}
+
+/// One scheduled failure, pinned to a `(shard, attempt)` so a chaos test
+/// scripts exactly which dispatch dies and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentSabotage {
+    /// The shard whose dispatch is sabotaged.
+    pub shard: u32,
+    /// The attempt number (0 = first dispatch) the sabotage strikes on.
+    pub attempt: u32,
+    /// How it strikes.
+    pub kind: SabotageKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiescent_mangler_is_a_pass_through() {
+        let mut m = FrameMangler::new(TransportFaults::none(), 1, 2, 3);
+        for payload in [&b"abc"[..], &b""[..], &[0xB1, 0x00][..]] {
+            let (out, delay) = m.mangle(payload);
+            assert_eq!(out, payload);
+            assert_eq!(delay, std::time::Duration::ZERO);
+        }
+        assert_eq!(m.dropped() + m.duplicated() + m.truncated() + m.delayed(), 0);
+    }
+
+    #[test]
+    fn fates_are_reproducible_per_attempt() {
+        let faults = TransportFaults::uniform(0.3);
+        let frame = vec![7u8; 64];
+        let run = |attempt: u64| {
+            let mut m = FrameMangler::new(faults, 0x5eed_cafe, 4, attempt);
+            (0..64).map(|_| m.mangle(&frame).0.len()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(0));
+        // A re-dispatched attempt sees a fresh pattern.
+        assert_ne!(run(0), run(1));
+    }
+
+    #[test]
+    fn truncation_always_tears_real_bytes() {
+        let faults = TransportFaults { truncate_rate: 1.0, ..TransportFaults::uniform(0.0) };
+        let mut rng = TransportFaults::stream(9, 0, 0);
+        for len in [2usize, 3, 16, 100] {
+            match faults.fate(&mut rng, len) {
+                FrameFate::Truncate { keep } => {
+                    assert!(keep >= 1 && keep < len, "keep {keep} of {len}")
+                }
+                other => panic!("expected truncation, got {other:?}"),
+            }
+        }
+    }
+}

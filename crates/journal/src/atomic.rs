@@ -1,25 +1,39 @@
 //! Atomic file output: write a temp sibling, sync it, rename over the
-//! destination.
+//! destination, sync the directory.
 //!
 //! A study that crashes while writing its reports must not leave a
 //! half-written CSV where a complete one used to be — a resumed run (or a
 //! human) reading it later would see silently truncated data. The rename
 //! is atomic on POSIX filesystems, so readers observe either the old
 //! complete file or the new complete file, never a prefix.
+//!
+//! Ordering guarantee: `sync_data` on the temp file makes the *contents*
+//! durable before the rename publishes them, and a final fsync of the
+//! parent directory makes the *rename itself* durable — without it, a
+//! power loss after `atomic_write` returns could roll the directory entry
+//! back to the old file (or to nothing, for a first write), even though
+//! the data blocks were on disk. Callers that chain work on a returned
+//! `Ok` — a supervisor re-dispatching an agent onto a freshly seeded
+//! journal, say — rely on the file surviving a crash from that point on.
 
 use std::fs::File;
 use std::io::Write as _;
 use std::path::Path;
 
-/// Writes `contents` to `path` atomically: the bytes land in a temporary
-/// sibling file (same directory, so the rename cannot cross filesystems),
-/// are synced to disk, and the temp file is renamed over `path`.
+/// Writes `contents` to `path` atomically and durably: the bytes land in
+/// a temporary sibling file (same directory, so the rename cannot cross
+/// filesystems), are synced to disk, the temp file is renamed over
+/// `path`, and the parent directory is fsynced so the rename survives a
+/// crash.
 ///
 /// # Errors
 ///
 /// Any I/O error from creating, writing, syncing, or renaming; on error
 /// the destination is untouched and the temp file is cleaned up on a
-/// best-effort basis.
+/// best-effort basis. A failure to open or sync the parent directory
+/// after a successful rename is *not* an error: the destination already
+/// holds the new contents (some filesystems — and non-POSIX platforms —
+/// do not support directory fsync at all).
 pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
     let path = path.as_ref();
     let file_name = path.file_name().ok_or_else(|| {
@@ -42,8 +56,18 @@ pub fn atomic_write(path: impl AsRef<Path>, contents: impl AsRef<[u8]>) -> std::
     })();
     if result.is_err() {
         let _ = std::fs::remove_file(&tmp);
+        return result;
     }
-    result
+    // Make the rename durable: fsync the directory entry. Best-effort —
+    // the data is already published, and not every filesystem lets a
+    // directory be opened and synced.
+    if let Some(parent) = path.parent() {
+        let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -91,5 +115,39 @@ mod tests {
     #[test]
     fn rejects_pathless_target() {
         assert!(atomic_write("/", "x").is_err());
+    }
+
+    #[test]
+    fn temp_sibling_is_a_hidden_dotted_name_beside_the_target() {
+        // The temp path is observable by squatting on it: a directory at
+        // `.NAME.tmp.PID` makes `File::create` fail, which proves both
+        // where the temp file goes and that the destination is untouched
+        // on error.
+        let dir = scratch_dir("sibling");
+        let path = dir.join("out.csv");
+        std::fs::write(&path, "old").unwrap();
+        let squatter = dir.join(format!(".out.csv.tmp.{}", std::process::id()));
+        std::fs::create_dir(&squatter).unwrap();
+        assert!(atomic_write(&path, "new").is_err());
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_cleans_its_temp_file_and_keeps_the_old_contents() {
+        // Kill the rename instead of the create: the destination's
+        // file-name slot is a directory, so the temp file is written and
+        // synced but the rename fails — the temp must then be removed.
+        let dir = scratch_dir("rename-fail");
+        let path = dir.join("occupied");
+        std::fs::create_dir(&path).unwrap();
+        std::fs::write(path.join("inner"), "x").unwrap();
+        assert!(atomic_write(&path, "new").is_err());
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(leftovers, vec!["occupied".to_string()], "temp file not cleaned up");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -196,10 +196,14 @@ mod tests {
                 .map(|(i, h)| ((0..=h.bounds().len() as u64).collect(), i as u64, i as u64 * 100))
                 .collect(),
             tracks: vec!["ondemand/rep0".into(), "a \"quoted\"\ntrack".into()],
-            sim_spans: vec![
-                SimSpan { name: "replay".into(), track: 0, start_us: 0, end_us: 40 },
-                SimSpan { name: "match".into(), track: 1, start_us: 7, end_us: 9 },
-            ],
+            sim_spans: (0..8)
+                .map(|i| SimSpan {
+                    name: if i % 2 == 0 { "replay".into() } else { "match".into() },
+                    track: i % 2,
+                    start_us: i as u64 * 10,
+                    end_us: i as u64 * 10 + 4,
+                })
+                .collect(),
             wall_spans: vec![WallRec { name: "rep".into(), worker: 2, start_ns: 10, end_ns: 55 }],
             workers: vec![(2, 45, 10)],
         }

@@ -58,11 +58,26 @@ pub enum Counter {
     WatchdogFires,
     /// Unparseable dataset lines dropped by salvage-mode ingestion.
     SalvageDroppedLines,
+    /// Shard dispatch attempts launched by the sweep supervisor
+    /// (including retries and speculative duplicates).
+    ShardsDispatched,
+    /// Shards re-dispatched after a failed or unproductive attempt.
+    ShardsRetried,
+    /// Shards abandoned after exhausting the re-dispatch budget.
+    ShardsAbandoned,
+    /// Returned shard records quarantined: corrupt frames, foreign
+    /// fingerprints or slots the shard was never assigned.
+    ShardRecordsQuarantined,
+    /// Supervisor watchdog deadlines missed: heartbeat silence or
+    /// checkpoint progress stalls that got an agent killed.
+    HeartbeatsMissed,
+    /// Straggler races won by the speculative duplicate attempt.
+    SpeculativeWins,
 }
 
 impl Counter {
     /// Every counter, in rendering order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 29] = [
         Counter::AnnotateRuns,
         Counter::StudyReps,
         Counter::RepsOk,
@@ -86,6 +101,12 @@ impl Counter {
         Counter::JournalTornRecords,
         Counter::WatchdogFires,
         Counter::SalvageDroppedLines,
+        Counter::ShardsDispatched,
+        Counter::ShardsRetried,
+        Counter::ShardsAbandoned,
+        Counter::ShardRecordsQuarantined,
+        Counter::HeartbeatsMissed,
+        Counter::SpeculativeWins,
     ];
 
     /// Stable snake-case name used by both exporters.
@@ -114,6 +135,12 @@ impl Counter {
             Counter::JournalTornRecords => "journal_torn_records",
             Counter::WatchdogFires => "watchdog_fires",
             Counter::SalvageDroppedLines => "salvage_dropped_lines",
+            Counter::ShardsDispatched => "shards_dispatched",
+            Counter::ShardsRetried => "shards_retried",
+            Counter::ShardsAbandoned => "shards_abandoned",
+            Counter::ShardRecordsQuarantined => "shard_records_quarantined",
+            Counter::HeartbeatsMissed => "heartbeats_missed",
+            Counter::SpeculativeWins => "speculative_wins",
         }
     }
 }

@@ -1,0 +1,265 @@
+//! One shard of a sweep, run to completion (or scheduled death).
+//!
+//! An agent is an ordinary journalled
+//! [`Lab::study_with`](interlag_core::experiment::Lab::study_with) under
+//! a [`StudyScope`]: slots it does not own are skipped, slots it owns are
+//! computed, journalled to its own shard journal on disk, and streamed to
+//! the supervisor as [`WireMsg::Checkpoint`] frames the instant the
+//! durable append lands. A dedicated thread keeps
+//! [`WireMsg::Heartbeat`]s flowing even when the study worker wedges —
+//! the supervisor's two watchdogs (heartbeat silence, checkpoint-progress
+//! stall) rely on that distinction.
+//!
+//! The same entry point serves both transports: `interlag agent` wraps it
+//! in a child process (crashes are real `abort()`s), the in-process
+//! [`ThreadTransport`](crate::transport::ThreadTransport) wraps it in a
+//! thread (crashes are panics the transport catches). Scheduled
+//! [`SabotageKind`] failures for chaos tests strike from inside the
+//! journal's record observer, i.e. exactly at checkpoint boundaries —
+//! after the record is durable, before anything else happens.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use interlag_core::checkpoint::{study_fingerprint, StudyJournal};
+use interlag_core::experiment::{Lab, LabConfig, StudyOptions, StudyScope, SweepStage};
+use interlag_faults::SabotageKind;
+use interlag_workloads::gen::Workload;
+
+use crate::wire::{encode_msg, WireMsg};
+
+/// How a killed or crashed agent leaves this world: a child process
+/// aborts for real, a transport thread panics with this payload so the
+/// harness can catch and classify it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentDeath;
+
+/// The cooperative kill line into a thread-mode agent. Threads cannot be
+/// SIGKILLed, so [`ThreadTransport`](crate::transport::ThreadTransport)
+/// raises this switch instead: the agent dies at its next checkpoint
+/// boundary, and a wedged agent parked on the gate dies immediately.
+#[derive(Debug, Default)]
+pub struct KillSwitch {
+    killed: AtomicBool,
+    gate: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl KillSwitch {
+    /// A switch in the "alive" position.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Orders the agent dead: wakes any wedge-parked observer and marks
+    /// every later checkpoint boundary lethal.
+    pub fn kill(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+        *self.gate.lock().expect("kill gate poisoned") = true;
+        self.cv.notify_all();
+    }
+
+    /// Has the kill been ordered?
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+
+    /// Parks the caller until [`KillSwitch::kill`] — the wedge.
+    fn park(&self) {
+        let mut released = self.gate.lock().expect("kill gate poisoned");
+        while !*released {
+            released = self.cv.wait(released).expect("kill gate poisoned");
+        }
+    }
+}
+
+/// Everything one agent run needs.
+#[derive(Debug)]
+pub struct AgentConfig {
+    /// The workload to sweep (must match the supervisor's exactly — the
+    /// study fingerprint seals that).
+    pub workload: Workload,
+    /// The lab configuration (ditto).
+    pub lab: LabConfig,
+    /// The shard of the grid this agent owns.
+    pub scope: StudyScope,
+    /// This attempt's shard journal on disk. Opened with
+    /// [`StudyJournal::resume`], so a re-dispatched attempt seeded with
+    /// its predecessor's valid prefix replays the paid-for slots.
+    pub journal_path: PathBuf,
+    /// Heartbeat period.
+    pub heartbeat: Duration,
+    /// Scheduled failure for chaos runs; `None` in production.
+    pub sabotage: Option<SabotageKind>,
+    /// `true` in a child process (die by `abort()`), `false` in a
+    /// transport thread (die by panic, caught by the harness).
+    pub abort_on_crash: bool,
+    /// Thread-mode kill line; `None` in a child process (the supervisor
+    /// SIGKILLs those).
+    pub kill: Option<Arc<KillSwitch>>,
+}
+
+/// What a surviving agent reports home.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AgentReport {
+    /// Newly computed (not replayed) repetitions this run journalled.
+    pub completed: u32,
+    /// Journal appends that failed (durability lost, sweep continued).
+    pub write_errors: u32,
+    /// The study fingerprint the shard journal records against.
+    pub fingerprint: u64,
+}
+
+fn die(abort: bool) -> ! {
+    if abort {
+        std::process::abort();
+    }
+    std::panic::panic_any(AgentDeath);
+}
+
+/// Runs one shard to completion, streaming protocol frames to `out`.
+///
+/// Write errors on `out` are swallowed: a supervisor that went away (or a
+/// mangled pipe) must not kill a healthy agent — the shard journal on
+/// disk remains the durable result, and the supervisor salvages it.
+///
+/// # Errors
+///
+/// I/O errors opening the shard journal, or a study error from the
+/// fault-exempt annotation pass. Injected faults and sabotage never
+/// surface here — sabotage kills the process/thread instead of returning.
+pub fn run_agent(
+    cfg: AgentConfig,
+    out: Box<dyn std::io::Write + Send>,
+) -> Result<AgentReport, Box<dyn std::error::Error + Send + Sync>> {
+    let trace = cfg.workload.script.record_trace();
+    let fingerprint = study_fingerprint(&trace.to_getevent_text(), &cfg.lab);
+    let mut journal = StudyJournal::resume(&cfg.journal_path, fingerprint)?;
+
+    let out = Arc::new(Mutex::new(out));
+    let send = {
+        let out = Arc::clone(&out);
+        move |msg: &WireMsg| {
+            if let Ok(mut w) = out.lock() {
+                let _ = w.write_all(&encode_msg(msg));
+                let _ = w.flush();
+            }
+        }
+    };
+    send(&WireMsg::Hello {
+        shard: cfg.scope.shard,
+        of: cfg.scope.of,
+        stage: stage_name(cfg.scope.stage).to_string(),
+        fingerprint,
+    });
+
+    let completed = Arc::new(AtomicU32::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+    let heartbeat = {
+        let send = send.clone();
+        let completed = Arc::clone(&completed);
+        let done = Arc::clone(&done);
+        let kill = cfg.kill.clone();
+        let period = cfg.heartbeat;
+        // Also stops on the kill switch: when a thread-mode agent dies by
+        // panic, `done` is never set, and the transport raises the switch
+        // instead so this thread does not outlive its agent.
+        let over =
+            move || done.load(Ordering::SeqCst) || kill.as_ref().is_some_and(|k| k.is_killed());
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            while !over() {
+                seq += 1;
+                send(&WireMsg::Heartbeat { seq, completed: completed.load(Ordering::SeqCst) });
+                // Sleep in small slices so shutdown is prompt.
+                let mut left = period;
+                while !over() && left > Duration::ZERO {
+                    let slice = left.min(Duration::from_millis(10));
+                    std::thread::sleep(slice);
+                    left = left.saturating_sub(slice);
+                }
+            }
+        })
+    };
+
+    {
+        let send = send.clone();
+        let completed = Arc::clone(&completed);
+        let sabotage = cfg.sabotage;
+        let abort = cfg.abort_on_crash;
+        let kill = cfg.kill.clone();
+        let journal_path = cfg.journal_path.clone();
+        journal.set_observer(move |record| {
+            let n = completed.fetch_add(1, Ordering::SeqCst) + 1;
+            send(&WireMsg::Checkpoint(record.clone()));
+            if let Some(kill) = &kill {
+                if kill.is_killed() {
+                    die(abort);
+                }
+            }
+            match sabotage {
+                Some(SabotageKind::CrashAtCheckpoint(at)) if n == at => die(abort),
+                Some(SabotageKind::TearJournal(at)) if n == at => {
+                    // Fake a crash mid-append: leave a torn half-frame
+                    // after the n durable records, then die.
+                    use std::io::Write as _;
+                    if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(&journal_path)
+                    {
+                        let _ = f.write_all(b"00000040 deadbeef {\"torn\":");
+                        let _ = f.sync_data();
+                    }
+                    die(abort);
+                }
+                Some(SabotageKind::WedgeAtCheckpoint(at)) if n == at => {
+                    // Heartbeats keep flowing from their own thread; the
+                    // study worker stops making progress forever (or until
+                    // a thread-mode kill releases the gate).
+                    match &kill {
+                        Some(kill) => {
+                            kill.park();
+                            die(abort);
+                        }
+                        None => loop {
+                            std::thread::sleep(Duration::from_millis(50));
+                        },
+                    }
+                }
+                _ => {}
+            }
+        });
+    }
+
+    let lab = Lab::new(cfg.lab);
+    let options =
+        StudyOptions { journal: Some(&journal), trace: Some(trace), scope: Some(cfg.scope) };
+    lab.study_with(&cfg.workload, options)?;
+
+    done.store(true, Ordering::SeqCst);
+    let _ = heartbeat.join();
+    let report = AgentReport {
+        completed: completed.load(Ordering::SeqCst),
+        write_errors: journal.write_errors() as u32,
+        fingerprint,
+    };
+    send(&WireMsg::Done { completed: report.completed, write_errors: report.write_errors });
+    Ok(report)
+}
+
+/// The wire name of a stage.
+pub fn stage_name(stage: SweepStage) -> &'static str {
+    match stage {
+        SweepStage::Stage1 => "stage1",
+        SweepStage::Oracle => "oracle",
+    }
+}
+
+/// Parses a wire stage name.
+pub fn parse_stage(name: &str) -> Option<SweepStage> {
+    match name {
+        "stage1" => Some(SweepStage::Stage1),
+        "oracle" => Some(SweepStage::Oracle),
+        _ => None,
+    }
+}

@@ -1,0 +1,58 @@
+//! # interlag-orchestrator — fault-tolerant sharded sweep orchestration
+//!
+//! The §III study is embarrassingly parallel across its `(configuration,
+//! repetition)` grid, but a single process owns every failure: one wedge,
+//! one OOM kill or one torn journal and the whole sweep restarts. This
+//! crate splits the sweep into *shard agent* processes supervised by a
+//! retrying, watchdogged parent — the fleet analogue of the per-repetition
+//! retry ladder the lab already runs:
+//!
+//! * [`grid`] — the sweep grid and its round-robin shard assignment,
+//!   computed identically (and independently) by agent and supervisor;
+//! * [`wire`] — the framed agent→supervisor protocol: CRC-framed JSON
+//!   messages over stdout, resynchronised past any damaged frame;
+//! * [`agent`] — one shard of a sweep run as a journalled
+//!   [`Lab::study_with`](interlag_core::experiment::Lab::study_with) under
+//!   a [`StudyScope`](interlag_core::experiment::StudyScope), streaming
+//!   heartbeats and checkpoint records while journalling to disk;
+//! * [`transport`] — how agents are dispatched: local child processes
+//!   ([`ProcessTransport`]) or in-process threads ([`ThreadTransport`]),
+//!   both optionally wrapped in the seeded frame-fault injector from
+//!   `interlag-faults`;
+//! * [`supervisor`] — the dispatch/retry/backoff state machine with
+//!   heartbeat and progress watchdogs, speculative re-execution of
+//!   stragglers, and graceful degradation into per-slot `Abandoned`
+//!   records when a shard exhausts its budget;
+//! * [`merge`] — byte-stable union of shard journals: fingerprint- and
+//!   CRC-validated, quarantining anything corrupt or foreign.
+//!
+//! The headline invariant: **the merged report is byte-identical to a
+//! single-process [`Lab::study`](interlag_core::experiment::Lab::study)
+//! at any shard count and under any kill schedule the retry budget
+//! absorbs.** Two properties make that cheap to guarantee: journalled
+//! records are shard-independent (the scope is not part of the study
+//! fingerprint), and the supervisor's last step is an ordinary local
+//! `study_with` replay over the merged journal — the same replay path the
+//! crash-safe resume feature already proves byte-identical.
+//!
+//! [`ProcessTransport`]: transport::ProcessTransport
+//! [`ThreadTransport`]: transport::ThreadTransport
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod agent;
+pub mod grid;
+pub mod merge;
+pub mod supervisor;
+pub mod transport;
+pub mod wire;
+
+pub use agent::{parse_stage, run_agent, stage_name, AgentConfig, AgentReport};
+pub use grid::SweepGrid;
+pub use merge::{encode_merged, merge_shard_journals, MergeOutcome};
+pub use supervisor::{run_sweep, ShardOutcome, SweepConfig, SweepOutcome};
+pub use transport::{
+    AgentEvent, AttemptKey, ProcessTransport, RunningShard, ShardTask, ThreadTransport, Transport,
+};
+pub use wire::{FrameReader, WireMsg};

@@ -1,0 +1,201 @@
+//! Byte-stable merge of shard journals.
+//!
+//! Every source — a shard journal salvaged from disk, or records streamed
+//! over the wire — passes the same gauntlet: CRC framing (torn tails
+//! dropped by `decode_records`), checkpoint decode, version stamp,
+//! study fingerprint, and slot assignment. Anything that fails is
+//! *quarantined* (counted, never merged); anything that passes lands in a
+//! slot-keyed map. Repetitions are pure functions of their coordinates,
+//! so two sources can only ever disagree about a slot by one of them
+//! being foreign or corrupt — which the gauntlet already removed — and
+//! first-wins deduplication is safe.
+//!
+//! [`encode_merged`] then writes the map in slot order: the merged
+//! journal's bytes depend only on *which* slots were recovered, not on
+//! shard count, arrival order, retry history or kill schedule.
+
+use std::collections::BTreeMap;
+
+use interlag_core::checkpoint::{
+    decode_checkpoint_any, encode_checkpoint, encode_checkpoint_binary, CheckpointFormat,
+    CheckpointRecord,
+};
+use interlag_journal::{decode_records, encode_record, encode_record_binary};
+
+/// The accumulating result of merging any number of record sources.
+#[derive(Debug, Default)]
+pub struct MergeOutcome {
+    /// Accepted records, keyed (and ordered) by `(config, rep)`.
+    pub records: BTreeMap<(usize, u32), CheckpointRecord>,
+    /// Records rejected by the gauntlet: undecodable payloads, foreign
+    /// fingerprints or versions, slots the source was never assigned.
+    pub quarantined: u64,
+    /// Torn framing fragments dropped from journal byte sources.
+    pub torn: u64,
+    /// Well-formed records for slots already merged (normal under
+    /// retries and speculative duplicates; informational only).
+    pub duplicates: u64,
+}
+
+impl MergeOutcome {
+    /// An empty merge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers one already-decoded record (e.g. streamed over the wire).
+    /// Returns `true` if it was merged, `false` if quarantined or a
+    /// duplicate.
+    ///
+    /// Order matters: a record for an already-merged slot is a
+    /// *duplicate* even when this source was never assigned the slot —
+    /// attempt journals are seeded with everything merged so far (the
+    /// replay prefix), so re-reading a seed is routine, while an
+    /// unassigned slot nobody has produced yet is quarantined.
+    pub fn absorb_record(
+        &mut self,
+        record: CheckpointRecord,
+        fingerprint: u64,
+        allowed: impl Fn(usize, u32) -> bool,
+    ) -> bool {
+        if record.fingerprint != fingerprint {
+            self.quarantined += 1;
+            return false;
+        }
+        if self.records.contains_key(&(record.config, record.rep)) {
+            self.duplicates += 1;
+            return false;
+        }
+        if !allowed(record.config, record.rep) {
+            self.quarantined += 1;
+            return false;
+        }
+        self.records.insert((record.config, record.rep), record);
+        true
+    }
+
+    /// Offers the raw bytes of one shard journal: decodes the longest
+    /// valid frame prefix, then runs every payload through the gauntlet.
+    pub fn absorb_journal(
+        &mut self,
+        bytes: &[u8],
+        fingerprint: u64,
+        allowed: impl Fn(usize, u32) -> bool,
+    ) {
+        let decoded = decode_records(bytes);
+        self.torn += decoded.torn as u64;
+        for payload in &decoded.records {
+            match decode_checkpoint_any(payload) {
+                Some(record) => {
+                    self.absorb_record(record, fingerprint, &allowed);
+                }
+                None => self.quarantined += 1,
+            }
+        }
+    }
+}
+
+/// Merges any number of shard journal byte sources in one call.
+pub fn merge_shard_journals<'a>(
+    sources: impl IntoIterator<Item = &'a [u8]>,
+    fingerprint: u64,
+    allowed: impl Fn(usize, u32) -> bool,
+) -> MergeOutcome {
+    let mut out = MergeOutcome::new();
+    for bytes in sources {
+        out.absorb_journal(bytes, fingerprint, &allowed);
+    }
+    out
+}
+
+/// Encodes merged records as one journal, in slot order — the byte-stable
+/// artifact the final local replay resumes from.
+pub fn encode_merged(
+    records: &BTreeMap<(usize, u32), CheckpointRecord>,
+    format: CheckpointFormat,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    for record in records.values() {
+        match format {
+            CheckpointFormat::Json => out.extend(
+                encode_record(&encode_checkpoint(record)).expect("checkpoint JSON is line-safe"),
+            ),
+            CheckpointFormat::Binary => {
+                out.extend(encode_record_binary(&encode_checkpoint_binary(record)));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interlag_core::experiment::{placeholder_result, RepOutcome};
+
+    fn record(fingerprint: u64, config: usize, rep: u32) -> CheckpointRecord {
+        CheckpointRecord::new(
+            fingerprint,
+            config,
+            rep,
+            &placeholder_result("merge-test"),
+            &RepOutcome::Ok,
+        )
+    }
+
+    fn journal_of(records: &[CheckpointRecord], format: CheckpointFormat) -> Vec<u8> {
+        let map: BTreeMap<(usize, u32), CheckpointRecord> =
+            records.iter().map(|r| ((r.config, r.rep), r.clone())).collect();
+        encode_merged(&map, format)
+    }
+
+    #[test]
+    fn merge_is_independent_of_source_partitioning() {
+        let records: Vec<CheckpointRecord> = (0..6).map(|i| record(7, i, 0)).collect();
+        let whole = journal_of(&records, CheckpointFormat::Binary);
+        let merged_whole = merge_shard_journals([whole.as_slice()], 7, |_, _| true);
+        // Split the same records across three interleaved shard journals
+        // in mixed formats.
+        let shards: Vec<Vec<u8>> = (0..3)
+            .map(|s| {
+                let subset: Vec<CheckpointRecord> =
+                    records.iter().filter(|r| r.config % 3 == s).cloned().collect();
+                let fmt = if s == 1 { CheckpointFormat::Json } else { CheckpointFormat::Binary };
+                journal_of(&subset, fmt)
+            })
+            .collect();
+        let merged_shards = merge_shard_journals(shards.iter().map(Vec::as_slice), 7, |_, _| true);
+        assert_eq!(merged_shards.records, merged_whole.records);
+        // And the re-encoded merged journal is byte-identical either way.
+        assert_eq!(
+            encode_merged(&merged_shards.records, CheckpointFormat::Binary),
+            encode_merged(&merged_whole.records, CheckpointFormat::Binary),
+        );
+    }
+
+    #[test]
+    fn foreign_and_unassigned_records_are_quarantined() {
+        let good = record(7, 1, 0);
+        let foreign = record(8, 2, 0);
+        let unassigned = record(7, 3, 0);
+        let bytes = journal_of(&[good.clone(), foreign, unassigned], CheckpointFormat::Binary);
+        let merged = merge_shard_journals([bytes.as_slice()], 7, |c, _| c < 3);
+        assert_eq!(merged.records.len(), 1);
+        assert!(merged.records.contains_key(&(1, 0)));
+        assert_eq!(merged.quarantined, 2);
+    }
+
+    #[test]
+    fn torn_tails_and_duplicates_are_counted_not_merged() {
+        let a = record(7, 0, 0);
+        let mut bytes = journal_of(std::slice::from_ref(&a), CheckpointFormat::Json);
+        let torn = journal_of(&[record(7, 1, 0)], CheckpointFormat::Json);
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        let dup = journal_of(&[a], CheckpointFormat::Binary);
+        let merged = merge_shard_journals([bytes.as_slice(), dup.as_slice()], 7, |_, _| true);
+        assert_eq!(merged.records.len(), 1);
+        assert_eq!(merged.torn, 1);
+        assert_eq!(merged.duplicates, 1);
+        assert_eq!(merged.quarantined, 0);
+    }
+}

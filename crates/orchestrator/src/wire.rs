@@ -1,0 +1,189 @@
+//! The agent→supervisor wire protocol.
+//!
+//! Agents speak a line-oriented stream of CRC-framed JSON messages over
+//! stdout, using `interlag-journal`'s *text* framing (`len crc payload\n`)
+//! so one codec covers both the on-disk journal and the pipe. The
+//! supervisor feeds raw pipe bytes into a [`FrameReader`], which
+//! resynchronises on newlines: a dropped, truncated or bit-flipped frame
+//! damages exactly the lines it touches — counted, quarantined, never
+//! misparsed — and decoding resumes at the next intact frame.
+
+use interlag_core::checkpoint::CheckpointRecord;
+use interlag_journal::{decode_records, encode_record};
+use serde::{Deserialize, Serialize};
+
+/// One protocol message. Every variant is idempotent or slot-keyed, so
+/// duplicated frames are harmless and dropped frames cost only latency
+/// (the on-disk shard journal remains the durable source of truth).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireMsg {
+    /// First message of a dispatch: who I am and what I'm sweeping.
+    /// A fingerprint mismatch means the agent is running a different
+    /// study than the supervisor thinks — everything it sends is foreign.
+    Hello {
+        /// Shard index within the wave.
+        shard: u32,
+        /// Total shards in the wave.
+        of: u32,
+        /// `"stage1"` or `"oracle"`.
+        stage: String,
+        /// The agent's `study_fingerprint` of its trace and lab config.
+        fingerprint: u64,
+    },
+    /// Liveness beacon, sent on a timer from a dedicated thread — flows
+    /// even when the study worker wedges, which is exactly how the
+    /// supervisor tells a wedge (progress watchdog) from a death
+    /// (heartbeat watchdog).
+    Heartbeat {
+        /// Monotonic per-attempt sequence number.
+        seq: u64,
+        /// Repetitions journalled so far this attempt.
+        completed: u32,
+    },
+    /// One journalled repetition, streamed right after its durable
+    /// append.
+    Checkpoint(CheckpointRecord),
+    /// The shard finished its slots; final counts for the supervisor's
+    /// coverage check.
+    Done {
+        /// Repetitions this attempt journalled (new, not replayed).
+        completed: u32,
+        /// Journal appends that failed on the agent side.
+        write_errors: u32,
+    },
+}
+
+/// Encodes one message as a framed line (with trailing newline).
+pub fn encode_msg(msg: &WireMsg) -> Vec<u8> {
+    let payload = serde_json::to_string(msg).expect("wire messages always serialise");
+    encode_record(payload.as_bytes()).expect("JSON payloads are line-safe")
+}
+
+/// Incremental decoder for the supervisor's end of the pipe.
+///
+/// Push raw bytes in as they arrive; complete, checksum-valid frames come
+/// out as [`WireMsg`]s. Damaged lines are counted in
+/// [`FrameReader::garbage`] and skipped; an incomplete trailing line is
+/// held until its newline arrives.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    garbage: u64,
+}
+
+impl FrameReader {
+    /// A reader with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds bytes in; returns every message completed by them.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<WireMsg> {
+        self.buf.extend_from_slice(bytes);
+        let mut msgs = Vec::new();
+        while let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = self.buf.drain(..=nl).collect();
+            if line.len() == 1 {
+                continue; // bare newline: torn remnant, nothing to count
+            }
+            let decoded = decode_records(&line);
+            match decoded.records.first() {
+                Some(payload) if decoded.torn == 0 => {
+                    match std::str::from_utf8(payload)
+                        .ok()
+                        .and_then(|text| serde_json::from_str::<WireMsg>(text).ok())
+                    {
+                        Some(msg) => msgs.push(msg),
+                        None => self.garbage += 1,
+                    }
+                }
+                _ => self.garbage += 1,
+            }
+        }
+        msgs
+    }
+
+    /// Damaged or unparseable frames skipped so far.
+    pub fn garbage(&self) -> u64 {
+        self.garbage
+    }
+
+    /// Bytes held back waiting for a newline (a torn tail if the stream
+    /// has ended).
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heartbeat(seq: u64) -> WireMsg {
+        WireMsg::Heartbeat { seq, completed: seq as u32 }
+    }
+
+    #[test]
+    fn messages_round_trip_through_split_deliveries() {
+        let msgs = vec![
+            WireMsg::Hello { shard: 2, of: 4, stage: "stage1".into(), fingerprint: 0xfeed },
+            heartbeat(1),
+            WireMsg::Done { completed: 5, write_errors: 0 },
+        ];
+        let bytes: Vec<u8> = msgs.iter().flat_map(encode_msg).collect();
+        // Deliver one byte at a time: framing must not depend on chunking.
+        let mut r = FrameReader::new();
+        let mut out = Vec::new();
+        for b in &bytes {
+            out.extend(r.push(std::slice::from_ref(b)));
+        }
+        assert_eq!(out, msgs);
+        assert_eq!(r.garbage(), 0);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn damaged_frames_are_skipped_and_counted() {
+        let mut r = FrameReader::new();
+        let mut bytes = encode_msg(&heartbeat(1));
+        // A torn frame: its tail (and terminator) lost, the next frame's
+        // bytes running straight on — exactly what FrameFate::Truncate
+        // produces. Resync is per *line*, so the frame sharing the torn
+        // frame's line is collateral damage; decoding resumes at the
+        // next line.
+        let torn = encode_msg(&heartbeat(2));
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        bytes.extend(encode_msg(&heartbeat(3)));
+        // A bit flip inside an otherwise intact frame.
+        let mut flipped = encode_msg(&heartbeat(4));
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        bytes.extend(&flipped);
+        bytes.extend(encode_msg(&heartbeat(5)));
+        let out = r.push(&bytes);
+        assert_eq!(out, vec![heartbeat(1), heartbeat(5)]);
+        assert_eq!(r.garbage(), 2);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn duplicated_frames_decode_twice() {
+        let frame = encode_msg(&heartbeat(7));
+        let mut doubled = frame.clone();
+        doubled.extend_from_slice(&frame);
+        let mut r = FrameReader::new();
+        assert_eq!(r.push(&doubled), vec![heartbeat(7), heartbeat(7)]);
+        assert_eq!(r.garbage(), 0);
+    }
+
+    #[test]
+    fn incomplete_tail_is_held_not_dropped() {
+        let frame = encode_msg(&heartbeat(9));
+        let (head, tail) = frame.split_at(frame.len() - 3);
+        let mut r = FrameReader::new();
+        assert!(r.push(head).is_empty());
+        assert_eq!(r.pending(), head.len());
+        assert_eq!(r.push(tail), vec![heartbeat(9)]);
+        assert_eq!(r.garbage(), 0);
+    }
+}

@@ -9,6 +9,12 @@
 //!                    [--events FILE] [--strict]
 //!                    [--journal FILE] [--resume]  the full §III study
 //! interlag oracle <DS>                       the oracle's per-lag decisions
+//! interlag sweep <DS> [-r REPS] [--shards N] [--journal-dir DIR]
+//!                     [--retry-budget N] [--heartbeat-ms MS]
+//!                     [--watchdog-ms MS]       the study, sharded across
+//!                                              supervised agent processes
+//! interlag agent <DS> -r REPS --shard S --of N --stage STAGE
+//!                     --journal FILE           one shard (spawned by sweep)
 //! ```
 //!
 //! Datasets: `01 02 03 04 05 24hour mini`. Governors: `ondemand
@@ -17,20 +23,27 @@
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage error,
 //! `3` corrupt dataset, `4` study resumed but some repetitions remain
-//! timed out or abandoned.
+//! timed out or abandoned, `5` sweep completed degraded (some shards
+//! were abandoned; their repetitions carry `Abandoned` causes).
 
 use std::io::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use interlag::core::checkpoint::{study_fingerprint, StudyJournal};
+use interlag::core::experiment::StudyScope;
 use interlag::core::experiment::{Lab, LabConfig, StudyOptions};
 use interlag::core::ingest::{load_trace_bytes, IngestMode, IngestReport};
 use interlag::core::report::{oracle_csv, profile_csv, study_csv, study_markdown_with_ingest};
 use interlag::device::dvfs::{FixedGovernor, Governor};
 use interlag::evdev::classify::{classify_trace, count_inputs, ClassifierConfig};
 use interlag::evdev::trace::EventTrace;
+use interlag::faults::{AgentSabotage, SabotageKind, TransportFaults};
 use interlag::governors::{Conservative, Interactive, Ondemand, Performance, Powersave, Schedutil};
 use interlag::journal::atomic_write;
+use interlag::orchestrator::{
+    parse_stage, run_agent, run_sweep, AgentConfig, ProcessTransport, SweepConfig,
+};
 use interlag::power::opp::Frequency;
 use interlag::workloads::datasets::Dataset;
 use interlag::workloads::gen::Workload;
@@ -42,6 +55,10 @@ const EXIT_CORRUPT_DATASET: u8 = 3;
 /// Exit code for a resumed study that completed with timed-out or
 /// abandoned repetitions still in it.
 const EXIT_RESUMED_DEGRADED: u8 = 4;
+/// Exit code for a sharded sweep that completed but abandoned one or
+/// more shards: the report is whole, some repetitions are synthesised
+/// `Abandoned` placeholders rather than measurements.
+const EXIT_SWEEP_DEGRADED: u8 = 5;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -64,11 +81,22 @@ fn usage() -> ExitCode {
          \x20                                  (.json/.jsonl: JSON lines, else binary),\n\
          \x20                                  --resume replays a prior journal\n\
          \x20 oracle <DS>                      the oracle's per-lag decisions\n\
+         \x20 sweep <DS> [-r REPS] [--shards N] [--journal-dir DIR]\n\
+         \x20            [--retry-budget N] [--heartbeat-ms MS] [--watchdog-ms MS]\n\
+         \x20            [--markdown] [--sabotage KIND@CKPT:SHARD:ATTEMPT]\n\
+         \x20                                  the study, sharded across supervised\n\
+         \x20                                  agent processes; exits 5 if any shard\n\
+         \x20                                  was abandoned (degraded report)\n\
+         \x20 agent <DS> -r REPS --shard S --of N --stage stage1|oracle\n\
+         \x20            --journal FILE [--heartbeat-ms MS] [--sabotage KIND@CKPT]\n\
+         \x20                                  one shard of a sweep (spawned by sweep;\n\
+         \x20                                  speaks framed messages on stdout)\n\
          \n\
          datasets: 01 02 03 04 05 24hour mini\n\
          governors: ondemand conservative interactive schedutil performance powersave <freq>GHz\n\
          exit codes: 0 ok, 1 failure, 2 usage, 3 corrupt dataset,\n\
-         \x20           4 resumed study still has timed-out/abandoned reps"
+         \x20           4 resumed study still has timed-out/abandoned reps,\n\
+         \x20           5 sweep completed degraded (abandoned shards)"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -307,7 +335,7 @@ fn cmd_study(w: &Workload, args: StudyArgs) -> ExitCode {
     };
 
     let lab = Lab::new(lab_config);
-    let options = StudyOptions { journal: journal.as_ref(), trace: Some(trace) };
+    let options = StudyOptions { journal: journal.as_ref(), trace: Some(trace), scope: None };
     let study = match lab.study_with(w, options) {
         Ok(study) => study,
         Err(e) => {
@@ -383,6 +411,194 @@ fn cmd_study(w: &Workload, args: StudyArgs) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Every occurrence of a repeatable flag's value (`--sabotage A --sabotage B`).
+fn flag_values(args: &[String], names: &[&str]) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| names.contains(&a.as_str()))
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// Parses an agent-side sabotage flag: `crash@N`, `wedge@N`, `tear@N`.
+fn parse_agent_sabotage(flag: &str) -> Option<SabotageKind> {
+    let (kind, at) = flag.split_once('@')?;
+    let at: u32 = at.parse().ok()?;
+    match kind {
+        "crash" => Some(SabotageKind::CrashAtCheckpoint(at)),
+        "wedge" => Some(SabotageKind::WedgeAtCheckpoint(at)),
+        "tear" => Some(SabotageKind::TearJournal(at)),
+        _ => None,
+    }
+}
+
+/// Parses a supervisor sabotage schedule entry,
+/// `KIND@CKPT:SHARD:ATTEMPT` (e.g. `crash@2:0:0`; `ATTEMPT` may be `*`
+/// for every attempt the retry budget allows). `kill` is the
+/// supervisor-side kill at the Nth received checkpoint frame.
+fn parse_sweep_sabotage(entry: &str, budget: u32) -> Option<Vec<AgentSabotage>> {
+    let mut parts = entry.split(':');
+    let kind_at = parts.next()?;
+    let shard: u32 = parts.next()?.parse().ok()?;
+    let attempt = parts.next()?;
+    if parts.next().is_some() {
+        return None;
+    }
+    let (kind, at) = kind_at.split_once('@')?;
+    let at: u32 = at.parse().ok()?;
+    let kind = match kind {
+        "crash" => SabotageKind::CrashAtCheckpoint(at),
+        "wedge" => SabotageKind::WedgeAtCheckpoint(at),
+        "tear" => SabotageKind::TearJournal(at),
+        "kill" => SabotageKind::KillAfterRecords(at),
+        _ => return None,
+    };
+    let attempts: Vec<u32> =
+        if attempt == "*" { (0..=budget).collect() } else { vec![attempt.parse().ok()?] };
+    Some(attempts.into_iter().map(|attempt| AgentSabotage { shard, attempt, kind }).collect())
+}
+
+/// `interlag agent`: one shard of a sweep, normally spawned by
+/// `interlag sweep`. Speaks framed [`interlag::orchestrator::WireMsg`]s
+/// on stdout; the shard journal on disk is the durable result.
+fn cmd_agent(w: &Workload, args: &[String]) -> ExitCode {
+    let reps = flag_value(args, &["-r", "--reps"]).and_then(|v| v.parse().ok()).unwrap_or(1);
+    let Some(shard) = flag_value(args, &["--shard"]).and_then(|v| v.parse().ok()) else {
+        eprintln!("interlag: agent requires --shard N");
+        return usage();
+    };
+    let Some(of) = flag_value(args, &["--of"]).and_then(|v| v.parse().ok()) else {
+        eprintln!("interlag: agent requires --of N");
+        return usage();
+    };
+    let Some(stage) = flag_value(args, &["--stage"]).as_deref().and_then(parse_stage) else {
+        eprintln!("interlag: agent requires --stage stage1|oracle");
+        return usage();
+    };
+    let Some(journal) = flag_value(args, &["--journal"]) else {
+        eprintln!("interlag: agent requires --journal FILE");
+        return usage();
+    };
+    let heartbeat =
+        flag_value(args, &["--heartbeat-ms"]).and_then(|v| v.parse().ok()).unwrap_or(1_000u64);
+    let sabotage = match flag_value(args, &["--sabotage"]) {
+        None => None,
+        Some(flag) => match parse_agent_sabotage(&flag) {
+            Some(kind) => Some(kind),
+            None => {
+                eprintln!("interlag: bad --sabotage {flag:?} (crash@N, wedge@N, tear@N)");
+                return usage();
+            }
+        },
+    };
+    let cfg = AgentConfig {
+        workload: w.clone(),
+        lab: LabConfig { reps, ..Default::default() },
+        scope: StudyScope { shard, of, stage },
+        journal_path: journal.into(),
+        heartbeat: Duration::from_millis(heartbeat),
+        sabotage,
+        abort_on_crash: true,
+        kill: None,
+    };
+    match run_agent(cfg, Box::new(std::io::stdout())) {
+        Ok(report) => {
+            eprintln!(
+                "interlag agent {shard}/{of}: {} repetition(s) journalled, {} write error(s)",
+                report.completed, report.write_errors
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("interlag: agent failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `interlag sweep`: the full study, partitioned across supervised
+/// `interlag agent` child processes and merged byte-identically.
+fn cmd_sweep(w: &Workload, dataset: &str, args: &[String]) -> ExitCode {
+    let reps = flag_value(args, &["-r", "--reps"]).and_then(|v| v.parse().ok()).unwrap_or(1);
+    let shards = flag_value(args, &["--shards"]).and_then(|v| v.parse().ok()).unwrap_or(4u32);
+    let journal_dir = flag_value(args, &["--journal-dir"]).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("interlag-sweep-{}-{}", w.name, std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    let mut cfg = SweepConfig::new(shards, journal_dir);
+    if let Some(budget) = flag_value(args, &["--retry-budget"]).and_then(|v| v.parse().ok()) {
+        cfg.retry_budget = budget;
+    }
+    let heartbeat =
+        flag_value(args, &["--heartbeat-ms"]).and_then(|v| v.parse().ok()).unwrap_or(250u64);
+    if let Some(ms) = flag_value(args, &["--watchdog-ms"]).and_then(|v| v.parse::<u64>().ok()) {
+        cfg.heartbeat_timeout = Duration::from_millis(ms);
+    }
+    cfg.heartbeat_timeout = cfg.heartbeat_timeout.max(Duration::from_millis(heartbeat * 4));
+    let mut sabotage = Vec::new();
+    for entry in flag_values(args, &["--sabotage"]) {
+        match parse_sweep_sabotage(&entry, cfg.retry_budget) {
+            Some(mut parsed) => sabotage.append(&mut parsed),
+            None => {
+                eprintln!(
+                    "interlag: bad --sabotage {entry:?} \
+                     (KIND@CKPT:SHARD:ATTEMPT, kinds crash wedge tear kill, attempt may be *)"
+                );
+                return usage();
+            }
+        }
+    }
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(e) => {
+            eprintln!("interlag: cannot locate own binary to spawn agents: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut transport = ProcessTransport {
+        exe,
+        dataset: dataset.to_string(),
+        reps,
+        heartbeat: Duration::from_millis(heartbeat),
+        faults: TransportFaults::none(),
+        fault_seed: 0,
+        sabotage,
+    };
+    let lab = LabConfig { reps, ..Default::default() };
+    let out = match run_sweep(w, lab, &mut transport, &cfg) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("interlag: sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.iter().any(|a| a == "--markdown") {
+        print!("{}", study_markdown_with_ingest(&out.study, &IngestReport::default()));
+    } else {
+        print!("{}", study_csv(&out.study));
+    }
+    let retried: u32 = out.shards.iter().map(|s| s.attempts.saturating_sub(1)).sum();
+    eprintln!(
+        "interlag sweep: {} shard dispatch(es) over 2 waves, {} retried, {} abandoned; \
+         {} torn fragment(s), {} quarantined record(s); merged journal {}",
+        out.shards.len(),
+        retried,
+        out.shards.iter().filter(|s| s.abandoned.is_some()).count(),
+        out.torn,
+        out.quarantined,
+        out.merged_journal.display(),
+    );
+    if out.degraded {
+        eprintln!(
+            "interlag: sweep degraded: abandoned shards left synthesised Abandoned repetition(s)"
+        );
+        return ExitCode::from(EXIT_SWEEP_DEGRADED);
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_oracle(w: &Workload) -> ExitCode {
     let lab = Lab::new(LabConfig::default());
     let study = match lab.study(w) {
@@ -404,7 +620,7 @@ fn main() -> ExitCode {
     };
     match command {
         "datasets" => cmd_datasets(),
-        "record" | "classify" | "replay" | "study" | "oracle" => {
+        "record" | "classify" | "replay" | "study" | "oracle" | "sweep" | "agent" => {
             let Some(target) = args.get(1) else { return usage() };
             if command == "classify" {
                 return cmd_classify(target);
@@ -446,6 +662,8 @@ fn main() -> ExitCode {
                     )
                 }
                 "oracle" => cmd_oracle(&w),
+                "sweep" => cmd_sweep(&w, target, &args),
+                "agent" => cmd_agent(&w, &args),
                 _ => unreachable!("matched above"),
             }
         }

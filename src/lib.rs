@@ -20,6 +20,7 @@
 //! | [`obs`] | `interlag-obs` | spans, counters, histograms, trace/report exporters |
 //! | [`journal`] | `interlag-journal` | checkpoint journal, atomic writes, watchdog tokens |
 //! | [`core`] | `interlag-core` | suggester, matcher, irritation metric, oracle, lab |
+//! | [`orchestrator`] | `interlag-orchestrator` | sharded sweeps: agents, supervisor, byte-stable merge |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use interlag_faults as faults;
 pub use interlag_governors as governors;
 pub use interlag_journal as journal;
 pub use interlag_obs as obs;
+pub use interlag_orchestrator as orchestrator;
 pub use interlag_power as power;
 pub use interlag_video as video;
 pub use interlag_workloads as workloads;

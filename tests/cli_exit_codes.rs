@@ -1,6 +1,7 @@
 //! The CLI's exit-code contract, end to end against the real binary:
 //! 0 = success, 2 = usage error, 3 = corrupt dataset under `--strict`,
-//! 4 = a resumed study that still carries timed-out or abandoned reps.
+//! 4 = a resumed study that still carries timed-out or abandoned reps,
+//! 5 = a sharded sweep that completed degraded (abandoned shards).
 //! Automation scripts branch on these, so they are tested as an
 //! interface, not an implementation detail.
 
@@ -99,6 +100,44 @@ fn resume_with_degraded_reps_exits_four() {
     ]));
     assert_eq!(code, 4, "a resumed-but-degraded study must flag its holes");
     let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn degraded_sweep_exits_five() {
+    // A shard whose agent crashes on every attempt its (zeroed) retry
+    // budget allows is abandoned: the sweep still writes a complete
+    // report, and the exit code must say "degraded", distinct from both
+    // success and runtime failure.
+    let dir = temp_path("sweep-degraded");
+    let _ = std::fs::remove_dir_all(&dir);
+    let code = exit_code(interlag_cmd().args([
+        "sweep",
+        "mini",
+        "--shards",
+        "2",
+        "--retry-budget",
+        "0",
+        "--sabotage",
+        "crash@1:0:*",
+        "--journal-dir",
+        dir.to_str().expect("utf-8 temp path"),
+    ]));
+    assert_eq!(code, 5, "an abandoned shard must surface as exit 5");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_usage_errors_exit_two() {
+    assert_eq!(
+        exit_code(interlag_cmd().args(["sweep", "mini", "--sabotage", "explode@1:0:0"])),
+        2,
+        "unknown sabotage kind"
+    );
+    assert_eq!(
+        exit_code(interlag_cmd().args(["agent", "mini", "--shard", "0"])),
+        2,
+        "agent without --of/--stage/--journal"
+    );
 }
 
 #[test]

@@ -1,0 +1,113 @@
+//! End-to-end sharded-sweep orchestration against the real binary:
+//! `interlag sweep` spawns real `interlag agent` child processes over
+//! pipes, kills some of them for real (an agent crash is an `abort()`),
+//! and must still print a report **byte-identical** to the plain
+//! single-process `interlag study` — at any shard count and under any
+//! kill schedule the retry budget absorbs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn interlag_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_interlag"))
+}
+
+fn run(args: &[&str]) -> Output {
+    interlag_cmd().args(args).output().expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("interlag-e2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The single-process study report every sweep must reproduce.
+fn baseline() -> Vec<u8> {
+    let out = run(&["study", "mini", "-r", "2"]);
+    assert!(out.status.success(), "baseline study failed: {:?}", out);
+    assert!(!out.stdout.is_empty());
+    out.stdout
+}
+
+#[test]
+fn sweep_report_is_byte_identical_to_study_at_every_shard_count() {
+    let expected = baseline();
+    for shards in ["1", "4", "8"] {
+        let dir = temp_dir(&format!("clean-{shards}"));
+        let out = run(&[
+            "sweep",
+            "mini",
+            "-r",
+            "2",
+            "--shards",
+            shards,
+            "--journal-dir",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{shards} shards: {}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(out.stdout, expected, "{shards} shards diverged from the single-process study");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn killed_agents_within_budget_leave_the_report_byte_identical() {
+    let expected = baseline();
+    // Three deterministic kill schedules: a real SIGABRT at a checkpoint
+    // boundary, a supervisor-side SIGKILL on a received record, and a
+    // crash that leaves a torn half-frame in the shard journal.
+    for (tag, sabotage) in
+        [("crash", "crash@2:0:0"), ("kill", "kill@1:1:0"), ("tear", "tear@1:2:0")]
+    {
+        let dir = temp_dir(&format!("sab-{tag}"));
+        let out = run(&[
+            "sweep",
+            "mini",
+            "-r",
+            "2",
+            "--shards",
+            "4",
+            "--sabotage",
+            sabotage,
+            "--journal-dir",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "{tag}: sweep should absorb the kill: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(out.stdout, expected, "{tag}: kill schedule changed the report bytes");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("1 retried"), "{tag}: expected one retry, got: {stderr}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn degraded_sweep_still_prints_a_complete_report() {
+    let expected = baseline();
+    let dir = temp_dir("degraded");
+    let out = run(&[
+        "sweep",
+        "mini",
+        "-r",
+        "2",
+        "--shards",
+        "2",
+        "--retry-budget",
+        "0",
+        "--sabotage",
+        "crash@1:0:*",
+        "--journal-dir",
+        dir.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{}", String::from_utf8_lossy(&out.stderr));
+    // Same shape as the clean report — every configuration, every
+    // repetition row — only the abandoned slots' values differ.
+    let count = |bytes: &[u8]| bytes.iter().filter(|&&b| b == b'\n').count();
+    assert_eq!(count(&out.stdout), count(&expected), "degraded report must not drop rows");
+    assert_ne!(out.stdout, expected, "abandoned slots must be visible in the report");
+    let _ = std::fs::remove_dir_all(&dir);
+}
