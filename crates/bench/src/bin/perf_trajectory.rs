@@ -1,7 +1,7 @@
 //! `perf_trajectory` — the tracked performance trajectory of the raw-speed
-//! frame pipeline, emitted as machine-readable JSON (`BENCH_7.json`).
+//! frame pipeline, emitted as machine-readable JSON (`BENCH_8.json`).
 //!
-//! Six sections, each timing the optimised path against the baseline it
+//! Seven sections, each timing the optimised path against the baseline it
 //! replaced:
 //!
 //! 1. **kernel** — the chunked-u64 diff kernels against the per-pixel
@@ -15,6 +15,10 @@
 //! 6. **shard_merge** — the sweep supervisor's journal-merge gauntlet
 //!    (CRC framing, decode, fingerprint, slot dedup, canonical
 //!    re-encode) across shard counts.
+//! 7. **db_ingest** — the results database's full ingest gauntlet
+//!    (content addressing, manifest validation, fingerprint and slot
+//!    checks, staged sketch fold, atomic persist) over a synthetic
+//!    fleet of sealed submissions.
 //!
 //! Usage: `cargo run --release -p interlag-bench --bin perf_trajectory
 //! [-- --quick] [--out FILE]`. `--quick` shrinks sample counts for CI;
@@ -294,6 +298,71 @@ fn shard_merge_section(records: usize, samples: usize) -> Vec<ShardMergeNumbers>
         .collect()
 }
 
+struct DbIngestNumbers {
+    submissions: usize,
+    records: usize,
+    submissions_per_s: f64,
+    records_per_s: f64,
+}
+
+/// Ingest throughput of the results database: a fleet of sealed
+/// submissions (each a manifest frame plus binary checkpoint frames)
+/// pushed through the full gauntlet — content addressing, manifest and
+/// fingerprint validation, slot dedup, staged sketch fold, atomic
+/// persist — into a fresh store per timed pass.
+fn db_ingest_section(submissions: usize, samples: usize) -> DbIngestNumbers {
+    use interlag_db::{seal_submission, Db, SubmissionManifest, SUBMISSION_SCHEMA};
+    let reps_per_submission = 4u32;
+    let artifacts: Vec<Vec<u8>> = (0..submissions as u64)
+        .map(|device| {
+            let fingerprint = 0x5eed_f00d + device;
+            let mut records = std::collections::BTreeMap::new();
+            for config in 0..2usize {
+                for rep in 0..reps_per_submission {
+                    let mut record = sample_checkpoint(rep);
+                    record.fingerprint = fingerprint;
+                    record.config = config;
+                    records.insert((config, rep), record);
+                }
+            }
+            let manifest = SubmissionManifest {
+                schema: SUBMISSION_SCHEMA.to_string(),
+                fingerprint,
+                device_model: "sim14".to_string(),
+                workload: "trajectory".to_string(),
+                reps: reps_per_submission,
+                configs: vec!["ondemand".to_string(), "oracle".to_string()],
+                records: 0,
+                props: vec![format!("device-seed={device}")],
+            };
+            seal_submission(
+                &manifest,
+                &records,
+                interlag_core::checkpoint::CheckpointFormat::Binary,
+            )
+        })
+        .collect();
+    let records = submissions * 2 * reps_per_submission as usize;
+    let dir = std::env::temp_dir().join(format!("interlag-trajectory-db-{}", std::process::id()));
+    let secs = time_median(samples, || {
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut db = Db::open(&dir, interlag_obs::Recorder::disabled()).expect("open store");
+        let mut folded = 0u64;
+        for artifact in &artifacts {
+            folded += db.ingest_bytes(artifact).expect("valid submission").reps_folded;
+        }
+        assert_eq!(folded as usize, records);
+        folded
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    DbIngestNumbers {
+        submissions,
+        records,
+        submissions_per_s: submissions as f64 / secs,
+        records_per_s: records as f64 / secs,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -302,10 +371,10 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_7.json".to_string());
+        .unwrap_or_else(|| "BENCH_8.json".to_string());
 
-    let (kernel_samples, matcher_samples, journal_records, study_reps) =
-        if quick { (5, 3, 200, 1) } else { (25, 9, 2_000, interlag_bench::reps()) };
+    let (kernel_samples, matcher_samples, journal_records, study_reps, db_submissions) =
+        if quick { (5, 3, 200, 1, 20) } else { (25, 9, 2_000, interlag_bench::reps(), 200) };
 
     eprintln!("[trajectory] kernel: 1080p diff kernels vs scalar reference");
     let k = kernel_section(kernel_samples);
@@ -347,6 +416,13 @@ fn main() {
         eprintln!("[trajectory]   shards={}: {:.0} records/s", m.shards, m.records_per_s);
     }
 
+    eprintln!("[trajectory] db_ingest: results-database ingest gauntlet throughput");
+    let db = db_ingest_section(db_submissions, matcher_samples);
+    eprintln!(
+        "[trajectory]   {} submissions ({} records): {:.0} submissions/s, {:.0} records/s",
+        db.submissions, db.records, db.submissions_per_s, db.records_per_s
+    );
+
     let workers_json: Vec<String> = study
         .iter()
         .map(|(workers, wall)| format!("{{\"workers\": {workers}, \"wall_s\": {wall:.4}}}"))
@@ -356,7 +432,7 @@ fn main() {
         .map(|m| format!("{{\"shards\": {}, \"records_per_s\": {:.0}}}", m.shards, m.records_per_s))
         .collect();
     let doc = format!(
-        "{{\n  \"schema\": \"interlag-bench-trajectory/v2\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"schema\": \"interlag-bench-trajectory/v3\",\n  \"quick\": {quick},\n  \
          \"kernel\": {{\n    \"pixels_per_frame\": {pixels},\n    \"scalar_px_per_s\": {sps:.0},\n    \
          \"kernel_px_per_s\": {kps:.0},\n    \"speedup\": {kspeed:.3}\n  }},\n  \
          \"matcher\": {{\n    \"lags\": {lags},\n    \"frames\": {frames},\n    \
@@ -365,7 +441,9 @@ fn main() {
          \"journal\": {{\n    \"records\": {records},\n    \"replay_records_per_s\": {rps:.0}\n  }},\n  \
          \"checkpoint\": {{\n    \"json_bytes\": {jb},\n    \"binary_bytes\": {bb},\n    \
          \"json_over_binary\": {ratio:.3}\n  }},\n  \
-         \"shard_merge\": {{\n    \"records\": {records},\n    \"merges\": [{merges}]\n  }}\n}}\n",
+         \"shard_merge\": {{\n    \"records\": {records},\n    \"merges\": [{merges}]\n  }},\n  \
+         \"db_ingest\": {{\n    \"submissions\": {dbsubs},\n    \"records\": {dbrecs},\n    \
+         \"submissions_per_s\": {dbsps:.0},\n    \"records_per_s\": {dbrps:.0}\n  }}\n}}\n",
         pixels = k.pixels,
         sps = k.scalar_px_per_s,
         kps = k.kernel_px_per_s,
@@ -383,6 +461,10 @@ fn main() {
         bb = binary_bytes,
         ratio = json_bytes as f64 / binary_bytes as f64,
         merges = merges_json.join(", "),
+        dbsubs = db.submissions,
+        dbrecs = db.records,
+        dbsps = db.submissions_per_s,
+        dbrps = db.records_per_s,
     );
     if let Err(e) = interlag_journal::atomic_write(&out, &doc) {
         eprintln!("perf_trajectory: cannot write {out}: {e}");

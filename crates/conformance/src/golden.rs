@@ -35,22 +35,30 @@ pub fn first_mismatch<'a>(expected: &'a str, actual: &'a str) -> Option<(usize, 
 /// and the assertion passes. Otherwise a missing or differing snapshot
 /// panics with the first differing line and the regeneration hint.
 pub fn assert_matches_golden(name: &str, actual: &str) {
-    let path = golden_dir().join(name);
+    assert_matches_golden_at(&golden_dir(), name, actual);
+}
+
+/// [`assert_matches_golden`] against an explicit snapshot directory, for
+/// crates that keep their own `tests/golden/` (e.g. `interlag-db`'s
+/// export snapshots). The regeneration hint names the directory so the
+/// failure message stays actionable from any crate.
+pub fn assert_matches_golden_at(dir: &std::path::Path, name: &str, actual: &str) {
+    let path = dir.join(name);
     if std::env::var_os("UPDATE_GOLDEN").is_some() {
-        fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
         fs::write(&path, actual).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
         return;
     }
     let expected = match fs::read_to_string(&path) {
         Ok(s) => s,
         Err(e) => panic!(
-            "golden snapshot {} unreadable ({e}); regenerate with: UPDATE_GOLDEN=1 cargo test -p interlag-conformance",
+            "golden snapshot {} unreadable ({e}); regenerate with: UPDATE_GOLDEN=1 cargo test",
             path.display()
         ),
     };
     if let Some((line, exp, act)) = first_mismatch(&expected, actual) {
         panic!(
-            "snapshot {name} differs at line {line}:\n  expected: {exp}\n  actual:   {act}\nregenerate with: UPDATE_GOLDEN=1 cargo test -p interlag-conformance"
+            "snapshot {name} differs at line {line}:\n  expected: {exp}\n  actual:   {act}\nregenerate with: UPDATE_GOLDEN=1 cargo test"
         );
     }
 }

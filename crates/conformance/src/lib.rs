@@ -22,7 +22,7 @@ pub mod matrix;
 pub mod scenario;
 pub mod truth;
 
-pub use golden::{assert_matches_golden, golden_dir};
+pub use golden::{assert_matches_golden, assert_matches_golden_at, golden_dir};
 pub use matrix::scenarios;
 pub use scenario::{ResponseKind, Scenario, ScenarioSpec};
 pub use truth::{ExpectedRanking, GroundTruth, LagModel, TolerancePolicy, TruthLag};

@@ -26,7 +26,10 @@
 //! * [`ingest`] — hardened dataset loaders (strict vs salvage policies
 //!   over traces, annotation databases and video manifests);
 //! * [`checkpoint`] — the durable write-ahead study journal behind
-//!   crash-safe, resumable sweeps.
+//!   crash-safe, resumable sweeps;
+//! * [`propgroup`] — the `key=val:key=val,val2` property-group CLI
+//!   grammar shared by `interlag sweep` matrices and `interlag db`
+//!   queries.
 //!
 //! # Examples
 //!
@@ -63,6 +66,7 @@ pub mod jank;
 pub mod matcher;
 pub mod oracle;
 pub mod profile;
+pub mod propgroup;
 pub mod report;
 pub mod stats;
 pub mod suggester;
@@ -80,5 +84,6 @@ pub use jank::{measure_jank, JankReport};
 pub use matcher::{mark_up, mark_up_with_policy, MatchFailure, MatchPolicy, MatchedLag, Matcher};
 pub use oracle::{build_oracle, Oracle, OracleConfig, OracleDecision};
 pub use profile::{LagEntry, LagProfile};
+pub use propgroup::{PropError, PropErrorKind, PropGroup, PropPoint};
 pub use report::{oracle_csv, profile_csv, study_csv, study_markdown};
 pub use suggester::{Suggester, SuggesterConfig, Suggestion};

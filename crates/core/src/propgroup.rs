@@ -1,0 +1,413 @@
+//! The property-group CLI grammar shared by `interlag sweep` and
+//! `interlag db query`.
+//!
+//! A *property group* is resctl-bench's compact matrix notation: `:`
+//! separates `key=value` pairs, `,` separates alternative values for one
+//! key, and a `k-min`/`k-max`/`k-intvs` trio declares an inclusive
+//! integer interval that expands to `k-intvs` evenly spaced values —
+//! `jitter-us-min=20:jitter-us-max=100:jitter-us-intvs=5` is exactly
+//! `jitter-us=20,40,60,80,100`. [`PropGroup::expand`] turns a group into
+//! the cartesian product of every key's values, in declaration order
+//! with later keys varying fastest, so a declared probe matrix maps
+//! one-to-one onto sweep points and database keys.
+//!
+//! Parsing is strict and diagnostic: every rejection is a typed
+//! [`PropError`] carrying the byte offset of the offending token, and
+//! printing is canonical — for any accepted input,
+//! `parse(s).to_string() == s`, which is what makes groups usable as
+//! database keys.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Characters a key or value may not contain: they are the grammar's
+/// separators.
+const SEPARATORS: [char; 3] = [':', ',', '='];
+
+/// One parsed property group: ordered `key -> values` pairs.
+///
+/// Order is meaningful (it drives expansion order and canonical
+/// printing); keys are unique.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropGroup {
+    pairs: Vec<(String, Vec<String>)>,
+}
+
+/// One point of an expanded matrix: every key bound to exactly one
+/// value, in the group's declaration order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PropPoint {
+    pairs: Vec<(String, String)>,
+}
+
+/// A rejected property group: what was wrong and the byte offset of the
+/// offending token in the canonical text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropError {
+    /// Byte offset into the group text where the problem starts.
+    pub offset: usize,
+    /// What was wrong.
+    pub kind: PropErrorKind,
+}
+
+/// Everything [`PropGroup`] parsing and expansion can reject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropErrorKind {
+    /// The group text was empty.
+    EmptyGroup,
+    /// A `key=value` pair had an empty key.
+    EmptyKey,
+    /// A key contained a separator or other forbidden character.
+    BadKey,
+    /// A pair had no `=` at all.
+    MissingEquals,
+    /// A value in a `,`-separated list was empty.
+    EmptyValue,
+    /// The same key appeared twice (directly, or via an interval trio
+    /// colliding with a plain key).
+    DuplicateKey,
+    /// An interval component (`-min`/`-max`/`-intvs`) was present
+    /// without the other two.
+    PartialInterval,
+    /// An interval component needs a single unsigned integer value.
+    BadIntervalNumber,
+    /// An interval with `min > max`.
+    EmptyInterval,
+    /// `-intvs` was zero, or 1 with `min != max`.
+    BadIntervalCount,
+}
+
+impl fmt::Display for PropError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            PropErrorKind::EmptyGroup => "empty property group",
+            PropErrorKind::EmptyKey => "empty key",
+            PropErrorKind::BadKey => "key contains a separator character",
+            PropErrorKind::MissingEquals => "expected key=value",
+            PropErrorKind::EmptyValue => "empty value",
+            PropErrorKind::DuplicateKey => "duplicate key",
+            PropErrorKind::PartialInterval => "interval needs all of -min, -max and -intvs",
+            PropErrorKind::BadIntervalNumber => "interval bounds must be single unsigned integers",
+            PropErrorKind::EmptyInterval => "interval has min > max",
+            PropErrorKind::BadIntervalCount => "interval count must fit the range",
+        };
+        write!(f, "{what} at byte {}", self.offset)
+    }
+}
+
+impl std::error::Error for PropError {}
+
+impl FromStr for PropGroup {
+    type Err = PropError;
+
+    fn from_str(s: &str) -> Result<Self, PropError> {
+        if s.is_empty() {
+            return Err(PropError { offset: 0, kind: PropErrorKind::EmptyGroup });
+        }
+        let mut pairs: Vec<(String, Vec<String>)> = Vec::new();
+        let mut offset = 0usize;
+        for part in s.split(':') {
+            let pair_offset = offset;
+            offset += part.len() + 1; // skip the ':' for the next pair
+            let Some((key, values)) = part.split_once('=') else {
+                return Err(PropError { offset: pair_offset, kind: PropErrorKind::MissingEquals });
+            };
+            if key.is_empty() {
+                return Err(PropError { offset: pair_offset, kind: PropErrorKind::EmptyKey });
+            }
+            if key.contains(SEPARATORS) || key.contains(char::is_whitespace) {
+                return Err(PropError { offset: pair_offset, kind: PropErrorKind::BadKey });
+            }
+            if pairs.iter().any(|(k, _)| k == key) {
+                return Err(PropError { offset: pair_offset, kind: PropErrorKind::DuplicateKey });
+            }
+            let mut parsed = Vec::new();
+            let mut value_offset = pair_offset + key.len() + 1;
+            for value in values.split(',') {
+                if value.is_empty() {
+                    return Err(PropError {
+                        offset: value_offset,
+                        kind: PropErrorKind::EmptyValue,
+                    });
+                }
+                value_offset += value.len() + 1;
+                parsed.push(value.to_string());
+            }
+            pairs.push((key.to_string(), parsed));
+        }
+        Ok(PropGroup { pairs })
+    }
+}
+
+impl fmt::Display for PropGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (key, values)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(":")?;
+            }
+            write!(f, "{key}={}", values.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+impl PropGroup {
+    /// Builds a group programmatically. Keys must be unique, separator
+    /// free and non-empty, values non-empty — the same rules parsing
+    /// enforces (offsets refer to the canonical printing).
+    pub fn new<K: Into<String>, V: Into<String>>(
+        pairs: impl IntoIterator<Item = (K, Vec<V>)>,
+    ) -> Result<Self, PropError> {
+        let rendered = PropGroup {
+            pairs: pairs
+                .into_iter()
+                .map(|(k, vs)| (k.into(), vs.into_iter().map(Into::into).collect()))
+                .collect(),
+        };
+        // Re-parse the canonical text: one validation path, not two.
+        rendered.to_string().parse()
+    }
+
+    /// The values bound to `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&[String]> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_slice())
+    }
+
+    /// The single value of `key`; `None` if absent or multi-valued.
+    pub fn single(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some([v]) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The ordered pairs.
+    pub fn pairs(&self) -> &[(String, Vec<String>)] {
+        &self.pairs
+    }
+
+    /// The byte offset of `key` in the canonical printing — expansion
+    /// errors point here.
+    fn offset_of(&self, key: &str) -> usize {
+        let mut offset = 0;
+        for (k, values) in &self.pairs {
+            if k == key {
+                return offset;
+            }
+            offset += k.len() + 1 + values.iter().map(|v| v.len() + 1).sum::<usize>();
+        }
+        0
+    }
+
+    /// Resolves interval trios and returns the ordered `key -> values`
+    /// list with every `k-min`/`k-max`/`k-intvs` trio replaced by the
+    /// expanded `k` at the trio's first position.
+    fn resolved(&self) -> Result<Vec<(String, Vec<String>)>, PropError> {
+        let mut out: Vec<(String, Vec<String>)> = Vec::new();
+        let mut consumed: Vec<&str> = Vec::new();
+        for (key, values) in &self.pairs {
+            let error = |kind| PropError { offset: self.offset_of(key), kind };
+            let Some(base) = key
+                .strip_suffix("-min")
+                .or_else(|| key.strip_suffix("-max"))
+                .or_else(|| key.strip_suffix("-intvs"))
+            else {
+                if self.pairs.iter().any(|(k, _)| k.strip_suffix("-min") == Some(key)) {
+                    // `k` both plain and as an interval trio.
+                    return Err(error(PropErrorKind::DuplicateKey));
+                }
+                out.push((key.clone(), values.clone()));
+                continue;
+            };
+            if consumed.contains(&base) {
+                continue; // the trio was expanded at its first component
+            }
+            consumed.push(base);
+            let component = |suffix: &str| -> Result<u64, PropError> {
+                let name = format!("{base}{suffix}");
+                let value = self
+                    .single(&name)
+                    .ok_or_else(|| error(PropErrorKind::PartialInterval))?
+                    .to_string();
+                value.parse().map_err(|_| PropError {
+                    offset: self.offset_of(&name),
+                    kind: PropErrorKind::BadIntervalNumber,
+                })
+            };
+            let (min, max, intvs) = (component("-min")?, component("-max")?, component("-intvs")?);
+            if min > max {
+                return Err(error(PropErrorKind::EmptyInterval));
+            }
+            if intvs == 0 || (intvs == 1 && min != max) || (intvs > 1 && max == min) {
+                return Err(error(PropErrorKind::BadIntervalCount));
+            }
+            let expanded: Vec<String> = if intvs == 1 {
+                vec![min.to_string()]
+            } else {
+                // Evenly spaced, endpoints exact, integer rounding.
+                (0..intvs)
+                    .map(|i| {
+                        let num = (max - min) * i + (intvs - 1) / 2;
+                        (min + num / (intvs - 1)).to_string()
+                    })
+                    .collect()
+            };
+            if self.pairs.iter().any(|(k, _)| k == base) {
+                return Err(error(PropErrorKind::DuplicateKey));
+            }
+            out.push((base.to_string(), expanded));
+        }
+        Ok(out)
+    }
+
+    /// Expands the group to its full matrix: interval trios resolved,
+    /// then the cartesian product of every key's values — declaration
+    /// order, later keys varying fastest. The total is always the
+    /// product of the per-key value counts.
+    ///
+    /// # Errors
+    ///
+    /// Any malformed interval trio, with the byte offset of the
+    /// offending key in the canonical text.
+    pub fn expand(&self) -> Result<Vec<PropPoint>, PropError> {
+        let resolved = self.resolved()?;
+        let mut points = vec![PropPoint { pairs: Vec::new() }];
+        for (key, values) in &resolved {
+            let mut next = Vec::with_capacity(points.len() * values.len());
+            for point in &points {
+                for value in values {
+                    let mut grown = point.clone();
+                    grown.pairs.push((key.clone(), value.clone()));
+                    next.push(grown);
+                }
+            }
+            points = next;
+        }
+        Ok(points)
+    }
+}
+
+impl fmt::Display for PropPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (key, value)) in self.pairs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(":")?;
+            }
+            write!(f, "{key}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+impl PropPoint {
+    /// A point built directly from `key -> value` bindings.
+    pub fn new<K: Into<String>, V: Into<String>>(pairs: impl IntoIterator<Item = (K, V)>) -> Self {
+        PropPoint { pairs: pairs.into_iter().map(|(k, v)| (k.into(), v.into())).collect() }
+    }
+
+    /// The value bound to `key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `key` parsed as an integer.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// The ordered bindings.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.pairs
+    }
+
+    /// The point without the keys in `drop`, order preserved — database
+    /// group keys exclude fleet-shape knobs like `reps` this way.
+    pub fn without(&self, drop: &[&str]) -> PropPoint {
+        PropPoint {
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|(k, _)| !drop.contains(&k.as_str()))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> PropGroup {
+        s.parse().expect("valid group")
+    }
+
+    fn err(s: &str) -> PropError {
+        s.parse::<PropGroup>().expect_err("invalid group")
+    }
+
+    #[test]
+    fn parses_the_issue_examples() {
+        let g = parse("governor=ondemand:device=sim14:stat=p95-lag");
+        assert_eq!(g.single("governor"), Some("ondemand"));
+        assert_eq!(g.single("device"), Some("sim14"));
+        assert_eq!(g.single("stat"), Some("p95-lag"));
+        let g = parse("key=val:key2=val,val2:reps=5");
+        assert_eq!(g.get("key2").unwrap(), ["val", "val2"]);
+        assert_eq!(g.single("key2"), None, "multi-valued keys have no single value");
+    }
+
+    #[test]
+    fn printing_is_the_inverse_of_parsing() {
+        for s in ["a=1", "a=1,2:b=x", "governor=ondemand,interactive:reps=5"] {
+            assert_eq!(parse(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejections_carry_byte_offsets() {
+        assert_eq!(err(""), PropError { offset: 0, kind: PropErrorKind::EmptyGroup });
+        assert_eq!(err("a=1:novalue"), PropError { offset: 4, kind: PropErrorKind::MissingEquals });
+        assert_eq!(err("a=1:=2"), PropError { offset: 4, kind: PropErrorKind::EmptyKey });
+        assert_eq!(err("a=1:a=2"), PropError { offset: 4, kind: PropErrorKind::DuplicateKey });
+        assert_eq!(err("a=1:b=2,,3"), PropError { offset: 8, kind: PropErrorKind::EmptyValue });
+        assert_eq!(err("a b=1"), PropError { offset: 0, kind: PropErrorKind::BadKey });
+    }
+
+    #[test]
+    fn interval_expands_like_resctl_bench() {
+        let g = parse("vrate-min=20:vrate-max=100:vrate-intvs=5");
+        let points = g.expand().expect("expands");
+        let values: Vec<&str> = points.iter().map(|p| p.get("vrate").unwrap()).collect();
+        assert_eq!(values, ["20", "40", "60", "80", "100"]);
+    }
+
+    #[test]
+    fn expansion_is_the_cartesian_product_in_declaration_order() {
+        let g = parse("g=a,b:r-min=1:r-max=2:r-intvs=2");
+        let points = g.expand().expect("expands");
+        let rendered: Vec<String> = points.iter().map(|p| p.to_string()).collect();
+        assert_eq!(rendered, ["g=a:r=1", "g=a:r=2", "g=b:r=1", "g=b:r=2"]);
+    }
+
+    #[test]
+    fn interval_errors_are_typed_and_placed() {
+        let partial = parse("a=1:x-min=2").expand().expect_err("partial trio");
+        assert_eq!(partial, PropError { offset: 4, kind: PropErrorKind::PartialInterval });
+        let bad = parse("x-min=a:x-max=3:x-intvs=2").expand().expect_err("non-numeric");
+        assert_eq!(bad, PropError { offset: 0, kind: PropErrorKind::BadIntervalNumber });
+        let inverted = parse("x-min=5:x-max=3:x-intvs=2").expand().expect_err("min > max");
+        assert_eq!(inverted.kind, PropErrorKind::EmptyInterval);
+        let zero = parse("x-min=1:x-max=3:x-intvs=0").expand().expect_err("no points");
+        assert_eq!(zero.kind, PropErrorKind::BadIntervalCount);
+        let collide = parse("x=1:x-min=1:x-max=1:x-intvs=1").expand().expect_err("collision");
+        assert_eq!(collide.kind, PropErrorKind::DuplicateKey);
+    }
+
+    #[test]
+    fn point_projection_drops_fleet_knobs() {
+        let point = PropPoint::new([("jitter-us", "1500"), ("reps", "5")]);
+        assert_eq!(point.without(&["reps"]).to_string(), "jitter-us=1500");
+        assert_eq!(point.get_u64("reps"), Some(5));
+    }
+}

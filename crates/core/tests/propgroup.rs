@@ -1,0 +1,151 @@
+//! Property tests for the property-group grammar: printing inverts
+//! parsing, interval expansion hits its declared totals, and malformed
+//! groups are rejected with byte-offset diagnostics.
+
+use proptest::prelude::*;
+
+use interlag_core::propgroup::{PropErrorKind, PropGroup};
+
+/// A pool of valid key tokens (separator-free, distinct, none of them an
+/// interval suffix of another).
+const KEYS: [&str; 6] = ["alpha", "beta", "gamma", "jitter-us", "reps", "workload"];
+/// A pool of valid value tokens.
+const VALUES: [&str; 6] = ["1", "20", "ondemand", "sim14", "p95-lag", "x-y.z"];
+
+/// Random well-formed groups: 1–4 distinct keys, each with 1–3 values.
+fn arb_group() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        (0usize..KEYS.len(), prop::collection::vec(0usize..VALUES.len(), 1..4)),
+        1..5,
+    )
+    .prop_map(|pairs| {
+        let mut used = Vec::new();
+        let mut parts = Vec::new();
+        for (k, vs) in pairs {
+            if used.contains(&k) {
+                continue; // keys must be unique; drop collisions
+            }
+            used.push(k);
+            // Distinct values per key: repeated values are legal but
+            // would make expanded points collide.
+            let mut seen = Vec::new();
+            let values: Vec<&str> = vs
+                .iter()
+                .filter(|&&v| {
+                    let fresh = !seen.contains(&v);
+                    seen.push(v);
+                    fresh
+                })
+                .map(|&v| VALUES[v])
+                .collect();
+            parts.push(format!("{}={}", KEYS[k], values.join(",")));
+        }
+        // The first pair always survives dedup, so the group is
+        // never empty.
+        parts.join(":")
+    })
+}
+
+proptest! {
+    /// Canonical printing is the exact inverse of parsing: the grammar
+    /// has one spelling per group, which is what makes groups usable as
+    /// database keys.
+    #[test]
+    fn print_inverts_parse(text in arb_group()) {
+        let group: PropGroup = text.parse().expect("generated groups are well-formed");
+        prop_assert_eq!(group.to_string(), text);
+    }
+
+    /// Parsing is idempotent through the printed form.
+    #[test]
+    fn reparse_is_identity(text in arb_group()) {
+        let group: PropGroup = text.parse().unwrap();
+        let again: PropGroup = group.to_string().parse().unwrap();
+        prop_assert_eq!(again, group);
+    }
+
+    /// The expanded matrix always has exactly `∏ per-key value counts`
+    /// points, every point binds every key, and the points are distinct.
+    #[test]
+    fn expansion_total_is_the_product_of_value_counts(text in arb_group()) {
+        let group: PropGroup = text.parse().unwrap();
+        let expected: usize = group.pairs().iter().map(|(_, vs)| vs.len()).product();
+        let points = group.expand().expect("no interval trios in this pool");
+        prop_assert_eq!(points.len(), expected);
+        for point in &points {
+            prop_assert_eq!(point.pairs().len(), group.pairs().len());
+            for (key, values) in group.pairs() {
+                let bound = point.get(key).expect("every key bound");
+                prop_assert!(values.iter().any(|v| v == bound));
+            }
+        }
+        let mut rendered: Vec<String> = points.iter().map(|p| p.to_string()).collect();
+        rendered.sort_unstable();
+        rendered.dedup();
+        prop_assert_eq!(rendered.len(), points.len(), "points are distinct");
+    }
+
+    /// Interval trios expand to exactly `intvs` non-decreasing values
+    /// with both endpoints exact.
+    #[test]
+    fn interval_expansion_hits_its_declared_shape(
+        min in 0u64..1_000,
+        span in 1u64..10_000,
+        intvs in 2u64..12,
+    ) {
+        let max = min + span;
+        let text = format!("x-min={min}:x-max={max}:x-intvs={intvs}");
+        let group: PropGroup = text.parse().unwrap();
+        let points = group.expand().expect("well-formed trio");
+        prop_assert_eq!(points.len(), intvs as usize);
+        let values: Vec<u64> = points.iter().map(|p| p.get_u64("x").unwrap()).collect();
+        prop_assert_eq!(values[0], min, "first value is the declared min");
+        prop_assert_eq!(*values.last().unwrap(), max, "last value is the declared max");
+        prop_assert!(values.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+        prop_assert!(values.iter().all(|&v| (min..=max).contains(&v)), "in range");
+    }
+
+    /// A malformed pair spliced into a valid group is rejected with the
+    /// byte offset of the splice point.
+    #[test]
+    fn malformed_pairs_are_rejected_at_their_offset(
+        prefix in arb_group(),
+        bad in 0usize..4,
+    ) {
+        let bad_pair = ["novalue", "=orphan", "a b=1", "dup"][bad];
+        // "dup" duplicates the first key of the prefix.
+        let bad_pair = if bad_pair == "dup" {
+            let first = prefix.split('=').next().unwrap();
+            format!("{first}=again")
+        } else {
+            bad_pair.to_string()
+        };
+        let text = format!("{prefix}:{bad_pair}");
+        let err = text.parse::<PropGroup>().expect_err("the spliced pair is malformed");
+        prop_assert_eq!(err.offset, prefix.len() + 1, "offset points at the spliced pair");
+        let expected = match bad {
+            0 => PropErrorKind::MissingEquals,
+            1 => PropErrorKind::EmptyKey,
+            2 => PropErrorKind::BadKey,
+            _ => PropErrorKind::DuplicateKey,
+        };
+        prop_assert_eq!(err.kind, expected);
+    }
+
+    /// Empty values are rejected at the offset of the empty slot.
+    #[test]
+    fn empty_values_are_rejected_at_their_offset(prefix in arb_group()) {
+        let text = format!("{prefix}:zkey=ok,");
+        let err = text.parse::<PropGroup>().expect_err("trailing comma leaves an empty value");
+        prop_assert_eq!(err.kind, PropErrorKind::EmptyValue);
+        prop_assert_eq!(err.offset, prefix.len() + 1 + "zkey=ok,".len());
+    }
+}
+
+#[test]
+fn the_issue_example_expands_as_documented() {
+    let g: PropGroup = "vrate-min=20:vrate-max=100:vrate-intvs=5".parse().unwrap();
+    let values: Vec<u64> =
+        g.expand().unwrap().iter().map(|p| p.get_u64("vrate").unwrap()).collect();
+    assert_eq!(values, [20, 40, 60, 80, 100]);
+}

@@ -1,0 +1,129 @@
+//! Sealed submission artifacts: the unit of fleet result exchange.
+//!
+//! A *submission* is one self-describing file a fleet member hands to the
+//! database: frame 0 is a JSON [`SubmissionManifest`] describing where
+//! the results came from (device model, workload, grid shape, study
+//! fingerprint, property bindings), and every following frame is one
+//! checkpoint record exactly as the merge gauntlet encoded it. All
+//! frames use the journal's CRC framing, so a torn or flipped artifact
+//! is detected before any of it is believed, and the record frames are
+//! byte-identical to the sweep's own `merged.*` journal — sealing adds
+//! provenance, it never re-encodes results.
+
+use std::collections::BTreeMap;
+
+use interlag_core::checkpoint::{
+    encode_checkpoint, encode_checkpoint_binary, CheckpointFormat, CheckpointRecord,
+};
+use interlag_core::experiment::LabConfig;
+use serde::{Deserialize, Serialize};
+
+/// The manifest schema stamp; ingest refuses anything else.
+pub const SUBMISSION_SCHEMA: &str = "interlag-db-submission/v1";
+
+/// Frame 0 of a sealed submission: provenance and the claim the record
+/// frames are checked against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmissionManifest {
+    /// Always [`SUBMISSION_SCHEMA`].
+    pub schema: String,
+    /// The study fingerprint every record frame must carry.
+    pub fingerprint: u64,
+    /// Device model key, e.g. `sim14` (see [`device_model`]).
+    pub device_model: String,
+    /// Workload name (the paper's app/interaction script).
+    pub workload: String,
+    /// Repetitions per configuration the grid was declared with.
+    pub reps: u32,
+    /// Configuration names in grid order; a record's `config` index must
+    /// name one of these.
+    pub configs: Vec<String>,
+    /// Declared number of record frames; a mismatch means the artifact
+    /// was truncated or padded after sealing.
+    pub records: u64,
+    /// Property-group bindings this run was swept under, as canonical
+    /// `key=value` strings (fleet-shape keys like `reps` included; the
+    /// database drops them from group keys at fold time).
+    pub props: Vec<String>,
+}
+
+/// The stable device-model key for a lab configuration: the simulated
+/// device family is characterised by its OPP table, so `sim{N}` for an
+/// N-point table (the paper's Galaxy S III analogue is `sim14`).
+pub fn device_model(lab: &LabConfig) -> String {
+    format!("sim{}", lab.device.opps.len())
+}
+
+/// Seals a merged record map into one submission artifact: framed
+/// manifest, then every record in slot order. The record frames are the
+/// same bytes [`encode_merged`](interlag_core::checkpoint) framing
+/// produces, so the artifact is byte-stable whenever the record map is.
+pub fn seal_submission(
+    manifest: &SubmissionManifest,
+    records: &BTreeMap<(usize, u32), CheckpointRecord>,
+    format: CheckpointFormat,
+) -> Vec<u8> {
+    let manifest = SubmissionManifest { records: records.len() as u64, ..manifest.clone() };
+    let json = serde_json::to_string(&manifest).expect("manifests always serialise");
+    let mut out =
+        interlag_journal::encode_record(json.as_bytes()).expect("manifest JSON is line-safe");
+    for record in records.values() {
+        match format {
+            CheckpointFormat::Json => out.extend(
+                interlag_journal::encode_record(&encode_checkpoint(record))
+                    .expect("checkpoint JSON is line-safe"),
+            ),
+            CheckpointFormat::Binary => out
+                .extend(interlag_journal::encode_record_binary(&encode_checkpoint_binary(record))),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interlag_core::experiment::{placeholder_result, RepOutcome};
+    use interlag_journal::decode_records;
+
+    fn manifest() -> SubmissionManifest {
+        SubmissionManifest {
+            schema: SUBMISSION_SCHEMA.to_string(),
+            fingerprint: 7,
+            device_model: "sim14".to_string(),
+            workload: "demo".to_string(),
+            reps: 1,
+            configs: vec!["ondemand".to_string(), "oracle".to_string()],
+            records: 0,
+            props: vec!["jitter-us=1500".to_string()],
+        }
+    }
+
+    #[test]
+    fn sealed_artifacts_decode_frame_by_frame() {
+        let mut records = BTreeMap::new();
+        for config in 0..2 {
+            let r = CheckpointRecord::new(
+                7,
+                config,
+                0,
+                &placeholder_result("seal-test"),
+                &RepOutcome::Ok,
+            );
+            records.insert((config, 0u32), r);
+        }
+        let bytes = seal_submission(&manifest(), &records, CheckpointFormat::Binary);
+        let decoded = decode_records(&bytes);
+        assert_eq!(decoded.torn, 0);
+        assert_eq!(decoded.records.len(), 3, "manifest + 2 record frames");
+        let text = std::str::from_utf8(&decoded.records[0]).expect("manifest is UTF-8");
+        let m: SubmissionManifest = serde_json::from_str(text).expect("frame 0 is the manifest");
+        assert_eq!(m.records, 2, "sealing stamps the real record count");
+        assert_eq!(m.device_model, "sim14");
+    }
+
+    #[test]
+    fn device_model_reflects_the_opp_table() {
+        assert_eq!(device_model(&LabConfig::default()), "sim14");
+    }
+}

@@ -1,0 +1,215 @@
+//! Querying and exporting the aggregate database.
+//!
+//! Queries reuse the property-group grammar: `interlag db query
+//! governor=ondemand:device=sim14:stat=p95-lag` filters the aggregate
+//! groups by the reserved keys (`device`, `governor`, `workload` — each
+//! may list several accepted values) and any residual key (matched
+//! against the group's property bindings), then renders the requested
+//! `stat`(s) for every surviving group in key order. Exports render the
+//! whole database as Markdown or CSV with a fixed column set; both walk
+//! the ordered group map, so their bytes are as order-independent as the
+//! aggregates themselves.
+
+use std::fmt::Write as _;
+
+use interlag_core::propgroup::{PropError, PropGroup};
+
+use crate::store::{Db, GroupAggregate, GroupKey};
+
+/// Every statistic a query can ask for, with its render unit.
+pub const STATS: [&str; 12] = [
+    "mean-lag",
+    "p50-lag",
+    "p90-lag",
+    "p95-lag",
+    "p99-lag",
+    "stddev-lag",
+    "lags",
+    "mean-irritation",
+    "p95-irritation",
+    "mean-energy",
+    "reps",
+    "degraded",
+];
+
+/// A rejected query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The property group itself did not parse or expand.
+    Prop(PropError),
+    /// `stat=` named something outside [`STATS`].
+    UnknownStat(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Prop(e) => write!(f, "bad query group: {e}"),
+            QueryError::UnknownStat(s) => {
+                write!(f, "unknown stat {s:?} (one of {})", STATS.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<PropError> for QueryError {
+    fn from(e: PropError) -> Self {
+        QueryError::Prop(e)
+    }
+}
+
+/// Renders one statistic of one group, unit suffix included.
+fn render_stat(stat: &str, agg: &GroupAggregate) -> String {
+    let ms = |us: f64| format!("{:.3}ms", us / 1_000.0);
+    match stat {
+        "mean-lag" => ms(agg.lag.mean()),
+        "p50-lag" => ms(agg.lag.percentile(0.50) as f64),
+        "p90-lag" => ms(agg.lag.percentile(0.90) as f64),
+        "p95-lag" => ms(agg.lag.percentile(0.95) as f64),
+        "p99-lag" => ms(agg.lag.percentile(0.99) as f64),
+        "stddev-lag" => ms(agg.lag.stddev()),
+        "lags" => agg.lag.count().to_string(),
+        "mean-irritation" => ms(agg.irritation.mean()),
+        "p95-irritation" => ms(agg.irritation.percentile(0.95) as f64),
+        "mean-energy" => format!("{:.3}mJ", agg.energy.mean() / 1_000.0),
+        "reps" => agg.reps.to_string(),
+        "degraded" => agg.degraded.to_string(),
+        _ => unreachable!("stats are validated before rendering"),
+    }
+}
+
+/// `true` if the group key satisfies every filter in the query.
+fn matches(key: &GroupKey, query: &PropGroup) -> bool {
+    let bindings: Vec<&str> = key.props.split(':').filter(|s| !s.is_empty()).collect();
+    for (filter, accepted) in query.pairs() {
+        let ok = match filter.as_str() {
+            "stat" => continue,
+            "device" => accepted.contains(&key.device),
+            "governor" | "config" => accepted.contains(&key.config),
+            "workload" => accepted.contains(&key.workload),
+            residual => {
+                accepted.iter().any(|v| bindings.contains(&format!("{residual}={v}").as_str()))
+            }
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs one query: one output line per matching group, in key order —
+/// the group's identity, then every requested stat. With no `stat=` key
+/// every statistic is rendered.
+pub fn query(db: &Db, text: &str) -> Result<String, QueryError> {
+    let group: PropGroup = text.parse()?;
+    let stats: Vec<String> = match group.get("stat") {
+        Some(asked) => {
+            for s in asked {
+                if !STATS.contains(&s.as_str()) {
+                    return Err(QueryError::UnknownStat(s.clone()));
+                }
+            }
+            asked.to_vec()
+        }
+        None => STATS.iter().map(|s| s.to_string()).collect(),
+    };
+    let mut out = String::new();
+    for (key, agg) in db.groups() {
+        if !matches(key, &group) {
+            continue;
+        }
+        let _ =
+            write!(out, "device={}:governor={}:workload={}", key.device, key.config, key.workload);
+        if !key.props.is_empty() {
+            let _ = write!(out, ":{}", key.props);
+        }
+        for stat in &stats {
+            let _ = write!(out, " {stat}={}", render_stat(stat, agg));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Escapes one CSV field (quotes fields containing separators).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// The fixed export column set, shared by both renderers.
+const COLUMNS: [&str; 16] = [
+    "device",
+    "config",
+    "workload",
+    "props",
+    "reps",
+    "degraded",
+    "lags",
+    "mean_lag_ms",
+    "p50_lag_ms",
+    "p90_lag_ms",
+    "p95_lag_ms",
+    "p99_lag_ms",
+    "stddev_lag_ms",
+    "mean_irritation_ms",
+    "p95_irritation_ms",
+    "mean_energy_mj",
+];
+
+fn row_values(key: &GroupKey, agg: &GroupAggregate) -> Vec<String> {
+    let ms = |us: f64| format!("{:.3}", us / 1_000.0);
+    vec![
+        key.device.clone(),
+        key.config.clone(),
+        key.workload.clone(),
+        key.props.clone(),
+        agg.reps.to_string(),
+        agg.degraded.to_string(),
+        agg.lag.count().to_string(),
+        ms(agg.lag.mean()),
+        ms(agg.lag.percentile(0.50) as f64),
+        ms(agg.lag.percentile(0.90) as f64),
+        ms(agg.lag.percentile(0.95) as f64),
+        ms(agg.lag.percentile(0.99) as f64),
+        ms(agg.lag.stddev()),
+        ms(agg.irritation.mean()),
+        ms(agg.irritation.percentile(0.95) as f64),
+        format!("{:.3}", agg.energy.mean() / 1_000.0),
+    ]
+}
+
+/// The whole database as CSV, one row per group in key order.
+pub fn export_csv(db: &Db) -> String {
+    let mut out = COLUMNS.join(",");
+    out.push('\n');
+    for (key, agg) in db.groups() {
+        let row: Vec<String> = row_values(key, agg).iter().map(|v| csv_field(v)).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// The whole database as a Markdown report.
+pub fn export_markdown(db: &Db) -> String {
+    let mut out = String::from("# QoE results database\n\n");
+    let _ = writeln!(
+        out,
+        "{} submission(s) folded into {} group(s).\n",
+        db.submissions(),
+        db.groups().len()
+    );
+    let _ = writeln!(out, "| {} |", COLUMNS.join(" | "));
+    let _ = writeln!(out, "|{}", " --- |".repeat(COLUMNS.len()));
+    for (key, agg) in db.groups() {
+        let _ = writeln!(out, "| {} |", row_values(key, agg).join(" | "));
+    }
+    out
+}

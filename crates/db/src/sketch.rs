@@ -1,0 +1,201 @@
+//! Mergeable sketch aggregates over integer-quantized measurements.
+//!
+//! The database's central algebraic requirement is that folding N
+//! submissions is associative, commutative and *byte-stable*: any
+//! permutation or partition of the same submission set must export the
+//! identical report. Floating-point accumulation breaks that — addition
+//! order leaks into the low bits — so a [`Sketch`] holds nothing but
+//! integers: an exact count, an exact `u128` sum and sum of squares over
+//! quantized units (microseconds, microjoules), and a fixed-width bucket
+//! histogram for percentiles. Integer addition commutes exactly, so
+//! merge order cannot leave a trace; floats appear only at render time,
+//! derived from the same integers no matter how they were accumulated.
+
+use std::collections::BTreeMap;
+
+use interlag_core::wire::{R, W};
+
+/// An exact, mergeable summary of one measured quantity.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sketch {
+    /// Histogram bucket width in quantized units; bucket `i` covers
+    /// `[i*width, (i+1)*width)`.
+    width: u64,
+    /// Number of samples.
+    count: u64,
+    /// Exact sum of samples (u128: 2^64 samples of 2^64 units cannot
+    /// overflow).
+    sum: u128,
+    /// Exact sum of squared samples.
+    sum_sq: u128,
+    /// Sparse fixed-width histogram: bucket index → sample count.
+    hist: BTreeMap<u64, u64>,
+}
+
+impl Sketch {
+    /// An empty sketch with the given bucket `width` (quantized units).
+    pub fn new(width: u64) -> Self {
+        Sketch { width: width.max(1), ..Self::default() }
+    }
+
+    /// Folds one sample in.
+    pub fn add(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.sum_sq += u128::from(v) * u128::from(v);
+        *self.hist.entry(v / self.width).or_insert(0) += 1;
+    }
+
+    /// Merges another sketch of the same width. Widths are fixed per
+    /// metric at compile time, so a mismatch is a programming error.
+    pub fn merge(&mut self, other: &Sketch) {
+        assert_eq!(self.width, other.width, "merging sketches of different widths");
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+        for (&bucket, &n) in &other.hist {
+            *self.hist.entry(bucket).or_insert(0) += n;
+        }
+    }
+
+    /// Number of samples folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact arithmetic mean in quantized units (0 when empty). The only
+    /// float division happens here, at render time, on order-free sums.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// Population standard deviation in quantized units (0 when empty).
+    pub fn stddev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        // E[x²] − E[x]², from exact integer sums.
+        let var = (self.sum_sq as f64 / n) - (self.sum as f64 / n).powi(2);
+        var.max(0.0).sqrt()
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the inclusive upper bound of the
+    /// histogram bucket holding the sample of rank `ceil(q*count)`:
+    /// a conservative estimate never below the true percentile, off by at
+    /// most one bucket width. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&bucket, &n) in &self.hist {
+            seen += n;
+            if seen >= rank {
+                return (bucket + 1) * self.width;
+            }
+        }
+        unreachable!("histogram counts always sum to the sketch count")
+    }
+
+    /// Appends the sketch to a wire buffer.
+    pub fn encode(&self, w: &mut W) {
+        w.u64(self.width);
+        w.u64(self.count);
+        encode_u128(w, self.sum);
+        encode_u128(w, self.sum_sq);
+        w.u64(self.hist.len() as u64);
+        for (&bucket, &n) in &self.hist {
+            w.u64(bucket);
+            w.u64(n);
+        }
+    }
+
+    /// Reads a sketch back from a wire buffer.
+    pub fn decode(r: &mut R<'_>) -> Option<Self> {
+        let width = r.u64()?;
+        let count = r.u64()?;
+        let sum = decode_u128(r)?;
+        let sum_sq = decode_u128(r)?;
+        let buckets = r.u64()?;
+        let mut hist = BTreeMap::new();
+        for _ in 0..buckets {
+            hist.insert(r.u64()?, r.u64()?);
+        }
+        Some(Sketch { width, count, sum, sum_sq, hist })
+    }
+}
+
+fn encode_u128(w: &mut W, v: u128) {
+    w.u64(v as u64);
+    w.u64((v >> 64) as u64);
+}
+
+fn decode_u128(r: &mut R<'_>) -> Option<u128> {
+    let lo = r.u64()?;
+    let hi = r.u64()?;
+    Some(u128::from(lo) | (u128::from(hi) << 64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_equals_sequential_fold() {
+        let samples: Vec<u64> = (0..100).map(|i| i * 137 % 9_000).collect();
+        let mut whole = Sketch::new(1_000);
+        samples.iter().for_each(|&v| whole.add(v));
+        let mut left = Sketch::new(1_000);
+        let mut right = Sketch::new(1_000);
+        samples[..37].iter().for_each(|&v| left.add(v));
+        samples[37..].iter().for_each(|&v| right.add(v));
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, whole);
+        // Commutes too.
+        let mut flipped = right;
+        flipped.merge(&left);
+        assert_eq!(flipped, whole);
+    }
+
+    #[test]
+    fn percentile_is_a_bucket_upper_bound() {
+        let mut s = Sketch::new(1_000);
+        for v in [100, 200, 1_500, 2_500, 9_999] {
+            s.add(v);
+        }
+        assert_eq!(s.percentile(0.5), 2_000); // rank 3 = 1_500, bucket [1000,2000)
+        assert_eq!(s.percentile(1.0), 10_000);
+        assert_eq!(s.percentile(0.01), 1_000);
+        assert!(s.percentile(0.5) >= 1_500, "never below the true percentile");
+    }
+
+    #[test]
+    fn stats_from_exact_sums() {
+        let mut s = Sketch::new(10);
+        [2u64, 4, 4, 4, 5, 5, 7, 9].iter().for_each(|&v| s.add(v));
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.stddev(), 2.0);
+        assert_eq!(s.count(), 8);
+        assert_eq!(Sketch::new(10).mean(), 0.0);
+        assert_eq!(Sketch::new(10).percentile(0.5), 0);
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact() {
+        let mut s = Sketch::new(1_000);
+        (0..50).for_each(|i| s.add(i * 999));
+        let mut w = W::new();
+        s.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = R::new(&bytes);
+        let back = Sketch::decode(&mut r).expect("decodes");
+        assert!(r.at_end());
+        assert_eq!(back, s);
+    }
+}

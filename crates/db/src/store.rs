@@ -1,0 +1,499 @@
+//! The content-addressed submission store and its ingest gauntlet.
+//!
+//! [`Db::ingest_file`] runs every offered artifact through the same
+//! gauntlet the sweep merge uses — CRC framing, manifest decode, declared
+//! shape, checkpoint decode, version stamp, fingerprint, slot assignment
+//! — before a single sample is believed. Artifacts that fail any stage
+//! are *quarantined*: copied under `quarantine/`, counted, reported as a
+//! typed [`IngestError`], and never folded (a rejected artifact leaves
+//! the aggregates byte-identical). Accepted artifacts are stored under
+//! `submissions/` by their content hash — resubmitting the same bytes is
+//! detected and refused, so each submission folds exactly once — and
+//! their measured repetitions fold into the [`Sketch`] aggregates of
+//! their `(device-model, config, workload, props)` group.
+//!
+//! Because the sketches are integer-exact and the group map is ordered,
+//! the persisted aggregate state and every export are byte-stable over
+//! any ingest order of the same submission set.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use interlag_core::checkpoint::{decode_checkpoint_any, CHECKPOINT_VERSION};
+use interlag_core::propgroup::PropPoint;
+use interlag_core::wire::{R, W};
+use interlag_journal::{atomic_write, decode_records, encode_record_binary};
+use interlag_obs::{Counter, Recorder};
+
+use crate::manifest::{SubmissionManifest, SUBMISSION_SCHEMA};
+use crate::sketch::Sketch;
+
+/// Schema stamp of the persisted aggregate state.
+const AGGREGATES_SCHEMA: &str = "interlag-db-aggregates/v1";
+
+/// Bucket width for lag sketches: 1 ms in microseconds.
+const LAG_BUCKET_US: u64 = 1_000;
+/// Bucket width for irritation sketches: 10 ms in microseconds.
+const IRRITATION_BUCKET_US: u64 = 10_000;
+/// Bucket width for energy sketches: 1 mJ in microjoules.
+const ENERGY_BUCKET_UJ: u64 = 1_000;
+
+/// Grid-shape property keys excluded from group keys: how a fleet
+/// member split its work must not fragment the aggregate a measurement
+/// folds into.
+const FLEET_SHAPE_KEYS: [&str; 2] = ["reps", "shards"];
+
+/// The identity of one aggregate group: every measurement with the same
+/// key folds into the same sketches.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroupKey {
+    /// Device model, e.g. `sim14`.
+    pub device: String,
+    /// Configuration name (`ondemand`, `fixed-0.96 GHz`, `oracle`, …).
+    pub config: String,
+    /// Workload name.
+    pub workload: String,
+    /// Canonical residual property bindings (fleet-shape keys dropped),
+    /// `""` when none.
+    pub props: String,
+}
+
+/// The mergeable aggregate of one group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupAggregate {
+    /// Individual interaction lags, microseconds.
+    pub lag: Sketch,
+    /// Per-repetition total irritation, microseconds.
+    pub irritation: Sketch,
+    /// Per-repetition dynamic energy, microjoules.
+    pub energy: Sketch,
+    /// Measured repetitions folded in.
+    pub reps: u64,
+    /// Degraded repetitions seen (abandoned / timed out); counted, never
+    /// folded into the sketches.
+    pub degraded: u64,
+}
+
+impl Default for GroupAggregate {
+    fn default() -> Self {
+        GroupAggregate {
+            lag: Sketch::new(LAG_BUCKET_US),
+            irritation: Sketch::new(IRRITATION_BUCKET_US),
+            energy: Sketch::new(ENERGY_BUCKET_UJ),
+            reps: 0,
+            degraded: 0,
+        }
+    }
+}
+
+impl GroupAggregate {
+    /// Merges another group's aggregate in (the algebra behind
+    /// partition-independence).
+    pub fn merge(&mut self, other: &GroupAggregate) {
+        self.lag.merge(&other.lag);
+        self.irritation.merge(&other.irritation);
+        self.energy.merge(&other.energy);
+        self.reps += other.reps;
+        self.degraded += other.degraded;
+    }
+}
+
+/// Everything the ingest gauntlet can reject an artifact for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The artifact had torn or corrupt frames — some bytes were not
+    /// covered by a valid CRC frame.
+    TornArtifact {
+        /// Torn fragments dropped by the framing decoder.
+        torn: usize,
+    },
+    /// The artifact decoded to zero frames: no manifest to check
+    /// anything against.
+    MissingManifest,
+    /// Frame 0 was not a [`SubmissionManifest`].
+    BadManifest,
+    /// Frame 0 carried a manifest with a different schema stamp.
+    WrongSchema {
+        /// The stamp found.
+        found: String,
+    },
+    /// The number of record frames does not match the manifest's claim.
+    RecordCountMismatch {
+        /// Records the manifest declared.
+        declared: u64,
+        /// Record frames actually present.
+        found: u64,
+    },
+    /// A record frame was not a decodable checkpoint of the supported
+    /// version.
+    UndecodableRecord {
+        /// Zero-based record frame index.
+        index: usize,
+    },
+    /// A record's study fingerprint differs from the manifest's — the
+    /// artifact mixes results of a different study.
+    ForeignRecord {
+        /// Zero-based record frame index.
+        index: usize,
+    },
+    /// A record claims a grid slot the manifest never declared.
+    UnassignedRecord {
+        /// Zero-based record frame index.
+        index: usize,
+    },
+    /// Two record frames claim the same `(config, rep)` slot.
+    DuplicateSlot {
+        /// Zero-based record frame index of the second claimant.
+        index: usize,
+    },
+    /// A measured record carried a non-finite or negative energy sample
+    /// — unquantizable, so unfoldable.
+    BadMeasurement {
+        /// Zero-based record frame index.
+        index: usize,
+    },
+    /// The identical artifact (by content hash) was already folded in.
+    DuplicateSubmission {
+        /// The content hash both copies share.
+        id: u64,
+    },
+    /// The store could not read or write its own files.
+    Io {
+        /// The failing path.
+        path: PathBuf,
+        /// The OS error rendered.
+        error: String,
+    },
+    /// The persisted aggregate state failed its own integrity checks.
+    CorruptStore {
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::TornArtifact { torn } => {
+                write!(f, "torn artifact: {torn} corrupt frame fragment(s)")
+            }
+            IngestError::MissingManifest => write!(f, "artifact has no manifest frame"),
+            IngestError::BadManifest => write!(f, "frame 0 is not a submission manifest"),
+            IngestError::WrongSchema { found } => {
+                write!(f, "unsupported manifest schema {found:?} (want {SUBMISSION_SCHEMA:?})")
+            }
+            IngestError::RecordCountMismatch { declared, found } => {
+                write!(f, "manifest declares {declared} record(s) but {found} present")
+            }
+            IngestError::UndecodableRecord { index } => {
+                write!(f, "record frame {index} is not a version-{CHECKPOINT_VERSION} checkpoint")
+            }
+            IngestError::ForeignRecord { index } => {
+                write!(f, "record frame {index} carries a foreign study fingerprint")
+            }
+            IngestError::UnassignedRecord { index } => {
+                write!(f, "record frame {index} claims a slot outside the declared grid")
+            }
+            IngestError::DuplicateSlot { index } => {
+                write!(f, "record frame {index} claims an already-claimed slot")
+            }
+            IngestError::BadMeasurement { index } => {
+                write!(f, "record frame {index} carries an unquantizable energy sample")
+            }
+            IngestError::DuplicateSubmission { id } => {
+                write!(f, "submission {id:016x} already folded in")
+            }
+            IngestError::Io { path, error } => write!(f, "{}: {error}", path.display()),
+            IngestError::CorruptStore { detail } => write!(f, "corrupt aggregate store: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// What one accepted ingest did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestReceipt {
+    /// The submission's content hash (its address in `submissions/`).
+    pub id: u64,
+    /// Measured repetitions folded into the aggregates.
+    pub reps_folded: u64,
+    /// Individual lag samples folded.
+    pub lags_folded: u64,
+    /// Degraded repetitions counted (not folded).
+    pub degraded: u64,
+}
+
+/// The results database: persisted aggregates plus the submission /
+/// quarantine object stores under one directory.
+pub struct Db {
+    dir: PathBuf,
+    obs: Recorder,
+    ingested: BTreeSet<u64>,
+    groups: BTreeMap<GroupKey, GroupAggregate>,
+}
+
+/// FNV-1a over an artifact's bytes: the submission's content address.
+pub fn submission_id(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Db {
+    /// Opens (creating if needed) a database directory, loading any
+    /// persisted aggregate state.
+    pub fn open(dir: impl Into<PathBuf>, obs: Recorder) -> Result<Self, IngestError> {
+        let dir = dir.into();
+        for sub in ["submissions", "quarantine"] {
+            let p = dir.join(sub);
+            fs::create_dir_all(&p).map_err(|e| io_err(&p, &e))?;
+        }
+        let mut db = Db { dir, obs, ingested: BTreeSet::new(), groups: BTreeMap::new() };
+        let state = db.state_path();
+        if state.exists() {
+            let bytes = fs::read(&state).map_err(|e| io_err(&state, &e))?;
+            db.load_state(&bytes)?;
+        }
+        Ok(db)
+    }
+
+    /// The database directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The aggregate groups, ordered by key.
+    pub fn groups(&self) -> &BTreeMap<GroupKey, GroupAggregate> {
+        &self.groups
+    }
+
+    /// Submissions folded in so far.
+    pub fn submissions(&self) -> usize {
+        self.ingested.len()
+    }
+
+    fn state_path(&self) -> PathBuf {
+        self.dir.join("aggregates.db")
+    }
+
+    /// Ingests one sealed artifact file.
+    pub fn ingest_file(&mut self, path: impl AsRef<Path>) -> Result<IngestReceipt, IngestError> {
+        let path = path.as_ref();
+        let bytes = fs::read(path).map_err(|e| io_err(path, &e))?;
+        self.ingest_bytes(&bytes)
+    }
+
+    /// Ingests one sealed artifact from memory: the full gauntlet, then
+    /// fold + persist, or quarantine + typed error.
+    pub fn ingest_bytes(&mut self, bytes: &[u8]) -> Result<IngestReceipt, IngestError> {
+        let id = submission_id(bytes);
+        match self.gauntlet(id, bytes) {
+            Ok(receipt) => {
+                self.obs.count(Counter::DbSubmissionsIngested, 1);
+                self.obs.count(Counter::DbRecordsFolded, receipt.reps_folded);
+                Ok(receipt)
+            }
+            Err(IngestError::DuplicateSubmission { id }) => {
+                // Not quarantined: the bytes are already in submissions/.
+                self.obs.count(Counter::DbDuplicateSubmissions, 1);
+                Err(IngestError::DuplicateSubmission { id })
+            }
+            Err(err) => {
+                self.obs.count(Counter::DbSubmissionsQuarantined, 1);
+                let q = self.dir.join("quarantine").join(format!("{id:016x}.sub"));
+                atomic_write(&q, bytes).map_err(|e| io_err(&q, &e))?;
+                Err(err)
+            }
+        }
+    }
+
+    /// The validate-fold-persist path; any `Err` means nothing was
+    /// believed and the aggregates are untouched.
+    fn gauntlet(&mut self, id: u64, bytes: &[u8]) -> Result<IngestReceipt, IngestError> {
+        if self.ingested.contains(&id) {
+            return Err(IngestError::DuplicateSubmission { id });
+        }
+        let decoded = decode_records(bytes);
+        if decoded.torn > 0 {
+            return Err(IngestError::TornArtifact { torn: decoded.torn });
+        }
+        let Some((manifest_frame, record_frames)) = decoded.records.split_first() else {
+            return Err(IngestError::MissingManifest);
+        };
+        let manifest: SubmissionManifest = std::str::from_utf8(manifest_frame)
+            .ok()
+            .and_then(|text| serde_json::from_str(text).ok())
+            .ok_or(IngestError::BadManifest)?;
+        if manifest.schema != SUBMISSION_SCHEMA {
+            return Err(IngestError::WrongSchema { found: manifest.schema });
+        }
+        if manifest.records != record_frames.len() as u64 {
+            return Err(IngestError::RecordCountMismatch {
+                declared: manifest.records,
+                found: record_frames.len() as u64,
+            });
+        }
+
+        // Stage the fold against a scratch map: either the whole artifact
+        // folds, or none of it does.
+        let mut staged: BTreeMap<GroupKey, GroupAggregate> = BTreeMap::new();
+        let props = residual_props(&manifest.props);
+        let mut receipt = IngestReceipt { id, reps_folded: 0, lags_folded: 0, degraded: 0 };
+        let mut claimed: BTreeSet<(usize, u32)> = BTreeSet::new();
+        for (index, frame) in record_frames.iter().enumerate() {
+            let record =
+                decode_checkpoint_any(frame).ok_or(IngestError::UndecodableRecord { index })?;
+            if record.fingerprint != manifest.fingerprint {
+                return Err(IngestError::ForeignRecord { index });
+            }
+            if record.config >= manifest.configs.len() || record.rep >= manifest.reps {
+                return Err(IngestError::UnassignedRecord { index });
+            }
+            if !claimed.insert((record.config, record.rep)) {
+                return Err(IngestError::DuplicateSlot { index });
+            }
+            let key = GroupKey {
+                device: manifest.device_model.clone(),
+                config: manifest.configs[record.config].clone(),
+                workload: manifest.workload.clone(),
+                props: props.clone(),
+            };
+            let group = staged.entry(key).or_default();
+            let (_, _, result, outcome) = record.into_parts();
+            if !outcome.is_measured() {
+                group.degraded += 1;
+                receipt.degraded += 1;
+                continue;
+            }
+            let uj = result.dynamic_energy_mj * 1_000.0;
+            if !uj.is_finite() || uj < 0.0 {
+                return Err(IngestError::BadMeasurement { index });
+            }
+            group.energy.add(uj.round() as u64);
+            group.irritation.add(result.irritation.as_micros());
+            for entry in result.profile.entries() {
+                group.lag.add(entry.lag.as_micros());
+                receipt.lags_folded += 1;
+            }
+            group.reps += 1;
+            receipt.reps_folded += 1;
+        }
+
+        // Commit: merge the staged groups, remember the id, store the
+        // artifact, persist the state.
+        for (key, agg) in staged {
+            self.groups.entry(key).or_default().merge(&agg);
+        }
+        self.ingested.insert(id);
+        let stored = self.dir.join("submissions").join(format!("{id:016x}.sub"));
+        atomic_write(&stored, bytes).map_err(|e| io_err(&stored, &e))?;
+        self.persist()?;
+        Ok(receipt)
+    }
+
+    /// Writes the aggregate state: one CRC-framed wire payload, atomically
+    /// replaced. BTreeMap iteration makes the bytes a pure function of the
+    /// folded submission *set*.
+    fn persist(&self) -> Result<(), IngestError> {
+        let mut w = W::new();
+        w.str(AGGREGATES_SCHEMA);
+        w.u64(self.ingested.len() as u64);
+        for &id in &self.ingested {
+            w.u64(id);
+        }
+        w.u64(self.groups.len() as u64);
+        for (key, agg) in &self.groups {
+            w.str(&key.device);
+            w.str(&key.config);
+            w.str(&key.workload);
+            w.str(&key.props);
+            agg.lag.encode(&mut w);
+            agg.irritation.encode(&mut w);
+            agg.energy.encode(&mut w);
+            w.u64(agg.reps);
+            w.u64(agg.degraded);
+        }
+        let framed = encode_record_binary(&w.into_bytes());
+        let path = self.state_path();
+        atomic_write(&path, framed).map_err(|e| io_err(&path, &e))
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), IngestError> {
+        let corrupt = |detail: &str| IngestError::CorruptStore { detail: detail.to_string() };
+        let decoded = decode_records(bytes);
+        if decoded.torn > 0 || decoded.records.len() != 1 {
+            return Err(corrupt("state is not exactly one intact frame"));
+        }
+        let payload = &decoded.records[0];
+        let mut r = R::new(payload);
+        let schema = r.str().ok_or_else(|| corrupt("missing schema"))?;
+        if schema != AGGREGATES_SCHEMA {
+            return Err(corrupt("unknown schema"));
+        }
+        let ids = r.u64().ok_or_else(|| corrupt("missing id count"))?;
+        for _ in 0..ids {
+            self.ingested.insert(r.u64().ok_or_else(|| corrupt("truncated ids"))?);
+        }
+        let groups = r.u64().ok_or_else(|| corrupt("missing group count"))?;
+        for _ in 0..groups {
+            let truncated = || corrupt("truncated group");
+            let key = GroupKey {
+                device: r.str().ok_or_else(truncated)?,
+                config: r.str().ok_or_else(truncated)?,
+                workload: r.str().ok_or_else(truncated)?,
+                props: r.str().ok_or_else(truncated)?,
+            };
+            let agg = GroupAggregate {
+                lag: Sketch::decode(&mut r).ok_or_else(truncated)?,
+                irritation: Sketch::decode(&mut r).ok_or_else(truncated)?,
+                energy: Sketch::decode(&mut r).ok_or_else(truncated)?,
+                reps: r.u64().ok_or_else(truncated)?,
+                degraded: r.u64().ok_or_else(truncated)?,
+            };
+            self.groups.insert(key, agg);
+        }
+        if !r.at_end() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(())
+    }
+}
+
+/// The canonical residual property string for group keys: fleet-shape
+/// keys dropped, order preserved.
+fn residual_props(props: &[String]) -> String {
+    let pairs: Vec<(String, String)> = props
+        .iter()
+        .filter_map(|p| p.split_once('=').map(|(k, v)| (k.to_string(), v.to_string())))
+        .collect();
+    PropPoint::new(pairs).without(&FLEET_SHAPE_KEYS).to_string()
+}
+
+fn io_err(path: &Path, e: &std::io::Error) -> IngestError {
+    IngestError::Io { path: path.to_path_buf(), error: e.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn residual_props_drop_fleet_shape_keys() {
+        let props =
+            vec!["jitter-us=1500".to_string(), "reps=5".to_string(), "shards=8".to_string()];
+        assert_eq!(residual_props(&props), "jitter-us=1500");
+        assert_eq!(residual_props(&[]), "");
+    }
+
+    #[test]
+    fn submission_ids_are_fnv1a() {
+        assert_eq!(submission_id(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(submission_id(b"a"), submission_id(b"b"));
+    }
+}

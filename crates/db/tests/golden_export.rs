@@ -1,0 +1,119 @@
+//! Golden snapshots of `db export`: the markdown and CSV reports for a
+//! fixed synthetic fleet are committed under `tests/golden/` and must
+//! not drift — across code changes *or* across ingest orders. Regenerate
+//! intentionally with `UPDATE_GOLDEN=1 cargo test -p interlag-db`.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use interlag_conformance::assert_matches_golden_at;
+use interlag_core::checkpoint::{CheckpointFormat, CheckpointRecord};
+use interlag_core::experiment::{RepOutcome, RepResult};
+use interlag_core::profile::{LagEntry, LagProfile};
+use interlag_db::{
+    export_csv, export_markdown, seal_submission, Db, SubmissionManifest, SUBMISSION_SCHEMA,
+};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_obs::Recorder;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("golden")
+}
+
+fn temp_db(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("interlag-dbgold-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fixed, fully deterministic repetition: every sample is a pure
+/// function of `(config, rep, seed)`.
+fn fixed_result(config: usize, rep: u32, seed: u64) -> RepResult {
+    let name = ["ondemand", "oracle"][config];
+    let mut profile = LagProfile::new(name);
+    for i in 0..3u64 {
+        let us =
+            40_000 + 13_337 * (i + 1) * (config as u64 + 1) + 7_001 * u64::from(rep) + 997 * seed;
+        profile.push(LagEntry {
+            interaction_id: i as usize,
+            input_time: SimTime::from_micros(i * 500_000),
+            lag: SimDuration::from_micros(us),
+            threshold: SimDuration::from_millis(150),
+            confidence: 1.0,
+        });
+    }
+    RepResult {
+        profile,
+        dynamic_energy_mj: 1_200.0 + 37.5 * (config as f64 + 1.0) + 11.25 * f64::from(rep),
+        irritation: SimDuration::from_micros(120_000 + 9_000 * u64::from(rep) + 400 * seed),
+        match_failures: 0,
+        input_faults: 0,
+    }
+}
+
+/// One sealed device submission: two governors × two reps.
+fn fleet_submission(fingerprint: u64, seed: u64, jitter: u64) -> Vec<u8> {
+    let mut records = BTreeMap::new();
+    for config in 0..2usize {
+        for rep in 0..2u32 {
+            records.insert(
+                (config, rep),
+                CheckpointRecord::new(
+                    fingerprint,
+                    config,
+                    rep,
+                    &fixed_result(config, rep, seed),
+                    &RepOutcome::Ok,
+                ),
+            );
+        }
+    }
+    let manifest = SubmissionManifest {
+        schema: SUBMISSION_SCHEMA.to_string(),
+        fingerprint,
+        device_model: "sim14".to_string(),
+        workload: "scroll".to_string(),
+        reps: 2,
+        configs: vec!["ondemand".to_string(), "oracle".to_string()],
+        records: 0,
+        props: vec![format!("jitter-us={jitter}"), "reps=2".to_string()],
+    };
+    seal_submission(&manifest, &records, CheckpointFormat::Binary)
+}
+
+/// The fixed three-device fleet every snapshot in this file is built
+/// from.
+fn fleet() -> Vec<Vec<u8>> {
+    vec![
+        fleet_submission(0x1001, 1, 1_000),
+        fleet_submission(0x1002, 2, 1_000),
+        fleet_submission(0x1003, 3, 2_500),
+    ]
+}
+
+fn exports_for_order(tag: &str, order: &[usize]) -> (String, String) {
+    let artifacts = fleet();
+    let dir = temp_db(tag);
+    let mut db = Db::open(&dir, Recorder::disabled()).expect("open");
+    for &i in order {
+        db.ingest_bytes(&artifacts[i]).expect("fleet submissions are valid");
+    }
+    let out = (export_markdown(&db), export_csv(&db));
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+#[test]
+fn exports_match_their_goldens_in_every_ingest_order() {
+    let (markdown, csv) = exports_for_order("fwd", &[0, 1, 2]);
+    assert_matches_golden_at(&golden_dir(), "fleet_export.md", &markdown);
+    assert_matches_golden_at(&golden_dir(), "fleet_export.csv", &csv);
+
+    // Every other arrival order must hit the *same* snapshots — the
+    // goldens double as the order-independence pin.
+    for (tag, order) in [("rev", [2, 1, 0]), ("mid", [1, 2, 0])] {
+        let (md, c) = exports_for_order(tag, &order);
+        assert_matches_golden_at(&golden_dir(), "fleet_export.md", &md);
+        assert_matches_golden_at(&golden_dir(), "fleet_export.csv", &c);
+    }
+}

@@ -1,0 +1,196 @@
+//! Merge-algebra property tests: the database fold is order-independent,
+//! associative, and byte-stable — any permutation of the same submission
+//! set, and any partition of the same sample set, produces byte-identical
+//! aggregates and exports.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use interlag_core::checkpoint::{CheckpointFormat, CheckpointRecord};
+use interlag_core::experiment::{RepOutcome, RepResult};
+use interlag_core::profile::{LagEntry, LagProfile};
+use interlag_db::{
+    export_csv, export_markdown, seal_submission, Db, Sketch, SubmissionManifest, SUBMISSION_SCHEMA,
+};
+use interlag_evdev::time::{SimDuration, SimTime};
+
+fn temp_db(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("interlag-dbalg-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deterministic synthetic measured repetition: lags and energy are
+/// pure functions of the seed.
+fn synthetic_result(config: &str, seed: u64) -> RepResult {
+    let mut profile = LagProfile::new(config);
+    let lags = 1 + (seed % 4);
+    for i in 0..lags {
+        let us = 30_000 + (seed.wrapping_mul(2_654_435_761).rotate_left(i as u32) % 900_000);
+        profile.push(LagEntry {
+            interaction_id: i as usize,
+            input_time: SimTime::from_micros(i * 1_000_000),
+            lag: SimDuration::from_micros(us),
+            threshold: SimDuration::from_millis(150),
+            confidence: 1.0,
+        });
+    }
+    RepResult {
+        profile,
+        dynamic_energy_mj: 900.0 + (seed % 700) as f64 + (seed % 10) as f64 * 0.125,
+        irritation: SimDuration::from_micros(seed % 400_000),
+        match_failures: 0,
+        input_faults: 0,
+    }
+}
+
+/// One sealed synthetic submission: `reps` repetitions of two configs,
+/// everything derived from `(fingerprint, jitter)`.
+fn synthetic_submission(fingerprint: u64, jitter: u64, reps: u32) -> Vec<u8> {
+    let configs = ["ondemand", "oracle"];
+    let mut records = BTreeMap::new();
+    for (config, name) in configs.iter().enumerate() {
+        for rep in 0..reps {
+            let seed = fingerprint
+                .wrapping_mul(31)
+                .wrapping_add(jitter)
+                .wrapping_mul(17)
+                .wrapping_add((config as u64) << 32 | u64::from(rep));
+            let record = CheckpointRecord::new(
+                fingerprint,
+                config,
+                rep,
+                &synthetic_result(name, seed),
+                &RepOutcome::Ok,
+            );
+            records.insert((config, rep), record);
+        }
+    }
+    let manifest = SubmissionManifest {
+        schema: SUBMISSION_SCHEMA.to_string(),
+        fingerprint,
+        device_model: "sim14".to_string(),
+        workload: "synthetic".to_string(),
+        reps,
+        configs: configs.iter().map(|c| c.to_string()).collect(),
+        records: 0,
+        props: vec![format!("jitter-us={jitter}"), format!("reps={reps}")],
+    };
+    seal_submission(&manifest, &records, CheckpointFormat::Binary)
+}
+
+/// Ingests `artifacts` in the given order into a fresh database and
+/// returns both exports plus the persisted state bytes.
+fn fold(tag: &str, artifacts: &[Vec<u8>], order: &[usize]) -> (String, String, Vec<u8>) {
+    let dir = temp_db(tag);
+    let mut db = Db::open(&dir, Default::default()).expect("open db");
+    for &i in order {
+        db.ingest_bytes(&artifacts[i]).expect("synthetic submissions are valid");
+    }
+    let state = std::fs::read(dir.join("aggregates.db")).expect("state persisted");
+    let out = (export_csv(&db), export_markdown(&db), state);
+    let _ = std::fs::remove_dir_all(&dir);
+    out
+}
+
+proptest! {
+    /// Any permutation of the same submission set exports byte-identical
+    /// reports and persists byte-identical aggregate state.
+    #[test]
+    fn fold_is_order_independent(
+        count in 2usize..5,
+        rotate in 1usize..4,
+        seed in 1u64..1_000,
+    ) {
+        // Distinct submissions: different fingerprints and jitter props.
+        let artifacts: Vec<Vec<u8>> = (0..count)
+            .map(|i| synthetic_submission(seed + i as u64, 500 * (i as u64 + 1), 1 + (i as u32 % 2)))
+            .collect();
+        let identity: Vec<usize> = (0..count).collect();
+        let mut rotated = identity.clone();
+        rotated.rotate_left(rotate % count);
+        let mut reversed = identity.clone();
+        reversed.reverse();
+
+        let (csv_a, md_a, state_a) = fold("a", &artifacts, &identity);
+        let (csv_b, md_b, state_b) = fold("b", &artifacts, &rotated);
+        let (csv_c, md_c, state_c) = fold("c", &artifacts, &reversed);
+        prop_assert_eq!(&csv_a, &csv_b);
+        prop_assert_eq!(&csv_a, &csv_c);
+        prop_assert_eq!(&md_a, &md_b);
+        prop_assert_eq!(&md_a, &md_c);
+        prop_assert_eq!(&state_a, &state_b);
+        prop_assert_eq!(&state_a, &state_c);
+    }
+
+    /// Submissions sharing a fingerprint and props fold into the same
+    /// groups regardless of which artifact arrives first.
+    #[test]
+    fn overlapping_groups_merge_order_free(seed in 1u64..1_000) {
+        // Same study (fingerprint, props), different rep counts: distinct
+        // artifacts, same group keys.
+        let a = synthetic_submission(seed, 1_500, 1);
+        let b = synthetic_submission(seed, 1_500, 3);
+        prop_assert_ne!(&a, &b, "distinct artifacts");
+        let (csv_ab, _, state_ab) = fold("ab", &[a.clone(), b.clone()], &[0, 1]);
+        let (csv_ba, _, state_ba) = fold("ba", &[a, b], &[1, 0]);
+        prop_assert_eq!(&csv_ab, &csv_ba);
+        prop_assert_eq!(&state_ab, &state_ba);
+        prop_assert!(csv_ab.contains("jitter-us=1500"), "group key keeps residual props");
+    }
+
+    /// Sketch merging is associative and commutative over any partition
+    /// of the same sample set — the algebra the whole database rests on.
+    #[test]
+    fn sketch_fold_is_partition_independent(
+        samples in prop::collection::vec(0u64..2_000_000, 1..60),
+        cut_a in 0usize..60,
+        cut_b in 0usize..60,
+    ) {
+        let (cut_a, cut_b) = (cut_a % samples.len(), cut_b % samples.len());
+        let (lo, hi) = (cut_a.min(cut_b), cut_a.max(cut_b));
+        let mut whole = Sketch::new(1_000);
+        samples.iter().for_each(|&v| whole.add(v));
+
+        // Three-way partition, merged left-assoc and right-assoc.
+        let parts = [&samples[..lo], &samples[lo..hi], &samples[hi..]];
+        let sketches: Vec<Sketch> = parts
+            .iter()
+            .map(|part| {
+                let mut s = Sketch::new(1_000);
+                part.iter().for_each(|&v| s.add(v));
+                s
+            })
+            .collect();
+        let mut left = sketches[0].clone();
+        left.merge(&sketches[1]);
+        left.merge(&sketches[2]);
+        let mut right = sketches[2].clone();
+        right.merge(&sketches[1]);
+        right.merge(&sketches[0]);
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(&right, &whole);
+    }
+
+    /// Reopening a database from its persisted state exports the same
+    /// bytes as the live instance that wrote it.
+    #[test]
+    fn persisted_state_round_trips(seed in 1u64..500) {
+        let dir = temp_db("reopen");
+        let artifacts: Vec<Vec<u8>> =
+            (0..3).map(|i| synthetic_submission(seed + i, 700 * (i + 1), 2)).collect();
+        let live_csv = {
+            let mut db = Db::open(&dir, Default::default()).expect("open");
+            for a in &artifacts {
+                db.ingest_bytes(a).expect("valid");
+            }
+            export_csv(&db)
+        };
+        let reopened = Db::open(&dir, Default::default()).expect("reopen");
+        prop_assert_eq!(reopened.submissions(), 3);
+        prop_assert_eq!(export_csv(&reopened), live_csv);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

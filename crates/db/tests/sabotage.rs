@@ -1,0 +1,273 @@
+//! Adversarial ingest tests: forged, foreign, torn and duplicated
+//! artifacts must be refused with typed errors, copied to quarantine,
+//! counted — and must never perturb the aggregates by a single byte.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use interlag_core::checkpoint::{encode_checkpoint_binary, CheckpointFormat, CheckpointRecord};
+use interlag_core::experiment::{RepOutcome, RepResult};
+use interlag_core::profile::{LagEntry, LagProfile};
+use interlag_db::{
+    export_csv, seal_submission, submission_id, Db, IngestError, SubmissionManifest,
+    SUBMISSION_SCHEMA,
+};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_journal::{encode_record, encode_record_binary};
+use interlag_obs::{Counter, Recorder};
+
+fn temp_db(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("interlag-dbsab-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn result_with(energy_mj: f64) -> RepResult {
+    let mut profile = LagProfile::new("ondemand");
+    profile.push(LagEntry {
+        interaction_id: 0,
+        input_time: SimTime::from_micros(0),
+        lag: SimDuration::from_millis(42),
+        threshold: SimDuration::from_millis(150),
+        confidence: 1.0,
+    });
+    RepResult {
+        profile,
+        dynamic_energy_mj: energy_mj,
+        irritation: SimDuration::from_millis(10),
+        match_failures: 0,
+        input_faults: 0,
+    }
+}
+
+fn manifest(fingerprint: u64) -> SubmissionManifest {
+    SubmissionManifest {
+        schema: SUBMISSION_SCHEMA.to_string(),
+        fingerprint,
+        device_model: "sim14".to_string(),
+        workload: "synthetic".to_string(),
+        reps: 2,
+        configs: vec!["ondemand".to_string(), "oracle".to_string()],
+        records: 0,
+        props: Vec::new(),
+    }
+}
+
+/// A well-formed two-record submission for fingerprint `fp`.
+fn valid_submission(fp: u64) -> Vec<u8> {
+    let mut records = BTreeMap::new();
+    for config in 0..2usize {
+        let record = CheckpointRecord::new(
+            fp,
+            config,
+            0,
+            &result_with(1_000.0 + config as f64),
+            &RepOutcome::Ok,
+        );
+        records.insert((config, 0u32), record);
+    }
+    seal_submission(&manifest(fp), &records, CheckpointFormat::Binary)
+}
+
+/// Hand-frames an artifact from a manifest and raw records, bypassing
+/// [`seal_submission`]'s count stamping and slot dedup — the forger's
+/// toolkit.
+fn forged(manifest: &SubmissionManifest, records: &[CheckpointRecord]) -> Vec<u8> {
+    let json = serde_json::to_string(manifest).unwrap();
+    let mut out = encode_record(json.as_bytes()).unwrap();
+    for record in records {
+        out.extend(encode_record_binary(&encode_checkpoint_binary(record)));
+    }
+    out
+}
+
+/// Opens a db, folds one good submission, then asserts that ingesting
+/// `artifact` fails with an error matching `check`, lands in quarantine,
+/// and leaves the exported report untouched.
+fn assert_quarantined(tag: &str, artifact: &[u8], check: impl Fn(&IngestError) -> bool) {
+    let dir = temp_db(tag);
+    let obs = Recorder::enabled();
+    let mut db = Db::open(&dir, obs.clone()).expect("open");
+    db.ingest_bytes(&valid_submission(7)).expect("the control submission is valid");
+    let before = export_csv(&db);
+    let state_before = std::fs::read(dir.join("aggregates.db")).unwrap();
+
+    let err = db.ingest_bytes(artifact).expect_err("sabotaged artifact must be refused");
+    assert!(check(&err), "{tag}: wrong rejection: {err}");
+
+    // Typed, quarantined, counted — and the fold is untouched.
+    let q = dir.join("quarantine").join(format!("{:016x}.sub", submission_id(artifact)));
+    assert_eq!(std::fs::read(&q).unwrap(), artifact, "{tag}: quarantine keeps the exact bytes");
+    assert_eq!(export_csv(&db), before, "{tag}: rejected artifact leaked into the aggregates");
+    assert_eq!(
+        std::fs::read(dir.join("aggregates.db")).unwrap(),
+        state_before,
+        "{tag}: rejected artifact perturbed the persisted state"
+    );
+    let report = obs.text_report_deterministic();
+    assert!(
+        report.contains(&format!("| {} | 1 |", Counter::DbSubmissionsQuarantined.name())),
+        "{tag}: quarantine counter missing:\n{report}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_artifact_is_quarantined() {
+    let mut bytes = valid_submission(11);
+    bytes.truncate(bytes.len() - 7); // tear the last frame mid-payload
+    assert_quarantined(
+        "torn",
+        &bytes,
+        |e| matches!(e, IngestError::TornArtifact { torn } if *torn > 0),
+    );
+}
+
+#[test]
+fn flipped_byte_is_quarantined() {
+    let mut bytes = valid_submission(13);
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40; // silent bit-rot in a record frame: CRC catches it
+    assert_quarantined("flip", &bytes, |e| {
+        matches!(e, IngestError::TornArtifact { .. } | IngestError::UndecodableRecord { .. })
+    });
+}
+
+#[test]
+fn foreign_fingerprint_records_are_quarantined() {
+    // Records minted under fingerprint 99 smuggled under a manifest
+    // claiming fingerprint 23.
+    let smuggled = vec![CheckpointRecord::new(99, 0, 0, &result_with(500.0), &RepOutcome::Ok)];
+    let mut m = manifest(23);
+    m.records = 1;
+    let bytes = forged(&m, &smuggled);
+    assert_quarantined("foreign", &bytes, |e| matches!(e, IngestError::ForeignRecord { index: 0 }));
+}
+
+#[test]
+fn wrong_schema_is_quarantined() {
+    let mut m = manifest(29);
+    m.schema = "interlag-db-submission/v999".to_string();
+    m.records = 1;
+    let bytes =
+        forged(&m, &[CheckpointRecord::new(29, 0, 0, &result_with(500.0), &RepOutcome::Ok)]);
+    assert_quarantined(
+        "schema",
+        &bytes,
+        |e| matches!(e, IngestError::WrongSchema { found } if found.ends_with("/v999")),
+    );
+}
+
+#[test]
+fn record_count_mismatch_is_quarantined() {
+    let mut m = manifest(31);
+    m.records = 5; // claims five, ships one
+    let bytes =
+        forged(&m, &[CheckpointRecord::new(31, 0, 0, &result_with(500.0), &RepOutcome::Ok)]);
+    assert_quarantined("count", &bytes, |e| {
+        matches!(e, IngestError::RecordCountMismatch { declared: 5, found: 1 })
+    });
+}
+
+#[test]
+fn unassigned_slots_are_quarantined() {
+    // config index 6 with only two configs declared, and a rep beyond
+    // the declared rep count: both are outside the assignment.
+    for (tag, config, rep) in [("config", 6usize, 0u32), ("rep", 0usize, 9u32)] {
+        let mut m = manifest(37);
+        m.records = 1;
+        let bytes = forged(
+            &m,
+            &[CheckpointRecord::new(37, config, rep, &result_with(500.0), &RepOutcome::Ok)],
+        );
+        assert_quarantined(&format!("unassigned-{tag}"), &bytes, |e| {
+            matches!(e, IngestError::UnassignedRecord { index: 0 })
+        });
+    }
+}
+
+#[test]
+fn duplicate_slots_are_quarantined() {
+    let record = CheckpointRecord::new(41, 0, 0, &result_with(500.0), &RepOutcome::Ok);
+    let mut m = manifest(41);
+    m.records = 2;
+    let bytes = forged(&m, &[record.clone(), record]);
+    assert_quarantined("dupslot", &bytes, |e| matches!(e, IngestError::DuplicateSlot { index: 1 }));
+}
+
+#[test]
+fn non_finite_energy_is_quarantined() {
+    for (tag, mj) in [("nan", f64::NAN), ("inf", f64::INFINITY), ("neg", -4.0)] {
+        let mut m = manifest(43);
+        m.records = 1;
+        let bytes =
+            forged(&m, &[CheckpointRecord::new(43, 0, 0, &result_with(mj), &RepOutcome::Ok)]);
+        assert_quarantined(&format!("energy-{tag}"), &bytes, |e| {
+            matches!(e, IngestError::BadMeasurement { index: 0 })
+        });
+    }
+}
+
+#[test]
+fn garbage_manifest_is_quarantined() {
+    let mut bytes = encode_record(b"{\"this is\": \"not a manifest\"}").unwrap();
+    bytes.extend(encode_record_binary(&encode_checkpoint_binary(&CheckpointRecord::new(
+        47,
+        0,
+        0,
+        &result_with(500.0),
+        &RepOutcome::Ok,
+    ))));
+    assert_quarantined("garbage", &bytes, |e| matches!(e, IngestError::BadManifest));
+}
+
+#[test]
+fn empty_artifact_is_quarantined() {
+    assert_quarantined("empty", &[], |e| matches!(e, IngestError::MissingManifest));
+}
+
+#[test]
+fn duplicate_resubmission_is_refused_but_not_quarantined() {
+    let dir = temp_db("dup");
+    let obs = Recorder::enabled();
+    let mut db = Db::open(&dir, obs.clone()).expect("open");
+    let bytes = valid_submission(53);
+    let receipt = db.ingest_bytes(&bytes).expect("first ingest folds");
+    let before = export_csv(&db);
+    let state_before = std::fs::read(dir.join("aggregates.db")).unwrap();
+
+    let err = db.ingest_bytes(&bytes).expect_err("resubmission must be refused");
+    assert!(
+        matches!(&err, IngestError::DuplicateSubmission { id } if *id == receipt.id),
+        "wrong rejection: {err}"
+    );
+    // Refused — but the bytes are already stored, so nothing is
+    // quarantined and nothing double-counts.
+    assert_eq!(export_csv(&db), before, "duplicate must not double-fold");
+    assert_eq!(std::fs::read(dir.join("aggregates.db")).unwrap(), state_before);
+    assert_eq!(
+        std::fs::read_dir(dir.join("quarantine")).unwrap().count(),
+        0,
+        "duplicates are not quarantined"
+    );
+    let report = obs.text_report_deterministic();
+    assert!(report.contains(&format!("| {} | 1 |", Counter::DbDuplicateSubmissions.name())));
+    assert!(report.contains(&format!("| {} | 0 |", Counter::DbSubmissionsQuarantined.name())));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same duplicate is still refused by a *reopened* database — the
+/// ingested-id set survives persistence.
+#[test]
+fn duplicate_detection_survives_reopen() {
+    let dir = temp_db("dup-reopen");
+    let bytes = valid_submission(59);
+    {
+        let mut db = Db::open(&dir, Recorder::disabled()).expect("open");
+        db.ingest_bytes(&bytes).expect("first ingest folds");
+    }
+    let mut db = Db::open(&dir, Recorder::disabled()).expect("reopen");
+    let err = db.ingest_bytes(&bytes).expect_err("reopened db still refuses duplicates");
+    assert!(matches!(err, IngestError::DuplicateSubmission { .. }));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -73,11 +73,22 @@ pub enum Counter {
     HeartbeatsMissed,
     /// Straggler races won by the speculative duplicate attempt.
     SpeculativeWins,
+    /// Submission artifacts accepted and folded into the results
+    /// database.
+    DbSubmissionsIngested,
+    /// Submission artifacts rejected by the ingest gauntlet (torn,
+    /// forged, foreign or malformed) and moved to quarantine.
+    DbSubmissionsQuarantined,
+    /// Byte-identical submissions offered again and refused (the
+    /// content-addressed store folds each submission exactly once).
+    DbDuplicateSubmissions,
+    /// Checkpoint records folded into database sketch aggregates.
+    DbRecordsFolded,
 }
 
 impl Counter {
     /// Every counter, in rendering order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 33] = [
         Counter::AnnotateRuns,
         Counter::StudyReps,
         Counter::RepsOk,
@@ -107,6 +118,10 @@ impl Counter {
         Counter::ShardRecordsQuarantined,
         Counter::HeartbeatsMissed,
         Counter::SpeculativeWins,
+        Counter::DbSubmissionsIngested,
+        Counter::DbSubmissionsQuarantined,
+        Counter::DbDuplicateSubmissions,
+        Counter::DbRecordsFolded,
     ];
 
     /// Stable snake-case name used by both exporters.
@@ -141,6 +156,10 @@ impl Counter {
             Counter::ShardRecordsQuarantined => "shard_records_quarantined",
             Counter::HeartbeatsMissed => "heartbeats_missed",
             Counter::SpeculativeWins => "speculative_wins",
+            Counter::DbSubmissionsIngested => "db_submissions_ingested",
+            Counter::DbSubmissionsQuarantined => "db_submissions_quarantined",
+            Counter::DbDuplicateSubmissions => "db_duplicate_submissions",
+            Counter::DbRecordsFolded => "db_records_folded",
         }
     }
 }

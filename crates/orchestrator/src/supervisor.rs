@@ -42,6 +42,7 @@ use interlag_core::experiment::{
     placeholder_result, Lab, LabConfig, RepOutcome, StudyOptions, StudyResult, StudyScope,
     SweepStage,
 };
+use interlag_db::{device_model, seal_submission, SubmissionManifest, SUBMISSION_SCHEMA};
 use interlag_journal::atomic_write;
 use interlag_obs::{Counter, Recorder};
 use interlag_workloads::gen::Workload;
@@ -75,6 +76,11 @@ pub struct SweepConfig {
     pub speculate_after: Option<Duration>,
     /// On-disk format for shard and merged journals.
     pub format: CheckpointFormat,
+    /// Property-group bindings this sweep runs under, as canonical
+    /// `key=value` strings (e.g. `jitter-us=1500`, `reps=5`). Recorded
+    /// verbatim in the sealed submission manifest so fleet results land
+    /// in the database under the declared matrix point.
+    pub props: Vec<String>,
 }
 
 impl SweepConfig {
@@ -91,6 +97,7 @@ impl SweepConfig {
             backoff_cap: Duration::from_secs(2),
             speculate_after: None,
             format: CheckpointFormat::Binary,
+            props: Vec::new(),
         }
     }
 
@@ -140,6 +147,9 @@ pub struct SweepOutcome {
     pub duplicates: u64,
     /// The merged, slot-ordered journal the final replay consumed.
     pub merged_journal: PathBuf,
+    /// The sealed submission artifact (manifest + merged records) ready
+    /// for `interlag db ingest`.
+    pub submission: PathBuf,
 }
 
 const TICK: Duration = Duration::from_millis(20);
@@ -179,6 +189,22 @@ pub fn run_sweep(
     let merged_path = cfg.journal_dir.join(format!("merged.{}", cfg.ext()));
     atomic_write(&merged_path, encode_merged(&merged.records, cfg.format))?;
 
+    // Seal the merged records into a submission artifact: the same
+    // record bytes as the merged journal, prefixed with a provenance
+    // manifest, ready for `interlag db ingest` on any machine.
+    let submission_path = cfg.journal_dir.join("submission.sub");
+    let manifest = SubmissionManifest {
+        schema: SUBMISSION_SCHEMA.to_string(),
+        fingerprint,
+        device_model: device_model(&lab),
+        workload: workload.name.clone(),
+        reps: grid.reps,
+        configs: (0..=grid.oracle_config()).map(|c| grid.config_name(c)).collect(),
+        records: 0, // stamped by seal_submission
+        props: cfg.props.clone(),
+    };
+    atomic_write(&submission_path, seal_submission(&manifest, &merged.records, cfg.format))?;
+
     let journal = StudyJournal::resume(&merged_path, fingerprint)?;
     let study = Lab::new(lab).study_with(
         workload,
@@ -193,6 +219,7 @@ pub fn run_sweep(
         torn: merged.torn,
         duplicates: merged.duplicates,
         merged_journal: merged_path,
+        submission: submission_path,
     })
 }
 

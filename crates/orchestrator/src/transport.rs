@@ -218,6 +218,10 @@ pub struct ProcessTransport {
     pub fault_seed: u64,
     /// Scheduled agent failures for chaos runs.
     pub sabotage: Vec<AgentSabotage>,
+    /// Extra arguments appended to every agent invocation (matrix
+    /// bindings like `--jitter-us N` that must reach the agent's lab
+    /// configuration for its fingerprint to match the supervisor's).
+    pub extra_args: Vec<String>,
 }
 
 impl Transport for ProcessTransport {
@@ -238,6 +242,7 @@ impl Transport for ProcessTransport {
             .arg("--journal")
             .arg(&task.journal_path)
             .args(["--heartbeat-ms", &self.heartbeat.as_millis().to_string()])
+            .args(&self.extra_args)
             .stdin(Stdio::null())
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit());

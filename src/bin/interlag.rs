@@ -15,16 +15,22 @@
 //!                                              supervised agent processes
 //! interlag agent <DS> -r REPS --shard S --of N --stage STAGE
 //!                     --journal FILE           one shard (spawned by sweep)
+//! interlag db ingest --db DIR <ARTIFACT>...    fold sealed submissions in
+//! interlag db query --db DIR '<GROUP>'         query the aggregates
+//! interlag db export --db DIR [--markdown]     render the whole database
 //! ```
 //!
 //! Datasets: `01 02 03 04 05 24hour mini`. Governors: `ondemand
 //! conservative interactive schedutil performance powersave` or a
-//! frequency like `0.96GHz`.
+//! frequency like `0.96GHz`. Property groups (`sweep --matrix`, `db
+//! query`) use `key=val:key=val,val2` with `k-min/k-max/k-intvs`
+//! interval expansion.
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage error,
 //! `3` corrupt dataset, `4` study resumed but some repetitions remain
 //! timed out or abandoned, `5` sweep completed degraded (some shards
-//! were abandoned; their repetitions carry `Abandoned` causes).
+//! were abandoned; their repetitions carry `Abandoned` causes), `6` db
+//! ingest rejected (quarantined or duplicate) submissions.
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -34,7 +40,9 @@ use interlag::core::checkpoint::{study_fingerprint, StudyJournal};
 use interlag::core::experiment::StudyScope;
 use interlag::core::experiment::{Lab, LabConfig, StudyOptions};
 use interlag::core::ingest::{load_trace_bytes, IngestMode, IngestReport};
+use interlag::core::propgroup::PropGroup;
 use interlag::core::report::{oracle_csv, profile_csv, study_csv, study_markdown_with_ingest};
+use interlag::db::Db;
 use interlag::device::dvfs::{FixedGovernor, Governor};
 use interlag::evdev::classify::{classify_trace, count_inputs, ClassifierConfig};
 use interlag::evdev::trace::EventTrace;
@@ -59,6 +67,9 @@ const EXIT_RESUMED_DEGRADED: u8 = 4;
 /// more shards: the report is whole, some repetitions are synthesised
 /// `Abandoned` placeholders rather than measurements.
 const EXIT_SWEEP_DEGRADED: u8 = 5;
+/// Exit code for a `db ingest` that rejected one or more submissions
+/// (quarantined or duplicate); accepted artifacts were still folded.
+const EXIT_INGEST_REJECTED: u8 = 6;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -84,19 +95,32 @@ fn usage() -> ExitCode {
          \x20 sweep <DS> [-r REPS] [--shards N] [--journal-dir DIR]\n\
          \x20            [--retry-budget N] [--heartbeat-ms MS] [--watchdog-ms MS]\n\
          \x20            [--markdown] [--sabotage KIND@CKPT:SHARD:ATTEMPT]\n\
+         \x20            [--jitter-us US] [--matrix GROUP] [--db DIR]\n\
          \x20                                  the study, sharded across supervised\n\
          \x20                                  agent processes; exits 5 if any shard\n\
-         \x20                                  was abandoned (degraded report)\n\
+         \x20                                  was abandoned (degraded report);\n\
+         \x20                                  --matrix expands a property group\n\
+         \x20                                  (keys reps, jitter-us, shards) into one\n\
+         \x20                                  sweep per point; --db ingests each\n\
+         \x20                                  sweep's sealed submission artifact\n\
          \x20 agent <DS> -r REPS --shard S --of N --stage stage1|oracle\n\
          \x20            --journal FILE [--heartbeat-ms MS] [--sabotage KIND@CKPT]\n\
-         \x20                                  one shard of a sweep (spawned by sweep;\n\
+         \x20            [--jitter-us US]      one shard of a sweep (spawned by sweep;\n\
          \x20                                  speaks framed messages on stdout)\n\
+         \x20 db ingest --db DIR <ARTIFACT>... fold sealed submissions into the\n\
+         \x20                                  results database (exit 6 if any were\n\
+         \x20                                  quarantined or duplicates)\n\
+         \x20 db query --db DIR GROUP          query aggregates, e.g.\n\
+         \x20                                  governor=ondemand:device=sim14:stat=p95-lag\n\
+         \x20 db export --db DIR [--markdown]  render the whole database (CSV default)\n\
          \n\
          datasets: 01 02 03 04 05 24hour mini\n\
          governors: ondemand conservative interactive schedutil performance powersave <freq>GHz\n\
+         property groups: key=val:key=val,val2  (k-min=A:k-max=B:k-intvs=N expands)\n\
          exit codes: 0 ok, 1 failure, 2 usage, 3 corrupt dataset,\n\
          \x20           4 resumed study still has timed-out/abandoned reps,\n\
-         \x20           5 sweep completed degraded (abandoned shards)"
+         \x20           5 sweep completed degraded (abandoned shards),\n\
+         \x20           6 db ingest rejected submissions"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -491,9 +515,14 @@ fn cmd_agent(w: &Workload, args: &[String]) -> ExitCode {
             }
         },
     };
+    let mut lab = LabConfig { reps, ..Default::default() };
+    if let Some(jitter) = flag_value(args, &["--jitter-us"]).and_then(|v| v.parse().ok()) {
+        // Part of the study fingerprint: must match the supervisor's lab.
+        lab.jitter_us = jitter;
+    }
     let cfg = AgentConfig {
         workload: w.clone(),
-        lab: LabConfig { reps, ..Default::default() },
+        lab,
         scope: StudyScope { shard, of, stage },
         journal_path: journal.into(),
         heartbeat: Duration::from_millis(heartbeat),
@@ -516,8 +545,66 @@ fn cmd_agent(w: &Workload, args: &[String]) -> ExitCode {
     }
 }
 
+/// One expanded matrix point's effective sweep knobs.
+struct SweepPoint {
+    reps: u32,
+    jitter_us: Option<u64>,
+    shards: u32,
+    /// Canonical `key=value` bindings recorded in the sealed submission
+    /// manifest (and printed as the point's label).
+    props: Vec<String>,
+    /// The canonical point text, `None` for an unparameterised sweep.
+    label: Option<String>,
+}
+
+/// Expands `--matrix GROUP` into sweep points over the base knobs.
+/// Supported keys: `reps`, `jitter-us`, `shards`.
+fn sweep_points(matrix: Option<&str>, reps: u32, shards: u32) -> Result<Vec<SweepPoint>, String> {
+    let Some(text) = matrix else {
+        return Ok(vec![SweepPoint {
+            reps,
+            jitter_us: None,
+            shards,
+            props: Vec::new(),
+            label: None,
+        }]);
+    };
+    let group: PropGroup = text.parse().map_err(|e| format!("bad --matrix: {e}"))?;
+    let points = group.expand().map_err(|e| format!("bad --matrix: {e}"))?;
+    points
+        .into_iter()
+        .map(|point| {
+            let mut p = SweepPoint {
+                reps,
+                jitter_us: None,
+                shards,
+                props: point.pairs().iter().map(|(k, v)| format!("{k}={v}")).collect(),
+                label: Some(point.to_string()),
+            };
+            for (key, value) in point.pairs() {
+                let parsed = value
+                    .parse()
+                    .map_err(|_| format!("bad --matrix: {key}={value} is not an unsigned integer"));
+                match key.as_str() {
+                    "reps" => p.reps = parsed? as u32,
+                    "jitter-us" => p.jitter_us = Some(parsed?),
+                    "shards" => p.shards = parsed? as u32,
+                    other => {
+                        return Err(format!(
+                            "bad --matrix: unsupported key {other:?} (reps, jitter-us, shards)"
+                        ))
+                    }
+                }
+            }
+            Ok(p)
+        })
+        .collect()
+}
+
 /// `interlag sweep`: the full study, partitioned across supervised
-/// `interlag agent` child processes and merged byte-identically.
+/// `interlag agent` child processes and merged byte-identically. With
+/// `--matrix` the whole sweep runs once per expanded point; with `--db`
+/// each point's sealed submission is folded into the results database.
 fn cmd_sweep(w: &Workload, dataset: &str, args: &[String]) -> ExitCode {
     let reps = flag_value(args, &["-r", "--reps"]).and_then(|v| v.parse().ok()).unwrap_or(1);
     let shards = flag_value(args, &["--shards"]).and_then(|v| v.parse().ok()).unwrap_or(4u32);
@@ -527,29 +614,25 @@ fn cmd_sweep(w: &Workload, dataset: &str, args: &[String]) -> ExitCode {
             .to_string_lossy()
             .into_owned()
     });
-    let mut cfg = SweepConfig::new(shards, journal_dir);
-    if let Some(budget) = flag_value(args, &["--retry-budget"]).and_then(|v| v.parse().ok()) {
-        cfg.retry_budget = budget;
-    }
-    let heartbeat =
-        flag_value(args, &["--heartbeat-ms"]).and_then(|v| v.parse().ok()).unwrap_or(250u64);
-    if let Some(ms) = flag_value(args, &["--watchdog-ms"]).and_then(|v| v.parse::<u64>().ok()) {
-        cfg.heartbeat_timeout = Duration::from_millis(ms);
-    }
-    cfg.heartbeat_timeout = cfg.heartbeat_timeout.max(Duration::from_millis(heartbeat * 4));
-    let mut sabotage = Vec::new();
-    for entry in flag_values(args, &["--sabotage"]) {
-        match parse_sweep_sabotage(&entry, cfg.retry_budget) {
-            Some(mut parsed) => sabotage.append(&mut parsed),
-            None => {
-                eprintln!(
-                    "interlag: bad --sabotage {entry:?} \
-                     (KIND@CKPT:SHARD:ATTEMPT, kinds crash wedge tear kill, attempt may be *)"
-                );
-                return usage();
-            }
+    let matrix = flag_value(args, &["--matrix"]);
+    let points = match sweep_points(matrix.as_deref(), reps, shards) {
+        Ok(points) => points,
+        Err(e) => {
+            eprintln!("interlag: {e}");
+            return usage();
         }
-    }
+    };
+    let base_jitter = flag_value(args, &["--jitter-us"]).and_then(|v| v.parse().ok());
+    let mut db = match flag_value(args, &["--db"]) {
+        None => None,
+        Some(dir) => match Db::open(&dir, Default::default()) {
+            Ok(db) => Some(db),
+            Err(e) => {
+                eprintln!("interlag: cannot open db {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let exe = match std::env::current_exe() {
         Ok(exe) => exe,
         Err(e) => {
@@ -557,46 +640,198 @@ fn cmd_sweep(w: &Workload, dataset: &str, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut transport = ProcessTransport {
-        exe,
-        dataset: dataset.to_string(),
-        reps,
-        heartbeat: Duration::from_millis(heartbeat),
-        faults: TransportFaults::none(),
-        fault_seed: 0,
-        sabotage,
+
+    let multi = points.len() > 1;
+    let mut worst = ExitCode::SUCCESS;
+    for (i, point) in points.iter().enumerate() {
+        let dir = if multi { format!("{journal_dir}/point-{i}") } else { journal_dir.clone() };
+        let mut cfg = SweepConfig::new(point.shards, dir);
+        cfg.props = point.props.clone();
+        if let Some(budget) = flag_value(args, &["--retry-budget"]).and_then(|v| v.parse().ok()) {
+            cfg.retry_budget = budget;
+        }
+        let heartbeat =
+            flag_value(args, &["--heartbeat-ms"]).and_then(|v| v.parse().ok()).unwrap_or(250u64);
+        if let Some(ms) = flag_value(args, &["--watchdog-ms"]).and_then(|v| v.parse::<u64>().ok()) {
+            cfg.heartbeat_timeout = Duration::from_millis(ms);
+        }
+        cfg.heartbeat_timeout = cfg.heartbeat_timeout.max(Duration::from_millis(heartbeat * 4));
+        let mut sabotage = Vec::new();
+        for entry in flag_values(args, &["--sabotage"]) {
+            match parse_sweep_sabotage(&entry, cfg.retry_budget) {
+                Some(mut parsed) => sabotage.append(&mut parsed),
+                None => {
+                    eprintln!(
+                        "interlag: bad --sabotage {entry:?} \
+                         (KIND@CKPT:SHARD:ATTEMPT, kinds crash wedge tear kill, attempt may be *)"
+                    );
+                    return usage();
+                }
+            }
+        }
+        let jitter = point.jitter_us.or(base_jitter);
+        let mut extra_args = Vec::new();
+        if let Some(us) = jitter {
+            extra_args.extend(["--jitter-us".to_string(), us.to_string()]);
+        }
+        let mut transport = ProcessTransport {
+            exe: exe.clone(),
+            dataset: dataset.to_string(),
+            reps: point.reps,
+            heartbeat: Duration::from_millis(heartbeat),
+            faults: TransportFaults::none(),
+            fault_seed: 0,
+            sabotage,
+            extra_args,
+        };
+        let mut lab = LabConfig { reps: point.reps, ..Default::default() };
+        if let Some(us) = jitter {
+            lab.jitter_us = us;
+        }
+        let out = match run_sweep(w, lab, &mut transport, &cfg) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("interlag: sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(label) = &point.label {
+            println!("# matrix-point: {label}");
+        }
+        if args.iter().any(|a| a == "--markdown") {
+            print!("{}", study_markdown_with_ingest(&out.study, &IngestReport::default()));
+        } else {
+            print!("{}", study_csv(&out.study));
+        }
+        let retried: u32 = out.shards.iter().map(|s| s.attempts.saturating_sub(1)).sum();
+        eprintln!(
+            "interlag sweep: {} shard dispatch(es) over 2 waves, {} retried, {} abandoned; \
+             {} torn fragment(s), {} quarantined record(s); merged journal {}",
+            out.shards.len(),
+            retried,
+            out.shards.iter().filter(|s| s.abandoned.is_some()).count(),
+            out.torn,
+            out.quarantined,
+            out.merged_journal.display(),
+        );
+        if let Some(db) = &mut db {
+            match db.ingest_file(&out.submission) {
+                Ok(receipt) => eprintln!(
+                    "interlag sweep: submission {:016x} folded into {} \
+                     ({} repetition(s), {} lag(s))",
+                    receipt.id,
+                    db.dir().display(),
+                    receipt.reps_folded,
+                    receipt.lags_folded,
+                ),
+                Err(e) => {
+                    eprintln!("interlag: db ingest of {} failed: {e}", out.submission.display());
+                    worst = ExitCode::from(EXIT_INGEST_REJECTED);
+                }
+            }
+        }
+        if out.degraded {
+            eprintln!(
+                "interlag: sweep degraded: abandoned shards left synthesised \
+                 Abandoned repetition(s)"
+            );
+            worst = ExitCode::from(EXIT_SWEEP_DEGRADED);
+        }
+    }
+    worst
+}
+
+/// `interlag db`: the fleet results database verbs.
+fn cmd_db(args: &[String]) -> ExitCode {
+    let Some(verb) = args.get(1).map(String::as_str) else {
+        eprintln!("interlag: db requires a verb: ingest, query or export");
+        return usage();
     };
-    let lab = LabConfig { reps, ..Default::default() };
-    let out = match run_sweep(w, lab, &mut transport, &cfg) {
-        Ok(out) => out,
+    let Some(dir) = flag_value(args, &["--db"]) else {
+        eprintln!("interlag: db {verb} requires --db DIR");
+        return usage();
+    };
+    let mut db = match Db::open(&dir, Default::default()) {
+        Ok(db) => db,
         Err(e) => {
-            eprintln!("interlag: sweep failed: {e}");
+            eprintln!("interlag: cannot open db {dir}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    if args.iter().any(|a| a == "--markdown") {
-        print!("{}", study_markdown_with_ingest(&out.study, &IngestReport::default()));
-    } else {
-        print!("{}", study_csv(&out.study));
+    match verb {
+        "ingest" => {
+            // Positional operands: everything after the verb that is not a
+            // flag or a flag's value.
+            let artifacts: Vec<&String> = args
+                .iter()
+                .enumerate()
+                .skip(2)
+                .filter(|(i, a)| !a.starts_with("--") && args[i - 1] != "--db")
+                .map(|(_, a)| a)
+                .collect();
+            if artifacts.is_empty() {
+                eprintln!("interlag: db ingest requires at least one ARTIFACT");
+                return usage();
+            }
+            let mut rejected = 0usize;
+            for path in &artifacts {
+                match db.ingest_file(path) {
+                    Ok(receipt) => eprintln!(
+                        "ingested {path}: submission {:016x}, {} repetition(s), \
+                         {} lag(s), {} degraded",
+                        receipt.id, receipt.reps_folded, receipt.lags_folded, receipt.degraded,
+                    ),
+                    Err(e) => {
+                        eprintln!("rejected {path}: {e}");
+                        rejected += 1;
+                    }
+                }
+            }
+            eprintln!(
+                "interlag db: {} ingested, {rejected} rejected; {} group(s) aggregated",
+                artifacts.len() - rejected,
+                db.groups().len(),
+            );
+            if rejected > 0 {
+                return ExitCode::from(EXIT_INGEST_REJECTED);
+            }
+            ExitCode::SUCCESS
+        }
+        "query" => {
+            let Some(group) = args
+                .iter()
+                .enumerate()
+                .skip(2)
+                .find(|(i, a)| !a.starts_with("--") && args[i - 1] != "--db")
+                .map(|(_, a)| a)
+            else {
+                eprintln!("interlag: db query requires a property group");
+                return usage();
+            };
+            match interlag::db::query(&db, group) {
+                Ok(rows) => {
+                    print!("{rows}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("interlag: {e}");
+                    usage()
+                }
+            }
+        }
+        "export" => {
+            if args.iter().any(|a| a == "--markdown") {
+                print!("{}", interlag::db::export_markdown(&db));
+            } else {
+                print!("{}", interlag::db::export_csv(&db));
+            }
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("interlag: unknown db verb {other:?} (ingest, query, export)");
+            usage()
+        }
     }
-    let retried: u32 = out.shards.iter().map(|s| s.attempts.saturating_sub(1)).sum();
-    eprintln!(
-        "interlag sweep: {} shard dispatch(es) over 2 waves, {} retried, {} abandoned; \
-         {} torn fragment(s), {} quarantined record(s); merged journal {}",
-        out.shards.len(),
-        retried,
-        out.shards.iter().filter(|s| s.abandoned.is_some()).count(),
-        out.torn,
-        out.quarantined,
-        out.merged_journal.display(),
-    );
-    if out.degraded {
-        eprintln!(
-            "interlag: sweep degraded: abandoned shards left synthesised Abandoned repetition(s)"
-        );
-        return ExitCode::from(EXIT_SWEEP_DEGRADED);
-    }
-    ExitCode::SUCCESS
 }
 
 fn cmd_oracle(w: &Workload) -> ExitCode {
@@ -620,6 +855,7 @@ fn main() -> ExitCode {
     };
     match command {
         "datasets" => cmd_datasets(),
+        "db" => cmd_db(&args),
         "record" | "classify" | "replay" | "study" | "oracle" | "sweep" | "agent" => {
             let Some(target) = args.get(1) else { return usage() };
             if command == "classify" {

@@ -21,6 +21,7 @@
 //! | [`journal`] | `interlag-journal` | checkpoint journal, atomic writes, watchdog tokens |
 //! | [`core`] | `interlag-core` | suggester, matcher, irritation metric, oracle, lab |
 //! | [`orchestrator`] | `interlag-orchestrator` | sharded sweeps: agents, supervisor, byte-stable merge |
+//! | [`db`] | `interlag-db` | fleet results database: submission store, sketch aggregates, queries |
 //!
 //! # Quickstart
 //!
@@ -48,6 +49,7 @@
 //! ```
 
 pub use interlag_core as core;
+pub use interlag_db as db;
 pub use interlag_device as device;
 pub use interlag_evdev as evdev;
 pub use interlag_faults as faults;

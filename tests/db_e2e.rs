@@ -1,0 +1,144 @@
+//! Differential end-to-end test for the results database: a fleet run
+//! folded through `interlag sweep --db` and read back with
+//! `interlag db query` must report exactly the statistics this test
+//! computes *independently* — by decoding the single-process
+//! `interlag study` journal and re-deriving every percentile, mean and
+//! count from the raw samples with its own arithmetic.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use interlag::core::checkpoint::decode_checkpoint_any;
+use interlag::db::SubmissionManifest;
+use interlag::journal::decode_records;
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_interlag")).args(args).output().expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("interlag-dbe2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Everything measured for one governor config, straight from the
+/// single-process study journal.
+#[derive(Default)]
+struct RawConfig {
+    lags_us: Vec<u64>,
+    energies_uj: Vec<u64>,
+    reps: u64,
+}
+
+/// The independent percentile rule: the sample of rank `ceil(q*n)`
+/// rounded up to its inclusive histogram bucket bound. Re-derived from
+/// the sorted raw samples, not from the database's sketch code.
+fn percentile_ms(sorted_us: &[u64], q: f64, bucket_us: u64) -> String {
+    let n = sorted_us.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    let sample = sorted_us[rank as usize - 1];
+    format!("{:.3}ms", ((sample / bucket_us + 1) * bucket_us) as f64 / 1_000.0)
+}
+
+fn mean_ms(samples_us: &[u64]) -> String {
+    let sum: u128 = samples_us.iter().map(|&v| u128::from(v)).sum();
+    format!("{:.3}ms", sum as f64 / samples_us.len() as f64 / 1_000.0)
+}
+
+#[test]
+fn db_query_matches_stats_recomputed_from_the_study_journal() {
+    // 1. Ground truth: the plain single-process study, journalled.
+    let dir = temp_dir("truth");
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("study.bin");
+    let out = run(&["study", "mini", "-r", "2", "--journal", journal.to_str().unwrap()]);
+    assert!(out.status.success(), "study failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    let bytes = std::fs::read(&journal).unwrap();
+    let decoded = decode_records(&bytes);
+    assert_eq!(decoded.torn, 0, "clean journal");
+    let mut raw: BTreeMap<usize, RawConfig> = BTreeMap::new();
+    for payload in &decoded.records {
+        let record = decode_checkpoint_any(payload).expect("study records decode");
+        let (config, _rep, result, outcome) = record.into_parts();
+        assert!(outcome.is_measured(), "the mini study has no degraded repetitions");
+        let entry = raw.entry(config).or_default();
+        entry.reps += 1;
+        entry.energies_uj.push((result.dynamic_energy_mj * 1_000.0).round() as u64);
+        for lag in result.profile.lags() {
+            entry.lags_us.push(lag.as_micros());
+        }
+    }
+    assert!(!raw.is_empty(), "the study journalled at least one config");
+    raw.values_mut().for_each(|c| c.lags_us.sort_unstable());
+
+    // 2. The fleet path: a sharded sweep sealed into a submission and
+    //    folded into a fresh database at merge time.
+    let sweep_dir = temp_dir("sweep");
+    let db_dir = temp_dir("db");
+    let out = run(&[
+        "sweep",
+        "mini",
+        "-r",
+        "2",
+        "--shards",
+        "3",
+        "--journal-dir",
+        sweep_dir.to_str().unwrap(),
+        "--db",
+        db_dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "sweep failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // The sealed manifest names the configs in index order — that is the
+    // map from journal config indices to queryable governor names.
+    let sub = std::fs::read(sweep_dir.join("submission.sub")).unwrap();
+    let frames = decode_records(&sub);
+    let manifest: SubmissionManifest = serde_json::from_str(
+        std::str::from_utf8(&frames.records[0]).expect("manifest frame is UTF-8"),
+    )
+    .expect("manifest frame parses");
+    assert_eq!(manifest.configs.len(), raw.len(), "study and sweep cover the same config grid");
+
+    // 3. Differential check: every queried stat equals the value this
+    //    test recomputed from the raw study samples.
+    for (&config, truth) in &raw {
+        let governor = &manifest.configs[config];
+        let query = format!(
+            "governor={governor}:stat=p50-lag,p90-lag,p95-lag,p99-lag,mean-lag,lags,reps,mean-energy"
+        );
+        let out = run(&["db", "query", "--db", db_dir.to_str().unwrap(), &query]);
+        assert!(out.status.success(), "query failed: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        let line = stdout.trim_end();
+        assert_eq!(
+            stdout.lines().count(),
+            1,
+            "one group per governor in a single-point sweep:\n{stdout}"
+        );
+
+        let energy_sum: u128 = truth.energies_uj.iter().map(|&v| u128::from(v)).sum();
+        let expected = format!(
+            "device={}:governor={}:workload=mini \
+             p50-lag={} p90-lag={} p95-lag={} p99-lag={} mean-lag={} lags={} reps={} \
+             mean-energy={:.3}mJ",
+            manifest.device_model,
+            governor,
+            percentile_ms(&truth.lags_us, 0.50, 1_000),
+            percentile_ms(&truth.lags_us, 0.90, 1_000),
+            percentile_ms(&truth.lags_us, 0.95, 1_000),
+            percentile_ms(&truth.lags_us, 0.99, 1_000),
+            mean_ms(&truth.lags_us),
+            truth.lags_us.len(),
+            truth.reps,
+            energy_sum as f64 / truth.energies_uj.len() as f64 / 1_000.0,
+        );
+        assert_eq!(line, expected, "governor {governor} diverged from the study journal");
+    }
+
+    for d in [&dir, &sweep_dir, &db_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
