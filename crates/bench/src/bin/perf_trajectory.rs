@@ -1,7 +1,7 @@
 //! `perf_trajectory` — the tracked performance trajectory of the raw-speed
-//! frame pipeline, emitted as machine-readable JSON (`BENCH_8.json`).
+//! frame pipeline, emitted as machine-readable JSON (`BENCH_9.json`).
 //!
-//! Seven sections, each timing the optimised path against the baseline it
+//! Eight sections, each timing the optimised path against the baseline it
 //! replaced:
 //!
 //! 1. **kernel** — the chunked-u64 diff kernels against the per-pixel
@@ -19,6 +19,9 @@
 //!    (content addressing, manifest validation, fingerprint and slot
 //!    checks, staged sketch fold, atomic persist) over a synthetic
 //!    fleet of sealed submissions.
+//! 8. **tune** — the governor-tuning sweep (reference oracle runs plus a
+//!    tunable grid of capture-free replays folded into sketches and a
+//!    Pareto frontier) at 1 and 4 workers.
 //!
 //! Usage: `cargo run --release -p interlag-bench --bin perf_trajectory
 //! [-- --quick] [--out FILE]`. `--quick` shrinks sample counts for CI;
@@ -363,6 +366,37 @@ fn db_ingest_section(submissions: usize, samples: usize) -> DbIngestNumbers {
     }
 }
 
+struct TuneNumbers {
+    workers: usize,
+    wall_s: f64,
+    slots_per_s: f64,
+}
+
+/// Wall-clock of the governor-tuning sweep: each run pays the oracle
+/// reference (every fixed-OPP profile plus one oracle replay) and then
+/// one capture-free replay per `(point, repetition)` slot, folded into
+/// database sketches and reduced to a Pareto frontier.
+fn tune_section(points: usize, reps: u32) -> Vec<TuneNumbers> {
+    use interlag_orchestrator::{run_tune, TuneConfig};
+    let workload = study_workload();
+    let group = format!(
+        "governor=ondemand:up-threshold-min=50:up-threshold-max=95:up-threshold-intvs={points}:reps={reps}"
+    );
+    let slots = points * reps as usize;
+    [1usize, 4]
+        .into_iter()
+        .map(|workers| {
+            let config = TuneConfig { group: group.clone(), workers, shards: 1 };
+            let started = Instant::now();
+            let out = run_tune(&workload, &config).expect("clean tune");
+            assert_eq!(out.points.len(), points);
+            black_box(out.frontier.len());
+            let wall_s = started.elapsed().as_secs_f64();
+            TuneNumbers { workers, wall_s, slots_per_s: slots as f64 / wall_s }
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -371,10 +405,11 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_8.json".to_string());
+        .unwrap_or_else(|| "BENCH_9.json".to_string());
 
     let (kernel_samples, matcher_samples, journal_records, study_reps, db_submissions) =
         if quick { (5, 3, 200, 1, 20) } else { (25, 9, 2_000, interlag_bench::reps(), 200) };
+    let (tune_points, tune_reps) = if quick { (4usize, 1u32) } else { (8, 2) };
 
     eprintln!("[trajectory] kernel: 1080p diff kernels vs scalar reference");
     let k = kernel_section(kernel_samples);
@@ -423,6 +458,15 @@ fn main() {
         db.submissions, db.records, db.submissions_per_s, db.records_per_s
     );
 
+    eprintln!("[trajectory] tune: governor-tuning sweep throughput");
+    let tune = tune_section(tune_points, tune_reps);
+    for t in &tune {
+        eprintln!(
+            "[trajectory]   workers={}: {:.2} s, {:.1} slots/s",
+            t.workers, t.wall_s, t.slots_per_s
+        );
+    }
+
     let workers_json: Vec<String> = study
         .iter()
         .map(|(workers, wall)| format!("{{\"workers\": {workers}, \"wall_s\": {wall:.4}}}"))
@@ -431,8 +475,17 @@ fn main() {
         .iter()
         .map(|m| format!("{{\"shards\": {}, \"records_per_s\": {:.0}}}", m.shards, m.records_per_s))
         .collect();
+    let tune_json: Vec<String> = tune
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"workers\": {}, \"wall_s\": {:.4}, \"slots_per_s\": {:.1}}}",
+                t.workers, t.wall_s, t.slots_per_s
+            )
+        })
+        .collect();
     let doc = format!(
-        "{{\n  \"schema\": \"interlag-bench-trajectory/v3\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"schema\": \"interlag-bench-trajectory/v4\",\n  \"quick\": {quick},\n  \
          \"kernel\": {{\n    \"pixels_per_frame\": {pixels},\n    \"scalar_px_per_s\": {sps:.0},\n    \
          \"kernel_px_per_s\": {kps:.0},\n    \"speedup\": {kspeed:.3}\n  }},\n  \
          \"matcher\": {{\n    \"lags\": {lags},\n    \"frames\": {frames},\n    \
@@ -443,7 +496,9 @@ fn main() {
          \"json_over_binary\": {ratio:.3}\n  }},\n  \
          \"shard_merge\": {{\n    \"records\": {records},\n    \"merges\": [{merges}]\n  }},\n  \
          \"db_ingest\": {{\n    \"submissions\": {dbsubs},\n    \"records\": {dbrecs},\n    \
-         \"submissions_per_s\": {dbsps:.0},\n    \"records_per_s\": {dbrps:.0}\n  }}\n}}\n",
+         \"submissions_per_s\": {dbsps:.0},\n    \"records_per_s\": {dbrps:.0}\n  }},\n  \
+         \"tune\": {{\n    \"points\": {tpoints},\n    \"reps\": {treps},\n    \
+         \"sweeps\": [{tsweeps}]\n  }}\n}}\n",
         pixels = k.pixels,
         sps = k.scalar_px_per_s,
         kps = k.kernel_px_per_s,
@@ -465,6 +520,9 @@ fn main() {
         dbrecs = db.records,
         dbsps = db.submissions_per_s,
         dbrps = db.records_per_s,
+        tpoints = tune_points,
+        treps = tune_reps,
+        tsweeps = tune_json.join(", "),
     );
     if let Err(e) = interlag_journal::atomic_write(&out, &doc) {
         eprintln!("perf_trajectory: cannot write {out}: {e}");

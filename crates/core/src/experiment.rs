@@ -1193,7 +1193,11 @@ pub fn placeholder_result(name: &str) -> RepResult {
 /// microsecond would poison the run; colliding timestamps are bumped
 /// forward by 1 µs instead. Repetition 0 — and a zero jitter setting —
 /// replays the recording untouched.
-fn jitter_events(trace: &EventTrace, jitter_us: u64, rep: u32) -> EventTrace {
+///
+/// Public because the governor-tuning sweep ([`crate::tune`]) jitters its
+/// repetitions with exactly the study's rule, so tuned and studied
+/// repetitions of the same `(trace, rep)` see the same input timing.
+pub fn jitter_events(trace: &EventTrace, jitter_us: u64, rep: u32) -> EventTrace {
     if rep == 0 || jitter_us == 0 {
         return trace.clone();
     }

@@ -29,7 +29,9 @@
 //!   crash-safe, resumable sweeps;
 //! * [`propgroup`] — the `key=val:key=val,val2` property-group CLI
 //!   grammar shared by `interlag sweep` matrices and `interlag db`
-//!   queries.
+//!   queries;
+//! * [`tune`] — governor-tunable grids over that grammar, scored by
+//!   (irritation, energy) distance from the per-workload oracle.
 //!
 //! # Examples
 //!
@@ -70,6 +72,7 @@ pub mod propgroup;
 pub mod report;
 pub mod stats;
 pub mod suggester;
+pub mod tune;
 pub mod wire;
 
 pub use annotation::{annotate, AnnotationDb, AnnotationStats, FramePicker, GroundTruthPicker};
@@ -87,3 +90,7 @@ pub use profile::{LagEntry, LagProfile};
 pub use propgroup::{PropError, PropErrorKind, PropGroup, PropPoint};
 pub use report::{oracle_csv, profile_csv, study_csv, study_markdown};
 pub use suggester::{Suggester, SuggesterConfig, Suggestion};
+pub use tune::{
+    measure_tune_point, parse_tune_group, tune_reference, GovernorSpec, TuneGrid, TuneMeasurement,
+    TuneReference,
+};

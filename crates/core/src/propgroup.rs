@@ -75,6 +75,14 @@ pub enum PropErrorKind {
     EmptyInterval,
     /// `-intvs` was zero, or 1 with `min != max`.
     BadIntervalCount,
+    /// A value parsed but lies outside the key's accepted domain
+    /// (raised by layers validating beyond the grammar, e.g. the
+    /// `db query` percentile stats or `interlag tune` tunable ranges).
+    OutOfDomain,
+    /// The key is well-formed but not part of the vocabulary the
+    /// consuming layer accepts (e.g. a tunable the selected governor
+    /// does not expose).
+    UnknownKey,
 }
 
 impl fmt::Display for PropError {
@@ -90,6 +98,8 @@ impl fmt::Display for PropError {
             PropErrorKind::BadIntervalNumber => "interval bounds must be single unsigned integers",
             PropErrorKind::EmptyInterval => "interval has min > max",
             PropErrorKind::BadIntervalCount => "interval count must fit the range",
+            PropErrorKind::OutOfDomain => "value outside the key's accepted domain",
+            PropErrorKind::UnknownKey => "key not accepted by this grammar",
         };
         write!(f, "{what} at byte {}", self.offset)
     }
@@ -192,6 +202,28 @@ impl PropGroup {
         let mut offset = 0;
         for (k, values) in &self.pairs {
             if k == key {
+                return offset;
+            }
+            offset += k.len() + 1 + values.iter().map(|v| v.len() + 1).sum::<usize>();
+        }
+        0
+    }
+
+    /// The byte offset of `value` under `key` in the canonical printing.
+    /// Layers that validate values beyond the grammar (the `db query`
+    /// percentile stats, tunable domains) point their [`PropError`]s
+    /// here so diagnostics stay byte-addressed like the parser's own.
+    pub fn offset_of_value(&self, key: &str, value: &str) -> usize {
+        let mut offset = 0;
+        for (k, values) in &self.pairs {
+            if k == key {
+                let mut value_offset = offset + k.len() + 1;
+                for v in values {
+                    if v == value {
+                        return value_offset;
+                    }
+                    value_offset += v.len() + 1;
+                }
                 return offset;
             }
             offset += k.len() + 1 + values.iter().map(|v| v.len() + 1).sum::<usize>();
@@ -402,6 +434,16 @@ mod tests {
         assert_eq!(zero.kind, PropErrorKind::BadIntervalCount);
         let collide = parse("x=1:x-min=1:x-max=1:x-intvs=1").expand().expect_err("collision");
         assert_eq!(collide.kind, PropErrorKind::DuplicateKey);
+    }
+
+    #[test]
+    fn value_offsets_address_the_canonical_text() {
+        let g = parse("a=1,22:stat=p95-lag,p200-lag");
+        assert_eq!(g.offset_of_value("stat", "p95-lag"), 12);
+        assert_eq!(g.offset_of_value("stat", "p200-lag"), 20);
+        // Unknown value points at the key; unknown key at the start.
+        assert_eq!(g.offset_of_value("stat", "nope"), 7);
+        assert_eq!(g.offset_of_value("zzz", "1"), 0);
     }
 
     #[test]

@@ -32,4 +32,7 @@ pub mod store;
 pub use manifest::{device_model, seal_submission, SubmissionManifest, SUBMISSION_SCHEMA};
 pub use query::{export_csv, export_markdown, query, QueryError, STATS};
 pub use sketch::Sketch;
-pub use store::{submission_id, Db, GroupAggregate, GroupKey, IngestError, IngestReceipt};
+pub use store::{
+    submission_id, Db, GroupAggregate, GroupKey, IngestError, IngestReceipt, ENERGY_BUCKET_UJ,
+    IRRITATION_BUCKET_US, LAG_BUCKET_US,
+};

@@ -12,11 +12,16 @@
 
 use std::fmt::Write as _;
 
-use interlag_core::propgroup::{PropError, PropGroup};
+use interlag_core::propgroup::{PropError, PropErrorKind, PropGroup};
 
 use crate::store::{Db, GroupAggregate, GroupKey};
 
-/// Every statistic a query can ask for, with its render unit.
+/// Every statistic a query can ask for, with its render unit. Beyond
+/// this fixed set, any `p<N>-lag`, `p<N>-irritation` or `p<N>-energy`
+/// with `1 <= N <= 100` names the corresponding percentile; an integer
+/// `N` outside that domain is rejected with a byte-offset
+/// [`PropError`] rather than silently clamped or aliased (the sketch's
+/// quantile domain is `(0, 1]`).
 pub const STATS: [&str; 12] = [
     "mean-lag",
     "p50-lag",
@@ -46,7 +51,12 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::Prop(e) => write!(f, "bad query group: {e}"),
             QueryError::UnknownStat(s) => {
-                write!(f, "unknown stat {s:?} (one of {})", STATS.join(", "))
+                write!(
+                    f,
+                    "unknown stat {s:?} (one of {}, or pN-lag/pN-irritation/pN-energy \
+                     with 1 <= N <= 100)",
+                    STATS.join(", ")
+                )
             }
         }
     }
@@ -60,23 +70,41 @@ impl From<PropError> for QueryError {
     }
 }
 
+/// The outcome of reading a `stat=` value as a `p<N>-metric` percentile:
+/// `None` if it is not shaped like one, `Some(Err(()))` if `N` parsed
+/// but lies outside `1..=100`, `Some(Ok((q, metric)))` otherwise.
+fn percentile_stat(stat: &str) -> Option<Result<(f64, &str), ()>> {
+    let rest = stat.strip_prefix('p')?;
+    let (digits, metric) = rest.split_once('-')?;
+    if !matches!(metric, "lag" | "irritation" | "energy") {
+        return None;
+    }
+    let n: u64 = digits.parse().ok()?;
+    if (1..=100).contains(&n) {
+        Some(Ok((n as f64 / 100.0, metric)))
+    } else {
+        Some(Err(()))
+    }
+}
+
 /// Renders one statistic of one group, unit suffix included.
 fn render_stat(stat: &str, agg: &GroupAggregate) -> String {
     let ms = |us: f64| format!("{:.3}ms", us / 1_000.0);
+    let mj = |uj: f64| format!("{:.3}mJ", uj / 1_000.0);
     match stat {
         "mean-lag" => ms(agg.lag.mean()),
-        "p50-lag" => ms(agg.lag.percentile(0.50) as f64),
-        "p90-lag" => ms(agg.lag.percentile(0.90) as f64),
-        "p95-lag" => ms(agg.lag.percentile(0.95) as f64),
-        "p99-lag" => ms(agg.lag.percentile(0.99) as f64),
         "stddev-lag" => ms(agg.lag.stddev()),
         "lags" => agg.lag.count().to_string(),
         "mean-irritation" => ms(agg.irritation.mean()),
-        "p95-irritation" => ms(agg.irritation.percentile(0.95) as f64),
-        "mean-energy" => format!("{:.3}mJ", agg.energy.mean() / 1_000.0),
+        "mean-energy" => mj(agg.energy.mean()),
         "reps" => agg.reps.to_string(),
         "degraded" => agg.degraded.to_string(),
-        _ => unreachable!("stats are validated before rendering"),
+        _ => match percentile_stat(stat) {
+            Some(Ok((q, "lag"))) => ms(agg.lag.percentile(q) as f64),
+            Some(Ok((q, "irritation"))) => ms(agg.irritation.percentile(q) as f64),
+            Some(Ok((q, "energy"))) => mj(agg.energy.percentile(q) as f64),
+            _ => unreachable!("stats are validated before rendering"),
+        },
     }
 }
 
@@ -108,8 +136,20 @@ pub fn query(db: &Db, text: &str) -> Result<String, QueryError> {
     let stats: Vec<String> = match group.get("stat") {
         Some(asked) => {
             for s in asked {
-                if !STATS.contains(&s.as_str()) {
-                    return Err(QueryError::UnknownStat(s.clone()));
+                if STATS.contains(&s.as_str()) {
+                    continue;
+                }
+                match percentile_stat(s) {
+                    Some(Ok(_)) => {}
+                    // `pN-…` with N outside the sketch's (0, 1] quantile
+                    // domain: reject with the value's byte offset.
+                    Some(Err(())) => {
+                        return Err(QueryError::Prop(PropError {
+                            offset: group.offset_of_value("stat", s),
+                            kind: PropErrorKind::OutOfDomain,
+                        }));
+                    }
+                    None => return Err(QueryError::UnknownStat(s.clone())),
                 }
             }
             asked.to_vec()
@@ -212,4 +252,48 @@ pub fn export_markdown(db: &Db) -> String {
         let _ = writeln!(out, "| {} |", row_values(key, agg).join(" | "));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interlag_obs::Recorder;
+
+    fn empty_db(tag: &str) -> (Db, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("interlag-query-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (Db::open(&dir, Recorder::disabled()).expect("open"), dir)
+    }
+
+    #[test]
+    fn percentile_stats_parse_and_respect_the_domain() {
+        assert_eq!(percentile_stat("p50-lag"), Some(Ok((0.5, "lag"))));
+        assert_eq!(percentile_stat("p1-irritation"), Some(Ok((0.01, "irritation"))));
+        assert_eq!(percentile_stat("p100-energy"), Some(Ok((1.0, "energy"))));
+        // Out of the sketch's (0, 1] quantile domain.
+        assert_eq!(percentile_stat("p0-lag"), Some(Err(())));
+        assert_eq!(percentile_stat("p101-lag"), Some(Err(())));
+        assert_eq!(percentile_stat("p200-irritation"), Some(Err(())));
+        // Not percentile-shaped at all.
+        assert_eq!(percentile_stat("mean-lag"), None);
+        assert_eq!(percentile_stat("p95-watts"), None);
+        assert_eq!(percentile_stat("pxx-lag"), None);
+    }
+
+    #[test]
+    fn out_of_domain_percentiles_are_rejected_with_byte_offsets() {
+        let (db, dir) = empty_db("domain");
+        // `stat` is the second pair; `p0-lag` is its second value.
+        let err = query(&db, "governor=ondemand:stat=p95-lag,p0-lag").expect_err("out of domain");
+        assert_eq!(
+            err,
+            QueryError::Prop(PropError { offset: 31, kind: PropErrorKind::OutOfDomain })
+        );
+        // Any in-domain N works, including ones outside the fixed set.
+        assert!(query(&db, "governor=ondemand:stat=p73-lag,p100-energy").is_ok());
+        // A non-integer suffix is still an unknown stat, not a domain error.
+        let err = query(&db, "stat=p95-watts").expect_err("unknown");
+        assert!(matches!(err, QueryError::UnknownStat(s) if s == "p95-watts"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

@@ -63,6 +63,14 @@ impl Sketch {
         self.count
     }
 
+    /// Exact sum of all samples in quantized units. Consumers that must
+    /// compare means without float rounding (the tuning sweep's Pareto
+    /// frontier) cross-multiply these sums with counts instead of
+    /// dividing.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Exact arithmetic mean in quantized units (0 when empty). The only
     /// float division happens here, at render time, on order-free sums.
     pub fn mean(&self) -> f64 {
@@ -87,7 +95,14 @@ impl Sketch {
     /// histogram bucket holding the sample of rank `ceil(q*count)`:
     /// a conservative estimate never below the true percentile, off by at
     /// most one bucket width. Returns 0 when empty.
+    ///
+    /// `q` must lie in `(0, 1]`: `q = 0` has no sample of rank 0 to name
+    /// and `q > 1` would silently alias to the maximum, so both are
+    /// programming errors, checked by `debug_assert`. Callers that accept
+    /// quantiles from user input (the `db query` `stat=pN-…` keys) must
+    /// validate the domain before calling.
     pub fn percentile(&self, q: f64) -> u64 {
+        debug_assert!(q > 0.0 && q <= 1.0, "quantile {q} outside the (0, 1] domain");
         if self.count == 0 {
             return 0;
         }

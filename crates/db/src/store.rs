@@ -33,12 +33,14 @@ use crate::sketch::Sketch;
 /// Schema stamp of the persisted aggregate state.
 const AGGREGATES_SCHEMA: &str = "interlag-db-aggregates/v1";
 
-/// Bucket width for lag sketches: 1 ms in microseconds.
-const LAG_BUCKET_US: u64 = 1_000;
+/// Bucket width for lag sketches: 1 ms in microseconds. Public so
+/// other sketch producers (the tuning sweep) fold at the database's
+/// resolution and stay mergeable with it.
+pub const LAG_BUCKET_US: u64 = 1_000;
 /// Bucket width for irritation sketches: 10 ms in microseconds.
-const IRRITATION_BUCKET_US: u64 = 10_000;
+pub const IRRITATION_BUCKET_US: u64 = 10_000;
 /// Bucket width for energy sketches: 1 mJ in microjoules.
-const ENERGY_BUCKET_UJ: u64 = 1_000;
+pub const ENERGY_BUCKET_UJ: u64 = 1_000;
 
 /// Grid-shape property keys excluded from group keys: how a fleet
 /// member split its work must not fragment the aggregate a measurement

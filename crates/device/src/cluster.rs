@@ -1,0 +1,784 @@
+//! The heterogeneous big.LITTLE device and its execution loop.
+//!
+//! The paper's testbed is a single active Krait core, but the phones that
+//! followed it are heterogeneous: clusters of efficiency and performance
+//! cores with distinct OPP tables, a scheduler migrating tasks between
+//! them on load thresholds, and a thermal envelope capping the big
+//! cluster under sustained load. [`ClusterDevice`] extends the paper's
+//! simulator to that shape: each cluster runs one active core under its
+//! own [`Governor`] and [`OppTable`], foreground work is dispatched to a
+//! pinned cluster, and an HMP-style [`MigrationModel`] moves unpinned
+//! tasks up and down on the per-cluster load signal.
+//!
+//! The load-bearing invariant, pinned by tests here and in the
+//! conformance suite: a [`ClusterTopology::single`] run is **bit-identical**
+//! (interactions and activity trace) to [`Device::run`] with capture off —
+//! the heterogeneous loop is the single-core loop, generalised, not a
+//! second implementation of the device semantics. Thermal pressure is not
+//! modelled here: wrap the big cluster's governor in the `interlag-faults`
+//! thermal envelope, which composes through the [`Governor`] trait.
+
+use std::collections::VecDeque;
+
+use interlag_evdev::mt::MtDecoder;
+use interlag_evdev::replay::{ReplayStats, Replayer};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_journal::CancelToken;
+use interlag_power::energy::{ActivitySample, ActivityTrace};
+use interlag_power::opp::{Frequency, OppTable};
+
+use crate::device::{Device, InteractionRecord, CANCEL_STRIDE};
+use crate::dvfs::{Governor, LoadSample};
+use crate::error::DeviceError;
+use crate::scene::Scene;
+use crate::script::DeviceScript;
+use crate::task::{Task, TaskKind, TaskSpec};
+
+/// One CPU cluster: a name, its core count and its OPP table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Cluster name (`"LITTLE"`, `"big"`, `"cpu"`).
+    pub name: String,
+    /// Cores in the cluster (descriptive; like the paper's testbed, one
+    /// core per cluster is active in the simulation).
+    pub cores: u32,
+    /// The cluster's operating points.
+    pub opps: OppTable,
+}
+
+/// The device's cluster layout, efficiency clusters first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterTopology {
+    clusters: Vec<ClusterSpec>,
+}
+
+impl ClusterTopology {
+    /// A homogeneous single-cluster topology — the paper's device,
+    /// expressed in cluster terms. Runs of this topology are
+    /// bit-identical to [`Device::run`].
+    pub fn single(opps: OppTable) -> Self {
+        ClusterTopology { clusters: vec![ClusterSpec { name: "cpu".to_string(), cores: 1, opps }] }
+    }
+
+    /// The 4×LITTLE + 4×big reference topology: a Cortex-A7-class
+    /// efficiency cluster (index 0) under the full Snapdragon table on
+    /// the big cluster (index 1).
+    pub fn big_little() -> Self {
+        ClusterTopology {
+            clusters: vec![
+                ClusterSpec {
+                    name: "LITTLE".to_string(),
+                    cores: 4,
+                    opps: OppTable::cortex_a7_little(),
+                },
+                ClusterSpec {
+                    name: "big".to_string(),
+                    cores: 4,
+                    opps: OppTable::snapdragon_8074(),
+                },
+            ],
+        }
+    }
+
+    /// The clusters, efficiency first.
+    pub fn clusters(&self) -> &[ClusterSpec] {
+        &self.clusters
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// `false`: topologies always hold at least one cluster.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// HMP-style task migration thresholds on the per-cluster load signal.
+///
+/// Every `eval_period` the device computes each cluster's load over the
+/// elapsed window; a cluster at or above `up_threshold` hands its oldest
+/// migratable task to the next-bigger cluster, one at or below
+/// `down_threshold` hands it to the next-smaller one. Pinned foreground
+/// work and UI render passes never migrate. With a single cluster the
+/// model is inert.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationModel {
+    /// Load percentage at or above which a task up-migrates.
+    pub up_threshold: f64,
+    /// Load percentage at or below which a task down-migrates.
+    pub down_threshold: f64,
+    /// How often migration is evaluated.
+    pub eval_period: SimDuration,
+}
+
+impl Default for MigrationModel {
+    fn default() -> Self {
+        MigrationModel {
+            up_threshold: 80.0,
+            down_threshold: 20.0,
+            eval_period: SimDuration::from_millis(20),
+        }
+    }
+}
+
+/// Static configuration of the heterogeneous device.
+#[derive(Debug, Clone)]
+pub struct ClusterDeviceConfig {
+    /// The cluster layout.
+    pub topology: ClusterTopology,
+    /// The migration thresholds.
+    pub migration: MigrationModel,
+    /// Simulation step.
+    pub quantum: SimDuration,
+    /// Kernel + framework cost of handling one input packet, in cycles.
+    pub input_cost_cycles: u64,
+    /// UI-thread cost of producing one animation frame, in cycles.
+    pub ui_render_cycles: u64,
+    /// Foreground pinning: `(interaction id, cluster index)` pairs.
+    /// Unpinned interactions dispatch to cluster 0, like all background
+    /// work, and may then migrate.
+    pub pins: Vec<(usize, usize)>,
+}
+
+impl ClusterDeviceConfig {
+    /// Defaults matching [`crate::device::DeviceConfig`] on the given
+    /// topology: 1 ms quantum, the same input and render costs, no pins.
+    pub fn new(topology: ClusterTopology) -> Self {
+        ClusterDeviceConfig {
+            topology,
+            migration: MigrationModel::default(),
+            quantum: SimDuration::from_millis(1),
+            input_cost_cycles: 150_000,
+            ui_render_cycles: 8_000_000,
+            pins: Vec::new(),
+        }
+    }
+
+    /// The cluster an interaction's foreground task is pinned to
+    /// (cluster 0 when unpinned), clamped onto the topology.
+    fn pin_of(&self, id: usize) -> usize {
+        self.pins
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, c)| (*c).min(self.topology.len() - 1))
+            .unwrap_or(0)
+    }
+}
+
+/// Everything one heterogeneous workload execution produces.
+#[derive(Debug, Clone)]
+pub struct ClusterRunArtifacts {
+    /// Per-cluster governor names, cluster order.
+    pub governor_names: Vec<String>,
+    /// Per-cluster frequency/busy traces for the energy model.
+    pub activity: Vec<ActivityTrace>,
+    /// Ground-truth interaction log (shared across clusters).
+    pub interactions: Vec<InteractionRecord>,
+    /// Replay-agent timing statistics.
+    pub replay: ReplayStats,
+    /// Malformed input events the device tolerated.
+    pub input_faults: usize,
+    /// Tasks moved between clusters by the migration model.
+    pub migrations: u64,
+    /// When the run ended.
+    pub end_time: SimTime,
+}
+
+/// Mutable per-cluster execution state.
+struct ClusterState {
+    freq: Frequency,
+    fg: VecDeque<Task>,
+    bg: VecDeque<Task>,
+    activity: ActivityTrace,
+    busy_acc: SimDuration,
+    last_sample_at: SimTime,
+    next_sample_at: SimTime,
+    parked: Vec<(SimTime, Task)>,
+    mig_busy: SimDuration,
+}
+
+/// The simulated heterogeneous phone.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_device::cluster::{ClusterDevice, ClusterDeviceConfig, ClusterTopology};
+/// use interlag_device::dvfs::FixedGovernor;
+/// use interlag_device::scene::{Scene, SceneUpdate};
+/// use interlag_device::script::{DeviceScript, InteractionCategory, InteractionSpec};
+/// use interlag_device::task::TaskSpec;
+/// use interlag_evdev::gesture::Gesture;
+/// use interlag_evdev::mt::Point;
+/// use interlag_evdev::replay::ReplayAgent;
+/// use interlag_evdev::time::SimTime;
+/// use interlag_video::frame::Rect;
+///
+/// let script = DeviceScript {
+///     interactions: vec![InteractionSpec {
+///         label: "launch".into(),
+///         start: SimTime::from_millis(500),
+///         gesture: Gesture::tap(Point::new(20, 40)),
+///         widget: Some(Rect::new(10, 30, 20, 20)),
+///         response: Some(TaskSpec::single(50_000_000, SceneUpdate::replace(Scene::new(7)))),
+///         category: InteractionCategory::Common,
+///     }],
+///     background: Vec::new(),
+///     tick: None,
+/// };
+/// let mut config = ClusterDeviceConfig::new(ClusterTopology::big_little());
+/// config.pins = vec![(0, 1)]; // pin the launch to the big cluster
+/// let device = ClusterDevice::new(config);
+/// let trace = script.record_trace();
+/// let mut little = FixedGovernor::new(interlag_power::opp::Frequency::from_mhz(300));
+/// let mut big = FixedGovernor::new(interlag_power::opp::Frequency::from_mhz(2_150));
+/// let run = device
+///     .run(&script, ReplayAgent::new(trace), &mut [&mut little, &mut big], SimTime::from_secs(3))
+///     .expect("clean run");
+/// assert!(run.interactions[0].true_lag().expect("serviced").as_millis() < 100);
+/// ```
+#[derive(Debug)]
+pub struct ClusterDevice {
+    config: ClusterDeviceConfig,
+}
+
+impl ClusterDevice {
+    /// Creates a heterogeneous device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quantum is zero.
+    pub fn new(config: ClusterDeviceConfig) -> Self {
+        assert!(!config.quantum.is_zero(), "quantum must be positive");
+        ClusterDevice { config }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &ClusterDeviceConfig {
+        &self.config
+    }
+
+    /// Executes one workload run from a freshly-booted state, one
+    /// governor per cluster in cluster order.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError`] as for [`Device::run`] (without the capture
+    /// family: the cluster device records ground truth, not video).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `governors` does not match the topology's cluster count.
+    pub fn run<R: Replayer>(
+        &self,
+        script: &DeviceScript,
+        replayer: R,
+        governors: &mut [&mut dyn Governor],
+        until: SimTime,
+    ) -> Result<ClusterRunArtifacts, DeviceError> {
+        self.run_cancellable(script, replayer, governors, until, &CancelToken::none())
+    }
+
+    /// Like [`ClusterDevice::run`], with a watchdog token polled every
+    /// [`CANCEL_STRIDE`] quanta.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ClusterDevice::run`], plus [`DeviceError::Cancelled`] if
+    /// the token fires mid-run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `governors` does not match the topology's cluster count.
+    pub fn run_cancellable<R: Replayer>(
+        &self,
+        script: &DeviceScript,
+        mut replayer: R,
+        governors: &mut [&mut dyn Governor],
+        until: SimTime,
+        cancel: &CancelToken,
+    ) -> Result<ClusterRunArtifacts, DeviceError> {
+        let cfg = &self.config;
+        let clusters = cfg.topology.clusters();
+        let n = clusters.len();
+        assert_eq!(governors.len(), n, "one governor per cluster");
+        let quantum = cfg.quantum;
+
+        // --- state: per-cluster CPUs -------------------------------------
+        let mut cs: Vec<ClusterState> = clusters
+            .iter()
+            .zip(governors.iter_mut())
+            .map(|(spec, g)| {
+                let freq = spec.opps.quantize_up(g.init(&spec.opps));
+                ClusterState {
+                    freq,
+                    fg: VecDeque::new(),
+                    bg: VecDeque::new(),
+                    activity: ActivityTrace::new(),
+                    busy_acc: SimDuration::ZERO,
+                    last_sample_at: SimTime::ZERO,
+                    next_sample_at: SimTime::ZERO + g.sample_period(),
+                    parked: Vec::new(),
+                    mig_busy: SimDuration::ZERO,
+                }
+            })
+            .collect();
+
+        // --- state: UI ----------------------------------------------------
+        let mut scene = Scene::default();
+        let mut spinner_frame = 0u64;
+        let mut next_render_spawn = SimTime::ZERO;
+
+        // --- state: input dispatch ----------------------------------------
+        let mut decoder = MtDecoder::new();
+        let mut input_faults = 0usize;
+        let mut next_interaction = 0usize;
+        let mut interactions: Vec<InteractionRecord> = script
+            .interactions
+            .iter()
+            .enumerate()
+            .map(|(id, spec)| InteractionRecord {
+                id,
+                label: spec.label.clone(),
+                input_time: spec.start,
+                category: spec.category,
+                spurious: spec.is_spurious(),
+                triggered: false,
+                service_time: None,
+            })
+            .collect();
+
+        // --- state: scripted background work ------------------------------
+        let mut next_bg = 0usize;
+        let mut next_tick_at = script.tick.map(|_| SimTime::ZERO + quantum);
+
+        // --- state: I/O waits and migration -------------------------------
+        let mut pending_updates: Vec<(SimTime, crate::scene::SceneUpdate, TaskKind, bool)> =
+            Vec::new();
+        let mut migrations = 0u64;
+        let mut next_mig_at = SimTime::ZERO + cfg.migration.eval_period;
+
+        let mut now = SimTime::ZERO;
+        let mut quanta = 0u64;
+        while now < until {
+            if quanta.is_multiple_of(CANCEL_STRIDE) && cancel.is_cancelled() {
+                return Err(DeviceError::Cancelled);
+            }
+            quanta += 1;
+            let qend = now + quantum;
+
+            // 1. Deliver input events due by `now`. Every cluster governor
+            // sees the input hook, as a cpufreq input notifier fans out to
+            // every policy.
+            for te in replayer.poll(now) {
+                for (ci, g) in governors.iter_mut().enumerate() {
+                    let opps = &clusters[ci].opps;
+                    if let Some(f) = g.on_input(te.time, opps) {
+                        cs[ci].freq = opps.quantize_up(f);
+                    }
+                }
+                if te.event.is_syn_report() && cfg.input_cost_cycles > 0 {
+                    cs[0].bg.push_back(Task::new(
+                        TaskSpec::single(cfg.input_cost_cycles, crate::scene::SceneUpdate::Nop),
+                        TaskKind::Background,
+                    ));
+                }
+                for trigger in Device::triggers(&mut decoder, &te, &mut input_faults) {
+                    let target = cfg.pin_of(next_interaction);
+                    Device::dispatch(
+                        script,
+                        &mut interactions,
+                        &mut next_interaction,
+                        &mut cs[target].fg,
+                        te.time,
+                        trigger,
+                    );
+                }
+            }
+
+            // 2. Spawn scripted background work (cluster 0: background
+            // work starts on the efficiency cluster and migrates up).
+            while next_bg < script.background.len() && script.background[next_bg].start <= now {
+                cs[0].bg.push_back(Task::new(
+                    TaskSpec::single(
+                        script.background[next_bg].cycles,
+                        crate::scene::SceneUpdate::Nop,
+                    ),
+                    TaskKind::Background,
+                ));
+                next_bg += 1;
+            }
+
+            // 3. Periodic system tick, also on cluster 0.
+            if let (Some(tick), Some(due)) = (script.tick, next_tick_at.as_mut()) {
+                while *due <= now {
+                    cs[0].bg.push_back(Task::new(
+                        TaskSpec::single(tick.cycles, crate::scene::SceneUpdate::Nop),
+                        TaskKind::Background,
+                    ));
+                    *due += tick.period;
+                }
+            }
+
+            // 3b. Animation render passes, pinned to cluster 0's UI thread.
+            if scene.spinner {
+                while next_render_spawn <= now {
+                    let pending =
+                        cs[0].fg.iter().filter(|t| t.kind() == TaskKind::UiRender).count();
+                    if pending < 2 {
+                        cs[0].fg.push_back(Task::new(
+                            TaskSpec::single(
+                                (cfg.ui_render_cycles + scene.animation_load).max(1),
+                                crate::scene::SceneUpdate::Nop,
+                            ),
+                            TaskKind::UiRender,
+                        ));
+                    }
+                    next_render_spawn += crate::render::SPINNER_FRAME_PERIOD;
+                }
+            } else if next_render_spawn <= now {
+                next_render_spawn = now + crate::render::SPINNER_FRAME_PERIOD;
+            }
+
+            // 3c. Task migration on the per-cluster load signal. Inert
+            // with one cluster, so the single topology stays bit-identical
+            // to the single-core device.
+            if n > 1 && qend >= next_mig_at {
+                let loads: Vec<f64> = cs
+                    .iter()
+                    .map(|s| {
+                        LoadSample { busy: s.mig_busy, window: cfg.migration.eval_period }
+                            .load_percent()
+                    })
+                    .collect();
+                // Down-migrations first: an idle bigger cluster drains
+                // before the up pass refills it, so a task up-migrated in
+                // this round is never bounced straight back by the same
+                // round's stale load snapshot.
+                for ci in (1..n).rev() {
+                    if loads[ci] <= cfg.migration.down_threshold {
+                        migrations += u64::from(Self::migrate(&mut cs, ci, ci - 1, &cfg.pins));
+                    }
+                }
+                for (ci, &load) in loads.iter().enumerate().take(n - 1) {
+                    if load >= cfg.migration.up_threshold {
+                        migrations += u64::from(Self::migrate(&mut cs, ci, ci + 1, &cfg.pins));
+                    }
+                }
+                for s in cs.iter_mut() {
+                    s.mig_busy = SimDuration::ZERO;
+                }
+                next_mig_at = qend + cfg.migration.eval_period;
+            }
+
+            // 4a. Resume tasks whose I/O wait has elapsed, per cluster.
+            for s in cs.iter_mut() {
+                if s.parked.is_empty() {
+                    continue;
+                }
+                s.parked.sort_by_key(|(at, _)| *at);
+                while s.parked.first().is_some_and(|(at, _)| *at <= now) {
+                    let (_, task) = s.parked.remove(0);
+                    match task.kind() {
+                        TaskKind::Foreground { .. } | TaskKind::UiRender => s.fg.push_front(task),
+                        TaskKind::Background => s.bg.push_front(task),
+                    }
+                }
+            }
+
+            // 4b. Apply scene updates whose I/O wait has elapsed (shared).
+            if !pending_updates.is_empty() {
+                pending_updates.sort_by_key(|(at, ..)| *at);
+                while pending_updates.first().is_some_and(|(at, ..)| *at <= qend) {
+                    let (at, update, kind, task_finished) = pending_updates.remove(0);
+                    scene.apply(&update);
+                    if task_finished {
+                        if let TaskKind::Foreground { id } = kind {
+                            if let Some(rec) = interactions.get_mut(id) {
+                                rec.service_time = Some(at.max(now));
+                            }
+                        }
+                    }
+                }
+            }
+
+            // 4c + 5. Execute and account the quantum on every cluster, in
+            // cluster order.
+            for s in cs.iter_mut() {
+                let budget = s.freq.cycles_in(quantum);
+                let khz = s.freq.as_khz() as u64;
+                let mut consumed = 0u64;
+                while consumed < budget {
+                    let from_fg = !s.fg.is_empty();
+                    let queue = if from_fg { &mut s.fg } else { &mut s.bg };
+                    let Some(task) = queue.front_mut() else { break };
+                    let before = consumed;
+                    let (c, completions) = task.advance(budget - consumed);
+                    consumed += c;
+                    let finished = task.is_finished();
+                    let blocked = Task::blocked_after(&completions);
+                    let mut block_at = SimTime::ZERO;
+                    for comp in completions {
+                        let at = before + comp.at_consumed_cycles;
+                        let ts = now + SimDuration::from_micros((at * 1_000).div_ceil(khz));
+                        if comp.wait.is_zero() {
+                            scene.apply(&comp.update);
+                            match comp.kind {
+                                TaskKind::Foreground { id } if comp.task_finished => {
+                                    if let Some(rec) = interactions.get_mut(id) {
+                                        rec.service_time = Some(ts.min(qend));
+                                    }
+                                }
+                                TaskKind::UiRender if comp.task_finished => {
+                                    spinner_frame += 1;
+                                }
+                                _ => {}
+                            }
+                        } else {
+                            let visible_at = ts.min(qend) + comp.wait;
+                            block_at = visible_at;
+                            pending_updates.push((
+                                visible_at,
+                                comp.update,
+                                comp.kind,
+                                comp.task_finished,
+                            ));
+                        }
+                    }
+                    if finished {
+                        queue.pop_front();
+                    } else if blocked.is_some() {
+                        if let Some(task) = queue.pop_front() {
+                            s.parked.push((block_at, task));
+                        }
+                    } else if c == 0 {
+                        break; // cannot happen, but never spin
+                    }
+                }
+                let busy = if consumed >= budget {
+                    quantum
+                } else {
+                    SimDuration::from_micros(consumed * 1_000 / khz).min(quantum)
+                };
+                s.activity.push(ActivitySample {
+                    start: now,
+                    duration: quantum,
+                    freq: s.freq,
+                    busy,
+                });
+                s.busy_acc += busy;
+                s.mig_busy += busy;
+            }
+
+            // 6. Governor sampling, per cluster.
+            for (ci, g) in governors.iter_mut().enumerate() {
+                let s = &mut cs[ci];
+                if qend >= s.next_sample_at {
+                    let window = qend - s.last_sample_at;
+                    let sample = LoadSample { busy: s.busy_acc, window };
+                    s.freq = clusters[ci].opps.quantize_up(g.on_sample(
+                        qend,
+                        sample,
+                        &clusters[ci].opps,
+                    ));
+                    s.busy_acc = SimDuration::ZERO;
+                    s.last_sample_at = qend;
+                    s.next_sample_at = qend + g.sample_period();
+                }
+            }
+
+            now = qend;
+        }
+
+        let _ = spinner_frame;
+        Ok(ClusterRunArtifacts {
+            governor_names: governors.iter().map(|g| g.name().to_string()).collect(),
+            activity: cs.iter().map(|s| s.activity.clone()).collect(),
+            interactions,
+            replay: replayer.stats(),
+            input_faults,
+            migrations,
+            end_time: now,
+        })
+    }
+
+    /// Moves the oldest migratable task from cluster `from` to cluster
+    /// `to`; `true` if a task moved. Background work migrates first;
+    /// foreground work migrates unless pinned; UI render passes never do.
+    fn migrate(cs: &mut [ClusterState], from: usize, to: usize, pins: &[(usize, usize)]) -> bool {
+        if let Some(task) = cs[from].bg.pop_front() {
+            cs[to].bg.push_back(task);
+            return true;
+        }
+        let movable = cs[from].fg.front().is_some_and(|t| match t.kind() {
+            TaskKind::Foreground { id } => !pins.iter().any(|(i, _)| *i == id),
+            _ => false,
+        });
+        if movable {
+            if let Some(task) = cs[from].fg.pop_front() {
+                cs[to].fg.push_back(task);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{CaptureMode, DeviceConfig};
+    use crate::dvfs::FixedGovernor;
+    use crate::scene::SceneUpdate;
+    use crate::script::{BackgroundWork, InteractionCategory, InteractionSpec, PeriodicTick};
+    use interlag_evdev::gesture::Gesture;
+    use interlag_evdev::mt::Point;
+    use interlag_evdev::replay::ReplayAgent;
+    use interlag_video::frame::Rect;
+
+    fn simple_script() -> DeviceScript {
+        let widget = Rect::new(10, 20, 30, 30);
+        DeviceScript {
+            interactions: vec![
+                InteractionSpec {
+                    label: "open app".into(),
+                    start: SimTime::from_millis(500),
+                    gesture: Gesture::tap(Point::new(20, 30)),
+                    widget: Some(widget),
+                    response: Some(TaskSpec::single(
+                        60_000_000,
+                        SceneUpdate::replace(Scene::new(99)),
+                    )),
+                    category: InteractionCategory::SimpleFrequent,
+                },
+                InteractionSpec {
+                    label: "tap more".into(),
+                    start: SimTime::from_millis(2_000),
+                    gesture: Gesture::tap(Point::new(20, 30)),
+                    widget: Some(widget),
+                    response: Some(TaskSpec::single(
+                        30_000_000,
+                        SceneUpdate::replace(Scene::new(44)),
+                    )),
+                    category: InteractionCategory::SimpleFrequent,
+                },
+            ],
+            background: vec![BackgroundWork {
+                label: "sync".into(),
+                start: SimTime::from_millis(3_000),
+                cycles: 3_000_000,
+            }],
+            tick: Some(PeriodicTick::default()),
+        }
+    }
+
+    #[test]
+    fn single_cluster_is_bit_identical_to_the_device() {
+        let script = simple_script();
+        let trace = script.record_trace();
+        let until = SimTime::from_secs(5);
+
+        let device = Device::new(DeviceConfig { capture: CaptureMode::None, ..Default::default() });
+        let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
+        let baseline = device
+            .run(&script, ReplayAgent::new(trace.clone()), &mut gov, until)
+            .expect("clean run");
+
+        let cluster = ClusterDevice::new(ClusterDeviceConfig::new(ClusterTopology::single(
+            OppTable::snapdragon_8074(),
+        )));
+        let mut gov = FixedGovernor::new(Frequency::from_mhz(960));
+        let run = cluster
+            .run(&script, ReplayAgent::new(trace), &mut [&mut gov], until)
+            .expect("clean run");
+
+        assert_eq!(run.interactions, baseline.interactions);
+        assert_eq!(run.activity.len(), 1);
+        assert_eq!(run.activity[0], baseline.activity);
+        assert_eq!(run.migrations, 0);
+    }
+
+    #[test]
+    fn pinned_compute_runs_at_the_big_clusters_speed() {
+        let script = simple_script();
+        let trace = script.record_trace();
+        let until = SimTime::from_secs(5);
+
+        let lag_with_pin = |pin_cluster: usize| {
+            let mut config = ClusterDeviceConfig::new(ClusterTopology::big_little());
+            config.pins = vec![(0, pin_cluster), (1, pin_cluster)];
+            let device = ClusterDevice::new(config);
+            let mut little = FixedGovernor::new(Frequency::from_mhz(300));
+            let mut big = FixedGovernor::new(Frequency::from_khz(2_150_400));
+            let run = device
+                .run(&script, ReplayAgent::new(trace.clone()), &mut [&mut little, &mut big], until)
+                .expect("clean run");
+            run.interactions[0].true_lag().expect("serviced")
+        };
+
+        let on_little = lag_with_pin(0);
+        let on_big = lag_with_pin(1);
+        // 60 M cycles: ~200 ms at 300 MHz, ~28 ms at 2.15 GHz.
+        assert!(on_little > on_big * 4, "{on_little} vs {on_big}");
+    }
+
+    #[test]
+    fn sustained_background_load_up_migrates() {
+        // Saturate the LITTLE cluster with background work: the migration
+        // model must move some of it to the (idle, faster) big cluster.
+        let script = DeviceScript {
+            interactions: Vec::new(),
+            background: (0..8)
+                .map(|i| BackgroundWork {
+                    label: format!("bg{i}"),
+                    start: SimTime::from_millis(100),
+                    cycles: 400_000_000,
+                })
+                .collect(),
+            tick: None,
+        };
+        let device = ClusterDevice::new(ClusterDeviceConfig::new(ClusterTopology::big_little()));
+        let mut little = FixedGovernor::new(Frequency::from_mhz(1_190));
+        let mut big = FixedGovernor::new(Frequency::from_khz(2_150_400));
+        let run = device
+            .run(
+                &script,
+                ReplayAgent::new(interlag_evdev::trace::EventTrace::new()),
+                &mut [&mut little, &mut big],
+                SimTime::from_secs(3),
+            )
+            .expect("clean run");
+        assert!(run.migrations > 0, "no up-migration under saturation");
+        assert!(
+            run.activity[1].busy_time() > SimDuration::from_millis(100),
+            "big cluster never picked up migrated work"
+        );
+    }
+
+    #[test]
+    fn cluster_runs_are_deterministic() {
+        let script = simple_script();
+        let trace = script.record_trace();
+        let run = |_: usize| {
+            let mut config = ClusterDeviceConfig::new(ClusterTopology::big_little());
+            config.pins = vec![(0, 1)];
+            let device = ClusterDevice::new(config);
+            let mut little = FixedGovernor::new(Frequency::from_mhz(600));
+            let mut big = FixedGovernor::new(Frequency::from_mhz(1_500));
+            device
+                .run(
+                    &script,
+                    ReplayAgent::new(trace.clone()),
+                    &mut [&mut little, &mut big],
+                    SimTime::from_secs(5),
+                )
+                .expect("clean run")
+        };
+        let (a, b) = (run(0), run(1));
+        assert_eq!(a.interactions, b.interactions);
+        assert_eq!(a.activity, b.activity);
+        assert_eq!(a.migrations, b.migrations);
+    }
+}

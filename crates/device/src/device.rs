@@ -378,7 +378,7 @@ impl Device {
                     ));
                 }
                 for trigger in Self::triggers(&mut decoder, &te, &mut input_faults) {
-                    self.dispatch(
+                    Self::dispatch(
                         script,
                         &mut interactions,
                         &mut next_interaction,
@@ -593,8 +593,9 @@ impl Device {
 
     /// Extracts interaction triggers (finger-down, hardware-key-down) from
     /// one raw event. Malformed multitouch events are counted into
-    /// `faults` and otherwise tolerated.
-    fn triggers(
+    /// `faults` and otherwise tolerated. Shared with the cluster device,
+    /// whose input path must byte-match this one.
+    pub(crate) fn triggers(
         decoder: &mut MtDecoder,
         te: &TimedEvent,
         faults: &mut usize,
@@ -622,9 +623,9 @@ impl Device {
         out
     }
 
-    /// Routes one trigger to the next scripted interaction.
-    fn dispatch(
-        &self,
+    /// Routes one trigger to the next scripted interaction. Shared with
+    /// the cluster device, which passes the pinned cluster's queue.
+    pub(crate) fn dispatch(
         script: &DeviceScript,
         interactions: &mut [InteractionRecord],
         next_interaction: &mut usize,

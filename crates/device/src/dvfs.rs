@@ -22,12 +22,17 @@ pub struct LoadSample {
 }
 
 impl LoadSample {
-    /// Load as a percentage (0–100), the unit cpufreq thresholds use.
+    /// Load as a percentage, the unit cpufreq thresholds use, clamped to
+    /// 0–100. Under fault-injected timing (delayed sampling, wedge
+    /// recovery) `busy` can exceed `window`; an unclamped ratio would feed
+    /// loads above 100 % into threshold logic such as ondemand's
+    /// `up_threshold` or interactive's `go_hispeed_load`, where arithmetic
+    /// like `current × load / target_load` then overshoots the table.
     pub fn load_percent(&self) -> f64 {
         if self.window.is_zero() {
             0.0
         } else {
-            100.0 * self.busy.as_secs_f64() / self.window.as_secs_f64()
+            (100.0 * self.busy.as_secs_f64() / self.window.as_secs_f64()).clamp(0.0, 100.0)
         }
     }
 }
@@ -39,6 +44,14 @@ impl LoadSample {
 /// [`Governor::on_input`] whenever a user-input packet arrives (the hook
 /// the Interactive governor's input boost uses). Both return the frequency
 /// to run at next; the device quantises it onto the OPP table.
+///
+/// # The clamped load contract
+///
+/// [`LoadSample::load_percent`] is guaranteed to be in `0.0..=100.0` even
+/// when fault injection makes the accounted busy time exceed the sampling
+/// window. Governors may therefore use the percentage directly in
+/// threshold comparisons and proportional scaling without re-clamping,
+/// and must not rely on >100 % values to detect overload.
 pub trait Governor {
     /// The governor's cpufreq name (`"ondemand"`, `"interactive"`, …).
     fn name(&self) -> &str;
@@ -125,6 +138,28 @@ mod tests {
         assert!((half.load_percent() - 50.0).abs() < 1e-9);
         let empty = LoadSample { busy: SimDuration::ZERO, window: SimDuration::ZERO };
         assert_eq!(empty.load_percent(), 0.0);
+    }
+
+    #[test]
+    fn load_percent_is_clamped_under_chaos_schedules() {
+        // Chaos-schedule repro: a wedged governor misses its sampling
+        // deadline, so the next window is short while the busy accounting
+        // still carries the full backlog — busy > window. Before the
+        // clamp this reported 250 %, which ondemand's proportional path
+        // turned into a target far above the table and interactive's
+        // `current × load / target_load` overshot the same way.
+        let backlog =
+            LoadSample { busy: SimDuration::from_millis(50), window: SimDuration::from_millis(20) };
+        assert_eq!(backlog.load_percent(), 100.0);
+        // The pathological schedule from the fault injector's worst case:
+        // a whole second of accrued busy against a 1 ms window.
+        let wedged =
+            LoadSample { busy: SimDuration::from_secs(1), window: SimDuration::from_millis(1) };
+        assert_eq!(wedged.load_percent(), 100.0);
+        // In-range samples are untouched by the clamp.
+        let half =
+            LoadSample { busy: SimDuration::from_millis(10), window: SimDuration::from_millis(20) };
+        assert!((half.load_percent() - 50.0).abs() < 1e-9);
     }
 
     #[test]

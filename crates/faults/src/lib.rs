@@ -13,6 +13,8 @@
 //! * [`PowerFaults::perturb`] — meter dropouts and spikes on the
 //!   activity trace;
 //! * [`FaultyGovernor`] — rejected OPP writes;
+//! * [`ThermalEnvelope`] — the deterministic (RNG-free) thermal pressure
+//!   family: sustained high-OPP residency caps a cluster's ceiling;
 //! * [`transport`] — dropped/duplicated/truncated/delayed frames on the
 //!   sharded-sweep agent↔supervisor link, plus scheduled agent sabotage
 //!   (crash/wedge on the nth checkpoint, SIGKILL after the nth record).
@@ -42,6 +44,7 @@ pub mod config;
 pub mod dvfs;
 pub mod power;
 pub mod replay;
+pub mod thermal;
 pub mod transport;
 
 pub use capture::{CaptureFaultLog, FaultyCapture};
@@ -51,4 +54,5 @@ pub use config::{
 pub use dvfs::{FaultyGovernor, WedgedGovernor};
 pub use power::PowerFaultLog;
 pub use replay::{FaultyReplayer, ReplayFaultLog};
+pub use thermal::{ThermalEnvelope, ThermalFaults};
 pub use transport::{AgentSabotage, FrameFate, FrameMangler, SabotageKind, TransportFaults};

@@ -1,0 +1,309 @@
+//! Deterministic thermal pressure on the DVFS path.
+//!
+//! The paper's testbed never throttled — one Krait core under a lab
+//! bench. A big.LITTLE phone does: sustained residency at the top of the
+//! big cluster's OPP table trips the thermal governor, which caps the
+//! cluster's ceiling until it cools. [`ThermalEnvelope`] models that as a
+//! [`Governor`] decorator in the same mould as
+//! [`FaultyGovernor`](crate::dvfs::FaultyGovernor): the wrapped policy
+//! runs unchanged, and the envelope vetoes its *output* while throttled.
+//!
+//! Unlike the rest of this crate the envelope draws **no randomness** at
+//! all — thermal state is a pure function of the frequency trajectory, so
+//! any run replays exactly. A deterministic integer heat account stands
+//! in for die temperature: time spent at or above `hot_freq` accrues
+//! heat one-for-one, cooler residency drains it `cool_rate` times as
+//! fast, and the cap engages when the account reaches `budget`, releasing
+//! only once it has fully drained (hysteresis, so the ceiling does not
+//! flap at the trip point).
+//!
+//! A [`ThermalFaults::quiescent`] envelope is a strict pass-through — no
+//! state, no clamping — so a thermally-off run stays bit-identical to one
+//! without the wrapper, the crate-wide transparency rule.
+
+use interlag_device::dvfs::{Governor, LoadSample};
+use interlag_evdev::time::{SimDuration, SimTime};
+use interlag_power::opp::{Frequency, OppTable};
+
+/// The thermal envelope's deterministic pressure parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThermalFaults {
+    /// Whether the envelope is active at all; `false` is the quiescent
+    /// strict pass-through.
+    pub enabled: bool,
+    /// Frequencies at or above this accrue heat.
+    pub hot_freq: Frequency,
+    /// Sustained hot residency that trips the cap.
+    pub budget: SimDuration,
+    /// How many times faster heat drains below `hot_freq` than it
+    /// accrues at or above it.
+    pub cool_rate: u32,
+    /// The cluster's ceiling while throttled (quantized down onto the
+    /// table in force).
+    pub cap: Frequency,
+}
+
+impl ThermalFaults {
+    /// The disabled envelope: a strict pass-through.
+    pub fn quiescent() -> Self {
+        ThermalFaults {
+            enabled: false,
+            hot_freq: Frequency::from_khz(u32::MAX),
+            budget: SimDuration::ZERO,
+            cool_rate: 1,
+            cap: Frequency::from_khz(u32::MAX),
+        }
+    }
+
+    /// A Snapdragon-class envelope for `table`: residency at the top two
+    /// OPPs is hot, two sustained seconds trip the cap, the ceiling drops
+    /// to the table's midpoint, and cooling runs twice as fast as
+    /// heating.
+    pub fn for_table(table: &OppTable) -> Self {
+        let mid = table.opps()[table.len() / 2].freq;
+        ThermalFaults {
+            enabled: true,
+            hot_freq: table.step_down(table.max_freq(), 1),
+            budget: SimDuration::from_secs(2),
+            cool_rate: 2,
+            cap: mid,
+        }
+    }
+
+    /// `true` when the envelope can never throttle.
+    pub fn is_quiescent(&self) -> bool {
+        !self.enabled
+    }
+}
+
+/// A [`Governor`] decorator imposing the thermal envelope on the wrapped
+/// policy's frequency decisions.
+///
+/// # Examples
+///
+/// ```
+/// use interlag_device::dvfs::{FixedGovernor, Governor, LoadSample};
+/// use interlag_evdev::time::{SimDuration, SimTime};
+/// use interlag_faults::thermal::{ThermalEnvelope, ThermalFaults};
+/// use interlag_power::opp::OppTable;
+///
+/// let table = OppTable::snapdragon_8074();
+/// let mut pinned = FixedGovernor::new(table.max_freq());
+/// let mut enveloped = ThermalEnvelope::new(&mut pinned, ThermalFaults::for_table(&table));
+/// enveloped.init(&table);
+/// let window = SimDuration::from_millis(100);
+/// let busy = LoadSample { busy: window, window };
+/// // 2 s of max-frequency residency trips the cap.
+/// let mut f = table.max_freq();
+/// for i in 1..=25 {
+///     f = enveloped.on_sample(SimTime::from_millis(100 * i), busy, &table);
+/// }
+/// assert!(f < table.max_freq());
+/// assert!(enveloped.throttled());
+/// ```
+pub struct ThermalEnvelope<'a> {
+    inner: &'a mut dyn Governor,
+    faults: ThermalFaults,
+    heat: SimDuration,
+    last_seen: SimTime,
+    last_freq: Frequency,
+    throttled: bool,
+    trips: u64,
+}
+
+impl<'a> ThermalEnvelope<'a> {
+    /// Wraps `inner` under the given envelope.
+    pub fn new(inner: &'a mut dyn Governor, faults: ThermalFaults) -> Self {
+        ThermalEnvelope {
+            inner,
+            faults,
+            heat: SimDuration::ZERO,
+            last_seen: SimTime::ZERO,
+            last_freq: Frequency::default(),
+            throttled: false,
+            trips: 0,
+        }
+    }
+
+    /// Whether the cap is currently engaged.
+    pub fn throttled(&self) -> bool {
+        self.throttled
+    }
+
+    /// How many times the cap has engaged so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// The heat account, for inspection in tests.
+    pub fn heat(&self) -> SimDuration {
+        self.heat
+    }
+
+    /// Accrues or drains heat for the time elapsed at `last_freq`.
+    fn account(&mut self, now: SimTime) {
+        let elapsed = now.saturating_since(self.last_seen);
+        self.last_seen = now;
+        if self.last_freq >= self.faults.hot_freq {
+            self.heat = (self.heat + elapsed).min(self.faults.budget);
+        } else {
+            let drained = SimDuration::from_micros(
+                elapsed.as_micros().saturating_mul(u64::from(self.faults.cool_rate.max(1))),
+            );
+            self.heat = self.heat.saturating_sub(drained);
+        }
+    }
+
+    /// Applies the cap to one requested frequency.
+    fn admit(&mut self, want: Frequency, table: &OppTable) -> Frequency {
+        if !self.throttled && self.heat >= self.faults.budget {
+            self.throttled = true;
+            self.trips += 1;
+        } else if self.throttled && self.heat.is_zero() {
+            self.throttled = false;
+        }
+        let admitted =
+            if self.throttled { want.min(table.highest_at_most(self.faults.cap)) } else { want };
+        self.last_freq = admitted;
+        admitted
+    }
+}
+
+impl Governor for ThermalEnvelope<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn init(&mut self, table: &OppTable) -> Frequency {
+        self.heat = SimDuration::ZERO;
+        self.last_seen = SimTime::ZERO;
+        self.throttled = false;
+        let f = self.inner.init(table);
+        self.last_freq = f;
+        f
+    }
+
+    fn sample_period(&self) -> SimDuration {
+        self.inner.sample_period()
+    }
+
+    fn on_sample(&mut self, now: SimTime, load: LoadSample, table: &OppTable) -> Frequency {
+        let want = self.inner.on_sample(now, load, table);
+        if self.faults.is_quiescent() {
+            return want;
+        }
+        self.account(now);
+        self.admit(want, table)
+    }
+
+    fn on_input(&mut self, now: SimTime, table: &OppTable) -> Option<Frequency> {
+        let want = self.inner.on_input(now, table)?;
+        if self.faults.is_quiescent() {
+            return Some(want);
+        }
+        self.account(now);
+        Some(self.admit(want, table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use interlag_device::dvfs::FixedGovernor;
+    use interlag_governors::interactive::Interactive;
+
+    fn table() -> OppTable {
+        OppTable::snapdragon_8074()
+    }
+
+    fn saturated(window_ms: u64) -> LoadSample {
+        let window = SimDuration::from_millis(window_ms);
+        LoadSample { busy: window, window }
+    }
+
+    #[test]
+    fn quiescent_envelope_is_transparent() {
+        let t = table();
+        // Drive an interactive governor through a boost + sample sequence
+        // twice — naked and wrapped — and require identical outputs.
+        let drive = |g: &mut dyn Governor| {
+            let mut out = vec![g.init(&t)];
+            out.extend(g.on_input(SimTime::from_millis(5), &t));
+            for i in 1..=200u64 {
+                out.push(g.on_sample(SimTime::from_millis(20 * i), saturated(20), &t));
+            }
+            out
+        };
+        let mut naked = Interactive::for_table(&t);
+        let baseline = drive(&mut naked);
+        let mut inner = Interactive::for_table(&t);
+        let mut wrapped = ThermalEnvelope::new(&mut inner, ThermalFaults::quiescent());
+        assert_eq!(drive(&mut wrapped), baseline);
+        assert_eq!(wrapped.trips(), 0);
+        assert!(!wrapped.throttled());
+    }
+
+    #[test]
+    fn sustained_hot_residency_caps_then_recovers() {
+        let t = table();
+        let faults = ThermalFaults::for_table(&t);
+        let mut pinned = FixedGovernor::new(t.max_freq());
+        let mut env = ThermalEnvelope::new(&mut pinned, faults);
+        env.init(&t);
+
+        // Heat up: 2 s at the max trips the cap.
+        let mut f = t.max_freq();
+        let mut ms = 0;
+        while !env.throttled() {
+            ms += 100;
+            assert!(ms <= 2_200, "never tripped");
+            f = env.on_sample(SimTime::from_millis(ms), saturated(100), &t);
+        }
+        assert_eq!(env.trips(), 1);
+        assert_eq!(f, t.highest_at_most(faults.cap), "ceiling drops to the cap");
+
+        // While capped the governor keeps asking for max and keeps being
+        // refused; the capped residency is cool, so heat drains at
+        // cool_rate and the cap releases after budget / cool_rate.
+        let release_ms = ms + 2_000 / u64::from(faults.cool_rate);
+        while env.throttled() {
+            ms += 100;
+            assert!(ms <= release_ms + 200, "never released");
+            f = env.on_sample(SimTime::from_millis(ms), saturated(100), &t);
+        }
+        assert_eq!(f, t.max_freq(), "full ceiling restored after cooling");
+    }
+
+    #[test]
+    fn cool_running_governors_never_trip() {
+        let t = table();
+        let mut pinned = FixedGovernor::new(Frequency::from_mhz(960));
+        let mut env = ThermalEnvelope::new(&mut pinned, ThermalFaults::for_table(&t));
+        env.init(&t);
+        for i in 1..=600u64 {
+            env.on_sample(SimTime::from_millis(100 * i), saturated(100), &t);
+        }
+        assert_eq!(env.trips(), 0);
+        assert!(env.heat().is_zero());
+    }
+
+    #[test]
+    fn hysteresis_holds_the_cap_through_the_trip_point() {
+        // Right after tripping, heat is at budget; one cool window must
+        // not release the cap (it releases only at zero).
+        let t = table();
+        let faults = ThermalFaults::for_table(&t);
+        let mut pinned = FixedGovernor::new(t.max_freq());
+        let mut env = ThermalEnvelope::new(&mut pinned, faults);
+        env.init(&t);
+        let mut ms = 0;
+        while !env.throttled() {
+            ms += 100;
+            env.on_sample(SimTime::from_millis(ms), saturated(100), &t);
+        }
+        ms += 100;
+        env.on_sample(SimTime::from_millis(ms), saturated(100), &t);
+        assert!(env.throttled(), "cap must hold until fully drained");
+        assert!(!env.heat().is_zero());
+    }
+}

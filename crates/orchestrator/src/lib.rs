@@ -24,7 +24,10 @@
 //!   stragglers, and graceful degradation into per-slot `Abandoned`
 //!   records when a shard exhausts its budget;
 //! * [`merge`] — byte-stable union of shard journals: fingerprint- and
-//!   CRC-validated, quarantining anything corrupt or foreign.
+//!   CRC-validated, quarantining anything corrupt or foreign;
+//! * [`tune`] — the sharded governor-tuning sweep: tunable grids scored
+//!   by (irritation, energy) distance from the oracle, merged into a
+//!   Pareto frontier that is byte-identical at any worker/shard count.
 //!
 //! The headline invariant: **the merged report is byte-identical to a
 //! single-process [`Lab::study`](interlag_core::experiment::Lab::study)
@@ -46,6 +49,7 @@ pub mod grid;
 pub mod merge;
 pub mod supervisor;
 pub mod transport;
+pub mod tune;
 pub mod wire;
 
 pub use agent::{parse_stage, run_agent, stage_name, AgentConfig, AgentReport};
@@ -54,5 +58,9 @@ pub use merge::{encode_merged, merge_shard_journals, MergeOutcome};
 pub use supervisor::{run_sweep, ShardOutcome, SweepConfig, SweepOutcome};
 pub use transport::{
     AgentEvent, AttemptKey, ProcessTransport, RunningShard, ShardTask, ThreadTransport, Transport,
+};
+pub use tune::{
+    pareto_frontier, run_tune, tune_csv, tune_markdown, TuneConfig, TuneError, TuneOutcome,
+    TunePointSummary,
 };
 pub use wire::{FrameReader, WireMsg};

@@ -1,0 +1,96 @@
+//! Byte-stability of the governor-tuning sweep.
+//!
+//! The tuning report inherits the sweep supervisor's headline invariant:
+//! the rendered Markdown and CSV must be **byte-identical at any worker
+//! and shard count**, because every `(point, repetition)` slot is a pure
+//! function of its inputs and sketch folding is commutative integer
+//! addition. These tests run the same small grid at workers {1, 4} ×
+//! shards {1, 4} and `cmp` the rendered bytes — the same gate CI applies
+//! to the `interlag tune` binary output.
+
+use interlag_core::propgroup::PropErrorKind;
+use interlag_device::script::InteractionCategory;
+use interlag_orchestrator::{run_tune, tune_csv, tune_markdown, TuneConfig, TuneError};
+use interlag_workloads::gen::{Workload, WorkloadBuilder, MCYCLES};
+
+/// A ~20-second workload small enough for debug-mode sweeps.
+fn tiny_workload() -> Workload {
+    let mut b = WorkloadBuilder::new(0x7e57);
+    b.app_launch("launch", 350 * MCYCLES, 4, InteractionCategory::Common);
+    b.think_ms(1_800, 2_600);
+    b.quick_tap("tap a", 140 * MCYCLES, InteractionCategory::SimpleFrequent);
+    b.think_ms(1_500, 2_200);
+    b.quick_tap("tap b", 110 * MCYCLES, InteractionCategory::SimpleFrequent);
+    b.build("tune-it", "tuning integration workload")
+}
+
+const GRID: &str = "governor=ondemand:up-threshold-min=60:up-threshold-max=95:\
+                    up-threshold-intvs=2:sampling-ms=20,60:reps=2:jitter-us=800";
+
+#[test]
+fn frontier_bytes_are_identical_at_any_worker_and_shard_count() {
+    let w = tiny_workload();
+    let mut rendered: Vec<(usize, u32, String, String)> = Vec::new();
+    for workers in [1usize, 4] {
+        for shards in [1u32, 4] {
+            let config = TuneConfig { group: GRID.into(), workers, shards };
+            let out = run_tune(&w, &config).expect("tune runs clean");
+            assert_eq!(out.points.len(), 4, "2×2 grid");
+            assert_eq!(out.reps, 2);
+            assert!(!out.frontier.is_empty(), "some point is always non-dominated");
+            for p in &out.points {
+                assert_eq!(p.irritation.count(), 2, "every slot folded exactly once");
+            }
+            rendered.push((workers, shards, tune_markdown(&out), tune_csv(&out)));
+        }
+    }
+    let (_, _, md0, csv0) = &rendered[0];
+    for (workers, shards, md, csv) in &rendered[1..] {
+        assert_eq!(md, md0, "markdown diverged at workers={workers} shards={shards}");
+        assert_eq!(csv, csv0, "csv diverged at workers={workers} shards={shards}");
+    }
+}
+
+#[test]
+fn rejected_grids_surface_the_prop_error() {
+    let w = tiny_workload();
+    let err = run_tune(&w, &TuneConfig::new("governor=ondemand:go-hispeed-load=80"))
+        .expect_err("interactive-only tunable under ondemand");
+    let TuneError::Prop(e) = err else { panic!("expected a prop rejection") };
+    assert_eq!(e.kind, PropErrorKind::UnknownKey);
+    assert_eq!(e.offset, 18, "points at the offending key");
+}
+
+#[test]
+fn the_frontier_is_consistent_with_the_grid() {
+    let w = tiny_workload();
+    let out = run_tune(&w, &TuneConfig::new(GRID)).expect("tune runs clean");
+    // Frontier indices are valid, unique, and energy-sorted.
+    let mut seen = std::collections::BTreeSet::new();
+    for &i in &out.frontier {
+        assert!(i < out.points.len());
+        assert!(seen.insert(i), "frontier index {i} repeated");
+    }
+    for pair in out.frontier.windows(2) {
+        let (a, b) = (&out.points[pair[0]], &out.points[pair[1]]);
+        let lhs = a.energy.sum() * u128::from(b.energy.count());
+        let rhs = b.energy.sum() * u128::from(a.energy.count());
+        assert!(lhs <= rhs, "frontier not energy-ascending");
+    }
+    // Every non-frontier point is dominated by some frontier point on
+    // both means (weakly) — the definition, re-checked via the sketches.
+    for (i, p) in out.points.iter().enumerate() {
+        if out.frontier.contains(&i) {
+            continue;
+        }
+        let dominated = out.frontier.iter().any(|&j| {
+            let f = &out.points[j];
+            let irr = f.irritation.sum() * u128::from(p.irritation.count())
+                <= p.irritation.sum() * u128::from(f.irritation.count());
+            let energy = f.energy.sum() * u128::from(p.energy.count())
+                <= p.energy.sum() * u128::from(f.energy.count());
+            irr && energy
+        });
+        assert!(dominated, "point {i} is off the frontier yet undominated");
+    }
+}

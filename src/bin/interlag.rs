@@ -15,6 +15,11 @@
 //!                                              supervised agent processes
 //! interlag agent <DS> -r REPS --shard S --of N --stage STAGE
 //!                     --journal FILE           one shard (spawned by sweep)
+//! interlag tune <DS> '<GROUP>' [--workers N] [--shards N]
+//!                    [--csv] [--out DIR]       score a governor-tunable grid
+//!                                              against the oracle; Pareto
+//!                                              frontier, byte-stable at any
+//!                                              worker/shard count
 //! interlag db ingest --db DIR <ARTIFACT>...    fold sealed submissions in
 //! interlag db query --db DIR '<GROUP>'         query the aggregates
 //! interlag db export --db DIR [--markdown]     render the whole database
@@ -50,7 +55,8 @@ use interlag::faults::{AgentSabotage, SabotageKind, TransportFaults};
 use interlag::governors::{Conservative, Interactive, Ondemand, Performance, Powersave, Schedutil};
 use interlag::journal::atomic_write;
 use interlag::orchestrator::{
-    parse_stage, run_agent, run_sweep, AgentConfig, ProcessTransport, SweepConfig,
+    parse_stage, run_agent, run_sweep, run_tune, tune_csv, tune_markdown, AgentConfig,
+    ProcessTransport, SweepConfig, TuneConfig, TuneError,
 };
 use interlag::power::opp::Frequency;
 use interlag::workloads::datasets::Dataset;
@@ -107,6 +113,14 @@ fn usage() -> ExitCode {
          \x20            --journal FILE [--heartbeat-ms MS] [--sabotage KIND@CKPT]\n\
          \x20            [--jitter-us US]      one shard of a sweep (spawned by sweep;\n\
          \x20                                  speaks framed messages on stdout)\n\
+         \x20 tune <DS> GROUP [--workers N] [--shards N] [--csv] [--out DIR]\n\
+         \x20                                  score a governor-tunable grid against\n\
+         \x20                                  the per-workload oracle, e.g.\n\
+         \x20                                  governor=interactive:go-hispeed-load-min=60:\n\
+         \x20                                  go-hispeed-load-max=95:go-hispeed-load-intvs=8\n\
+         \x20                                  (fleet keys reps, jitter-us); prints the\n\
+         \x20                                  Pareto frontier as Markdown (--csv for CSV),\n\
+         \x20                                  --out writes both frontier.md and frontier.csv\n\
          \x20 db ingest --db DIR <ARTIFACT>... fold sealed submissions into the\n\
          \x20                                  results database (exit 6 if any were\n\
          \x20                                  quarantined or duplicates)\n\
@@ -140,6 +154,49 @@ fn dataset(name: &str) -> Option<Dataset> {
 
 fn flag_value(args: &[String], names: &[&str]) -> Option<String> {
     args.iter().position(|a| names.contains(&a.as_str())).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// A numeric flag: absent is `Ok(None)`; present but malformed is a
+/// usage rejection naming the flag and the offending text. This replaces
+/// the old `parse().ok().unwrap_or(default)` idiom, which turned a typo
+/// like `--reps abc` into a silent run with 1 repetition.
+fn numeric_flag<T: std::str::FromStr>(
+    args: &[String],
+    names: &[&str],
+) -> Result<Option<T>, ExitCode> {
+    match flag_value(args, names) {
+        None => Ok(None),
+        Some(v) => match v.parse() {
+            Ok(n) => Ok(Some(n)),
+            Err(_) => {
+                let flag = names.last().copied().unwrap_or("flag");
+                eprintln!("interlag: {flag} wants a number, got {v:?}");
+                Err(usage())
+            }
+        },
+    }
+}
+
+/// `numeric_flag` with a default, early-returning the usage exit code on
+/// a malformed value.
+macro_rules! flag_or {
+    ($args:expr, $names:expr, $default:expr) => {
+        match numeric_flag($args, $names) {
+            Ok(v) => v.unwrap_or($default),
+            Err(code) => return code,
+        }
+    };
+}
+
+/// Optional `numeric_flag`, early-returning the usage exit code on a
+/// malformed value.
+macro_rules! flag_opt {
+    ($args:expr, $names:expr) => {
+        match numeric_flag($args, $names) {
+            Ok(v) => v,
+            Err(code) => return code,
+        }
+    };
 }
 
 fn governor_by_name(name: &str, lab: &Lab) -> Option<Box<dyn Governor>> {
@@ -486,12 +543,12 @@ fn parse_sweep_sabotage(entry: &str, budget: u32) -> Option<Vec<AgentSabotage>> 
 /// `interlag sweep`. Speaks framed [`interlag::orchestrator::WireMsg`]s
 /// on stdout; the shard journal on disk is the durable result.
 fn cmd_agent(w: &Workload, args: &[String]) -> ExitCode {
-    let reps = flag_value(args, &["-r", "--reps"]).and_then(|v| v.parse().ok()).unwrap_or(1);
-    let Some(shard) = flag_value(args, &["--shard"]).and_then(|v| v.parse().ok()) else {
+    let reps = flag_or!(args, &["-r", "--reps"], 1);
+    let Some(shard) = flag_opt!(args, &["--shard"]) else {
         eprintln!("interlag: agent requires --shard N");
         return usage();
     };
-    let Some(of) = flag_value(args, &["--of"]).and_then(|v| v.parse().ok()) else {
+    let Some(of) = flag_opt!(args, &["--of"]) else {
         eprintln!("interlag: agent requires --of N");
         return usage();
     };
@@ -503,8 +560,7 @@ fn cmd_agent(w: &Workload, args: &[String]) -> ExitCode {
         eprintln!("interlag: agent requires --journal FILE");
         return usage();
     };
-    let heartbeat =
-        flag_value(args, &["--heartbeat-ms"]).and_then(|v| v.parse().ok()).unwrap_or(1_000u64);
+    let heartbeat = flag_or!(args, &["--heartbeat-ms"], 1_000u64);
     let sabotage = match flag_value(args, &["--sabotage"]) {
         None => None,
         Some(flag) => match parse_agent_sabotage(&flag) {
@@ -516,7 +572,7 @@ fn cmd_agent(w: &Workload, args: &[String]) -> ExitCode {
         },
     };
     let mut lab = LabConfig { reps, ..Default::default() };
-    if let Some(jitter) = flag_value(args, &["--jitter-us"]).and_then(|v| v.parse().ok()) {
+    if let Some(jitter) = flag_opt!(args, &["--jitter-us"]) {
         // Part of the study fingerprint: must match the supervisor's lab.
         lab.jitter_us = jitter;
     }
@@ -606,8 +662,8 @@ fn sweep_points(matrix: Option<&str>, reps: u32, shards: u32) -> Result<Vec<Swee
 /// `--matrix` the whole sweep runs once per expanded point; with `--db`
 /// each point's sealed submission is folded into the results database.
 fn cmd_sweep(w: &Workload, dataset: &str, args: &[String]) -> ExitCode {
-    let reps = flag_value(args, &["-r", "--reps"]).and_then(|v| v.parse().ok()).unwrap_or(1);
-    let shards = flag_value(args, &["--shards"]).and_then(|v| v.parse().ok()).unwrap_or(4u32);
+    let reps = flag_or!(args, &["-r", "--reps"], 1);
+    let shards = flag_or!(args, &["--shards"], 4u32);
     let journal_dir = flag_value(args, &["--journal-dir"]).unwrap_or_else(|| {
         std::env::temp_dir()
             .join(format!("interlag-sweep-{}-{}", w.name, std::process::id()))
@@ -622,7 +678,7 @@ fn cmd_sweep(w: &Workload, dataset: &str, args: &[String]) -> ExitCode {
             return usage();
         }
     };
-    let base_jitter = flag_value(args, &["--jitter-us"]).and_then(|v| v.parse().ok());
+    let base_jitter = flag_opt!(args, &["--jitter-us"]);
     let mut db = match flag_value(args, &["--db"]) {
         None => None,
         Some(dir) => match Db::open(&dir, Default::default()) {
@@ -647,12 +703,11 @@ fn cmd_sweep(w: &Workload, dataset: &str, args: &[String]) -> ExitCode {
         let dir = if multi { format!("{journal_dir}/point-{i}") } else { journal_dir.clone() };
         let mut cfg = SweepConfig::new(point.shards, dir);
         cfg.props = point.props.clone();
-        if let Some(budget) = flag_value(args, &["--retry-budget"]).and_then(|v| v.parse().ok()) {
+        if let Some(budget) = flag_opt!(args, &["--retry-budget"]) {
             cfg.retry_budget = budget;
         }
-        let heartbeat =
-            flag_value(args, &["--heartbeat-ms"]).and_then(|v| v.parse().ok()).unwrap_or(250u64);
-        if let Some(ms) = flag_value(args, &["--watchdog-ms"]).and_then(|v| v.parse::<u64>().ok()) {
+        let heartbeat = flag_or!(args, &["--heartbeat-ms"], 250u64);
+        if let Some(ms) = flag_opt!(args, &["--watchdog-ms"]) {
             cfg.heartbeat_timeout = Duration::from_millis(ms);
         }
         cfg.heartbeat_timeout = cfg.heartbeat_timeout.max(Duration::from_millis(heartbeat * 4));
@@ -834,6 +889,70 @@ fn cmd_db(args: &[String]) -> ExitCode {
     }
 }
 
+/// `interlag tune`: score a governor-tunable grid against the oracle.
+fn cmd_tune(w: &Workload, args: &[String]) -> ExitCode {
+    let Some(group) = args
+        .iter()
+        .enumerate()
+        .skip(2)
+        .find(|(i, a)| {
+            !a.starts_with("--")
+                && !matches!(args[i - 1].as_str(), "--workers" | "--shards" | "--out")
+        })
+        .map(|(_, a)| a.clone())
+    else {
+        eprintln!("interlag: tune requires a tunable property group");
+        return usage();
+    };
+    let mut config = TuneConfig::new(group);
+    if let Some(workers) = flag_opt!(args, &["--workers"]) {
+        config.workers = workers;
+    }
+    if let Some(shards) = flag_opt!(args, &["--shards"]) {
+        config.shards = shards;
+    }
+    let out = match run_tune(w, &config) {
+        Ok(out) => out,
+        Err(e @ TuneError::Prop(_)) => {
+            eprintln!("interlag: {e}");
+            return usage();
+        }
+        Err(e) => {
+            eprintln!("interlag: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.iter().any(|a| a == "--csv") {
+        print!("{}", tune_csv(&out));
+    } else {
+        print!("{}", tune_markdown(&out));
+    }
+    if let Some(dir) = flag_value(args, &["--out"]) {
+        let dir = std::path::Path::new(&dir);
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
+                atomic_write(dir.join("frontier.md"), tune_markdown(&out).as_bytes())
+                    .map_err(|e| e.to_string())
+            })
+            .and_then(|()| {
+                atomic_write(dir.join("frontier.csv"), tune_csv(&out).as_bytes())
+                    .map_err(|e| e.to_string())
+            })
+        {
+            eprintln!("interlag: cannot write {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "interlag tune: {} point(s) × {} rep(s), {} on the Pareto frontier",
+        out.points.len(),
+        out.reps,
+        out.frontier.len(),
+    );
+    ExitCode::SUCCESS
+}
+
 fn cmd_oracle(w: &Workload) -> ExitCode {
     let lab = Lab::new(LabConfig::default());
     let study = match lab.study(w) {
@@ -856,7 +975,7 @@ fn main() -> ExitCode {
     match command {
         "datasets" => cmd_datasets(),
         "db" => cmd_db(&args),
-        "record" | "classify" | "replay" | "study" | "oracle" | "sweep" | "agent" => {
+        "record" | "classify" | "replay" | "study" | "oracle" | "sweep" | "agent" | "tune" => {
             let Some(target) = args.get(1) else { return usage() };
             if command == "classify" {
                 return cmd_classify(target);
@@ -875,9 +994,7 @@ fn main() -> ExitCode {
                     cmd_replay(&w, &g)
                 }
                 "study" => {
-                    let reps = flag_value(&args, &["-r", "--reps"])
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or(1);
+                    let reps = flag_or!(&args, &["-r", "--reps"], 1);
                     let resume = args.iter().any(|a| a == "--resume");
                     if resume && flag_value(&args, &["--journal"]).is_none() {
                         eprintln!("interlag: --resume requires --journal FILE");
@@ -900,6 +1017,7 @@ fn main() -> ExitCode {
                 "oracle" => cmd_oracle(&w),
                 "sweep" => cmd_sweep(&w, target, &args),
                 "agent" => cmd_agent(&w, &args),
+                "tune" => cmd_tune(&w, &args),
                 _ => unreachable!("matched above"),
             }
         }
