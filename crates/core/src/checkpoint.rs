@@ -20,7 +20,7 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
@@ -492,18 +492,26 @@ pub struct StudyJournal {
     torn: usize,
     foreign: usize,
     write_errors: AtomicUsize,
+    appends: AtomicU64,
     observer: Option<RecordObserver>,
 }
 
 /// A callback a [`StudyJournal`] invokes with every record it appends —
 /// after the durable append attempt (successful or not), so the record is
-/// on disk before anyone else hears about it. The sharded-sweep agent
-/// streams checkpoint frames to its supervisor from here; the chaos
-/// harness implements crash-on-nth-checkpoint from here.
+/// on disk before anyone else hears about it. The first argument is the
+/// record's *checkpoint sequence number*: a 1-based count of appends this
+/// session, assigned under the journal lock so it matches on-disk append
+/// order exactly. The sharded-sweep agent stamps streamed checkpoint
+/// frames with it, which is what lets a resumed network session say
+/// "replay everything after sequence N" instead of restarting the shard;
+/// the chaos harness implements crash-on-nth-checkpoint from it.
 ///
 /// Called from whichever worker thread completed the repetition, so the
 /// callback must be `Send + Sync` and should serialise its own output.
-pub struct RecordObserver(Box<dyn Fn(&CheckpointRecord) + Send + Sync>);
+pub struct RecordObserver(ObserverFn);
+
+/// The boxed callback a [`RecordObserver`] wraps.
+type ObserverFn = Box<dyn Fn(u64, &CheckpointRecord) + Send + Sync>;
 
 impl std::fmt::Debug for RecordObserver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -551,6 +559,7 @@ impl StudyJournal {
             torn: 0,
             foreign: 0,
             write_errors: AtomicUsize::new(0),
+            appends: AtomicU64::new(0),
             observer: None,
         })
     }
@@ -597,14 +606,16 @@ impl StudyJournal {
             torn: decoded.torn,
             foreign,
             write_errors: AtomicUsize::new(0),
+            appends: AtomicU64::new(0),
             observer: None,
         })
     }
 
     /// Installs a [`RecordObserver`] invoked with every subsequently
-    /// appended record. Set it before the study starts — the journal is
-    /// shared immutably across workers once the sweep is running.
-    pub fn set_observer(&mut self, f: impl Fn(&CheckpointRecord) + Send + Sync + 'static) {
+    /// appended record and its checkpoint sequence number. Set it before
+    /// the study starts — the journal is shared immutably across workers
+    /// once the sweep is running.
+    pub fn set_observer(&mut self, f: impl Fn(u64, &CheckpointRecord) + Send + Sync + 'static) {
         self.observer = Some(RecordObserver(Box::new(f)));
     }
 
@@ -639,14 +650,20 @@ impl StudyJournal {
     /// the sweep.
     pub fn record(&self, config: usize, rep: u32, result: &RepResult, outcome: &RepOutcome) {
         let record = CheckpointRecord::new(self.fingerprint, config, rep, result, outcome);
-        let failed = match (self.journal.lock(), self.format) {
-            (Ok(mut journal), CheckpointFormat::Json) => {
-                journal.append(&encode_checkpoint(&record)).is_err()
+        // The sequence number is assigned under the journal lock so it
+        // agrees with on-disk append order even across worker threads.
+        let (seq, failed) = match self.journal.lock() {
+            Ok(mut journal) => {
+                let seq = self.appends.fetch_add(1, Ordering::Relaxed) + 1;
+                let failed = match self.format {
+                    CheckpointFormat::Json => journal.append(&encode_checkpoint(&record)).is_err(),
+                    CheckpointFormat::Binary => {
+                        journal.append_binary(&encode_checkpoint_binary(&record)).is_err()
+                    }
+                };
+                (seq, failed)
             }
-            (Ok(mut journal), CheckpointFormat::Binary) => {
-                journal.append_binary(&encode_checkpoint_binary(&record)).is_err()
-            }
-            (Err(_), _) => true,
+            Err(_) => (self.appends.fetch_add(1, Ordering::Relaxed) + 1, true),
         };
         if failed {
             self.write_errors.fetch_add(1, Ordering::Relaxed);
@@ -654,8 +671,14 @@ impl StudyJournal {
         // The observer runs after the append attempt — even a failed one:
         // losing durability must not also lose the streamed copy.
         if let Some(observer) = &self.observer {
-            (observer.0)(&record);
+            (observer.0)(seq, &record);
         }
+    }
+
+    /// Records appended (attempted) this session — the checkpoint
+    /// sequence high-water mark passed to the observer.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::Relaxed)
     }
 
     /// The payload codec new records are appended with.

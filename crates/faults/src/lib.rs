@@ -17,7 +17,10 @@
 //!   family: sustained high-OPP residency caps a cluster's ceiling;
 //! * [`transport`] — dropped/duplicated/truncated/delayed frames on the
 //!   sharded-sweep agent↔supervisor link, plus scheduled agent sabotage
-//!   (crash/wedge on the nth checkpoint, SIGKILL after the nth record).
+//!   (crash/wedge on the nth checkpoint, SIGKILL after the nth record);
+//! * [`net`] — a seeded in-process TCP relay ([`ChaosProxy`]) injecting
+//!   partitions, RST-style resets, delay, reordering, duplication and
+//!   mid-frame truncation into the multi-machine sweep transport.
 //!
 //! Two properties make the injectors usable inside the study pipeline:
 //!
@@ -42,6 +45,7 @@
 pub mod capture;
 pub mod config;
 pub mod dvfs;
+pub mod net;
 pub mod power;
 pub mod replay;
 pub mod thermal;
@@ -52,6 +56,7 @@ pub use config::{
     CaptureFaults, DvfsFaults, FaultConfig, FaultStreams, PowerFaults, ReplayFaults, WedgeFaults,
 };
 pub use dvfs::{FaultyGovernor, WedgedGovernor};
+pub use net::{ChaosProxy, NetFaultCounts, NetFaults};
 pub use power::PowerFaultLog;
 pub use replay::{FaultyReplayer, ReplayFaultLog};
 pub use thermal::{ThermalEnvelope, ThermalFaults};

@@ -1,0 +1,500 @@
+//! Network faults: a seeded in-process TCP relay for hardening the
+//! multi-machine sweep transport.
+//!
+//! [`super::transport`] mangles frames on an in-process pipe; this module
+//! attacks the *network* instead. A [`ChaosProxy`] sits between sweep
+//! agents and their supervisor as an ordinary TCP endpoint: agents
+//! connect to the proxy, the proxy connects upstream, and the
+//! agent→supervisor byte stream is re-framed and mangled on the way
+//! through. Because the proxy is a real socket pair, every failure it
+//! injects exercises the production reconnect/replay path, not a mock.
+//!
+//! The fault families match what a real flaky network does to a TCP
+//! session — and deliberately exclude what TCP makes impossible:
+//!
+//! * **partition** — the connection is cut (both directions) after a
+//!   scheduled number of forwarded frames; the agent must reconnect and
+//!   resume from its acknowledged high-water mark;
+//! * **RST** — a cut whose final frame arrives torn mid-bytes, the
+//!   signature of a peer reset racing buffered data (`std` exposes no
+//!   stable `SO_LINGER`, so the reset is approximated by a truncated
+//!   write plus an abrupt close — indistinguishable to the victim);
+//! * **delay** — a frame (and, TCP being in-order, everything behind it)
+//!   arrives late;
+//! * **reorder** — one frame is held and delivered after its successor
+//!   (adjacent swap), modelling segment reordering across a relay;
+//! * **duplication** — a frame is delivered twice back to back.
+//!
+//! There is *no* silent single-frame drop: within a live TCP session
+//! bytes are never lost, only delayed — data loss happens exclusively at
+//! cuts, where the unacknowledged tail dies with the connection. That is
+//! exactly the loss model the session layer's ack/replay protocol is
+//! built for.
+//!
+//! Determinism follows the crate's house rules: all draws come from
+//! [`SplitMix64`] streams derived from `(seed, connection index)`, and a
+//! quiescent [`NetFaults::none`] proxy is a strict byte-for-byte relay.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use interlag_evdev::rng::SplitMix64;
+
+/// Network fault schedule for one [`ChaosProxy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaults {
+    /// Probability a forwarded frame is delayed before delivery.
+    pub delay_rate: f64,
+    /// Peak extra delay for a delayed frame, milliseconds (uniform in
+    /// `[1, max]`).
+    pub max_delay_ms: u64,
+    /// Probability a forwarded frame is delivered twice back to back.
+    pub duplicate_rate: f64,
+    /// Probability a forwarded frame is held and delivered *after* its
+    /// successor (adjacent swap).
+    pub reorder_rate: f64,
+    /// Cut the connection after this many forwarded frames (per
+    /// connection). `None` = never cut.
+    pub cut_after_frames: Option<u32>,
+    /// When cutting, deliver the final frame torn mid-bytes first — the
+    /// RST approximation. A clean cut (`false`) models a partition.
+    pub truncate_on_cut: bool,
+    /// Proxy-global budget of cuts, so a finite schedule always lets the
+    /// sweep finish once the budget is spent.
+    pub max_cuts: u32,
+}
+
+impl NetFaults {
+    /// No faults: the proxy is a strict byte-for-byte relay, no RNG draws.
+    pub fn none() -> Self {
+        NetFaults {
+            delay_rate: 0.0,
+            max_delay_ms: 0,
+            duplicate_rate: 0.0,
+            reorder_rate: 0.0,
+            cut_after_frames: None,
+            truncate_on_cut: false,
+            max_cuts: 0,
+        }
+    }
+
+    /// Clean partitions: cut every `every` forwarded frames, at most
+    /// `max_cuts` times across the proxy's lifetime.
+    pub fn partition(every: u32, max_cuts: u32) -> Self {
+        NetFaults { cut_after_frames: Some(every.max(1)), max_cuts, ..NetFaults::none() }
+    }
+
+    /// RST-style cuts: like [`NetFaults::partition`] but the last frame
+    /// before each cut arrives torn mid-bytes.
+    pub fn rst(every: u32, max_cuts: u32) -> Self {
+        NetFaults { truncate_on_cut: true, ..NetFaults::partition(every, max_cuts) }
+    }
+
+    /// Adjacent-swap reordering at `rate`, no cuts.
+    pub fn reorder(rate: f64) -> Self {
+        NetFaults { reorder_rate: rate, ..NetFaults::none() }
+    }
+
+    /// Back-to-back duplication at `rate`, no cuts.
+    pub fn duplicate(rate: f64) -> Self {
+        NetFaults { duplicate_rate: rate, ..NetFaults::none() }
+    }
+
+    /// Head-of-line delay at `rate`, up to `max_delay_ms` per hit.
+    pub fn delay(rate: f64, max_delay_ms: u64) -> Self {
+        NetFaults { delay_rate: rate, max_delay_ms, ..NetFaults::none() }
+    }
+
+    /// Everything at once at moderate rates: the CI worst-case schedule.
+    pub fn storm(max_cuts: u32) -> Self {
+        NetFaults {
+            delay_rate: 0.10,
+            max_delay_ms: 3,
+            duplicate_rate: 0.15,
+            reorder_rate: 0.15,
+            cut_after_frames: Some(25),
+            truncate_on_cut: true,
+            max_cuts,
+        }
+    }
+
+    /// A named CI profile, or `None` for an unknown name. Profiles:
+    /// `partition`, `rst`, `reorder`, `duplicate`, `delay`, `storm`.
+    pub fn profile(name: &str) -> Option<Self> {
+        match name {
+            "partition" => Some(NetFaults::partition(12, 3)),
+            "rst" => Some(NetFaults::rst(10, 3)),
+            "reorder" => Some(NetFaults::reorder(0.25)),
+            "duplicate" => Some(NetFaults::duplicate(0.25)),
+            "delay" => Some(NetFaults::delay(0.25, 4)),
+            "storm" => Some(NetFaults::storm(2)),
+            _ => None,
+        }
+    }
+
+    /// `true` if the proxy would be a strict pass-through.
+    pub fn is_quiescent(&self) -> bool {
+        self.delay_rate == 0.0
+            && self.duplicate_rate == 0.0
+            && self.reorder_rate == 0.0
+            && self.cut_after_frames.is_none()
+    }
+}
+
+/// Snapshot of the faults a [`ChaosProxy`] has injected so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetFaultCounts {
+    /// Connections cut (partitions and RSTs).
+    pub cuts: u64,
+    /// Frames delivered torn mid-bytes at a cut.
+    pub truncated: u64,
+    /// Frames delivered late.
+    pub delayed: u64,
+    /// Frames delivered after their successor.
+    pub reordered: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+}
+
+impl NetFaultCounts {
+    /// Total injected faults of every kind.
+    pub fn total(&self) -> u64 {
+        self.cuts + self.truncated + self.delayed + self.reordered + self.duplicated
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counts {
+    cuts: AtomicU64,
+    truncated: AtomicU64,
+    delayed: AtomicU64,
+    reordered: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+/// A seeded in-process TCP relay injecting [`NetFaults`] into the
+/// agent→supervisor direction of every connection through it.
+///
+/// The supervisor→agent direction is relayed verbatim (acks are the
+/// session layer's control channel; cutting the connection already
+/// exercises their loss), except that a cut severs both directions at
+/// once, as a real partition does.
+#[derive(Debug)]
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counts: Arc<Counts>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and starts relaying every
+    /// accepted connection to `upstream` under the given fault schedule.
+    pub fn spawn(upstream: SocketAddr, faults: NetFaults, seed: u64) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counts = Arc::new(Counts::default());
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_counts = Arc::clone(&counts);
+        thread::spawn(move || {
+            let mut conn_index: u64 = 0;
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = stream else { break };
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    // Upstream gone: the agent sees an immediate close
+                    // and retries through its normal backoff.
+                    continue;
+                };
+                relay(client, server, faults, seed, conn_index, Arc::clone(&accept_counts));
+                conn_index += 1;
+            }
+        });
+        Ok(ChaosProxy { addr, shutdown, counts })
+    }
+
+    /// The loopback address agents should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> NetFaultCounts {
+        NetFaultCounts {
+            cuts: self.counts.cuts.load(Ordering::SeqCst),
+            truncated: self.counts.truncated.load(Ordering::SeqCst),
+            delayed: self.counts.delayed.load(Ordering::SeqCst),
+            reordered: self.counts.reordered.load(Ordering::SeqCst),
+            duplicated: self.counts.duplicated.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops accepting new connections. Existing relays die with their
+    /// endpoints.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts the two pump threads for one relayed connection.
+fn relay(
+    client: TcpStream,
+    server: TcpStream,
+    faults: NetFaults,
+    seed: u64,
+    conn_index: u64,
+    counts: Arc<Counts>,
+) {
+    let client_rd = client.try_clone();
+    let server_rd = server.try_clone();
+    let (Ok(client_rd), Ok(server_rd)) = (client_rd, server_rd) else {
+        let _ = client.shutdown(Shutdown::Both);
+        let _ = server.shutdown(Shutdown::Both);
+        return;
+    };
+    // agent → supervisor: line-aware mangling.
+    {
+        let client = client.try_clone().ok();
+        let server_wr = server;
+        let counts = Arc::clone(&counts);
+        thread::spawn(move || {
+            pump_mangled(client_rd, server_wr, client, faults, seed, conn_index, counts);
+        });
+    }
+    // supervisor → agent: verbatim relay; ends (and severs the reverse
+    // path) when either endpoint closes.
+    thread::spawn(move || {
+        let mut rd = server_rd;
+        let mut wr = client;
+        let mut buf = [0u8; 4096];
+        loop {
+            match rd.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if wr.write_all(&buf[..n]).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+        let _ = wr.shutdown(Shutdown::Both);
+        let _ = rd.shutdown(Shutdown::Both);
+    });
+}
+
+/// The mangling pump: reads the agent's byte stream, re-frames it on
+/// newlines, and forwards each complete frame under a drawn fate.
+fn pump_mangled(
+    mut rd: TcpStream,
+    mut wr: TcpStream,
+    client_wr: Option<TcpStream>,
+    faults: NetFaults,
+    seed: u64,
+    conn_index: u64,
+    counts: Arc<Counts>,
+) {
+    let mut rng = net_stream(seed, conn_index);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut held: Option<Vec<u8>> = None;
+    let mut forwarded: u32 = 0;
+    'conn: loop {
+        let n = match rd.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some(nl) = buf.iter().position(|&b| b == b'\n') {
+            let frame: Vec<u8> = buf.drain(..=nl).collect();
+            forwarded += 1;
+            let cutting = faults.cut_after_frames.is_some_and(|every| forwarded >= every)
+                && counts.cuts.load(Ordering::SeqCst) < u64::from(faults.max_cuts);
+            if cutting {
+                counts.cuts.fetch_add(1, Ordering::SeqCst);
+                if faults.truncate_on_cut && frame.len() > 2 {
+                    let keep = 1 + (rng.next_u64() as usize % (frame.len() - 2));
+                    counts.truncated.fetch_add(1, Ordering::SeqCst);
+                    let _ = wr.write_all(&frame[..keep]);
+                }
+                break 'conn;
+            }
+            if faults.is_quiescent() {
+                if wr.write_all(&frame).is_err() {
+                    break 'conn;
+                }
+                continue;
+            }
+            if faults.reorder_rate > 0.0 && held.is_none() && rng.next_f64() < faults.reorder_rate {
+                counts.reordered.fetch_add(1, Ordering::SeqCst);
+                held = Some(frame);
+                continue;
+            }
+            if faults.delay_rate > 0.0 && rng.next_f64() < faults.delay_rate {
+                let ms = 1 + rng.next_u64() % faults.max_delay_ms.max(1);
+                counts.delayed.fetch_add(1, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(ms));
+            }
+            let twice = faults.duplicate_rate > 0.0 && rng.next_f64() < faults.duplicate_rate;
+            if twice {
+                counts.duplicated.fetch_add(1, Ordering::SeqCst);
+            }
+            for _ in 0..if twice { 2 } else { 1 } {
+                if wr.write_all(&frame).is_err() {
+                    break 'conn;
+                }
+            }
+            if let Some(h) = held.take() {
+                if wr.write_all(&h).is_err() {
+                    break 'conn;
+                }
+            }
+        }
+        let _ = wr.flush();
+    }
+    // A held frame at clean end-of-stream must not be lost: only a cut
+    // may destroy data.
+    if let Some(h) = held.take() {
+        let _ = wr.write_all(&h);
+    }
+    let _ = wr.shutdown(Shutdown::Both);
+    let _ = rd.shutdown(Shutdown::Both);
+    if let Some(cw) = client_wr {
+        let _ = cw.shutdown(Shutdown::Both);
+    }
+}
+
+/// The fault stream for one relayed connection, derived in the same
+/// style as [`crate::TransportFaults::stream`].
+fn net_stream(seed: u64, conn_index: u64) -> SplitMix64 {
+    let mut r = SplitMix64::new(seed);
+    for part in [conn_index, 7] {
+        r = SplitMix64::new(r.next_u64() ^ part.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// An upstream sink: accepts connections forever, collecting each
+    /// connection's full byte stream.
+    fn sink() -> (SocketAddr, Arc<Mutex<Vec<Vec<u8>>>>) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let streams: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let collected = Arc::clone(&streams);
+        thread::spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(mut s) = stream else { break };
+                let slot = {
+                    let mut g = collected.lock().unwrap();
+                    g.push(Vec::new());
+                    g.len() - 1
+                };
+                let collected = Arc::clone(&collected);
+                thread::spawn(move || {
+                    let mut bytes = Vec::new();
+                    let _ = s.read_to_end(&mut bytes);
+                    collected.lock().unwrap()[slot] = bytes;
+                });
+            }
+        });
+        (addr, streams)
+    }
+
+    fn wait_for<F: Fn() -> bool>(cond: F) {
+        for _ in 0..500 {
+            if cond() {
+                return;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        panic!("condition not reached within 5s");
+    }
+
+    #[test]
+    fn quiescent_proxy_is_a_byte_for_byte_relay() {
+        let (upstream, streams) = sink();
+        let proxy = ChaosProxy::spawn(upstream, NetFaults::none(), 1).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        let sent = b"alpha\nbeta\ngamma\n";
+        c.write_all(sent).unwrap();
+        c.shutdown(Shutdown::Write).unwrap();
+        wait_for(|| streams.lock().unwrap().first().is_some_and(|s| s.len() == sent.len()));
+        assert_eq!(streams.lock().unwrap()[0], sent);
+        assert_eq!(proxy.injected(), NetFaultCounts::default());
+    }
+
+    #[test]
+    fn scheduled_cut_severs_after_n_frames_then_budget_exhausts() {
+        let (upstream, streams) = sink();
+        let proxy = ChaosProxy::spawn(upstream, NetFaults::partition(2, 1), 2).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"one\ntwo\nthree\n").unwrap();
+        // The cut lands on frame 2: upstream sees exactly one frame then
+        // EOF, and the client's read side sees the severed connection.
+        wait_for(|| streams.lock().unwrap().first().is_some_and(|s| s == b"one\n"));
+        let mut tail = Vec::new();
+        let _ = c.read_to_end(&mut tail); // EOF or reset — either way, dead
+        assert_eq!(proxy.injected().cuts, 1);
+        // Budget spent: a reconnect relays cleanly.
+        let mut c2 = TcpStream::connect(proxy.addr()).unwrap();
+        c2.write_all(b"four\nfive\nsix\n").unwrap();
+        c2.shutdown(Shutdown::Write).unwrap();
+        wait_for(|| streams.lock().unwrap().get(1).is_some_and(|s| s == b"four\nfive\nsix\n"));
+        assert_eq!(proxy.injected().cuts, 1);
+    }
+
+    #[test]
+    fn duplication_doubles_frames_and_counts() {
+        let (upstream, streams) = sink();
+        let proxy = ChaosProxy::spawn(upstream, NetFaults::duplicate(1.0), 3).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"a\nb\n").unwrap();
+        c.shutdown(Shutdown::Write).unwrap();
+        wait_for(|| streams.lock().unwrap().first().is_some_and(|s| s == b"a\na\nb\nb\n"));
+        assert_eq!(proxy.injected().duplicated, 2);
+    }
+
+    #[test]
+    fn reordering_swaps_adjacent_frames_without_loss() {
+        let (upstream, streams) = sink();
+        // rate 1.0: every frame not already behind a held one is held, so
+        // the stream comes out as adjacent swaps.
+        let proxy = ChaosProxy::spawn(upstream, NetFaults::reorder(1.0), 4).unwrap();
+        let mut c = TcpStream::connect(proxy.addr()).unwrap();
+        c.write_all(b"1\n2\n3\n4\n").unwrap();
+        c.shutdown(Shutdown::Write).unwrap();
+        wait_for(|| streams.lock().unwrap().first().is_some_and(|s| s.len() == 8));
+        assert_eq!(streams.lock().unwrap()[0], b"2\n1\n4\n3\n");
+        assert_eq!(proxy.injected().reordered, 2);
+    }
+
+    #[test]
+    fn profiles_parse_and_unknown_is_none() {
+        for name in ["partition", "rst", "reorder", "duplicate", "delay", "storm"] {
+            assert!(NetFaults::profile(name).is_some(), "{name}");
+        }
+        assert!(NetFaults::profile("flood").is_none());
+        assert!(NetFaults::rst(10, 3).truncate_on_cut);
+        assert!(!NetFaults::partition(10, 3).truncate_on_cut);
+        assert!(NetFaults::none().is_quiescent());
+        assert!(!NetFaults::storm(1).is_quiescent());
+    }
+}

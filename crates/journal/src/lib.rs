@@ -16,6 +16,11 @@
 //!   stays free of any dependency on the pipeline's types.
 //! * [`atomic`] — write-temp-then-rename file output, so a crash never
 //!   leaves a half-written CSV or trace where a complete one used to be.
+//! * [`outbox`] — a sequence-numbered retransmit buffer for framed
+//!   records in flight over an unreliable link: frames are retained
+//!   until cumulatively acknowledged and replayable in order, so a
+//!   reconnecting sender resumes from its peer's high-water mark instead
+//!   of restarting.
 //! * [`watchdog`] — cooperative cancellation tokens with optional
 //!   wall-clock deadlines. Long-running loops (the device quantum loop,
 //!   the matcher's frame walk) poll a token and unwind cleanly when a
@@ -47,11 +52,13 @@
 
 pub mod atomic;
 pub mod crc32;
+pub mod outbox;
 pub mod record;
 pub mod watchdog;
 
 pub use atomic::atomic_write;
 pub use crc32::crc32;
+pub use outbox::SeqOutbox;
 pub use record::{
     decode_records, encode_record, encode_record_binary, DecodeOutcome, Journal, RecordError,
     BINARY_FRAME_MAGIC,

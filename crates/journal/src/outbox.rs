@@ -1,0 +1,166 @@
+//! A sequence-numbered retransmit buffer for framed records in flight.
+//!
+//! The sharded-sweep TCP transport needs exactly-once *effect* over an
+//! at-most-once wire: a connection can die with any suffix of the sent
+//! frames unacknowledged, and on reconnect the sender must replay that
+//! suffix — nothing more, nothing less. [`SeqOutbox`] is the sender half
+//! of that contract: every framed record is assigned a monotonically
+//! increasing sequence number when it is queued, retained until the peer
+//! cumulatively acknowledges it, and replayable in order at any time.
+//!
+//! The buffer stores opaque framed bytes (the same already-encoded frames
+//! that go on the wire), so this crate stays free of any dependency on
+//! the pipeline's message types — the same policy as [`crate::record`].
+
+use std::collections::VecDeque;
+
+/// Sender-side retransmit buffer with cumulative acknowledgement.
+///
+/// Sequence numbers start at 1 and never repeat within one outbox; `0`
+/// is the "nothing acknowledged yet" sentinel, so a receiver can always
+/// answer "replay from `acked + 1`".
+///
+/// # Examples
+///
+/// ```
+/// use interlag_journal::outbox::SeqOutbox;
+///
+/// let mut ob = SeqOutbox::new();
+/// assert_eq!(ob.push(b"first".to_vec()), 1);
+/// assert_eq!(ob.push(b"second".to_vec()), 2);
+/// ob.ack(1);
+/// let unsent: Vec<u64> = ob.unacked().map(|(seq, _)| seq).collect();
+/// assert_eq!(unsent, vec![2]);
+/// ```
+#[derive(Debug, Default)]
+pub struct SeqOutbox {
+    /// Highest sequence number assigned so far (0 = none yet).
+    last_seq: u64,
+    /// Highest cumulatively acknowledged sequence number.
+    acked: u64,
+    /// Unacknowledged frames, oldest first, each `(seq, framed bytes)`.
+    buf: VecDeque<(u64, Vec<u8>)>,
+}
+
+impl SeqOutbox {
+    /// An empty outbox: no frames queued, nothing acknowledged.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues one framed record and returns its assigned sequence number.
+    pub fn push(&mut self, frame: Vec<u8>) -> u64 {
+        self.last_seq += 1;
+        self.buf.push_back((self.last_seq, frame));
+        self.last_seq
+    }
+
+    /// Applies a cumulative acknowledgement: every frame with a sequence
+    /// number `<= seq` is released. Regressing or repeated acks are
+    /// no-ops — an old ack arriving late (duplicated frame, reordered
+    /// delivery) must never resurrect retransmissions.
+    pub fn ack(&mut self, seq: u64) {
+        if seq <= self.acked {
+            return;
+        }
+        self.acked = seq.min(self.last_seq);
+        while self.buf.front().is_some_and(|(s, _)| *s <= self.acked) {
+            self.buf.pop_front();
+        }
+    }
+
+    /// The unacknowledged frames, oldest first — exactly what a reconnect
+    /// must replay after the peer reports its `acked` high-water mark.
+    pub fn unacked(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.buf.iter().map(|(seq, frame)| (*seq, frame.as_slice()))
+    }
+
+    /// Highest sequence number assigned so far (0 before any push).
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    /// Highest cumulatively acknowledged sequence number.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Number of frames awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` once every queued frame has been acknowledged.
+    pub fn is_drained(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(ob: &SeqOutbox) -> Vec<(u64, Vec<u8>)> {
+        ob.unacked().map(|(s, f)| (s, f.to_vec())).collect()
+    }
+
+    #[test]
+    fn sequences_start_at_one_and_increment() {
+        let mut ob = SeqOutbox::new();
+        assert_eq!(ob.last_seq(), 0);
+        assert_eq!(ob.push(b"a".to_vec()), 1);
+        assert_eq!(ob.push(b"b".to_vec()), 2);
+        assert_eq!(ob.push(b"c".to_vec()), 3);
+        assert_eq!(ob.last_seq(), 3);
+        assert_eq!(ob.in_flight(), 3);
+    }
+
+    #[test]
+    fn cumulative_ack_releases_prefix() {
+        let mut ob = SeqOutbox::new();
+        for b in [b"a", b"b", b"c", b"d"] {
+            ob.push(b.to_vec());
+        }
+        ob.ack(2);
+        assert_eq!(ob.acked(), 2);
+        assert_eq!(frames(&ob), vec![(3, b"c".to_vec()), (4, b"d".to_vec())]);
+    }
+
+    #[test]
+    fn regressing_or_duplicate_acks_are_ignored() {
+        let mut ob = SeqOutbox::new();
+        for b in [b"a", b"b", b"c"] {
+            ob.push(b.to_vec());
+        }
+        ob.ack(2);
+        ob.ack(1); // stale duplicate from a reordered delivery
+        ob.ack(2); // exact duplicate
+        assert_eq!(ob.acked(), 2);
+        assert_eq!(frames(&ob), vec![(3, b"c".to_vec())]);
+    }
+
+    #[test]
+    fn ack_beyond_last_seq_is_clamped() {
+        let mut ob = SeqOutbox::new();
+        ob.push(b"a".to_vec());
+        ob.ack(99);
+        assert_eq!(ob.acked(), 1);
+        assert!(ob.is_drained());
+        // The next push still gets the next sequence number, and a fresh
+        // ack at the clamped level stays a no-op.
+        assert_eq!(ob.push(b"b".to_vec()), 2);
+        ob.ack(1);
+        assert_eq!(ob.in_flight(), 1);
+    }
+
+    #[test]
+    fn replay_order_is_queue_order() {
+        let mut ob = SeqOutbox::new();
+        for i in 0..10u8 {
+            ob.push(vec![i]);
+        }
+        ob.ack(4);
+        let seqs: Vec<u64> = ob.unacked().map(|(s, _)| s).collect();
+        assert_eq!(seqs, (5..=10).collect::<Vec<u64>>());
+    }
+}

@@ -73,6 +73,19 @@ pub enum Counter {
     HeartbeatsMissed,
     /// Straggler races won by the speculative duplicate attempt.
     SpeculativeWins,
+    /// TCP agent sessions resumed: an agent reconnected within its lease
+    /// and replayed unacknowledged frames instead of restarting its shard.
+    AgentReconnects,
+    /// Frames or registrations rejected because they carried a stale
+    /// lease epoch — a zombie agent surviving past a partition whose
+    /// shard was already re-dispatched.
+    FencedEpochRecords,
+    /// Network faults injected by a chaos proxy (cuts, delays, reorders,
+    /// duplicates, mid-frame truncations) during a hardened sweep.
+    NetFaultsInjected,
+    /// Leases revoked while an attempt was still live: supervisor kills,
+    /// re-dispatch of a silent shard, or sweep teardown.
+    LeaseExpiries,
     /// Submission artifacts accepted and folded into the results
     /// database.
     DbSubmissionsIngested,
@@ -88,7 +101,7 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter, in rendering order.
-    pub const ALL: [Counter; 33] = [
+    pub const ALL: [Counter; 37] = [
         Counter::AnnotateRuns,
         Counter::StudyReps,
         Counter::RepsOk,
@@ -118,6 +131,10 @@ impl Counter {
         Counter::ShardRecordsQuarantined,
         Counter::HeartbeatsMissed,
         Counter::SpeculativeWins,
+        Counter::AgentReconnects,
+        Counter::FencedEpochRecords,
+        Counter::NetFaultsInjected,
+        Counter::LeaseExpiries,
         Counter::DbSubmissionsIngested,
         Counter::DbSubmissionsQuarantined,
         Counter::DbDuplicateSubmissions,
@@ -156,6 +173,10 @@ impl Counter {
             Counter::ShardRecordsQuarantined => "shard_records_quarantined",
             Counter::HeartbeatsMissed => "heartbeats_missed",
             Counter::SpeculativeWins => "speculative_wins",
+            Counter::AgentReconnects => "agent_reconnects",
+            Counter::FencedEpochRecords => "fenced_epoch_records",
+            Counter::NetFaultsInjected => "net_faults_injected",
+            Counter::LeaseExpiries => "lease_expiries",
             Counter::DbSubmissionsIngested => "db_submissions_ingested",
             Counter::DbSubmissionsQuarantined => "db_submissions_quarantined",
             Counter::DbDuplicateSubmissions => "db_duplicate_submissions",

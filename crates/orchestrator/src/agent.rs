@@ -191,9 +191,9 @@ pub fn run_agent(
         let abort = cfg.abort_on_crash;
         let kill = cfg.kill.clone();
         let journal_path = cfg.journal_path.clone();
-        journal.set_observer(move |record| {
+        journal.set_observer(move |seq, record| {
             let n = completed.fetch_add(1, Ordering::SeqCst) + 1;
-            send(&WireMsg::Checkpoint(record.clone()));
+            send(&WireMsg::Checkpoint { seq, record: record.clone() });
             if let Some(kill) = &kill {
                 if kill.is_killed() {
                     die(abort);

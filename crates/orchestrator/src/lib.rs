@@ -23,6 +23,13 @@
 //!   heartbeat and progress watchdogs, speculative re-execution of
 //!   stragglers, and graceful degradation into per-slot `Abandoned`
 //!   records when a shard exhausts its budget;
+//! * [`session`] — the TCP session envelope: epoch-fenced leases,
+//!   per-frame sequence numbers, cumulative acks and exactly-once
+//!   in-order reassembly;
+//! * [`tcp`] — the multi-machine transport built on it
+//!   ([`TcpTransport`]): resumable connections with seeded
+//!   decorrelated-jitter reconnects, zombie fencing, and external
+//!   self-registering workers for host-to-host sweeps;
 //! * [`merge`] — byte-stable union of shard journals: fingerprint- and
 //!   CRC-validated, quarantining anything corrupt or foreign;
 //! * [`tune`] — the sharded governor-tuning sweep: tunable grids scored
@@ -40,6 +47,7 @@
 //!
 //! [`ProcessTransport`]: transport::ProcessTransport
 //! [`ThreadTransport`]: transport::ThreadTransport
+//! [`TcpTransport`]: tcp::TcpTransport
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -47,7 +55,9 @@
 pub mod agent;
 pub mod grid;
 pub mod merge;
+pub mod session;
 pub mod supervisor;
+pub mod tcp;
 pub mod transport;
 pub mod tune;
 pub mod wire;
@@ -55,7 +65,12 @@ pub mod wire;
 pub use agent::{parse_stage, run_agent, stage_name, AgentConfig, AgentReport};
 pub use grid::SweepGrid;
 pub use merge::{encode_merged, merge_shard_journals, MergeOutcome};
-pub use supervisor::{run_sweep, ShardOutcome, SweepConfig, SweepOutcome};
+pub use session::{SeqAssembler, SessionMsg};
+pub use supervisor::{retry_backoff, run_sweep, ShardOutcome, SweepConfig, SweepOutcome};
+pub use tcp::{
+    run_tcp_agent, run_tcp_worker, ClientPolicy, TcpAgentMode, TcpClientOpts, TcpTransport,
+    WorkerTask, EXIT_FENCED, EXIT_LINK_DEAD,
+};
 pub use transport::{
     AgentEvent, AttemptKey, ProcessTransport, RunningShard, ShardTask, ThreadTransport, Transport,
 };

@@ -1,0 +1,256 @@
+//! The resumable TCP session layer: lease epochs, sequencing, acks.
+//!
+//! The pipe transports get their delivery guarantees for free — a pipe
+//! dies exactly when its process does, so an [`AttemptKey`] on the
+//! supervisor's channel is already proof of identity. TCP gives none of
+//! that: connections outlive their usefulness (a zombie agent across a
+//! healed partition), die while their attempt lives on (the agent
+//! reconnects), and a chaos relay can reorder or duplicate whole frames.
+//! This module is the envelope protocol that rebuilds those guarantees:
+//!
+//! * **epoch fencing** — every dispatch attempt is issued a *lease
+//!   epoch*, strictly increasing per transport. Every [`SessionMsg`]
+//!   frame an agent sends carries its epoch; the supervisor accepts a
+//!   frame only while that epoch is still the current lease for its
+//!   `(stage, shard)`. A zombie that reconnects — or whose stale frames
+//!   surface after the supervisor re-dispatched the shard — is *fenced*:
+//!   counted, told to die ([`SessionMsg::Revoke`]), never merged. This
+//!   is the wire analogue of the merge gauntlet rejecting forged
+//!   fingerprints.
+//! * **sequencing and cumulative acks** — within an epoch every
+//!   [`SessionMsg::Data`] frame carries a 1-based sequence number
+//!   (assigned by the agent's [`SeqOutbox`]). The supervisor's
+//!   [`SeqAssembler`] delivers them in order exactly once — reordered
+//!   frames wait, duplicates drop — and acknowledges cumulatively, so
+//!   on reconnect the agent replays precisely the unacknowledged suffix
+//!   instead of restarting the shard.
+//!
+//! Session frames use the same CRC text framing as [`crate::wire`] (one
+//! codec for disk, pipe and network), so the chaos proxy's mid-frame
+//! truncation is caught by the same resynchronising [`FrameReader`].
+//!
+//! [`AttemptKey`]: crate::transport::AttemptKey
+//! [`SeqOutbox`]: interlag_journal::SeqOutbox
+//! [`FrameReader`]: crate::wire::FrameReader
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::wire::WireMsg;
+
+/// One envelope frame on the TCP link. Agent→supervisor frames carry the
+/// sender's lease epoch; supervisor→agent frames echo the epoch they
+/// govern.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionMsg {
+    /// Agent→supervisor, first frame of every (re)connection for an
+    /// assigned task: which lease this connection serves.
+    Register {
+        /// `"stage1"` or `"oracle"`.
+        stage: String,
+        /// Shard index within the wave.
+        shard: u32,
+        /// Total shards in the wave.
+        of: u32,
+        /// The dispatch attempt (0 = first).
+        attempt: u32,
+        /// The lease epoch this agent was dispatched under.
+        epoch: u64,
+        /// Highest sequence number the agent has assigned so far — the
+        /// supervisor's reply [`SessionMsg::Ack`] tells it how much of
+        /// that actually arrived.
+        sent: u64,
+    },
+    /// Worker→supervisor: an idle external worker offering itself for
+    /// the next pending shard task.
+    Available,
+    /// Supervisor→worker: a shard task assignment for an external
+    /// worker, carrying everything the worker cannot derive locally.
+    Assign {
+        /// `"stage1"` or `"oracle"`.
+        stage: String,
+        /// Shard index within the wave.
+        shard: u32,
+        /// Total shards in the wave.
+        of: u32,
+        /// The dispatch attempt (0 = first).
+        attempt: u32,
+        /// The lease epoch governing this attempt.
+        epoch: u64,
+        /// Repetitions per configuration (must match the supervisor's
+        /// lab for the study fingerprint to line up).
+        reps: u32,
+        /// Heartbeat period to run under, milliseconds.
+        heartbeat_ms: u64,
+        /// The seeded journal prefix (every record merged so far), as
+        /// raw journal bytes: the worker writes these to its local
+        /// attempt journal and replays the paid-for slots.
+        seed: Vec<u8>,
+    },
+    /// Agent→supervisor: one wire message, sequenced within the lease.
+    Data {
+        /// The sender's lease epoch — the fence.
+        epoch: u64,
+        /// 1-based sequence number within the epoch.
+        seq: u64,
+        /// The payload.
+        msg: WireMsg,
+    },
+    /// Supervisor→agent: cumulative acknowledgement — every `Data` frame
+    /// with `seq <=` this has been received and absorbed. Also the
+    /// immediate reply to [`SessionMsg::Register`], which makes it the
+    /// resume point after a reconnect.
+    Ack {
+        /// The lease epoch being acknowledged.
+        epoch: u64,
+        /// Highest in-order sequence number absorbed.
+        seq: u64,
+    },
+    /// Supervisor→agent: the lease is no longer current (the shard was
+    /// re-dispatched, or the sweep is over). The agent must stop —
+    /// anything further it sends will be fenced anyway.
+    Revoke {
+        /// The revoked epoch.
+        epoch: u64,
+    },
+    /// Supervisor→worker: no more tasks will come; disconnect cleanly.
+    Drain,
+}
+
+/// Receiver-side in-order delivery within one lease epoch.
+///
+/// Chaos can reorder and duplicate whole frames; retransmission after a
+/// reconnect re-sends everything unacknowledged, including frames that
+/// did arrive but whose acks were lost. The assembler makes delivery
+/// exactly-once and in-order: a frame is delivered when it is the next
+/// expected sequence number, buffered while it is early, and dropped
+/// while it is late (already delivered) or a duplicate of a buffered
+/// frame.
+#[derive(Debug, Default)]
+pub struct SeqAssembler {
+    delivered: u64,
+    pending: BTreeMap<u64, WireMsg>,
+    duplicates: u64,
+}
+
+impl SeqAssembler {
+    /// An assembler expecting sequence number 1 first.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Offers one received frame; returns every message now deliverable,
+    /// in sequence order.
+    pub fn offer(&mut self, seq: u64, msg: WireMsg) -> Vec<WireMsg> {
+        if seq <= self.delivered || self.pending.contains_key(&seq) {
+            self.duplicates += 1;
+            return Vec::new();
+        }
+        self.pending.insert(seq, msg);
+        let mut out = Vec::new();
+        while let Some(msg) = self.pending.remove(&(self.delivered + 1)) {
+            self.delivered += 1;
+            out.push(msg);
+        }
+        out
+    }
+
+    /// Highest in-order sequence number delivered — the cumulative ack
+    /// level.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Frames dropped as duplicates (retransmission overlap, chaos
+    /// duplication).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Frames buffered waiting for an earlier one to arrive.
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hb(seq: u64) -> WireMsg {
+        WireMsg::Heartbeat { seq, completed: 0 }
+    }
+
+    #[test]
+    fn in_order_frames_deliver_immediately() {
+        let mut a = SeqAssembler::new();
+        assert_eq!(a.offer(1, hb(1)), vec![hb(1)]);
+        assert_eq!(a.offer(2, hb(2)), vec![hb(2)]);
+        assert_eq!(a.delivered(), 2);
+        assert_eq!(a.duplicates(), 0);
+    }
+
+    #[test]
+    fn reordered_frames_wait_and_release_in_order() {
+        let mut a = SeqAssembler::new();
+        assert!(a.offer(2, hb(2)).is_empty());
+        assert!(a.offer(3, hb(3)).is_empty());
+        assert_eq!(a.buffered(), 2);
+        // The missing head releases the whole run.
+        assert_eq!(a.offer(1, hb(1)), vec![hb(1), hb(2), hb(3)]);
+        assert_eq!(a.delivered(), 3);
+        assert_eq!(a.buffered(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_dropped_delivered_or_buffered() {
+        let mut a = SeqAssembler::new();
+        a.offer(1, hb(1));
+        assert!(a.offer(1, hb(1)).is_empty(), "already delivered");
+        assert!(a.offer(3, hb(3)).is_empty(), "early, buffered");
+        assert!(a.offer(3, hb(3)).is_empty(), "duplicate of buffered");
+        assert_eq!(a.duplicates(), 2);
+        assert_eq!(a.offer(2, hb(2)), vec![hb(2), hb(3)]);
+    }
+
+    #[test]
+    fn retransmission_overlap_is_exactly_once() {
+        // A reconnect replays 1..=4 after only 1..=2 were acked: the
+        // receiver must deliver 3..=4 once and drop the rest.
+        let mut a = SeqAssembler::new();
+        for s in 1..=2 {
+            a.offer(s, hb(s));
+        }
+        let mut delivered = Vec::new();
+        for s in 1..=4 {
+            delivered.extend(a.offer(s, hb(s)));
+        }
+        assert_eq!(delivered, vec![hb(3), hb(4)]);
+        assert_eq!(a.delivered(), 4);
+    }
+
+    #[test]
+    fn session_msgs_round_trip_through_wire_framing() {
+        use crate::wire::{encode_frame, FrameReader};
+        let msgs = vec![
+            SessionMsg::Register {
+                stage: "stage1".into(),
+                shard: 1,
+                of: 4,
+                attempt: 0,
+                epoch: 7,
+                sent: 42,
+            },
+            SessionMsg::Available,
+            SessionMsg::Data { epoch: 7, seq: 43, msg: hb(9) },
+            SessionMsg::Ack { epoch: 7, seq: 43 },
+            SessionMsg::Revoke { epoch: 6 },
+            SessionMsg::Drain,
+        ];
+        let bytes: Vec<u8> = msgs.iter().flat_map(encode_frame).collect();
+        let mut r: FrameReader<SessionMsg> = FrameReader::new();
+        assert_eq!(r.push(&bytes), msgs);
+        assert_eq!(r.garbage(), 0);
+    }
+}

@@ -8,8 +8,10 @@
 //! * **watchdogs** — an attempt that stops heartbeating is presumed
 //!   dead; one that heartbeats but stops producing accepted checkpoints
 //!   is wedged. Both are killed and classified.
-//! * **retry with backoff** — a failed shard is re-dispatched after
-//!   `backoff_base · 2^(attempt-1)` (capped), at most
+//! * **retry with backoff** — a failed shard is re-dispatched after a
+//!   seeded decorrelated-jitter delay ([`retry_backoff`]: exponential
+//!   envelope in `[backoff_base, backoff_cap]`, deterministic per
+//!   `(seed, shard, attempt)`, spread across shards), at most
 //!   [`SweepConfig::retry_budget`] times, each new attempt's journal
 //!   pre-seeded with every record merged so far so paid-for work
 //!   replays instead of recomputing.
@@ -43,6 +45,7 @@ use interlag_core::experiment::{
     SweepStage,
 };
 use interlag_db::{device_model, seal_submission, SubmissionManifest, SUBMISSION_SCHEMA};
+use interlag_evdev::rng::SplitMix64;
 use interlag_journal::atomic_write;
 use interlag_obs::{Counter, Recorder};
 use interlag_workloads::gen::Workload;
@@ -67,10 +70,16 @@ pub struct SweepConfig {
     pub heartbeat_timeout: Duration,
     /// Checkpoint-progress silence after which an attempt is wedged.
     pub progress_timeout: Duration,
-    /// First retry delay; doubles per subsequent attempt.
+    /// Floor of the retry delay (the first attempt's jitter window
+    /// starts here).
     pub backoff_base: Duration,
     /// Ceiling on the retry delay.
     pub backoff_cap: Duration,
+    /// Seed for the decorrelated retry jitter. Every `(seed, shard,
+    /// attempt)` triple maps to one fixed delay, so sweeps replay
+    /// exactly, but simultaneous shard failures draw from disjoint
+    /// streams and do not re-dispatch in lockstep.
+    pub backoff_seed: u64,
     /// Age at which a sole healthy attempt gets a speculative twin;
     /// `None` disables speculation.
     pub speculate_after: Option<Duration>,
@@ -95,6 +104,7 @@ impl SweepConfig {
             progress_timeout: Duration::from_secs(60),
             backoff_base: Duration::from_millis(50),
             backoff_cap: Duration::from_secs(2),
+            backoff_seed: 0,
             speculate_after: None,
             format: CheckpointFormat::Binary,
             props: Vec::new(),
@@ -396,7 +406,7 @@ impl<'a> Wave<'a> {
                     a.last_heartbeat = Instant::now();
                 }
             }
-            AgentEvent::Msg(WireMsg::Checkpoint(record)) => {
+            AgentEvent::Msg(WireMsg::Checkpoint { record, .. }) => {
                 let accepted = self.absorb(
                     i,
                     |m| {
@@ -489,8 +499,13 @@ impl<'a> Wave<'a> {
         let speculative = gone.as_ref().is_some_and(|a| a.speculative);
         self.finish_if_covered(i, merged, speculative);
         let budget = self.cfg.retry_budget;
-        let backoff =
-            backoff_for(self.cfg.backoff_base, self.cfg.backoff_cap, self.shards[i].attempts_used);
+        let backoff = retry_backoff(
+            self.cfg.backoff_base,
+            self.cfg.backoff_cap,
+            self.cfg.backoff_seed,
+            self.shards[i].scope.shard,
+            self.shards[i].attempts_used,
+        );
         let s = &mut self.shards[i];
         if s.terminal() {
             return;
@@ -586,10 +601,38 @@ impl<'a> Wave<'a> {
 }
 
 /// The deterministic retry delay before dispatch attempt
-/// `attempts_used + 1` (so `failed_attempts` ≥ 1).
-fn backoff_for(base: Duration, cap: Duration, failed_attempts: u32) -> Duration {
-    let exp = failed_attempts.saturating_sub(1).min(16);
-    base.saturating_mul(1u32 << exp).min(cap)
+/// `attempts_used + 1` (so `failed_attempts` ≥ 1): decorrelated jitter,
+/// seeded.
+///
+/// Pure exponential backoff re-dispatches simultaneous failures in
+/// lockstep — after a partition heals or a host OOM-kills every agent at
+/// once, all shards hammer the transport at the same instant, every
+/// round. This is the standard fix ("exponential backoff and jitter",
+/// decorrelated variant): each step draws uniformly from
+/// `[base, 3 · previous)` and clamps to `[base, cap]`. The draw chain is
+/// a [`SplitMix64`] stream derived from `(seed, shard)` and iterated
+/// `failed_attempts` times, so the delay is a pure function of
+/// `(seed, shard, attempt)` — sweeps replay exactly — while distinct
+/// shards (and distinct attempts) spread out.
+pub fn retry_backoff(
+    base: Duration,
+    cap: Duration,
+    seed: u64,
+    shard: u32,
+    failed_attempts: u32,
+) -> Duration {
+    let base = base.max(Duration::from_micros(1));
+    let cap = cap.max(base);
+    let mut rng =
+        SplitMix64::new(seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xbac_c0ff);
+    let lo = base.as_nanos() as u64;
+    let mut sleep = base;
+    for _ in 0..failed_attempts.clamp(1, 32) {
+        let hi = (sleep.as_nanos() as u64).saturating_mul(3).max(lo + 1);
+        let pick = lo + rng.next_u64() % (hi - lo);
+        sleep = Duration::from_nanos(pick).min(cap);
+    }
+    sleep
 }
 
 /// Synthesises [`RepOutcome::Abandoned`] placeholder records for every
@@ -629,15 +672,41 @@ mod tests {
     use super::*;
 
     #[test]
-    fn backoff_doubles_from_the_base_and_caps() {
+    fn backoff_is_deterministic_per_seed_shard_attempt() {
         let base = Duration::from_millis(50);
         let cap = Duration::from_secs(2);
-        assert_eq!(backoff_for(base, cap, 1), Duration::from_millis(50));
-        assert_eq!(backoff_for(base, cap, 2), Duration::from_millis(100));
-        assert_eq!(backoff_for(base, cap, 3), Duration::from_millis(200));
-        assert_eq!(backoff_for(base, cap, 12), cap);
-        // Huge attempt counts must not overflow the shift.
-        assert_eq!(backoff_for(base, cap, u32::MAX), cap);
+        for seed in [0u64, 1, 0x5eed] {
+            for shard in 0..6u32 {
+                for attempt in 1..8u32 {
+                    let a = retry_backoff(base, cap, seed, shard, attempt);
+                    let b = retry_backoff(base, cap, seed, shard, attempt);
+                    assert_eq!(a, b, "seed {seed} shard {shard} attempt {attempt}");
+                    assert!(a >= base && a <= cap, "{a:?} outside [{base:?}, {cap:?}]");
+                }
+            }
+        }
+        // Huge attempt counts stay finite, in-envelope and deterministic.
+        let big = retry_backoff(base, cap, 7, 3, u32::MAX);
+        assert_eq!(big, retry_backoff(base, cap, 7, 3, u32::MAX));
+        assert!(big >= base && big <= cap);
+    }
+
+    #[test]
+    fn backoff_decorrelates_simultaneous_shard_failures() {
+        let base = Duration::from_millis(50);
+        let cap = Duration::from_secs(2);
+        // The whole point: shards failing at the same instant on the
+        // same attempt number must not all pick the same delay.
+        let delays: Vec<Duration> =
+            (0..8u32).map(|shard| retry_backoff(base, cap, 0x5eed, shard, 2)).collect();
+        let mut unique = delays.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert!(unique.len() > 1, "all shards re-dispatch in lockstep: {delays:?}");
+        // And a different seed reshuffles the schedule.
+        let other: Vec<Duration> =
+            (0..8u32).map(|shard| retry_backoff(base, cap, 0xd1ce, shard, 2)).collect();
+        assert_ne!(delays, other);
     }
 
     #[test]

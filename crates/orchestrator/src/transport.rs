@@ -95,6 +95,12 @@ impl RunningShard {
     pub fn kill(&mut self) {
         (self.kill)();
     }
+
+    /// Wraps a kill action (for sibling transports like
+    /// [`TcpTransport`](crate::tcp::TcpTransport)).
+    pub(crate) fn from_fn(kill: impl FnMut() + Send + 'static) -> Self {
+        RunningShard { kill: Box::new(kill) }
+    }
 }
 
 impl std::fmt::Debug for RunningShard {
@@ -122,18 +128,35 @@ struct LinePump {
     key: AttemptKey,
     mangler: Option<FrameMangler>,
     reader: FrameReader,
+    /// Per-frame ceiling on an injected delay sleep. The pump serves
+    /// *all* of an attempt's frames — heartbeats included — from one
+    /// thread, so an unbounded mangler delay would stall every later
+    /// frame and could spuriously trip the supervisor's heartbeat
+    /// watchdog for an agent that is alive and beating. Transports pass
+    /// the heartbeat period here: the watchdog budget is always several
+    /// periods (the CLI enforces `>= 4x`), so a capped sleep consumes at
+    /// most a fraction of the remaining budget and the next (possibly
+    /// heartbeat) frame always lands before the deadline.
+    delay_cap: Duration,
     garbage_sent: u64,
     checkpoints: u32,
 }
 
 impl LinePump {
-    fn new(key: AttemptKey, faults: TransportFaults, fault_seed: u64) -> Self {
+    fn new(key: AttemptKey, faults: TransportFaults, fault_seed: u64, delay_cap: Duration) -> Self {
         let mangler = if faults.is_quiescent() {
             None
         } else {
             Some(FrameMangler::new(faults, fault_seed, key.shard as u64, key.attempt as u64))
         };
-        LinePump { key, mangler, reader: FrameReader::new(), garbage_sent: 0, checkpoints: 0 }
+        LinePump {
+            key,
+            mangler,
+            reader: FrameReader::new(),
+            delay_cap,
+            garbage_sent: 0,
+            checkpoints: 0,
+        }
     }
 
     /// Feeds one clean frame; returns checkpoint frames seen so far (the
@@ -144,10 +167,10 @@ impl LinePump {
             None => (line.to_vec(), Duration::ZERO),
         };
         if !delay.is_zero() {
-            std::thread::sleep(delay);
+            std::thread::sleep(delay.min(self.delay_cap));
         }
         for msg in self.reader.push(&bytes) {
-            if matches!(msg, WireMsg::Checkpoint(_)) {
+            if matches!(msg, WireMsg::Checkpoint { .. }) {
                 self.checkpoints += 1;
             }
             let _ = events.send((self.key, AgentEvent::Msg(msg)));
@@ -265,8 +288,9 @@ impl Transport for ProcessTransport {
         let kill_at = kill_after(kind);
         let faults = self.faults;
         let fault_seed = self.fault_seed;
+        let delay_cap = self.heartbeat;
         std::thread::spawn(move || {
-            let mut pump = LinePump::new(key, faults, fault_seed);
+            let mut pump = LinePump::new(key, faults, fault_seed, delay_cap);
             let mut reader = BufReader::new(stdout);
             let mut killed = false;
             let mut line = Vec::new();
@@ -380,8 +404,9 @@ impl Transport for ThreadTransport {
         let reader_kill = Arc::clone(&kill);
         let faults = self.faults;
         let fault_seed = self.fault_seed;
+        let delay_cap = self.heartbeat;
         std::thread::spawn(move || {
-            let mut pump = LinePump::new(key, faults, fault_seed);
+            let mut pump = LinePump::new(key, faults, fault_seed, delay_cap);
             while let Ok(chunk) = byte_rx.recv() {
                 let seen = pump.feed(&chunk, &events);
                 if let Some(at) = kill_at {
@@ -411,7 +436,7 @@ mod tests {
     #[test]
     fn quiescent_pump_forwards_every_message() {
         let (tx, rx) = std::sync::mpsc::channel();
-        let mut pump = LinePump::new(key(), TransportFaults::none(), 0);
+        let mut pump = LinePump::new(key(), TransportFaults::none(), 0, Duration::from_secs(1));
         let msgs = [
             WireMsg::Heartbeat { seq: 1, completed: 0 },
             WireMsg::Done { completed: 3, write_errors: 0 },
@@ -431,9 +456,9 @@ mod tests {
         use interlag_core::checkpoint::CheckpointRecord;
         use interlag_core::experiment::{placeholder_result, RepOutcome};
         let (tx, rx) = std::sync::mpsc::channel();
-        let mut pump = LinePump::new(key(), TransportFaults::none(), 0);
+        let mut pump = LinePump::new(key(), TransportFaults::none(), 0, Duration::from_secs(1));
         let rec = CheckpointRecord::new(1, 0, 0, &placeholder_result("t"), &RepOutcome::Ok);
-        let n = pump.feed(&encode_msg(&WireMsg::Checkpoint(rec)), &tx);
+        let n = pump.feed(&encode_msg(&WireMsg::Checkpoint { seq: 1, record: rec }), &tx);
         assert_eq!(n, 1);
         // A damaged line must surface as Garbage, not silence.
         let frame = encode_msg(&WireMsg::Heartbeat { seq: 1, completed: 1 });
@@ -443,8 +468,30 @@ mod tests {
         assert_eq!(n, 1, "garbage is not a checkpoint");
         drop(tx);
         let got: Vec<_> = rx.iter().map(|(_, e)| e).collect();
-        assert!(matches!(got[0], AgentEvent::Msg(WireMsg::Checkpoint(_))));
+        assert!(matches!(got[0], AgentEvent::Msg(WireMsg::Checkpoint { .. })));
         assert!(matches!(got[1], AgentEvent::Garbage));
+    }
+
+    #[test]
+    fn injected_delays_are_capped_by_the_watchdog_budget_share() {
+        // Every frame delayed, nominally up to 10 s each — but the pump
+        // may never sleep past its cap, or a delay schedule could trip
+        // the heartbeat watchdog for a perfectly alive agent.
+        let faults =
+            TransportFaults { delay_rate: 1.0, max_delay_ms: 10_000, ..TransportFaults::none() };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let mut pump = LinePump::new(key(), faults, 7, Duration::from_millis(5));
+        let start = std::time::Instant::now();
+        for seq in 1..=10 {
+            pump.feed(&encode_msg(&WireMsg::Heartbeat { seq, completed: 0 }), &tx);
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(2_000),
+            "ten capped delays must total well under one uncapped one"
+        );
+        drop(tx);
+        // Delayed frames are late, never lost.
+        assert_eq!(rx.iter().count(), 10);
     }
 
     #[test]

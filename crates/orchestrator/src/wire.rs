@@ -42,7 +42,16 @@ pub enum WireMsg {
     },
     /// One journalled repetition, streamed right after its durable
     /// append.
-    Checkpoint(CheckpointRecord),
+    Checkpoint {
+        /// The record's checkpoint sequence number: 1-based append count
+        /// within this attempt's journal session. The TCP session layer
+        /// acknowledges these cumulatively, so a reconnecting agent can
+        /// replay from the supervisor's high-water mark instead of
+        /// restarting the shard.
+        seq: u64,
+        /// The journalled record itself.
+        record: CheckpointRecord,
+    },
     /// The shard finished its slots; final counts for the supervisor's
     /// coverage check.
     Done {
@@ -55,6 +64,12 @@ pub enum WireMsg {
 
 /// Encodes one message as a framed line (with trailing newline).
 pub fn encode_msg(msg: &WireMsg) -> Vec<u8> {
+    encode_frame(msg)
+}
+
+/// Encodes any serialisable message as a framed line — the same codec
+/// for [`WireMsg`] and the TCP session layer's envelope messages.
+pub fn encode_frame<T: Serialize>(msg: &T) -> Vec<u8> {
     let payload = serde_json::to_string(msg).expect("wire messages always serialise");
     encode_record(payload.as_bytes()).expect("JSON payloads are line-safe")
 }
@@ -62,23 +77,31 @@ pub fn encode_msg(msg: &WireMsg) -> Vec<u8> {
 /// Incremental decoder for the supervisor's end of the pipe.
 ///
 /// Push raw bytes in as they arrive; complete, checksum-valid frames come
-/// out as [`WireMsg`]s. Damaged lines are counted in
-/// [`FrameReader::garbage`] and skipped; an incomplete trailing line is
-/// held until its newline arrives.
-#[derive(Debug, Default)]
-pub struct FrameReader {
+/// out as decoded messages (`T` defaults to [`WireMsg`]; the TCP session
+/// layer instantiates it with its envelope type). Damaged lines are
+/// counted in [`FrameReader::garbage`] and skipped; an incomplete
+/// trailing line is held until its newline arrives.
+#[derive(Debug)]
+pub struct FrameReader<T = WireMsg> {
     buf: Vec<u8>,
     garbage: u64,
+    _msg: std::marker::PhantomData<fn() -> T>,
 }
 
-impl FrameReader {
+impl<T> Default for FrameReader<T> {
+    fn default() -> Self {
+        FrameReader { buf: Vec::new(), garbage: 0, _msg: std::marker::PhantomData }
+    }
+}
+
+impl<T: serde::de::DeserializeOwned> FrameReader<T> {
     /// A reader with an empty buffer.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Feeds bytes in; returns every message completed by them.
-    pub fn push(&mut self, bytes: &[u8]) -> Vec<WireMsg> {
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<T> {
         self.buf.extend_from_slice(bytes);
         let mut msgs = Vec::new();
         while let Some(nl) = self.buf.iter().position(|&b| b == b'\n') {
@@ -91,7 +114,7 @@ impl FrameReader {
                 Some(payload) if decoded.torn == 0 => {
                     match std::str::from_utf8(payload)
                         .ok()
-                        .and_then(|text| serde_json::from_str::<WireMsg>(text).ok())
+                        .and_then(|text| serde_json::from_str::<T>(text).ok())
                     {
                         Some(msg) => msgs.push(msg),
                         None => self.garbage += 1,
@@ -132,7 +155,7 @@ mod tests {
         ];
         let bytes: Vec<u8> = msgs.iter().flat_map(encode_msg).collect();
         // Deliver one byte at a time: framing must not depend on chunking.
-        let mut r = FrameReader::new();
+        let mut r: FrameReader = FrameReader::new();
         let mut out = Vec::new();
         for b in &bytes {
             out.extend(r.push(std::slice::from_ref(b)));
@@ -144,7 +167,7 @@ mod tests {
 
     #[test]
     fn damaged_frames_are_skipped_and_counted() {
-        let mut r = FrameReader::new();
+        let mut r: FrameReader = FrameReader::new();
         let mut bytes = encode_msg(&heartbeat(1));
         // A torn frame: its tail (and terminator) lost, the next frame's
         // bytes running straight on — exactly what FrameFate::Truncate
@@ -171,7 +194,7 @@ mod tests {
         let frame = encode_msg(&heartbeat(7));
         let mut doubled = frame.clone();
         doubled.extend_from_slice(&frame);
-        let mut r = FrameReader::new();
+        let mut r: FrameReader = FrameReader::new();
         assert_eq!(r.push(&doubled), vec![heartbeat(7), heartbeat(7)]);
         assert_eq!(r.garbage(), 0);
     }
@@ -180,7 +203,7 @@ mod tests {
     fn incomplete_tail_is_held_not_dropped() {
         let frame = encode_msg(&heartbeat(9));
         let (head, tail) = frame.split_at(frame.len() - 3);
-        let mut r = FrameReader::new();
+        let mut r: FrameReader = FrameReader::new();
         assert!(r.push(head).is_empty());
         assert_eq!(r.pending(), head.len());
         assert_eq!(r.push(tail), vec![heartbeat(9)]);

@@ -1,0 +1,100 @@
+//! Property tests for [`FrameReader`] resynchronisation.
+//!
+//! The reader sits at the supervisor's end of every transport — pipe and
+//! TCP alike — so its contract must hold under anything the wire can do
+//! to a byte stream short of forging a CRC:
+//!
+//! * **chunking-blind** — an arbitrary re-chunking of a valid frame
+//!   stream (TCP segmentation, pipe buffering, one byte at a time)
+//!   decodes to exactly the original messages, in order, with zero
+//!   garbage;
+//! * **bounded damage** — a single corrupted byte anywhere in the stream
+//!   loses at most the frames sharing that line, each loss is *counted*
+//!   (garbage) or *visible* (bytes still pending without a terminator),
+//!   and every message that does decode is bit-identical to one that was
+//!   really sent: no spurious message, no duplicate, no reorder.
+
+use interlag_orchestrator::wire::encode_msg;
+use interlag_orchestrator::{FrameReader, WireMsg};
+use proptest::prelude::*;
+
+/// A compact distinguishable message: the heartbeat's `seq` doubles as
+/// its identity for subsequence checks.
+fn msg(seq: u64) -> WireMsg {
+    WireMsg::Heartbeat { seq, completed: (seq % 7) as u32 }
+}
+
+/// Pushes `bytes` into a fresh reader in the chunk sizes `cuts`
+/// prescribes (cycled, clamped to what is left).
+fn push_chunked(bytes: &[u8], cuts: &[usize]) -> (Vec<WireMsg>, u64, usize) {
+    let mut r: FrameReader = FrameReader::new();
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    let mut i = 0usize;
+    while at < bytes.len() {
+        let step = cuts.get(i % cuts.len()).copied().unwrap_or(1).clamp(1, bytes.len() - at);
+        out.extend(r.push(&bytes[at..at + step]));
+        at += step;
+        i += 1;
+    }
+    (out, r.garbage(), r.pending())
+}
+
+proptest! {
+    #[test]
+    fn any_rechunking_is_transparent(
+        seqs in proptest::collection::vec(0u64..1000, 1..30),
+        cuts in proptest::collection::vec(1usize..40, 1..10),
+    ) {
+        let msgs: Vec<WireMsg> = seqs.iter().map(|&s| msg(s)).collect();
+        let bytes: Vec<u8> = msgs.iter().flat_map(encode_msg).collect();
+        let (out, garbage, pending) = push_chunked(&bytes, &cuts);
+        prop_assert_eq!(out, msgs);
+        prop_assert_eq!(garbage, 0);
+        prop_assert_eq!(pending, 0);
+    }
+
+    #[test]
+    fn single_byte_corruption_loses_only_the_touched_line(
+        seqs in proptest::collection::vec(0u64..1000, 1..30),
+        cuts in proptest::collection::vec(1usize..40, 1..10),
+        pos_pick in 0usize..usize::MAX,
+        flip in 1u8..255,
+    ) {
+        let msgs: Vec<WireMsg> = seqs.iter().map(|&s| msg(s)).collect();
+        let mut bytes: Vec<u8> = msgs.iter().flat_map(encode_msg).collect();
+        let pos = pos_pick % bytes.len();
+        bytes[pos] ^= flip;
+
+        let (out, garbage, pending) = push_chunked(&bytes, &cuts);
+
+        // Every decoded message is one that was sent, in order, at most
+        // once: `out` must be a subsequence of `msgs` (identity = seq,
+        // and seqs may repeat, so walk a cursor).
+        let mut cursor = 0usize;
+        for m in &out {
+            let found = msgs[cursor..].iter().position(|s| s == m);
+            prop_assert!(
+                found.is_some(),
+                "decoded {m:?} is not a subsequence match past {cursor} in {msgs:?}"
+            );
+            cursor += found.unwrap() + 1;
+        }
+
+        // One corrupted byte can damage at most the frames sharing its
+        // line: flipping a newline glues two frames into one line (two
+        // lost), any other flip damages one frame. Never more.
+        prop_assert!(msgs.len() - out.len() <= 2, "{} of {} lost", msgs.len() - out.len(), msgs.len());
+
+        // Losses are never silent: every missing message is accounted
+        // for by a counted garbage line or by terminator-less bytes
+        // still visibly pending.
+        if out.len() < msgs.len() {
+            prop_assert!(
+                garbage >= 1 || pending > 0,
+                "lost {} frames with no garbage and no pending bytes",
+                msgs.len() - out.len()
+            );
+        }
+    }
+}

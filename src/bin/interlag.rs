@@ -13,8 +13,14 @@
 //!                     [--retry-budget N] [--heartbeat-ms MS]
 //!                     [--watchdog-ms MS]       the study, sharded across
 //!                                              supervised agent processes
+//! interlag sweep <DS> --transport tcp [--listen ADDR] [--remote-agents]
+//!                     [--net-chaos PROFILE@SEED]  the same sweep over TCP
+//!                                              sessions with lease fencing
 //! interlag agent <DS> -r REPS --shard S --of N --stage STAGE
 //!                     --journal FILE           one shard (spawned by sweep)
+//! interlag agent <DS> --worker --connect ADDR [--scratch DIR]
+//!                                              a self-registering remote
+//!                                              worker for a TCP sweep
 //! interlag tune <DS> '<GROUP>' [--workers N] [--shards N]
 //!                    [--csv] [--out DIR]       score a governor-tunable grid
 //!                                              against the oracle; Pareto
@@ -35,7 +41,10 @@
 //! `3` corrupt dataset, `4` study resumed but some repetitions remain
 //! timed out or abandoned, `5` sweep completed degraded (some shards
 //! were abandoned; their repetitions carry `Abandoned` causes), `6` db
-//! ingest rejected (quarantined or duplicate) submissions.
+//! ingest rejected (quarantined or duplicate) submissions, `7` a TCP
+//! agent's lease epoch was fenced (a newer attempt superseded it), `8` a
+//! TCP agent exhausted its reconnect budget (link dead; the supervisor's
+//! local retry path takes over).
 
 use std::io::Write as _;
 use std::process::ExitCode;
@@ -43,7 +52,7 @@ use std::time::Duration;
 
 use interlag::core::checkpoint::{study_fingerprint, StudyJournal};
 use interlag::core::experiment::StudyScope;
-use interlag::core::experiment::{Lab, LabConfig, StudyOptions};
+use interlag::core::experiment::{Lab, LabConfig, StudyOptions, SweepStage};
 use interlag::core::ingest::{load_trace_bytes, IngestMode, IngestReport};
 use interlag::core::propgroup::PropGroup;
 use interlag::core::report::{oracle_csv, profile_csv, study_csv, study_markdown_with_ingest};
@@ -51,12 +60,15 @@ use interlag::db::Db;
 use interlag::device::dvfs::{FixedGovernor, Governor};
 use interlag::evdev::classify::{classify_trace, count_inputs, ClassifierConfig};
 use interlag::evdev::trace::EventTrace;
-use interlag::faults::{AgentSabotage, SabotageKind, TransportFaults};
+use interlag::faults::{AgentSabotage, ChaosProxy, NetFaults, SabotageKind, TransportFaults};
 use interlag::governors::{Conservative, Interactive, Ondemand, Performance, Powersave, Schedutil};
 use interlag::journal::atomic_write;
+use interlag::obs::{Counter, Recorder};
+use interlag::orchestrator::agent::{AgentDeath, KillSwitch};
 use interlag::orchestrator::{
-    parse_stage, run_agent, run_sweep, run_tune, tune_csv, tune_markdown, AgentConfig,
-    ProcessTransport, SweepConfig, TuneConfig, TuneError,
+    parse_stage, run_agent, run_sweep, run_tcp_agent, run_tcp_worker, run_tune, tune_csv,
+    tune_markdown, AgentConfig, ClientPolicy, ProcessTransport, SweepConfig, TcpAgentMode,
+    TcpClientOpts, TcpTransport, TuneConfig, TuneError, EXIT_FENCED, EXIT_LINK_DEAD,
 };
 use interlag::power::opp::Frequency;
 use interlag::workloads::datasets::Dataset;
@@ -102,17 +114,32 @@ fn usage() -> ExitCode {
          \x20            [--retry-budget N] [--heartbeat-ms MS] [--watchdog-ms MS]\n\
          \x20            [--markdown] [--sabotage KIND@CKPT:SHARD:ATTEMPT]\n\
          \x20            [--jitter-us US] [--matrix GROUP] [--db DIR]\n\
+         \x20            [--transport process|tcp] [--listen ADDR]\n\
+         \x20            [--remote-agents] [--net-chaos PROFILE@SEED]\n\
          \x20                                  the study, sharded across supervised\n\
          \x20                                  agent processes; exits 5 if any shard\n\
          \x20                                  was abandoned (degraded report);\n\
          \x20                                  --matrix expands a property group\n\
          \x20                                  (keys reps, jitter-us, shards) into one\n\
          \x20                                  sweep per point; --db ingests each\n\
-         \x20                                  sweep's sealed submission artifact\n\
+         \x20                                  sweep's sealed submission artifact;\n\
+         \x20                                  --transport tcp runs agents as epoch-\n\
+         \x20                                  fenced TCP sessions (--listen, default\n\
+         \x20                                  127.0.0.1:0; --remote-agents waits for\n\
+         \x20                                  self-registering workers instead of\n\
+         \x20                                  spawning local ones; --net-chaos fronts\n\
+         \x20                                  the listener with a seeded fault proxy:\n\
+         \x20                                  partition rst reorder duplicate delay storm)\n\
          \x20 agent <DS> -r REPS --shard S --of N --stage stage1|oracle\n\
          \x20            --journal FILE [--heartbeat-ms MS] [--sabotage KIND@CKPT]\n\
-         \x20            [--jitter-us US]      one shard of a sweep (spawned by sweep;\n\
-         \x20                                  speaks framed messages on stdout)\n\
+         \x20            [--jitter-us US] [--connect ADDR --epoch N --attempt N]\n\
+         \x20                                  one shard of a sweep (spawned by sweep;\n\
+         \x20                                  speaks framed messages on stdout, or as\n\
+         \x20                                  a resumable TCP session with --connect)\n\
+         \x20 agent <DS> --worker --connect ADDR [--scratch DIR] [--jitter-us US]\n\
+         \x20                                  loop as a remote worker: register with a\n\
+         \x20                                  --remote-agents sweep supervisor, run\n\
+         \x20                                  assigned shards until drained\n\
          \x20 tune <DS> GROUP [--workers N] [--shards N] [--csv] [--out DIR]\n\
          \x20                                  score a governor-tunable grid against\n\
          \x20                                  the per-workload oracle, e.g.\n\
@@ -134,7 +161,9 @@ fn usage() -> ExitCode {
          exit codes: 0 ok, 1 failure, 2 usage, 3 corrupt dataset,\n\
          \x20           4 resumed study still has timed-out/abandoned reps,\n\
          \x20           5 sweep completed degraded (abandoned shards),\n\
-         \x20           6 db ingest rejected submissions"
+         \x20           6 db ingest rejected submissions,\n\
+         \x20           {EXIT_FENCED} tcp agent fenced (lease superseded by a newer attempt),\n\
+         \x20           {EXIT_LINK_DEAD} tcp agent link dead (reconnect budget exhausted)"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -541,8 +570,13 @@ fn parse_sweep_sabotage(entry: &str, budget: u32) -> Option<Vec<AgentSabotage>> 
 
 /// `interlag agent`: one shard of a sweep, normally spawned by
 /// `interlag sweep`. Speaks framed [`interlag::orchestrator::WireMsg`]s
-/// on stdout; the shard journal on disk is the durable result.
+/// on stdout — or, with `--connect`, as a resumable epoch-fenced TCP
+/// session; the shard journal on disk is the durable result either way.
+/// With `--worker` it instead loops as a self-registering remote worker.
 fn cmd_agent(w: &Workload, args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--worker") {
+        return cmd_worker(w, args);
+    }
     let reps = flag_or!(args, &["-r", "--reps"], 1);
     let Some(shard) = flag_opt!(args, &["--shard"]) else {
         eprintln!("interlag: agent requires --shard N");
@@ -586,7 +620,19 @@ fn cmd_agent(w: &Workload, args: &[String]) -> ExitCode {
         abort_on_crash: true,
         kill: None,
     };
-    match run_agent(cfg, Box::new(std::io::stdout())) {
+    let outcome = match flag_value(args, &["--connect"]) {
+        None => run_agent(cfg, Box::new(std::io::stdout())),
+        Some(addr) => {
+            let opts = TcpClientOpts {
+                addr,
+                epoch: flag_or!(args, &["--epoch"], 1u64),
+                attempt: flag_or!(args, &["--attempt"], 0u32),
+                policy: client_policy(args),
+            };
+            run_tcp_agent(opts, cfg)
+        }
+    };
+    match outcome {
         Ok(report) => {
             eprintln!(
                 "interlag agent {shard}/{of}: {} repetition(s) journalled, {} write error(s)",
@@ -599,6 +645,105 @@ fn cmd_agent(w: &Workload, args: &[String]) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Reconnect policy shared by `agent --connect` and `agent --worker`:
+/// defaults unless overridden by `--retry-budget` / `--backoff-seed`.
+fn client_policy(args: &[String]) -> ClientPolicy {
+    let mut policy = ClientPolicy::default();
+    if let Ok(Some(budget)) = numeric_flag(args, &["--retry-budget"]) {
+        policy.retry_budget = budget;
+    }
+    if let Ok(Some(seed)) = numeric_flag(args, &["--backoff-seed"]) {
+        policy.backoff_seed = seed;
+    }
+    policy
+}
+
+/// `interlag agent --worker`: connect to a `sweep --transport tcp
+/// --remote-agents` supervisor, announce availability, and run every
+/// assigned shard as its own epoch-fenced TCP session until drained.
+fn cmd_worker(w: &Workload, args: &[String]) -> ExitCode {
+    let Some(addr) = flag_value(args, &["--connect"]) else {
+        eprintln!("interlag: agent --worker requires --connect ADDR");
+        return usage();
+    };
+    let scratch = flag_value(args, &["--scratch"]).unwrap_or_else(|| {
+        std::env::temp_dir()
+            .join(format!("interlag-worker-{}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    });
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        eprintln!("interlag: cannot create scratch dir {scratch}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let jitter = flag_opt!(args, &["--jitter-us"]);
+    let policy = client_policy(args);
+    // A supervisor kill (lease revoked, watchdog fired) unwinds the task
+    // as `AgentDeath` by design; the worker catches it and goes back to
+    // the queue. Keep the default hook's backtrace for real panics only.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<AgentDeath>().is_none() {
+            default_hook(info);
+        }
+    }));
+    let outcome = run_tcp_worker(&addr, &policy, std::path::Path::new(&scratch), |task| {
+        let mut lab = LabConfig { reps: task.reps, ..Default::default() };
+        if let Some(us) = jitter {
+            lab.jitter_us = us;
+        }
+        AgentConfig {
+            workload: w.clone(),
+            lab,
+            scope: StudyScope {
+                shard: task.shard,
+                of: task.of,
+                // An unknown stage name can only come from a foreign
+                // supervisor; the fingerprint check kills the attempt
+                // either way, so any valid stage serves as the probe.
+                stage: parse_stage(&task.stage).unwrap_or(SweepStage::Stage1),
+            },
+            journal_path: task.journal_path.clone(),
+            heartbeat: task.heartbeat,
+            sabotage: None,
+            abort_on_crash: false,
+            kill: Some(std::sync::Arc::new(KillSwitch::new())),
+        }
+    });
+    match outcome {
+        Ok(tasks) => {
+            eprintln!("interlag worker: drained after {tasks} task(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("interlag: worker failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Parses `--net-chaos PROFILE@SEED` (seed decimal or `0x` hex).
+fn parse_net_chaos(text: &str) -> Option<(NetFaults, u64)> {
+    let (name, seed) = text.split_once('@')?;
+    let faults = NetFaults::profile(name)?;
+    let seed = match seed.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok()?,
+        None => seed.parse().ok()?,
+    };
+    Some((faults, seed))
+}
+
+/// Extracts one counter's value from a [`Recorder::text_report`]
+/// Markdown table (`| name | value |`); `0` when absent.
+fn counter_row(report: &str, name: &str) -> u64 {
+    let needle = format!("| {name} | ");
+    report
+        .lines()
+        .find_map(|l| l.strip_prefix(&needle))
+        .and_then(|rest| rest.trim_end_matches(" |").trim().parse().ok())
+        .unwrap_or(0)
 }
 
 /// One expanded matrix point's effective sweep knobs.
@@ -696,6 +841,33 @@ fn cmd_sweep(w: &Workload, dataset: &str, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let tcp = match flag_value(args, &["--transport"]).as_deref() {
+        None | Some("process") => false,
+        Some("tcp") => true,
+        Some(other) => {
+            eprintln!("interlag: unknown --transport {other:?} (process, tcp)");
+            return usage();
+        }
+    };
+    let listen = flag_value(args, &["--listen"]).unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let remote_agents = args.iter().any(|a| a == "--remote-agents");
+    let net_chaos = match flag_value(args, &["--net-chaos"]) {
+        None => None,
+        Some(text) => match parse_net_chaos(&text) {
+            Some(parsed) => Some(parsed),
+            None => {
+                eprintln!(
+                    "interlag: bad --net-chaos {text:?} (PROFILE@SEED, profiles \
+                     partition rst reorder duplicate delay storm)"
+                );
+                return usage();
+            }
+        },
+    };
+    if !tcp && (remote_agents || net_chaos.is_some() || flag_value(args, &["--listen"]).is_some()) {
+        eprintln!("interlag: --listen/--remote-agents/--net-chaos require --transport tcp");
+        return usage();
+    }
 
     let multi = points.len() > 1;
     let mut worst = ExitCode::SUCCESS;
@@ -729,21 +901,89 @@ fn cmd_sweep(w: &Workload, dataset: &str, args: &[String]) -> ExitCode {
         if let Some(us) = jitter {
             extra_args.extend(["--jitter-us".to_string(), us.to_string()]);
         }
-        let mut transport = ProcessTransport {
-            exe: exe.clone(),
-            dataset: dataset.to_string(),
-            reps: point.reps,
-            heartbeat: Duration::from_millis(heartbeat),
-            faults: TransportFaults::none(),
-            fault_seed: 0,
-            sabotage,
-            extra_args,
-        };
         let mut lab = LabConfig { reps: point.reps, ..Default::default() };
         if let Some(us) = jitter {
             lab.jitter_us = us;
         }
-        let out = match run_sweep(w, lab, &mut transport, &cfg) {
+        let out = if tcp {
+            if !sabotage.is_empty() {
+                eprintln!("interlag: --sabotage is not supported with --transport tcp");
+                return usage();
+            }
+            // The session counters (reconnects, fenced epochs, lease
+            // expiries, injected faults) are the transport's whole
+            // observable surface — record them unconditionally.
+            lab.obs = Recorder::enabled();
+            let mode = if remote_agents {
+                TcpAgentMode::External { reps: point.reps }
+            } else {
+                TcpAgentMode::Spawn {
+                    exe: exe.clone(),
+                    dataset: dataset.to_string(),
+                    reps: point.reps,
+                    extra_args,
+                }
+            };
+            let mut transport = match TcpTransport::bind(
+                &listen,
+                mode,
+                Duration::from_millis(heartbeat),
+                lab.obs.clone(),
+            ) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("interlag: cannot bind {listen}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let proxy = match &net_chaos {
+                None => None,
+                Some((faults, seed)) => match ChaosProxy::spawn(transport.addr(), *faults, *seed) {
+                    Ok(p) => {
+                        transport.connect_addr = p.addr().to_string();
+                        Some(p)
+                    }
+                    Err(e) => {
+                        eprintln!("interlag: cannot spawn chaos proxy: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+            };
+            if remote_agents {
+                eprintln!(
+                    "interlag sweep: waiting for workers on {} \
+                     (run `interlag agent <DS> --worker --connect {}` on each host)",
+                    transport.connect_addr, transport.connect_addr,
+                );
+            }
+            let out = run_sweep(w, lab.clone(), &mut transport, &cfg);
+            if let Some(p) = &proxy {
+                lab.obs.count(Counter::NetFaultsInjected, p.injected().total());
+            }
+            let report = lab.obs.text_report();
+            eprintln!(
+                "interlag sweep: tcp transport: {} reconnect(s), {} lease expiry(ies), \
+                 {} fenced record(s), {} fault(s) injected",
+                counter_row(&report, "agent_reconnects"),
+                counter_row(&report, "lease_expiries"),
+                counter_row(&report, "fenced_epoch_records"),
+                counter_row(&report, "net_faults_injected"),
+            );
+            out
+        } else {
+            let mut transport = ProcessTransport {
+                exe: exe.clone(),
+                dataset: dataset.to_string(),
+                reps: point.reps,
+                heartbeat: Duration::from_millis(heartbeat),
+                faults: TransportFaults::none(),
+                fault_seed: 0,
+                sabotage,
+                extra_args,
+            };
+            run_sweep(w, lab, &mut transport, &cfg)
+        };
+        let out = match out {
             Ok(out) => out,
             Err(e) => {
                 eprintln!("interlag: sweep failed: {e}");

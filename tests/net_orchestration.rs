@@ -1,0 +1,143 @@
+//! End-to-end TCP-transport orchestration against the real binary:
+//! `interlag sweep --transport tcp` spawns real `interlag agent
+//! --connect` child processes over loopback sockets — optionally through
+//! the seeded chaos proxy — and must still print a report
+//! **byte-identical** to the plain single-process `interlag study`. The
+//! worker test is the host-to-host shape: a separately launched
+//! `interlag agent --worker` process registers with a `--remote-agents`
+//! supervisor and runs every shard it is assigned.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+fn interlag_cmd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_interlag"))
+}
+
+fn run(args: &[&str]) -> Output {
+    interlag_cmd().args(args).output().expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("interlag-nete2e-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The single-process study report every TCP sweep must reproduce.
+fn baseline() -> Vec<u8> {
+    let out = run(&["study", "mini", "-r", "2"]);
+    assert!(out.status.success(), "baseline study failed: {out:?}");
+    assert!(!out.stdout.is_empty());
+    out.stdout
+}
+
+#[test]
+fn tcp_sweep_report_is_byte_identical_to_study() {
+    let expected = baseline();
+    for shards in ["2", "4"] {
+        let dir = temp_dir(&format!("tcp-{shards}"));
+        let out = run(&[
+            "sweep",
+            "mini",
+            "-r",
+            "2",
+            "--shards",
+            shards,
+            "--transport",
+            "tcp",
+            "--journal-dir",
+            dir.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{shards} shards: {}", String::from_utf8_lossy(&out.stderr));
+        assert_eq!(out.stdout, expected, "{shards} shards diverged from the single-process study");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn tcp_sweep_under_net_chaos_is_byte_identical_to_study() {
+    let expected = baseline();
+    // Three seeded schedules across fault families: partitions tear the
+    // link mid-frame, reorder/delay scramble delivery. The session layer
+    // must resume every cut from the ack high-water mark and the
+    // assembler must re-serialise the rest — byte-identically.
+    for (profile, seed) in [("partition", "0xc0ffee"), ("reorder", "7"), ("delay", "0x5eed")] {
+        let dir = temp_dir(&format!("chaos-{profile}"));
+        let out = run(&[
+            "sweep",
+            "mini",
+            "-r",
+            "2",
+            "--shards",
+            "4",
+            "--transport",
+            "tcp",
+            "--net-chaos",
+            &format!("{profile}@{seed}"),
+            "--journal-dir",
+            dir.to_str().unwrap(),
+        ]);
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "{profile}: sweep should absorb the chaos: {err}");
+        assert_eq!(out.stdout, expected, "{profile} chaos diverged from the single-process study");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn rejects_tcp_flags_without_tcp_transport() {
+    let out = run(&["sweep", "mini", "--net-chaos", "partition@1"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run(&["sweep", "mini", "--transport", "carrier-pigeon"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run(&["sweep", "mini", "--transport", "tcp", "--net-chaos", "flood@1"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = run(&["agent", "mini", "--worker"]);
+    assert_eq!(out.status.code(), Some(2), "worker without --connect: {out:?}");
+}
+
+/// Kills a child on drop so an assertion failure cannot leak processes.
+struct Reaper(Option<Child>);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.0.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+#[test]
+fn external_worker_process_runs_a_remote_agents_sweep() {
+    let expected = baseline();
+    let dir = temp_dir("ext");
+    // A fixed loopback port: the worker must be told where to dial, and
+    // an ephemeral one is only printed to stderr. Derived from the test
+    // process id to keep parallel test runs off each other's sockets.
+    let port = 20000 + std::process::id() % 20000;
+    let addr = format!("127.0.0.1:{port}");
+    let sweep = interlag_cmd()
+        .args(["sweep", "mini", "-r", "2", "--shards", "2", "--transport", "tcp"])
+        .args(["--remote-agents", "--listen", &addr])
+        .args(["--journal-dir", dir.to_str().unwrap()])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("sweep spawns");
+    let mut sweep = Reaper(Some(sweep));
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let scratch = temp_dir("ext-scratch");
+    let worker = interlag_cmd()
+        .args(["agent", "mini", "--worker", "--connect", &addr])
+        .args(["--scratch", scratch.to_str().unwrap()])
+        .output()
+        .expect("worker runs");
+    assert!(worker.status.success(), "worker failed: {}", String::from_utf8_lossy(&worker.stderr));
+    let out = sweep.0.take().expect("still running").wait_with_output().expect("sweep exits");
+    assert!(out.status.success(), "sweep failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(out.stdout, expected, "external-worker sweep diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
